@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark (google-benchmark).
+ *
+ * Measures host kilo-instructions-per-second for each machine model,
+ * which bounds the cost of every other bench in this directory.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+using namespace fgstp;
+
+namespace
+{
+
+constexpr std::uint64_t chunk = 5000;
+
+void
+BM_SingleCore(benchmark::State &state)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    std::uint64_t target = 0;
+    for (auto _ : state) {
+        target += chunk;
+        benchmark::DoNotOptimize(m.run(target));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+void
+BM_CoreFusion(benchmark::State &state)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    fusion::FusedMachine m(p.core, p.memory, w, p.fusionOverheads);
+    std::uint64_t target = 0;
+    for (auto _ : state) {
+        target += chunk;
+        benchmark::DoNotOptimize(m.run(target));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+void
+BM_FgStp(benchmark::State &state)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    std::uint64_t target = 0;
+    for (auto _ : state) {
+        target += chunk;
+        benchmark::DoNotOptimize(m.run(target));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 1);
+    trace::DynInst d;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < chunk; ++i)
+            w.next(d);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+BENCHMARK(BM_SingleCore)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CoreFusion)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FgStp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,188 @@
+#include "bench/bench_util.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace fgstp::bench
+{
+
+namespace
+{
+
+Sample
+toSample(const sim::RunResult &r)
+{
+    return {r.cycles, r.instructions};
+}
+
+} // namespace
+
+Sample
+runSingle(const std::string &bench, const sim::MachinePreset &p,
+          std::uint64_t insts)
+{
+    return runSingleWithCore(bench, p.core, p, insts);
+}
+
+Sample
+runSingleWithCore(const std::string &bench,
+                  const core::CoreConfig &core_cfg,
+                  const sim::MachinePreset &p, std::uint64_t insts)
+{
+    workload::SyntheticWorkload w(workload::profileByName(bench),
+                                  evalSeed);
+    sim::SingleCoreMachine m(core_cfg, p.memory, w);
+    return toSample(m.run(insts));
+}
+
+Sample
+runFused(const std::string &bench, const sim::MachinePreset &p,
+         std::uint64_t insts)
+{
+    return runFused(bench, p, p.fusionOverheads, insts);
+}
+
+Sample
+runFused(const std::string &bench, const sim::MachinePreset &p,
+         const fusion::FusionOverheads &ovh, std::uint64_t insts)
+{
+    workload::SyntheticWorkload w(workload::profileByName(bench),
+                                  evalSeed);
+    fusion::FusedMachine m(p.core, p.memory, w, ovh);
+    return toSample(m.run(insts));
+}
+
+Sample
+runFgstp(const std::string &bench, const sim::MachinePreset &p,
+         std::uint64_t insts)
+{
+    return runFgstp(bench, p, p.fgstp(), insts);
+}
+
+Sample
+runFgstp(const std::string &bench, const sim::MachinePreset &p,
+         const part::FgstpConfig &cfg, std::uint64_t insts,
+         std::unique_ptr<part::FgstpMachine> *out)
+{
+    auto w = std::make_unique<workload::SyntheticWorkload>(
+        workload::profileByName(bench), evalSeed);
+    auto m = std::make_unique<part::FgstpMachine>(p.core, p.memory, cfg,
+                                                  *w);
+    const auto r = m->run(insts);
+    if (out) {
+        // Keep the workload alive alongside the machine.
+        static std::vector<std::unique_ptr<workload::SyntheticWorkload>>
+            keep_alive;
+        keep_alive.push_back(std::move(w));
+        *out = std::move(m);
+    }
+    return toSample(r);
+}
+
+std::vector<std::string>
+allBenchmarks()
+{
+    std::vector<std::string> v;
+    for (const auto &p : workload::spec2006Profiles())
+        v.push_back(p.name);
+    return v;
+}
+
+std::vector<std::string>
+sweepBenchmarks()
+{
+    return {"perlbench", "gcc", "mcf", "hmmer", "gobmk", "libquantum",
+            "namd", "lbm"};
+}
+
+double
+geomeanRatio(const std::vector<double> &ratios)
+{
+    return geomean(ratios);
+}
+
+// ---- Table ----------------------------------------------------------------
+
+Table::Table(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    sim_assert(cells.size() == headers.size(),
+               "row width does not match header");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+Table::print(bool csv) const
+{
+    if (csv) {
+        for (std::size_t i = 0; i < headers.size(); ++i)
+            std::printf("%s%s", headers[i].c_str(),
+                        i + 1 < headers.size() ? "," : "\n");
+        for (const auto &row : rows) {
+            for (std::size_t i = 0; i < row.size(); ++i)
+                std::printf("%s%s", row[i].c_str(),
+                            i + 1 < row.size() ? "," : "\n");
+        }
+        return;
+    }
+
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t i = 0; i < headers.size(); ++i)
+        widths[i] = headers[i].size();
+    for (const auto &row : rows) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::printf("%-*s ", static_cast<int>(widths[i]),
+                        cells[i].c_str());
+        }
+        std::printf("\n");
+    };
+
+    print_row(headers);
+    std::size_t total = headers.size();
+    for (std::size_t w : widths)
+        total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+bool
+wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+banner(const std::string &what)
+{
+    std::printf("== %s ==\n", what.c_str());
+}
+
+} // namespace fgstp::bench

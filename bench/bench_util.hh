@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure regeneration benches.
+ *
+ * Every bench binary reproduces one table or figure of the evaluation
+ * (see DESIGN.md's experiment index): it runs the relevant machines
+ * over the SPEC2006-like workloads and prints the same rows/series the
+ * paper reports, as an aligned text table (default) or CSV (--csv).
+ */
+
+#ifndef FGSTP_BENCH_BENCH_UTIL_HH
+#define FGSTP_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+namespace fgstp::bench
+{
+
+/** Instructions simulated per (benchmark, machine) data point. */
+inline constexpr std::uint64_t defaultInsts = 40000;
+
+/** Workload seed used throughout the evaluation. */
+inline constexpr std::uint64_t evalSeed = 42;
+
+/** One machine run's interesting outputs. */
+struct Sample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    double
+    ipc() const
+    {
+        return cycles
+            ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+/** Runs the 1-core baseline on a named benchmark. */
+Sample runSingle(const std::string &bench, const sim::MachinePreset &p,
+                 std::uint64_t insts = defaultInsts);
+
+/** Runs the baseline with an explicit core config (Fig. 8 big core). */
+Sample runSingleWithCore(const std::string &bench,
+                         const core::CoreConfig &core_cfg,
+                         const sim::MachinePreset &p,
+                         std::uint64_t insts = defaultInsts);
+
+/** Runs the Core Fusion comparator. */
+Sample runFused(const std::string &bench, const sim::MachinePreset &p,
+                std::uint64_t insts = defaultInsts);
+Sample runFused(const std::string &bench, const sim::MachinePreset &p,
+                const fusion::FusionOverheads &ovh,
+                std::uint64_t insts);
+
+/** Runs Fg-STP; optionally returns the machine for stats extraction. */
+Sample runFgstp(const std::string &bench, const sim::MachinePreset &p,
+                std::uint64_t insts = defaultInsts);
+Sample runFgstp(const std::string &bench, const sim::MachinePreset &p,
+                const part::FgstpConfig &cfg, std::uint64_t insts,
+                std::unique_ptr<part::FgstpMachine> *out = nullptr);
+
+/** All nineteen benchmark names, SPECint first. */
+std::vector<std::string> allBenchmarks();
+
+/** A faster representative subset for parameter sweeps. */
+std::vector<std::string> sweepBenchmarks();
+
+/** Geomean over per-benchmark ratios. */
+double geomeanRatio(const std::vector<double> &ratios);
+
+// ---- table printing --------------------------------------------------------
+
+/** Simple column-aligned table with optional CSV output. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders to stdout; csv selects comma-separated output. */
+    void print(bool csv) const;
+
+    static std::string fmt(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** True when argv contains --csv. */
+bool wantCsv(int argc, char **argv);
+
+/** Prints the standard bench banner. */
+void banner(const std::string &what);
+
+} // namespace fgstp::bench
+
+#endif // FGSTP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Scenario: will Fg-STP help *my* application?
+ *
+ * Shows the workload-modeling API: define a BenchmarkProfile with the
+ * performance-relevant characteristics of your own code (instruction
+ * mix, dependence structure, branch predictability, memory footprint
+ * and access patterns), then compare the machine models on it.
+ *
+ * The example models a hypothetical "graph-analytics" kernel: pointer
+ * chasing over a large graph interleaved with short arithmetic bursts
+ * per visited node — the classic tough case for single-thread
+ * acceleration.
+ */
+
+#include <cstdio>
+
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+using namespace fgstp;
+
+namespace
+{
+
+workload::BenchmarkProfile
+graphAnalyticsProfile()
+{
+    workload::BenchmarkProfile p;
+    p.name = "graph-analytics";
+
+    // Per visited node: a pointer dereference chain plus a burst of
+    // independent score updates.
+    p.fracLoad = 0.33;
+    p.fracStore = 0.10;
+    p.depLookback = 4.0;     // short chains inside the burst
+    p.fracInvariantSrc = 0.2;
+    p.fracTwoSrcOps = 0.5;
+
+    // Control: mostly the visit loop, some data-dependent filtering.
+    p.fracIf = 0.18;
+    p.fracRandomBr = 0.15;
+    p.fracPatternedBr = 0.15;
+
+    // Memory: a 32MB graph walked through next-pointers, with a hot
+    // property table getting strided access.
+    p.footprintKB = 32 * 1024;
+    p.fracChaseAcc = 0.45;
+    p.fracStrideAcc = 0.20;
+    p.fracRandomAcc = 0.15;
+    p.fracStreamAcc = 0.05;
+    p.fracStackAcc = 0.15;
+
+    p.numTopLoops = 4;
+    p.bodyOps = 18;
+    p.minTrip = 16;
+    p.maxTrip = 96;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto profile = graphAnalyticsProfile();
+    const std::uint64_t insts = 60000;
+    constexpr std::uint64_t seed = 7;
+
+    std::printf("custom workload: %s (%lu KB footprint, %.0f%% pointer "
+                "chase)\n\n",
+                profile.name.c_str(),
+                static_cast<unsigned long>(profile.footprintKB),
+                100.0 * profile.fracChaseAcc);
+
+    for (const auto *preset_name : {"small", "medium"}) {
+        const auto preset = sim::presetByName(preset_name);
+
+        workload::SyntheticWorkload w1(profile, seed);
+        sim::SingleCoreMachine base(preset.core, preset.memory, w1);
+        const auto rb = base.run(insts);
+
+        workload::SyntheticWorkload w2(profile, seed);
+        fusion::FusedMachine fused(preset.core, preset.memory, w2,
+                                   preset.fusionOverheads);
+        const auto rf = fused.run(insts);
+
+        workload::SyntheticWorkload w3(profile, seed);
+        part::FgstpMachine stp(preset.core, preset.memory,
+                               preset.fgstp(), w3);
+        const auto rs = stp.run(insts);
+
+        std::printf("[%s preset]\n", preset.name);
+        std::printf("  1-core       ipc=%.3f\n", rb.ipc());
+        std::printf("  core-fusion  ipc=%.3f  speedup=%.3f\n",
+                    rf.ipc(),
+                    static_cast<double>(rb.cycles) / rf.cycles);
+        std::printf("  fg-stp       ipc=%.3f  speedup=%.3f  "
+                    "(violations=%lu, store-set syncs=%lu)\n\n",
+                    rs.ipc(),
+                    static_cast<double>(rb.cycles) / rs.cycles,
+                    static_cast<unsigned long>(
+                        stp.fgstpStats().crossViolations),
+                    static_cast<unsigned long>(
+                        stp.fgstpStats().predictedSyncs));
+    }
+
+    std::printf("takeaway: serial pointer chases limit every scheme; "
+                "the burst work between dereferences is what the\n"
+                "partitioner spreads across cores. Raise depLookback "
+                "or bodyOps to see the Fg-STP gain grow.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scenario: design-space exploration for the Fg-STP hardware.
+ *
+ * An architect sizing the scheme wants to know how much link latency
+ * the design can tolerate and how large the partition window must be.
+ * This example sweeps both axes for one benchmark and prints the
+ * speedup matrix, exercising the FgstpConfig API.
+ *
+ *   ./design_space [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "fgstp/machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+using namespace fgstp;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "gcc";
+    const std::uint64_t insts = 40000;
+    constexpr std::uint64_t seed = 3;
+
+    const auto preset = sim::mediumPreset();
+    const auto profile = workload::profileByName(bench);
+
+    workload::SyntheticWorkload w0(profile, seed);
+    sim::SingleCoreMachine base(preset.core, preset.memory, w0);
+    const double base_cycles =
+        static_cast<double>(base.run(insts).cycles);
+
+    const Cycle lats[] = {1, 2, 4, 8, 16};
+    const std::uint32_t windows[] = {64, 128, 256, 512, 1024};
+
+    std::printf("Fg-STP speedup over 1 core, benchmark %s "
+                "(rows: window, cols: link latency)\n\n",
+                bench.c_str());
+    std::printf("%8s", "window");
+    for (const Cycle lat : lats)
+        std::printf("  lat=%-4lu", static_cast<unsigned long>(lat));
+    std::printf("\n");
+
+    for (const std::uint32_t win : windows) {
+        std::printf("%8u", win);
+        for (const Cycle lat : lats) {
+            auto cfg = preset.fgstp();
+            cfg.windowSize = win;
+            cfg.link.latency = lat;
+            cfg.estCommCost =
+                static_cast<std::uint32_t>(2 * std::max<Cycle>(lat, 4));
+
+            workload::SyntheticWorkload w(profile, seed);
+            part::FgstpMachine m(preset.core, preset.memory, cfg, w);
+            const auto r = m.run(insts);
+            std::printf("  %-7.3f", base_cycles / r.cycles);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nreading the matrix: move down-left (bigger window, "
+                "faster link) for more speedup; the flat region shows\n"
+                "where the scheme saturates and extra hardware stops "
+                "paying.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Scenario: is Fg-STP worth its power?
+ *
+ * Uses the activity-based energy model to compare performance,
+ * energy-per-instruction and energy-delay of the four machine options
+ * on one benchmark — the question an architect asks before spending
+ * two cores on one thread.
+ *
+ *   ./energy_study [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "power/energy_model.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+using namespace fgstp;
+
+namespace
+{
+
+power::EnergyBreakdown
+energyOf(const sim::Machine &m, const sim::RunResult &r,
+         double width_factor, bool fgstp_part, bool fusion_steer,
+         std::uint64_t transfers)
+{
+    std::vector<const core::CoreStats *> cs;
+    for (unsigned i = 0; i < m.numCores(); ++i)
+        cs.push_back(&m.coreStats(i));
+    auto act = power::gatherActivity(cs.data(), m.numCores(),
+                                     m.memory().stats(), r.cycles,
+                                     r.instructions, width_factor);
+    act.fgstpPartitioning = fgstp_part;
+    act.fusionSteering = fusion_steer;
+    act.linkTransfers = transfers;
+    return power::estimateEnergy(act);
+}
+
+void
+report(const char *label, double speedup,
+       const power::EnergyBreakdown &e, double base_edp)
+{
+    std::printf("%-12s speedup=%.3f  epi=%.2fnJ "
+                "(fe %.0f%% be %.0f%% mem %.0f%% couple %.0f%% "
+                "leak %.0f%%)  EDP=%.3fx\n",
+                label, speedup, e.epi,
+                100 * e.frontend / e.total(),
+                100 * e.backend / e.total(),
+                100 * e.memory / e.total(),
+                100 * e.coupling / e.total(),
+                100 * e.leakage / e.total(), e.edp / base_edp);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "h264ref";
+    const std::uint64_t insts = 50000;
+    const auto p = sim::mediumPreset();
+    const auto prof = workload::profileByName(bench);
+
+    std::printf("energy study: %s, %lu instructions, medium design "
+                "point\n\n",
+                bench.c_str(), static_cast<unsigned long>(insts));
+
+    workload::SyntheticWorkload w1(prof, 1);
+    sim::SingleCoreMachine base(p.core, p.memory, w1);
+    const auto rb = base.run(insts);
+    const auto eb = energyOf(base, rb, 1.0, false, false, 0);
+    report("1-core", 1.0, eb, eb.edp);
+
+    workload::SyntheticWorkload w2(prof, 1);
+    sim::SingleCoreMachine big(sim::bigCoreConfig(), p.memory, w2,
+                               "big-core");
+    const auto rg = big.run(insts);
+    report("big-core", static_cast<double>(rb.cycles) / rg.cycles,
+           energyOf(big, rg, 2.0, false, false, 0), eb.edp);
+
+    workload::SyntheticWorkload w3(prof, 1);
+    fusion::FusedMachine fused(p.core, p.memory, w3, p.fusionOverheads);
+    const auto rf = fused.run(insts);
+    report("core-fusion", static_cast<double>(rb.cycles) / rf.cycles,
+           energyOf(fused, rf, 2.0, false, true, 0), eb.edp);
+
+    workload::SyntheticWorkload w4(prof, 1);
+    part::FgstpMachine stp(p.core, p.memory, p.fgstp(), w4);
+    const auto rs = stp.run(insts);
+    report("fg-stp", static_cast<double>(rb.cycles) / rs.cycles,
+           energyOf(stp, rs, 1.0, true, false,
+                    stp.fgstpStats().valueTransfers),
+           eb.edp);
+
+    std::printf("\nEDP below 1.0 means the speedup more than pays for "
+                "the extra energy.\n");
+    return 0;
+}

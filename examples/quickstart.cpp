@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: run one benchmark on the three machine models.
+ *
+ * Builds a synthetic SPEC2006-like workload, runs the single-core
+ * baseline, the Core Fusion comparator and Fg-STP on the medium CMP,
+ * and prints IPC and speedups.
+ *
+ *   ./quickstart [benchmark] [instructions]
+ *   ./quickstart gcc 100000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+using namespace fgstp;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "hmmer";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
+
+    const auto preset = sim::mediumPreset();
+    const auto profile = workload::profileByName(bench);
+    constexpr std::uint64_t seed = 1;
+
+    std::printf("benchmark: %s   instructions: %lu   preset: %s\n\n",
+                bench.c_str(), static_cast<unsigned long>(insts),
+                preset.name);
+
+    // 1. One conventional out-of-order core.
+    workload::SyntheticWorkload w_base(profile, seed);
+    sim::SingleCoreMachine baseline(preset.core, preset.memory, w_base);
+    const auto r_base = baseline.run(insts);
+    std::printf("%-12s ipc=%.3f  cycles=%lu\n", "1-core:",
+                r_base.ipc(), static_cast<unsigned long>(r_base.cycles));
+
+    // 2. Core Fusion: the two cores fused into one wide logical core.
+    workload::SyntheticWorkload w_fused(profile, seed);
+    fusion::FusedMachine fused(preset.core, preset.memory, w_fused,
+                               preset.fusionOverheads);
+    const auto r_fused = fused.run(insts);
+    std::printf("%-12s ipc=%.3f  cycles=%lu  speedup=%.3f\n",
+                "core-fusion:", r_fused.ipc(),
+                static_cast<unsigned long>(r_fused.cycles),
+                static_cast<double>(r_base.cycles) / r_fused.cycles);
+
+    // 3. Fg-STP: the thread partitioned across both cores at
+    //    instruction granularity.
+    workload::SyntheticWorkload w_stp(profile, seed);
+    part::FgstpMachine stp(preset.core, preset.memory, preset.fgstp(),
+                           w_stp);
+    const auto r_stp = stp.run(insts);
+    std::printf("%-12s ipc=%.3f  cycles=%lu  speedup=%.3f "
+                "(vs fusion: %.3f)\n",
+                "fg-stp:", r_stp.ipc(),
+                static_cast<unsigned long>(r_stp.cycles),
+                static_cast<double>(r_base.cycles) / r_stp.cycles,
+                static_cast<double>(r_fused.cycles) / r_stp.cycles);
+
+    const auto &ps = stp.partitionStats();
+    std::printf("\nfg-stp internals: %.1f%% of work on core 1, "
+                "%.1f%% of values cross the link, "
+                "%.1f%% of instructions replicated\n",
+                100.0 * ps.remoteFraction(), 100.0 * ps.commRate(),
+                100.0 * ps.replicationRate());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario: pipeline archaeology on a hand-written trace.
+ *
+ * Demonstrates the trace-level API: construct a dynamic instruction
+ * sequence directly (here: a store whose address resolves late,
+ * followed by loads that may or may not alias), replay it through a
+ * core, and watch the memory-dependence machinery work — forwarding,
+ * speculation, violation squashes and store-set learning.
+ */
+
+#include <cstdio>
+
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "trace/trace_source.hh"
+#include "workload/microbench.hh"
+
+using namespace fgstp;
+
+namespace
+{
+
+void
+replay(const char *label, std::vector<trace::DynInst> trace,
+       bool speculative_loads)
+{
+    auto preset = sim::mediumPreset();
+    preset.core.speculativeLoads = speculative_loads;
+
+    trace::VectorTraceSource src(std::move(trace));
+    sim::SingleCoreMachine m(preset.core, preset.memory, src);
+    const auto r = m.run(1'000'000'000);
+    const auto &cs = m.coreStats(0);
+
+    std::printf("%-28s ipc=%.3f  forwarded=%lu  speculative=%lu  "
+                "violations=%lu  squashes=%lu\n",
+                label, r.ipc(),
+                static_cast<unsigned long>(cs.loadsForwarded),
+                static_cast<unsigned long>(cs.loadsSpeculative),
+                static_cast<unsigned long>(cs.memOrderViolations),
+                static_cast<unsigned long>(cs.squashes));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("store/load interplay on one medium core "
+                "(4000 store-load pairs each)\n\n");
+
+    // Same-address pairs back to back: the LSQ forwards.
+    replay("forwarding pairs:",
+           workload::storeLoadForwardTrace(4000), true);
+
+    // Aliasing pairs with the store address resolving late: the first
+    // collision squashes, then the store set synchronizes the pair.
+    replay("aliasing, speculative:",
+           workload::memoryAliasTrace(4000, 6), true);
+
+    // The same trace with load speculation disabled: no violations,
+    // but every load waits for every older unresolved store.
+    replay("aliasing, conservative:",
+           workload::memoryAliasTrace(4000, 6), false);
+
+    // Disjoint addresses: speculation is pure win.
+    auto disjoint = workload::memoryAliasTrace(4000, 6);
+    for (auto &d : disjoint) {
+        if (d.isLoad())
+            d.effAddr += 0x1000000;
+    }
+    auto disjoint2 = disjoint;
+    replay("disjoint, speculative:", std::move(disjoint), true);
+    replay("disjoint, conservative:", std::move(disjoint2), false);
+
+    std::printf("\nthe gap between the last two lines is the price of "
+                "conservatism that Fg-STP's cross-core dependence\n"
+                "speculation avoids paying on two coupled cores.\n");
+    return 0;
+}

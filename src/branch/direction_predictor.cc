@@ -1,0 +1,173 @@
+#include "branch/direction_predictor.hh"
+
+#include "branch/perceptron.hh"
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace fgstp::branch
+{
+
+// ---- bimodal ---------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table(entries)
+{
+    sim_assert(isPowerOf2(entries), "bimodal table must be a power of 2");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & (table.size() - 1);
+}
+
+bool
+BimodalPredictor::lookup(Addr pc)
+{
+    return table[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    table[index(pc)].update(taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    table.assign(table.size(), Counter2{});
+}
+
+// ---- gshare ----------------------------------------------------------
+
+GsharePredictor::GsharePredictor(std::size_t entries, unsigned hist_bits)
+    : table(entries), histBits(hist_bits)
+{
+    sim_assert(isPowerOf2(entries), "gshare table must be a power of 2");
+    sim_assert(hist_bits <= 32, "gshare history too long");
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    const std::uint64_t hist = ghr & ((1ull << histBits) - 1);
+    return ((pc >> 2) ^ hist) & (table.size() - 1);
+}
+
+bool
+GsharePredictor::lookup(Addr pc)
+{
+    return table[index(pc)].taken();
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    table[index(pc)].update(taken);
+    ghr = (ghr << 1) | (taken ? 1 : 0);
+}
+
+void
+GsharePredictor::reset()
+{
+    table.assign(table.size(), Counter2{});
+    ghr = 0;
+}
+
+// ---- tournament ------------------------------------------------------
+
+TournamentPredictor::TournamentPredictor(std::size_t local_entries,
+                                         std::size_t global_entries,
+                                         unsigned hist_bits)
+    : localHist(local_entries, 0),
+      localPht(local_entries),
+      globalPht(global_entries),
+      chooser(global_entries),
+      histBits(hist_bits),
+      localHistBits(floorLog2(local_entries))
+{
+    sim_assert(isPowerOf2(local_entries) && isPowerOf2(global_entries),
+               "tournament tables must be powers of 2");
+}
+
+std::size_t
+TournamentPredictor::localIndex(Addr pc) const
+{
+    return (pc >> 2) & (localHist.size() - 1);
+}
+
+std::size_t
+TournamentPredictor::globalIndex(Addr pc) const
+{
+    const std::uint64_t hist = ghr & ((1ull << histBits) - 1);
+    return ((pc >> 2) ^ hist) & (globalPht.size() - 1);
+}
+
+bool
+TournamentPredictor::lookup(Addr pc)
+{
+    const std::size_t li = localIndex(pc);
+    const std::size_t lp =
+        localHist[li] & (localPht.size() - 1);
+    const bool local_pred = localPht[lp].taken();
+    const bool global_pred = globalPht[globalIndex(pc)].taken();
+    const bool use_global = chooser[globalIndex(pc)].taken();
+    return use_global ? global_pred : local_pred;
+}
+
+void
+TournamentPredictor::update(Addr pc, bool taken)
+{
+    const std::size_t li = localIndex(pc);
+    const std::size_t lp = localHist[li] & (localPht.size() - 1);
+    const bool local_pred = localPht[lp].taken();
+    const std::size_t gi = globalIndex(pc);
+    const bool global_pred = globalPht[gi].taken();
+
+    // Train the chooser toward whichever component was right (when
+    // they disagree).
+    if (local_pred != global_pred)
+        chooser[gi].update(global_pred == taken);
+
+    localPht[lp].update(taken);
+    globalPht[gi].update(taken);
+
+    localHist[li] = static_cast<std::uint16_t>(
+        ((localHist[li] << 1) | (taken ? 1 : 0)) &
+        ((1u << localHistBits) - 1));
+    ghr = (ghr << 1) | (taken ? 1 : 0);
+}
+
+void
+TournamentPredictor::reset()
+{
+    localHist.assign(localHist.size(), 0);
+    localPht.assign(localPht.size(), Counter2{});
+    globalPht.assign(globalPht.size(), Counter2{});
+    chooser.assign(chooser.size(), Counter2{});
+    ghr = 0;
+}
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &kind, std::size_t entries,
+                       unsigned hist_bits)
+{
+    if (kind == "bimodal")
+        return std::make_unique<BimodalPredictor>(entries);
+    if (kind == "gshare")
+        return std::make_unique<GsharePredictor>(entries, hist_bits);
+    if (kind == "tournament")
+        return std::make_unique<TournamentPredictor>(entries, entries,
+                                                     hist_bits);
+    if (kind == "perceptron") {
+        // Perceptrons pay per-entry weight storage: scale the entry
+        // count down so the storage budget stays comparable.
+        return std::make_unique<PerceptronPredictor>(
+            std::max<std::size_t>(64, entries / 16), hist_bits);
+    }
+    fatal("unknown direction predictor kind '", kind, "'");
+}
+
+} // namespace fgstp::branch

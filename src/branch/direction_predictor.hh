@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Conditional-branch direction predictors.
+ *
+ * The timing models consume predictions through the BranchPredictor
+ * front end (branch/predictor.hh); these classes are the underlying
+ * direction engines. All tables use saturating 2-bit counters.
+ */
+
+#ifndef FGSTP_BRANCH_DIRECTION_PREDICTOR_HH
+#define FGSTP_BRANCH_DIRECTION_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fgstp::branch
+{
+
+/** A saturating 2-bit counter. */
+class Counter2
+{
+  public:
+    bool taken() const { return value >= 2; }
+
+    void
+    update(bool t)
+    {
+        if (t && value < 3)
+            ++value;
+        else if (!t && value > 0)
+            --value;
+    }
+
+    void bias(bool t) { value = t ? 2 : 1; }
+
+  private:
+    std::uint8_t value = 1; // weakly not-taken
+};
+
+/** Abstract direction predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predicted direction for the branch at pc. */
+    virtual bool lookup(Addr pc) = 0;
+
+    /** Trains with the actual outcome and advances history. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    virtual void reset() = 0;
+};
+
+/** PC-indexed 2-bit counter table. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries);
+
+    bool lookup(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<Counter2> table;
+};
+
+/** Global-history-xor-PC indexed table (McFarling gshare). */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    GsharePredictor(std::size_t entries, unsigned hist_bits);
+
+    bool lookup(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<Counter2> table;
+    unsigned histBits;
+    std::uint64_t ghr = 0;
+};
+
+/**
+ * McFarling tournament predictor: per-PC local-history two-level
+ * predictor and a gshare-style global predictor arbitrated by a
+ * global-indexed chooser.
+ */
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param local_entries   local history table / local PHT size
+     * @param global_entries  global PHT and chooser size
+     * @param hist_bits       global history length
+     */
+    TournamentPredictor(std::size_t local_entries,
+                        std::size_t global_entries, unsigned hist_bits);
+
+    bool lookup(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t localIndex(Addr pc) const;
+    std::size_t globalIndex(Addr pc) const;
+
+    std::vector<std::uint16_t> localHist;
+    std::vector<Counter2> localPht;
+    std::vector<Counter2> globalPht;
+    std::vector<Counter2> chooser;
+    unsigned histBits;
+    unsigned localHistBits;
+    std::uint64_t ghr = 0;
+};
+
+/** Factory for the predictor kinds the configs name. */
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &kind, std::size_t entries,
+                       unsigned hist_bits);
+
+} // namespace fgstp::branch
+
+#endif // FGSTP_BRANCH_DIRECTION_PREDICTOR_HH

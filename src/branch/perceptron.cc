@@ -1,0 +1,84 @@
+#include "branch/perceptron.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace fgstp::branch
+{
+
+PerceptronPredictor::PerceptronPredictor(std::size_t entries,
+                                         unsigned hist_bits)
+    : weights(entries * (hist_bits + 1), 0),
+      histBits(hist_bits),
+      // The classic training threshold: 1.93 * h + 14.
+      threshold(static_cast<std::int32_t>(1.93 * hist_bits + 14))
+{
+    sim_assert(isPowerOf2(entries),
+               "perceptron table must be a power of 2");
+    sim_assert(hist_bits >= 1 && hist_bits <= 63,
+               "perceptron history out of range");
+}
+
+std::size_t
+PerceptronPredictor::index(Addr pc) const
+{
+    const std::size_t entries = weights.size() / (histBits + 1);
+    return ((pc >> 2) & (entries - 1)) * (histBits + 1);
+}
+
+std::int32_t
+PerceptronPredictor::dot(std::size_t idx) const
+{
+    std::int32_t sum = weights[idx]; // bias weight
+    for (unsigned i = 0; i < histBits; ++i) {
+        const bool h = (ghr >> i) & 1ull;
+        sum += h ? weights[idx + 1 + i] : -weights[idx + 1 + i];
+    }
+    return sum;
+}
+
+bool
+PerceptronPredictor::lookup(Addr pc)
+{
+    return dot(index(pc)) >= 0;
+}
+
+void
+PerceptronPredictor::update(Addr pc, bool taken)
+{
+    const std::size_t idx = index(pc);
+    const std::int32_t sum = dot(idx);
+    const bool predicted = sum >= 0;
+
+    if (predicted != taken || std::abs(sum) <= threshold) {
+        const std::int16_t t = taken ? 1 : -1;
+        auto bump = [](std::int16_t &w, std::int16_t delta) {
+            const std::int32_t next = w + delta;
+            if (next > 127)
+                w = 127;
+            else if (next < -128)
+                w = -128;
+            else
+                w = static_cast<std::int16_t>(next);
+        };
+        bump(weights[idx], t);
+        for (unsigned i = 0; i < histBits; ++i) {
+            const bool h = (ghr >> i) & 1ull;
+            bump(weights[idx + 1 + i],
+                 static_cast<std::int16_t>(h == taken ? 1 : -1));
+        }
+    }
+
+    ghr = (ghr << 1) | (taken ? 1ull : 0ull);
+}
+
+void
+PerceptronPredictor::reset()
+{
+    std::fill(weights.begin(), weights.end(), 0);
+    ghr = 0;
+}
+
+} // namespace fgstp::branch

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Perceptron branch predictor (Jimenez & Lin style).
+ *
+ * Each PC-indexed entry holds a weight vector over the global history;
+ * the prediction is the sign of the dot product plus bias. Trains on
+ * mispredictions and on low-confidence correct predictions. Captures
+ * long linear correlations that two-bit-counter tables cannot.
+ */
+
+#ifndef FGSTP_BRANCH_PERCEPTRON_HH
+#define FGSTP_BRANCH_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/direction_predictor.hh"
+
+namespace fgstp::branch
+{
+
+class PerceptronPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries    number of perceptrons (power of two)
+     * @param hist_bits  global history length / weights per entry
+     */
+    PerceptronPredictor(std::size_t entries, unsigned hist_bits);
+
+    bool lookup(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::int32_t dot(std::size_t idx) const;
+
+    std::vector<std::int16_t> weights; ///< entries x (histBits + 1)
+    unsigned histBits;
+    std::int32_t threshold;
+    std::uint64_t ghr = 0;
+};
+
+} // namespace fgstp::branch
+
+#endif // FGSTP_BRANCH_PERCEPTRON_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The front-end branch predictor: direction engine + BTB + RAS.
+ *
+ * Trace-driven convention: predict() is called once per control
+ * instruction in fetch order with the *actual* outcome in hand, and
+ * returns whether the front end would have followed the correct path.
+ * Tables and histories are trained immediately — the standard
+ * trace-driven simplification, since fetch stalls on a misprediction
+ * until the branch resolves, by which time the history repair would
+ * have happened anyway.
+ */
+
+#ifndef FGSTP_BRANCH_PREDICTOR_HH
+#define FGSTP_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "branch/direction_predictor.hh"
+#include "common/types.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::branch
+{
+
+/** Branch target buffer with tags (direct-mapped). */
+class Btb
+{
+  public:
+    explicit Btb(std::size_t entries);
+
+    std::optional<Addr> lookup(Addr pc) const;
+    void update(Addr pc, Addr target);
+    void reset();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+    };
+
+    std::size_t index(Addr pc) const;
+    std::vector<Entry> table;
+};
+
+/** Return address stack. */
+class Ras
+{
+  public:
+    explicit Ras(std::size_t entries) : stack(entries), capacity(entries)
+    {
+    }
+
+    void push(Addr ret_addr);
+    std::optional<Addr> pop();
+    void reset();
+
+  private:
+    std::vector<Addr> stack;
+    std::size_t capacity;
+    std::size_t top = 0;
+    std::size_t depth = 0;
+};
+
+/** Configuration of a full front-end predictor. */
+struct PredictorConfig
+{
+    std::string kind = "tournament";
+    std::size_t tableEntries = 16384;
+    unsigned historyBits = 12;
+    std::size_t btbEntries = 4096;
+    std::size_t rasEntries = 16;
+};
+
+/** Result of one prediction. */
+struct Prediction
+{
+    bool correct = true;       ///< front end follows the right path
+    bool dirMispredict = false;///< conditional direction was wrong
+    bool tgtMispredict = false;///< target (BTB/RAS) was wrong
+};
+
+/** Aggregated predictor statistics. */
+struct PredictorStats
+{
+    std::uint64_t condLookups = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t indirectLookups = 0;
+    std::uint64_t indirectMispredicts = 0;
+    std::uint64_t returnLookups = 0;
+    std::uint64_t returnMispredicts = 0;
+
+    std::uint64_t
+    totalMispredicts() const
+    {
+        return condMispredicts + indirectMispredicts + returnMispredicts;
+    }
+};
+
+/** The composite front-end predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const PredictorConfig &cfg);
+
+    /**
+     * Predicts the control instruction and trains with the actual
+     * outcome it carries. Non-control instructions are rejected.
+     */
+    Prediction predict(const trace::DynInst &inst);
+
+    const PredictorStats &stats() const { return _stats; }
+    void reset();
+
+    /** Zeroes the counters; tables and histories keep their state. */
+    void resetStats() { _stats = PredictorStats{}; }
+
+  private:
+    std::unique_ptr<DirectionPredictor> dir;
+    Btb btb;
+    Ras ras;
+    PredictorStats _stats;
+};
+
+} // namespace fgstp::branch
+
+#endif // FGSTP_BRANCH_PREDICTOR_HH

@@ -1,0 +1,51 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdint>
+
+namespace fgstp
+{
+
+namespace
+{
+std::atomic<std::uint64_t> numWarnings{0};
+} // namespace
+
+std::uint64_t
+warnCount()
+{
+    return numWarnings.load();
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    numWarnings.fetch_add(1);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace fgstp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in this
+ *            code base). Prints and aborts so a core dump is available.
+ * fatal()  - the simulation cannot continue because of user input (bad
+ *            configuration, impossible parameter combination). Prints and
+ *            exits with status 1.
+ * warn()   - something is modeled approximately; results are still usable.
+ * inform() - plain status output.
+ */
+
+#ifndef FGSTP_COMMON_LOGGING_HH
+#define FGSTP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace fgstp
+{
+
+namespace detail
+{
+
+/** Renders a pack of arguments through an ostringstream. */
+template <typename... Args>
+std::string
+concatToString(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Number of warn() calls issued so far (exposed for tests). */
+std::uint64_t warnCount();
+
+#define panic(...) \
+    ::fgstp::detail::panicImpl(__FILE__, __LINE__, \
+        ::fgstp::detail::concatToString(__VA_ARGS__))
+
+#define fatal(...) \
+    ::fgstp::detail::fatalImpl(__FILE__, __LINE__, \
+        ::fgstp::detail::concatToString(__VA_ARGS__))
+
+#define warn(...) \
+    ::fgstp::detail::warnImpl(::fgstp::detail::concatToString(__VA_ARGS__))
+
+#define inform(...) \
+    ::fgstp::detail::informImpl(::fgstp::detail::concatToString(__VA_ARGS__))
+
+/**
+ * Invariant check that survives in release builds. Use for conditions
+ * that protect the integrity of simulation results.
+ */
+#define sim_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::fgstp::detail::panicImpl(__FILE__, __LINE__, \
+                ::fgstp::detail::concatToString("assertion '", #cond, \
+                    "' failed: ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_LOGGING_HH

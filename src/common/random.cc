@@ -1,0 +1,56 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+namespace fgstp
+{
+
+namespace
+{
+
+double
+harmonicApprox(double x, double s)
+{
+    // Integral of t^-s from 1 to x, the continuous stand-in for the
+    // generalized harmonic number.
+    if (s == 1.0)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double
+harmonicApproxInv(double y, double s)
+{
+    if (s == 1.0)
+        return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+} // namespace
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    sim_assert(n > 0, "zipf needs a nonempty domain");
+    if (n == 1)
+        return 0;
+    sim_assert(s > 0.0, "zipf skew must be positive");
+
+    // Inversion over the continuous envelope of the Zipf pmf. The head
+    // probabilities come out within a few percent of the exact discrete
+    // distribution, which is more than enough fidelity for synthetic
+    // address and branch-target streams.
+    const double lo = harmonicApprox(0.5, s);
+    const double hi = harmonicApprox(static_cast<double>(n) + 0.5, s);
+    const double u = lo + uniform() * (hi - lo);
+    const double x = harmonicApproxInv(u, s);
+
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1)
+        k = 1;
+    if (k > n)
+        k = n;
+    return k - 1;
+}
+
+} // namespace fgstp

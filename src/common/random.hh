@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic pseudo random number generation.
+ *
+ * Every stochastic decision in the simulator (synthetic workload
+ * generation, replacement tie breaking, ...) draws from an explicitly
+ * seeded Rng so that a run is exactly reproducible from its seed. The
+ * generator is xoshiro256** seeded through splitmix64, which has good
+ * statistical quality and is cheap enough to sit on the trace-generation
+ * fast path.
+ */
+
+#ifndef FGSTP_COMMON_RANDOM_HH
+#define FGSTP_COMMON_RANDOM_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fgstp
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initializes the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        sim_assert(bound > 0, "Rng::below needs a positive bound");
+        // Lemire-style rejection-free multiply-shift; the tiny modulo
+        // bias is irrelevant for workload synthesis.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in the closed interval [lo, hi]. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        sim_assert(lo <= hi, "Rng::between needs lo <= hi");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Geometric draw with success probability p; returns >= 1. */
+    std::uint64_t
+    geometric(double p)
+    {
+        sim_assert(p > 0.0 && p <= 1.0, "geometric p out of range");
+        if (p >= 1.0)
+            return 1;
+        double u = uniform();
+        // Avoid log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return 1 + static_cast<std::uint64_t>(
+            std::log(u) / std::log(1.0 - p));
+    }
+
+    /** Picks an index according to a discrete weight vector. */
+    std::size_t
+    weighted(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        sim_assert(total > 0.0, "weighted pick needs positive mass");
+        double x = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            x -= weights[i];
+            if (x < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /**
+     * Zipf-distributed index in [0, n). The skew parameter s in (0, 2]
+     * trades between uniform (s -> 0) and heavily head-weighted draws.
+     * Uses the rejection-inversion method of Hormann and Derflinger.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s);
+
+    /** Derives an independent child generator (for per-module streams). */
+    Rng
+    fork()
+    {
+        return Rng(next());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::array<std::uint64_t, 4> state;
+};
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_RANDOM_HH

@@ -1,0 +1,147 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace fgstp::stats
+{
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.registerStat(this);
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc, double lo, double hi,
+                           std::size_t num_buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      lo(lo), hi(hi),
+      width((hi - lo) / static_cast<double>(num_buckets)),
+      buckets(num_buckets, 0)
+{
+    sim_assert(hi > lo, "distribution range must be nonempty");
+    sim_assert(num_buckets > 0, "distribution needs at least one bucket");
+}
+
+void
+Distribution::sample(double v)
+{
+    if (n == 0) {
+        minV = v;
+        maxV = v;
+    } else {
+        minV = std::min(minV, v);
+        maxV = std::max(maxV, v);
+    }
+    ++n;
+    sum += v;
+    squares += v * v;
+
+    if (v < lo) {
+        ++underflow;
+    } else if (v >= hi) {
+        ++overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        if (idx >= buckets.size())
+            idx = buckets.size() - 1;
+        ++buckets[idx];
+    }
+}
+
+double
+Distribution::stdev() const
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    const double var = squares / n - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    underflow = 0;
+    overflow = 0;
+    n = 0;
+    sum = 0.0;
+    squares = 0.0;
+    minV = 0.0;
+    maxV = 0.0;
+}
+
+void
+Distribution::printExtra(std::ostream &os) const
+{
+    os << "    samples=" << n << " min=" << minV << " max=" << maxV
+       << " stdev=" << stdev() << "\n";
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        os << "    [" << lo + width * i << ", " << lo + width * (i + 1)
+           << "): " << buckets[i] << "\n";
+    }
+    if (underflow)
+        os << "    underflows: " << underflow << "\n";
+    if (overflow)
+        os << "    overflows: " << overflow << "\n";
+}
+
+void
+StatGroup::registerStat(StatBase *stat)
+{
+    sim_assert(find(stat->name()) == nullptr,
+               "duplicate stat name '", stat->name(), "' in group '",
+               _name, "'");
+    stat_list.push_back(stat);
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto *s : stat_list) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    const StatBase *s = find(name);
+    if (!s)
+        panic("no stat named '", name, "' in group '", _name, "'");
+    return s->value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : stat_list)
+        s->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---------- " << _name << " ----------\n";
+    for (const auto *s : stat_list) {
+        os << std::left << std::setw(40) << s->name() << " "
+           << std::right << std::setw(16) << std::setprecision(6)
+           << std::fixed << s->value() << "   # " << s->desc() << "\n";
+        s->printExtra(os);
+    }
+}
+
+void
+StatGroup::dumpCsv(std::ostream &os) const
+{
+    for (const auto *s : stat_list)
+        os << _name << "." << s->name() << "," << s->value() << "\n";
+}
+
+} // namespace fgstp::stats

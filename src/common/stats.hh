@@ -1,0 +1,224 @@
+/**
+ * @file
+ * A compact statistics package modeled on the gem5 stats framework.
+ *
+ * Stats register themselves with a StatGroup on construction; a group
+ * owns a flat namespace of named stats and can render them as an
+ * aligned text report or as CSV. Supported kinds:
+ *
+ *  - Scalar       a counter or gauge
+ *  - Average      running mean of sampled values
+ *  - Distribution bucketed distribution with min/max/mean/stdev
+ *  - Formula      a value derived from other stats at dump time
+ */
+
+#ifndef FGSTP_COMMON_STATS_HH
+#define FGSTP_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fgstp::stats
+{
+
+class StatGroup;
+
+/** Base class carrying name / description and group registration. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Current primary value of the stat (what a report prints). */
+    virtual double value() const = 0;
+
+    /** Resets the stat to its freshly-constructed state. */
+    virtual void reset() = 0;
+
+    /** Extra report lines beyond the primary value (distributions). */
+    virtual void
+    printExtra(std::ostream &) const
+    {
+    }
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A plain 64-bit counter with a double-precision view. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &
+    operator++()
+    {
+        ++count;
+        return *this;
+    }
+
+    Scalar &
+    operator+=(std::uint64_t n)
+    {
+        count += n;
+        return *this;
+    }
+
+    void set(std::uint64_t n) { count = n; }
+    std::uint64_t raw() const { return count; }
+
+    double value() const override { return static_cast<double>(count); }
+    void reset() override { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Running mean of sampled values. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    std::uint64_t samples() const { return n; }
+
+    double
+    value() const override
+    {
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+
+    void
+    reset() override
+    {
+        sum = 0.0;
+        n = 0;
+    }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+};
+
+/** Bucketed distribution over [min, max) with fixed bucket width. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup &group, std::string name, std::string desc,
+                 double lo, double hi, std::size_t num_buckets);
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return n; }
+    double mean() const { return n ? sum / n : 0.0; }
+    double stdev() const;
+    double minSample() const { return minV; }
+    double maxSample() const { return maxV; }
+    std::uint64_t bucketCount(std::size_t i) const { return buckets.at(i); }
+    std::uint64_t underflows() const { return underflow; }
+    std::uint64_t overflows() const { return overflow; }
+
+    double value() const override { return mean(); }
+    void reset() override;
+    void printExtra(std::ostream &os) const override;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double squares = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+};
+
+/** Value computed from other stats when the report is produced. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup &group, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(group, std::move(name), std::move(desc)),
+          fn(std::move(fn))
+    {
+    }
+
+    double
+    value() const override
+    {
+        return fn ? fn() : 0.0;
+    }
+
+    void
+    reset() override
+    {
+    }
+
+  private:
+    std::function<double()> fn;
+};
+
+/**
+ * A named collection of stats. Groups nest by name prefix only; the
+ * object graph stays flat, which keeps registration trivial.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    void registerStat(StatBase *stat);
+
+    /** All stats in registration order. */
+    const std::vector<StatBase *> &statList() const { return stat_list; }
+
+    /** Finds a stat by exact name; nullptr when absent. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Value of a named stat; panics when the stat does not exist. */
+    double get(const std::string &name) const;
+
+    void resetAll();
+
+    /** Aligned human-readable report. */
+    void dump(std::ostream &os) const;
+
+    /** name,value CSV (one line per stat). */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> stat_list;
+};
+
+} // namespace fgstp::stats
+
+#endif // FGSTP_COMMON_STATS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef FGSTP_COMMON_TYPES_HH
+#define FGSTP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fgstp
+{
+
+/** A simulation cycle count. All timing is expressed in core cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated (synthetic) address space. */
+using Addr = std::uint64_t;
+
+/**
+ * A global dynamic instruction sequence number. Sequence numbers are
+ * assigned in program order by the front end and are never reused, so
+ * comparing two of them orders the instructions in the logical thread
+ * even when they execute on different cores.
+ */
+using InstSeqNum = std::uint64_t;
+
+/** Sentinel value meaning "no instruction". */
+inline constexpr InstSeqNum invalidSeqNum =
+    std::numeric_limits<InstSeqNum>::max();
+
+/** Sentinel cycle meaning "never" / "not yet scheduled". */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Identifier of a physical core inside the CMP (0 or 1 in this study). */
+using CoreId = std::uint8_t;
+
+inline constexpr CoreId invalidCoreId = 0xff;
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_TYPES_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules.
+ */
+
+#ifndef FGSTP_COMMON_UTIL_HH
+#define FGSTP_COMMON_UTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fgstp
+{
+
+/** True when x is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned l = 0;
+    while (x >>= 1)
+        ++l;
+    return l;
+}
+
+/** Geometric mean of a set of strictly positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    sim_assert(!values.empty(), "geomean of an empty set");
+    double acc = 0.0;
+    for (double v : values) {
+        sim_assert(v > 0.0, "geomean needs positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &values)
+{
+    sim_assert(!values.empty(), "mean of an empty set");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_UTIL_HH

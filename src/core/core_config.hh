@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Configuration of one out-of-order core (or fused/clustered core).
+ */
+
+#ifndef FGSTP_CORE_CORE_CONFIG_HH
+#define FGSTP_CORE_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "branch/predictor.hh"
+#include "core/fu_pool.hh"
+#include "isa/latency.hh"
+
+namespace fgstp::core
+{
+
+struct CoreConfig
+{
+    std::string name = "core";
+
+    // Widths.
+    std::uint32_t fetchWidth = 4;
+    std::uint32_t decodeWidth = 4;
+    std::uint32_t issueWidth = 4;
+    std::uint32_t commitWidth = 4;
+
+    // Window structures.
+    std::uint32_t robSize = 128;
+    std::uint32_t iqSize = 48;
+    std::uint32_t lqSize = 48;
+    std::uint32_t sqSize = 32;
+    std::uint32_t fetchQueueSize = 24;
+
+    /**
+     * Fetch-to-dispatch depth in cycles; also the redirect penalty
+     * paid after a branch misprediction resolves.
+     */
+    std::uint32_t frontendDepth = 6;
+
+    /**
+     * Back-end clusters. A conventional core has one cluster; a Core
+     * Fusion composition of two cores is modeled as two clusters with
+     * a cross-cluster bypass delay.
+     */
+    std::uint32_t numClusters = 1;
+    std::uint32_t clusterIssueWidth = 4; ///< per-cluster issue limit
+    std::uint32_t interClusterDelay = 1; ///< extra bypass cycles
+
+    FuPoolConfig fuPerCluster;
+
+    isa::LatencyTable latencies;
+    branch::PredictorConfig predictor;
+
+    /** Loads may issue past older stores with unresolved addresses. */
+    bool speculativeLoads = true;
+
+    /** Entries in the local store-set dependence predictor. */
+    std::uint32_t storeSetSize = 2048;
+
+    /** Extra cycles on every load's LSQ access (distributed LSQs). */
+    std::uint32_t lsqExtraLatency = 0;
+
+    /**
+     * Collective-fetch realignment: lose one fetch cycle after every
+     * taken branch. Models the fetch-management unit of a fused core
+     * re-aligning the two cores' fetch groups on a redirect.
+     */
+    bool takenBranchBubble = false;
+};
+
+} // namespace fgstp::core
+
+#endif // FGSTP_CORE_CORE_CONFIG_HH

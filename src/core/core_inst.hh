@@ -1,0 +1,80 @@
+/**
+ * @file
+ * In-flight instruction state inside an OoOCore.
+ */
+
+#ifndef FGSTP_CORE_CORE_INST_HH
+#define FGSTP_CORE_CORE_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::core
+{
+
+struct CoreInst
+{
+    enum class State : std::uint8_t
+    {
+        Dispatched, ///< in ROB/IQ, waiting for operands or resources
+        Issued,     ///< executing; doneCycle is known
+        Done        ///< result produced
+    };
+
+    InstSeqNum seq = invalidSeqNum;
+    trace::DynInst inst;
+
+    State state = State::Dispatched;
+    std::uint8_t cluster = 0;
+
+    /** Producers (local or external) whose timing is not yet known. */
+    std::uint32_t unknownDeps = 0;
+
+    /** Earliest cycle all currently-known operands are available. */
+    Cycle readyCycle = 0;
+
+    /** Local consumers to wake when this instruction issues. */
+    std::vector<InstSeqNum> waiters;
+
+    Cycle dispatchCycle = neverCycle;
+    Cycle issueCycle = neverCycle;
+    Cycle doneCycle = neverCycle;
+
+    /** The front end mispredicted this control instruction. */
+    bool fetchMispredicted = false;
+
+    // ---- memory-op state ---------------------------------------------
+    bool addrKnown = false;
+
+    /** Load issued while older store addresses were still unknown. */
+    bool speculativeLoad = false;
+
+    /** Store this load's value was forwarded from, if any. */
+    InstSeqNum forwardedFrom = invalidSeqNum;
+
+    /** This instruction's result must be sent over the operand link. */
+    bool sendRemote = false;
+
+    bool isLoad() const { return inst.isLoad(); }
+    bool isStore() const { return inst.isStore(); }
+    bool issued() const { return state != State::Dispatched; }
+    bool done() const { return state == State::Done; }
+
+    /** [addr, addr+size) overlap test against another memory op. */
+    bool
+    overlaps(const CoreInst &other) const
+    {
+        const Addr a0 = inst.effAddr;
+        const Addr a1 = a0 + inst.memSize;
+        const Addr b0 = other.inst.effAddr;
+        const Addr b1 = b0 + other.inst.memSize;
+        return a0 < b1 && b0 < a1;
+    }
+};
+
+} // namespace fgstp::core
+
+#endif // FGSTP_CORE_CORE_INST_HH

@@ -1,0 +1,61 @@
+#include "core/fu_pool.hh"
+
+#include "common/logging.hh"
+
+namespace fgstp::core
+{
+
+FuPool::FuPool(const FuPoolConfig &cfg, const isa::LatencyTable &lat)
+    : lat(lat),
+      aluFree(cfg.intAlu, 0),
+      mulFree(cfg.intMulDiv, 0),
+      fpFree(cfg.fp, 0),
+      memFree(cfg.memPorts, 0)
+{
+    sim_assert(cfg.intAlu > 0 && cfg.memPorts > 0,
+               "cluster needs ALUs and memory ports");
+}
+
+std::vector<Cycle> &
+FuPool::groupFor(isa::OpClass op)
+{
+    using isa::OpClass;
+    switch (op) {
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return mulFree;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+        return fpFree;
+      case OpClass::Load:
+      case OpClass::Store:
+        return memFree;
+      default:
+        return aluFree;
+    }
+}
+
+bool
+FuPool::tryIssue(isa::OpClass op, Cycle now)
+{
+    auto &group = groupFor(op);
+    for (Cycle &free_at : group) {
+        if (free_at <= now) {
+            free_at = isa::isUnpipelined(op) ? now + lat.get(op) : now + 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FuPool::reset()
+{
+    for (auto *g : {&aluFree, &mulFree, &fpFree, &memFree}) {
+        for (Cycle &c : *g)
+            c = 0;
+    }
+}
+
+} // namespace fgstp::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Functional-unit pools.
+ *
+ * One pool per cluster. Units are grouped into four classes: integer
+ * ALUs (also executing control ops), an integer multiply/divide unit
+ * group, FP units and memory ports. Pipelined ops occupy a unit for
+ * one cycle; divides occupy theirs for the full latency.
+ */
+
+#ifndef FGSTP_CORE_FU_POOL_HH
+#define FGSTP_CORE_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/latency.hh"
+#include "isa/op_class.hh"
+
+namespace fgstp::core
+{
+
+/** Unit counts for one cluster. */
+struct FuPoolConfig
+{
+    std::uint32_t intAlu = 3;
+    std::uint32_t intMulDiv = 1;
+    std::uint32_t fp = 2;
+    std::uint32_t memPorts = 2;
+};
+
+class FuPool
+{
+  public:
+    FuPool(const FuPoolConfig &cfg, const isa::LatencyTable &lat);
+
+    /**
+     * Tries to claim a unit for `op` at cycle `now`.
+     * @retval true a unit was claimed (and is now busy).
+     */
+    bool tryIssue(isa::OpClass op, Cycle now);
+
+    void reset();
+
+  private:
+    std::vector<Cycle> &groupFor(isa::OpClass op);
+
+    const isa::LatencyTable &lat;
+    std::vector<Cycle> aluFree;
+    std::vector<Cycle> mulFree;
+    std::vector<Cycle> fpFree;
+    std::vector<Cycle> memFree;
+};
+
+} // namespace fgstp::core
+
+#endif // FGSTP_CORE_FU_POOL_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The machine-side interface an OoOCore is driven through.
+ *
+ * A machine model (single core, Core Fusion, Fg-STP) owns one or two
+ * cores and supplies each with its instruction stream, external
+ * operand timing, and commit gating through this interface. The core
+ * reports execution events back through it; the machine uses those to
+ * move values over the operand link, order global commit and detect
+ * cross-core memory-order violations.
+ */
+
+#ifndef FGSTP_CORE_HOOKS_HH
+#define FGSTP_CORE_HOOKS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/core_inst.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::branch
+{
+class BranchPredictor;
+} // namespace fgstp::branch
+
+namespace fgstp::core
+{
+
+/** An instruction handed to a core's fetch stage. */
+struct FetchedInst
+{
+    InstSeqNum seq = invalidSeqNum;
+    trace::DynInst inst;
+
+    /** The result must be broadcast over the link after execution. */
+    bool sendRemote = false;
+};
+
+/** External (cross-core) dependence summary for one instruction. */
+struct ExtDepInfo
+{
+    /** Producers whose arrival cycle is not yet known. */
+    std::uint32_t unknownCount = 0;
+
+    /** Latest already-known arrival cycle (0 when none). */
+    Cycle knownReadyCycle = 0;
+};
+
+class CoreHooks
+{
+  public:
+    virtual ~CoreHooks() = default;
+
+    // ---- fetch --------------------------------------------------------
+
+    /** Next instruction assigned to this core, or nullptr to stall. */
+    virtual const FetchedInst *fetchPeek() = 0;
+
+    /** Consumes the instruction last returned by fetchPeek(). */
+    virtual void fetchConsume() = 0;
+
+    /** Repositions the stream at the first assigned seq >= seq. */
+    virtual void fetchRewind(InstSeqNum seq) = 0;
+
+    /**
+     * Machine-owned branch predictor to use instead of the core's
+     * private one, or nullptr. Fg-STP's fetch-orchestration hardware
+     * sequences the single logical thread, so it predicts with a view
+     * of the full branch stream even though each branch is fetched by
+     * only one core.
+     */
+    virtual branch::BranchPredictor *
+    sharedPredictor()
+    {
+        return nullptr;
+    }
+
+    // ---- cross-core dependences ----------------------------------------
+
+    /**
+     * External operands of an instruction dispatched at cycle `now`.
+     * For each of the `unknownCount` producers the machine must
+     * eventually call OoOCore::satisfyExternal(seq, arrival).
+     */
+    virtual ExtDepInfo
+    externalDeps(InstSeqNum seq, Cycle now)
+    {
+        (void)seq;
+        (void)now;
+        return {};
+    }
+
+    // ---- commit ---------------------------------------------------------
+
+    /** May the instruction at the ROB head commit this cycle? */
+    virtual bool
+    canCommit(InstSeqNum seq, Cycle now)
+    {
+        (void)seq;
+        (void)now;
+        return true;
+    }
+
+    // ---- notifications --------------------------------------------------
+
+    /** Result timing known (instruction issued; doneCycle set). */
+    virtual void
+    onExecuted(const CoreInst &inst, Cycle now)
+    {
+        (void)inst;
+        (void)now;
+    }
+
+    /** A store's address became known (for cross-core alias checks). */
+    virtual void
+    onStoreResolved(const CoreInst &store, Cycle now)
+    {
+        (void)store;
+        (void)now;
+    }
+
+    /** Instruction committed. */
+    virtual void
+    onCommitted(const CoreInst &inst, Cycle now)
+    {
+        (void)inst;
+        (void)now;
+    }
+
+    /** Fetch hit a mispredicted control instruction. */
+    virtual void
+    onMispredictFetched(InstSeqNum seq)
+    {
+        (void)seq;
+    }
+
+    /** That control instruction resolved. */
+    virtual void
+    onMispredictResolved(InstSeqNum seq, Cycle now)
+    {
+        (void)seq;
+        (void)now;
+    }
+
+    /**
+     * The core detected a memory-order violation at `seq` and wants a
+     * (machine-wide) squash from that sequence number. The machine
+     * must call OoOCore::squashFrom on every core it owns — squashes
+     * are global because the cores execute one logical thread.
+     */
+    virtual void requestSquash(InstSeqNum seq) = 0;
+};
+
+} // namespace fgstp::core
+
+#endif // FGSTP_CORE_HOOKS_HH

@@ -1,0 +1,614 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fgstp::core
+{
+
+OoOCore::OoOCore(const CoreConfig &cfg, CoreId id,
+                 mem::MemoryHierarchy &mem, CoreHooks &hooks)
+    : cfg(cfg), coreId(id), memory(mem), hooks(hooks),
+      predictor(cfg.predictor),
+      storeSet(cfg.storeSetSize)
+{
+    sim_assert(cfg.numClusters >= 1, "core needs at least one cluster");
+
+    // The fetch queue stands in for the front-end pipeline registers:
+    // it must hold at least frontendDepth cycles of fetch bandwidth or
+    // the model would throttle dispatch below fetchWidth artificially.
+    const std::uint32_t min_fq =
+        (this->cfg.frontendDepth + 1) * this->cfg.fetchWidth;
+    this->cfg.fetchQueueSize = std::max(this->cfg.fetchQueueSize, min_fq);
+
+    for (std::uint32_t c = 0; c < cfg.numClusters; ++c)
+        fuPools.emplace_back(cfg.fuPerCluster, this->cfg.latencies);
+}
+
+void
+OoOCore::tick(Cycle now)
+{
+    ++_stats.cycles;
+    commitsThisCycle = 0;
+    processCompletions(now);
+    commit(now);
+    issue(now);
+    dispatch(now);
+    fetch(now);
+}
+
+void
+OoOCore::drainCommit(Cycle now)
+{
+    commit(now);
+}
+
+CoreInst *
+OoOCore::find(InstSeqNum seq)
+{
+    auto it = index.find(seq);
+    return it == index.end() ? nullptr : it->second;
+}
+
+const CoreInst *
+OoOCore::find(InstSeqNum seq) const
+{
+    auto it = index.find(seq);
+    return it == index.end() ? nullptr : it->second;
+}
+
+Cycle
+OoOCore::bypassReady(const CoreInst &producer, const CoreInst &consumer)
+{
+    Cycle ready = producer.doneCycle;
+    if (producer.cluster != consumer.cluster) {
+        ready += cfg.interClusterDelay;
+        ++_stats.crossClusterWakeups;
+    }
+    return ready;
+}
+
+// ---- fetch ---------------------------------------------------------------
+
+void
+OoOCore::fetch(Cycle now)
+{
+    if (blockedOnSeq != invalidSeqNum) {
+        ++_stats.fetchStallBranch;
+        return;
+    }
+    if (fetchStallUntil > now) {
+        ++_stats.fetchStallIcache;
+        return;
+    }
+
+    std::uint32_t fetched = 0;
+    while (fetched < cfg.fetchWidth) {
+        if (fetchQueue.size() >= cfg.fetchQueueSize) {
+            if (fetched == 0)
+                ++_stats.fetchStallQueue;
+            break;
+        }
+        const FetchedInst *fi = hooks.fetchPeek();
+        if (!fi) {
+            if (fetched == 0)
+                ++_stats.fetchStallStream;
+            break;
+        }
+
+        // One I-cache block per cycle; a block transition mid-group
+        // ends the group, and a transition at the head performs the
+        // I-cache access.
+        const Addr blk = fi->inst.pc & ~Addr{63};
+        if (!haveFetchBlock || blk != curFetchBlock) {
+            if (fetched > 0)
+                break;
+            const auto res = memory.accessInst(coreId, fi->inst.pc, now);
+            curFetchBlock = blk;
+            haveFetchBlock = true;
+            if (!res.l1Hit) {
+                fetchStallUntil = res.readyCycle;
+                break;
+            }
+        }
+
+        auto ci = std::make_unique<CoreInst>();
+        ci->seq = fi->seq;
+        ci->inst = fi->inst;
+        ci->sendRemote = fi->sendRemote;
+
+        bool mispredicted = false;
+        bool taken_break = false;
+        if (ci->inst.isControl()) {
+            branch::BranchPredictor *shared = hooks.sharedPredictor();
+            const auto pred =
+                (shared ? *shared : predictor).predict(ci->inst);
+            mispredicted = !pred.correct;
+            // Correctly predicted control redirects fetch along the
+            // actual path; any actually-taken control ends the group.
+            taken_break = ci->inst.taken || !ci->inst.isCondBranch();
+        }
+        ci->fetchMispredicted = mispredicted;
+        const InstSeqNum seq = ci->seq;
+
+        hooks.fetchConsume();
+        fetchQueue.push_back({now + cfg.frontendDepth, std::move(ci)});
+        ++_stats.fetched;
+        ++fetched;
+
+        if (mispredicted) {
+            blockedOnSeq = seq;
+            hooks.onMispredictFetched(seq);
+            break;
+        }
+        if (taken_break) {
+            haveFetchBlock = false;
+            if (cfg.takenBranchBubble)
+                fetchStallUntil = std::max(fetchStallUntil, now + 2);
+            break;
+        }
+    }
+}
+
+// ---- dispatch --------------------------------------------------------------
+
+void
+OoOCore::dispatch(Cycle now)
+{
+    std::uint32_t n = 0;
+    while (n < cfg.decodeWidth && !fetchQueue.empty() &&
+           fetchQueue.front().dispatchReadyAt <= now) {
+        CoreInst &peek = *fetchQueue.front().inst;
+        if (rob.size() >= cfg.robSize || iq.size() >= cfg.iqSize)
+            break;
+        if (peek.isLoad() && lq.size() >= cfg.lqSize)
+            break;
+        if (peek.isStore() && sq.size() >= cfg.sqSize)
+            break;
+
+        rob.push_back(std::move(fetchQueue.front().inst));
+        fetchQueue.pop_front();
+        CoreInst *ci = rob.back().get();
+        index[ci->seq] = ci;
+        ci->dispatchCycle = now;
+        ci->state = CoreInst::State::Dispatched;
+        ci->readyCycle = now + 1;
+
+        // Cluster steering: follow the first in-flight producer, else
+        // round-robin.
+        ci->cluster = 0;
+        if (cfg.numClusters > 1) {
+            CoreInst *lead = nullptr;
+            for (std::uint8_t k = 0; k < ci->inst.numSrcs && !lead; ++k) {
+                const isa::RegId r = ci->inst.srcs[k];
+                if (!isa::isDependenceSource(r))
+                    continue;
+                auto it = renameMap.find(r);
+                if (it != renameMap.end())
+                    lead = find(it->second);
+            }
+            ci->cluster = lead
+                ? lead->cluster
+                : static_cast<std::uint8_t>(steerHint++ %
+                                            cfg.numClusters);
+        }
+
+        // Local register dependences.
+        for (std::uint8_t k = 0; k < ci->inst.numSrcs; ++k) {
+            const isa::RegId r = ci->inst.srcs[k];
+            if (!isa::isDependenceSource(r))
+                continue;
+            auto it = renameMap.find(r);
+            if (it == renameMap.end())
+                continue;
+            CoreInst *p = find(it->second);
+            if (!p)
+                continue;
+            if (p->state == CoreInst::State::Dispatched) {
+                p->waiters.push_back(ci->seq);
+                ++ci->unknownDeps;
+            } else {
+                ci->readyCycle =
+                    std::max(ci->readyCycle, bypassReady(*p, *ci));
+            }
+        }
+
+        // Cross-core dependences, if the machine routed any here.
+        const ExtDepInfo ext = hooks.externalDeps(ci->seq, now);
+        ci->unknownDeps += ext.unknownCount;
+        ci->readyCycle = std::max(ci->readyCycle, ext.knownReadyCycle);
+
+        if (ci->inst.hasDst() && ci->inst.dst != isa::zeroReg)
+            renameMap[ci->inst.dst] = ci->seq;
+
+        iq.push_back(ci);
+        if (ci->isLoad())
+            lq.push_back(ci);
+        if (ci->isStore())
+            sq.push_back(ci);
+
+        ++_stats.dispatched;
+        ++n;
+    }
+}
+
+// ---- issue ---------------------------------------------------------------
+
+void
+OoOCore::scheduleCompletion(CoreInst &in, Cycle done, Cycle now)
+{
+    in.state = CoreInst::State::Issued;
+    in.issueCycle = now;
+    in.doneCycle = done;
+    completionQueue[done].push_back(in.seq);
+    wakeWaiters(in);
+    hooks.onExecuted(in, now);
+}
+
+void
+OoOCore::wakeWaiters(CoreInst &producer)
+{
+    for (const InstSeqNum w : producer.waiters) {
+        CoreInst *c = find(w);
+        if (!c || c->state != CoreInst::State::Dispatched)
+            continue;
+        c->readyCycle = std::max(c->readyCycle, bypassReady(producer, *c));
+        if (c->unknownDeps > 0)
+            --c->unknownDeps;
+    }
+    producer.waiters.clear();
+}
+
+bool
+OoOCore::tryIssueLoad(CoreInst &ld, Cycle now)
+{
+    // Scan older stores for forwarding and unresolved addresses.
+    CoreInst *fwd = nullptr;
+    bool unknown_older = false;
+    InstSeqNum youngest_unknown = 0;
+    for (CoreInst *st : sq) {
+        if (st->seq > ld.seq)
+            break;
+        if (!st->addrKnown) {
+            // Memory-dependence prediction: wait for a store this
+            // load collided with before.
+            const auto pred = storeSet.predictedStore(ld.inst.pc);
+            if (pred && *pred == st->inst.pc)
+                return false;
+            if (!cfg.speculativeLoads)
+                return false;
+            unknown_older = true;
+            youngest_unknown = std::max(youngest_unknown, st->seq);
+        } else if (st->overlaps(ld)) {
+            fwd = st; // keep the youngest older match
+        }
+    }
+
+    if (!fuPools[ld.cluster].tryIssue(isa::OpClass::Load, now))
+        return false;
+
+    Cycle done;
+    if (fwd && (!unknown_older || fwd->seq > youngest_unknown)) {
+        done = now + 2 + cfg.lsqExtraLatency;
+        ld.forwardedFrom = fwd->seq;
+        ++_stats.loadsForwarded;
+    } else {
+        const Cycle agu_done = now + 1 + cfg.lsqExtraLatency;
+        const auto res =
+            memory.accessData(coreId, ld.inst.effAddr, false, agu_done);
+        done = res.readyCycle;
+        if (fwd) {
+            // An unknown-addressed store sits between the load and
+            // the forwarding candidate; go to memory and rely on the
+            // violation check.
+            ld.forwardedFrom = invalidSeqNum;
+        }
+    }
+
+    if (unknown_older) {
+        ld.speculativeLoad = true;
+        ++_stats.loadsSpeculative;
+    }
+    ld.addrKnown = true;
+    scheduleCompletion(ld, done, now);
+    return true;
+}
+
+bool
+OoOCore::tryIssueStore(CoreInst &st, Cycle now)
+{
+    if (!fuPools[st.cluster].tryIssue(isa::OpClass::Store, now))
+        return false;
+    scheduleCompletion(
+        st, now + cfg.latencies.get(isa::OpClass::Store), now);
+    return true;
+}
+
+void
+OoOCore::issue(Cycle now)
+{
+    std::uint32_t total = 0;
+    std::vector<std::uint32_t> per_cluster(cfg.numClusters, 0);
+
+    for (auto it = iq.begin(); it != iq.end() && total < cfg.issueWidth;) {
+        CoreInst *ci = *it;
+        if (ci->unknownDeps > 0 || ci->readyCycle > now ||
+            per_cluster[ci->cluster] >= cfg.clusterIssueWidth) {
+            ++it;
+            continue;
+        }
+
+        bool ok;
+        if (ci->isLoad()) {
+            ok = tryIssueLoad(*ci, now);
+        } else if (ci->isStore()) {
+            ok = tryIssueStore(*ci, now);
+        } else {
+            ok = fuPools[ci->cluster].tryIssue(ci->inst.op, now);
+            if (ok) {
+                scheduleCompletion(
+                    *ci, now + cfg.latencies.get(ci->inst.op), now);
+            }
+        }
+
+        if (ok) {
+            ++per_cluster[ci->cluster];
+            ++total;
+            ++_stats.issued;
+            it = iq.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+// ---- completion / memory ordering ------------------------------------------
+
+void
+OoOCore::resolveStore(CoreInst &st, Cycle now)
+{
+    st.addrKnown = true;
+
+    // Same-core alias check: a younger load that already executed and
+    // did not get its value from this store (or a younger one) read
+    // stale data.
+    for (CoreInst *ld : lq) {
+        if (ld->seq < st.seq || !ld->issued())
+            continue;
+        if (!ld->overlaps(st))
+            continue;
+        if (ld->forwardedFrom != invalidSeqNum &&
+            ld->forwardedFrom >= st.seq) {
+            continue;
+        }
+        ++_stats.memOrderViolations;
+        storeSet.train(ld->inst.pc, st.inst.pc);
+        hooks.requestSquash(ld->seq);
+        break;
+    }
+
+    hooks.onStoreResolved(st, now);
+}
+
+void
+OoOCore::processCompletions(Cycle now)
+{
+    while (!completionQueue.empty() &&
+           completionQueue.begin()->first <= now) {
+        const Cycle at = completionQueue.begin()->first;
+        // Move the list out: resolveStore may trigger hook calls that
+        // land back in this core.
+        std::vector<InstSeqNum> list =
+            std::move(completionQueue.begin()->second);
+        completionQueue.erase(completionQueue.begin());
+
+        for (const InstSeqNum seq : list) {
+            CoreInst *ci = find(seq);
+            if (!ci || ci->state != CoreInst::State::Issued ||
+                ci->doneCycle != at) {
+                continue; // stale event from a squashed incarnation
+            }
+            ci->state = CoreInst::State::Done;
+
+            if (ci->isStore())
+                resolveStore(*ci, at);
+
+            if (ci->fetchMispredicted && blockedOnSeq == ci->seq) {
+                blockedOnSeq = invalidSeqNum;
+                fetchStallUntil =
+                    std::max(fetchStallUntil, now + cfg.frontendDepth);
+                haveFetchBlock = false;
+                hooks.onMispredictResolved(ci->seq, now);
+            }
+        }
+    }
+}
+
+// ---- commit ---------------------------------------------------------------
+
+void
+OoOCore::commit(Cycle now)
+{
+    std::uint32_t &n = commitsThisCycle;
+    while (n < cfg.commitWidth && !rob.empty()) {
+        CoreInst *head = rob.front().get();
+        if (head->state != CoreInst::State::Done)
+            break;
+        if (!hooks.canCommit(head->seq, now))
+            break;
+
+        // Stores update the memory system at commit; the write is
+        // posted, so its latency does not stall the pipeline.
+        if (head->isStore())
+            memory.accessData(coreId, head->inst.effAddr, true, now);
+
+        hooks.onCommitted(*head, now);
+
+        if (head->isLoad()) {
+            sim_assert(!lq.empty() && lq.front() == head,
+                       "LQ out of order at commit");
+            lq.pop_front();
+        }
+        if (head->isStore()) {
+            sim_assert(!sq.empty() && sq.front() == head,
+                       "SQ out of order at commit");
+            sq.pop_front();
+        }
+
+        if (head->inst.hasDst() && head->inst.dst != isa::zeroReg) {
+            auto it = renameMap.find(head->inst.dst);
+            if (it != renameMap.end() && it->second == head->seq)
+                renameMap.erase(it);
+        }
+
+        index.erase(head->seq);
+        rob.pop_front();
+        ++_stats.committed;
+        ++n;
+    }
+}
+
+// ---- squash ---------------------------------------------------------------
+
+void
+OoOCore::squashFrom(InstSeqNum target, Cycle now)
+{
+    ++_stats.squashes;
+
+    // Fetch queue.
+    std::erase_if(fetchQueue, [&](const FetchEntry &e) {
+        if (e.inst->seq >= target) {
+            ++_stats.squashedInsts;
+            return true;
+        }
+        return false;
+    });
+
+    // Window structures.
+    auto drop = [&](auto &container) {
+        std::erase_if(container, [&](CoreInst *p) {
+            return p->seq >= target;
+        });
+    };
+    drop(iq);
+    drop(lq);
+    drop(sq);
+
+    while (!rob.empty() && rob.back()->seq >= target) {
+        index.erase(rob.back()->seq);
+        rob.pop_back();
+        ++_stats.squashedInsts;
+    }
+
+    // Waiter lists must not reference squashed sequence numbers: a
+    // refetched incarnation of the same seq would be woken spuriously.
+    for (auto &up : rob) {
+        std::erase_if(up->waiters, [&](InstSeqNum s) {
+            return s >= target;
+        });
+    }
+
+    rebuildRenameMap();
+
+    if (blockedOnSeq != invalidSeqNum && blockedOnSeq >= target)
+        blockedOnSeq = invalidSeqNum;
+    fetchStallUntil = std::max(fetchStallUntil, now + cfg.frontendDepth);
+    haveFetchBlock = false;
+
+    hooks.fetchRewind(target);
+}
+
+void
+OoOCore::rebuildRenameMap()
+{
+    renameMap.clear();
+    for (auto &up : rob) {
+        if (up->inst.hasDst() && up->inst.dst != isa::zeroReg)
+            renameMap[up->inst.dst] = up->seq;
+    }
+}
+
+// ---- external coupling -----------------------------------------------------
+
+void
+OoOCore::satisfyExternal(InstSeqNum consumer, Cycle arrival)
+{
+    CoreInst *ci = find(consumer);
+    if (!ci || ci->state != CoreInst::State::Dispatched)
+        return;
+    ci->readyCycle = std::max(ci->readyCycle, arrival);
+    if (ci->unknownDeps > 0)
+        --ci->unknownDeps;
+}
+
+void
+OoOCore::forEachExecutedLoadAfter(
+    InstSeqNum after, Addr addr, std::uint8_t size,
+    const std::function<void(const CoreInst &)> &fn) const
+{
+    const Addr a0 = addr;
+    const Addr a1 = addr + size;
+    for (const CoreInst *ld : lq) {
+        if (ld->seq <= after || !ld->issued())
+            continue;
+        const Addr b0 = ld->inst.effAddr;
+        const Addr b1 = b0 + ld->inst.memSize;
+        if (a0 < b1 && b0 < a1)
+            fn(*ld);
+    }
+}
+
+void
+OoOCore::trainStoreSet(Addr load_pc, Addr store_pc)
+{
+    storeSet.train(load_pc, store_pc);
+}
+
+std::string
+OoOCore::debugState() const
+{
+    std::ostringstream os;
+    os << "core" << unsigned{coreId} << ": rob=" << rob.size()
+       << " iq=" << iq.size() << " lq=" << lq.size()
+       << " sq=" << sq.size() << " fq=" << fetchQueue.size()
+       << " blockedOn=" << static_cast<std::int64_t>(
+              blockedOnSeq == invalidSeqNum ? -1
+                  : static_cast<std::int64_t>(blockedOnSeq))
+       << " stallUntil=" << fetchStallUntil;
+    if (!rob.empty()) {
+        const CoreInst &h = *rob.front();
+        os << " head{seq=" << h.seq << " op="
+           << isa::opClassName(h.inst.op)
+           << " st=" << static_cast<int>(h.state)
+           << " unk=" << h.unknownDeps << " ready=" << h.readyCycle
+           << " done=" << h.doneCycle << "}";
+    }
+    return os.str();
+}
+
+void
+OoOCore::reset()
+{
+    rob.clear();
+    index.clear();
+    iq.clear();
+    lq.clear();
+    sq.clear();
+    fetchQueue.clear();
+    renameMap.clear();
+    completionQueue.clear();
+    haveFetchBlock = false;
+    curFetchBlock = 0;
+    fetchStallUntil = 0;
+    blockedOnSeq = invalidSeqNum;
+    steerHint = 0;
+    for (auto &p : fuPools)
+        p.reset();
+    predictor.reset();
+    storeSet.reset();
+    _stats = CoreStats{};
+}
+
+} // namespace fgstp::core

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Cycle-level out-of-order core timing model.
+ *
+ * A conventional speculative out-of-order pipeline driven by a
+ * post-execution trace: fetch (I-cache + branch prediction +
+ * taken-branch breaks), width-limited dispatch into ROB/IQ/LSQ with
+ * register renaming, oldest-first select/issue against functional-unit
+ * pools, load/store disambiguation with forwarding and optional
+ * dependence speculation, and in-order commit.
+ *
+ * Trace-driven conventions (standard for this methodology):
+ *  - Wrong-path instructions are not simulated. A mispredicted branch
+ *    stalls fetch until it resolves, then pays the front-end refill.
+ *  - Memory-order violations *are* simulated precisely: offending
+ *    loads and everything younger are squashed and refetched.
+ *
+ * The core supports 1..N back-end clusters with a cross-cluster bypass
+ * delay, which is how the Core Fusion comparator is modeled, and is
+ * coupled to its machine through CoreHooks, which is how Fg-STP splits
+ * one logical thread across two of these cores.
+ */
+
+#ifndef FGSTP_CORE_OOO_CORE_HH
+#define FGSTP_CORE_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "core/core_config.hh"
+#include "core/core_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/hooks.hh"
+#include "core/store_set.hh"
+#include "memory/hierarchy.hh"
+
+namespace fgstp::core
+{
+
+/** Counters exported by one core. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t committed = 0;
+
+    std::uint64_t fetchStallIcache = 0;  ///< cycles blocked on I-cache
+    std::uint64_t fetchStallBranch = 0;  ///< cycles blocked on mispredict
+    std::uint64_t fetchStallStream = 0;  ///< cycles the stream stalled
+    std::uint64_t fetchStallQueue = 0;   ///< fetch queue full
+
+    std::uint64_t squashes = 0;          ///< squashFrom invocations
+    std::uint64_t squashedInsts = 0;
+    std::uint64_t memOrderViolations = 0;
+    std::uint64_t loadsForwarded = 0;
+    std::uint64_t loadsSpeculative = 0;
+    std::uint64_t crossClusterWakeups = 0;
+};
+
+class OoOCore
+{
+  public:
+    OoOCore(const CoreConfig &cfg, CoreId id, mem::MemoryHierarchy &mem,
+            CoreHooks &hooks);
+
+    /** Advances the core by one cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Re-runs the commit stage within the current cycle, respecting
+     * the per-cycle commit-width budget. Machines that order commit
+     * globally across cores call this after both cores ticked so the
+     * commit token can pass between cores inside one cycle.
+     */
+    void drainCommit(Cycle now);
+
+    /**
+     * Resolves one external producer of `consumer`: its value arrives
+     * at `arrival`. Safe to call for instructions the core no longer
+     * holds (squashed) — those calls are ignored.
+     */
+    void satisfyExternal(InstSeqNum consumer, Cycle arrival);
+
+    /**
+     * Flushes every instruction with seq >= target from the pipeline,
+     * repairs the rename state and restarts fetch at the target.
+     */
+    void squashFrom(InstSeqNum target, Cycle now);
+
+    /**
+     * Visits executed loads with seq > after whose address overlaps
+     * [addr, addr+size). Used for cross-core alias checks.
+     */
+    void forEachExecutedLoadAfter(
+        InstSeqNum after, Addr addr, std::uint8_t size,
+        const std::function<void(const CoreInst &)> &fn) const;
+
+    /** Trains this core's memory-dependence predictor. */
+    void trainStoreSet(Addr load_pc, Addr store_pc);
+
+    const CoreStats &stats() const { return _stats; }
+    const branch::PredictorStats &branchStats() const
+    {
+        return predictor.stats();
+    }
+    const CoreConfig &config() const { return cfg; }
+    CoreId id() const { return coreId; }
+
+    bool robEmpty() const { return rob.empty(); }
+    std::size_t robOccupancy() const { return rob.size(); }
+
+    /** True when neither the ROB nor the fetch queue holds anything. */
+    bool
+    pipelineEmpty() const
+    {
+        return rob.empty() && fetchQueue.empty();
+    }
+
+    void reset();
+
+    /** Zeroes the counters; pipeline and predictor state persist. */
+    void
+    resetStats()
+    {
+        _stats = CoreStats{};
+        predictor.resetStats();
+    }
+
+    /** One-line pipeline state snapshot for deadlock diagnostics. */
+    std::string debugState() const;
+
+  private:
+    struct FetchEntry
+    {
+        Cycle dispatchReadyAt = 0;
+        std::unique_ptr<CoreInst> inst;
+    };
+
+    // Pipeline stages, called in reverse order each tick.
+    void processCompletions(Cycle now);
+    void commit(Cycle now);
+    void issue(Cycle now);
+    void dispatch(Cycle now);
+    void fetch(Cycle now);
+
+    // Helpers.
+    CoreInst *find(InstSeqNum seq);
+    const CoreInst *find(InstSeqNum seq) const;
+    void scheduleCompletion(CoreInst &in, Cycle done, Cycle now);
+    void wakeWaiters(CoreInst &producer);
+    bool tryIssueLoad(CoreInst &ld, Cycle now);
+    bool tryIssueStore(CoreInst &st, Cycle now);
+    void resolveStore(CoreInst &st, Cycle now);
+    void rebuildRenameMap();
+    Cycle bypassReady(const CoreInst &producer,
+                      const CoreInst &consumer);
+
+    CoreConfig cfg;
+    CoreId coreId;
+    mem::MemoryHierarchy &memory;
+    CoreHooks &hooks;
+
+    branch::BranchPredictor predictor;
+    StoreSet storeSet;
+    std::vector<FuPool> fuPools;
+
+    // Window state.
+    std::deque<std::unique_ptr<CoreInst>> rob;
+    std::unordered_map<InstSeqNum, CoreInst *> index;
+    std::vector<CoreInst *> iq;  ///< unissued, in seq order
+    std::deque<CoreInst *> lq;
+    std::deque<CoreInst *> sq;
+    std::deque<FetchEntry> fetchQueue;
+
+    /** Architectural reg -> youngest in-flight producer. */
+    std::unordered_map<isa::RegId, InstSeqNum> renameMap;
+
+    /** Scheduled completion events. */
+    std::map<Cycle, std::vector<InstSeqNum>> completionQueue;
+
+    // Fetch state.
+    Addr curFetchBlock = 0;
+    bool haveFetchBlock = false;
+    Cycle fetchStallUntil = 0;
+    InstSeqNum blockedOnSeq = invalidSeqNum;
+
+    /** Round-robin hint for cluster steering. */
+    std::uint32_t steerHint = 0;
+
+    /** Commit-width budget consumed in the current cycle. */
+    std::uint32_t commitsThisCycle = 0;
+
+    CoreStats _stats;
+};
+
+} // namespace fgstp::core
+
+#endif // FGSTP_CORE_OOO_CORE_HH

@@ -1,0 +1,46 @@
+#include "core/store_set.hh"
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace fgstp::core
+{
+
+StoreSet::StoreSet(std::size_t entries) : table(entries)
+{
+    sim_assert(isPowerOf2(entries), "store-set table must be power of 2");
+}
+
+std::size_t
+StoreSet::index(Addr pc) const
+{
+    return (pc >> 2) & (table.size() - 1);
+}
+
+std::optional<Addr>
+StoreSet::predictedStore(Addr load_pc) const
+{
+    const Entry &e = table[index(load_pc)];
+    if (e.valid && e.loadTag == load_pc)
+        return e.storePc;
+    return std::nullopt;
+}
+
+void
+StoreSet::train(Addr load_pc, Addr store_pc)
+{
+    Entry &e = table[index(load_pc)];
+    e.valid = true;
+    e.loadTag = load_pc;
+    e.storePc = store_pc;
+    ++numTrainings;
+}
+
+void
+StoreSet::reset()
+{
+    table.assign(table.size(), Entry{});
+    numTrainings = 0;
+}
+
+} // namespace fgstp::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A simplified store-set memory-dependence predictor.
+ *
+ * Maps load PCs to the PC of the store they last collided with. A load
+ * whose entry names a store that is currently in flight with an
+ * unresolved address (or, across cores, an uncommitted store) waits
+ * for that store instead of speculating past it. Trained on
+ * memory-order violations; entries decay by periodic clearing.
+ */
+
+#ifndef FGSTP_CORE_STORE_SET_HH
+#define FGSTP_CORE_STORE_SET_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fgstp::core
+{
+
+class StoreSet
+{
+  public:
+    explicit StoreSet(std::size_t entries);
+
+    /** Store PC this load is predicted to depend on, if any. */
+    std::optional<Addr> predictedStore(Addr load_pc) const;
+
+    /** Records a collision between a load and a store. */
+    void train(Addr load_pc, Addr store_pc);
+
+    /** Clears all predictions (periodic decay / machine reset). */
+    void reset();
+
+    std::uint64_t trainings() const { return numTrainings; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr loadTag = 0;
+        Addr storePc = 0;
+    };
+
+    std::size_t index(Addr pc) const;
+
+    std::vector<Entry> table;
+    std::uint64_t numTrainings = 0;
+};
+
+} // namespace fgstp::core
+
+#endif // FGSTP_CORE_STORE_SET_HH

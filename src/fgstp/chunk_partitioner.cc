@@ -1,0 +1,72 @@
+#include "fgstp/chunk_partitioner.hh"
+
+#include "common/logging.hh"
+
+namespace fgstp::part
+{
+
+ChunkPartitioner::ChunkPartitioner(const FgstpConfig &cfg,
+                                   trace::TraceSource &source,
+                                   std::uint32_t chunk_size)
+    : cfg(cfg), source(source), chunkSize(chunk_size)
+{
+    sim_assert(chunk_size >= 1, "chunk size must be positive");
+}
+
+bool
+ChunkPartitioner::nextBatch(std::vector<RoutedInst> &out)
+{
+    out.clear();
+    if (ended)
+        return false;
+
+    // One batch = one chunk on one core.
+    const CoreId core = curCore;
+    curCore = 1 - curCore;
+
+    for (std::uint32_t i = 0; i < chunkSize; ++i) {
+        trace::DynInst inst;
+        if (!source.next(inst)) {
+            ended = true;
+            break;
+        }
+
+        RoutedInst r;
+        r.seq = next_seq++;
+        r.inst = inst;
+        r.cores = static_cast<std::uint8_t>(1u << core);
+
+        // Every source produced on the other core (and not yet
+        // transferred) crosses the link.
+        for (std::uint8_t k = 0; k < inst.numSrcs; ++k) {
+            const isa::RegId reg = inst.srcs[k];
+            if (!isa::isDependenceSource(reg))
+                continue;
+            auto it = regState.find(reg);
+            if (it == regState.end())
+                continue;
+            RegVal &v = it->second;
+            if (v.producer == invalidSeqNum ||
+                (v.mask & (1u << core))) {
+                continue;
+            }
+            r.extDeps[core].push_back({v.producer, v.producerCore});
+            v.mask |= (1u << core);
+            ++_stats.commEdges;
+        }
+
+        if (inst.hasDst() && inst.dst != isa::zeroReg) {
+            regState[inst.dst] = RegVal{
+                r.seq, core, static_cast<std::uint8_t>(1u << core)};
+        }
+
+        ++_stats.instructions;
+        ++_stats.copies;
+        ++_stats.assigned[core];
+        out.push_back(std::move(r));
+    }
+
+    return !out.empty();
+}
+
+} // namespace fgstp::part

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Coarse-grain comparison partitioner.
+ *
+ * Alternates fixed-size contiguous chunks of the dynamic stream
+ * between the two cores — the "thread-level" partitioning granularity
+ * of earlier speculative-multithreading proposals that the paper's
+ * *fine-grain* scheme is differentiated from. Every register value
+ * that flows across a chunk boundary becomes a link transfer; there
+ * is no replication and no dependence-aware placement, so the chunk
+ * size directly trades cut-edge count against load balance.
+ */
+
+#ifndef FGSTP_FGSTP_CHUNK_PARTITIONER_HH
+#define FGSTP_FGSTP_CHUNK_PARTITIONER_HH
+
+#include <unordered_map>
+
+#include "fgstp/partitioner.hh"
+
+namespace fgstp::part
+{
+
+class ChunkPartitioner : public PartitionerBase
+{
+  public:
+    /**
+     * @param cfg        scheme configuration (link etc.)
+     * @param source     the logical thread's dynamic stream
+     * @param chunk_size instructions per alternating chunk
+     */
+    ChunkPartitioner(const FgstpConfig &cfg, trace::TraceSource &source,
+                     std::uint32_t chunk_size);
+
+    bool nextBatch(std::vector<RoutedInst> &out) override;
+
+    const PartitionStats &stats() const override { return _stats; }
+
+    void resetStats() override { _stats = PartitionStats{}; }
+
+  private:
+    /** Where a register's current value lives. */
+    struct RegVal
+    {
+        InstSeqNum producer = invalidSeqNum;
+        CoreId producerCore = 0;
+        std::uint8_t mask = maskBoth;
+    };
+
+    FgstpConfig cfg;
+    trace::TraceSource &source;
+    std::uint32_t chunkSize;
+
+    std::unordered_map<isa::RegId, RegVal> regState;
+    InstSeqNum next_seq = 1;
+    CoreId curCore = 0;
+    bool ended = false;
+
+    PartitionStats _stats;
+};
+
+} // namespace fgstp::part
+
+#endif // FGSTP_FGSTP_CHUNK_PARTITIONER_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Configuration of the Fg-STP scheme.
+ *
+ * The knobs correspond to the features the paper's abstract calls out:
+ * instruction-granularity partitioning over a large lookahead window,
+ * replication of cheap producers, cross-core value communication, and
+ * memory-dependence speculation. Each feature can be disabled for the
+ * ablation study (Fig. 6).
+ */
+
+#ifndef FGSTP_FGSTP_CONFIG_HH
+#define FGSTP_FGSTP_CONFIG_HH
+
+#include <cstdint>
+
+#include "uncore/link.hh"
+
+namespace fgstp::part
+{
+
+/** Partitioning granularity. */
+enum class Granularity : std::uint8_t
+{
+    FineGrain, ///< the paper's scheme: per-instruction, dependence aware
+    Chunk      ///< strawman: alternate fixed-size contiguous chunks
+};
+
+struct FgstpConfig
+{
+    /**
+     * Number of dynamic instructions the partition hardware analyzes
+     * per chunk ("large instruction window").
+     */
+    std::uint32_t windowSize = 512;
+
+    /**
+     * Partitioning granularity; Chunk mode is the coarse-grain
+     * comparison the paper's "fine-grain" claim is measured against.
+     */
+    Granularity granularity = Granularity::FineGrain;
+
+    /** Instructions per chunk when granularity == Chunk. */
+    std::uint32_t chunkSize = 64;
+
+    /** The inter-core operand network. */
+    uncore::LinkConfig link;
+
+    /**
+     * Replicate cheap single-cycle producers on the consumer core
+     * instead of communicating their values.
+     */
+    bool replication = true;
+
+    /** How many levels of producers replication may pull across. */
+    std::uint32_t replicationDepth = 3;
+
+    /**
+     * Replicate a producer only when a consumer sits within this many
+     * dynamic instructions: nearby consumers are latency-critical (the
+     * link delay would land on the critical path), while distant ones
+     * absorb the transfer latency for free.
+     */
+    std::uint32_t replicationMaxDist = 24;
+
+    /**
+     * Replicate control instructions on both cores. Off by default:
+     * the fetch-orchestration hardware already distributes redirect
+     * decisions (fetch barrier + shared prediction), so executing
+     * branch copies on both cores only burns fetch and issue slots.
+     * Kept as a knob for the ablation study.
+     */
+    bool replicateBranches = false;
+
+    /**
+     * Let loads on one core speculate past older stores on the other;
+     * violations squash and train the cross-core store set. When
+     * false, a load waits for every older remote store with an
+     * unresolved address.
+     */
+    bool memSpeculation = true;
+
+    /** Entries in the cross-core store-set predictor. */
+    std::uint32_t storeSetSize = 4096;
+
+    /**
+     * The fetch-orchestration hardware predicts branches with a view
+     * of the full stream (one shared predictor) instead of each core
+     * predicting only the branches it fetches. Disabling this models
+     * fully private predictors, whose histories see only fragments of
+     * the branch stream.
+     */
+    bool sharedPrediction = true;
+
+    /**
+     * Estimated per-value communication cost (cycles) used by the
+     * partitioning heuristic; normally the link latency.
+     */
+    std::uint32_t estCommCost = 8;
+
+    /**
+     * Load-balance pressure: how many cycles of estimated imbalance
+     * the heuristic tolerates before steering against dependences.
+     */
+    double balanceWeight = 0.4;
+
+    /**
+     * Hysteresis: cost (cycles) of steering away from the core the
+     * previous instruction went to. Produces contiguous runs, which
+     * keep short-distance dependences local and fetch groups dense;
+     * the dependence/balance terms still break runs where it pays.
+     */
+    double switchCost = 1.0;
+
+    /**
+     * Placement stickiness per static PC (cycles of cost advantage
+     * for the core that ran this PC last time). Models the partition
+     * cache: decisions are indexed by static code, so the same
+     * instruction keeps executing on the same core and its cache
+     * working set stays in one L1D. Off by default: the dependence +
+     * balance heuristic wins on parallel loops (the affinity ablation
+     * bench quantifies the trade-off).
+     */
+    double affinityWeight = 0.0;
+};
+
+} // namespace fgstp::part
+
+#endif // FGSTP_FGSTP_CONFIG_HH

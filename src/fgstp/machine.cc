@@ -1,0 +1,545 @@
+#include "fgstp/machine.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace fgstp::part
+{
+
+/** Binds one core's hook calls to the machine with its core id. */
+struct CoreAdapter : core::CoreHooks
+{
+    CoreAdapter(FgstpMachine &m, CoreId id) : m(m), id(id) {}
+
+    const core::FetchedInst *
+    fetchPeek() override
+    {
+        return m.fetchPeek(id);
+    }
+
+    void
+    fetchConsume() override
+    {
+        m.fetchConsume(id);
+    }
+
+    void
+    fetchRewind(InstSeqNum seq) override
+    {
+        m.fetchRewind(id, seq);
+    }
+
+    branch::BranchPredictor *
+    sharedPredictor() override
+    {
+        return m.sharedPredictor();
+    }
+
+    core::ExtDepInfo
+    externalDeps(InstSeqNum seq, Cycle now) override
+    {
+        return m.externalDeps(id, seq, now);
+    }
+
+    bool
+    canCommit(InstSeqNum seq, Cycle now) override
+    {
+        return m.canCommit(id, seq, now);
+    }
+
+    void
+    onExecuted(const core::CoreInst &inst, Cycle now) override
+    {
+        m.onExecuted(id, inst, now);
+    }
+
+    void
+    onStoreResolved(const core::CoreInst &store, Cycle now) override
+    {
+        m.onStoreResolved(id, store, now);
+    }
+
+    void
+    onCommitted(const core::CoreInst &inst, Cycle now) override
+    {
+        m.onCommitted(id, inst, now);
+    }
+
+    void
+    onMispredictFetched(InstSeqNum seq) override
+    {
+        m.onMispredictFetched(id, seq);
+    }
+
+    void
+    onMispredictResolved(InstSeqNum seq, Cycle now) override
+    {
+        m.onMispredictResolved(id, seq, now);
+    }
+
+    void
+    requestSquash(InstSeqNum seq) override
+    {
+        m.requestSquash(seq);
+    }
+
+    FgstpMachine &m;
+    CoreId id;
+};
+
+FgstpMachine::FgstpMachine(const core::CoreConfig &core_cfg,
+                           const mem::HierarchyConfig &mem_cfg,
+                           const FgstpConfig &fg_cfg,
+                           trace::TraceSource &source)
+    : cfg(fg_cfg),
+      mem([&] {
+          auto c = mem_cfg;
+          c.numCores = 2;
+          return c;
+      }()),
+      link(fg_cfg.link),
+      partitioner(fg_cfg.granularity == Granularity::FineGrain
+          ? static_cast<std::unique_ptr<PartitionerBase>>(
+                std::make_unique<Partitioner>(
+                    fg_cfg, source,
+                    static_cast<double>(core_cfg.issueWidth)))
+          : std::make_unique<ChunkPartitioner>(fg_cfg, source,
+                                               fg_cfg.chunkSize)),
+      orchestratorPredictor(core_cfg.predictor),
+      globalStoreSet(fg_cfg.storeSetSize)
+{
+    for (CoreId c = 0; c < 2; ++c) {
+        adapters[c] = std::make_unique<CoreAdapter>(*this, c);
+        cores[c] = std::make_unique<core::OoOCore>(core_cfg, c, mem,
+                                                   *adapters[c]);
+    }
+}
+
+FgstpMachine::~FgstpMachine() = default;
+
+// ---- window --------------------------------------------------------------
+
+FgstpMachine::WindowEntry *
+FgstpMachine::windowAt(InstSeqNum seq)
+{
+    if (seq < windowBase || seq >= windowBase + window.size())
+        return nullptr;
+    return &window[seq - windowBase];
+}
+
+bool
+FgstpMachine::fillWindow()
+{
+    if (streamEnded)
+        return false;
+    std::vector<RoutedInst> batch;
+    if (!partitioner->nextBatch(batch)) {
+        streamEnded = true;
+        return false;
+    }
+    for (auto &r : batch)
+        window.push_back({std::move(r), 0});
+    return true;
+}
+
+void
+FgstpMachine::retireWindow()
+{
+    while (!window.empty() && windowBase < nextCommitSeq) {
+        executedLog.erase(windowBase);
+        window.pop_front();
+        ++windowBase;
+    }
+}
+
+// ---- fetch ---------------------------------------------------------------
+
+branch::BranchPredictor *
+FgstpMachine::sharedPredictor()
+{
+    return cfg.sharedPrediction ? &orchestratorPredictor : nullptr;
+}
+
+InstSeqNum
+FgstpMachine::fetchBarrier() const
+{
+    return blockedBranches.empty() ? invalidSeqNum
+                                   : *blockedBranches.begin();
+}
+
+const core::FetchedInst *
+FgstpMachine::fetchPeek(CoreId c)
+{
+    if (peekValid[c])
+        return &peekSlot[c];
+
+    const InstSeqNum barrier = fetchBarrier();
+    // Commit may have retired window entries past a long-stalled
+    // cursor that only had non-owned entries left to skip.
+    cursor[c] = std::max(cursor[c], windowBase);
+    while (true) {
+        if (cursor[c] >= windowBase + window.size()) {
+            if (!fillWindow())
+                return nullptr;
+            continue;
+        }
+        const WindowEntry &e = window[cursor[c] - windowBase];
+        if (!e.routed.runsOn(c)) {
+            ++cursor[c];
+            continue;
+        }
+        if (barrier != invalidSeqNum && e.routed.seq > barrier) {
+            ++_stats.barrierBlocks;
+            return nullptr;
+        }
+        peekSlot[c].seq = e.routed.seq;
+        peekSlot[c].inst = e.routed.inst;
+        peekSlot[c].sendRemote = false;
+        peekValid[c] = true;
+        return &peekSlot[c];
+    }
+}
+
+void
+FgstpMachine::fetchConsume(CoreId c)
+{
+    sim_assert(peekValid[c], "consume without peek on core ",
+               unsigned{c});
+    peekValid[c] = false;
+    ++cursor[c];
+}
+
+void
+FgstpMachine::fetchRewind(CoreId c, InstSeqNum seq)
+{
+    // A squash targets everything >= seq, but this core may not have
+    // fetched that far yet -- never move the cursor forward, or the
+    // skipped instructions would never dispatch and global commit
+    // would wedge.
+    cursor[c] = std::max(std::min(cursor[c], seq), windowBase);
+    peekValid[c] = false;
+}
+
+// ---- cross-core dependences -------------------------------------------------
+
+void
+FgstpMachine::noteDependence(core::ExtDepInfo &info, InstSeqNum producer,
+                             CoreId producer_core, InstSeqNum consumer,
+                             CoreId consumer_core, Cycle now)
+{
+    auto [it, fresh] = remoteProducers.try_emplace(producer);
+    RemoteProducer &rp = it->second;
+    if (fresh) {
+        rp.producerCore = producer_core;
+        if (producer < windowBase) {
+            // A producer retired out of the window has long executed;
+            // its value simply needs a transfer now.
+            rp.executed = true;
+            rp.doneCycle = now;
+        } else if (auto ex = executedLog.find(producer);
+                   ex != executedLog.end()) {
+            // The producer executed before this edge was created.
+            rp.executed = true;
+            rp.producerCore = ex->second.first;
+            rp.doneCycle = ex->second.second;
+        }
+    }
+
+    if (rp.executed) {
+        if (!rp.sent) {
+            // In-window producers push their value at writeback (the
+            // partition table names the consumers ahead of time); only
+            // values that retired out of the window are pulled now.
+            const Cycle basis = producer >= windowBase
+                ? rp.doneCycle : std::max(rp.doneCycle, now);
+            rp.arrival = link.send(rp.producerCore, basis);
+            rp.sent = true;
+            ++_stats.valueTransfers;
+        }
+        info.knownReadyCycle =
+            std::max(info.knownReadyCycle, rp.arrival);
+    } else {
+        ++info.unknownCount;
+        rp.subscribers.emplace_back(consumer, consumer_core);
+    }
+}
+
+core::ExtDepInfo
+FgstpMachine::externalDeps(CoreId c, InstSeqNum seq, Cycle now)
+{
+    core::ExtDepInfo info;
+    WindowEntry *e = windowAt(seq);
+    sim_assert(e, "dispatched instruction ", seq, " left the window");
+    const RoutedInst &r = e->routed;
+
+    for (const ExtDep &dep : r.extDeps[c])
+        noteDependence(info, dep.producer, dep.producerCore, seq, c, now);
+
+    // Memory-dependence handling for loads against *remote* stores.
+    // The partition window is scanned rather than only dispatched
+    // stores: the orchestration hardware routed every older store
+    // already, so it knows they are coming even when the peer core
+    // has not dispatched them yet.
+    if (r.inst.isLoad()) {
+        const auto pred = cfg.memSpeculation
+            ? globalStoreSet.predictedStore(r.inst.pc) : std::nullopt;
+        if (!cfg.memSpeculation || pred) {
+            const InstSeqNum scan_floor =
+                seq > windowBase + storeScanDepth
+                    ? seq - storeScanDepth : windowBase;
+            for (InstSeqNum s = seq; s-- > scan_floor;) {
+                const WindowEntry *we = windowAt(s);
+                if (!we || !we->routed.inst.isStore() ||
+                    we->routed.runsOn(c)) {
+                    continue;
+                }
+                const CoreId score =
+                    we->routed.runsOn(0) ? 0 : 1;
+                if (cfg.memSpeculation) {
+                    // Synchronize with the youngest older instance of
+                    // the store this load collided with before.
+                    if (we->routed.inst.pc != *pred)
+                        continue;
+                    ++_stats.predictedSyncs;
+                    noteDependence(info, s, score, seq, c, now);
+                    break;
+                }
+                // Conservative mode: wait for every older remote
+                // store whose data is not yet known.
+                if (!executedLog.count(s)) {
+                    ++_stats.conservativeWaits;
+                    noteDependence(info, s, score, seq, c, now);
+                }
+            }
+        }
+    }
+
+    // Track stores for the logic above.
+    if (r.inst.isStore())
+        storesInFlight[seq] = StoreInfo{c, r.inst.pc, false, 0};
+
+    return info;
+}
+
+// ---- execution events ----------------------------------------------------------
+
+void
+FgstpMachine::onExecuted(CoreId c, const core::CoreInst &inst, Cycle now)
+{
+    // First-copy execution record; dependence edges created later (by
+    // a following batch or a predicted memory sync) consult this.
+    executedLog.try_emplace(inst.seq, c, inst.doneCycle);
+
+    auto it = remoteProducers.find(inst.seq);
+    if (it == remoteProducers.end())
+        return;
+    RemoteProducer &rp = it->second;
+    if (rp.executed)
+        return; // replica already reported (or stale)
+    rp.executed = true;
+    rp.producerCore = c;
+    rp.doneCycle = inst.doneCycle;
+    rp.arrival = link.send(c, inst.doneCycle);
+    rp.sent = true;
+    ++_stats.valueTransfers;
+    for (const auto &[consumer, consumer_core] : rp.subscribers)
+        cores[consumer_core]->satisfyExternal(consumer, rp.arrival);
+    rp.subscribers.clear();
+    (void)now;
+}
+
+void
+FgstpMachine::onStoreResolved(CoreId c, const core::CoreInst &store,
+                              Cycle now)
+{
+    auto it = storesInFlight.find(store.seq);
+    if (it != storesInFlight.end()) {
+        it->second.resolved = true;
+        it->second.dataReady = store.doneCycle;
+    }
+
+    // Cross-core alias check: executed younger loads on the peer core
+    // reading this store's bytes speculated wrongly.
+    const CoreId peer = 1 - c;
+    InstSeqNum oldest = invalidSeqNum;
+    Addr victim_pc = 0;
+    cores[peer]->forEachExecutedLoadAfter(
+        store.seq, store.inst.effAddr, store.inst.memSize,
+        [&](const core::CoreInst &ld) {
+            if (ld.seq < oldest) {
+                oldest = ld.seq;
+                victim_pc = ld.inst.pc;
+            }
+        });
+    if (oldest != invalidSeqNum) {
+        ++_stats.crossViolations;
+        globalStoreSet.train(victim_pc, store.inst.pc);
+        requestSquash(oldest);
+    }
+    (void)now;
+}
+
+// ---- commit -------------------------------------------------------------------
+
+bool
+FgstpMachine::canCommit(CoreId, InstSeqNum seq, Cycle)
+{
+    // Never let an instruction past a squash that was requested this
+    // cycle but not yet applied -- committing the violating load would
+    // put the squash target below the global commit point.
+    return seq == nextCommitSeq && seq < pendingSquash;
+}
+
+void
+FgstpMachine::onCommitted(CoreId, const core::CoreInst &inst, Cycle)
+{
+    WindowEntry *e = windowAt(inst.seq);
+    sim_assert(e, "commit of instruction ", inst.seq,
+               " outside the window");
+    ++e->committedCopies;
+    if (e->committedCopies < e->routed.numCopies())
+        return;
+
+    ++committed;
+    nextCommitSeq = inst.seq + 1;
+
+    if (inst.isStore())
+        storesInFlight.erase(inst.seq);
+    // Drop producer bookkeeping that can no longer gain subscribers:
+    // any future consumer edge to this producer was already emitted by
+    // the partitioner into the window, so keep entries until the
+    // window retires past them (handled in run()).
+}
+
+// ---- control-flow coupling -------------------------------------------------------
+
+void
+FgstpMachine::onMispredictFetched(CoreId, InstSeqNum seq)
+{
+    blockedBranches.insert(seq);
+}
+
+void
+FgstpMachine::onMispredictResolved(CoreId, InstSeqNum seq, Cycle)
+{
+    blockedBranches.erase(seq);
+}
+
+void
+FgstpMachine::requestSquash(InstSeqNum seq)
+{
+    if (seq < pendingSquash)
+        pendingSquash = seq;
+}
+
+void
+FgstpMachine::applyPendingSquash()
+{
+    if (pendingSquash == invalidSeqNum)
+        return;
+    const InstSeqNum target = pendingSquash;
+    pendingSquash = invalidSeqNum;
+    sim_assert(target >= nextCommitSeq,
+               "squash below the global commit point");
+
+    for (CoreId c = 0; c < 2; ++c) {
+        cores[c]->squashFrom(target, cycle);
+        peekValid[c] = false;
+    }
+
+    // Machine bookkeeping for squashed instructions.
+    std::erase_if(remoteProducers, [&](const auto &kv) {
+        return kv.first >= target;
+    });
+    for (auto &[seq, rp] : remoteProducers) {
+        std::erase_if(rp.subscribers, [&](const auto &sub) {
+            return sub.first >= target;
+        });
+    }
+    storesInFlight.erase(storesInFlight.lower_bound(target),
+                         storesInFlight.end());
+    std::erase_if(executedLog, [&](const auto &kv) {
+        return kv.first >= target;
+    });
+    std::erase_if(blockedBranches, [&](InstSeqNum s) {
+        return s >= target;
+    });
+    for (auto &e : window) {
+        if (e.routed.seq >= target)
+            e.committedCopies = 0;
+    }
+}
+
+// ---- run loop -----------------------------------------------------------------
+
+sim::RunResult
+FgstpMachine::run(std::uint64_t num_insts)
+{
+    std::uint64_t last_committed = committed;
+    Cycle last_progress = cycle;
+
+    while (committed < num_insts) {
+        ++cycle;
+        cores[0]->tick(cycle);
+        cores[1]->tick(cycle);
+
+        // Let the commit token pass between the cores within this
+        // cycle: a core whose next commit was blocked on the other
+        // core's head retries once the other has advanced. Each core
+        // still honours its per-cycle commit width.
+        bool commit_progress = true;
+        while (commit_progress) {
+            const std::uint64_t before = committed;
+            cores[0]->drainCommit(cycle);
+            cores[1]->drainCommit(cycle);
+            commit_progress = committed != before;
+        }
+
+        applyPendingSquash();
+        retireWindow();
+
+        // Producer bookkeeping older than the window can no longer be
+        // referenced (all its consumer edges were routed and are now
+        // dispatched or squashed-and-recreated).
+        if ((cycle & 0x3ff) == 0) {
+            std::erase_if(remoteProducers, [&](const auto &kv) {
+                return kv.first < windowBase &&
+                       kv.second.subscribers.empty() && kv.second.sent;
+            });
+        }
+
+        if (streamEnded && cores[0]->pipelineEmpty() &&
+            cores[1]->pipelineEmpty()) {
+            break;
+        }
+
+        if (committed != last_committed) {
+            last_committed = committed;
+            last_progress = cycle;
+        } else if (cycle - last_progress > 200000) {
+            const WindowEntry *stuck = windowAt(nextCommitSeq);
+            panic("Fg-STP made no commit progress for 200000 cycles "
+                  "at cycle ", cycle, " (nextCommitSeq=", nextCommitSeq,
+                  " cores=",
+                  stuck ? int{stuck->routed.cores} : -1,
+                  " copies=",
+                  stuck ? int{stuck->committedCopies} : -1,
+                  " barrier=",
+                  static_cast<std::int64_t>(fetchBarrier() ==
+                      invalidSeqNum ? -1 : static_cast<std::int64_t>(
+                          fetchBarrier())),
+                  " cur0=", cursor[0], " cur1=", cursor[1], ")\n  ",
+                  cores[0]->debugState(), "\n  ",
+                  cores[1]->debugState());
+        }
+    }
+
+    sim::RunResult r;
+    r.cycles = cycle;
+    r.instructions = committed;
+    return r;
+}
+
+} // namespace fgstp::part

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The Fg-STP machine: two conventional out-of-order cores reconfigured
+ * to execute one logical thread.
+ *
+ * Composition:
+ *  - a Partitioner routes the dynamic stream at instruction
+ *    granularity into a shared routed-instruction window;
+ *  - each core fetches only the instructions assigned to it (plus
+ *    replicas) from that window, predicts its own branches, and runs
+ *    its ordinary pipeline;
+ *  - cross-core register values travel over a bandwidth-limited
+ *    OperandLink; a value crosses at most once per direction;
+ *  - commit is globally ordered by sequence-number token passing;
+ *  - loads may speculate past remote stores; the machine checks the
+ *    peer core's executed loads whenever a store resolves, squashes
+ *    both cores on a violation, and trains a global store-set that
+ *    afterwards synchronizes the offending pair through the link;
+ *  - a fetched misprediction on either core freezes both front ends
+ *    beyond the branch until it resolves (there is only one logical
+ *    path of execution).
+ */
+
+#ifndef FGSTP_FGSTP_MACHINE_HH
+#define FGSTP_FGSTP_MACHINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "core/hooks.hh"
+#include "core/ooo_core.hh"
+#include "core/store_set.hh"
+#include "fgstp/chunk_partitioner.hh"
+#include "fgstp/config.hh"
+#include "fgstp/partitioner.hh"
+#include "fgstp/routed_inst.hh"
+#include "memory/hierarchy.hh"
+#include "sim/machine.hh"
+#include "trace/trace_source.hh"
+#include "uncore/link.hh"
+
+namespace fgstp::part
+{
+
+/** Machine-level Fg-STP statistics. */
+struct FgstpStats
+{
+    std::uint64_t crossViolations = 0;  ///< cross-core memory squashes
+    std::uint64_t predictedSyncs = 0;   ///< store-set forced waits
+    std::uint64_t conservativeWaits = 0;///< no-speculation stalls
+    std::uint64_t valueTransfers = 0;   ///< link sends performed
+    std::uint64_t barrierBlocks = 0;    ///< peeks refused by barrier
+};
+
+class FgstpMachine : public sim::Machine
+{
+  public:
+    FgstpMachine(const core::CoreConfig &core_cfg,
+                 const mem::HierarchyConfig &mem_cfg,
+                 const FgstpConfig &fg_cfg, trace::TraceSource &source);
+    ~FgstpMachine() override;
+
+    sim::RunResult run(std::uint64_t num_insts) override;
+
+    const char *kind() const override { return "fg-stp"; }
+    const mem::MemoryHierarchy &memory() const override { return mem; }
+    unsigned numCores() const override { return 2; }
+
+    const core::CoreStats &
+    coreStats(unsigned i) const override
+    {
+        return cores[i]->stats();
+    }
+
+    const branch::PredictorStats &
+    branchStats(unsigned i) const override
+    {
+        return cores[i]->branchStats();
+    }
+
+    const PartitionStats &partitionStats() const
+    {
+        return partitioner->stats();
+    }
+    const FgstpStats &fgstpStats() const { return _stats; }
+    const uncore::LinkStats &linkStats() const { return link.stats(); }
+
+    Cycle currentCycle() const { return cycle; }
+
+    void
+    resetStats() override
+    {
+        cores[0]->resetStats();
+        cores[1]->resetStats();
+        mem.resetStats();
+        link.resetStats();
+        partitioner->resetStats();
+        orchestratorPredictor.resetStats();
+        _stats = FgstpStats{};
+    }
+
+  private:
+    friend struct CoreAdapter;
+
+    struct WindowEntry
+    {
+        RoutedInst routed;
+        std::uint8_t committedCopies = 0;
+    };
+
+    /** A producer whose value crosses the link. */
+    struct RemoteProducer
+    {
+        CoreId producerCore = 0;
+        bool executed = false;
+        bool sent = false;
+        Cycle doneCycle = 0;
+        Cycle arrival = 0;
+        /** Consumers waiting for the arrival to become known. */
+        std::vector<std::pair<InstSeqNum, CoreId>> subscribers;
+    };
+
+    /** How far back a load's remote-store window scan reaches. */
+    static constexpr InstSeqNum storeScanDepth = 512;
+
+    /** A store in flight, visible to the remote dependence logic. */
+    struct StoreInfo
+    {
+        CoreId core = 0;
+        Addr pc = 0;
+        bool resolved = false;
+        Cycle dataReady = 0;
+    };
+
+    // ---- per-core hook handlers ------------------------------------------
+    branch::BranchPredictor *sharedPredictor();
+    const core::FetchedInst *fetchPeek(CoreId c);
+    void fetchConsume(CoreId c);
+    void fetchRewind(CoreId c, InstSeqNum seq);
+    core::ExtDepInfo externalDeps(CoreId c, InstSeqNum seq, Cycle now);
+    bool canCommit(CoreId c, InstSeqNum seq, Cycle now);
+    void onExecuted(CoreId c, const core::CoreInst &inst, Cycle now);
+    void onStoreResolved(CoreId c, const core::CoreInst &store,
+                         Cycle now);
+    void onCommitted(CoreId c, const core::CoreInst &inst, Cycle now);
+    void onMispredictFetched(CoreId c, InstSeqNum seq);
+    void onMispredictResolved(CoreId c, InstSeqNum seq, Cycle now);
+    void requestSquash(InstSeqNum seq);
+
+    // ---- helpers ------------------------------------------------------------
+    WindowEntry *windowAt(InstSeqNum seq);
+    bool fillWindow();
+    void retireWindow();
+    void applyPendingSquash();
+    InstSeqNum fetchBarrier() const;
+    /** Known-or-subscribed arrival handling for one remote producer. */
+    void noteDependence(core::ExtDepInfo &info, InstSeqNum producer,
+                        CoreId producer_core, InstSeqNum consumer,
+                        CoreId consumer_core, Cycle now);
+
+    FgstpConfig cfg;
+    mem::MemoryHierarchy mem;
+    uncore::OperandLink link;
+    std::unique_ptr<PartitionerBase> partitioner;
+
+    std::unique_ptr<core::CoreHooks> adapters[2];
+    std::unique_ptr<core::OoOCore> cores[2];
+
+    // Routed-instruction window.
+    std::deque<WindowEntry> window;
+    InstSeqNum windowBase = 1;
+    bool streamEnded = false;
+
+    // Per-core fetch cursors (sequence numbers) and peek slots.
+    InstSeqNum cursor[2] = {1, 1};
+    core::FetchedInst peekSlot[2];
+    bool peekValid[2] = {false, false};
+
+    // Global commit.
+    InstSeqNum nextCommitSeq = 1;
+    std::uint64_t committed = 0;
+
+    // Cross-core value plumbing.
+    std::unordered_map<InstSeqNum, RemoteProducer> remoteProducers;
+
+    /**
+     * Execution record of every in-window instruction (core, done
+     * cycle). Consulted when a dependence edge is created after its
+     * producer already executed; trimmed with the window.
+     */
+    std::unordered_map<InstSeqNum, std::pair<CoreId, Cycle>> executedLog;
+
+    /** The orchestrator's global-view branch predictor. */
+    branch::BranchPredictor orchestratorPredictor;
+
+    // Cross-core memory dependences.
+    core::StoreSet globalStoreSet;
+    std::map<InstSeqNum, StoreInfo> storesInFlight;
+
+    // Mispredict fetch barrier (one logical path).
+    std::set<InstSeqNum> blockedBranches;
+
+    InstSeqNum pendingSquash = invalidSeqNum;
+
+    Cycle cycle = 0;
+
+    FgstpStats _stats;
+};
+
+} // namespace fgstp::part
+
+#endif // FGSTP_FGSTP_MACHINE_HH

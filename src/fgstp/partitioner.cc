@@ -1,0 +1,334 @@
+#include "fgstp/partitioner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fgstp::part
+{
+
+Partitioner::Partitioner(const FgstpConfig &cfg,
+                         trace::TraceSource &source,
+                         double est_issue_width)
+    : cfg(cfg), source(source), issueWidth(est_issue_width)
+{
+    sim_assert(cfg.windowSize >= 8, "partition window too small");
+    sim_assert(est_issue_width >= 1.0, "issue width estimate < 1");
+}
+
+double
+Partitioner::estLatency(isa::OpClass op) const
+{
+    using isa::OpClass;
+    switch (op) {
+      case OpClass::IntMul:
+        return 3.0;
+      case OpClass::IntDiv:
+        return 20.0;
+      case OpClass::FpAdd:
+        return 3.0;
+      case OpClass::FpMul:
+        return 4.0;
+      case OpClass::FpDiv:
+        return 24.0;
+      case OpClass::Load:
+        return 4.0; // AGU + L1 hit estimate
+      default:
+        return 1.0;
+    }
+}
+
+bool
+Partitioner::isReplicable(const trace::DynInst &inst) const
+{
+    // Only cheap single-cycle integer computation is worth copying:
+    // memory ops would double cache traffic and control ops are
+    // handled by the replicateBranches policy.
+    return inst.op == isa::OpClass::IntAlu;
+}
+
+bool
+Partitioner::srcPresentOn(const std::vector<BatchEntry> &batch,
+                          const SrcRef &src, CoreId c) const
+{
+    if (src.batchIdx >= 0)
+        return batch[src.batchIdx].mask & (1u << c);
+    if (src.producer == invalidSeqNum)
+        return true; // architectural state lives on both cores
+    return src.carriedMask & (1u << c);
+}
+
+bool
+Partitioner::tryReplicate(std::vector<BatchEntry> &batch,
+                          std::int32_t idx, CoreId target,
+                          std::uint32_t depth)
+{
+    BatchEntry &e = batch[idx];
+    if (e.mask & (1u << target))
+        return true;
+    if (depth == 0 || !isReplicable(e.inst))
+        return false;
+
+    // Every input must be obtainable on the target core, recursively
+    // replicating cheap producers up to the depth budget.
+    for (std::uint8_t k = 0; k < e.numSrcs; ++k) {
+        const SrcRef &s = e.srcs[k];
+        if (srcPresentOn(batch, s, target))
+            continue;
+        if (s.batchIdx < 0)
+            return false; // carried value absent: would need a transfer
+        if (!tryReplicate(batch, s.batchIdx, target, depth - 1))
+            return false;
+    }
+
+    e.mask |= (1u << target);
+    e.replicated = true;
+    return true;
+}
+
+bool
+Partitioner::nextBatch(std::vector<RoutedInst> &out)
+{
+    out.clear();
+    if (ended)
+        return false;
+
+    // ---- pull the chunk ------------------------------------------------
+    std::vector<BatchEntry> batch;
+    batch.reserve(cfg.windowSize);
+    for (std::uint32_t i = 0; i < cfg.windowSize; ++i) {
+        trace::DynInst inst;
+        if (!source.next(inst)) {
+            ended = true;
+            break;
+        }
+        BatchEntry e;
+        e.inst = inst;
+        batch.push_back(e);
+    }
+    if (batch.empty())
+        return false;
+
+    // Batch-local last-writer map: reg -> batch index.
+    std::unordered_map<isa::RegId, std::int32_t> local_writer;
+
+    CoreId last_core = 2; // invalid until the first placement
+
+    // ---- pass 1: placement ------------------------------------------------
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        BatchEntry &e = batch[i];
+        e.numSrcs = e.inst.numSrcs;
+
+        // Resolve sources against batch-local writers first, then the
+        // carried state.
+        for (std::uint8_t k = 0; k < e.numSrcs; ++k) {
+            SrcRef &s = e.srcs[k];
+            const isa::RegId r = e.inst.srcs[k];
+            s.reg = r;
+            if (!isa::isDependenceSource(r))
+                continue;
+            auto lw = local_writer.find(r);
+            if (lw != local_writer.end()) {
+                s.batchIdx = lw->second;
+                continue;
+            }
+            auto cv = regState.find(r);
+            if (cv != regState.end()) {
+                s.producer = cv->second.producer;
+                s.producerCore = cv->second.producerCore;
+                s.carriedMask = cv->second.mask;
+            }
+        }
+
+        // Cost of running on each core.
+        double cost[2];
+        double src_ready[2];
+        for (CoreId c = 0; c < 2; ++c) {
+            double ready = 0.0;
+            for (std::uint8_t k = 0; k < e.numSrcs; ++k) {
+                const SrcRef &s = e.srcs[k];
+                if (!isa::isDependenceSource(s.reg))
+                    continue;
+                double t = 0.0;
+                bool present;
+                if (s.batchIdx >= 0) {
+                    t = batch[s.batchIdx].estFinish;
+                    present = batch[s.batchIdx].mask & (1u << c);
+                } else if (s.producer == invalidSeqNum) {
+                    present = true;
+                } else {
+                    auto cv = regState.find(s.reg);
+                    t = cv != regState.end() ? cv->second.estReady : 0.0;
+                    present = s.carriedMask & (1u << c);
+                }
+                if (!present)
+                    t += cfg.estCommCost;
+                ready = std::max(ready, t);
+            }
+            src_ready[c] = ready;
+            const double start = std::max(ready, coreLoad[c]);
+            // Balance pressure applies only when this core is
+            // slot-bound: pushing a latency-bound (serial) chain to
+            // the idle core would trade nothing for link latency.
+            const double imbalance =
+                std::max(0.0, coreLoad[c] - coreLoad[1 - c]);
+            const double slot_pressure =
+                std::max(0.0, coreLoad[c] - ready);
+            cost[c] = start + cfg.balanceWeight *
+                std::min(imbalance, slot_pressure);
+        }
+
+        // Partition-cache stickiness: the core that ran this static
+        // instruction last keeps a cost advantage, so working sets
+        // stay in one L1D. Memory ops value it double.
+        if (auto home = pcHome.find(e.inst.pc); home != pcHome.end()) {
+            const double bonus = e.inst.isMem()
+                ? 2.0 * cfg.affinityWeight : cfg.affinityWeight;
+            cost[home->second] -= bonus;
+        }
+
+        // Run hysteresis: prefer the previous instruction's core so
+        // placements form contiguous runs.
+        if (last_core < 2)
+            cost[1 - last_core] += cfg.switchCost;
+
+        CoreId chosen;
+        if (cost[0] == cost[1])
+            chosen = coreLoad[0] <= coreLoad[1] ? 0 : 1;
+        else
+            chosen = cost[0] < cost[1] ? 0 : 1;
+
+        e.primary = chosen;
+        e.mask = static_cast<std::uint8_t>(1u << chosen);
+        pcHome[e.inst.pc] = chosen;
+        last_core = chosen;
+
+        if (cfg.replicateBranches && e.inst.isControl())
+            e.mask = maskBoth;
+
+        const double start =
+            std::max(src_ready[chosen], coreLoad[chosen]);
+        e.estFinish = start + estLatency(e.inst.op);
+        coreLoad[chosen] =
+            std::max(coreLoad[chosen] + 1.0 / issueWidth, start);
+        if (e.mask == maskBoth) {
+            // The replica occupies a slot on the other core too.
+            coreLoad[1 - chosen] += 1.0 / issueWidth;
+        }
+
+        if (e.inst.hasDst() && e.inst.dst != isa::zeroReg)
+            local_writer[e.inst.dst] = static_cast<std::int32_t>(i);
+    }
+
+    // ---- pass 2: replication -------------------------------------------------
+    if (cfg.replication) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            BatchEntry &e = batch[i];
+            for (CoreId c = 0; c < 2; ++c) {
+                if (!(e.mask & (1u << c)))
+                    continue;
+                for (std::uint8_t k = 0; k < e.numSrcs; ++k) {
+                    const SrcRef &s = e.srcs[k];
+                    if (!isa::isDependenceSource(s.reg))
+                        continue;
+                    if (s.batchIdx < 0 ||
+                        srcPresentOn(batch, s, c)) {
+                        continue;
+                    }
+                    // Only latency-critical (nearby) edges justify a
+                    // duplicated execution; distant consumers absorb
+                    // the transfer latency anyway.
+                    if (i - static_cast<std::size_t>(s.batchIdx) >
+                        cfg.replicationMaxDist) {
+                        continue;
+                    }
+                    tryReplicate(batch, s.batchIdx, c,
+                                 cfg.replicationDepth);
+                }
+            }
+        }
+    }
+
+    // ---- pass 3: communication -----------------------------------------------
+    // Carried-value presence can widen as transfers happen; track the
+    // widened masks per producer seq.
+    std::unordered_map<InstSeqNum, std::uint8_t> carried_present;
+
+    out.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        BatchEntry &e = batch[i];
+        RoutedInst r;
+        r.seq = next_seq++;
+        r.inst = e.inst;
+        r.cores = e.mask;
+        r.replicated = e.mask == maskBoth && !e.inst.isControl();
+
+        for (CoreId c = 0; c < 2; ++c) {
+            if (!(e.mask & (1u << c)))
+                continue;
+            for (std::uint8_t k = 0; k < e.numSrcs; ++k) {
+                SrcRef &s = e.srcs[k];
+                if (!isa::isDependenceSource(s.reg))
+                    continue;
+                if (s.batchIdx >= 0) {
+                    BatchEntry &p = batch[s.batchIdx];
+                    if (p.mask & (1u << c))
+                        continue;
+                    // Transfer from the producer's primary core; the
+                    // value is then present on both cores.
+                    r.extDeps[c].push_back(
+                        {out[s.batchIdx].seq, p.primary});
+                    p.mask = maskBoth;
+                    ++_stats.commEdges;
+                } else if (s.producer != invalidSeqNum) {
+                    auto [it, fresh] = carried_present.try_emplace(
+                        s.producer, s.carriedMask);
+                    (void)fresh;
+                    if (it->second & (1u << c))
+                        continue;
+                    r.extDeps[c].push_back(
+                        {s.producer, s.producerCore});
+                    it->second |= (1u << c);
+                    // Reflect the widened presence in the carried
+                    // register state if the register still maps to
+                    // this producer.
+                    auto rv = regState.find(s.reg);
+                    if (rv != regState.end() &&
+                        rv->second.producer == s.producer) {
+                        rv->second.mask |= (1u << c);
+                    }
+                    ++_stats.commEdges;
+                }
+            }
+        }
+
+        ++_stats.instructions;
+        _stats.copies += r.numCopies();
+        if (r.replicated)
+            ++_stats.replicated;
+        ++_stats.assigned[e.primary];
+        out.push_back(std::move(r));
+    }
+
+    // ---- carry state to the next batch ------------------------------------------
+    for (const auto &[reg, idx] : local_writer) {
+        const BatchEntry &e = batch[idx];
+        RegVal v;
+        v.producer = out[idx].seq;
+        v.producerCore = e.primary;
+        v.mask = e.mask;
+        v.estReady = e.estFinish;
+        regState[reg] = v;
+    }
+
+    // Keep the slot model relative so numbers do not grow unboundedly.
+    const double floor_load = std::min(coreLoad[0], coreLoad[1]);
+    coreLoad[0] -= floor_load;
+    coreLoad[1] -= floor_load;
+    for (auto &[reg, v] : regState)
+        v.estReady = std::max(0.0, v.estReady - floor_load);
+
+    return true;
+}
+
+} // namespace fgstp::part

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The Fg-STP partition unit.
+ *
+ * Models the dedicated hardware that scans the dynamic instruction
+ * stream ahead of fetch, one chunk ("large instruction window") at a
+ * time, and decides per instruction which of the two cores executes
+ * it. Three passes per chunk:
+ *
+ *  1. Placement: a greedy list-scheduling heuristic estimates, per
+ *     core, when the instruction could start (operand readiness +
+ *     communication cost + issue-slot pressure + a load-balance term)
+ *     and picks the cheaper core. Control instructions may be
+ *     replicated on both cores so both front ends can follow the
+ *     global path (collaborative fetch).
+ *
+ *  2. Replication: cross-core value edges whose producer is a cheap
+ *     single-cycle operation with locally-available inputs are
+ *     removed by duplicating the producer on the consumer core, up to
+ *     a configurable slice depth.
+ *
+ *  3. Communication: every remaining cross-core edge becomes an
+ *     explicit operand transfer. A value is transferred at most once
+ *     per direction; later consumers on the same core reuse it.
+ *
+ * Decisions are deterministic in stream position, so a squash replays
+ * identical routing (the machine keeps routed instructions buffered
+ * until retirement).
+ */
+
+#ifndef FGSTP_FGSTP_PARTITIONER_HH
+#define FGSTP_FGSTP_PARTITIONER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fgstp/config.hh"
+#include "fgstp/routed_inst.hh"
+#include "isa/registers.hh"
+#include "trace/trace_source.hh"
+
+namespace fgstp::part
+{
+
+/** Aggregate partitioning statistics (feeds Fig. 3). */
+struct PartitionStats
+{
+    std::uint64_t instructions = 0; ///< distinct instructions routed
+    std::uint64_t copies = 0;       ///< total copies incl. replicas
+    std::uint64_t replicated = 0;   ///< instructions with 2 copies
+    std::uint64_t commEdges = 0;    ///< cross-core value transfers
+    std::array<std::uint64_t, 2> assigned{}; ///< primary placements
+
+    double
+    replicationRate() const
+    {
+        return instructions
+            ? static_cast<double>(replicated) / instructions : 0.0;
+    }
+
+    double
+    commRate() const
+    {
+        return instructions
+            ? static_cast<double>(commEdges) / instructions : 0.0;
+    }
+
+    /** Fraction of single-copy instructions placed on core 1. */
+    double
+    remoteFraction() const
+    {
+        const auto total = assigned[0] + assigned[1];
+        return total
+            ? static_cast<double>(assigned[1]) / total : 0.0;
+    }
+};
+
+/**
+ * Interface of a partition unit: anything that turns the dynamic
+ * stream into routed instructions. The dependence-aware Partitioner
+ * below is the paper's scheme; ChunkPartitioner (fgstp/
+ * chunk_partitioner.hh) is the coarse-grain strawman it is compared
+ * against.
+ */
+class PartitionerBase
+{
+  public:
+    virtual ~PartitionerBase() = default;
+
+    /**
+     * Routes the next batch of instructions.
+     * @retval false the stream ended and nothing was produced.
+     */
+    virtual bool nextBatch(std::vector<RoutedInst> &out) = 0;
+
+    virtual const PartitionStats &stats() const = 0;
+
+    /** Zeroes the partition counters; routing state persists. */
+    virtual void resetStats() = 0;
+};
+
+class Partitioner : public PartitionerBase
+{
+  public:
+    /**
+     * @param cfg             scheme configuration
+     * @param source          the logical thread's dynamic stream
+     * @param est_issue_width per-core issue width for the slot model
+     */
+    Partitioner(const FgstpConfig &cfg, trace::TraceSource &source,
+                double est_issue_width);
+
+    /**
+     * Routes the next chunk of up to cfg.windowSize instructions.
+     * @retval false the stream ended and nothing was produced.
+     */
+    bool nextBatch(std::vector<RoutedInst> &out) override;
+
+    const PartitionStats &stats() const override { return _stats; }
+
+    void resetStats() override { _stats = PartitionStats{}; }
+
+    /** Sequence number the next produced instruction will carry. */
+    InstSeqNum nextSeq() const { return next_seq; }
+
+  private:
+    /** Where a register's current value lives and when it is ready. */
+    struct RegVal
+    {
+        InstSeqNum producer = invalidSeqNum; ///< invalid = architectural
+        CoreId producerCore = 0;
+        std::uint8_t mask = maskBoth;
+        double estReady = 0.0;
+    };
+
+    /** Resolved source reference captured during placement. */
+    struct SrcRef
+    {
+        std::int32_t batchIdx = -1;  ///< >=0: producer inside the batch
+        InstSeqNum producer = invalidSeqNum; ///< carried producer seq
+        CoreId producerCore = 0;
+        std::uint8_t carriedMask = maskBoth; ///< for carried values
+        isa::RegId reg = isa::invalidReg;
+    };
+
+    struct BatchEntry
+    {
+        trace::DynInst inst;
+        std::uint8_t mask = maskCore0;
+        CoreId primary = 0;
+        bool replicated = false;
+        double estFinish = 0.0;
+        std::array<SrcRef, trace::maxSrcRegs> srcs;
+        std::uint8_t numSrcs = 0;
+    };
+
+    double estLatency(isa::OpClass op) const;
+    bool isReplicable(const trace::DynInst &inst) const;
+    bool tryReplicate(std::vector<BatchEntry> &batch, std::int32_t idx,
+                      CoreId target, std::uint32_t depth);
+    /** Presence of a source value on a core, batch-state aware. */
+    bool srcPresentOn(const std::vector<BatchEntry> &batch,
+                      const SrcRef &src, CoreId c) const;
+
+    FgstpConfig cfg;
+    trace::TraceSource &source;
+    double issueWidth;
+
+    /** Carried dataflow state across batches. */
+    std::unordered_map<isa::RegId, RegVal> regState;
+    std::array<double, 2> coreLoad{0.0, 0.0};
+
+    /** Partition cache: last placement per static PC. */
+    std::unordered_map<Addr, CoreId> pcHome;
+
+    InstSeqNum next_seq = 1;
+    bool ended = false;
+
+    PartitionStats _stats;
+};
+
+} // namespace fgstp::part
+
+#endif // FGSTP_FGSTP_PARTITIONER_HH

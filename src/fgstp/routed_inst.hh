@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A dynamic instruction with its Fg-STP routing decision.
+ */
+
+#ifndef FGSTP_FGSTP_ROUTED_INST_HH
+#define FGSTP_FGSTP_ROUTED_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::part
+{
+
+/** Which core(s) execute an instruction. */
+enum CoreMask : std::uint8_t
+{
+    maskNone = 0,
+    maskCore0 = 1,
+    maskCore1 = 2,
+    maskBoth = 3,
+};
+
+/** One cross-core value edge: who produces the value, and where. */
+struct ExtDep
+{
+    InstSeqNum producer = invalidSeqNum;
+    CoreId producerCore = 0;
+};
+
+struct RoutedInst
+{
+    InstSeqNum seq = invalidSeqNum;
+    trace::DynInst inst;
+
+    /** Execution placement (replicated instructions set both bits). */
+    std::uint8_t cores = maskCore0;
+
+    /**
+     * Remote producers each copy waits for, indexed by executing
+     * core. Producer seq numbers are always older than this seq.
+     */
+    std::vector<ExtDep> extDeps[2];
+
+    /** The instruction was replicated by the replication pass. */
+    bool replicated = false;
+
+    bool
+    runsOn(CoreId c) const
+    {
+        return cores & (1u << c);
+    }
+
+    /** Number of copies that will commit. */
+    unsigned
+    numCopies() const
+    {
+        return (cores & 1u) + ((cores >> 1) & 1u);
+    }
+};
+
+} // namespace fgstp::part
+
+#endif // FGSTP_FGSTP_ROUTED_INST_HH

@@ -1,0 +1,45 @@
+#include "fusion/fused_config.hh"
+
+namespace fgstp::fusion
+{
+
+core::CoreConfig
+fuseCores(const core::CoreConfig &base, const FusionOverheads &ovh)
+{
+    core::CoreConfig c = base;
+    c.name = base.name + "-fused";
+
+    // The fused logical core is as wide as the two constituents
+    // combined.
+    c.fetchWidth = 2 * base.fetchWidth;
+    c.decodeWidth = 2 * base.decodeWidth;
+    c.issueWidth = 2 * base.issueWidth;
+    c.commitWidth = 2 * base.commitWidth;
+
+    // Window structures are the union of both cores' structures.
+    c.robSize = 2 * base.robSize;
+    c.iqSize = 2 * base.iqSize;
+    c.lqSize = 2 * base.lqSize;
+    c.sqSize = 2 * base.sqSize;
+    c.fetchQueueSize = 2 * base.fetchQueueSize;
+
+    // Each physical core becomes one back-end cluster with its own
+    // functional units and issue bandwidth.
+    c.numClusters = 2;
+    c.clusterIssueWidth = base.issueWidth;
+    c.fuPerCluster = base.fuPerCluster;
+    c.interClusterDelay = ovh.crossBackendDelay;
+
+    // Collective fetch/steer costs pipeline depth.
+    c.frontendDepth = base.frontendDepth + ovh.extraFrontendStages;
+
+    // Distributed, banked LSQ.
+    c.lsqExtraLatency = base.lsqExtraLatency + ovh.lsqExtraLatency;
+
+    // Collective-fetch realignment on redirects.
+    c.takenBranchBubble = ovh.takenBranchBubble;
+
+    return c;
+}
+
+} // namespace fgstp::fusion

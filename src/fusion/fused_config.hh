@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Core Fusion comparator configuration.
+ *
+ * Core Fusion (Ipek, Kirman, Kirman, Martinez, ISCA 2007) fuses two
+ * adjacent cores into one logical core of twice the width: a fetch
+ * management unit merges the front ends (adding pipeline stages), a
+ * steering management unit distributes renamed instructions over the
+ * two back ends, and operands crossing between back ends pay a
+ * copy/bypass delay. We model the fused pair as one OoOCore with:
+ *
+ *  - doubled fetch/decode/issue/commit width and window structures,
+ *  - two back-end clusters (each with one core's FUs and issue width)
+ *    with an inter-cluster bypass delay,
+ *  - extra front-end stages (the FMU/SMU round trips), which deepen
+ *    the misprediction redirect path,
+ *  - extra LSQ latency for the banked/distributed load-store queue.
+ *
+ * These are exactly the published overheads of the scheme; the knobs
+ * are collected in FusionOverheads so the ablation benches can sweep
+ * them.
+ */
+
+#ifndef FGSTP_FUSION_FUSED_CONFIG_HH
+#define FGSTP_FUSION_FUSED_CONFIG_HH
+
+#include "core/core_config.hh"
+
+namespace fgstp::fusion
+{
+
+/** The published microarchitectural costs of fusing two cores. */
+struct FusionOverheads
+{
+    /** Extra front-end stages for fetch merge + steering (FMU/SMU). */
+    std::uint32_t extraFrontendStages = 2;
+
+    /** Cycles for an operand to cross between the two back ends. */
+    std::uint32_t crossBackendDelay = 2;
+
+    /** Extra cycles on LSQ accesses (banked across cores). */
+    std::uint32_t lsqExtraLatency = 1;
+
+    /** Collective fetch loses a cycle realigning after taken branches. */
+    bool takenBranchBubble = true;
+};
+
+/**
+ * Builds the fused-core configuration from the configuration of one
+ * constituent core.
+ */
+core::CoreConfig fuseCores(const core::CoreConfig &base,
+                           const FusionOverheads &ovh = {});
+
+} // namespace fgstp::fusion
+
+#endif // FGSTP_FUSION_FUSED_CONFIG_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The Core Fusion machine: a SingleCoreMachine running the fused
+ * (two-cluster, double-width, deeper-front-end) core configuration.
+ */
+
+#ifndef FGSTP_FUSION_FUSED_MACHINE_HH
+#define FGSTP_FUSION_FUSED_MACHINE_HH
+
+#include "fusion/fused_config.hh"
+#include "sim/single_core.hh"
+
+namespace fgstp::fusion
+{
+
+class FusedMachine : public sim::SingleCoreMachine
+{
+  public:
+    /**
+     * @param base_core  the configuration of ONE constituent core;
+     *                   the fused logical core is derived from it.
+     */
+    FusedMachine(const core::CoreConfig &base_core,
+                 const mem::HierarchyConfig &mem_cfg,
+                 trace::TraceSource &source,
+                 const FusionOverheads &ovh = {})
+        : sim::SingleCoreMachine(fuseCores(base_core, ovh), mem_cfg,
+                                 source, "core-fusion")
+    {
+    }
+};
+
+} // namespace fgstp::fusion
+
+#endif // FGSTP_FUSION_FUSED_MACHINE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-op-class execution latencies.
+ *
+ * Latency here is the execute-stage occupancy of the instruction; load
+ * latency excludes the memory hierarchy, which the LSQ adds on top of
+ * the address-generation latency listed here.
+ */
+
+#ifndef FGSTP_ISA_LATENCY_HH
+#define FGSTP_ISA_LATENCY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/op_class.hh"
+
+namespace fgstp::isa
+{
+
+/** A table of execute latencies, one per op class. */
+class LatencyTable
+{
+  public:
+    /** Default latencies modeled on a 2011-era out-of-order core. */
+    constexpr LatencyTable()
+        : lat{}
+    {
+        set(OpClass::IntAlu, 1);
+        set(OpClass::IntMul, 3);
+        set(OpClass::IntDiv, 20);
+        set(OpClass::FpAdd, 3);
+        set(OpClass::FpMul, 4);
+        set(OpClass::FpDiv, 24);
+        set(OpClass::Load, 1);        // AGU only; cache adds the rest
+        set(OpClass::Store, 1);       // AGU only
+        set(OpClass::BranchCond, 1);
+        set(OpClass::BranchUncond, 1);
+        set(OpClass::BranchInd, 1);
+        set(OpClass::Call, 1);
+        set(OpClass::Ret, 1);
+        set(OpClass::Nop, 1);
+    }
+
+    constexpr void
+    set(OpClass op, std::uint32_t cycles)
+    {
+        lat[static_cast<std::size_t>(op)] = cycles;
+    }
+
+    constexpr std::uint32_t
+    get(OpClass op) const
+    {
+        return lat[static_cast<std::size_t>(op)];
+    }
+
+  private:
+    std::array<std::uint32_t, numOpClasses> lat;
+};
+
+} // namespace fgstp::isa
+
+#endif // FGSTP_ISA_LATENCY_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Operation classes of the trace micro-ISA.
+ *
+ * Traces are ISA-agnostic: every dynamic instruction carries one of
+ * these classes plus register and memory operands. The classes are the
+ * granularity at which functional units, latencies and the Fg-STP
+ * partitioner reason about instructions.
+ */
+
+#ifndef FGSTP_ISA_OP_CLASS_HH
+#define FGSTP_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace fgstp::isa
+{
+
+enum class OpClass : std::uint8_t
+{
+    IntAlu,       ///< add/sub/logic/shift/compare
+    IntMul,       ///< integer multiply
+    IntDiv,       ///< integer divide (unpipelined)
+    FpAdd,        ///< FP add/sub/convert
+    FpMul,        ///< FP multiply
+    FpDiv,        ///< FP divide / sqrt (unpipelined)
+    Load,         ///< memory read
+    Store,        ///< memory write
+    BranchCond,   ///< conditional direct branch
+    BranchUncond, ///< unconditional direct jump
+    BranchInd,    ///< indirect jump (switch tables, virtual calls)
+    Call,         ///< direct call (pushes return address)
+    Ret,          ///< return (pops return address)
+    Nop,          ///< no-op / fence placeholder
+    NumOpClasses
+};
+
+inline constexpr std::size_t numOpClasses =
+    static_cast<std::size_t>(OpClass::NumOpClasses);
+
+/** Short mnemonic for reports and the disassembler. */
+constexpr std::string_view
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "alu";
+      case OpClass::IntMul: return "mul";
+      case OpClass::IntDiv: return "div";
+      case OpClass::FpAdd: return "fadd";
+      case OpClass::FpMul: return "fmul";
+      case OpClass::FpDiv: return "fdiv";
+      case OpClass::Load: return "ld";
+      case OpClass::Store: return "st";
+      case OpClass::BranchCond: return "bcc";
+      case OpClass::BranchUncond: return "jmp";
+      case OpClass::BranchInd: return "ijmp";
+      case OpClass::Call: return "call";
+      case OpClass::Ret: return "ret";
+      case OpClass::Nop: return "nop";
+      default: return "???";
+    }
+}
+
+constexpr bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+constexpr bool
+isControlOp(OpClass op)
+{
+    switch (op) {
+      case OpClass::BranchCond:
+      case OpClass::BranchUncond:
+      case OpClass::BranchInd:
+      case OpClass::Call:
+      case OpClass::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Control ops whose direction is not fixed at decode. */
+constexpr bool
+isConditionalControl(OpClass op)
+{
+    return op == OpClass::BranchCond;
+}
+
+/** Control ops whose target is not encoded in the instruction. */
+constexpr bool
+isIndirectControl(OpClass op)
+{
+    return op == OpClass::BranchInd || op == OpClass::Ret;
+}
+
+constexpr bool
+isFloatOp(OpClass op)
+{
+    return op == OpClass::FpAdd || op == OpClass::FpMul ||
+           op == OpClass::FpDiv;
+}
+
+/** Unpipelined ops occupy their functional unit for the full latency. */
+constexpr bool
+isUnpipelined(OpClass op)
+{
+    return op == OpClass::IntDiv || op == OpClass::FpDiv;
+}
+
+} // namespace fgstp::isa
+
+#endif // FGSTP_ISA_OP_CLASS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Architectural register identifiers of the trace micro-ISA.
+ *
+ * The register file is flat: integer registers 0..63, floating point
+ * registers 64..127. Register 0 is a hardwired zero (writes to it are
+ * discarded and it never creates a dependence), mirroring RISC
+ * conventions and giving generators an easy "no dependence" source.
+ */
+
+#ifndef FGSTP_ISA_REGISTERS_HH
+#define FGSTP_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+namespace fgstp::isa
+{
+
+using RegId = std::uint16_t;
+
+inline constexpr RegId zeroReg = 0;
+inline constexpr RegId numIntRegs = 64;
+inline constexpr RegId numFpRegs = 64;
+inline constexpr RegId numArchRegs = numIntRegs + numFpRegs;
+inline constexpr RegId invalidReg = 0xffff;
+
+constexpr bool
+isIntReg(RegId r)
+{
+    return r < numIntRegs;
+}
+
+constexpr bool
+isFpReg(RegId r)
+{
+    return r >= numIntRegs && r < numArchRegs;
+}
+
+constexpr RegId
+intReg(RegId n)
+{
+    return n;
+}
+
+constexpr RegId
+fpReg(RegId n)
+{
+    return static_cast<RegId>(numIntRegs + n);
+}
+
+/** True when a read of r creates a real data dependence. */
+constexpr bool
+isDependenceSource(RegId r)
+{
+    return r != zeroReg && r != invalidReg;
+}
+
+} // namespace fgstp::isa
+
+#endif // FGSTP_ISA_REGISTERS_HH

@@ -1,0 +1,147 @@
+#include "memory/cache_array.hh"
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace fgstp::mem
+{
+
+CacheArray::CacheArray(const CacheGeometry &geom)
+    : sets(geom.numSets()),
+      assoc(geom.assoc),
+      line(geom.lineBytes),
+      lineMask(geom.lineBytes - 1),
+      ways(static_cast<std::size_t>(sets) * assoc)
+{
+    sim_assert(isPowerOf2(line), "cache line size must be a power of 2");
+    sim_assert(isPowerOf2(sets), "cache set count must be a power of 2: ",
+               sets);
+    sim_assert(assoc > 0, "cache needs at least one way");
+}
+
+std::uint64_t
+CacheArray::setIndex(Addr addr) const
+{
+    return (addr / line) & (sets - 1);
+}
+
+Addr
+CacheArray::tagOf(Addr addr) const
+{
+    return addr / line / sets;
+}
+
+bool
+CacheArray::access(Addr addr, bool is_write)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways[set * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = ++useClock;
+            if (is_write)
+                way.dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CacheArray::probe(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Way *base = &ways[set * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Eviction
+CacheArray::fill(Addr addr, bool dirty)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways[set * assoc];
+
+    // Refill of a resident block just refreshes it.
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = ++useClock;
+            base[w].dirty = base[w].dirty || dirty;
+            return {};
+        }
+    }
+
+    // Choose an invalid way, else the LRU way.
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (base[w].lastUse < oldest) {
+            oldest = base[w].lastUse;
+            victim = w;
+        }
+    }
+
+    Eviction ev;
+    if (base[victim].valid) {
+        ev.valid = true;
+        ev.blockAddr = (base[victim].tag * sets + set) * line;
+        ev.dirty = base[victim].dirty;
+    }
+
+    base[victim].valid = true;
+    base[victim].dirty = dirty;
+    base[victim].tag = tag;
+    base[victim].lastUse = ++useClock;
+    return ev;
+}
+
+bool
+CacheArray::invalidate(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways[set * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            base[w].dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheArray::setDirty(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways[set * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].dirty = true;
+            return;
+        }
+    }
+}
+
+void
+CacheArray::reset()
+{
+    ways.assign(ways.size(), Way{});
+    useClock = 0;
+}
+
+} // namespace fgstp::mem

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A set-associative tag array with LRU replacement.
+ *
+ * This is the storage-state half of a cache: hit/miss decisions,
+ * fills, evictions and invalidations. Timing (latencies, MSHRs,
+ * bandwidth) lives in memory/hierarchy.hh.
+ */
+
+#ifndef FGSTP_MEMORY_CACHE_ARRAY_HH
+#define FGSTP_MEMORY_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fgstp::mem
+{
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 64;
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) * lineBytes);
+    }
+};
+
+/** Result of a fill: the evicted block, when one was displaced. */
+struct Eviction
+{
+    bool valid = false;
+    Addr blockAddr = 0;
+    bool dirty = false;
+};
+
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geom);
+
+    /** Block address (line-aligned) of a byte address. */
+    Addr blockAddr(Addr addr) const { return addr & ~lineMask; }
+
+    /**
+     * Looks up addr; on a hit, updates LRU and (for writes) the dirty
+     * bit.
+     * @retval true hit.
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** Non-updating presence check. */
+    bool probe(Addr addr) const;
+
+    /** Inserts the block for addr, returning any eviction. */
+    Eviction fill(Addr addr, bool dirty = false);
+
+    /**
+     * Drops the block if present.
+     * @retval true the block was present (and is now gone).
+     */
+    bool invalidate(Addr addr);
+
+    /** Marks the block dirty if present. */
+    void setDirty(Addr addr);
+
+    std::uint64_t numSets() const { return sets; }
+    std::uint32_t associativity() const { return assoc; }
+    std::uint32_t lineSize() const { return line; }
+
+    void reset();
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    std::uint64_t sets;
+    std::uint32_t assoc;
+    std::uint32_t line;
+    Addr lineMask;
+    std::vector<Way> ways; // sets * assoc, row-major
+    std::uint64_t useClock = 0;
+};
+
+} // namespace fgstp::mem
+
+#endif // FGSTP_MEMORY_CACHE_ARRAY_HH

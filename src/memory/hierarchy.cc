@@ -1,0 +1,250 @@
+#include "memory/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fgstp::mem
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg)
+    : cfg(cfg), l2(cfg.l2)
+{
+    sim_assert(cfg.numCores >= 1, "hierarchy needs at least one core");
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        l1i.emplace_back(cfg.l1i);
+        l1d.emplace_back(cfg.l1d);
+        mshrs.emplace_back();
+        prefetchers.emplace_back(cfg.prefetchStreams,
+                                 cfg.prefetchDegree,
+                                 cfg.l1d.lineBytes);
+    }
+}
+
+Cycle
+MemoryHierarchy::claimL2Port(Cycle now)
+{
+    const Cycle start = std::max(now, l2PortFree);
+    l2PortFree = start + cfg.l2PortCycles;
+    return start;
+}
+
+Cycle
+MemoryHierarchy::claimDramPort(Cycle now)
+{
+    const Cycle start = std::max(now, dramPortFree);
+    dramPortFree = start + cfg.dramPortCycles;
+    return start;
+}
+
+Cycle
+MemoryHierarchy::lookupBeyondL1(CoreId core, Addr block, Cycle now,
+                                bool &l2_hit)
+{
+    const Cycle t = claimL2Port(now);
+    ++_stats.l2Accesses;
+
+    // Peer L1D holding the block dirty supplies the data.
+    Cycle forward_penalty = 0;
+    auto owner_it = dirtyOwner.find(block);
+    if (owner_it != dirtyOwner.end() && owner_it->second != core) {
+        const CoreId peer = owner_it->second;
+        if (peer < l1d.size() && l1d[peer].probe(block)) {
+            forward_penalty = cfg.dirtyForwardPenalty;
+            ++_stats.dirtyForwards;
+            // After the forward, L2 holds current data; the peer keeps
+            // a clean copy.
+            dirtyOwner.erase(owner_it);
+            l2.fill(block);
+        } else {
+            // Dirty data was written back when the line left the peer.
+            dirtyOwner.erase(owner_it);
+        }
+    }
+
+    if (l2.access(block, false)) {
+        l2_hit = true;
+        return t + cfg.l2Latency + forward_penalty;
+    }
+
+    l2_hit = false;
+    ++_stats.l2Misses;
+    const Cycle dram_start = claimDramPort(t + cfg.l2Latency);
+    const Cycle ready = dram_start + cfg.dramLatency + forward_penalty;
+
+    const Eviction ev = l2.fill(block);
+    if (ev.valid) {
+        // Inclusive L2: evicted blocks leave the L1s too.
+        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+            if (l1d[c].invalidate(ev.blockAddr))
+                ++_stats.invalidations;
+            l1i[c].invalidate(ev.blockAddr);
+        }
+        dirtyOwner.erase(ev.blockAddr);
+    }
+    return ready;
+}
+
+AccessResult
+MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
+                            Cycle now)
+{
+    sim_assert(core < l1d.size(), "bad core id ", unsigned{core});
+    const Addr block = l1d[core].blockAddr(addr);
+    ++_stats.l1dAccesses;
+
+    auto invalidate_peers = [&] {
+        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+            if (c == core)
+                continue;
+            if (l1d[c].invalidate(block))
+                ++_stats.invalidations;
+        }
+    };
+
+    auto &bank = mshrs[core];
+    std::erase_if(bank, [&](const Mshr &m) { return m.readyCycle <= now; });
+
+    AccessResult res;
+    if (l1d[core].access(addr, is_write)) {
+        res.l1Hit = true;
+        res.readyCycle = now + cfg.l1Latency;
+        // The tag array fills eagerly, so a block with an in-flight
+        // miss already "hits" -- but its data arrives with the fill.
+        for (const Mshr &m : bank) {
+            if (m.blockAddr == block) {
+                res.readyCycle = std::max(res.readyCycle, m.readyCycle);
+                res.l1Hit = false;
+                res.l2Hit = true;
+                break;
+            }
+        }
+        if (is_write) {
+            dirtyOwner[block] = core;
+            invalidate_peers();
+        }
+        return res;
+    }
+
+    ++_stats.l1dMisses;
+
+    // Structural stall when every MSHR is busy.
+    Cycle start = now;
+    if (bank.size() >= cfg.numMshrs) {
+        auto oldest = std::min_element(
+            bank.begin(), bank.end(),
+            [](const Mshr &a, const Mshr &b) {
+                return a.readyCycle < b.readyCycle;
+            });
+        start = oldest->readyCycle;
+        bank.erase(oldest);
+        ++_stats.mshrStalls;
+    }
+
+    bool l2_hit = false;
+    const Cycle ready =
+        lookupBeyondL1(core, block, start + cfg.l1Latency, l2_hit) ;
+    res.l2Hit = l2_hit;
+    res.readyCycle = ready;
+
+    const Eviction ev = l1d[core].fill(addr, is_write);
+    if (ev.valid && ev.dirty) {
+        // Writeback to L2; timing-wise free (posted write).
+        l2.fill(ev.blockAddr, true);
+        auto it = dirtyOwner.find(ev.blockAddr);
+        if (it != dirtyOwner.end() && it->second == core)
+            dirtyOwner.erase(it);
+    }
+
+    if (is_write) {
+        dirtyOwner[block] = core;
+        invalidate_peers();
+    }
+
+    // Prefetch on load misses (zero port cost; the optimism applies
+    // to every machine model equally).
+    if (!is_write && cfg.prefetch != PrefetchKind::None) {
+        std::vector<Addr> targets;
+        if (cfg.prefetch == PrefetchKind::NextLine) {
+            targets.push_back(block + l1d[core].lineSize());
+        } else {
+            targets = prefetchers[core].onMiss(block);
+        }
+        for (const Addr t : targets) {
+            if (!l1d[core].probe(t)) {
+                l1d[core].fill(t);
+                l2.fill(t);
+                ++_stats.prefetchFills;
+            }
+        }
+    }
+
+    bank.push_back({block, ready});
+    return res;
+}
+
+AccessResult
+MemoryHierarchy::accessInst(CoreId core, Addr addr, Cycle now)
+{
+    sim_assert(core < l1i.size(), "bad core id ", unsigned{core});
+    ++_stats.l1iAccesses;
+
+    AccessResult res;
+    if (l1i[core].access(addr, false)) {
+        res.l1Hit = true;
+        res.readyCycle = now; // I-cache hit latency folded into the
+                              // front-end pipeline depth
+        return res;
+    }
+
+    ++_stats.l1iMisses;
+    bool l2_hit = false;
+    const Addr block = l1i[core].blockAddr(addr);
+    res.readyCycle = lookupBeyondL1(core, block, now, l2_hit);
+    res.l2Hit = l2_hit;
+    l1i[core].fill(addr);
+
+    // Sequential I-prefetch: code runs forward, so pull the next block
+    // alongside the demand miss.
+    if (cfg.prefetch != PrefetchKind::None) {
+        const Addr next = block + l1i[core].lineSize();
+        if (!l1i[core].probe(next)) {
+            l1i[core].fill(next);
+            l2.fill(next);
+            ++_stats.prefetchFills;
+        }
+    }
+    return res;
+}
+
+bool
+MemoryHierarchy::l1dHasBlock(CoreId core, Addr addr) const
+{
+    return l1d[core].probe(addr);
+}
+
+bool
+MemoryHierarchy::l2HasBlock(Addr addr) const
+{
+    return l2.probe(addr);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    for (auto &c : l1i)
+        c.reset();
+    for (auto &c : l1d)
+        c.reset();
+    l2.reset();
+    dirtyOwner.clear();
+    for (auto &b : mshrs)
+        b.clear();
+    for (auto &p : prefetchers)
+        p.reset();
+    l2PortFree = 0;
+    dramPortFree = 0;
+    _stats = HierarchyStats{};
+}
+
+} // namespace fgstp::mem

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The shared memory hierarchy of the 2-core CMP.
+ *
+ * Per-core L1I and L1D backed by a shared inclusive-ish L2 and a
+ * fixed-latency, bandwidth-limited DRAM. Timing is availability-based:
+ * an access made at cycle `now` returns the cycle at which the data is
+ * ready, accounting for hit latencies, MSHR occupancy, L2/DRAM port
+ * bandwidth and cross-core dirty forwarding.
+ *
+ * Coherence between the two L1Ds is a light write-invalidate MESI
+ * approximation: a store by one core invalidates the other core's L1D
+ * copy; a load that misses on a block dirty in the peer L1D pays a
+ * dirty-forward penalty on top of the L2 latency, after which the
+ * block is clean-shared. This is exactly the coupling Fg-STP needs
+ * when one logical thread's loads and stores are split across cores.
+ */
+
+#ifndef FGSTP_MEMORY_HIERARCHY_HH
+#define FGSTP_MEMORY_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/cache_array.hh"
+#include "memory/prefetcher.hh"
+
+namespace fgstp::mem
+{
+
+/** Timing + geometry of the whole hierarchy. */
+struct HierarchyConfig
+{
+    CacheGeometry l1i{32 * 1024, 4, 64};
+    CacheGeometry l1d{32 * 1024, 4, 64};
+    CacheGeometry l2{4 * 1024 * 1024, 16, 64};
+
+    Cycle l1Latency = 3;         ///< L1 hit latency (load-to-use)
+    Cycle l2Latency = 15;        ///< L1-miss-to-L2-hit latency
+    Cycle dramLatency = 250;     ///< L2-miss-to-DRAM latency
+    Cycle dirtyForwardPenalty = 8; ///< extra cycles for peer-dirty data
+
+    std::uint32_t numMshrs = 16;    ///< per-core L1D miss registers
+    std::uint32_t l2PortCycles = 2; ///< min cycles between L2 accesses
+    std::uint32_t dramPortCycles = 16; ///< min cycles between DRAM reqs
+
+    /**
+     * L1D prefetch scheme. Stream (default) runs a per-core stride
+     * detector over the miss stream; NextLine pulls block+1 on every
+     * miss; None disables data prefetch. The I-side always next-line
+     * prefetches unless None is selected (code runs forward).
+     */
+    PrefetchKind prefetch = PrefetchKind::Stream;
+    std::size_t prefetchStreams = 8;  ///< detectors per core
+    unsigned prefetchDegree = 2;      ///< blocks ahead once locked
+
+    std::uint32_t numCores = 2;
+};
+
+/** Outcome of a data or instruction access. */
+struct AccessResult
+{
+    Cycle readyCycle = 0;
+    bool l1Hit = false;
+    bool l2Hit = false; ///< meaningful only when !l1Hit
+};
+
+/** Per-level hit/miss counters. */
+struct HierarchyStats
+{
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t dirtyForwards = 0;
+    std::uint64_t mshrStalls = 0;
+    std::uint64_t prefetchFills = 0;
+
+    double
+    l1dMissRate() const
+    {
+        return l1dAccesses
+            ? static_cast<double>(l1dMisses) / l1dAccesses : 0.0;
+    }
+
+    double
+    l2MissRate() const
+    {
+        return l2Accesses
+            ? static_cast<double>(l2Misses) / l2Accesses : 0.0;
+    }
+};
+
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &cfg);
+
+    /**
+     * A data access by `core` at cycle `now`. Stores allocate in the
+     * requester's L1D and invalidate the peer's copy.
+     */
+    AccessResult accessData(CoreId core, Addr addr, bool is_write,
+                            Cycle now);
+
+    /** An instruction-block fetch by `core` at cycle `now`. */
+    AccessResult accessInst(CoreId core, Addr addr, Cycle now);
+
+    /** Presence probe (no state change), for tests. */
+    bool l1dHasBlock(CoreId core, Addr addr) const;
+    bool l2HasBlock(Addr addr) const;
+
+    const HierarchyStats &stats() const { return _stats; }
+    const HierarchyConfig &config() const { return cfg; }
+
+    void reset();
+
+    /** Zeroes the counters without touching cache contents. */
+    void resetStats() { _stats = HierarchyStats{}; }
+
+  private:
+    /** One in-flight L1D miss. */
+    struct Mshr
+    {
+        Addr blockAddr = 0;
+        Cycle readyCycle = 0;
+    };
+
+    /** L2-and-below latency for a block, including ports and DRAM. */
+    Cycle lookupBeyondL1(CoreId core, Addr block, Cycle now,
+                         bool &l2_hit);
+
+    /** Earliest cycle the L2 port accepts a request at/after `now`. */
+    Cycle claimL2Port(Cycle now);
+    Cycle claimDramPort(Cycle now);
+
+    HierarchyConfig cfg;
+
+    std::vector<CacheArray> l1i;
+    std::vector<CacheArray> l1d;
+    CacheArray l2;
+    std::vector<StreamPrefetcher> prefetchers; // per core, Stream mode
+
+    /** Which core, if any, holds the block dirty in its L1D. */
+    std::unordered_map<Addr, CoreId> dirtyOwner;
+
+    std::vector<std::vector<Mshr>> mshrs; // per core
+
+    Cycle l2PortFree = 0;
+    Cycle dramPortFree = 0;
+
+    HierarchyStats _stats;
+};
+
+} // namespace fgstp::mem
+
+#endif // FGSTP_MEMORY_HIERARCHY_HH

@@ -1,0 +1,90 @@
+#include "memory/prefetcher.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fgstp::mem
+{
+
+StreamPrefetcher::StreamPrefetcher(std::size_t num_streams,
+                                   unsigned degree,
+                                   std::uint32_t line_bytes)
+    : streams(num_streams), degree(degree),
+      line(static_cast<std::int64_t>(line_bytes))
+{
+    sim_assert(num_streams > 0 && degree > 0,
+               "stream prefetcher needs streams and a degree");
+}
+
+std::vector<Addr>
+StreamPrefetcher::onMiss(Addr block)
+{
+    // 1. Extend a tracked stream. Prefetches cover the blocks right
+    // after the cursor, so a locked stream's next demand *miss* lands
+    // up to degree+1 strides ahead -- accept that window.
+    for (Stream &s : streams) {
+        if (!s.valid || s.stride == 0)
+            continue;
+        bool extends = false;
+        for (unsigned k = 1; k <= degree + 1; ++k) {
+            if (block ==
+                s.lastBlock + static_cast<Addr>(s.stride) * k) {
+                extends = true;
+                break;
+            }
+        }
+        if (extends) {
+            if (s.confidence < lockThreshold)
+                ++s.confidence;
+            if (s.confidence >= lockThreshold) {
+                ++numLocks;
+                std::vector<Addr> out;
+                out.reserve(degree);
+                for (unsigned d = 1; d <= degree; ++d) {
+                    out.push_back(block +
+                                  static_cast<Addr>(s.stride) * d);
+                }
+                // The cursor runs with the furthest prefetch so the
+                // stream keeps extending across covered hits.
+                s.lastBlock = out.back();
+                return out;
+            }
+            s.lastBlock = block;
+            return {};
+        }
+    }
+
+    // 2. Train a stream whose last block is nearby: learn the stride.
+    for (Stream &s : streams) {
+        if (!s.valid)
+            continue;
+        const std::int64_t delta = static_cast<std::int64_t>(block) -
+            static_cast<std::int64_t>(s.lastBlock);
+        if (delta != 0 && std::abs(delta) <= 8 * line) {
+            s.stride = delta;
+            s.lastBlock = block;
+            s.confidence = 1;
+            return {};
+        }
+    }
+
+    // 3. Allocate a fresh detector (round-robin victim).
+    Stream &s = streams[victim];
+    victim = (victim + 1) % streams.size();
+    s.valid = true;
+    s.lastBlock = block;
+    s.stride = 0;
+    s.confidence = 0;
+    return {};
+}
+
+void
+StreamPrefetcher::reset()
+{
+    streams.assign(streams.size(), Stream{});
+    victim = 0;
+    numLocks = 0;
+}
+
+} // namespace fgstp::mem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Data prefetchers for the L1D miss stream.
+ *
+ * Two hardware schemes of the paper's era:
+ *  - next-line: on a miss to block B, pull B+1.
+ *  - stream: a table of stride detectors; once a per-core miss stream
+ *    shows a repeating block stride, run `degree` blocks ahead of it.
+ *
+ * The prefetcher sees the physical miss stream only (no PCs), like a
+ * memory-side prefetcher; fills are modeled at zero port cost, an
+ * optimism that applies to every machine model equally.
+ */
+
+#ifndef FGSTP_MEMORY_PREFETCHER_HH
+#define FGSTP_MEMORY_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fgstp::mem
+{
+
+enum class PrefetchKind : std::uint8_t
+{
+    None,
+    NextLine,
+    Stream
+};
+
+/** Per-core stride-detecting stream prefetcher. */
+class StreamPrefetcher
+{
+  public:
+    /**
+     * @param num_streams concurrent stream detectors
+     * @param degree      blocks to run ahead once a stream locks
+     * @param line_bytes  cache line size
+     */
+    StreamPrefetcher(std::size_t num_streams, unsigned degree,
+                     std::uint32_t line_bytes);
+
+    /**
+     * Observes a demand miss to `block` (line-aligned) and returns
+     * the blocks to prefetch (possibly empty).
+     */
+    std::vector<Addr> onMiss(Addr block);
+
+    void reset();
+
+    std::uint64_t lockedStreams() const { return numLocks; }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    /** Confidence needed before prefetches issue. */
+    static constexpr unsigned lockThreshold = 2;
+
+    std::vector<Stream> streams;
+    unsigned degree;
+    std::int64_t line;
+    std::size_t victim = 0;
+    std::uint64_t numLocks = 0;
+};
+
+} // namespace fgstp::mem
+
+#endif // FGSTP_MEMORY_PREFETCHER_HH

@@ -1,0 +1,100 @@
+#include "power/energy_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fgstp::power
+{
+
+void
+EnergyBreakdown::print(std::ostream &os) const
+{
+    os << "frontend=" << frontend << "nJ backend=" << backend
+       << "nJ memory=" << memory << "nJ coupling=" << coupling
+       << "nJ leakage=" << leakage << "nJ total=" << total()
+       << "nJ epi=" << epi << "nJ/inst edp=" << edp << "\n";
+}
+
+EnergyBreakdown
+estimateEnergy(const ActivityCounts &a, const EnergyCoefficients &c)
+{
+    sim_assert(a.instructions > 0, "energy estimate needs a run");
+
+    // Width factor w scales per-access energy of upsized structures:
+    // a structure of w times the entries/width costs widthScale^log2(w)
+    // per access.
+    const double w = std::pow(
+        c.widthScale,
+        std::log2(std::max(1.0, a.structureWidthFactor)));
+
+    EnergyBreakdown e;
+    const double pj_to_nj = 1e-3;
+
+    e.frontend = pj_to_nj *
+        (static_cast<double>(a.fetched) * c.fetchPerInst * w +
+         static_cast<double>(a.dispatched) * c.decodeRenamePerInst * w);
+
+    // FU energy is approximated through the issue count and the mem-op
+    // share; exact per-class counts are not tracked, and ALU dominates.
+    const double fu_energy =
+        static_cast<double>(a.issued) * c.aluOp +
+        static_cast<double>(a.memOps) * (c.lsqPerMemOp * w);
+    e.backend = pj_to_nj *
+        (static_cast<double>(a.issued) * c.iqWakeupPerIssue * w +
+         static_cast<double>(a.committed) * c.robPerInst * w +
+         static_cast<double>(a.dispatched) * c.regfilePerInst * w +
+         fu_energy);
+
+    e.memory = pj_to_nj *
+        (static_cast<double>(a.l1Accesses) * c.l1Access +
+         static_cast<double>(a.l2Accesses) * c.l2Access +
+         static_cast<double>(a.dramAccesses) * c.dramAccess);
+
+    double coupling = static_cast<double>(a.linkTransfers) *
+        c.linkPerValue;
+    if (a.fgstpPartitioning)
+        coupling += static_cast<double>(a.fetched) * c.partitionPerInst;
+    if (a.fusionSteering) {
+        coupling += static_cast<double>(a.dispatched) *
+            c.fusionSteerPerInst;
+    }
+    e.coupling = pj_to_nj * coupling;
+
+    e.leakage = pj_to_nj * static_cast<double>(a.cycles) *
+        c.leakagePerCoreCycle * a.numCores * w;
+
+    e.epi = e.total() / static_cast<double>(a.instructions);
+    e.edp = e.epi * (static_cast<double>(a.cycles) /
+                     static_cast<double>(a.instructions));
+    return e;
+}
+
+ActivityCounts
+gatherActivity(const core::CoreStats *const *core_stats,
+               unsigned num_cores, const mem::HierarchyStats &mem,
+               std::uint64_t cycles, std::uint64_t instructions,
+               double width_factor)
+{
+    ActivityCounts a;
+    a.cycles = cycles;
+    a.instructions = instructions;
+    a.numCores = num_cores;
+    a.structureWidthFactor = width_factor;
+
+    for (unsigned i = 0; i < num_cores; ++i) {
+        const core::CoreStats &s = *core_stats[i];
+        a.fetched += s.fetched;
+        a.dispatched += s.dispatched;
+        a.issued += s.issued;
+        a.committed += s.committed;
+    }
+
+    a.memOps = mem.l1dAccesses;
+    a.l1Accesses = mem.l1dAccesses + mem.l1iAccesses;
+    a.l2Accesses = mem.l2Accesses;
+    a.dramAccesses = mem.l2Misses;
+    return a;
+}
+
+} // namespace fgstp::power

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Activity-based energy estimation for the machine models.
+ *
+ * The paper's motivation is that power and complexity pushed industry
+ * to CMPs; a single-thread-acceleration scheme is only interesting if
+ * it does not reintroduce big-core power. This module estimates
+ * energy from event counts the timing models already collect
+ * (McPAT-style methodology at coarse granularity): every pipeline
+ * event carries a per-event energy, structures pay size-dependent
+ * access costs, and idle logic leaks per cycle.
+ *
+ * Coefficients are order-of-magnitude values for a ~45nm high-
+ * performance process (the paper's era), normalized so *relative*
+ * energy between machine models is meaningful; absolute joules are
+ * not the claim.
+ */
+
+#ifndef FGSTP_POWER_ENERGY_MODEL_HH
+#define FGSTP_POWER_ENERGY_MODEL_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "branch/predictor.hh"
+#include "core/core_config.hh"
+#include "core/ooo_core.hh"
+#include "memory/hierarchy.hh"
+#include "uncore/link.hh"
+
+namespace fgstp::power
+{
+
+/** Per-event energies in picojoules. */
+struct EnergyCoefficients
+{
+    // Front end, per instruction.
+    double fetchPerInst = 8.0;    ///< I-cache read + predictor share
+    double decodeRenamePerInst = 10.0;
+
+    // Back end.
+    double iqWakeupPerIssue = 6.0; ///< wakeup/select CAM activity
+    double robPerInst = 6.0;       ///< allocate + commit read
+    double regfilePerInst = 8.0;   ///< operand reads + result write
+    double aluOp = 6.0;
+    double mulDivOp = 25.0;
+    double fpOp = 30.0;
+    double lsqPerMemOp = 10.0;     ///< LSQ search + store buffer
+
+    // Memory hierarchy, per access.
+    double l1Access = 20.0;
+    double l2Access = 120.0;
+    double dramAccess = 2000.0;
+
+    // Coupling hardware.
+    double linkPerValue = 15.0;    ///< inter-core operand transfer
+    double partitionPerInst = 2.0; ///< Fg-STP partition unit share
+    double fusionSteerPerInst = 4.0; ///< Core Fusion SMU/FMU share
+
+    // Static power, per core-cycle (both cores leak while on).
+    double leakagePerCoreCycle = 30.0;
+
+    /**
+     * Dynamic-energy scale factor for wider structures: a structure
+     * of 2x entries/width costs ~1.6x per access (superlinear CAM
+     * and wiring growth, sublinear banking relief).
+     */
+    double widthScale = 1.6;
+};
+
+/** Aggregated activity of one run, gathered from machine stats. */
+struct ActivityCounts
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0; ///< distinct committed
+
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t committed = 0; ///< including replicated copies
+
+    std::uint64_t memOps = 0;      ///< issued loads + committed stores
+    std::uint64_t l1Accesses = 0;  ///< D + I side
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dramAccesses = 0;
+
+    std::uint64_t linkTransfers = 0;
+
+    unsigned numCores = 1;       ///< leaking cores
+    double structureWidthFactor = 1.0; ///< 2.0 for the fused core
+    bool fgstpPartitioning = false;
+    bool fusionSteering = false;
+};
+
+/** Energy broken down by component, in nanojoules. */
+struct EnergyBreakdown
+{
+    double frontend = 0.0;
+    double backend = 0.0;
+    double memory = 0.0;
+    double coupling = 0.0; ///< link + partition/steer hardware
+    double leakage = 0.0;
+
+    double
+    total() const
+    {
+        return frontend + backend + memory + coupling + leakage;
+    }
+
+    /** Energy per committed instruction, nJ. */
+    double epi = 0.0;
+
+    /** Energy-delay product, nJ * cycles / inst^2 (relative metric). */
+    double edp = 0.0;
+
+    void print(std::ostream &os) const;
+};
+
+/** Applies the coefficients to one run's activity. */
+EnergyBreakdown estimateEnergy(const ActivityCounts &activity,
+                               const EnergyCoefficients &coeff = {});
+
+/**
+ * Gathers ActivityCounts from per-core pipeline stats plus the shared
+ * hierarchy. `width_factor` captures structure upsizing (2.0 for the
+ * fused core, 2.0 for the big core, 1.0 otherwise).
+ */
+ActivityCounts
+gatherActivity(const core::CoreStats *const *core_stats,
+               unsigned num_cores, const mem::HierarchyStats &mem,
+               std::uint64_t cycles, std::uint64_t instructions,
+               double width_factor);
+
+} // namespace fgstp::power
+
+#endif // FGSTP_POWER_ENERGY_MODEL_HH

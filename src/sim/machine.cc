@@ -1,0 +1,31 @@
+#include "sim/machine.hh"
+
+namespace fgstp::sim
+{
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    os << "machine: " << kind() << "\n";
+    for (unsigned c = 0; c < numCores(); ++c) {
+        const auto &s = coreStats(c);
+        os << "  core" << c << ": cycles=" << s.cycles
+           << " fetched=" << s.fetched
+           << " issued=" << s.issued
+           << " committed=" << s.committed
+           << " squashes=" << s.squashes
+           << " violations=" << s.memOrderViolations << "\n";
+        const auto &b = branchStats(c);
+        os << "  core" << c << ".branch: cond=" << b.condLookups
+           << " condMiss=" << b.condMispredicts
+           << " indMiss=" << b.indirectMispredicts
+           << " retMiss=" << b.returnMispredicts << "\n";
+    }
+    const auto &m = memory().stats();
+    os << "  mem: l1d=" << m.l1dAccesses << " l1dMiss=" << m.l1dMisses
+       << " l2=" << m.l2Accesses << " l2Miss=" << m.l2Misses
+       << " inval=" << m.invalidations
+       << " fwd=" << m.dirtyForwards << "\n";
+}
+
+} // namespace fgstp::sim

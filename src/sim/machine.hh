@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The common interface of the three machine models: single core,
+ * Core Fusion and Fg-STP.
+ */
+
+#ifndef FGSTP_SIM_MACHINE_HH
+#define FGSTP_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "branch/predictor.hh"
+#include "core/ooo_core.hh"
+#include "memory/hierarchy.hh"
+
+namespace fgstp::sim
+{
+
+/** Outcome of a simulation run. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0; ///< distinct committed instructions
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+class Machine
+{
+  public:
+    virtual ~Machine() = default;
+
+    /**
+     * Runs until `num_insts` instructions commit (or the trace ends).
+     */
+    virtual RunResult run(std::uint64_t num_insts) = 0;
+
+    virtual const char *kind() const = 0;
+
+    /** The shared memory hierarchy. */
+    virtual const mem::MemoryHierarchy &memory() const = 0;
+
+    /** Per-core pipeline stats; cores() gives the valid range. */
+    virtual unsigned numCores() const = 0;
+    virtual const core::CoreStats &coreStats(unsigned i) const = 0;
+    virtual const branch::PredictorStats &
+    branchStats(unsigned i) const = 0;
+
+    /** Writes a human-readable stats report. */
+    virtual void dumpStats(std::ostream &os) const;
+
+    /**
+     * Zeroes every microarchitectural counter while preserving all
+     * machine state, enabling warmup-discard measurement: run a
+     * warmup, resetStats(), run the region of interest, and read the
+     * stats (run() totals remain cumulative).
+     */
+    virtual void resetStats() = 0;
+};
+
+} // namespace fgstp::sim
+
+#endif // FGSTP_SIM_MACHINE_HH

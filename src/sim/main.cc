@@ -1,0 +1,174 @@
+/**
+ * @file
+ * fgstp_sim — the command-line simulator driver.
+ *
+ *   fgstp_sim --machine=fgstp --preset=medium --bench=gcc \
+ *             --insts=100000 [--seed=N] [--stats] [knobs...]
+ *
+ * Machines: single | big | fusion | fgstp
+ * Knobs (fgstp): --window=N --link-latency=N --chunk=N (chunk mode)
+ *                --no-replication --no-mem-spec --no-shared-pred
+ *                --replicate-branches
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "sim/stat_report.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+
+using namespace fgstp;
+
+namespace
+{
+
+struct Options
+{
+    std::string machine = "fgstp";
+    std::string traceFile; // replay a saved trace instead of a bench
+    std::string preset = "medium";
+    std::string bench = "gcc";
+    std::uint64_t insts = 100000;
+    std::uint64_t seed = 1;
+    bool stats = false;
+
+    std::uint32_t window = 0;
+    Cycle linkLatency = 0;
+    std::uint32_t chunk = 0;
+    bool noReplication = false;
+    bool noMemSpec = false;
+    bool noSharedPred = false;
+    bool replicateBranches = false;
+};
+
+bool
+matchValue(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    std::string v;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (matchValue(a, "--machine", v)) {
+            o.machine = v;
+        } else if (matchValue(a, "--preset", v)) {
+            o.preset = v;
+        } else if (matchValue(a, "--bench", v)) {
+            o.bench = v;
+        } else if (matchValue(a, "--trace", v)) {
+            o.traceFile = v;
+        } else if (matchValue(a, "--insts", v)) {
+            o.insts = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (matchValue(a, "--seed", v)) {
+            o.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (matchValue(a, "--window", v)) {
+            o.window = static_cast<std::uint32_t>(std::stoul(v));
+        } else if (matchValue(a, "--link-latency", v)) {
+            o.linkLatency = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (matchValue(a, "--chunk", v)) {
+            o.chunk = static_cast<std::uint32_t>(std::stoul(v));
+        } else if (std::strcmp(a, "--stats") == 0) {
+            o.stats = true;
+        } else if (std::strcmp(a, "--no-replication") == 0) {
+            o.noReplication = true;
+        } else if (std::strcmp(a, "--no-mem-spec") == 0) {
+            o.noMemSpec = true;
+        } else if (std::strcmp(a, "--no-shared-pred") == 0) {
+            o.noSharedPred = true;
+        } else if (std::strcmp(a, "--replicate-branches") == 0) {
+            o.replicateBranches = true;
+        } else if (std::strcmp(a, "--list-benchmarks") == 0) {
+            for (const auto &p : workload::spec2006Profiles())
+                std::printf("%s\n", p.name.c_str());
+            std::exit(0);
+        } else {
+            fatal("unknown option '", a,
+                  "' (see the header of sim/main.cc)");
+        }
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+    const auto preset = sim::presetByName(o.preset);
+    std::unique_ptr<trace::TraceSource> owned_source;
+    if (!o.traceFile.empty()) {
+        owned_source = std::make_unique<trace::VectorTraceSource>(
+            trace::loadTraceFile(o.traceFile));
+        o.bench = o.traceFile;
+    } else {
+        owned_source = std::make_unique<workload::SyntheticWorkload>(
+            workload::profileByName(o.bench), o.seed);
+    }
+    trace::TraceSource &source = *owned_source;
+
+    std::unique_ptr<sim::Machine> machine;
+    if (o.machine == "single") {
+        machine = std::make_unique<sim::SingleCoreMachine>(
+            preset.core, preset.memory, source);
+    } else if (o.machine == "big") {
+        machine = std::make_unique<sim::SingleCoreMachine>(
+            sim::bigCoreConfig(), preset.memory, source, "big-core");
+    } else if (o.machine == "fusion") {
+        machine = std::make_unique<fusion::FusedMachine>(
+            preset.core, preset.memory, source,
+            preset.fusionOverheads);
+    } else if (o.machine == "fgstp") {
+        auto cfg = preset.fgstp();
+        if (o.window)
+            cfg.windowSize = o.window;
+        if (o.linkLatency)
+            cfg.link.latency = o.linkLatency;
+        if (o.chunk) {
+            cfg.granularity = part::Granularity::Chunk;
+            cfg.chunkSize = o.chunk;
+        }
+        cfg.replication = !o.noReplication;
+        cfg.memSpeculation = !o.noMemSpec;
+        cfg.sharedPrediction = !o.noSharedPred;
+        cfg.replicateBranches = o.replicateBranches;
+        machine = std::make_unique<part::FgstpMachine>(
+            preset.core, preset.memory, cfg, source);
+    } else {
+        fatal("unknown machine '", o.machine,
+              "' (single | big | fusion | fgstp)");
+    }
+
+    const auto r = machine->run(o.insts);
+    std::printf("%s %s %s: instructions=%lu cycles=%lu ipc=%.4f\n",
+                machine->kind(), preset.name, o.bench.c_str(),
+                static_cast<unsigned long>(r.instructions),
+                static_cast<unsigned long>(r.cycles), r.ipc());
+
+    if (o.stats) {
+        sim::StatReport report(*machine, r);
+        report.dump(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "sim/presets.hh"
+
+#include "common/logging.hh"
+
+namespace fgstp::sim
+{
+
+MachinePreset
+smallPreset()
+{
+    MachinePreset p;
+    p.name = "small";
+
+    core::CoreConfig &c = p.core;
+    c.name = "small-core";
+    c.fetchWidth = 2;
+    c.decodeWidth = 2;
+    c.issueWidth = 2;
+    c.commitWidth = 2;
+    c.robSize = 32;
+    c.iqSize = 16;
+    c.lqSize = 16;
+    c.sqSize = 16;
+    c.fetchQueueSize = 12;
+    c.frontendDepth = 5;
+    c.clusterIssueWidth = 2;
+    c.fuPerCluster = {2, 1, 1, 1};
+    c.predictor.kind = "tournament";
+    c.predictor.tableEntries = 4096;
+    c.predictor.historyBits = 10;
+    c.predictor.btbEntries = 1024;
+    c.predictor.rasEntries = 8;
+
+    mem::HierarchyConfig &m = p.memory;
+    m.l1i = {32 * 1024, 4, 64};
+    m.l1d = {32 * 1024, 4, 64};
+    m.l2 = {1024 * 1024, 8, 64};
+    m.l1Latency = 2;
+    m.l2Latency = 12;
+    m.dramLatency = 200;
+    m.dirtyForwardPenalty = 6;
+    m.numMshrs = 8;
+    m.l2PortCycles = 2;
+    m.dramPortCycles = 16;
+
+    p.link.latency = 2;
+    p.link.width = 2;
+    p.partitionWindow = 256;
+
+    // Merging two 2-wide cores needs only a narrow crossbar.
+    p.fusionOverheads.extraFrontendStages = 3;
+    p.fusionOverheads.crossBackendDelay = 1;
+    p.fusionOverheads.lsqExtraLatency = 1;
+    return p;
+}
+
+MachinePreset
+mediumPreset()
+{
+    MachinePreset p;
+    p.name = "medium";
+
+    core::CoreConfig &c = p.core;
+    c.name = "medium-core";
+    c.fetchWidth = 4;
+    c.decodeWidth = 4;
+    c.issueWidth = 4;
+    c.commitWidth = 4;
+    c.robSize = 128;
+    c.iqSize = 48;
+    c.lqSize = 48;
+    c.sqSize = 32;
+    c.fetchQueueSize = 24;
+    c.frontendDepth = 6;
+    c.clusterIssueWidth = 4;
+    c.fuPerCluster = {3, 1, 2, 2};
+    c.predictor.kind = "tournament";
+    c.predictor.tableEntries = 16384;
+    c.predictor.historyBits = 12;
+    c.predictor.btbEntries = 4096;
+    c.predictor.rasEntries = 16;
+
+    mem::HierarchyConfig &m = p.memory;
+    m.l1i = {32 * 1024, 4, 64};
+    m.l1d = {32 * 1024, 4, 64};
+    m.l2 = {4 * 1024 * 1024, 16, 64};
+    m.l1Latency = 3;
+    m.l2Latency = 15;
+    m.dramLatency = 250;
+    m.dirtyForwardPenalty = 8;
+    m.numMshrs = 16;
+    m.l2PortCycles = 2;
+    m.dramPortCycles = 16;
+
+    p.link.latency = 3;
+    p.link.width = 2;
+    p.partitionWindow = 512;
+
+    // An 8-wide collective front end (fetch merge + steering crossbar
+    // across two 4-wide cores) costs substantially more depth; the
+    // fused misprediction penalty roughly doubles, as reported for
+    // Core Fusion's fused mode.
+    p.fusionOverheads.extraFrontendStages = 8;
+    p.fusionOverheads.crossBackendDelay = 2;
+    p.fusionOverheads.lsqExtraLatency = 1;
+    return p;
+}
+
+core::CoreConfig
+bigCoreConfig()
+{
+    core::CoreConfig c = mediumPreset().core;
+    c.name = "big-core";
+    c.fetchWidth = 8;
+    c.decodeWidth = 8;
+    c.issueWidth = 8;
+    c.commitWidth = 8;
+    c.robSize = 256;
+    c.iqSize = 96;
+    c.lqSize = 96;
+    c.sqSize = 64;
+    c.fetchQueueSize = 48;
+    // Bigger structures clock/pipeline worse: deeper front end.
+    c.frontendDepth = 8;
+    c.clusterIssueWidth = 8;
+    c.fuPerCluster = {6, 2, 4, 4};
+    return c;
+}
+
+MachinePreset
+presetByName(const std::string &name)
+{
+    if (name == "small")
+        return smallPreset();
+    if (name == "medium")
+        return mediumPreset();
+    fatal("unknown machine preset '", name, "'");
+}
+
+} // namespace fgstp::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The two CMP design points of the evaluation (DESIGN.md Table 1).
+ *
+ * "small" models a 2-wide embedded-class core, "medium" a 4-wide
+ * desktop-class core; the paper evaluates Fg-STP and Core Fusion on
+ * 2-core CMPs built from each.
+ */
+
+#ifndef FGSTP_SIM_PRESETS_HH
+#define FGSTP_SIM_PRESETS_HH
+
+#include "core/core_config.hh"
+#include "fgstp/config.hh"
+#include "fusion/fused_config.hh"
+#include "memory/hierarchy.hh"
+#include "uncore/link.hh"
+
+namespace fgstp::sim
+{
+
+/** One CMP design point. */
+struct MachinePreset
+{
+    const char *name;
+    core::CoreConfig core;
+    mem::HierarchyConfig memory;
+    uncore::LinkConfig link;
+
+    /** Fg-STP partition lookahead window for this design point. */
+    std::uint32_t partitionWindow;
+
+    /**
+     * Core Fusion overheads at this design point. Fusing two wide
+     * cores needs a wider fetch/steer crossbar than fusing two narrow
+     * ones, so the medium point pays more pipeline depth.
+     */
+    fusion::FusionOverheads fusionOverheads;
+
+    /** Fg-STP configuration at this design point. */
+    part::FgstpConfig
+    fgstp() const
+    {
+        part::FgstpConfig cfg;
+        cfg.windowSize = partitionWindow;
+        cfg.link = link;
+        return cfg;
+    }
+};
+
+/** 2-wide small core CMP. */
+MachinePreset smallPreset();
+
+/** 4-wide medium core CMP. */
+MachinePreset mediumPreset();
+
+/**
+ * A monolithic core with twice the medium core's resources; the
+ * "build one big core instead" comparison of Fig. 8.
+ */
+core::CoreConfig bigCoreConfig();
+
+MachinePreset presetByName(const std::string &name);
+
+} // namespace fgstp::sim
+
+#endif // FGSTP_SIM_PRESETS_HH

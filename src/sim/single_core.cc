@@ -1,0 +1,117 @@
+#include "sim/single_core.hh"
+
+#include "common/logging.hh"
+
+namespace fgstp::sim
+{
+
+SingleCoreMachine::SingleCoreMachine(const core::CoreConfig &core_cfg,
+                                     const mem::HierarchyConfig &mem_cfg,
+                                     trace::TraceSource &source,
+                                     const char *kind_name)
+    : kindName(kind_name),
+      mem([&] {
+          auto c = mem_cfg;
+          c.numCores = 1;
+          return c;
+      }()),
+      buffer(source)
+{
+    // Perform the to-private-base conversion here, where it is
+    // accessible, rather than inside std::make_unique.
+    core::CoreHooks &hooks = *this;
+    cpu = std::make_unique<core::OoOCore>(core_cfg, 0, mem, hooks);
+}
+
+const core::FetchedInst *
+SingleCoreMachine::fetchPeek()
+{
+    if (curValid)
+        return &cur;
+    const trace::DynInst *inst = buffer.at(nextFetchSeq);
+    if (!inst) {
+        streamEnded = true;
+        return nullptr;
+    }
+    cur.seq = nextFetchSeq;
+    cur.inst = *inst;
+    cur.sendRemote = false;
+    curValid = true;
+    return &cur;
+}
+
+void
+SingleCoreMachine::fetchConsume()
+{
+    sim_assert(curValid, "consume without peek");
+    curValid = false;
+    ++nextFetchSeq;
+}
+
+void
+SingleCoreMachine::fetchRewind(InstSeqNum seq)
+{
+    // Squash targets can sit beyond the fetch point (the core calls
+    // rewind unconditionally); never move fetch forward.
+    nextFetchSeq = std::min(nextFetchSeq, seq);
+    curValid = false;
+    streamEnded = false;
+}
+
+bool
+SingleCoreMachine::canCommit(InstSeqNum seq, Cycle)
+{
+    // A squash requested earlier in this tick (memory-order violation
+    // found during completion processing) must not be outrun by the
+    // commit stage.
+    return seq < pendingSquash;
+}
+
+void
+SingleCoreMachine::onCommitted(const core::CoreInst &inst, Cycle)
+{
+    ++committed;
+    buffer.retireUpTo(inst.seq + 1);
+}
+
+void
+SingleCoreMachine::requestSquash(InstSeqNum seq)
+{
+    if (seq < pendingSquash)
+        pendingSquash = seq;
+}
+
+RunResult
+SingleCoreMachine::run(std::uint64_t num_insts)
+{
+    std::uint64_t last_committed = committed;
+    Cycle last_progress = cycle;
+
+    while (committed < num_insts) {
+        ++cycle;
+        cpu->tick(cycle);
+
+        if (pendingSquash != invalidSeqNum) {
+            cpu->squashFrom(pendingSquash, cycle);
+            pendingSquash = invalidSeqNum;
+        }
+
+        if (streamEnded && cpu->pipelineEmpty())
+            break;
+
+        if (committed != last_committed) {
+            last_committed = committed;
+            last_progress = cycle;
+        } else if (cycle - last_progress > 200000) {
+            panic("no commit progress for 200000 cycles at cycle ",
+                  cycle, " (deadlock in the timing model)");
+        }
+    }
+
+    RunResult r;
+    r.cycles = cycle;
+    r.instructions = committed;
+    return r;
+}
+
+} // namespace fgstp::sim

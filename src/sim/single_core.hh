@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The single-core machine: one OoOCore executing the whole thread.
+ *
+ * This is both the 1-core baseline of the evaluation and, with a
+ * clustered CoreConfig from fusion/fused_config.hh, the Core Fusion
+ * comparator.
+ */
+
+#ifndef FGSTP_SIM_SINGLE_CORE_HH
+#define FGSTP_SIM_SINGLE_CORE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/hooks.hh"
+#include "core/ooo_core.hh"
+#include "memory/hierarchy.hh"
+#include "sim/machine.hh"
+#include "trace/trace_source.hh"
+
+namespace fgstp::sim
+{
+
+class SingleCoreMachine : public Machine, private core::CoreHooks
+{
+  public:
+    SingleCoreMachine(const core::CoreConfig &core_cfg,
+                      const mem::HierarchyConfig &mem_cfg,
+                      trace::TraceSource &source,
+                      const char *kind_name = "single-core");
+
+    RunResult run(std::uint64_t num_insts) override;
+
+    const char *kind() const override { return kindName; }
+    const mem::MemoryHierarchy &memory() const override { return mem; }
+    unsigned numCores() const override { return 1; }
+
+    const core::CoreStats &
+    coreStats(unsigned) const override
+    {
+        return cpu->stats();
+    }
+
+    const branch::PredictorStats &
+    branchStats(unsigned) const override
+    {
+        return cpu->branchStats();
+    }
+
+    Cycle currentCycle() const { return cycle; }
+
+    void
+    resetStats() override
+    {
+        cpu->resetStats();
+        mem.resetStats();
+    }
+
+  private:
+    // CoreHooks
+    const core::FetchedInst *fetchPeek() override;
+    void fetchConsume() override;
+    void fetchRewind(InstSeqNum seq) override;
+    bool canCommit(InstSeqNum seq, Cycle now) override;
+    void onCommitted(const core::CoreInst &inst, Cycle now) override;
+    void requestSquash(InstSeqNum seq) override;
+
+    const char *kindName;
+    mem::MemoryHierarchy mem;
+    trace::ReplayBuffer buffer;
+    std::unique_ptr<core::OoOCore> cpu;
+
+    Cycle cycle = 0;
+    InstSeqNum nextFetchSeq = 1;
+    std::uint64_t committed = 0;
+    bool streamEnded = false;
+    core::FetchedInst cur;
+    bool curValid = false;
+
+    InstSeqNum pendingSquash = invalidSeqNum;
+};
+
+} // namespace fgstp::sim
+
+#endif // FGSTP_SIM_SINGLE_CORE_HH

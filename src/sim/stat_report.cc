@@ -1,0 +1,89 @@
+#include "sim/stat_report.hh"
+
+namespace fgstp::sim
+{
+
+void
+StatReport::addScalar(const std::string &name, const std::string &desc,
+                      std::uint64_t value)
+{
+    auto s = std::make_unique<stats::Scalar>(_group, name, desc);
+    s->set(value);
+    owned.push_back(std::move(s));
+}
+
+void
+StatReport::addValue(const std::string &name, const std::string &desc,
+                     double value)
+{
+    owned.push_back(std::make_unique<stats::Formula>(
+        _group, name, desc, [value] { return value; }));
+}
+
+StatReport::StatReport(const Machine &machine, const RunResult &result)
+    : _group(machine.kind())
+{
+    addScalar("cycles", "simulated cycles", result.cycles);
+    addScalar("instructions", "distinct committed instructions",
+              result.instructions);
+    addValue("ipc", "committed instructions per cycle", result.ipc());
+
+    const double kinsts =
+        std::max<double>(1.0, result.instructions / 1000.0);
+
+    for (unsigned c = 0; c < machine.numCores(); ++c) {
+        const auto &s = machine.coreStats(c);
+        const std::string p = "core" + std::to_string(c) + ".";
+        addScalar(p + "fetched", "instructions fetched", s.fetched);
+        addScalar(p + "dispatched", "instructions dispatched",
+                  s.dispatched);
+        addScalar(p + "issued", "instructions issued", s.issued);
+        addScalar(p + "committed", "instruction copies committed",
+                  s.committed);
+        addScalar(p + "squashes", "pipeline squashes", s.squashes);
+        addScalar(p + "squashedInsts", "instructions squashed",
+                  s.squashedInsts);
+        addScalar(p + "memOrderViolations",
+                  "local memory-order violations",
+                  s.memOrderViolations);
+        addScalar(p + "loadsForwarded", "store-to-load forwards",
+                  s.loadsForwarded);
+        addScalar(p + "loadsSpeculative",
+                  "loads issued past unresolved stores",
+                  s.loadsSpeculative);
+        addScalar(p + "fetchStallIcache",
+                  "cycles fetch stalled on I-cache/refill",
+                  s.fetchStallIcache);
+        addScalar(p + "fetchStallBranch",
+                  "cycles fetch blocked on a mispredict",
+                  s.fetchStallBranch);
+
+        const auto &b = machine.branchStats(c);
+        addScalar(p + "condLookups", "conditional predictions",
+                  b.condLookups);
+        addScalar(p + "condMispredicts", "conditional mispredictions",
+                  b.condMispredicts);
+        addValue(p + "brMpki", "mispredictions per kilo-instruction",
+                 b.totalMispredicts() / kinsts);
+    }
+
+    const auto &m = machine.memory().stats();
+    addScalar("mem.l1dAccesses", "L1D accesses", m.l1dAccesses);
+    addScalar("mem.l1dMisses", "L1D misses", m.l1dMisses);
+    addScalar("mem.l1iMisses", "L1I misses", m.l1iMisses);
+    addScalar("mem.l2Accesses", "L2 accesses", m.l2Accesses);
+    addScalar("mem.l2Misses", "L2 misses", m.l2Misses);
+    addScalar("mem.invalidations", "cross-core L1D invalidations",
+              m.invalidations);
+    addScalar("mem.dirtyForwards", "peer-dirty data forwards",
+              m.dirtyForwards);
+    addScalar("mem.prefetchFills", "prefetch fills", m.prefetchFills);
+    addValue("mem.l1dMissRate", "L1D miss rate", m.l1dMissRate());
+    addValue("mem.l2MissRate", "L2 miss rate", m.l2MissRate());
+    addValue("mem.l1dMpki", "L1D misses per kilo-instruction",
+             m.l1dMisses / kinsts);
+    addValue("mem.l2Mpki", "L2 misses per kilo-instruction",
+             m.l2Misses / kinsts);
+}
+
+} // namespace fgstp::sim

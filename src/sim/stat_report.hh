@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binds a machine's counters into the common stats package.
+ *
+ * Machines keep raw counter structs on their hot paths; this adapter
+ * materializes them as a stats::StatGroup — named, described, with
+ * derived Formula stats (IPC, miss rates, MPKI) — so reports and CSV
+ * dumps go through one mechanism.
+ */
+
+#ifndef FGSTP_SIM_STAT_REPORT_HH
+#define FGSTP_SIM_STAT_REPORT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/machine.hh"
+
+namespace fgstp::sim
+{
+
+/**
+ * A snapshot of one machine's statistics as a StatGroup.
+ *
+ * Construct after (or between) run() calls; the snapshot copies the
+ * counter values at construction time.
+ */
+class StatReport
+{
+  public:
+    /**
+     * @param machine the machine to snapshot
+     * @param result  the run result (for instruction/cycle formulas)
+     */
+    StatReport(const Machine &machine, const RunResult &result);
+
+    const stats::StatGroup &group() const { return _group; }
+
+    /** Value of a named stat (panics when absent). */
+    double get(const std::string &name) const { return _group.get(name); }
+
+    void dump(std::ostream &os) const { _group.dump(os); }
+    void dumpCsv(std::ostream &os) const { _group.dumpCsv(os); }
+
+  private:
+    void addScalar(const std::string &name, const std::string &desc,
+                   std::uint64_t value);
+    void addValue(const std::string &name, const std::string &desc,
+                  double value);
+
+    stats::StatGroup _group;
+    // Owned stat objects (StatGroup holds raw pointers).
+    std::vector<std::unique_ptr<stats::StatBase>> owned;
+};
+
+} // namespace fgstp::sim
+
+#endif // FGSTP_SIM_STAT_REPORT_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * fgstp_trace — generate, save, inspect and summarize trace files.
+ *
+ *   fgstp_trace --bench=gcc --insts=100000 --out=gcc.trace [--seed=N]
+ *   fgstp_trace --in=gcc.trace --summarize
+ *   fgstp_trace --in=gcc.trace --disasm=20
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "workload/generator.hh"
+
+using namespace fgstp;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench;
+    std::string out_path;
+    std::string in_path;
+    std::uint64_t insts = 100000;
+    std::uint64_t seed = 1;
+    bool summarize = false;
+    std::uint64_t disasm = 0;
+
+    auto value = [](const char *arg, const char *key,
+                    std::string &out) {
+        const std::size_t n = std::strlen(key);
+        if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+            out = arg + n + 1;
+            return true;
+        }
+        return false;
+    };
+
+    std::string v;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (value(a, "--bench", v)) {
+            bench = v;
+        } else if (value(a, "--out", v)) {
+            out_path = v;
+        } else if (value(a, "--in", v)) {
+            in_path = v;
+        } else if (value(a, "--insts", v)) {
+            insts = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (value(a, "--seed", v)) {
+            seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (value(a, "--disasm", v)) {
+            disasm = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (std::strcmp(a, "--summarize") == 0) {
+            summarize = true;
+        } else {
+            fatal("unknown option '", a,
+                  "' (see the header of sim/trace_tool.cc)");
+        }
+    }
+
+    std::vector<trace::DynInst> insts_vec;
+    if (!in_path.empty()) {
+        insts_vec = trace::loadTraceFile(in_path);
+        std::printf("loaded %zu instructions from %s\n",
+                    insts_vec.size(), in_path.c_str());
+    } else if (!bench.empty()) {
+        workload::SyntheticWorkload w(workload::profileByName(bench),
+                                      seed);
+        trace::DynInst d;
+        insts_vec.reserve(insts);
+        for (std::uint64_t i = 0; i < insts && w.next(d); ++i)
+            insts_vec.push_back(d);
+        std::printf("generated %zu instructions of %s (seed %lu)\n",
+                    insts_vec.size(), bench.c_str(),
+                    static_cast<unsigned long>(seed));
+    } else {
+        fatal("need --bench=NAME to generate or --in=FILE to load");
+    }
+
+    if (!out_path.empty()) {
+        trace::saveTraceFile(out_path, insts_vec);
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    if (summarize) {
+        trace::VectorTraceSource src(insts_vec);
+        const auto s = trace::summarize(src, insts_vec.size());
+        std::printf("instructions: %lu\n",
+                    static_cast<unsigned long>(s.numInsts));
+        std::printf("static PCs:   %lu\n",
+                    static_cast<unsigned long>(s.staticInsts));
+        std::printf("data blocks:  %lu (%.1f KB touched)\n",
+                    static_cast<unsigned long>(s.dataBlocks),
+                    s.dataBlocks * 64 / 1024.0);
+        std::printf("loads: %.1f%%  stores: %.1f%%  branches: %.1f%%\n",
+                    100 * s.fracLoads(), 100 * s.fracStores(),
+                    100 * s.fracBranches());
+        std::printf("cond taken rate: %.1f%%\n",
+                    s.condBranches
+                        ? 100.0 * s.takenBranches / s.condBranches
+                        : 0.0);
+        std::printf("mean dep distance: %.1f insts\n",
+                    s.meanDepDistance);
+    }
+
+    for (std::uint64_t i = 0; i < disasm && i < insts_vec.size(); ++i)
+        std::printf("%6lu  %s\n", static_cast<unsigned long>(i),
+                    insts_vec[i].disassemble().c_str());
+
+    return 0;
+}

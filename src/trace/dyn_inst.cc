@@ -1,0 +1,29 @@
+#include "trace/dyn_inst.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fgstp::trace
+{
+
+std::string
+DynInst::disassemble() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << std::dec << ": "
+       << isa::opClassName(op);
+    if (hasDst())
+        os << " r" << dst << " <-";
+    for (std::uint8_t i = 0; i < numSrcs; ++i)
+        os << " r" << srcs[i];
+    if (isMem())
+        os << " [0x" << std::hex << effAddr << std::dec << "+"
+           << static_cast<int>(memSize) << "]";
+    if (isControl()) {
+        os << (isCondBranch() ? (taken ? " T" : " NT") : "")
+           << " -> 0x" << std::hex << target << std::dec;
+    }
+    return os.str();
+}
+
+} // namespace fgstp::trace

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The dynamic-instruction record that flows through every timing model.
+ *
+ * A DynInst is one executed instruction of the logical thread, produced
+ * by a workload generator (or replayed from a buffer) in program order.
+ * Because the trace is post-execution, branch outcomes and effective
+ * addresses are known; the timing models must nevertheless *earn* that
+ * information at the right time (predictors decide what fetch believes,
+ * AGUs decide when an address is available).
+ */
+
+#ifndef FGSTP_TRACE_DYN_INST_HH
+#define FGSTP_TRACE_DYN_INST_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+#include "isa/registers.hh"
+
+namespace fgstp::trace
+{
+
+/** Maximum number of register sources an instruction can carry. */
+inline constexpr std::size_t maxSrcRegs = 3;
+
+struct DynInst
+{
+    /** Program counter of the instruction (byte address). */
+    Addr pc = 0;
+
+    /** Operation class. */
+    isa::OpClass op = isa::OpClass::Nop;
+
+    /** Destination register, or isa::invalidReg when none. */
+    isa::RegId dst = isa::invalidReg;
+
+    /** Source registers; entries beyond numSrcs are invalid. */
+    std::array<isa::RegId, maxSrcRegs> srcs{
+        isa::invalidReg, isa::invalidReg, isa::invalidReg};
+
+    /** Number of valid source registers. */
+    std::uint8_t numSrcs = 0;
+
+    /** Effective address for loads/stores. */
+    Addr effAddr = 0;
+
+    /** Access size in bytes for loads/stores. */
+    std::uint8_t memSize = 0;
+
+    /** Actual direction for conditional branches. */
+    bool taken = false;
+
+    /** Actual next PC for control instructions (fallthrough if !taken). */
+    Addr target = 0;
+
+    bool isLoad() const { return op == isa::OpClass::Load; }
+    bool isStore() const { return op == isa::OpClass::Store; }
+    bool isMem() const { return isa::isMemOp(op); }
+    bool isControl() const { return isa::isControlOp(op); }
+    bool isCondBranch() const { return op == isa::OpClass::BranchCond; }
+    bool hasDst() const { return dst != isa::invalidReg; }
+
+    /** PC of the instruction that follows in the dynamic stream. */
+    Addr
+    nextPc() const
+    {
+        if (isControl() && (taken || !isCondBranch()))
+            return target;
+        return pc + instBytes;
+    }
+
+    /** Fixed instruction size of the micro-ISA. */
+    static constexpr Addr instBytes = 4;
+
+    /** One-line disassembly for debug output. */
+    std::string disassemble() const;
+};
+
+} // namespace fgstp::trace
+
+#endif // FGSTP_TRACE_DYN_INST_HH

@@ -1,0 +1,142 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace fgstp::trace
+{
+
+namespace
+{
+
+/** On-disk record layout (little-endian, fixed size). */
+struct PackedInst
+{
+    std::uint64_t pc;
+    std::uint64_t effAddr;
+    std::uint64_t target;
+    std::uint16_t dst;
+    std::uint16_t srcs[3];
+    std::uint8_t op;
+    std::uint8_t numSrcs;
+    std::uint8_t memSize;
+    std::uint8_t taken;
+};
+
+static_assert(sizeof(PackedInst) == 40,
+              "packed record size changed (36B payload + padding)");
+
+PackedInst
+pack(const DynInst &d)
+{
+    PackedInst p{};
+    p.pc = d.pc;
+    p.effAddr = d.effAddr;
+    p.target = d.target;
+    p.dst = d.dst;
+    for (int i = 0; i < 3; ++i)
+        p.srcs[i] = d.srcs[i];
+    p.op = static_cast<std::uint8_t>(d.op);
+    p.numSrcs = d.numSrcs;
+    p.memSize = d.memSize;
+    p.taken = d.taken ? 1 : 0;
+    return p;
+}
+
+DynInst
+unpack(const PackedInst &p)
+{
+    DynInst d;
+    d.pc = p.pc;
+    d.effAddr = p.effAddr;
+    d.target = p.target;
+    d.dst = p.dst;
+    for (int i = 0; i < 3; ++i)
+        d.srcs[i] = p.srcs[i];
+    d.op = static_cast<isa::OpClass>(p.op);
+    d.numSrcs = p.numSrcs;
+    d.memSize = p.memSize;
+    d.taken = p.taken != 0;
+    return d;
+}
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const std::vector<DynInst> &insts)
+{
+    Header h{traceMagic, traceVersion, insts.size()};
+    os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    for (const DynInst &d : insts) {
+        const PackedInst p = pack(d);
+        os.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    }
+    if (!os)
+        fatal("trace write failed");
+}
+
+void
+writeTrace(std::ostream &os, TraceSource &source,
+           std::uint64_t max_insts)
+{
+    std::vector<DynInst> insts;
+    DynInst d;
+    for (std::uint64_t i = 0; i < max_insts && source.next(d); ++i)
+        insts.push_back(d);
+    writeTrace(os, insts);
+}
+
+std::vector<DynInst>
+readTrace(std::istream &is)
+{
+    Header h{};
+    is.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!is || h.magic != traceMagic)
+        fatal("not a trace file (bad magic)");
+    if (h.version != traceVersion)
+        fatal("unsupported trace version ", h.version);
+
+    std::vector<DynInst> insts;
+    insts.reserve(h.count);
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+        PackedInst p{};
+        is.read(reinterpret_cast<char *>(&p), sizeof(p));
+        if (!is)
+            fatal("truncated trace file: got ", i, " of ", h.count,
+                  " records");
+        if (p.op >= isa::numOpClasses)
+            fatal("corrupt trace record at ", i, ": bad op class");
+        insts.push_back(unpack(p));
+    }
+    return insts;
+}
+
+void
+saveTraceFile(const std::string &path, const std::vector<DynInst> &insts)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeTrace(os, insts);
+}
+
+std::vector<DynInst>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return readTrace(is);
+}
+
+} // namespace fgstp::trace

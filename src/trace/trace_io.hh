@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Lets a synthetic (or hand-built) dynamic instruction stream be saved
+ * and replayed later, so expensive workload generation can be done
+ * once and shared between experiments, or a trace can be inspected
+ * offline. Fixed-size little-endian records behind a small header;
+ * readers reject wrong magic/version and truncated files.
+ */
+
+#ifndef FGSTP_TRACE_TRACE_IO_HH
+#define FGSTP_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/dyn_inst.hh"
+#include "trace/trace_source.hh"
+
+namespace fgstp::trace
+{
+
+/** File format identification. */
+inline constexpr std::uint32_t traceMagic = 0x46675354; // "FgST"
+inline constexpr std::uint32_t traceVersion = 1;
+
+/** Writes `insts` to the stream in the binary trace format. */
+void writeTrace(std::ostream &os, const std::vector<DynInst> &insts);
+
+/** Drains up to max_insts from a source into the stream. */
+void writeTrace(std::ostream &os, TraceSource &source,
+                std::uint64_t max_insts);
+
+/**
+ * Reads a complete trace from the stream.
+ * fatal()s on bad magic, unsupported version or truncation.
+ */
+std::vector<DynInst> readTrace(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveTraceFile(const std::string &path,
+                   const std::vector<DynInst> &insts);
+std::vector<DynInst> loadTraceFile(const std::string &path);
+
+} // namespace fgstp::trace
+
+#endif // FGSTP_TRACE_TRACE_IO_HH

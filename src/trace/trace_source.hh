@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Interfaces for producing and buffering dynamic instruction streams.
+ */
+
+#ifndef FGSTP_TRACE_TRACE_SOURCE_HH
+#define FGSTP_TRACE_TRACE_SOURCE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::trace
+{
+
+/**
+ * A forward-only producer of the logical thread's dynamic stream.
+ * Workload generators implement this; machines consume it through a
+ * ReplayBuffer, which supplies the rewind capability squashes need.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produces the next instruction in program order.
+     * @retval true an instruction was produced.
+     * @retval false the stream ended.
+     */
+    virtual bool next(DynInst &inst) = 0;
+
+    /** Restarts the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+/** A trace source backed by a fixed in-memory vector. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<DynInst> insts)
+        : insts(std::move(insts))
+    {
+    }
+
+    bool
+    next(DynInst &inst) override
+    {
+        if (pos >= insts.size())
+            return false;
+        inst = insts[pos++];
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        pos = 0;
+    }
+
+    std::size_t size() const { return insts.size(); }
+
+  private:
+    std::vector<DynInst> insts;
+    std::size_t pos = 0;
+};
+
+/**
+ * Random-access window over a TraceSource.
+ *
+ * Timing models fetch instructions by global sequence number (starting
+ * at 1); the buffer pulls from the underlying source on demand and
+ * retains everything younger than the retire horizon so a squash can
+ * re-deliver instructions. retireUpTo() releases storage.
+ */
+class ReplayBuffer
+{
+  public:
+    explicit ReplayBuffer(TraceSource &source) : source(source) {}
+
+    /**
+     * Returns the instruction with the given sequence number, or
+     * nullptr when the stream ends before it.
+     */
+    const DynInst *
+    at(InstSeqNum seq)
+    {
+        sim_assert(seq >= base, "replay request below retire horizon: ",
+                   seq, " < ", base);
+        while (base + window.size() <= seq) {
+            DynInst inst;
+            if (!source.next(inst))
+                return nullptr;
+            window.push_back(inst);
+        }
+        return &window[seq - base];
+    }
+
+    /** Discards instructions with sequence number < seq. */
+    void
+    retireUpTo(InstSeqNum seq)
+    {
+        while (base < seq) {
+            if (window.empty()) {
+                // The consumer retires past instructions it never
+                // requested; keep the source aligned by draining them.
+                DynInst inst;
+                if (!source.next(inst))
+                    break;
+            } else {
+                window.pop_front();
+            }
+            ++base;
+        }
+    }
+
+    /** Oldest sequence number still buffered. */
+    InstSeqNum retireHorizon() const { return base; }
+
+    std::size_t buffered() const { return window.size(); }
+
+  private:
+    TraceSource &source;
+    std::deque<DynInst> window;
+    InstSeqNum base = 1;
+};
+
+} // namespace fgstp::trace
+
+#endif // FGSTP_TRACE_TRACE_SOURCE_HH

@@ -1,0 +1,58 @@
+#include "trace/trace_stats.hh"
+
+namespace fgstp::trace
+{
+
+TraceSummary
+summarize(TraceSource &source, std::uint64_t maxInsts)
+{
+    TraceSummary s;
+    std::unordered_set<Addr> pcs;
+    std::unordered_set<Addr> blocks;
+    std::unordered_map<isa::RegId, std::uint64_t> lastWriter;
+
+    double dep_dist_sum = 0.0;
+    std::uint64_t dep_dist_n = 0;
+    std::uint64_t with_deps = 0;
+
+    DynInst inst;
+    for (std::uint64_t i = 0; i < maxInsts && source.next(inst); ++i) {
+        ++s.numInsts;
+        ++s.opCounts[static_cast<std::size_t>(inst.op)];
+        pcs.insert(inst.pc);
+        if (inst.isMem())
+            blocks.insert(inst.effAddr >> 6);
+        if (inst.isCondBranch()) {
+            ++s.condBranches;
+            if (inst.taken)
+                ++s.takenBranches;
+        }
+
+        bool has_dep = false;
+        for (std::uint8_t k = 0; k < inst.numSrcs; ++k) {
+            const isa::RegId r = inst.srcs[k];
+            if (!isa::isDependenceSource(r))
+                continue;
+            auto it = lastWriter.find(r);
+            if (it != lastWriter.end()) {
+                has_dep = true;
+                dep_dist_sum += static_cast<double>(i - it->second);
+                ++dep_dist_n;
+            }
+        }
+        if (has_dep)
+            ++with_deps;
+
+        if (inst.hasDst() && inst.dst != isa::zeroReg)
+            lastWriter[inst.dst] = i;
+    }
+
+    s.staticInsts = pcs.size();
+    s.dataBlocks = blocks.size();
+    s.meanDepDistance = dep_dist_n ? dep_dist_sum / dep_dist_n : 0.0;
+    s.fracWithDeps = s.numInsts
+        ? static_cast<double>(with_deps) / s.numInsts : 0.0;
+    return s;
+}
+
+} // namespace fgstp::trace

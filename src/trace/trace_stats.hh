@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Offline summarizer of a dynamic instruction stream.
+ *
+ * Used by tests to validate workload generators and by the Table 2
+ * characterization bench. Computes the op-class mix, static footprint,
+ * dependence-distance profile and branch statistics of a trace without
+ * running a timing model.
+ */
+
+#ifndef FGSTP_TRACE_TRACE_STATS_HH
+#define FGSTP_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/dyn_inst.hh"
+#include "trace/trace_source.hh"
+
+namespace fgstp::trace
+{
+
+struct TraceSummary
+{
+    std::uint64_t numInsts = 0;
+
+    /** Dynamic count per op class. */
+    std::array<std::uint64_t, isa::numOpClasses> opCounts{};
+
+    /** Distinct static PCs observed. */
+    std::uint64_t staticInsts = 0;
+
+    /** Distinct 64-byte data blocks touched. */
+    std::uint64_t dataBlocks = 0;
+
+    /** Conditional branches and how many were taken. */
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenBranches = 0;
+
+    /** Mean register dependence distance (producer to consumer). */
+    double meanDepDistance = 0.0;
+
+    /** Fraction of instructions with at least one register source. */
+    double fracWithDeps = 0.0;
+
+    double
+    fracOp(isa::OpClass op) const
+    {
+        if (numInsts == 0)
+            return 0.0;
+        return static_cast<double>(
+                   opCounts[static_cast<std::size_t>(op)]) /
+               static_cast<double>(numInsts);
+    }
+
+    double
+    fracLoads() const
+    {
+        return fracOp(isa::OpClass::Load);
+    }
+
+    double
+    fracStores() const
+    {
+        return fracOp(isa::OpClass::Store);
+    }
+
+    double
+    fracBranches() const
+    {
+        if (numInsts == 0)
+            return 0.0;
+        double n = 0;
+        n += opCounts[static_cast<std::size_t>(isa::OpClass::BranchCond)];
+        n += opCounts[static_cast<std::size_t>(isa::OpClass::BranchUncond)];
+        n += opCounts[static_cast<std::size_t>(isa::OpClass::BranchInd)];
+        n += opCounts[static_cast<std::size_t>(isa::OpClass::Call)];
+        n += opCounts[static_cast<std::size_t>(isa::OpClass::Ret)];
+        return n / static_cast<double>(numInsts);
+    }
+};
+
+/** Consumes up to maxInsts instructions from source and summarizes. */
+TraceSummary summarize(TraceSource &source, std::uint64_t maxInsts);
+
+} // namespace fgstp::trace
+
+#endif // FGSTP_TRACE_TRACE_STATS_HH

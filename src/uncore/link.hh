@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The inter-core operand network.
+ *
+ * Fg-STP couples the two cores with a dedicated point-to-point link
+ * that carries register values (and control/retirement tokens). The
+ * link is modeled per direction as a fixed-latency pipe with a
+ * bounded number of value slots per cycle: a send claims the first
+ * free slot at or after `now` and the value arrives `latency` cycles
+ * later. Queue delay therefore emerges from slot contention.
+ */
+
+#ifndef FGSTP_UNCORE_LINK_HH
+#define FGSTP_UNCORE_LINK_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fgstp::uncore
+{
+
+/** A port that admits `width` items per cycle. */
+class BandwidthPort
+{
+  public:
+    explicit BandwidthPort(std::uint32_t width) : width(width) {}
+
+    /**
+     * Claims a slot at or after `now`; returns the claimed cycle.
+     * Claims may arrive with non-monotonic timestamps (producers
+     * complete out of order), so per-cycle occupancy is tracked
+     * explicitly rather than with a single high-water mark.
+     */
+    Cycle
+    claim(Cycle now)
+    {
+        // Drop book-keeping that can no longer be contended: nothing
+        // claims earlier than the oldest timestamp still in flight,
+        // and timestamps only skew by tens of cycles.
+        while (!occupancy.empty() &&
+               occupancy.begin()->first + pruneWindow < now) {
+            occupancy.erase(occupancy.begin());
+        }
+
+        Cycle t = now;
+        while (true) {
+            auto [it, fresh] = occupancy.try_emplace(t, 0);
+            if (it->second < width) {
+                ++it->second;
+                return t;
+            }
+            ++t;
+        }
+    }
+
+    void
+    reset()
+    {
+        occupancy.clear();
+    }
+
+  private:
+    static constexpr Cycle pruneWindow = 512;
+
+    std::uint32_t width;
+    std::map<Cycle, std::uint32_t> occupancy;
+};
+
+/** Link configuration. */
+struct LinkConfig
+{
+    Cycle latency = 4;          ///< one-way value latency
+    std::uint32_t width = 2;    ///< values per cycle per direction
+};
+
+/** Link statistics. */
+struct LinkStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t queuedCycles = 0; ///< total slot-wait cycles
+
+    double
+    meanQueueDelay() const
+    {
+        return messages
+            ? static_cast<double>(queuedCycles) / messages : 0.0;
+    }
+};
+
+class OperandLink
+{
+  public:
+    explicit OperandLink(const LinkConfig &cfg)
+        : cfg(cfg),
+          ports{BandwidthPort(cfg.width), BandwidthPort(cfg.width)}
+    {
+    }
+
+    /**
+     * Sends a value from `from` at `now`; returns the cycle it is
+     * usable on the other core.
+     */
+    Cycle
+    send(CoreId from, Cycle now)
+    {
+        const Cycle slot = ports[from % 2].claim(now);
+        ++_stats.messages;
+        _stats.queuedCycles += slot - now;
+        return slot + cfg.latency;
+    }
+
+    const LinkConfig &config() const { return cfg; }
+    const LinkStats &stats() const { return _stats; }
+
+    void
+    reset()
+    {
+        ports[0].reset();
+        ports[1].reset();
+        _stats = LinkStats{};
+    }
+
+    /** Zeroes the counters without releasing claimed slots. */
+    void resetStats() { _stats = LinkStats{}; }
+
+  private:
+    LinkConfig cfg;
+    BandwidthPort ports[2];
+    LinkStats _stats;
+};
+
+} // namespace fgstp::uncore
+
+#endif // FGSTP_UNCORE_LINK_HH

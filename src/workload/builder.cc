@@ -1,0 +1,649 @@
+#include "workload/builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::workload
+{
+
+namespace
+{
+
+using isa::OpClass;
+using isa::RegId;
+
+/** Base of the laid-out code region. */
+constexpr Addr codeBase = 0x10000;
+
+/** Base of the synthetic data space. */
+constexpr Addr dataBase = 0x10000000;
+
+/** Incremental builder state. */
+class Builder
+{
+  public:
+    Builder(const BenchmarkProfile &p, std::uint64_t seed)
+        : p(p), rng(seed ^ 0xfeedc0dedeadbeefull)
+    {
+    }
+
+    Program
+    build()
+    {
+        buildFunctions();
+        buildTopLoops();
+        layoutCode();
+        layoutData();
+        return std::move(prog);
+    }
+
+  private:
+    const BenchmarkProfile &p;
+    Rng rng;
+    Program prog;
+
+    // Rotating allocation cursors.
+    RegId next_int = 0;
+    RegId next_fp = 0;
+    RegId next_ind = 0;
+
+    /** Build-order list of recently produced registers. */
+    std::vector<RegId> recent;
+
+    /** Last pointer-chase destination (serializes chase loads). */
+    RegId last_chase = isa::invalidReg;
+
+    /** Induction register of the innermost enclosing loop. */
+    RegId cur_induction = isa::invalidReg;
+
+    // ---- register allocation ----------------------------------------
+
+    RegId
+    allocInt()
+    {
+        const RegId r = static_cast<RegId>(
+            regconv::firstGeneralInt + next_int);
+        next_int = static_cast<RegId>(
+            (next_int + 1) % regconv::numGeneralInt);
+        return r;
+    }
+
+    RegId
+    allocFp()
+    {
+        const RegId r = static_cast<RegId>(
+            regconv::firstGeneralFp + next_fp);
+        next_fp = static_cast<RegId>(
+            (next_fp + 1) % regconv::numGeneralFp);
+        return r;
+    }
+
+    RegId
+    allocInduction()
+    {
+        const RegId r = static_cast<RegId>(
+            regconv::firstInduction + next_ind);
+        next_ind = static_cast<RegId>(
+            (next_ind + 1) % regconv::numInduction);
+        return r;
+    }
+
+    RegId
+    invariantReg()
+    {
+        return static_cast<RegId>(regconv::firstInvariant +
+            rng.below(regconv::numInvariant));
+    }
+
+    /**
+     * Picks a source with geometric lookback over recently produced
+     * registers; falls back to an invariant when the profile asks for
+     * it or nothing has been produced yet.
+     */
+    RegId
+    pickSrc()
+    {
+        if (recent.empty() || rng.chance(p.fracInvariantSrc))
+            return invariantReg();
+        const double mean = std::max(1.0, p.depLookback);
+        std::uint64_t back = rng.geometric(1.0 / mean);
+        if (back > recent.size())
+            back = recent.size();
+        return recent[recent.size() - back];
+    }
+
+    void
+    produced(RegId r)
+    {
+        recent.push_back(r);
+        if (recent.size() > 64)
+            recent.erase(recent.begin(), recent.begin() + 32);
+    }
+
+    // ---- instruction synthesis --------------------------------------
+
+    StaticInst
+    makeCompute()
+    {
+        StaticInst si;
+        const bool fp_op = p.fp && rng.chance(p.fracFpOps);
+        double f = rng.uniform();
+        if (fp_op) {
+            if (f < p.fracDiv)
+                si.op = OpClass::FpDiv;
+            else if (f < p.fracDiv + p.fracMul)
+                si.op = OpClass::FpMul;
+            else
+                si.op = OpClass::FpAdd;
+            si.dst = allocFp();
+        } else {
+            if (f < p.fracDiv)
+                si.op = OpClass::IntDiv;
+            else if (f < p.fracDiv + p.fracMul)
+                si.op = OpClass::IntMul;
+            else
+                si.op = OpClass::IntAlu;
+            si.dst = allocInt();
+        }
+        si.srcs[0] = pickSrc();
+        if (rng.chance(p.fracTwoSrcOps)) {
+            si.numSrcs = 2;
+            si.srcs[1] = pickSrc();
+        } else {
+            si.numSrcs = 1;
+        }
+        produced(si.dst);
+        return si;
+    }
+
+    std::int32_t
+    newMemStream(MemStream::Kind kind)
+    {
+        MemStream ms;
+        ms.kind = kind;
+        prog.memStreams.push_back(ms);
+        return static_cast<std::int32_t>(prog.memStreams.size() - 1);
+    }
+
+    MemStream::Kind
+    pickAccessKind()
+    {
+        const std::size_t i = rng.weighted({
+            p.fracStackAcc, p.fracStreamAcc, p.fracStrideAcc,
+            p.fracRandomAcc, p.fracChaseAcc});
+        switch (i) {
+          case 0: return MemStream::Kind::Stack;
+          case 1: return MemStream::Kind::Stream;
+          case 2: return MemStream::Kind::Stride;
+          case 3: return MemStream::Kind::Random;
+          default: return MemStream::Kind::Chase;
+        }
+    }
+
+    StaticInst
+    makeLoad()
+    {
+        StaticInst si;
+        si.op = OpClass::Load;
+        const auto kind = pickAccessKind();
+        si.memStream = newMemStream(kind);
+        si.numSrcs = 1;
+        switch (kind) {
+          case MemStream::Kind::Stack:
+            si.srcs[0] = invariantReg();
+            break;
+          case MemStream::Kind::Stream:
+          case MemStream::Kind::Stride:
+            si.srcs[0] = cur_induction != isa::invalidReg
+                ? cur_induction : invariantReg();
+            break;
+          case MemStream::Kind::Random:
+            si.srcs[0] = pickSrc();
+            break;
+          case MemStream::Kind::Chase:
+            si.srcs[0] = last_chase != isa::invalidReg
+                ? last_chase : invariantReg();
+            break;
+        }
+        si.dst = p.fp && rng.chance(p.fracFpOps) ? allocFp() : allocInt();
+        if (kind == MemStream::Kind::Chase) {
+            // Chase pointers live in integer registers.
+            si.dst = allocInt();
+            last_chase = si.dst;
+        }
+        produced(si.dst);
+        return si;
+    }
+
+    StaticInst
+    makeStore()
+    {
+        StaticInst si;
+        si.op = OpClass::Store;
+        auto kind = pickAccessKind();
+        if (kind == MemStream::Kind::Chase)
+            kind = MemStream::Kind::Random; // stores do not chase
+        si.memStream = newMemStream(kind);
+        si.numSrcs = 2;
+        si.srcs[0] = pickSrc(); // value
+        switch (kind) {
+          case MemStream::Kind::Stack:
+            si.srcs[1] = invariantReg();
+            break;
+          case MemStream::Kind::Stream:
+          case MemStream::Kind::Stride:
+            si.srcs[1] = cur_induction != isa::invalidReg
+                ? cur_induction : invariantReg();
+            break;
+          default:
+            si.srcs[1] = pickSrc();
+            break;
+        }
+        return si;
+    }
+
+    /** One body operation, drawn from the profile's mix. */
+    StaticInst
+    makeBodyOp()
+    {
+        const double f = rng.uniform();
+        if (f < p.fracLoad)
+            return makeLoad();
+        if (f < p.fracLoad + p.fracStore)
+            return makeStore();
+        return makeCompute();
+    }
+
+    std::int32_t
+    newBehavior()
+    {
+        BranchBehavior b;
+        const double f = rng.uniform();
+        if (f < p.fracRandomBr) {
+            b.kind = BranchBehavior::Kind::Random;
+        } else if (f < p.fracRandomBr + p.fracPatternedBr) {
+            b.kind = BranchBehavior::Kind::Patterned;
+            b.period = static_cast<std::uint32_t>(rng.between(2, 8));
+            b.patternBits = rng.next() & ((1ull << b.period) - 1);
+            if (b.patternBits == 0)
+                b.patternBits = 1;
+        } else {
+            b.kind = BranchBehavior::Kind::Biased;
+            b.takenProb = rng.chance(0.5)
+                ? p.biasedTakenProb : 1.0 - p.biasedTakenProb;
+        }
+        prog.branchBehaviors.push_back(b);
+        return static_cast<std::int32_t>(prog.branchBehaviors.size() - 1);
+    }
+
+    // ---- node construction ------------------------------------------
+
+    NodeId
+    newNode(Node::Kind kind)
+    {
+        Node n;
+        n.kind = kind;
+        prog.nodes.push_back(std::move(n));
+        return static_cast<NodeId>(prog.nodes.size() - 1);
+    }
+
+    /** A straight-line sequence of n body ops. */
+    NodeId
+    buildStraightSeq(int n)
+    {
+        const NodeId id = newNode(Node::Kind::Seq);
+        std::vector<Element> elems;
+        for (int i = 0; i < n; ++i) {
+            Element e;
+            e.isInst = true;
+            e.inst = makeBodyOp();
+            elems.push_back(e);
+        }
+        prog.nodes[id].elems = std::move(elems);
+        return id;
+    }
+
+    NodeId
+    buildIf()
+    {
+        const NodeId then_id =
+            buildStraightSeq(static_cast<int>(rng.between(3, 6)));
+        NodeId else_id = invalidNode;
+        if (rng.chance(0.5))
+            else_id = buildStraightSeq(static_cast<int>(rng.between(2, 5)));
+
+        const NodeId id = newNode(Node::Kind::If);
+        Node &n = prog.nodes[id];
+        n.thenBody = then_id;
+        n.elseBody = else_id;
+        n.branch.op = OpClass::BranchCond;
+        n.branch.behavior = newBehavior();
+        n.branch.numSrcs = 1;
+        // Random (data dependent) branches resolve late: hang them off
+        // recent computation. Predictable branches compare loop state
+        // that is ready early.
+        const auto &beh = prog.branchBehaviors[n.branch.behavior];
+        n.branch.srcs[0] = beh.kind == BranchBehavior::Kind::Random
+            ? pickSrc()
+            : (cur_induction != isa::invalidReg ? cur_induction
+                                                : invariantReg());
+        if (else_id != invalidNode) {
+            n.thenJump.op = OpClass::BranchUncond;
+            n.thenJump.numSrcs = 0;
+        }
+        return id;
+    }
+
+    NodeId
+    buildSwitch()
+    {
+        const int num_arms = static_cast<int>(rng.between(3, 6));
+        std::vector<NodeId> arm_ids;
+        for (int i = 0; i < num_arms; ++i)
+            arm_ids.push_back(
+                buildStraightSeq(static_cast<int>(rng.between(2, 4))));
+
+        const NodeId id = newNode(Node::Kind::Switch);
+        Node &n = prog.nodes[id];
+        n.arms = std::move(arm_ids);
+        n.branch.op = OpClass::BranchInd;
+        n.branch.numSrcs = 1;
+        n.branch.srcs[0] = pickSrc();
+        n.armSkew = 1.0 + rng.uniform();
+        n.armJumps.resize(n.arms.size());
+        for (auto &j : n.armJumps) {
+            j.op = OpClass::BranchUncond;
+            j.numSrcs = 0;
+        }
+        return id;
+    }
+
+    NodeId
+    buildCall()
+    {
+        const NodeId id = newNode(Node::Kind::Call);
+        Node &n = prog.nodes[id];
+        n.callee = static_cast<std::int32_t>(
+            rng.below(prog.funcs.size()));
+        n.branch.op = OpClass::Call;
+        n.branch.numSrcs = 0;
+        return id;
+    }
+
+    /**
+     * A loop body: straight-line ops interleaved with hammocks,
+     * switches, calls and (optionally) one nested loop, then the
+     * induction update.
+     */
+    NodeId
+    buildLoopBody(int depth)
+    {
+        const NodeId id = newNode(Node::Kind::Seq);
+        std::vector<Element> elems;
+
+        int remaining_ops = p.bodyOps;
+        bool nested_done = depth > 1 || p.nestDepth < 2;
+        while (remaining_ops > 0) {
+            const double f = rng.uniform();
+            Element e;
+            if (!nested_done && rng.chance(0.3)) {
+                nested_done = true;
+                e.isInst = false;
+                e.node = buildLoop(depth + 1);
+                elems.push_back(e);
+                remaining_ops -= p.bodyOps / 2;
+            } else if (f < p.fracIf) {
+                e.isInst = false;
+                e.node = buildIf();
+                elems.push_back(e);
+                remaining_ops -= 4;
+            } else if (f < p.fracIf + p.fracSwitch) {
+                e.isInst = false;
+                e.node = buildSwitch();
+                elems.push_back(e);
+                remaining_ops -= 3;
+            } else if (f < p.fracIf + p.fracSwitch + p.callDensity &&
+                       !prog.funcs.empty()) {
+                e.isInst = false;
+                e.node = buildCall();
+                elems.push_back(e);
+                remaining_ops -= 4;
+            } else {
+                e.isInst = true;
+                e.inst = makeBodyOp();
+                elems.push_back(e);
+                remaining_ops -= 1;
+            }
+        }
+
+        prog.nodes[id].elems = std::move(elems);
+        return id;
+    }
+
+    NodeId
+    buildLoop(int depth)
+    {
+        const RegId saved_induction = cur_induction;
+        cur_induction = allocInduction();
+
+        // Induction update executes at the end of every iteration.
+        StaticInst update;
+        update.op = OpClass::IntAlu;
+        update.dst = cur_induction;
+        update.numSrcs = 1;
+        update.srcs[0] = cur_induction;
+
+        const NodeId body_id = buildLoopBody(depth);
+        {
+            Element e;
+            e.isInst = true;
+            e.inst = update;
+            prog.nodes[body_id].elems.push_back(e);
+        }
+
+        const NodeId id = newNode(Node::Kind::Loop);
+        Node &n = prog.nodes[id];
+        n.body = body_id;
+        std::uint32_t min_trip = p.minTrip;
+        std::uint32_t max_trip = p.maxTrip;
+        if (depth > 1) {
+            min_trip = std::max<std::uint32_t>(2, min_trip / 4);
+            max_trip = std::max<std::uint32_t>(min_trip + 1, max_trip / 4);
+        }
+        n.minTrip = min_trip;
+        n.maxTrip = max_trip;
+        n.branch.op = OpClass::BranchCond;
+        n.branch.numSrcs = 1;
+        n.branch.srcs[0] = cur_induction;
+        n.branch.behavior = -1; // trip-count controlled, not behavioral
+
+        cur_induction = saved_induction;
+        return id;
+    }
+
+    void
+    buildFunctions()
+    {
+        for (int i = 0; i < p.numFuncs; ++i) {
+            Function f;
+            // Leaf bodies: a few ops, possibly one hammock.
+            const NodeId seq = newNode(Node::Kind::Seq);
+            std::vector<Element> elems;
+            const int n_ops = static_cast<int>(rng.between(5, 12));
+            for (int k = 0; k < n_ops; ++k) {
+                Element e;
+                if (k == n_ops / 2 && rng.chance(0.4)) {
+                    e.isInst = false;
+                    e.node = buildIf();
+                } else {
+                    e.isInst = true;
+                    e.inst = makeBodyOp();
+                }
+                elems.push_back(e);
+            }
+            prog.nodes[seq].elems = std::move(elems);
+            f.bodyNode = seq;
+            f.retOp.op = OpClass::Ret;
+            f.retOp.numSrcs = 0;
+            prog.funcs.push_back(f);
+        }
+    }
+
+    void
+    buildTopLoops()
+    {
+        const int n = p.numTopLoops * p.staticCodeScale;
+        for (int i = 0; i < n; ++i) {
+            prog.topLoops.push_back(buildLoop(1));
+            // Zipf-like phase weights: a few hot loops dominate,
+            // matching real benchmarks' phase behaviour.
+            prog.loopWeights.push_back(
+                1.0 / static_cast<double>(1 + (i % p.numTopLoops)));
+        }
+    }
+
+    // ---- layout -------------------------------------------------------
+
+    Addr cursor = codeBase;
+
+    Addr
+    emitPc()
+    {
+        const Addr pc = cursor;
+        cursor += trace::DynInst::instBytes;
+        return pc;
+    }
+
+    /** Assigns PCs and static targets by structured DFS. */
+    void
+    layoutNode(NodeId id)
+    {
+        Node &n = prog.nodes[id];
+        switch (n.kind) {
+          case Node::Kind::Seq:
+            for (auto &e : n.elems) {
+                if (e.isInst)
+                    e.inst.pc = emitPc();
+                else
+                    layoutNode(e.node);
+            }
+            break;
+
+          case Node::Kind::If: {
+            n.branch.pc = emitPc();
+            layoutNode(n.thenBody);
+            if (n.elseBody != invalidNode) {
+                n.thenJump.pc = emitPc();
+                const Addr else_start = cursor;
+                layoutNode(n.elseBody);
+                n.branch.target = else_start;
+            }
+            n.joinPc = cursor;
+            if (n.elseBody == invalidNode)
+                n.branch.target = n.joinPc;
+            else
+                n.thenJump.target = n.joinPc;
+            break;
+          }
+
+          case Node::Kind::Loop: {
+            const Addr body_start = cursor;
+            layoutNode(n.body);
+            n.branch.pc = emitPc();
+            n.branch.target = body_start;
+            break;
+          }
+
+          case Node::Kind::Call:
+            n.branch.pc = emitPc();
+            n.branch.target = prog.funcs[n.callee].entryPc;
+            break;
+
+          case Node::Kind::Switch: {
+            n.branch.pc = emitPc();
+            for (std::size_t i = 0; i < n.arms.size(); ++i) {
+                layoutNode(n.arms[i]);
+                n.armJumps[i].pc = emitPc();
+            }
+            n.joinPc = cursor;
+            for (auto &j : n.armJumps)
+                j.target = n.joinPc;
+            break;
+          }
+        }
+    }
+
+    void
+    layoutCode()
+    {
+        // Functions first so call targets are known before loop layout.
+        for (auto &f : prog.funcs) {
+            f.entryPc = cursor;
+            layoutNode(f.bodyNode);
+            f.retOp.pc = emitPc();
+        }
+        for (const NodeId loop : prog.topLoops) {
+            layoutNode(loop);
+            StaticInst glue;
+            glue.op = OpClass::BranchUncond;
+            glue.numSrcs = 0;
+            glue.pc = emitPc();
+            prog.topLoopGlue.push_back(glue);
+        }
+        prog.codeBytes = cursor - codeBase;
+
+        // Call targets were laid out before their callers only for
+        // functions; fix any call nodes that captured a zero entry.
+        for (auto &n : prog.nodes) {
+            if (n.kind == Node::Kind::Call)
+                n.branch.target = prog.funcs[n.callee].entryPc;
+        }
+    }
+
+    void
+    layoutData()
+    {
+        // Distribute the data footprint over the non-stack streams and
+        // give every stream its own region.
+        std::size_t num_big = 0;
+        for (const auto &ms : prog.memStreams) {
+            if (ms.kind != MemStream::Kind::Stack)
+                ++num_big;
+        }
+        const std::uint64_t total = p.footprintKB * 1024ull;
+        const std::uint64_t per_stream = num_big
+            ? std::max<std::uint64_t>(4096, total / num_big) : 4096;
+
+        Addr data_cursor = dataBase;
+        // All stack streams share one small hot region.
+        const Addr stack_base = data_cursor;
+        data_cursor += 4096;
+
+        for (auto &ms : prog.memStreams) {
+            if (ms.kind == MemStream::Kind::Stack) {
+                ms.base = stack_base;
+                ms.footprint = 1024;
+                continue;
+            }
+            ms.base = data_cursor;
+            ms.footprint = per_stream;
+            if (ms.kind == MemStream::Kind::Stride)
+                ms.stride = 64 * rng.between(2, 8);
+            data_cursor += per_stream;
+        }
+    }
+};
+
+} // namespace
+
+Program
+buildProgram(const BenchmarkProfile &profile, std::uint64_t seed)
+{
+    Builder b(profile, seed);
+    return b.build();
+}
+
+} // namespace fgstp::workload

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Builds a static Program from a BenchmarkProfile.
+ */
+
+#ifndef FGSTP_WORKLOAD_BUILDER_HH
+#define FGSTP_WORKLOAD_BUILDER_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace fgstp::workload
+{
+
+/**
+ * Deterministically constructs the static program for a profile.
+ * The same (profile, seed) pair always yields the same program.
+ */
+Program buildProgram(const BenchmarkProfile &profile, std::uint64_t seed);
+
+/** Register-file conventions used by generated programs. */
+namespace regconv
+{
+
+/** r1..r8 are loop-invariant: generated code never writes them. */
+inline constexpr isa::RegId firstInvariant = 1;
+inline constexpr isa::RegId numInvariant = 8;
+
+/** r9..r15 hold loop induction variables. */
+inline constexpr isa::RegId firstInduction = 9;
+inline constexpr isa::RegId numInduction = 7;
+
+/** r16..r47 form the general integer pool. */
+inline constexpr isa::RegId firstGeneralInt = 16;
+inline constexpr isa::RegId numGeneralInt = 32;
+
+/** f0..f31 (architectural 64..95) form the FP pool. */
+inline constexpr isa::RegId firstGeneralFp = isa::fpReg(0);
+inline constexpr isa::RegId numGeneralFp = 32;
+
+} // namespace regconv
+
+} // namespace fgstp::workload
+
+#endif // FGSTP_WORKLOAD_BUILDER_HH

@@ -1,0 +1,208 @@
+#include "workload/generator.hh"
+
+#include "common/logging.hh"
+#include "workload/builder.hh"
+
+namespace fgstp::workload
+{
+
+SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile,
+                                     std::uint64_t seed)
+    : benchName(profile.name),
+      prog(buildProgram(profile, seed)),
+      seed(seed),
+      rng(seed ^ 0x5deece66d1ce4e5bull)
+{
+    streamOffsets.assign(prog.memStreams.size(), 0);
+    behaviorPos.assign(prog.branchBehaviors.size(), 0);
+    sim_assert(!prog.topLoops.empty(), "program has no top-level loops");
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng.reseed(seed ^ 0x5deece66d1ce4e5bull);
+    buffer.clear();
+    streamOffsets.assign(prog.memStreams.size(), 0);
+    behaviorPos.assign(prog.branchBehaviors.size(), 0);
+    callStack.clear();
+    curPhase = std::size_t(-1);
+}
+
+bool
+SyntheticWorkload::next(trace::DynInst &inst)
+{
+    while (buffer.empty())
+        emitPhase();
+    inst = buffer.front();
+    buffer.pop_front();
+    return true;
+}
+
+void
+SyntheticWorkload::emitPhase()
+{
+    if (curPhase == std::size_t(-1))
+        curPhase = rng.weighted(prog.loopWeights);
+    emitNode(prog.topLoops[curPhase]);
+
+    // Glue jump: carries control from this loop's exit to the first
+    // instruction of the next phase, keeping the stream a valid walk.
+    const std::size_t next_phase = rng.weighted(prog.loopWeights);
+    emitInst(prog.topLoopGlue[curPhase], true,
+             firstPc(prog.topLoops[next_phase]));
+    curPhase = next_phase;
+}
+
+Addr
+SyntheticWorkload::firstPc(NodeId id) const
+{
+    const Node &n = prog.nodes[id];
+    switch (n.kind) {
+      case Node::Kind::Seq:
+        sim_assert(!n.elems.empty(), "empty Seq node");
+        return n.elems.front().isInst
+            ? n.elems.front().inst.pc : firstPc(n.elems.front().node);
+      case Node::Kind::If:
+      case Node::Kind::Call:
+      case Node::Kind::Switch:
+        return n.branch.pc;
+      case Node::Kind::Loop:
+        return firstPc(n.body);
+    }
+    panic("unreachable node kind");
+}
+
+bool
+SyntheticWorkload::evalBehavior(std::int32_t behavior)
+{
+    sim_assert(behavior >= 0, "branch without behaviour");
+    const BranchBehavior &b =
+        prog.branchBehaviors[static_cast<std::size_t>(behavior)];
+    switch (b.kind) {
+      case BranchBehavior::Kind::Biased:
+        return rng.chance(b.takenProb);
+      case BranchBehavior::Kind::Random:
+        return rng.chance(0.5);
+      case BranchBehavior::Kind::Patterned: {
+        const std::uint64_t pos =
+            behaviorPos[static_cast<std::size_t>(behavior)]++;
+        return (b.patternBits >> (pos % b.period)) & 1ull;
+      }
+    }
+    panic("unreachable branch behaviour");
+}
+
+Addr
+SyntheticWorkload::memAddress(const StaticInst &si)
+{
+    MemStream &ms =
+        prog.memStreams[static_cast<std::size_t>(si.memStream)];
+    std::uint64_t &off =
+        streamOffsets[static_cast<std::size_t>(si.memStream)];
+    Addr addr = 0;
+    switch (ms.kind) {
+      case MemStream::Kind::Stream:
+        addr = ms.base + off;
+        off = (off + si.memSize) % ms.footprint;
+        break;
+      case MemStream::Kind::Stride:
+        addr = ms.base + off;
+        off = static_cast<std::uint64_t>(
+            (off + ms.stride) % static_cast<std::int64_t>(ms.footprint));
+        break;
+      case MemStream::Kind::Stack:
+      case MemStream::Kind::Random:
+      case MemStream::Kind::Chase: {
+        const std::uint64_t slots = ms.footprint / si.memSize;
+        addr = ms.base + rng.below(slots) * si.memSize;
+        break;
+      }
+    }
+    return addr;
+}
+
+void
+SyntheticWorkload::emitInst(const StaticInst &si, bool taken,
+                            Addr dyn_target)
+{
+    trace::DynInst d;
+    d.pc = si.pc;
+    d.op = si.op;
+    d.dst = si.dst;
+    d.srcs = si.srcs;
+    d.numSrcs = si.numSrcs;
+    d.memSize = 0;
+    if (isa::isMemOp(si.op)) {
+        d.effAddr = memAddress(si);
+        d.memSize = si.memSize;
+    }
+    if (isa::isControlOp(si.op)) {
+        d.taken = taken;
+        d.target = dyn_target != 0 ? dyn_target : si.target;
+    }
+    buffer.push_back(d);
+}
+
+void
+SyntheticWorkload::emitNode(NodeId id)
+{
+    const Node &n = prog.nodes[id];
+    switch (n.kind) {
+      case Node::Kind::Seq:
+        for (const auto &e : n.elems) {
+            if (e.isInst)
+                emitInst(e.inst, false, 0);
+            else
+                emitNode(e.node);
+        }
+        break;
+
+      case Node::Kind::If: {
+        // Taken means "skip the then-side".
+        const bool taken = evalBehavior(n.branch.behavior);
+        emitInst(n.branch, taken, 0);
+        if (!taken) {
+            emitNode(n.thenBody);
+            if (n.elseBody != invalidNode)
+                emitInst(n.thenJump, true, 0);
+        } else if (n.elseBody != invalidNode) {
+            emitNode(n.elseBody);
+        }
+        break;
+      }
+
+      case Node::Kind::Loop: {
+        const std::uint32_t trip = static_cast<std::uint32_t>(
+            rng.between(n.minTrip, n.maxTrip));
+        for (std::uint32_t it = 0; it < trip; ++it) {
+            emitNode(n.body);
+            emitInst(n.branch, it + 1 < trip, 0);
+        }
+        break;
+      }
+
+      case Node::Kind::Call: {
+        emitInst(n.branch, true, 0);
+        callStack.push_back(n.branch.pc + trace::DynInst::instBytes);
+        const Function &f =
+            prog.funcs[static_cast<std::size_t>(n.callee)];
+        emitNode(f.bodyNode);
+        sim_assert(!callStack.empty(), "return without call");
+        const Addr ret_to = callStack.back();
+        callStack.pop_back();
+        emitInst(f.retOp, true, ret_to);
+        break;
+      }
+
+      case Node::Kind::Switch: {
+        const std::size_t arm = rng.zipf(n.arms.size(), n.armSkew);
+        emitInst(n.branch, true, firstPc(n.arms[arm]));
+        emitNode(n.arms[arm]);
+        emitInst(n.armJumps[arm], true, 0);
+        break;
+      }
+    }
+}
+
+} // namespace fgstp::workload

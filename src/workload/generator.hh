@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Executes a static Program into the dynamic instruction stream.
+ */
+
+#ifndef FGSTP_WORKLOAD_GENERATOR_HH
+#define FGSTP_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/trace_source.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace fgstp::workload
+{
+
+/**
+ * A TraceSource that walks a synthetic Program.
+ *
+ * The stream is infinite (benchmarks loop forever through their
+ * phases); the consumer decides how many instructions to simulate.
+ * Deterministic: the same (profile, seed) pair replays identically,
+ * including after reset().
+ */
+class SyntheticWorkload : public trace::TraceSource
+{
+  public:
+    SyntheticWorkload(const BenchmarkProfile &profile, std::uint64_t seed);
+
+    bool next(trace::DynInst &inst) override;
+    void reset() override;
+
+    const Program &program() const { return prog; }
+    const std::string &name() const { return benchName; }
+
+  private:
+    void emitPhase();
+    void emitNode(NodeId id);
+    void emitInst(const StaticInst &si, bool taken, Addr dyn_target);
+    Addr firstPc(NodeId id) const;
+    bool evalBehavior(std::int32_t behavior);
+    Addr memAddress(const StaticInst &si);
+
+    std::string benchName;
+    Program prog;
+    std::uint64_t seed;
+    Rng rng;
+
+    std::deque<trace::DynInst> buffer;
+    std::vector<std::uint64_t> streamOffsets;
+    std::vector<std::uint64_t> behaviorPos;
+    std::vector<Addr> callStack;
+    std::size_t curPhase = std::size_t(-1);
+};
+
+} // namespace fgstp::workload
+
+#endif // FGSTP_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,244 @@
+#include "workload/microbench.hh"
+
+#include "common/random.hh"
+
+namespace fgstp::workload
+{
+
+using isa::OpClass;
+using trace::DynInst;
+
+namespace
+{
+
+constexpr Addr microCodeBase = 0x1000;
+constexpr Addr microDataBase = 0x20000000;
+
+DynInst
+alu(Addr pc, isa::RegId dst, isa::RegId s0, isa::RegId s1)
+{
+    DynInst d;
+    d.pc = pc;
+    d.op = OpClass::IntAlu;
+    d.dst = dst;
+    d.srcs[0] = s0;
+    d.srcs[1] = s1;
+    d.numSrcs = 2;
+    return d;
+}
+
+} // namespace
+
+/**
+ * Straight-line microbenchmarks reuse a 2KB PC region so the I-cache
+ * warms up like a real loop would; the first ReplayBuffer tests rely
+ * on the resulting pc = base + 4*(i mod 512) pattern.
+ */
+constexpr std::size_t pcWrap = 512;
+
+std::vector<DynInst>
+chainTrace(std::size_t n)
+{
+    std::vector<DynInst> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(alu(microCodeBase + 4 * (i % pcWrap), isa::intReg(1),
+                        isa::intReg(1), isa::zeroReg));
+    }
+    return v;
+}
+
+std::vector<DynInst>
+independentTrace(std::size_t n)
+{
+    std::vector<DynInst> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Rotate destinations so no two nearby ops share a register.
+        v.push_back(alu(microCodeBase + 4 * (i % pcWrap),
+                        isa::intReg(1 + (i % 32)),
+                        isa::zeroReg, isa::zeroReg));
+    }
+    return v;
+}
+
+std::vector<DynInst>
+twoChainTrace(std::size_t n)
+{
+    // The chains interleave in groups of four, like two unrolled
+    // computations woven by a compiler (per-instruction alternation
+    // would be an unrealistic worst case for any run-forming
+    // partitioner).
+    std::vector<DynInst> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const isa::RegId r =
+            ((i / 4) % 2) ? isa::intReg(2) : isa::intReg(1);
+        v.push_back(alu(microCodeBase + 4 * (i % pcWrap), r, r,
+                        isa::zeroReg));
+    }
+    return v;
+}
+
+std::vector<DynInst>
+loopTrace(std::size_t body, std::size_t iters)
+{
+    std::vector<DynInst> v;
+    v.reserve((body + 1) * iters);
+    for (std::size_t it = 0; it < iters; ++it) {
+        for (std::size_t i = 0; i < body; ++i) {
+            v.push_back(alu(microCodeBase + 4 * i,
+                            isa::intReg(1 + (i % 16)),
+                            isa::zeroReg, isa::zeroReg));
+        }
+        DynInst br;
+        br.pc = microCodeBase + 4 * body;
+        br.op = OpClass::BranchCond;
+        br.numSrcs = 1;
+        br.srcs[0] = isa::intReg(1);
+        br.taken = it + 1 < iters;
+        br.target = microCodeBase;
+        v.push_back(br);
+    }
+    return v;
+}
+
+std::vector<DynInst>
+alternatingBranchTrace(std::size_t pairs, std::size_t gap)
+{
+    std::vector<DynInst> v;
+    bool taken = false;
+    const Addr br_pc = microCodeBase;
+    const Addr taken_target = microCodeBase + 4 * (gap + 2);
+    for (std::size_t i = 0; i < 2 * pairs; ++i) {
+        DynInst br;
+        br.pc = br_pc;
+        br.op = OpClass::BranchCond;
+        br.numSrcs = 1;
+        br.srcs[0] = isa::zeroReg;
+        br.taken = taken;
+        br.target = taken_target;
+        v.push_back(br);
+        const Addr fill_base = taken ? taken_target : br_pc + 4;
+        for (std::size_t k = 0; k < gap; ++k) {
+            v.push_back(alu(fill_base + 4 * k, isa::intReg(1 + (k % 8)),
+                            isa::zeroReg, isa::zeroReg));
+        }
+        taken = !taken;
+    }
+    return v;
+}
+
+std::vector<DynInst>
+pointerChaseTrace(std::size_t n, std::uint64_t footprint,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<DynInst> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DynInst ld;
+        ld.pc = microCodeBase;
+        ld.op = OpClass::Load;
+        ld.dst = isa::intReg(1);
+        ld.srcs[0] = isa::intReg(1);
+        ld.numSrcs = 1;
+        ld.effAddr = microDataBase + rng.below(footprint / 8) * 8;
+        ld.memSize = 8;
+        v.push_back(ld);
+    }
+    return v;
+}
+
+std::vector<DynInst>
+streamLoadTrace(std::size_t n, std::uint64_t footprint)
+{
+    std::vector<DynInst> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DynInst ld;
+        ld.pc = microCodeBase + 4 * (i % 8);
+        ld.op = OpClass::Load;
+        ld.dst = isa::intReg(1 + (i % 16));
+        ld.srcs[0] = isa::intReg(20);
+        ld.numSrcs = 1;
+        ld.effAddr = microDataBase + (8 * i) % footprint;
+        ld.memSize = 8;
+        v.push_back(ld);
+    }
+    return v;
+}
+
+std::vector<DynInst>
+storeLoadForwardTrace(std::size_t pairs)
+{
+    std::vector<DynInst> v;
+    v.reserve(2 * pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const Addr a = microDataBase + 64 * i;
+        DynInst st;
+        st.pc = microCodeBase;
+        st.op = OpClass::Store;
+        st.srcs[0] = isa::intReg(1);
+        st.srcs[1] = isa::intReg(2);
+        st.numSrcs = 2;
+        st.effAddr = a;
+        st.memSize = 8;
+        v.push_back(st);
+
+        DynInst ld;
+        ld.pc = microCodeBase + 4;
+        ld.op = OpClass::Load;
+        ld.dst = isa::intReg(3 + (i % 8));
+        ld.srcs[0] = isa::intReg(2);
+        ld.numSrcs = 1;
+        ld.effAddr = a;
+        ld.memSize = 8;
+        v.push_back(ld);
+    }
+    return v;
+}
+
+std::vector<DynInst>
+memoryAliasTrace(std::size_t pairs, std::size_t distance)
+{
+    // Per pair: a serial `distance`-deep ALU chain computes the store
+    // address; the load's own address does not depend on it, so a
+    // speculative LSQ can hoist the load past the unresolved store.
+    // The load's result seeds the *next* pair's chain, so the win (or
+    // the violation) sits squarely on the critical path.
+    std::vector<DynInst> v;
+    v.reserve(pairs * (distance + 2));
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const Addr a = microDataBase + 64 * (i % 16);
+
+        for (std::size_t k = 0; k < distance; ++k) {
+            v.push_back(alu(microCodeBase + 4 * k, isa::intReg(2),
+                            k == 0 ? isa::intReg(5) : isa::intReg(2),
+                            isa::zeroReg));
+        }
+
+        DynInst st;
+        st.pc = microCodeBase + 4 * distance;
+        st.op = OpClass::Store;
+        st.srcs[0] = isa::intReg(1); // value: always ready
+        st.srcs[1] = isa::intReg(2); // address: end of the chain
+        st.numSrcs = 2;
+        st.effAddr = a;
+        st.memSize = 8;
+        v.push_back(st);
+
+        DynInst ld;
+        ld.pc = microCodeBase + 4 * (distance + 1);
+        ld.op = OpClass::Load;
+        ld.dst = isa::intReg(5); // feeds the next pair's chain
+        ld.srcs[0] = isa::zeroReg;
+        ld.numSrcs = 1;
+        ld.effAddr = a;
+        ld.memSize = 8;
+        v.push_back(ld);
+    }
+    return v;
+}
+
+} // namespace fgstp::workload

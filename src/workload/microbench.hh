@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hand-built microbenchmark traces with known performance properties.
+ *
+ * These are the unit-test workloads for the timing models: each has an
+ * analytically known IPC or latency behaviour on an ideal machine, so
+ * tests can assert the pipeline models against first principles.
+ */
+
+#ifndef FGSTP_WORKLOAD_MICROBENCH_HH
+#define FGSTP_WORKLOAD_MICROBENCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::workload
+{
+
+/**
+ * A serial chain: each IntAlu depends on the previous one.
+ * Ideal IPC = 1 regardless of machine width.
+ */
+std::vector<trace::DynInst> chainTrace(std::size_t n);
+
+/**
+ * Fully independent IntAlu ops (all read the zero register).
+ * Ideal IPC = machine issue width.
+ */
+std::vector<trace::DynInst> independentTrace(std::size_t n);
+
+/**
+ * Two completely independent serial chains interleaved 1:1.
+ * Ideal IPC = 2 on any machine at least 2 wide -- and the best case
+ * for a partitioning scheme, which can place one chain per core.
+ */
+std::vector<trace::DynInst> twoChainTrace(std::size_t n);
+
+/**
+ * A loop of `body` independent ALU ops closed by a perfectly biased
+ * backward branch, iterated `iters` times. Exercises predictor
+ * warm-up and taken-branch fetch breaks.
+ */
+std::vector<trace::DynInst> loopTrace(std::size_t body, std::size_t iters);
+
+/**
+ * Alternating-direction conditional branch at a single PC followed by
+ * `gap` filler ops; with period 2 it is learnable by global history.
+ */
+std::vector<trace::DynInst> alternatingBranchTrace(std::size_t pairs,
+                                                   std::size_t gap);
+
+/**
+ * Serial pointer chase: loads whose address depends on the previous
+ * load's destination, touching `footprint` bytes randomly.
+ * Ideal IPC ~ 1 / load latency.
+ */
+std::vector<trace::DynInst> pointerChaseTrace(std::size_t n,
+                                              std::uint64_t footprint,
+                                              std::uint64_t seed);
+
+/**
+ * Streaming loads over `footprint` bytes (unit-stride blocks).
+ */
+std::vector<trace::DynInst> streamLoadTrace(std::size_t n,
+                                            std::uint64_t footprint);
+
+/**
+ * A store to address A immediately followed by a load from A, repeated
+ * with distinct addresses. Exercises store-to-load forwarding and
+ * memory-dependence prediction.
+ */
+std::vector<trace::DynInst> storeLoadForwardTrace(std::size_t pairs);
+
+/**
+ * Store and load conflict with `distance` independent instructions in
+ * between; used to provoke memory-order violations under speculation.
+ */
+std::vector<trace::DynInst> memoryAliasTrace(std::size_t pairs,
+                                             std::size_t distance);
+
+} // namespace fgstp::workload
+
+#endif // FGSTP_WORKLOAD_MICROBENCH_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Benchmark profiles for the synthetic SPEC CPU2006-like workloads.
+ *
+ * SPEC CPU2006 itself is licensed and its reference traces are not
+ * redistributable, so the evaluation runs on synthetic programs whose
+ * *performance-relevant* characteristics are calibrated per benchmark:
+ * instruction mix, dependence-distance (ILP) profile, branch
+ * predictability mix, static code size, data footprint and access
+ * patterns. These are the axes that determine how much a partitioning
+ * scheme like Fg-STP can gain, so relative results survive the
+ * substitution (see DESIGN.md).
+ */
+
+#ifndef FGSTP_WORKLOAD_PROFILE_HH
+#define FGSTP_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fgstp::workload
+{
+
+/** Knobs describing one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** True for SPECfp-like workloads (FP op classes, FP registers). */
+    bool fp = false;
+
+    // ---- instruction mix (fractions of body operations) -------------
+    double fracLoad = 0.25;    ///< loads among body ops
+    double fracStore = 0.10;   ///< stores among body ops
+    double fracFpOps = 0.0;    ///< FP share of compute ops
+    double fracMul = 0.05;     ///< multiplies among compute ops
+    double fracDiv = 0.01;     ///< divides among compute ops (long lat)
+
+    // ---- instruction-level parallelism ------------------------------
+    /**
+     * Mean lookback (in instructions) when picking register sources.
+     * Small values chain ops serially (low ILP); large values spread
+     * dependences (high ILP).
+     */
+    double depLookback = 4.0;
+
+    /** Fraction of sources taken from loop-invariant registers. */
+    double fracInvariantSrc = 0.2;
+
+    /**
+     * Fraction of compute ops with a second register source. Real
+     * code averages ~1.3 register sources per instruction (immediates
+     * and constants are pervasive), which also makes dependence
+     * chains tree-like rather than a dense web.
+     */
+    double fracTwoSrcOps = 0.55;
+
+    // ---- control behaviour ------------------------------------------
+    double fracIf = 0.15;        ///< hammocks per body element
+    double fracSwitch = 0.0;     ///< indirect-branch nodes per element
+    double fracRandomBr = 0.1;   ///< unpredictable conditional branches
+    double fracPatternedBr = 0.3;///< short-period patterned branches
+    double biasedTakenProb = 0.9;///< bias of the remaining branches
+
+    // ---- memory behaviour -------------------------------------------
+    std::uint64_t footprintKB = 256; ///< total data footprint
+    double fracStreamAcc = 0.4;  ///< sequential streams
+    double fracStrideAcc = 0.2;  ///< non-unit strides
+    double fracRandomAcc = 0.2;  ///< uniform random within footprint
+    double fracChaseAcc = 0.0;   ///< pointer chasing (serial + random)
+    double fracStackAcc = 0.2;   ///< small hot stack region
+
+    // ---- program structure ------------------------------------------
+    int numTopLoops = 6;     ///< distinct top-level loop nests
+    int bodyOps = 16;        ///< straight-line ops per loop body
+    int nestDepth = 1;       ///< 1 = flat loops, 2 = one nested level
+    int numFuncs = 4;        ///< callable leaf functions
+    double callDensity = 0.05; ///< calls per body element
+    std::uint32_t minTrip = 8;  ///< minimum loop trip count
+    std::uint32_t maxTrip = 64; ///< maximum loop trip count
+
+    /**
+     * Scales the number of distinct loop bodies; large values model
+     * instruction-footprint-heavy codes (gcc, xalancbmk).
+     */
+    int staticCodeScale = 1;
+};
+
+/** The twelve SPECint-like profiles. */
+std::vector<BenchmarkProfile> specIntProfiles();
+
+/** The seven SPECfp-like profiles. */
+std::vector<BenchmarkProfile> specFpProfiles();
+
+/** All nineteen profiles, int first. */
+std::vector<BenchmarkProfile> spec2006Profiles();
+
+/** Finds a profile by name; fatal()s when unknown. */
+BenchmarkProfile profileByName(const std::string &name);
+
+} // namespace fgstp::workload
+
+#endif // FGSTP_WORKLOAD_PROFILE_HH

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * The nineteen SPEC CPU2006-like benchmark profiles.
+ *
+ * Parameter values are calibrated against the published
+ * characterization literature for SPEC CPU2006 (branch MPKI, cache
+ * MPKI, IPC classes on 4-wide out-of-order cores). Names carry a
+ * "-like" suffix implicitly; they are synthetic stand-ins.
+ */
+
+#include "workload/profile.hh"
+
+#include "common/logging.hh"
+
+namespace fgstp::workload
+{
+
+namespace
+{
+
+BenchmarkProfile
+base()
+{
+    return BenchmarkProfile{};
+}
+
+} // namespace
+
+std::vector<BenchmarkProfile>
+specIntProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    {
+        // perlbench: branchy interpreter, good predictability, small
+        // data footprint, lots of calls and indirect jumps.
+        BenchmarkProfile p = base();
+        p.name = "perlbench";
+        p.fracLoad = 0.28;
+        p.fracStore = 0.14;
+        p.depLookback = 5.0;
+        p.fracIf = 0.22;
+        p.fracSwitch = 0.04;
+        p.fracRandomBr = 0.06;
+        p.fracPatternedBr = 0.35;
+        p.footprintKB = 512;
+        p.fracChaseAcc = 0.10;
+        p.fracStackAcc = 0.30;
+        p.fracStreamAcc = 0.25;
+        p.fracStrideAcc = 0.15;
+        p.fracRandomAcc = 0.20;
+        p.numFuncs = 8;
+        p.callDensity = 0.10;
+        p.staticCodeScale = 3;
+        v.push_back(p);
+    }
+    {
+        // bzip2: compression loops, medium ILP, mildly unpredictable
+        // data-dependent branches, modest footprint.
+        BenchmarkProfile p = base();
+        p.name = "bzip2";
+        p.fracLoad = 0.26;
+        p.fracStore = 0.12;
+        p.depLookback = 6.0;
+        p.fracIf = 0.18;
+        p.fracRandomBr = 0.18;
+        p.fracPatternedBr = 0.20;
+        p.footprintKB = 2048;
+        p.fracStreamAcc = 0.45;
+        p.fracStrideAcc = 0.15;
+        p.fracRandomAcc = 0.25;
+        p.fracStackAcc = 0.15;
+        p.bodyOps = 20;
+        v.push_back(p);
+    }
+    {
+        // gcc: huge static code footprint, branchy, moderate data
+        // misses, short dependence chains.
+        BenchmarkProfile p = base();
+        p.name = "gcc";
+        p.fracLoad = 0.30;
+        p.fracStore = 0.16;
+        p.depLookback = 5.0;
+        p.fracIf = 0.24;
+        p.fracSwitch = 0.03;
+        p.fracRandomBr = 0.12;
+        p.fracPatternedBr = 0.28;
+        p.footprintKB = 4096;
+        p.fracChaseAcc = 0.15;
+        p.fracRandomAcc = 0.25;
+        p.fracStreamAcc = 0.25;
+        p.fracStrideAcc = 0.10;
+        p.fracStackAcc = 0.25;
+        p.numTopLoops = 10;
+        p.numFuncs = 10;
+        p.callDensity = 0.08;
+        p.staticCodeScale = 6;
+        v.push_back(p);
+    }
+    {
+        // mcf: pointer chasing over a huge graph; memory bound, low
+        // ILP, long serial load chains.
+        BenchmarkProfile p = base();
+        p.name = "mcf";
+        p.fracLoad = 0.35;
+        p.fracStore = 0.09;
+        p.depLookback = 2.5;
+        p.fracIf = 0.20;
+        p.fracRandomBr = 0.15;
+        p.fracPatternedBr = 0.15;
+        p.footprintKB = 64 * 1024;
+        p.fracChaseAcc = 0.55;
+        p.fracRandomAcc = 0.20;
+        p.fracStreamAcc = 0.10;
+        p.fracStrideAcc = 0.05;
+        p.fracStackAcc = 0.10;
+        p.bodyOps = 12;
+        v.push_back(p);
+    }
+    {
+        // gobmk: game tree search; notoriously unpredictable branches.
+        BenchmarkProfile p = base();
+        p.name = "gobmk";
+        p.fracLoad = 0.26;
+        p.fracStore = 0.12;
+        p.depLookback = 4.5;
+        p.fracIf = 0.26;
+        p.fracRandomBr = 0.30;
+        p.fracPatternedBr = 0.15;
+        p.footprintKB = 1024;
+        p.fracStackAcc = 0.30;
+        p.fracRandomAcc = 0.25;
+        p.fracStreamAcc = 0.25;
+        p.fracStrideAcc = 0.10;
+        p.fracChaseAcc = 0.10;
+        p.numFuncs = 8;
+        p.callDensity = 0.09;
+        p.staticCodeScale = 3;
+        v.push_back(p);
+    }
+    {
+        // hmmer: profile HMM inner loops; high ILP, very predictable,
+        // cache resident. One of the best single-thread scalers.
+        BenchmarkProfile p = base();
+        p.name = "hmmer";
+        p.fracLoad = 0.30;
+        p.fracStore = 0.12;
+        p.depLookback = 10.0;
+        p.fracInvariantSrc = 0.35;
+        p.fracIf = 0.08;
+        p.fracRandomBr = 0.02;
+        p.fracPatternedBr = 0.30;
+        p.biasedTakenProb = 0.96;
+        p.footprintKB = 256;
+        p.fracStreamAcc = 0.55;
+        p.fracStrideAcc = 0.25;
+        p.fracRandomAcc = 0.05;
+        p.fracStackAcc = 0.15;
+        p.bodyOps = 28;
+        p.minTrip = 32;
+        p.maxTrip = 128;
+        v.push_back(p);
+    }
+    {
+        // sjeng: chess search; unpredictable branches, many calls.
+        BenchmarkProfile p = base();
+        p.name = "sjeng";
+        p.fracLoad = 0.24;
+        p.fracStore = 0.10;
+        p.depLookback = 4.0;
+        p.fracIf = 0.24;
+        p.fracSwitch = 0.02;
+        p.fracRandomBr = 0.26;
+        p.fracPatternedBr = 0.18;
+        p.footprintKB = 2048;
+        p.fracRandomAcc = 0.30;
+        p.fracStackAcc = 0.30;
+        p.fracStreamAcc = 0.20;
+        p.fracStrideAcc = 0.10;
+        p.fracChaseAcc = 0.10;
+        p.numFuncs = 8;
+        p.callDensity = 0.10;
+        p.staticCodeScale = 2;
+        v.push_back(p);
+    }
+    {
+        // libquantum: simple streaming loops over a large array;
+        // perfectly predictable, L2-missing but prefetch friendly.
+        BenchmarkProfile p = base();
+        p.name = "libquantum";
+        p.fracLoad = 0.28;
+        p.fracStore = 0.16;
+        p.depLookback = 12.0;
+        p.fracInvariantSrc = 0.40;
+        p.fracIf = 0.06;
+        p.fracRandomBr = 0.01;
+        p.fracPatternedBr = 0.20;
+        p.biasedTakenProb = 0.97;
+        p.footprintKB = 32 * 1024;
+        p.fracStreamAcc = 0.85;
+        p.fracStrideAcc = 0.05;
+        p.fracRandomAcc = 0.02;
+        p.fracStackAcc = 0.08;
+        p.bodyOps = 14;
+        p.numTopLoops = 3;
+        p.minTrip = 64;
+        p.maxTrip = 256;
+        v.push_back(p);
+    }
+    {
+        // h264ref: video encoding; compute dense, high ILP, strided
+        // block accesses, predictable control.
+        BenchmarkProfile p = base();
+        p.name = "h264ref";
+        p.fracLoad = 0.30;
+        p.fracStore = 0.12;
+        p.fracMul = 0.10;
+        p.depLookback = 9.0;
+        p.fracInvariantSrc = 0.30;
+        p.fracIf = 0.12;
+        p.fracRandomBr = 0.05;
+        p.fracPatternedBr = 0.35;
+        p.footprintKB = 1024;
+        p.fracStreamAcc = 0.40;
+        p.fracStrideAcc = 0.35;
+        p.fracRandomAcc = 0.05;
+        p.fracStackAcc = 0.20;
+        p.bodyOps = 26;
+        p.nestDepth = 2;
+        v.push_back(p);
+    }
+    {
+        // omnetpp: discrete event simulation; pointer heavy, poor
+        // locality, branchy, low ILP.
+        BenchmarkProfile p = base();
+        p.name = "omnetpp";
+        p.fracLoad = 0.32;
+        p.fracStore = 0.16;
+        p.depLookback = 3.0;
+        p.fracIf = 0.22;
+        p.fracSwitch = 0.03;
+        p.fracRandomBr = 0.14;
+        p.fracPatternedBr = 0.20;
+        p.footprintKB = 16 * 1024;
+        p.fracChaseAcc = 0.40;
+        p.fracRandomAcc = 0.25;
+        p.fracStreamAcc = 0.10;
+        p.fracStrideAcc = 0.05;
+        p.fracStackAcc = 0.20;
+        p.numFuncs = 8;
+        p.callDensity = 0.10;
+        p.staticCodeScale = 3;
+        v.push_back(p);
+    }
+    {
+        // astar: path finding; data dependent branches, medium
+        // footprint, mixed locality.
+        BenchmarkProfile p = base();
+        p.name = "astar";
+        p.fracLoad = 0.30;
+        p.fracStore = 0.10;
+        p.depLookback = 3.5;
+        p.fracIf = 0.20;
+        p.fracRandomBr = 0.20;
+        p.fracPatternedBr = 0.15;
+        p.footprintKB = 8 * 1024;
+        p.fracChaseAcc = 0.30;
+        p.fracRandomAcc = 0.20;
+        p.fracStreamAcc = 0.20;
+        p.fracStrideAcc = 0.10;
+        p.fracStackAcc = 0.20;
+        v.push_back(p);
+    }
+    {
+        // xalancbmk: XML transformation; large code, virtual calls
+        // (indirect branches), medium data misses.
+        BenchmarkProfile p = base();
+        p.name = "xalancbmk";
+        p.fracLoad = 0.32;
+        p.fracStore = 0.12;
+        p.depLookback = 4.5;
+        p.fracIf = 0.22;
+        p.fracSwitch = 0.06;
+        p.fracRandomBr = 0.08;
+        p.fracPatternedBr = 0.30;
+        p.footprintKB = 8 * 1024;
+        p.fracChaseAcc = 0.25;
+        p.fracRandomAcc = 0.20;
+        p.fracStreamAcc = 0.20;
+        p.fracStrideAcc = 0.10;
+        p.fracStackAcc = 0.25;
+        p.numFuncs = 10;
+        p.callDensity = 0.12;
+        p.staticCodeScale = 5;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+std::vector<BenchmarkProfile>
+specFpProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    {
+        // bwaves: blocked wave solver; long vectorizable FP streams,
+        // high ILP, large footprint.
+        BenchmarkProfile p = base();
+        p.name = "bwaves";
+        p.fp = true;
+        p.fracLoad = 0.34;
+        p.fracStore = 0.10;
+        p.fracFpOps = 0.85;
+        p.fracMul = 0.30;
+        p.depLookback = 12.0;
+        p.fracInvariantSrc = 0.35;
+        p.fracIf = 0.05;
+        p.fracRandomBr = 0.01;
+        p.fracPatternedBr = 0.15;
+        p.biasedTakenProb = 0.97;
+        p.footprintKB = 48 * 1024;
+        p.fracStreamAcc = 0.70;
+        p.fracStrideAcc = 0.20;
+        p.fracStackAcc = 0.10;
+        p.fracRandomAcc = 0.0;
+        p.bodyOps = 30;
+        p.numTopLoops = 3;
+        p.nestDepth = 2;
+        p.minTrip = 32;
+        p.maxTrip = 128;
+        v.push_back(p);
+    }
+    {
+        // milc: lattice QCD; streaming FP with heavy L2 misses.
+        BenchmarkProfile p = base();
+        p.name = "milc";
+        p.fp = true;
+        p.fracLoad = 0.36;
+        p.fracStore = 0.14;
+        p.fracFpOps = 0.80;
+        p.fracMul = 0.35;
+        p.depLookback = 8.0;
+        p.fracIf = 0.05;
+        p.fracRandomBr = 0.02;
+        p.fracPatternedBr = 0.10;
+        p.footprintKB = 64 * 1024;
+        p.fracStreamAcc = 0.60;
+        p.fracStrideAcc = 0.25;
+        p.fracRandomAcc = 0.05;
+        p.fracStackAcc = 0.10;
+        p.bodyOps = 24;
+        p.numTopLoops = 4;
+        v.push_back(p);
+    }
+    {
+        // namd: molecular dynamics; compute bound, cache resident,
+        // very high ILP.
+        BenchmarkProfile p = base();
+        p.name = "namd";
+        p.fp = true;
+        p.fracLoad = 0.28;
+        p.fracStore = 0.08;
+        p.fracFpOps = 0.85;
+        p.fracMul = 0.35;
+        p.fracDiv = 0.02;
+        p.depLookback = 11.0;
+        p.fracInvariantSrc = 0.30;
+        p.fracIf = 0.10;
+        p.fracRandomBr = 0.04;
+        p.fracPatternedBr = 0.25;
+        p.footprintKB = 512;
+        p.fracStreamAcc = 0.40;
+        p.fracStrideAcc = 0.25;
+        p.fracRandomAcc = 0.15;
+        p.fracStackAcc = 0.20;
+        p.bodyOps = 32;
+        v.push_back(p);
+    }
+    {
+        // dealII: finite elements; mixed pointer and stream accesses.
+        BenchmarkProfile p = base();
+        p.name = "dealII";
+        p.fp = true;
+        p.fracLoad = 0.32;
+        p.fracStore = 0.12;
+        p.fracFpOps = 0.60;
+        p.fracMul = 0.25;
+        p.depLookback = 6.0;
+        p.fracIf = 0.14;
+        p.fracRandomBr = 0.06;
+        p.fracPatternedBr = 0.25;
+        p.footprintKB = 4 * 1024;
+        p.fracStreamAcc = 0.35;
+        p.fracStrideAcc = 0.15;
+        p.fracChaseAcc = 0.15;
+        p.fracRandomAcc = 0.15;
+        p.fracStackAcc = 0.20;
+        p.numFuncs = 6;
+        p.callDensity = 0.08;
+        p.staticCodeScale = 3;
+        v.push_back(p);
+    }
+    {
+        // soplex: LP solver; sparse matrix accesses miss in L2, data
+        // dependent control.
+        BenchmarkProfile p = base();
+        p.name = "soplex";
+        p.fp = true;
+        p.fracLoad = 0.36;
+        p.fracStore = 0.10;
+        p.fracFpOps = 0.55;
+        p.fracMul = 0.25;
+        p.depLookback = 5.0;
+        p.fracIf = 0.16;
+        p.fracRandomBr = 0.12;
+        p.fracPatternedBr = 0.20;
+        p.footprintKB = 24 * 1024;
+        p.fracStreamAcc = 0.30;
+        p.fracStrideAcc = 0.15;
+        p.fracRandomAcc = 0.30;
+        p.fracChaseAcc = 0.15;
+        p.fracStackAcc = 0.10;
+        v.push_back(p);
+    }
+    {
+        // lbm: lattice Boltzmann; pure streaming, memory bandwidth
+        // bound, trivial control.
+        BenchmarkProfile p = base();
+        p.name = "lbm";
+        p.fp = true;
+        p.fracLoad = 0.34;
+        p.fracStore = 0.22;
+        p.fracFpOps = 0.85;
+        p.fracMul = 0.30;
+        p.depLookback = 10.0;
+        p.fracInvariantSrc = 0.35;
+        p.fracIf = 0.03;
+        p.fracRandomBr = 0.01;
+        p.fracPatternedBr = 0.10;
+        p.biasedTakenProb = 0.98;
+        p.footprintKB = 96 * 1024;
+        p.fracStreamAcc = 0.90;
+        p.fracStrideAcc = 0.05;
+        p.fracStackAcc = 0.05;
+        p.fracRandomAcc = 0.0;
+        p.bodyOps = 26;
+        p.numTopLoops = 2;
+        p.minTrip = 64;
+        p.maxTrip = 256;
+        v.push_back(p);
+    }
+    {
+        // sphinx3: speech recognition; FP compute with gather-like
+        // random reads, moderate misses.
+        BenchmarkProfile p = base();
+        p.name = "sphinx3";
+        p.fp = true;
+        p.fracLoad = 0.34;
+        p.fracStore = 0.08;
+        p.fracFpOps = 0.70;
+        p.fracMul = 0.30;
+        p.depLookback = 7.0;
+        p.fracIf = 0.12;
+        p.fracRandomBr = 0.06;
+        p.fracPatternedBr = 0.25;
+        p.footprintKB = 12 * 1024;
+        p.fracStreamAcc = 0.35;
+        p.fracStrideAcc = 0.20;
+        p.fracRandomAcc = 0.30;
+        p.fracStackAcc = 0.15;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+std::vector<BenchmarkProfile>
+spec2006Profiles()
+{
+    auto v = specIntProfiles();
+    auto f = specFpProfiles();
+    v.insert(v.end(), f.begin(), f.end());
+    return v;
+}
+
+BenchmarkProfile
+profileByName(const std::string &name)
+{
+    for (const auto &p : spec2006Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark profile '", name, "'");
+}
+
+} // namespace fgstp::workload

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Static representation of a synthetic program.
+ *
+ * A Program is a tree of structured-control nodes (sequences, hammocks,
+ * loops, calls, switches) over static instructions with fixed PCs,
+ * fixed register operands and per-instruction memory-stream
+ * descriptors. Executing the tree (workload/generator.hh) yields the
+ * dynamic instruction trace. Because static PCs and registers recur
+ * across iterations, branch predictors, caches and the Fg-STP
+ * partition cache all see realistic repetition.
+ */
+
+#ifndef FGSTP_WORKLOAD_PROGRAM_HH
+#define FGSTP_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+#include "isa/registers.hh"
+
+namespace fgstp::workload
+{
+
+/** How a static conditional branch resolves over time. */
+struct BranchBehavior
+{
+    enum class Kind : std::uint8_t
+    {
+        Biased,    ///< independent draws with fixed takenProb
+        Patterned, ///< deterministic repeating pattern
+        Random     ///< independent 50/50 draws
+    };
+
+    Kind kind = Kind::Biased;
+    double takenProb = 0.9;          ///< for Biased
+    std::uint32_t period = 4;        ///< for Patterned
+    std::uint64_t patternBits = 0xb; ///< for Patterned, LSB first
+};
+
+/** Address-stream descriptor attached to a static memory op. */
+struct MemStream
+{
+    enum class Kind : std::uint8_t
+    {
+        Stack,  ///< small hot region, near-perfect locality
+        Stream, ///< sequential walk over the region
+        Stride, ///< constant non-unit stride walk
+        Random, ///< uniform random within the region
+        Chase   ///< random like Random; builder serializes via registers
+    };
+
+    Kind kind = Kind::Stream;
+    Addr base = 0;                 ///< region base address
+    std::uint64_t footprint = 4096;///< region size in bytes
+    std::int64_t stride = 64;      ///< for Stride
+};
+
+/** One static instruction. */
+struct StaticInst
+{
+    Addr pc = 0;
+    isa::OpClass op = isa::OpClass::Nop;
+    isa::RegId dst = isa::invalidReg;
+    std::array<isa::RegId, 3> srcs{
+        isa::invalidReg, isa::invalidReg, isa::invalidReg};
+    std::uint8_t numSrcs = 0;
+    std::int32_t memStream = -1; ///< index into Program::memStreams
+    std::int32_t behavior = -1;  ///< index into Program::branchBehaviors
+    Addr target = 0;             ///< static target for direct control
+    std::uint8_t memSize = 8;
+};
+
+using NodeId = std::int32_t;
+inline constexpr NodeId invalidNode = -1;
+
+/** One element of a sequence: either an instruction or a sub-node. */
+struct Element
+{
+    bool isInst = true;
+    StaticInst inst;
+    NodeId node = invalidNode;
+};
+
+/** Structured-control node. */
+struct Node
+{
+    enum class Kind : std::uint8_t
+    {
+        Seq,    ///< ordered elements
+        If,     ///< hammock: branch, then-side (fallthrough), else-side
+        Loop,   ///< body + backward conditional branch
+        Call,   ///< call into a Function
+        Switch  ///< indirect branch over several arms
+    };
+
+    Kind kind = Kind::Seq;
+
+    // Seq
+    std::vector<Element> elems;
+
+    // If: branch taken => jump over then-side to the else-side (or the
+    // join when the else-side is empty). The then-side ends with an
+    // unconditional jump to the join when an else-side exists.
+    StaticInst branch;          // also Loop back-branch / Switch ibranch
+    NodeId thenBody = invalidNode;
+    NodeId elseBody = invalidNode;
+    StaticInst thenJump;        // valid when elseBody != invalidNode
+    Addr joinPc = 0;
+
+    // Loop
+    NodeId body = invalidNode;
+    std::uint32_t minTrip = 8;
+    std::uint32_t maxTrip = 64;
+
+    // Call
+    std::int32_t callee = -1;
+
+    // Switch
+    std::vector<NodeId> arms;
+    std::vector<StaticInst> armJumps; ///< jump-to-join per arm
+    double armSkew = 1.1;             ///< zipf skew over arms
+};
+
+/** A callable leaf routine. */
+struct Function
+{
+    Addr entryPc = 0;
+    NodeId bodyNode = invalidNode;
+    StaticInst retOp;
+};
+
+/** A complete synthetic program. */
+struct Program
+{
+    std::vector<Node> nodes;
+    std::vector<Function> funcs;
+    std::vector<MemStream> memStreams;
+    std::vector<BranchBehavior> branchBehaviors;
+
+    /** Top-level loop nodes and their phase-selection weights. */
+    std::vector<NodeId> topLoops;
+    std::vector<double> loopWeights;
+
+    /**
+     * Per-top-loop unconditional "glue" jump emitted after the loop
+     * exits, carrying control to the next phase's first instruction so
+     * the dynamic stream is a well-formed walk.
+     */
+    std::vector<StaticInst> topLoopGlue;
+
+    /** Total laid-out code bytes (static footprint). */
+    Addr codeBytes = 0;
+};
+
+} // namespace fgstp::workload
+
+#endif // FGSTP_WORKLOAD_PROGRAM_HH

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Unit tests for the branch predictors: direction engines, BTB, RAS
+ * and the composite front-end predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/perceptron.hh"
+#include "branch/predictor.hh"
+#include "common/random.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using branch::BimodalPredictor;
+using branch::BranchPredictor;
+using branch::Btb;
+using branch::Counter2;
+using branch::GsharePredictor;
+using branch::PredictorConfig;
+using branch::Ras;
+using branch::TournamentPredictor;
+using isa::OpClass;
+using trace::DynInst;
+
+DynInst
+condBranch(Addr pc, bool taken, Addr target = 0x9000)
+{
+    DynInst d;
+    d.pc = pc;
+    d.op = OpClass::BranchCond;
+    d.taken = taken;
+    d.target = target;
+    return d;
+}
+
+// ---- Counter2 ------------------------------------------------------------
+
+TEST(Counter2, SaturatesUp)
+{
+    Counter2 c;
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_TRUE(c.taken());
+    c.update(false);
+    EXPECT_TRUE(c.taken()); // hysteresis: one miss does not flip
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(Counter2, StartsWeaklyNotTaken)
+{
+    Counter2 c;
+    EXPECT_FALSE(c.taken());
+    c.update(true);
+    // weakly-not-taken + one taken = weakly taken
+    EXPECT_TRUE(c.taken());
+}
+
+// ---- direction predictors ---------------------------------------------------
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor p(1024);
+    const Addr pc = 0x100;
+    for (int i = 0; i < 4; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.lookup(pc));
+    for (int i = 0; i < 4; ++i)
+        p.update(pc, false);
+    EXPECT_FALSE(p.lookup(pc));
+}
+
+TEST(Bimodal, IndependentPcsDoNotInterfere)
+{
+    BimodalPredictor p(1024);
+    for (int i = 0; i < 4; ++i) {
+        p.update(0x100, true);
+        p.update(0x200, false);
+    }
+    EXPECT_TRUE(p.lookup(0x100));
+    EXPECT_FALSE(p.lookup(0x200));
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    BimodalPredictor p(1024);
+    const Addr pc = 0x100;
+    int correct = 0;
+    bool dir = false;
+    for (int i = 0; i < 200; ++i) {
+        correct += p.lookup(pc) == dir;
+        p.update(pc, dir);
+        dir = !dir;
+    }
+    // A bimodal table fails badly on perfect alternation.
+    EXPECT_LT(correct, 140);
+}
+
+TEST(Gshare, LearnsAlternationViaHistory)
+{
+    GsharePredictor p(4096, 8);
+    const Addr pc = 0x100;
+    bool dir = false;
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        correct += p.lookup(pc) == dir;
+        p.update(pc, dir);
+        dir = !dir;
+    }
+    // After warm-up the pattern is fully predictable.
+    EXPECT_GT(correct, 380);
+}
+
+TEST(Gshare, LearnsShortPeriodicPattern)
+{
+    GsharePredictor p(4096, 10);
+    const Addr pc = 0x40;
+    const bool pattern[] = {true, true, false, true};
+    int correct = 0;
+    for (int i = 0; i < 800; ++i) {
+        const bool dir = pattern[i % 4];
+        correct += p.lookup(pc) == dir;
+        p.update(pc, dir);
+    }
+    EXPECT_GT(correct, 740);
+}
+
+TEST(Tournament, BeatsRandomOnBiased)
+{
+    TournamentPredictor p(1024, 4096, 12);
+    const Addr pc = 0x80;
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool dir = (i % 10) != 0; // 90% taken
+        correct += p.lookup(pc) == dir;
+        p.update(pc, dir);
+    }
+    EXPECT_GT(correct, 850);
+}
+
+TEST(Tournament, LearnsLocalPattern)
+{
+    TournamentPredictor p(1024, 4096, 12);
+    const Addr pc = 0x80;
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool dir = (i % 3) == 0;
+        correct += p.lookup(pc) == dir;
+        p.update(pc, dir);
+    }
+    EXPECT_GT(correct, 900);
+}
+
+TEST(Tournament, ResetForgets)
+{
+    TournamentPredictor p(256, 1024, 10);
+    const Addr pc = 0x80;
+    for (int i = 0; i < 100; ++i)
+        p.update(pc, true);
+    p.reset();
+    // Freshly reset counters sit at weakly-not-taken.
+    EXPECT_FALSE(p.lookup(pc));
+}
+
+TEST(DirectionFactory, MakesAllKinds)
+{
+    EXPECT_NE(branch::makeDirectionPredictor("bimodal", 256, 8), nullptr);
+    EXPECT_NE(branch::makeDirectionPredictor("gshare", 256, 8), nullptr);
+    EXPECT_NE(branch::makeDirectionPredictor("tournament", 256, 8),
+              nullptr);
+}
+
+// ---- BTB ---------------------------------------------------------------------
+
+TEST(BtbTest, MissThenHit)
+{
+    Btb btb(256);
+    EXPECT_FALSE(btb.lookup(0x100).has_value());
+    btb.update(0x100, 0x900);
+    auto t = btb.lookup(0x100);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x900u);
+}
+
+TEST(BtbTest, TagRejectsAliases)
+{
+    Btb btb(16); // small so two PCs alias to the same set
+    btb.update(0x100, 0x900);
+    // 0x100 and 0x100 + 16*4 share an index but differ in tag.
+    EXPECT_FALSE(btb.lookup(0x100 + 16 * 4).has_value());
+}
+
+TEST(BtbTest, UpdateReplacesTarget)
+{
+    Btb btb(256);
+    btb.update(0x100, 0x900);
+    btb.update(0x100, 0xa00);
+    EXPECT_EQ(*btb.lookup(0x100), 0xa00u);
+}
+
+// ---- RAS ---------------------------------------------------------------------
+
+TEST(RasTest, LifoOrder)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(*ras.pop(), 0x200u);
+    EXPECT_EQ(*ras.pop(), 0x100u);
+}
+
+TEST(RasTest, EmptyPopFails)
+{
+    Ras ras(8);
+    EXPECT_FALSE(ras.pop().has_value());
+}
+
+TEST(RasTest, OverflowWrapsClobberingOldest)
+{
+    Ras ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3); // clobbers 0x1
+    EXPECT_EQ(*ras.pop(), 0x3u);
+    EXPECT_EQ(*ras.pop(), 0x2u);
+    EXPECT_FALSE(ras.pop().has_value());
+}
+
+// ---- composite predictor ---------------------------------------------------------
+
+PredictorConfig
+smallCfg()
+{
+    PredictorConfig cfg;
+    cfg.kind = "tournament";
+    cfg.tableEntries = 1024;
+    cfg.historyBits = 10;
+    cfg.btbEntries = 256;
+    cfg.rasEntries = 8;
+    return cfg;
+}
+
+TEST(CompositePredictor, UnconditionalAlwaysCorrect)
+{
+    BranchPredictor bp(smallCfg());
+    DynInst j;
+    j.pc = 0x100;
+    j.op = OpClass::BranchUncond;
+    j.taken = true;
+    j.target = 0x500;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(bp.predict(j).correct);
+    EXPECT_EQ(bp.stats().totalMispredicts(), 0u);
+}
+
+TEST(CompositePredictor, CallReturnPairPredicted)
+{
+    BranchPredictor bp(smallCfg());
+    DynInst call;
+    call.pc = 0x100;
+    call.op = OpClass::Call;
+    call.taken = true;
+    call.target = 0x1000;
+    DynInst ret;
+    ret.pc = 0x1040;
+    ret.op = OpClass::Ret;
+    ret.taken = true;
+    ret.target = 0x104; // call pc + 4
+
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(bp.predict(call).correct);
+        EXPECT_TRUE(bp.predict(ret).correct);
+    }
+    EXPECT_EQ(bp.stats().returnMispredicts, 0u);
+}
+
+TEST(CompositePredictor, ReturnWithoutCallMispredicts)
+{
+    BranchPredictor bp(smallCfg());
+    DynInst ret;
+    ret.pc = 0x1040;
+    ret.op = OpClass::Ret;
+    ret.taken = true;
+    ret.target = 0x104;
+    EXPECT_FALSE(bp.predict(ret).correct);
+    EXPECT_EQ(bp.stats().returnMispredicts, 1u);
+}
+
+TEST(CompositePredictor, NestedCallsPredictCorrectly)
+{
+    BranchPredictor bp(smallCfg());
+    auto mkCall = [](Addr pc, Addr tgt) {
+        DynInst d;
+        d.pc = pc;
+        d.op = OpClass::Call;
+        d.taken = true;
+        d.target = tgt;
+        return d;
+    };
+    auto mkRet = [](Addr pc, Addr tgt) {
+        DynInst d;
+        d.pc = pc;
+        d.op = OpClass::Ret;
+        d.taken = true;
+        d.target = tgt;
+        return d;
+    };
+    bp.predict(mkCall(0x100, 0x1000));
+    bp.predict(mkCall(0x1004, 0x2000));
+    EXPECT_TRUE(bp.predict(mkRet(0x2040, 0x1008)).correct);
+    EXPECT_TRUE(bp.predict(mkRet(0x1040, 0x104)).correct);
+}
+
+TEST(CompositePredictor, IndirectLearnsStableTarget)
+{
+    BranchPredictor bp(smallCfg());
+    DynInst ind;
+    ind.pc = 0x100;
+    ind.op = OpClass::BranchInd;
+    ind.taken = true;
+    ind.target = 0x700;
+    EXPECT_FALSE(bp.predict(ind).correct); // cold BTB
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(bp.predict(ind).correct);
+}
+
+TEST(CompositePredictor, IndirectChangingTargetMispredicts)
+{
+    BranchPredictor bp(smallCfg());
+    DynInst ind;
+    ind.pc = 0x100;
+    ind.op = OpClass::BranchInd;
+    ind.taken = true;
+    for (int i = 0; i < 10; ++i) {
+        ind.target = (i % 2) ? 0x700 : 0x800;
+        bp.predict(ind);
+    }
+    // Alternating targets defeat a last-target BTB.
+    EXPECT_GE(bp.stats().indirectMispredicts, 8u);
+}
+
+TEST(CompositePredictor, BiasedBranchStatsAccumulate)
+{
+    BranchPredictor bp(smallCfg());
+    int wrong = 0;
+    for (int i = 0; i < 500; ++i) {
+        const bool taken = (i % 16) != 0;
+        wrong += !bp.predict(condBranch(0x100, taken)).correct;
+    }
+    EXPECT_EQ(bp.stats().condLookups, 500u);
+    EXPECT_EQ(bp.stats().condMispredicts,
+              static_cast<std::uint64_t>(wrong));
+    EXPECT_LT(wrong, 100);
+}
+
+TEST(CompositePredictor, ResetClearsStats)
+{
+    BranchPredictor bp(smallCfg());
+    bp.predict(condBranch(0x100, true));
+    bp.reset();
+    EXPECT_EQ(bp.stats().condLookups, 0u);
+}
+
+// ---- perceptron ---------------------------------------------------------------
+
+TEST(Perceptron, LearnsBias)
+{
+    branch::PerceptronPredictor p(256, 16);
+    const Addr pc = 0x100;
+    for (int i = 0; i < 20; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.lookup(pc));
+}
+
+TEST(Perceptron, LearnsAlternation)
+{
+    branch::PerceptronPredictor p(256, 16);
+    const Addr pc = 0x100;
+    bool dir = false;
+    int correct = 0;
+    for (int i = 0; i < 600; ++i) {
+        if (i > 100)
+            correct += p.lookup(pc) == dir;
+        p.update(pc, dir);
+        dir = !dir;
+    }
+    EXPECT_GT(correct, 480);
+}
+
+TEST(Perceptron, LearnsLongLinearCorrelation)
+{
+    // The branch repeats the outcome from 11 branches ago -- a single
+    // weight carries it, far beyond a 2-bit counter's reach.
+    branch::PerceptronPredictor p(256, 16);
+    const Addr pc = 0x200;
+    Rng rng(7);
+    std::vector<bool> history;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const bool dir = history.size() >= 11
+            ? history[history.size() - 11] : rng.chance(0.5);
+        if (i > 1000) {
+            correct += p.lookup(pc) == dir;
+            ++total;
+        }
+        p.update(pc, dir);
+        history.push_back(dir);
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(Perceptron, ResetForgets)
+{
+    branch::PerceptronPredictor p(256, 12);
+    for (int i = 0; i < 50; ++i)
+        p.update(0x100, true);
+    p.reset();
+    // Zero weights predict taken (sum >= 0) by convention; training a
+    // few not-taken flips it immediately, proving the state cleared.
+    p.update(0x100, false);
+    p.update(0x100, false);
+    EXPECT_FALSE(p.lookup(0x100));
+}
+
+TEST(Perceptron, FactoryMakesIt)
+{
+    auto p = branch::makeDirectionPredictor("perceptron", 4096, 16);
+    ASSERT_NE(p, nullptr);
+    for (int i = 0; i < 10; ++i)
+        p->update(0x40, true);
+    EXPECT_TRUE(p->lookup(0x40));
+}
+
+} // namespace
+} // namespace fgstp

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: RNG, stats, utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/util.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+// ---- Rng ------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const auto x0 = a.next();
+    const auto x1 = a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), x0);
+    EXPECT_EQ(a.next(), x1);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.015);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(19);
+    const double p = 0.25;
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    EXPECT_NEAR(sum / n, 1.0 / p, 0.1);
+}
+
+TEST(Rng, GeometricAlwaysAtLeastOne)
+{
+    Rng r(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.geometric(0.9), 1u);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(29);
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++counts[r.weighted({1.0, 2.0, 7.0})];
+    EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+    EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(Rng, ZipfHeadHeavier)
+{
+    Rng r(31);
+    std::vector<int> counts(16, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++counts[r.zipf(16, 1.2)];
+    EXPECT_GT(counts[0], counts[4]);
+    EXPECT_GT(counts[0], counts[15]);
+    // Every bucket reachable.
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Rng, ZipfSingleElementDomain)
+{
+    Rng r(37);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.zipf(1, 1.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(41);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, ScalarCountsAndResets)
+{
+    stats::StatGroup g("g");
+    stats::Scalar s(g, "s", "a counter");
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.raw(), 5u);
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_EQ(s.raw(), 0u);
+}
+
+TEST(Stats, AverageComputesMean)
+{
+    stats::StatGroup g("g");
+    stats::Average a(g, "a", "an average");
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.value(), 5.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Stats, AverageEmptyIsZero)
+{
+    stats::StatGroup g("g");
+    stats::Average a(g, "a", "empty");
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+}
+
+TEST(Stats, DistributionBucketsAndMoments)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(g, "d", "a distribution", 0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        d.sample(i + 0.5);
+    EXPECT_EQ(d.samples(), 10u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(d.bucketCount(b), 1u);
+    EXPECT_EQ(d.underflows(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+}
+
+TEST(Stats, DistributionOverUnderflow)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(g, "d", "range", 0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(100.0);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.minSample(), -1.0);
+    EXPECT_EQ(d.maxSample(), 100.0);
+}
+
+TEST(Stats, DistributionStdev)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(g, "d", "stdev", 0.0, 100.0, 10);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(4.0);
+    d.sample(4.0);
+    d.sample(5.0);
+    d.sample(5.0);
+    d.sample(7.0);
+    d.sample(9.0);
+    EXPECT_NEAR(d.stdev(), 2.0, 1e-9);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    stats::StatGroup g("g");
+    stats::Scalar a(g, "a", "numerator");
+    stats::Scalar b(g, "b", "denominator");
+    stats::Formula f(g, "f", "ratio", [&] {
+        return b.raw() ? a.value() / b.value() : 0.0;
+    });
+    a += 10;
+    b += 4;
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+    a += 10;
+    EXPECT_DOUBLE_EQ(f.value(), 5.0);
+}
+
+TEST(Stats, GroupFindAndGet)
+{
+    stats::StatGroup g("grp");
+    stats::Scalar a(g, "a", "");
+    a += 3;
+    EXPECT_NE(g.find("a"), nullptr);
+    EXPECT_EQ(g.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(g.get("a"), 3.0);
+}
+
+TEST(Stats, GroupDumpContainsNames)
+{
+    stats::StatGroup g("grp");
+    stats::Scalar a(g, "myStat", "described");
+    a += 1;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("myStat"), std::string::npos);
+    EXPECT_NE(os.str().find("described"), std::string::npos);
+}
+
+TEST(Stats, GroupCsv)
+{
+    stats::StatGroup g("grp");
+    stats::Scalar a(g, "a", "");
+    a += 2;
+    std::ostringstream os;
+    g.dumpCsv(os);
+    EXPECT_EQ(os.str(), "grp.a,2\n");
+}
+
+TEST(Stats, ResetAll)
+{
+    stats::StatGroup g("grp");
+    stats::Scalar a(g, "a", "");
+    stats::Average m(g, "m", "");
+    a += 5;
+    m.sample(1.0);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.get("a"), 0.0);
+    EXPECT_EQ(m.samples(), 0u);
+}
+
+// ---- util -------------------------------------------------------------------
+
+TEST(Util, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+}
+
+TEST(Util, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(Util, Geomean)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Util, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Util, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(divCeil(1, 64), 1u);
+}
+
+} // namespace
+} // namespace fgstp

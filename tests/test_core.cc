@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests of the out-of-order core timing model against first-principles
+ * IPC laws on microbenchmarks, plus memory-speculation behaviour.
+ *
+ * Each microbenchmark has a known ideal IPC; the assertions use bands
+ * around those values that tolerate cold-start effects but catch
+ * structural pipeline bugs (a broken wakeup, a missing stall, a
+ * runaway squash loop) by an order of magnitude.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using sim::MachinePreset;
+using sim::RunResult;
+using sim::SingleCoreMachine;
+
+RunResult
+runTrace(std::vector<trace::DynInst> insts, const MachinePreset &preset,
+         SingleCoreMachine **out = nullptr)
+{
+    static std::unique_ptr<SingleCoreMachine> machine;
+    static std::unique_ptr<trace::VectorTraceSource> source;
+    source = std::make_unique<trace::VectorTraceSource>(std::move(insts));
+    machine = std::make_unique<SingleCoreMachine>(
+        preset.core, preset.memory, *source);
+    if (out)
+        *out = machine.get();
+    return machine->run(1'000'000'000);
+}
+
+// ---- throughput laws -------------------------------------------------------
+
+TEST(CorePipeline, SerialChainIpcIsOne)
+{
+    const auto r = runTrace(workload::chainTrace(100000),
+                            sim::mediumPreset());
+    EXPECT_EQ(r.instructions, 100000u);
+    EXPECT_GT(r.ipc(), 0.85);
+    EXPECT_LE(r.ipc(), 1.02);
+}
+
+TEST(CorePipeline, IndependentOpsSaturateWidth)
+{
+    const auto r = runTrace(workload::independentTrace(200000),
+                            sim::mediumPreset());
+    // 4-wide medium core limited by 3 ALUs per cluster.
+    EXPECT_GT(r.ipc(), 2.6);
+    EXPECT_LE(r.ipc(), 4.05);
+}
+
+TEST(CorePipeline, IndependentOpsOnSmallCore)
+{
+    const auto r = runTrace(workload::independentTrace(200000),
+                            sim::smallPreset());
+    EXPECT_GT(r.ipc(), 1.6);
+    EXPECT_LE(r.ipc(), 2.02);
+}
+
+TEST(CorePipeline, TwoChainsDoubleOneChain)
+{
+    const auto chain = runTrace(workload::chainTrace(100000),
+                                sim::mediumPreset());
+    const auto two = runTrace(workload::twoChainTrace(100000),
+                              sim::mediumPreset());
+    EXPECT_GT(two.ipc(), 1.7 * chain.ipc());
+    EXPECT_LE(two.ipc(), 2.1);
+}
+
+TEST(CorePipeline, TightLoopBoundByTakenBranches)
+{
+    // 5 instructions per iteration ending in a taken branch: one
+    // fetch-group break per iteration caps fetch at ~5 insts / 2
+    // cycles on a 4-wide front end.
+    const auto r = runTrace(workload::loopTrace(4, 8000),
+                            sim::mediumPreset());
+    EXPECT_GT(r.ipc(), 1.8);
+    EXPECT_LE(r.ipc(), 2.6);
+}
+
+TEST(CorePipeline, PointerChaseBoundByLoadLatency)
+{
+    // Dependent loads hitting a 4KB region: after warmup each load
+    // costs ~1 (AGU) + 3 (L1) cycles.
+    const auto r = runTrace(
+        workload::pointerChaseTrace(8000, 4096, 7), sim::mediumPreset());
+    EXPECT_GT(r.ipc(), 0.15);
+    EXPECT_LT(r.ipc(), 0.30);
+}
+
+TEST(CorePipeline, StreamLoadsOverlapMisses)
+{
+    // Independent streaming loads: MLP + prefetch keep IPC well above
+    // the pointer-chase case even with a 16MB footprint.
+    const auto chase = runTrace(
+        workload::pointerChaseTrace(8000, 16 << 20, 7),
+        sim::mediumPreset());
+    const auto stream = runTrace(
+        workload::streamLoadTrace(8000, 16 << 20), sim::mediumPreset());
+    EXPECT_GT(stream.ipc(), 4 * chase.ipc());
+}
+
+// ---- determinism / accounting ------------------------------------------------
+
+TEST(CorePipeline, DeterministicCycleCount)
+{
+    const auto a = runTrace(workload::loopTrace(6, 3000),
+                            sim::mediumPreset());
+    const auto b = runTrace(workload::loopTrace(6, 3000),
+                            sim::mediumPreset());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(CorePipeline, CommitsExactlyTraceLength)
+{
+    const auto r = runTrace(workload::independentTrace(12345),
+                            sim::smallPreset());
+    EXPECT_EQ(r.instructions, 12345u);
+}
+
+TEST(CorePipeline, RunStopsAtRequestedInstructions)
+{
+    auto src = std::make_unique<trace::VectorTraceSource>(
+        workload::independentTrace(50000));
+    const auto preset = sim::mediumPreset();
+    SingleCoreMachine m(preset.core, preset.memory, *src);
+    const auto r = m.run(1000);
+    EXPECT_GE(r.instructions, 1000u);
+    EXPECT_LT(r.instructions, 1000u + preset.core.commitWidth);
+}
+
+// ---- branch handling ----------------------------------------------------------
+
+TEST(CoreBranch, PredictableBranchesAreCheap)
+{
+    SingleCoreMachine *m = nullptr;
+    const auto r = runTrace(workload::alternatingBranchTrace(4000, 3),
+                            sim::mediumPreset(), &m);
+    ASSERT_NE(m, nullptr);
+    const auto &bs = m->branchStats(0);
+    // Alternation is learnable by the tournament predictor.
+    EXPECT_LT(static_cast<double>(bs.condMispredicts) / bs.condLookups,
+              0.05);
+    EXPECT_GT(r.ipc(), 1.0);
+}
+
+TEST(CoreBranch, MispredictsCostCycles)
+{
+    // Same instruction count; loop branch biased (predictable) vs. a
+    // synthetic trace where we flip directions pseudo-randomly.
+    const auto good = runTrace(workload::loopTrace(9, 4000),
+                               sim::mediumPreset());
+
+    auto bad_trace = workload::loopTrace(9, 4000);
+    Rng rng(5);
+    // Randomize directions while keeping the walk consistent: flip
+    // taken with 50% and adjust nothing else (targets stay valid for
+    // the not-taken fallthrough case because the trace is replayed by
+    // seq, not by PC).
+    std::vector<trace::DynInst> twisted;
+    for (auto &d : bad_trace) {
+        if (d.isCondBranch())
+            d.taken = rng.chance(0.5);
+        twisted.push_back(d);
+    }
+    const auto bad = runTrace(std::move(twisted), sim::mediumPreset());
+    EXPECT_LT(bad.ipc(), 0.75 * good.ipc());
+}
+
+// ---- memory disambiguation ------------------------------------------------------
+
+TEST(CoreMemory, StoreToLoadForwarding)
+{
+    SingleCoreMachine *m = nullptr;
+    runTrace(workload::storeLoadForwardTrace(4000), sim::mediumPreset(),
+             &m);
+    ASSERT_NE(m, nullptr);
+    EXPECT_GT(m->coreStats(0).loadsForwarded, 3000u);
+    // The very first pair may collide before the store set learns the
+    // dependence; after that, forwarding keeps the pipe clean.
+    EXPECT_LE(m->coreStats(0).memOrderViolations, 2u);
+}
+
+TEST(CoreMemory, SpeculationViolatesThenLearns)
+{
+    SingleCoreMachine *m = nullptr;
+    const auto r = runTrace(workload::memoryAliasTrace(500, 6),
+                            sim::mediumPreset(), &m);
+    ASSERT_NE(m, nullptr);
+    const auto &cs = m->coreStats(0);
+    // The first collision squashes; the store set then synchronizes
+    // the pair, so violations stay far below the pair count.
+    EXPECT_GE(cs.memOrderViolations, 1u);
+    EXPECT_LT(cs.memOrderViolations, 100u);
+    EXPECT_GE(cs.squashes, cs.memOrderViolations);
+    EXPECT_EQ(r.instructions, 500u * (6 + 2));
+}
+
+TEST(CoreMemory, ConservativeModeNeverViolates)
+{
+    auto preset = sim::mediumPreset();
+    preset.core.speculativeLoads = false;
+    SingleCoreMachine *m = nullptr;
+    runTrace(workload::memoryAliasTrace(500, 6), preset, &m);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->coreStats(0).memOrderViolations, 0u);
+    EXPECT_EQ(m->coreStats(0).loadsSpeculative, 0u);
+}
+
+TEST(CoreMemory, SpeculationBeatsConservativeOnAliasFreeCode)
+{
+    auto conservative = sim::mediumPreset();
+    conservative.core.speculativeLoads = false;
+
+    // Stores with slow addresses followed by loads to *different*
+    // addresses: speculation should win, conservatism serializes.
+    auto make = [] {
+        auto v = workload::memoryAliasTrace(800, 4);
+        // Shift every load to a disjoint address range.
+        for (auto &d : v) {
+            if (d.isLoad())
+                d.effAddr += 0x100000;
+        }
+        return v;
+    };
+    const auto spec = runTrace(make(), sim::mediumPreset());
+    const auto cons = runTrace(make(), conservative);
+    EXPECT_GT(spec.ipc(), 1.2 * cons.ipc());
+}
+
+// ---- clustered back end (Core Fusion building block) -----------------------------
+
+TEST(CoreCluster, CrossClusterDelaySlowsChains)
+{
+    auto base = sim::mediumPreset();
+
+    auto clustered = base;
+    clustered.core.numClusters = 2;
+    clustered.core.clusterIssueWidth = 2;
+    clustered.core.interClusterDelay = 2;
+    clustered.core.fuPerCluster = {2, 1, 1, 1};
+
+    const auto flat = runTrace(workload::chainTrace(100000), base);
+    const auto clus = runTrace(workload::chainTrace(100000), clustered);
+    // Dependence-based steering keeps a single chain in one cluster,
+    // so the penalty must be small -- but never a speedup.
+    EXPECT_LE(clus.ipc(), flat.ipc() * 1.01);
+    EXPECT_GT(clus.ipc(), 0.8 * flat.ipc());
+}
+
+TEST(CoreCluster, IndependentWorkUsesBothClusters)
+{
+    auto clustered = sim::mediumPreset();
+    clustered.core.numClusters = 2;
+    clustered.core.issueWidth = 4;
+    clustered.core.clusterIssueWidth = 2;
+    clustered.core.fuPerCluster = {2, 1, 1, 1};
+
+    const auto r = runTrace(workload::independentTrace(200000), clustered);
+    // Both clusters' ALUs must be in play to beat 2 IPC.
+    EXPECT_GT(r.ipc(), 2.5);
+}
+
+// ---- synthetic workloads end-to-end ------------------------------------------------
+
+TEST(CoreSynthetic, AllProfilesRunAndYieldSaneIpc)
+{
+    const auto preset = sim::mediumPreset();
+    for (const auto &p : workload::spec2006Profiles()) {
+        workload::SyntheticWorkload w(p, 42);
+        SingleCoreMachine m(preset.core, preset.memory, w);
+        const auto r = m.run(20000);
+        EXPECT_GE(r.instructions, 20000u) << p.name;
+        EXPECT_GT(r.ipc(), 0.03) << p.name;
+        EXPECT_LT(r.ipc(), 4.0) << p.name;
+    }
+}
+
+TEST(CoreSynthetic, IlpOrderingAcrossProfiles)
+{
+    const auto preset = sim::mediumPreset();
+    auto ipc_of = [&](const char *name) {
+        workload::SyntheticWorkload w(workload::profileByName(name), 42);
+        SingleCoreMachine m(preset.core, preset.memory, w);
+        return m.run(30000).ipc();
+    };
+    const double hmmer = ipc_of("hmmer");
+    const double mcf = ipc_of("mcf");
+    // The compute-dense, cache-resident benchmark must run far faster
+    // than the pointer chaser.
+    EXPECT_GT(hmmer, 2.0 * mcf);
+}
+
+} // namespace
+} // namespace fgstp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the Core Fusion comparator: the fused-config transform and
+ * the fused machine's performance behaviour relative to one core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fusion/fused_config.hh"
+#include "fusion/fused_machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using fusion::FusedMachine;
+using fusion::FusionOverheads;
+using fusion::fuseCores;
+
+// ---- config transform -------------------------------------------------------
+
+TEST(FusedConfig, DoublesWidthsAndWindows)
+{
+    const auto base = sim::mediumPreset().core;
+    const auto fused = fuseCores(base);
+    EXPECT_EQ(fused.fetchWidth, 2 * base.fetchWidth);
+    EXPECT_EQ(fused.issueWidth, 2 * base.issueWidth);
+    EXPECT_EQ(fused.commitWidth, 2 * base.commitWidth);
+    EXPECT_EQ(fused.robSize, 2 * base.robSize);
+    EXPECT_EQ(fused.iqSize, 2 * base.iqSize);
+    EXPECT_EQ(fused.lqSize, 2 * base.lqSize);
+    EXPECT_EQ(fused.sqSize, 2 * base.sqSize);
+}
+
+TEST(FusedConfig, TwoClustersWithPerCoreResources)
+{
+    const auto base = sim::mediumPreset().core;
+    const auto fused = fuseCores(base);
+    EXPECT_EQ(fused.numClusters, 2u);
+    EXPECT_EQ(fused.clusterIssueWidth, base.issueWidth);
+    EXPECT_EQ(fused.fuPerCluster.intAlu, base.fuPerCluster.intAlu);
+}
+
+TEST(FusedConfig, OverheadsApplied)
+{
+    const auto base = sim::mediumPreset().core;
+    FusionOverheads ovh;
+    ovh.extraFrontendStages = 8;
+    ovh.crossBackendDelay = 3;
+    ovh.lsqExtraLatency = 2;
+    const auto fused = fuseCores(base, ovh);
+    EXPECT_EQ(fused.frontendDepth, base.frontendDepth + 8);
+    EXPECT_EQ(fused.interClusterDelay, 3u);
+    EXPECT_EQ(fused.lsqExtraLatency, base.lsqExtraLatency + 2);
+    EXPECT_TRUE(fused.takenBranchBubble);
+}
+
+// ---- machine behaviour ---------------------------------------------------------
+
+double
+singleIpc(std::vector<trace::DynInst> t, const sim::MachinePreset &p)
+{
+    trace::VectorTraceSource src(std::move(t));
+    sim::SingleCoreMachine m(p.core, p.memory, src);
+    return m.run(1'000'000'000).ipc();
+}
+
+double
+fusedIpc(std::vector<trace::DynInst> t, const sim::MachinePreset &p)
+{
+    trace::VectorTraceSource src(std::move(t));
+    FusedMachine m(p.core, p.memory, src, p.fusionOverheads);
+    return m.run(1'000'000'000).ipc();
+}
+
+TEST(FusedMachine, WidthDoublingHelpsIndependentWork)
+{
+    const auto p = sim::mediumPreset();
+    const double one = singleIpc(workload::independentTrace(200000), p);
+    const double two = fusedIpc(workload::independentTrace(200000), p);
+    EXPECT_GT(two, 1.4 * one);
+}
+
+TEST(FusedMachine, SerialChainGainsNothing)
+{
+    const auto p = sim::mediumPreset();
+    const double one = singleIpc(workload::chainTrace(100000), p);
+    const double two = fusedIpc(workload::chainTrace(100000), p);
+    // A serial chain cannot use the second core; fused overheads may
+    // even cost a little.
+    EXPECT_LT(two, 1.05 * one);
+    EXPECT_GT(two, 0.75 * one);
+}
+
+TEST(FusedMachine, DeeperFrontEndHurtsMispredicts)
+{
+    // Unpredictable branches: the fused core pays its deeper redirect
+    // path. Compare two fused machines differing only in front-end
+    // depth.
+    auto mk_trace = [] {
+        auto t = workload::loopTrace(6, 6000);
+        Rng rng(9);
+        for (auto &d : t) {
+            if (d.isCondBranch())
+                d.taken = rng.chance(0.5);
+        }
+        return t;
+    };
+    const auto p = sim::mediumPreset();
+    FusionOverheads shallow = p.fusionOverheads;
+    shallow.extraFrontendStages = 0;
+    FusionOverheads deep = p.fusionOverheads;
+    deep.extraFrontendStages = 10;
+
+    trace::VectorTraceSource s1(mk_trace());
+    FusedMachine m1(p.core, p.memory, s1, shallow);
+    const double ipc_shallow = m1.run(1'000'000'000).ipc();
+
+    trace::VectorTraceSource s2(mk_trace());
+    FusedMachine m2(p.core, p.memory, s2, deep);
+    const double ipc_deep = m2.run(1'000'000'000).ipc();
+
+    EXPECT_LT(ipc_deep, 0.92 * ipc_shallow);
+}
+
+TEST(FusedMachine, RunsSyntheticWorkloads)
+{
+    const auto p = sim::mediumPreset();
+    for (const char *name : {"hmmer", "mcf", "gobmk"}) {
+        workload::SyntheticWorkload w(workload::profileByName(name), 42);
+        FusedMachine m(p.core, p.memory, w, p.fusionOverheads);
+        const auto r = m.run(15000);
+        EXPECT_GE(r.instructions, 15000u) << name;
+        EXPECT_GT(r.ipc(), 0.02) << name;
+        EXPECT_LT(r.ipc(), 8.0) << name;
+    }
+}
+
+TEST(FusedMachine, ReportsKind)
+{
+    const auto p = sim::mediumPreset();
+    trace::VectorTraceSource src(workload::independentTrace(100));
+    FusedMachine m(p.core, p.memory, src);
+    EXPECT_STREQ(m.kind(), "core-fusion");
+    EXPECT_EQ(m.numCores(), 1u);
+}
+
+TEST(FusedMachine, FusedBeatsSingleOnSpecLikeMix)
+{
+    // Across a few representative profiles the fused core should show
+    // a clear geomean win over one constituent core (that is the
+    // point of Core Fusion).
+    const auto p = sim::mediumPreset();
+    double acc = 0.0;
+    int n = 0;
+    for (const char *name : {"hmmer", "h264ref", "libquantum"}) {
+        workload::SyntheticWorkload w1(workload::profileByName(name), 7);
+        sim::SingleCoreMachine base(p.core, p.memory, w1);
+        const auto rb = base.run(20000);
+
+        workload::SyntheticWorkload w2(workload::profileByName(name), 7);
+        FusedMachine fused(p.core, p.memory, w2, p.fusionOverheads);
+        const auto rf = fused.run(20000);
+
+        acc += std::log(static_cast<double>(rb.cycles) / rf.cycles);
+        ++n;
+    }
+    EXPECT_GT(std::exp(acc / n), 1.05);
+}
+
+} // namespace
+} // namespace fgstp

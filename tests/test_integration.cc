@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Cross-machine integration tests: the three machine models running
+ * the same workloads must agree on architectural facts and differ in
+ * the microarchitectural ways the study depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using part::FgstpMachine;
+
+struct TriResult
+{
+    sim::RunResult base;
+    sim::RunResult fused;
+    sim::RunResult stp;
+};
+
+TriResult
+runAllMachines(const workload::BenchmarkProfile &prof,
+               const sim::MachinePreset &p, std::uint64_t insts,
+               std::uint64_t seed)
+{
+    TriResult out;
+    {
+        workload::SyntheticWorkload w(prof, seed);
+        sim::SingleCoreMachine m(p.core, p.memory, w);
+        out.base = m.run(insts);
+    }
+    {
+        workload::SyntheticWorkload w(prof, seed);
+        fusion::FusedMachine m(p.core, p.memory, w, p.fusionOverheads);
+        out.fused = m.run(insts);
+    }
+    {
+        workload::SyntheticWorkload w(prof, seed);
+        FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+        out.stp = m.run(insts);
+    }
+    return out;
+}
+
+TEST(Integration, AllMachinesCommitTheSameThread)
+{
+    const auto p = sim::mediumPreset();
+    const auto r = runAllMachines(workload::profileByName("h264ref"), p,
+                                  12000, 5);
+    // Same trace, same stop condition: instruction counts agree to
+    // within one commit group.
+    EXPECT_NEAR(static_cast<double>(r.base.instructions),
+                static_cast<double>(r.fused.instructions), 16.0);
+    EXPECT_NEAR(static_cast<double>(r.base.instructions),
+                static_cast<double>(r.stp.instructions), 16.0);
+}
+
+TEST(Integration, FiniteTraceDrainsIdentically)
+{
+    // On a finite trace every machine must commit exactly the trace
+    // length and then stop.
+    const auto p = sim::mediumPreset();
+    const std::size_t n = 30000;
+
+    trace::VectorTraceSource s1(workload::loopTrace(9, n / 10));
+    sim::SingleCoreMachine base(p.core, p.memory, s1);
+    EXPECT_EQ(base.run(1'000'000'000).instructions, n);
+
+    trace::VectorTraceSource s2(workload::loopTrace(9, n / 10));
+    fusion::FusedMachine fused(p.core, p.memory, s2, p.fusionOverheads);
+    EXPECT_EQ(fused.run(1'000'000'000).instructions, n);
+
+    trace::VectorTraceSource s3(workload::loopTrace(9, n / 10));
+    FgstpMachine stp(p.core, p.memory, p.fgstp(), s3);
+    EXPECT_EQ(stp.run(1'000'000'000).instructions, n);
+}
+
+TEST(Integration, HeadlineOrderingOnShowcaseWorkload)
+{
+    // Abundant independent work on the narrow design point: a 2-wide
+    // core saturates its ALUs, so splitting across two cores must
+    // deliver a decisive speedup -- the best case for partitioning.
+    const auto p = sim::smallPreset();
+    const std::size_t n = 60000;
+
+    trace::VectorTraceSource s1(workload::independentTrace(n));
+    sim::SingleCoreMachine base(p.core, p.memory, s1);
+    const auto rb = base.run(1'000'000'000);
+
+    trace::VectorTraceSource s3(workload::independentTrace(n));
+    FgstpMachine stp(p.core, p.memory, p.fgstp(), s3);
+    const auto rs = stp.run(1'000'000'000);
+
+    EXPECT_GT(static_cast<double>(rb.cycles) / rs.cycles, 1.5);
+}
+
+TEST(Integration, SharedL2PressureIsVisibleToBothCores)
+{
+    // After an Fg-STP run, the shared hierarchy must show traffic from
+    // both cores and a plausible inclusive-L2 relationship.
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("milc"), 3);
+    FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.run(20000);
+
+    const auto &ms = m.memory().stats();
+    EXPECT_GT(ms.l1dAccesses, 0u);
+    EXPECT_GT(ms.l2Accesses, 0u);
+    EXPECT_LE(ms.l2Misses, ms.l2Accesses);
+    // Split streams force some cross-core block movement.
+    EXPECT_GT(ms.invalidations + ms.dirtyForwards, 0u);
+}
+
+TEST(Integration, StatsDumpMentionsEveryCore)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("astar"), 3);
+    FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.run(5000);
+
+    std::ostringstream os;
+    m.dumpStats(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("fg-stp"), std::string::npos);
+    EXPECT_NE(s.find("core0"), std::string::npos);
+    EXPECT_NE(s.find("core1"), std::string::npos);
+    EXPECT_NE(s.find("mem:"), std::string::npos);
+}
+
+TEST(Integration, RunCanBeResumed)
+{
+    // run() is incremental: two half-length runs equal one full run.
+    const auto p = sim::mediumPreset();
+    const auto prof = workload::profileByName("sjeng");
+
+    workload::SyntheticWorkload w1(prof, 13);
+    FgstpMachine a(p.core, p.memory, p.fgstp(), w1);
+    a.run(5000);
+    const auto r_two_step = a.run(10000);
+
+    workload::SyntheticWorkload w2(prof, 13);
+    FgstpMachine b(p.core, p.memory, p.fgstp(), w2);
+    const auto r_one_step = b.run(10000);
+
+    EXPECT_EQ(r_two_step.cycles, r_one_step.cycles);
+    EXPECT_EQ(r_two_step.instructions, r_one_step.instructions);
+}
+
+TEST(Integration, MachineKindsAreDistinct)
+{
+    const auto p = sim::smallPreset();
+    trace::VectorTraceSource s1(workload::independentTrace(100));
+    sim::SingleCoreMachine base(p.core, p.memory, s1);
+    trace::VectorTraceSource s2(workload::independentTrace(100));
+    fusion::FusedMachine fused(p.core, p.memory, s2);
+    trace::VectorTraceSource s3(workload::independentTrace(100));
+    FgstpMachine stp(p.core, p.memory, p.fgstp(), s3);
+
+    EXPECT_STRNE(base.kind(), fused.kind());
+    EXPECT_STRNE(base.kind(), stp.kind());
+    EXPECT_EQ(stp.numCores(), 2u);
+}
+
+TEST(Integration, PresetLookupRoundTrips)
+{
+    EXPECT_EQ(std::string(sim::presetByName("small").name), "small");
+    EXPECT_EQ(std::string(sim::presetByName("medium").name), "medium");
+    EXPECT_EXIT(sim::presetByName("huge"), testing::ExitedWithCode(1),
+                "unknown machine preset");
+}
+
+TEST(Integration, BigCoreConfigIsDoubleMedium)
+{
+    const auto med = sim::mediumPreset().core;
+    const auto big = sim::bigCoreConfig();
+    EXPECT_EQ(big.issueWidth, 2 * med.issueWidth);
+    EXPECT_EQ(big.robSize, 2 * med.robSize);
+    EXPECT_GT(big.frontendDepth, med.frontendDepth);
+    EXPECT_EQ(big.numClusters, 1u);
+}
+
+// ---- reproduction guards ----------------------------------------------------
+// These pin the headline relative results so a regression in any
+// timing model shows up as a test failure, not as silently-shifted
+// tables in EXPERIMENTS.md.
+
+TEST(ReproductionGuard, FgstpBeatsBigCoreOnGeomeanSubset)
+{
+    const auto p = sim::mediumPreset();
+    const auto big = sim::bigCoreConfig();
+    double acc = 0.0;
+    int n = 0;
+    for (const char *name : {"perlbench", "gcc", "hmmer", "namd"}) {
+        const auto prof = workload::profileByName(name);
+
+        workload::SyntheticWorkload w1(prof, 42);
+        sim::SingleCoreMachine bigm(big, p.memory, w1);
+        const auto rb = bigm.run(20000);
+
+        workload::SyntheticWorkload w2(prof, 42);
+        FgstpMachine stp(p.core, p.memory, p.fgstp(), w2);
+        const auto rs = stp.run(20000);
+
+        acc += std::log(static_cast<double>(rb.cycles) / rs.cycles);
+        ++n;
+    }
+    // Two coupled medium cores must at least match one double-size
+    // monolithic core on this subset.
+    EXPECT_GT(std::exp(acc / n), 0.98);
+}
+
+TEST(ReproductionGuard, LinkLatencyDegradationIsGraceful)
+{
+    const auto p = sim::mediumPreset();
+    auto cycles_at = [&](Cycle lat) {
+        auto cfg = p.fgstp();
+        cfg.link.latency = lat;
+        cfg.estCommCost = static_cast<std::uint32_t>(
+            2 * std::max<Cycle>(lat, 4));
+        workload::SyntheticWorkload w(
+            workload::profileByName("gcc"), 42);
+        FgstpMachine m(p.core, p.memory, cfg, w);
+        return static_cast<double>(m.run(20000).cycles);
+    };
+    const double fast = cycles_at(1);
+    const double slow = cycles_at(16);
+    // Paper shape: a 16x slower link costs well under 25% performance.
+    EXPECT_LT(slow, 1.25 * fast);
+    EXPECT_GE(slow, 0.99 * fast);
+}
+
+TEST(ReproductionGuard, MemSpeculationIsLoadBearing)
+{
+    const auto p = sim::mediumPreset();
+    auto cycles_mode = [&](bool spec) {
+        auto cfg = p.fgstp();
+        cfg.memSpeculation = spec;
+        workload::SyntheticWorkload w(
+            workload::profileByName("omnetpp"), 42);
+        FgstpMachine m(p.core, p.memory, cfg, w);
+        return static_cast<double>(m.run(15000).cycles);
+    };
+    // Disabling cross-core dependence speculation must cost a lot on
+    // a store-heavy pointer code (Fig. 6 / Fig. 7 shape).
+    EXPECT_GT(cycles_mode(false), 1.5 * cycles_mode(true));
+}
+
+TEST(ReproductionGuard, CoarseChunksLoseToFineGrain)
+{
+    const auto p = sim::mediumPreset();
+    auto cycles_cfg = [&](const part::FgstpConfig &cfg) {
+        workload::SyntheticWorkload w(
+            workload::profileByName("hmmer"), 42);
+        FgstpMachine m(p.core, p.memory, cfg, w);
+        return static_cast<double>(m.run(20000).cycles);
+    };
+    auto coarse = p.fgstp();
+    coarse.granularity = part::Granularity::Chunk;
+    coarse.chunkSize = 512;
+    // Half-window chunks idle one core; the fine-grain heuristic must
+    // beat them clearly (Fig. 9 shape).
+    EXPECT_GT(cycles_cfg(coarse), 1.1 * cycles_cfg(p.fgstp()));
+}
+
+} // namespace
+} // namespace fgstp

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for the cache array and the shared memory hierarchy,
+ * including the cross-core coherence coupling Fg-STP depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "memory/cache_array.hh"
+#include "memory/hierarchy.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using mem::AccessResult;
+using mem::CacheArray;
+using mem::CacheGeometry;
+using mem::HierarchyConfig;
+using mem::MemoryHierarchy;
+
+// ---- CacheArray ------------------------------------------------------------
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c({1024, 2, 64});
+    EXPECT_FALSE(c.access(0x1000, false));
+    c.fill(0x1000);
+    EXPECT_TRUE(c.access(0x1000, false));
+}
+
+TEST(CacheArray, SameBlockDifferentOffsetsHit)
+{
+    CacheArray c({1024, 2, 64});
+    c.fill(0x1000);
+    EXPECT_TRUE(c.access(0x1004, false));
+    EXPECT_TRUE(c.access(0x103f, false));
+    EXPECT_FALSE(c.access(0x1040, false));
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, 64B lines, 2 sets (256B total).
+    CacheArray c({256, 2, 64});
+    // Three blocks mapping to set 0: block addr stride = 2 sets * 64.
+    c.fill(0x0000);
+    c.fill(0x0080);
+    EXPECT_TRUE(c.access(0x0000, false)); // touch A: B is now LRU
+    const auto ev = c.fill(0x0100);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.blockAddr, 0x0080u);
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0080));
+}
+
+TEST(CacheArray, EvictionReportsDirty)
+{
+    CacheArray c({256, 2, 64});
+    c.fill(0x0000, true);
+    c.fill(0x0080);
+    const auto ev = c.fill(0x0100); // evicts dirty 0x0000
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.blockAddr, 0x0000u);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(CacheArray, InvalidateRemovesBlock)
+{
+    CacheArray c({1024, 4, 64});
+    c.fill(0x2000);
+    EXPECT_TRUE(c.invalidate(0x2000));
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.invalidate(0x2000));
+}
+
+TEST(CacheArray, RefillOfResidentBlockDoesNotEvict)
+{
+    CacheArray c({256, 2, 64});
+    c.fill(0x0000);
+    c.fill(0x0080);
+    const auto ev = c.fill(0x0000);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(c.probe(0x0080));
+}
+
+TEST(CacheArray, WriteSetsDirtyOnHit)
+{
+    CacheArray c({256, 2, 64});
+    c.fill(0x0000);
+    c.fill(0x0080);
+    // The write makes 0x0000 both dirty and MRU; 0x0080 becomes the
+    // LRU victim and leaves clean.
+    EXPECT_TRUE(c.access(0x0000, true));
+    const auto ev = c.fill(0x0100);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.blockAddr, 0x0080u);
+    EXPECT_FALSE(ev.dirty);
+
+    // Dirtiness of 0x0000 surfaces when it is evicted in turn.
+    c.access(0x0100, false);
+    const auto ev2 = c.fill(0x0180);
+    ASSERT_TRUE(ev2.valid);
+    EXPECT_EQ(ev2.blockAddr, 0x0000u);
+    EXPECT_TRUE(ev2.dirty);
+}
+
+TEST(CacheArray, GeometryDerivation)
+{
+    CacheGeometry g{32 * 1024, 4, 64};
+    EXPECT_EQ(g.numSets(), 128u);
+    CacheArray c(g);
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.associativity(), 4u);
+    EXPECT_EQ(c.lineSize(), 64u);
+}
+
+// ---- MemoryHierarchy ----------------------------------------------------------
+
+HierarchyConfig
+testCfg()
+{
+    HierarchyConfig cfg;
+    cfg.l1i = {4 * 1024, 2, 64};
+    cfg.l1d = {4 * 1024, 2, 64};
+    cfg.l2 = {64 * 1024, 4, 64};
+    cfg.l1Latency = 3;
+    cfg.l2Latency = 15;
+    cfg.dramLatency = 200;
+    cfg.dirtyForwardPenalty = 8;
+    cfg.numMshrs = 4;
+    cfg.l2PortCycles = 2;
+    cfg.dramPortCycles = 16;
+    cfg.prefetch = mem::PrefetchKind::None;
+    cfg.numCores = 2;
+    return cfg;
+}
+
+TEST(Hierarchy, ColdMissPaysDramLatency)
+{
+    MemoryHierarchy mh(testCfg());
+    const auto r = mh.accessData(0, 0x10000, false, 100);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_FALSE(r.l2Hit);
+    // l1 + l2 + dram latencies at least.
+    EXPECT_GE(r.readyCycle, 100 + 3 + 15 + 200u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    MemoryHierarchy mh(testCfg());
+    const auto miss = mh.accessData(0, 0x10000, false, 100);
+    const auto hit = mh.accessData(0, 0x10000, false, miss.readyCycle);
+    EXPECT_TRUE(hit.l1Hit);
+    EXPECT_EQ(hit.readyCycle, miss.readyCycle + 3);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    auto cfg = testCfg();
+    MemoryHierarchy mh(cfg);
+    mh.accessData(0, 0x10000, false, 0);
+    // Walk enough blocks to evict 0x10000 from the tiny L1 but not L2.
+    Cycle t = 1000;
+    for (Addr a = 0x20000; a < 0x20000 + 8 * 1024; a += 64)
+        t = mh.accessData(0, a, false, t).readyCycle;
+    const auto r = mh.accessData(0, 0x10000, false, t);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_LT(r.readyCycle, t + 100); // no DRAM involved
+}
+
+TEST(Hierarchy, MshrMergesSameBlock)
+{
+    MemoryHierarchy mh(testCfg());
+    const auto a = mh.accessData(0, 0x10000, false, 100);
+    const auto b = mh.accessData(0, 0x10008, false, 101);
+    EXPECT_EQ(b.readyCycle, a.readyCycle); // merged into the same miss
+    EXPECT_EQ(mh.stats().l2Accesses, 1u);
+
+    // Once the fill lands, accesses are genuine L1 hits again.
+    const auto c = mh.accessData(0, 0x10010, false, a.readyCycle + 1);
+    EXPECT_TRUE(c.l1Hit);
+    EXPECT_EQ(c.readyCycle, a.readyCycle + 1 + 3);
+}
+
+TEST(Hierarchy, MshrExhaustionDelays)
+{
+    MemoryHierarchy mh(testCfg()); // 4 MSHRs
+    Cycle worst = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto r =
+            mh.accessData(0, 0x10000 + 0x1000 * i, false, 100);
+        worst = std::max(worst, r.readyCycle);
+    }
+    EXPECT_GT(mh.stats().mshrStalls, 0u);
+    // The 5th miss had to wait for an MSHR, i.e. longer than a single
+    // DRAM round trip from cycle 100.
+    EXPECT_GT(worst, 100 + 3 + 15 + 200 + 50u);
+}
+
+TEST(Hierarchy, StoreInvalidatesPeerCopy)
+{
+    MemoryHierarchy mh(testCfg());
+    mh.accessData(0, 0x10000, false, 0);
+    mh.accessData(1, 0x10000, false, 1000);
+    ASSERT_TRUE(mh.l1dHasBlock(0, 0x10000));
+    ASSERT_TRUE(mh.l1dHasBlock(1, 0x10000));
+
+    mh.accessData(0, 0x10000, true, 2000);
+    EXPECT_TRUE(mh.l1dHasBlock(0, 0x10000));
+    EXPECT_FALSE(mh.l1dHasBlock(1, 0x10000));
+    EXPECT_GE(mh.stats().invalidations, 1u);
+}
+
+TEST(Hierarchy, DirtyForwardChargesPenalty)
+{
+    MemoryHierarchy mh(testCfg());
+    // Core 0 writes the block (write-allocate, dirty in its L1D).
+    mh.accessData(0, 0x10000, true, 0);
+    // Core 1 reads it: L2 has it (inclusive fill on the write miss),
+    // but core 0 owns it dirty -> forward penalty on top of L2.
+    const auto r = mh.accessData(1, 0x10000, false, 1000);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_GE(r.readyCycle, 1000 + 3 + 15 + 8u);
+    EXPECT_LT(r.readyCycle, 1000 + 200u); // not a DRAM trip
+    EXPECT_EQ(mh.stats().dirtyForwards, 1u);
+}
+
+TEST(Hierarchy, InstFetchHitIsFree)
+{
+    MemoryHierarchy mh(testCfg());
+    mh.accessInst(0, 0x400, 0);
+    const auto r = mh.accessInst(0, 0x404, 100);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.readyCycle, 100u);
+}
+
+TEST(Hierarchy, InstFetchMissGoesToL2)
+{
+    MemoryHierarchy mh(testCfg());
+    const auto r = mh.accessInst(0, 0x400, 0);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(mh.stats().l1iMisses, 1u);
+}
+
+TEST(Hierarchy, PrefetchFillsNextLine)
+{
+    auto cfg = testCfg();
+    cfg.prefetch = mem::PrefetchKind::NextLine;
+    MemoryHierarchy mh(cfg);
+    mh.accessData(0, 0x10000, false, 0);
+    EXPECT_TRUE(mh.l1dHasBlock(0, 0x10040));
+    EXPECT_GE(mh.stats().prefetchFills, 1u);
+}
+
+TEST(Hierarchy, DramPortSerializesStreams)
+{
+    auto cfg = testCfg();
+    cfg.numMshrs = 32;
+    MemoryHierarchy mh(cfg);
+    // Two cores issue many misses at the same cycle; DRAM port spacing
+    // must spread completions.
+    Cycle first = 0, last = 0;
+    for (int i = 0; i < 8; ++i) {
+        const auto r = mh.accessData(
+            i % 2, 0x100000 + 0x1000 * i, false, 10);
+        if (i == 0)
+            first = r.readyCycle;
+        last = std::max(last, r.readyCycle);
+    }
+    EXPECT_GE(last, first + 7 * cfg.dramPortCycles);
+}
+
+TEST(Hierarchy, ResetClearsState)
+{
+    MemoryHierarchy mh(testCfg());
+    mh.accessData(0, 0x10000, true, 0);
+    mh.reset();
+    EXPECT_FALSE(mh.l1dHasBlock(0, 0x10000));
+    EXPECT_EQ(mh.stats().l1dAccesses, 0u);
+    const auto r = mh.accessData(0, 0x10000, false, 0);
+    EXPECT_FALSE(r.l1Hit);
+}
+
+TEST(Hierarchy, StatsRatesComputed)
+{
+    MemoryHierarchy mh(testCfg());
+    mh.accessData(0, 0x10000, false, 0);
+    const auto again = mh.accessData(0, 0x10000, false, 1000);
+    EXPECT_TRUE(again.l1Hit);
+    EXPECT_DOUBLE_EQ(mh.stats().l1dMissRate(), 0.5);
+}
+
+// ---- StreamPrefetcher ---------------------------------------------------------
+
+TEST(StreamPrefetcherTest, LocksOntoUnitStride)
+{
+    mem::StreamPrefetcher pf(4, 2, 64);
+    EXPECT_TRUE(pf.onMiss(0x1000).empty()); // allocate
+    EXPECT_TRUE(pf.onMiss(0x1040).empty()); // learn stride
+    const auto t = pf.onMiss(0x1080);       // second match: locked
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], 0x10c0u);
+    EXPECT_EQ(t[1], 0x1100u);
+    EXPECT_GE(pf.lockedStreams(), 1u);
+    // The cursor runs ahead: the next demand miss past the covered
+    // region still extends the stream.
+    const auto t2 = pf.onMiss(0x1140);
+    ASSERT_EQ(t2.size(), 2u);
+    EXPECT_EQ(t2[0], 0x1180u);
+}
+
+TEST(StreamPrefetcherTest, LocksOntoNegativeStride)
+{
+    mem::StreamPrefetcher pf(4, 1, 64);
+    pf.onMiss(0x2000);
+    pf.onMiss(0x2000 - 64);
+    const auto t = pf.onMiss(0x2000 - 128);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 0x2000u - 192);
+}
+
+TEST(StreamPrefetcherTest, RandomMissesNeverLock)
+{
+    mem::StreamPrefetcher pf(4, 2, 64);
+    Rng rng(3);
+    std::size_t issued = 0;
+    for (int i = 0; i < 2000; ++i)
+        issued += pf.onMiss(rng.below(1 << 24) * 64).size();
+    // A uniform-random miss stream must produce essentially no
+    // prefetches (occasional accidental strides are tolerated).
+    EXPECT_LT(issued, 60u);
+}
+
+TEST(StreamPrefetcherTest, TracksMultipleStreams)
+{
+    mem::StreamPrefetcher pf(4, 1, 64);
+    // Interleave two unit-stride streams far apart.
+    std::size_t issued = 0;
+    for (int i = 0; i < 8; ++i) {
+        issued += pf.onMiss(0x100000 + 64u * i).size();
+        issued += pf.onMiss(0x900000 + 64u * i).size();
+    }
+    EXPECT_GE(issued, 8u);
+}
+
+TEST(StreamPrefetcherTest, ResetForgets)
+{
+    mem::StreamPrefetcher pf(4, 1, 64);
+    pf.onMiss(0x1000);
+    pf.onMiss(0x1040);
+    pf.onMiss(0x1080);
+    pf.reset();
+    EXPECT_TRUE(pf.onMiss(0x10c0).empty());
+    EXPECT_EQ(pf.lockedStreams(), 0u);
+}
+
+TEST(Hierarchy, StreamPrefetchCoversStridedWalks)
+{
+    auto cfg = testCfg();
+    cfg.prefetch = mem::PrefetchKind::Stream;
+    cfg.prefetchDegree = 4;
+    MemoryHierarchy mh(cfg);
+    // 128B-stride walk: next-line would miss every other block, the
+    // stream detector locks on and runs ahead.
+    Cycle t = 0;
+    for (int i = 0; i < 200; ++i)
+        t = mh.accessData(0, 0x40000 + 128u * i, false, t).readyCycle;
+    const double miss_rate = mh.stats().l1dMissRate();
+    EXPECT_LT(miss_rate, 0.25);
+    EXPECT_GT(mh.stats().prefetchFills, 100u);
+}
+
+} // namespace
+} // namespace fgstp

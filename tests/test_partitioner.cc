@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the Fg-STP partition unit: routing invariants,
+ * determinism, and the placement / replication / communication
+ * heuristics on traces with known structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fgstp/partitioner.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using part::FgstpConfig;
+using part::Partitioner;
+using part::RoutedInst;
+
+FgstpConfig
+testCfg()
+{
+    FgstpConfig cfg;
+    cfg.windowSize = 64;
+    return cfg;
+}
+
+std::vector<RoutedInst>
+routeAll(std::vector<trace::DynInst> t, const FgstpConfig &cfg,
+         Partitioner **out_part = nullptr)
+{
+    static std::unique_ptr<trace::VectorTraceSource> src;
+    static std::unique_ptr<Partitioner> part;
+    src = std::make_unique<trace::VectorTraceSource>(std::move(t));
+    part = std::make_unique<Partitioner>(cfg, *src, 4.0);
+    if (out_part)
+        *out_part = part.get();
+
+    std::vector<RoutedInst> all;
+    std::vector<RoutedInst> batch;
+    while (part->nextBatch(batch))
+        all.insert(all.end(), batch.begin(), batch.end());
+    return all;
+}
+
+// ---- structural invariants ------------------------------------------------
+
+TEST(Partitioner, EveryInstructionRoutedExactlyOnceInOrder)
+{
+    const auto routed = routeAll(workload::independentTrace(500),
+                                 testCfg());
+    ASSERT_EQ(routed.size(), 500u);
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+        EXPECT_EQ(routed[i].seq, i + 1);
+        EXPECT_NE(routed[i].cores, part::maskNone);
+    }
+}
+
+TEST(Partitioner, ExtDepsPointStrictlyBackwards)
+{
+    const auto routed = routeAll(workload::twoChainTrace(400), testCfg());
+    for (const auto &r : routed) {
+        for (CoreId c = 0; c < 2; ++c) {
+            for (const auto &d : r.extDeps[c]) {
+                EXPECT_LT(d.producer, r.seq);
+                EXPECT_TRUE(r.runsOn(c));
+            } // NOLINT
+        }
+    }
+}
+
+TEST(Partitioner, ExtDepsOnlyOnOwnedCopies)
+{
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 3);
+    Partitioner part(testCfg(), w, 4.0);
+    std::vector<RoutedInst> batch;
+    for (int i = 0; i < 20 && part.nextBatch(batch); ++i) {
+        for (const auto &r : batch) {
+            for (CoreId c = 0; c < 2; ++c) {
+                if (!r.runsOn(c))
+                    EXPECT_TRUE(r.extDeps[c].empty());
+            }
+        }
+    }
+}
+
+TEST(Partitioner, DeterministicRouting)
+{
+    auto mk = [] {
+        return workload::loopTrace(8, 100);
+    };
+    const auto a = routeAll(mk(), testCfg());
+    const auto b = routeAll(mk(), testCfg());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cores, b[i].cores);
+        EXPECT_EQ(a[i].extDeps[0].size(), b[i].extDeps[0].size());
+        EXPECT_EQ(a[i].extDeps[1].size(), b[i].extDeps[1].size());
+    }
+}
+
+TEST(Partitioner, StreamEndTerminates)
+{
+    trace::VectorTraceSource src(workload::independentTrace(10));
+    Partitioner part(testCfg(), src, 4.0);
+    std::vector<RoutedInst> batch;
+    ASSERT_TRUE(part.nextBatch(batch));
+    EXPECT_EQ(batch.size(), 10u);
+    EXPECT_FALSE(part.nextBatch(batch));
+    EXPECT_FALSE(part.nextBatch(batch));
+}
+
+TEST(Partitioner, SequenceNumbersContinueAcrossBatches)
+{
+    trace::VectorTraceSource src(workload::independentTrace(200));
+    FgstpConfig cfg = testCfg(); // window 64
+    Partitioner part(cfg, src, 4.0);
+    std::vector<RoutedInst> batch;
+    InstSeqNum expect = 1;
+    while (part.nextBatch(batch)) {
+        for (const auto &r : batch)
+            EXPECT_EQ(r.seq, expect++);
+    }
+    EXPECT_EQ(expect, 201u);
+}
+
+// ---- placement heuristics ------------------------------------------------------
+
+TEST(Partitioner, IndependentWorkUsesBothCores)
+{
+    Partitioner *p = nullptr;
+    routeAll(workload::independentTrace(2000), testCfg(), &p);
+    const auto &s = p->stats();
+    EXPECT_GT(s.assigned[0], 400u);
+    EXPECT_GT(s.assigned[1], 400u);
+}
+
+TEST(Partitioner, TwoChainsSeparateCleanly)
+{
+    Partitioner *p = nullptr;
+    const auto routed =
+        routeAll(workload::twoChainTrace(2000), testCfg(), &p);
+    // Each chain should settle on one core: very little communication.
+    EXPECT_LT(p->stats().commRate(), 0.05);
+    // And both cores host work.
+    EXPECT_GT(p->stats().assigned[0], 500u);
+    EXPECT_GT(p->stats().assigned[1], 500u);
+}
+
+TEST(Partitioner, SerialChainStaysOnOneCore)
+{
+    Partitioner *p = nullptr;
+    routeAll(workload::chainTrace(2000), testCfg(), &p);
+    // Splitting a serial chain would pay link latency per hop; almost
+    // everything should stay put.
+    EXPECT_LT(p->stats().commRate(), 0.02);
+}
+
+TEST(Partitioner, BranchReplicationHonoursFlag)
+{
+    auto cfg = testCfg();
+    cfg.replicateBranches = true;
+    Partitioner *p = nullptr;
+    const auto routed =
+        routeAll(workload::loopTrace(8, 200), cfg, &p);
+    for (const auto &r : routed) {
+        if (r.inst.isControl()) {
+            EXPECT_EQ(r.cores, part::maskBoth);
+        }
+    }
+
+    cfg.replicateBranches = false;
+    const auto routed2 = routeAll(workload::loopTrace(8, 200), cfg);
+    for (const auto &r : routed2) {
+        if (r.inst.isControl()) {
+            EXPECT_NE(r.cores, part::maskBoth);
+        }
+    }
+}
+
+TEST(Partitioner, ReplicationReducesCommunication)
+{
+    // Synthetic workloads have replicable ALU producers feeding both
+    // sides; with replication on, fewer values cross the link.
+    const auto prof = workload::profileByName("gcc");
+
+    auto run = [&](bool repl) {
+        workload::SyntheticWorkload w(prof, 11);
+        auto cfg = testCfg();
+        cfg.windowSize = 256;
+        cfg.replication = repl;
+        Partitioner part(cfg, w, 4.0);
+        std::vector<RoutedInst> batch;
+        for (int i = 0; i < 100; ++i)
+            part.nextBatch(batch);
+        return part.stats();
+    };
+
+    const auto with = run(true);
+    const auto without = run(false);
+    EXPECT_LT(with.commRate(), without.commRate());
+    EXPECT_GT(with.replicationRate(), 0.0);
+    EXPECT_DOUBLE_EQ(without.replicationRate(), 0.0);
+}
+
+TEST(Partitioner, ReplicationDisabledProducesNoReplicas)
+{
+    auto cfg = testCfg();
+    cfg.replication = false;
+    cfg.replicateBranches = false;
+    Partitioner *p = nullptr;
+    const auto routed = routeAll(workload::independentTrace(500), cfg, &p);
+    for (const auto &r : routed)
+        EXPECT_EQ(r.numCopies(), 1u);
+    EXPECT_EQ(p->stats().replicated, 0u);
+}
+
+TEST(Partitioner, StatsAccounting)
+{
+    Partitioner *p = nullptr;
+    routeAll(workload::independentTrace(300), testCfg(), &p);
+    const auto &s = p->stats();
+    EXPECT_EQ(s.instructions, 300u);
+    EXPECT_EQ(s.assigned[0] + s.assigned[1], 300u);
+    EXPECT_GE(s.copies, s.instructions);
+}
+
+TEST(Partitioner, BalanceWeightSpreadsLoad)
+{
+    // A single serial chain plus nothing else: with a huge balance
+    // weight, the partitioner is forced to split it; with zero it
+    // stays put.
+    auto cfg = testCfg();
+    cfg.balanceWeight = 0.0;
+    Partitioner *p0 = nullptr;
+    routeAll(workload::chainTrace(1000), cfg, &p0);
+    const double spread0 =
+        static_cast<double>(std::min(p0->stats().assigned[0],
+                                     p0->stats().assigned[1])) /
+        1000.0;
+
+    cfg.balanceWeight = 50.0;
+    Partitioner *p1 = nullptr;
+    routeAll(workload::chainTrace(1000), cfg, &p1);
+    const double spread1 =
+        static_cast<double>(std::min(p1->stats().assigned[0],
+                                     p1->stats().assigned[1])) /
+        1000.0;
+
+    EXPECT_GE(spread1, spread0);
+}
+
+} // namespace
+} // namespace fgstp

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the activity-based energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "power/energy_model.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using power::ActivityCounts;
+using power::EnergyBreakdown;
+using power::EnergyCoefficients;
+using power::estimateEnergy;
+
+ActivityCounts
+baseActivity()
+{
+    ActivityCounts a;
+    a.cycles = 10000;
+    a.instructions = 10000;
+    a.fetched = 10000;
+    a.dispatched = 10000;
+    a.issued = 10000;
+    a.committed = 10000;
+    a.memOps = 3000;
+    a.l1Accesses = 4000;
+    a.l2Accesses = 300;
+    a.dramAccesses = 50;
+    a.numCores = 1;
+    return a;
+}
+
+TEST(EnergyModel, AllComponentsPositive)
+{
+    const auto e = estimateEnergy(baseActivity());
+    EXPECT_GT(e.frontend, 0.0);
+    EXPECT_GT(e.backend, 0.0);
+    EXPECT_GT(e.memory, 0.0);
+    EXPECT_GT(e.leakage, 0.0);
+    EXPECT_GT(e.epi, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.frontend + e.backend + e.memory + e.coupling +
+                    e.leakage,
+                1e-12);
+}
+
+TEST(EnergyModel, MoreActivityMoreEnergy)
+{
+    auto a = baseActivity();
+    const auto e1 = estimateEnergy(a);
+    a.issued *= 2;
+    a.l2Accesses *= 2;
+    const auto e2 = estimateEnergy(a);
+    EXPECT_GT(e2.total(), e1.total());
+}
+
+TEST(EnergyModel, LeakageScalesWithCoresAndCycles)
+{
+    auto a = baseActivity();
+    const auto e1 = estimateEnergy(a);
+    a.numCores = 2;
+    const auto e2 = estimateEnergy(a);
+    EXPECT_NEAR(e2.leakage, 2.0 * e1.leakage, 1e-9);
+
+    a.numCores = 1;
+    a.cycles *= 3;
+    const auto e3 = estimateEnergy(a);
+    EXPECT_NEAR(e3.leakage, 3.0 * e1.leakage, 1e-9);
+}
+
+TEST(EnergyModel, WidthFactorIsSuperlinearPerAccess)
+{
+    auto a = baseActivity();
+    const auto e1 = estimateEnergy(a);
+    a.structureWidthFactor = 2.0;
+    const auto e2 = estimateEnergy(a);
+    // Same activity through double-width structures costs more, but
+    // less than 2x dynamic energy.
+    EXPECT_GT(e2.frontend, e1.frontend);
+    EXPECT_LT(e2.frontend, 2.0 * e1.frontend);
+}
+
+TEST(EnergyModel, CouplingTaxesApplied)
+{
+    auto a = baseActivity();
+    const auto none = estimateEnergy(a);
+    a.fgstpPartitioning = true;
+    a.linkTransfers = 500;
+    const auto stp = estimateEnergy(a);
+    EXPECT_GT(stp.coupling, none.coupling);
+    EXPECT_DOUBLE_EQ(none.coupling, 0.0);
+
+    a.fgstpPartitioning = false;
+    a.linkTransfers = 0;
+    a.fusionSteering = true;
+    const auto fused = estimateEnergy(a);
+    EXPECT_GT(fused.coupling, 0.0);
+}
+
+TEST(EnergyModel, DramDominatesMissHeavyRuns)
+{
+    auto a = baseActivity();
+    a.dramAccesses = 5000;
+    const auto e = estimateEnergy(a);
+    EXPECT_GT(e.memory, e.frontend + e.backend);
+}
+
+TEST(EnergyModel, EdpCombinesEnergyAndTime)
+{
+    auto fast = baseActivity();
+    auto slow = baseActivity();
+    slow.cycles *= 2; // same work, half the speed
+    const auto ef = estimateEnergy(fast);
+    const auto es = estimateEnergy(slow);
+    EXPECT_GT(es.edp, 1.9 * ef.edp); // leakage grows energy too
+}
+
+TEST(EnergyModel, PrintMentionsComponents)
+{
+    std::ostringstream os;
+    estimateEnergy(baseActivity()).print(os);
+    EXPECT_NE(os.str().find("frontend="), std::string::npos);
+    EXPECT_NE(os.str().find("epi="), std::string::npos);
+}
+
+TEST(EnergyModel, GatherFromRealRun)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("hmmer"), 2);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    const auto r = m.run(10000);
+
+    const core::CoreStats *cs[] = {&m.coreStats(0)};
+    const auto act = power::gatherActivity(
+        cs, 1, m.memory().stats(), r.cycles, r.instructions, 1.0);
+    EXPECT_EQ(act.instructions, r.instructions);
+    EXPECT_GE(act.fetched, r.instructions);
+    EXPECT_GT(act.l1Accesses, 0u);
+
+    const auto e = estimateEnergy(act);
+    // Order of magnitude: a 2011-class core burns a few nJ per
+    // instruction.
+    EXPECT_GT(e.epi, 0.05);
+    EXPECT_LT(e.epi, 50.0);
+}
+
+TEST(EnergyModelDeath, ZeroInstructionsRejected)
+{
+    ActivityCounts a;
+    EXPECT_DEATH(estimateEnergy(a), "energy estimate needs a run");
+}
+
+} // namespace
+} // namespace fgstp

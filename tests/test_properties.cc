@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Property-style parameterized suites (TEST_P): invariants that must
+ * hold across whole parameter spaces — cache geometries, predictor
+ * configurations, link shapes, partitioner windows and the full
+ * Fg-STP feature matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "branch/direction_predictor.hh"
+#include "fgstp/machine.hh"
+#include "fgstp/partitioner.hh"
+#include "memory/cache_array.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "trace/trace_source.hh"
+#include "uncore/link.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+// ---- cache geometry properties ------------------------------------------------
+
+using CacheGeomParam = std::tuple<int, int, int>; // sizeKB, assoc, line
+
+class CacheGeometryProperty
+    : public testing::TestWithParam<CacheGeomParam>
+{
+};
+
+TEST_P(CacheGeometryProperty, FillProbeInvalidateRoundTrip)
+{
+    const auto [size_kb, assoc, line] = GetParam();
+    mem::CacheArray c({static_cast<std::uint64_t>(size_kb) * 1024,
+                       static_cast<std::uint32_t>(assoc),
+                       static_cast<std::uint32_t>(line)});
+    Rng rng(size_kb * 131 + assoc);
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = rng.below(1 << 22);
+        c.fill(a);
+        EXPECT_TRUE(c.probe(a));
+        EXPECT_TRUE(c.access(a, false));
+        EXPECT_TRUE(c.invalidate(a));
+        EXPECT_FALSE(c.probe(a));
+    }
+}
+
+TEST_P(CacheGeometryProperty, OccupancyNeverExceedsCapacity)
+{
+    const auto [size_kb, assoc, line] = GetParam();
+    mem::CacheArray c({static_cast<std::uint64_t>(size_kb) * 1024,
+                       static_cast<std::uint32_t>(assoc),
+                       static_cast<std::uint32_t>(line)});
+    const std::uint64_t capacity_blocks =
+        static_cast<std::uint64_t>(size_kb) * 1024 / line;
+
+    std::set<Addr> resident;
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        const Addr a = (rng.below(1 << 16)) * line;
+        const auto ev = c.fill(a);
+        resident.insert(c.blockAddr(a));
+        if (ev.valid) {
+            EXPECT_TRUE(resident.count(ev.blockAddr));
+            resident.erase(ev.blockAddr);
+        }
+        ASSERT_LE(resident.size(), capacity_blocks);
+    }
+    // Everything believed resident must actually probe as present.
+    for (const Addr a : resident)
+        EXPECT_TRUE(c.probe(a));
+}
+
+TEST_P(CacheGeometryProperty, SetConflictsEvictWithinSetOnly)
+{
+    const auto [size_kb, assoc, line] = GetParam();
+    mem::CacheArray c({static_cast<std::uint64_t>(size_kb) * 1024,
+                       static_cast<std::uint32_t>(assoc),
+                       static_cast<std::uint32_t>(line)});
+    // Fill one set beyond capacity; blocks of other sets must survive.
+    const Addr other_set = line; // set index 1
+    c.fill(other_set);
+    const std::uint64_t set_stride =
+        c.numSets() * static_cast<std::uint64_t>(line);
+    for (std::uint32_t w = 0; w < c.associativity() + 4; ++w)
+        c.fill(w * set_stride); // all map to set 0
+    EXPECT_TRUE(c.probe(other_set));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryProperty,
+    testing::Values(CacheGeomParam{4, 1, 64}, CacheGeomParam{4, 2, 64},
+                    CacheGeomParam{8, 4, 64}, CacheGeomParam{32, 4, 64},
+                    CacheGeomParam{32, 8, 32},
+                    CacheGeomParam{64, 16, 128}));
+
+// ---- predictor properties ---------------------------------------------------------
+
+using PredictorParam = std::tuple<const char *, int>; // kind, entries
+
+class PredictorProperty : public testing::TestWithParam<PredictorParam>
+{
+};
+
+TEST_P(PredictorProperty, LearnsStronglyBiasedBranches)
+{
+    const auto [kind, entries] = GetParam();
+    auto p = branch::makeDirectionPredictor(kind, entries, 10);
+    Rng rng(3);
+    int correct = 0, total = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const Addr pc = 0x100 + 16 * (i % 8);
+        const bool taken = !rng.chance(0.05);
+        if (i > 500) {
+            correct += p->lookup(pc) == taken;
+            ++total;
+        } else {
+            p->lookup(pc);
+        }
+        p->update(pc, taken);
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.85)
+        << kind << "/" << entries;
+}
+
+TEST_P(PredictorProperty, ColdAccuracyIsDefinedEverywhere)
+{
+    const auto [kind, entries] = GetParam();
+    auto p = branch::makeDirectionPredictor(kind, entries, 10);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr pc = rng.below(1 << 20) * 4;
+        (void)p->lookup(pc); // must not crash on any PC
+        p->update(pc, rng.chance(0.5));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PredictorProperty,
+    testing::Values(PredictorParam{"bimodal", 256},
+                    PredictorParam{"bimodal", 4096},
+                    PredictorParam{"gshare", 1024},
+                    PredictorParam{"gshare", 16384},
+                    PredictorParam{"tournament", 1024},
+                    PredictorParam{"tournament", 16384}));
+
+// ---- link properties ---------------------------------------------------------------
+
+using LinkParam = std::tuple<int, int>; // latency, width
+
+class LinkProperty : public testing::TestWithParam<LinkParam>
+{
+};
+
+TEST_P(LinkProperty, ArrivalsRespectLatencyAndBandwidth)
+{
+    const auto [latency, width] = GetParam();
+    uncore::OperandLink link(
+        {static_cast<Cycle>(latency),
+         static_cast<std::uint32_t>(width)});
+    Rng rng(11);
+
+    std::map<Cycle, int> arrivals_per_cycle;
+    for (int i = 0; i < 2000; ++i) {
+        const Cycle now = rng.below(500);
+        const Cycle arr = link.send(0, now);
+        ASSERT_GE(arr, now + latency);
+        ++arrivals_per_cycle[arr];
+    }
+    for (const auto &[cycle, n] : arrivals_per_cycle)
+        ASSERT_LE(n, width) << "bandwidth exceeded at " << cycle;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinkProperty,
+                         testing::Values(LinkParam{1, 1},
+                                         LinkParam{2, 2},
+                                         LinkParam{4, 2},
+                                         LinkParam{8, 1},
+                                         LinkParam{16, 4}));
+
+// ---- partitioner properties -----------------------------------------------------------
+
+class PartitionerWindowProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PartitionerWindowProperty, RoutingInvariantsAtEveryWindow)
+{
+    part::FgstpConfig cfg;
+    cfg.windowSize = static_cast<std::uint32_t>(GetParam());
+
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 9);
+    part::Partitioner partitioner(cfg, w, 4.0);
+
+    InstSeqNum expect = 1;
+    std::vector<part::RoutedInst> batch;
+    for (int b = 0; b < 8 && partitioner.nextBatch(batch); ++b) {
+        for (const auto &r : batch) {
+            ASSERT_EQ(r.seq, expect++);
+            ASSERT_NE(r.cores, part::maskNone);
+            for (CoreId c = 0; c < 2; ++c) {
+                if (!r.runsOn(c)) {
+                    ASSERT_TRUE(r.extDeps[c].empty());
+                }
+                for (const auto &d : r.extDeps[c]) {
+                    ASSERT_LT(d.producer, r.seq);
+                    ASSERT_LT(d.producerCore, 2);
+                }
+            }
+        }
+    }
+    const auto &s = partitioner.stats();
+    EXPECT_EQ(s.assigned[0] + s.assigned[1], s.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, PartitionerWindowProperty,
+                         testing::Values(16, 64, 128, 512, 1024));
+
+// ---- Fg-STP feature matrix ---------------------------------------------------------------
+
+// replication, memSpeculation, sharedPrediction, replicateBranches
+using FeatureParam = std::tuple<bool, bool, bool, bool>;
+
+class FgstpFeatureMatrix : public testing::TestWithParam<FeatureParam>
+{
+};
+
+TEST_P(FgstpFeatureMatrix, EveryFeatureComboRunsToCompletion)
+{
+    const auto [repl, memspec, shared, replbr] = GetParam();
+    const auto p = sim::mediumPreset();
+    auto cfg = p.fgstp();
+    cfg.windowSize = 128;
+    cfg.replication = repl;
+    cfg.memSpeculation = memspec;
+    cfg.sharedPrediction = shared;
+    cfg.replicateBranches = replbr;
+
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 17);
+    part::FgstpMachine m(p.core, p.memory, cfg, w);
+    const auto r = m.run(6000);
+    EXPECT_GE(r.instructions, 6000u);
+    EXPECT_GT(r.ipc(), 0.01);
+    EXPECT_LT(r.ipc(), 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, FgstpFeatureMatrix,
+                         testing::Combine(testing::Bool(),
+                                          testing::Bool(),
+                                          testing::Bool(),
+                                          testing::Bool()));
+
+// ---- per-benchmark machine properties ---------------------------------------------------
+
+class BenchmarkProperty
+    : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BenchmarkProperty, FgstpAndBaselineAgreeOnInstructionCount)
+{
+    const auto p = sim::mediumPreset();
+    const auto prof = workload::profileByName(GetParam());
+
+    workload::SyntheticWorkload w1(prof, 23);
+    sim::SingleCoreMachine base(p.core, p.memory, w1);
+    const auto rb = base.run(10000);
+
+    workload::SyntheticWorkload w2(prof, 23);
+    part::FgstpMachine stp(p.core, p.memory, p.fgstp(), w2);
+    const auto rs = stp.run(10000);
+
+    // Both machines execute the same logical thread: the distinct
+    // committed instruction counts must agree to within one commit
+    // group.
+    EXPECT_NEAR(static_cast<double>(rb.instructions),
+                static_cast<double>(rs.instructions), 16.0);
+}
+
+TEST_P(BenchmarkProperty, FgstpDeterministicPerBenchmark)
+{
+    const auto p = sim::smallPreset();
+    const auto prof = workload::profileByName(GetParam());
+    auto run_once = [&] {
+        workload::SyntheticWorkload w(prof, 29);
+        part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+        return m.run(6000).cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec2006, BenchmarkProperty,
+                         testing::Values("perlbench", "mcf", "hmmer",
+                                         "libquantum", "omnetpp",
+                                         "bwaves", "lbm"));
+
+} // namespace
+} // namespace fgstp

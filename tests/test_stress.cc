@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Stress and edge-configuration tests: extreme machine shapes, fuzzed
+ * seeds, squash storms, and the StatReport adapter. These guard the
+ * timing models against configurations the presets never exercise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fgstp/machine.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "sim/stat_report.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+// ---- extreme core shapes ----------------------------------------------------
+
+core::CoreConfig
+tinyCore()
+{
+    auto c = sim::smallPreset().core;
+    c.fetchWidth = 1;
+    c.decodeWidth = 1;
+    c.issueWidth = 1;
+    c.commitWidth = 1;
+    c.clusterIssueWidth = 1;
+    c.robSize = 4;
+    c.iqSize = 2;
+    c.lqSize = 2;
+    c.sqSize = 2;
+    c.fetchQueueSize = 2;
+    c.fuPerCluster = {1, 1, 1, 1};
+    return c;
+}
+
+TEST(Stress, ScalarInOrderishCoreStillWorks)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    sim::SingleCoreMachine m(tinyCore(), p.memory, w);
+    const auto r = m.run(5000);
+    EXPECT_GE(r.instructions, 5000u);
+    EXPECT_GT(r.ipc(), 0.01);
+    EXPECT_LE(r.ipc(), 1.01); // scalar machine cannot exceed 1
+}
+
+TEST(Stress, TinyRobBoundsInFlightWork)
+{
+    const auto p = sim::smallPreset();
+    trace::VectorTraceSource src(
+        workload::pointerChaseTrace(2000, 64 << 20, 3));
+    auto cfg = tinyCore();
+    sim::SingleCoreMachine m(cfg, p.memory, src);
+    const auto r = m.run(1'000'000'000);
+    EXPECT_EQ(r.instructions, 2000u);
+}
+
+TEST(Stress, FgstpWithTinyCores)
+{
+    const auto p = sim::smallPreset();
+    auto cfg = p.fgstp();
+    cfg.windowSize = 16;
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 5);
+    part::FgstpMachine m(tinyCore(), p.memory, cfg, w);
+    const auto r = m.run(4000);
+    EXPECT_GE(r.instructions, 4000u);
+}
+
+TEST(Stress, WideCoreNarrowMemory)
+{
+    // 8-wide core against a single MSHR: back-pressure everywhere.
+    auto p = sim::mediumPreset();
+    p.memory.numMshrs = 1;
+    workload::SyntheticWorkload w(workload::profileByName("milc"), 5);
+    sim::SingleCoreMachine m(sim::bigCoreConfig(), p.memory, w);
+    const auto r = m.run(5000);
+    EXPECT_GE(r.instructions, 5000u);
+    EXPECT_GT(m.memory().stats().mshrStalls, 0u);
+}
+
+// ---- squash storms ------------------------------------------------------------
+
+TEST(Stress, AliasStormDoesNotLivelock)
+{
+    // Aliasing pairs at many distinct load PCs: each PC violates once
+    // before its store-set entry forms; the machine must keep making
+    // forward progress through the storm.
+    std::vector<trace::DynInst> v;
+    auto base = workload::memoryAliasTrace(600, 4);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        auto d = base[i];
+        // Spread the load PCs so the predictor cannot share entries.
+        if (d.isLoad())
+            d.pc += 64 * ((i / 6) % 128);
+        v.push_back(d);
+    }
+    const auto p = sim::mediumPreset();
+    trace::VectorTraceSource src(std::move(v));
+    sim::SingleCoreMachine m(p.core, p.memory, src);
+    const auto r = m.run(1'000'000'000);
+    EXPECT_EQ(r.instructions, 600u * 6);
+    EXPECT_GT(m.coreStats(0).squashes, 20u);
+}
+
+TEST(Stress, FgstpAliasStormCompletes)
+{
+    const auto p = sim::mediumPreset();
+    trace::VectorTraceSource src(workload::memoryAliasTrace(1500, 4));
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), src);
+    const auto r = m.run(1'000'000'000);
+    EXPECT_EQ(r.instructions, 1500u * 6);
+}
+
+// ---- seed fuzzing ---------------------------------------------------------------
+
+TEST(Stress, FuzzSeedsAgreeOnInstructionCounts)
+{
+    // For many random seeds, the single-core machine and Fg-STP must
+    // commit the same logical thread.
+    const auto p = sim::smallPreset();
+    const auto prof = workload::profileByName("astar");
+    Rng rng(0xf022);
+    for (int trial = 0; trial < 6; ++trial) {
+        const std::uint64_t seed = rng.next();
+
+        workload::SyntheticWorkload w1(prof, seed);
+        sim::SingleCoreMachine base(p.core, p.memory, w1);
+        const auto rb = base.run(4000);
+
+        workload::SyntheticWorkload w2(prof, seed);
+        part::FgstpMachine stp(p.core, p.memory, p.fgstp(), w2);
+        const auto rs = stp.run(4000);
+
+        EXPECT_NEAR(static_cast<double>(rb.instructions),
+                    static_cast<double>(rs.instructions), 8.0)
+            << "seed " << seed;
+    }
+}
+
+// ---- StatReport -----------------------------------------------------------------
+
+TEST(StatReportTest, ContainsCoreAndMemoryStats)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("hmmer"), 2);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    const auto r = m.run(8000);
+
+    const sim::StatReport rep(m, r);
+    EXPECT_DOUBLE_EQ(rep.get("cycles"),
+                     static_cast<double>(r.cycles));
+    EXPECT_DOUBLE_EQ(rep.get("instructions"),
+                     static_cast<double>(r.instructions));
+    EXPECT_NEAR(rep.get("ipc"), r.ipc(), 1e-9);
+    EXPECT_GT(rep.get("core0.fetched"), 0.0);
+    EXPECT_GT(rep.get("mem.l1dAccesses"), 0.0);
+    EXPECT_GE(rep.get("core0.brMpki"), 0.0);
+}
+
+TEST(StatReportTest, TwoCoreMachineGetsBothPrefixes)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("sjeng"), 2);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    const auto r = m.run(5000);
+
+    const sim::StatReport rep(m, r);
+    EXPECT_GT(rep.get("core0.committed"), 0.0);
+    EXPECT_GT(rep.get("core1.committed"), 0.0);
+}
+
+TEST(StatReportTest, CsvAndDumpRender)
+{
+    const auto p = sim::smallPreset();
+    trace::VectorTraceSource src(workload::independentTrace(3000));
+    sim::SingleCoreMachine m(p.core, p.memory, src);
+    const auto r = m.run(1'000'000'000);
+
+    const sim::StatReport rep(m, r);
+    std::ostringstream txt, csv;
+    rep.dump(txt);
+    rep.dumpCsv(csv);
+    EXPECT_NE(txt.str().find("ipc"), std::string::npos);
+    EXPECT_NE(csv.str().find("single-core.ipc,"), std::string::npos);
+}
+
+// ---- derived formulas cross-check -------------------------------------------------
+
+TEST(StatReportTest, MpkiMatchesRawCounters)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gobmk"), 2);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    const auto r = m.run(10000);
+
+    const sim::StatReport rep(m, r);
+    const double kinsts = r.instructions / 1000.0;
+    EXPECT_NEAR(rep.get("mem.l1dMpki"),
+                rep.get("mem.l1dMisses") / kinsts, 1e-6);
+}
+
+// ---- warmup-discard measurement ---------------------------------------------
+
+TEST(ResetStats, CountersZeroTimingUnchanged)
+{
+    const auto p = sim::mediumPreset();
+    const auto prof = workload::profileByName("bzip2");
+
+    // Reference: one uninterrupted run.
+    workload::SyntheticWorkload w1(prof, 9);
+    sim::SingleCoreMachine a(p.core, p.memory, w1);
+    const auto ra = a.run(16000);
+
+    // Same run with a stats reset in the middle: timing must be
+    // bit-identical (resetStats touches no machine state).
+    workload::SyntheticWorkload w2(prof, 9);
+    sim::SingleCoreMachine b(p.core, p.memory, w2);
+    b.run(8000);
+    b.resetStats();
+    EXPECT_EQ(b.coreStats(0).committed, 0u);
+    EXPECT_EQ(b.memory().stats().l1dAccesses, 0u);
+    const auto rb = b.run(16000);
+
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    // Post-reset counters cover only the second half.
+    EXPECT_LT(b.coreStats(0).committed, a.coreStats(0).committed);
+    EXPECT_GT(b.coreStats(0).committed, 0u);
+}
+
+TEST(ResetStats, FgstpResetsEveryComponent)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 9);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.run(8000);
+    ASSERT_GT(m.linkStats().messages, 0u);
+
+    m.resetStats();
+    EXPECT_EQ(m.coreStats(0).committed, 0u);
+    EXPECT_EQ(m.coreStats(1).committed, 0u);
+    EXPECT_EQ(m.linkStats().messages, 0u);
+    EXPECT_EQ(m.partitionStats().instructions, 0u);
+    EXPECT_EQ(m.fgstpStats().valueTransfers, 0u);
+
+    // And the machine keeps running correctly afterwards.
+    const auto r = m.run(16000);
+    EXPECT_GE(r.instructions, 16000u);
+    EXPECT_GT(m.coreStats(0).committed + m.coreStats(1).committed, 0u);
+}
+
+} // namespace
+} // namespace fgstp

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the trace layer: DynInst semantics, replay buffering
+ * and the trace summarizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/dyn_inst.hh"
+#include "trace/trace_source.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using trace::DynInst;
+using isa::OpClass;
+
+DynInst
+makeAlu(Addr pc)
+{
+    DynInst d;
+    d.pc = pc;
+    d.op = OpClass::IntAlu;
+    d.dst = isa::intReg(1);
+    d.srcs[0] = isa::intReg(2);
+    d.numSrcs = 1;
+    return d;
+}
+
+// ---- DynInst ---------------------------------------------------------------
+
+TEST(DynInst, NextPcFallsThrough)
+{
+    DynInst d = makeAlu(0x100);
+    EXPECT_EQ(d.nextPc(), 0x104u);
+}
+
+TEST(DynInst, NextPcTakenBranch)
+{
+    DynInst d;
+    d.pc = 0x100;
+    d.op = OpClass::BranchCond;
+    d.taken = true;
+    d.target = 0x200;
+    EXPECT_EQ(d.nextPc(), 0x200u);
+}
+
+TEST(DynInst, NextPcNotTakenBranch)
+{
+    DynInst d;
+    d.pc = 0x100;
+    d.op = OpClass::BranchCond;
+    d.taken = false;
+    d.target = 0x200;
+    EXPECT_EQ(d.nextPc(), 0x104u);
+}
+
+TEST(DynInst, NextPcUnconditional)
+{
+    DynInst d;
+    d.pc = 0x100;
+    d.op = OpClass::BranchUncond;
+    d.taken = false; // direction flag is ignored for unconditionals
+    d.target = 0x300;
+    EXPECT_EQ(d.nextPc(), 0x300u);
+}
+
+TEST(DynInst, Classification)
+{
+    DynInst d;
+    d.op = OpClass::Load;
+    EXPECT_TRUE(d.isLoad());
+    EXPECT_TRUE(d.isMem());
+    EXPECT_FALSE(d.isStore());
+    EXPECT_FALSE(d.isControl());
+
+    d.op = OpClass::Ret;
+    EXPECT_TRUE(d.isControl());
+    EXPECT_FALSE(d.isCondBranch());
+}
+
+TEST(DynInst, DisassembleMentionsOpcode)
+{
+    DynInst d = makeAlu(0x40);
+    EXPECT_NE(d.disassemble().find("alu"), std::string::npos);
+}
+
+// ---- VectorTraceSource --------------------------------------------------------
+
+TEST(VectorTraceSource, DeliversAllThenEnds)
+{
+    trace::VectorTraceSource src(workload::independentTrace(5));
+    DynInst d;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(src.next(d));
+    EXPECT_FALSE(src.next(d));
+}
+
+TEST(VectorTraceSource, ResetRestarts)
+{
+    trace::VectorTraceSource src(workload::chainTrace(3));
+    DynInst a, b;
+    ASSERT_TRUE(src.next(a));
+    src.reset();
+    ASSERT_TRUE(src.next(b));
+    EXPECT_EQ(a.pc, b.pc);
+}
+
+// ---- ReplayBuffer --------------------------------------------------------------
+
+TEST(ReplayBuffer, SequentialAccess)
+{
+    trace::VectorTraceSource src(workload::independentTrace(10));
+    trace::ReplayBuffer buf(src);
+    for (InstSeqNum s = 1; s <= 10; ++s) {
+        const DynInst *d = buf.at(s);
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->pc, 0x1000u + 4 * (s - 1));
+    }
+    EXPECT_EQ(buf.at(11), nullptr);
+}
+
+TEST(ReplayBuffer, RandomAccessWithinWindow)
+{
+    trace::VectorTraceSource src(workload::independentTrace(10));
+    trace::ReplayBuffer buf(src);
+    const DynInst *d7 = buf.at(7);
+    ASSERT_NE(d7, nullptr);
+    const DynInst *d2 = buf.at(2);
+    ASSERT_NE(d2, nullptr);
+    EXPECT_EQ(d2->pc, 0x1000u + 4);
+}
+
+TEST(ReplayBuffer, RewindAfterSquashRedeliversSame)
+{
+    trace::VectorTraceSource src(workload::independentTrace(20));
+    trace::ReplayBuffer buf(src);
+    const DynInst first = *buf.at(5);
+    buf.at(15);
+    // A squash re-reads from seq 5.
+    const DynInst again = *buf.at(5);
+    EXPECT_EQ(first.pc, again.pc);
+}
+
+TEST(ReplayBuffer, RetireReleasesStorage)
+{
+    trace::VectorTraceSource src(workload::independentTrace(100));
+    trace::ReplayBuffer buf(src);
+    buf.at(50);
+    EXPECT_EQ(buf.buffered(), 50u);
+    buf.retireUpTo(41);
+    EXPECT_EQ(buf.retireHorizon(), 41u);
+    EXPECT_EQ(buf.buffered(), 10u);
+    // Still able to read at and beyond the horizon.
+    EXPECT_NE(buf.at(41), nullptr);
+}
+
+TEST(ReplayBuffer, RetirePastUnreadKeepsAlignment)
+{
+    trace::VectorTraceSource src(workload::independentTrace(10));
+    trace::ReplayBuffer buf(src);
+    // Retire past instructions that were never requested.
+    buf.retireUpTo(6);
+    const DynInst *d = buf.at(6);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->pc, 0x1000u + 4 * 5);
+}
+
+TEST(ReplayBufferDeath, ReadBelowHorizonPanics)
+{
+    trace::VectorTraceSource src(workload::independentTrace(10));
+    trace::ReplayBuffer buf(src);
+    buf.at(5);
+    buf.retireUpTo(4);
+    EXPECT_DEATH(buf.at(2), "replay request below retire horizon");
+}
+
+// ---- summarize -------------------------------------------------------------------
+
+TEST(TraceSummary, CountsOpsAndBranches)
+{
+    trace::VectorTraceSource src(workload::loopTrace(4, 10));
+    auto s = trace::summarize(src, 100000);
+    EXPECT_EQ(s.numInsts, 50u);
+    EXPECT_EQ(s.condBranches, 10u);
+    EXPECT_EQ(s.takenBranches, 9u);
+    EXPECT_NEAR(s.fracBranches(), 0.2, 1e-9);
+}
+
+TEST(TraceSummary, StaticFootprintOfLoop)
+{
+    trace::VectorTraceSource src(workload::loopTrace(4, 10));
+    auto s = trace::summarize(src, 100000);
+    // 4 body PCs + 1 branch PC.
+    EXPECT_EQ(s.staticInsts, 5u);
+}
+
+TEST(TraceSummary, DependenceDistanceOfChain)
+{
+    trace::VectorTraceSource src(workload::chainTrace(100));
+    auto s = trace::summarize(src, 100000);
+    EXPECT_NEAR(s.meanDepDistance, 1.0, 1e-9);
+    EXPECT_NEAR(s.fracWithDeps, 0.99, 0.011);
+}
+
+TEST(TraceSummary, LoadFractions)
+{
+    trace::VectorTraceSource src(workload::streamLoadTrace(64, 4096));
+    auto s = trace::summarize(src, 100000);
+    EXPECT_DOUBLE_EQ(s.fracLoads(), 1.0);
+    EXPECT_DOUBLE_EQ(s.fracStores(), 0.0);
+    // 64 loads * 8B = 512 bytes = 8 distinct 64B blocks.
+    EXPECT_EQ(s.dataBlocks, 8u);
+}
+
+TEST(TraceSummary, RespectsMaxInsts)
+{
+    trace::VectorTraceSource src(workload::independentTrace(100));
+    auto s = trace::summarize(src, 10);
+    EXPECT_EQ(s.numInsts, 10u);
+}
+
+// ---- trace I/O ------------------------------------------------------------------
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    workload::SyntheticWorkload w(
+        workload::profileByName("perlbench"), 3);
+    std::vector<DynInst> original;
+    DynInst d;
+    for (int i = 0; i < 5000; ++i) {
+        w.next(d);
+        original.push_back(d);
+    }
+
+    std::stringstream buf;
+    trace::writeTrace(buf, original);
+    const auto loaded = trace::readTrace(buf);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        ASSERT_EQ(loaded[i].pc, original[i].pc) << i;
+        ASSERT_EQ(loaded[i].op, original[i].op) << i;
+        ASSERT_EQ(loaded[i].dst, original[i].dst) << i;
+        ASSERT_EQ(loaded[i].numSrcs, original[i].numSrcs) << i;
+        ASSERT_EQ(loaded[i].srcs, original[i].srcs) << i;
+        ASSERT_EQ(loaded[i].effAddr, original[i].effAddr) << i;
+        ASSERT_EQ(loaded[i].memSize, original[i].memSize) << i;
+        ASSERT_EQ(loaded[i].taken, original[i].taken) << i;
+        ASSERT_EQ(loaded[i].target, original[i].target) << i;
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::stringstream buf;
+    trace::writeTrace(buf, std::vector<DynInst>{});
+    EXPECT_TRUE(trace::readTrace(buf).empty());
+}
+
+TEST(TraceIo, SourceDrainRespectsLimit)
+{
+    trace::VectorTraceSource src(workload::independentTrace(100));
+    std::stringstream buf;
+    trace::writeTrace(buf, src, 40);
+    EXPECT_EQ(trace::readTrace(buf).size(), 40u);
+}
+
+TEST(TraceIoDeath, BadMagicRejected)
+{
+    std::stringstream buf;
+    buf << "this is not a trace file at all................";
+    EXPECT_EXIT(trace::readTrace(buf), testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceIoDeath, TruncationDetected)
+{
+    std::stringstream buf;
+    trace::writeTrace(buf, workload::independentTrace(10));
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() - 20));
+    EXPECT_EXIT(trace::readTrace(cut), testing::ExitedWithCode(1),
+                "truncated trace file");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/fgstp_trace_io_test.bin";
+    const auto original = workload::loopTrace(5, 20);
+    trace::saveTraceFile(path, original);
+    const auto loaded = trace::loadTraceFile(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.back().taken, original.back().taken);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace fgstp

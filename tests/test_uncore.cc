@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the inter-core operand link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uncore/link.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using uncore::BandwidthPort;
+using uncore::LinkConfig;
+using uncore::OperandLink;
+
+TEST(BandwidthPortTest, SingleClaimIsImmediate)
+{
+    BandwidthPort p(2);
+    EXPECT_EQ(p.claim(10), 10u);
+}
+
+TEST(BandwidthPortTest, WidthClaimsShareACycle)
+{
+    BandwidthPort p(2);
+    EXPECT_EQ(p.claim(10), 10u);
+    EXPECT_EQ(p.claim(10), 10u);
+    EXPECT_EQ(p.claim(10), 11u); // third claim spills to the next cycle
+}
+
+TEST(BandwidthPortTest, OutOfOrderClaimsDoNotBlockEarlierSlots)
+{
+    BandwidthPort p(1);
+    // A claim far in the future must not consume bandwidth "now".
+    EXPECT_EQ(p.claim(100), 100u);
+    EXPECT_EQ(p.claim(50), 50u);
+    EXPECT_EQ(p.claim(50), 51u);
+}
+
+TEST(BandwidthPortTest, SpillChainsAcrossCycles)
+{
+    BandwidthPort p(1);
+    for (Cycle c = 20; c < 25; ++c)
+        EXPECT_EQ(p.claim(20), c);
+}
+
+TEST(BandwidthPortTest, ResetFreesAllSlots)
+{
+    BandwidthPort p(1);
+    p.claim(5);
+    p.reset();
+    EXPECT_EQ(p.claim(5), 5u);
+}
+
+TEST(OperandLinkTest, LatencyApplied)
+{
+    OperandLink link({4, 2});
+    EXPECT_EQ(link.send(0, 100), 104u);
+}
+
+TEST(OperandLinkTest, DirectionsAreIndependent)
+{
+    OperandLink link({4, 1});
+    EXPECT_EQ(link.send(0, 100), 104u);
+    EXPECT_EQ(link.send(1, 100), 104u); // other direction, same slot
+    EXPECT_EQ(link.send(0, 100), 105u); // same direction queues
+}
+
+TEST(OperandLinkTest, QueueDelayAccounted)
+{
+    OperandLink link({4, 1});
+    link.send(0, 100);
+    link.send(0, 100);
+    link.send(0, 100);
+    EXPECT_EQ(link.stats().messages, 3u);
+    EXPECT_EQ(link.stats().queuedCycles, 0u + 1 + 2);
+    EXPECT_NEAR(link.stats().meanQueueDelay(), 1.0, 1e-9);
+}
+
+TEST(OperandLinkTest, ResetClearsStats)
+{
+    OperandLink link({4, 2});
+    link.send(0, 10);
+    link.reset();
+    EXPECT_EQ(link.stats().messages, 0u);
+    EXPECT_EQ(link.send(0, 10), 14u);
+}
+
+} // namespace
+} // namespace fgstp

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generators: determinism,
+ * structural sanity of generated programs, and per-profile trace
+ * characteristics matching the profile knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/trace_stats.hh"
+#include "workload/builder.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+#include "workload/profile.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using workload::BenchmarkProfile;
+using workload::SyntheticWorkload;
+using trace::DynInst;
+
+// ---- profiles -------------------------------------------------------------
+
+TEST(Profiles, NineteenBenchmarks)
+{
+    EXPECT_EQ(workload::specIntProfiles().size(), 12u);
+    EXPECT_EQ(workload::specFpProfiles().size(), 7u);
+    EXPECT_EQ(workload::spec2006Profiles().size(), 19u);
+}
+
+TEST(Profiles, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &p : workload::spec2006Profiles())
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 19u);
+}
+
+TEST(Profiles, LookupByName)
+{
+    const auto p = workload::profileByName("mcf");
+    EXPECT_EQ(p.name, "mcf");
+    EXPECT_GT(p.fracChaseAcc, 0.3);
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workload::profileByName("doom3"),
+                testing::ExitedWithCode(1), "unknown benchmark profile");
+}
+
+TEST(Profiles, AccessMixesSumToRoughlyOne)
+{
+    for (const auto &p : workload::spec2006Profiles()) {
+        const double sum = p.fracStackAcc + p.fracStreamAcc +
+            p.fracStrideAcc + p.fracRandomAcc + p.fracChaseAcc;
+        EXPECT_NEAR(sum, 1.0, 0.01) << p.name;
+    }
+}
+
+// ---- program builder ---------------------------------------------------------
+
+TEST(Builder, DeterministicForSameSeed)
+{
+    const auto p = workload::profileByName("bzip2");
+    const auto prog_a = workload::buildProgram(p, 99);
+    const auto prog_b = workload::buildProgram(p, 99);
+    ASSERT_EQ(prog_a.nodes.size(), prog_b.nodes.size());
+    EXPECT_EQ(prog_a.codeBytes, prog_b.codeBytes);
+    EXPECT_EQ(prog_a.memStreams.size(), prog_b.memStreams.size());
+}
+
+TEST(Builder, DifferentSeedsDiffer)
+{
+    const auto p = workload::profileByName("bzip2");
+    const auto prog_a = workload::buildProgram(p, 1);
+    const auto prog_b = workload::buildProgram(p, 2);
+    // Same structure counts are possible but code layout should differ.
+    bool differs = prog_a.codeBytes != prog_b.codeBytes ||
+        prog_a.memStreams.size() != prog_b.memStreams.size();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Builder, StaticCodeScaleGrowsCode)
+{
+    auto p = workload::profileByName("hmmer");
+    const auto small = workload::buildProgram(p, 5);
+    p.staticCodeScale = 8;
+    const auto big = workload::buildProgram(p, 5);
+    EXPECT_GT(big.codeBytes, 4 * small.codeBytes);
+}
+
+TEST(Builder, InvariantRegistersNeverWritten)
+{
+    const auto p = workload::profileByName("gcc");
+    const auto prog = workload::buildProgram(p, 7);
+    for (const auto &n : prog.nodes) {
+        for (const auto &e : n.elems) {
+            if (!e.isInst || !e.inst.pc)
+                continue;
+            const auto dst = e.inst.dst;
+            if (dst == isa::invalidReg)
+                continue;
+            EXPECT_FALSE(dst >= workload::regconv::firstInvariant &&
+                         dst < workload::regconv::firstInvariant +
+                                   workload::regconv::numInvariant);
+        }
+    }
+}
+
+TEST(Builder, FootprintDistributedOverStreams)
+{
+    const auto p = workload::profileByName("libquantum"); // 32 MB
+    const auto prog = workload::buildProgram(p, 3);
+    std::uint64_t total = 0;
+    for (const auto &ms : prog.memStreams) {
+        if (ms.kind != workload::MemStream::Kind::Stack)
+            total += ms.footprint;
+    }
+    EXPECT_GE(total, 16ull * 1024 * 1024);
+}
+
+// ---- generator ------------------------------------------------------------------
+
+TEST(Generator, DeterministicStream)
+{
+    const auto p = workload::profileByName("astar");
+    SyntheticWorkload a(p, 123), b(p, 123);
+    DynInst da, db;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(a.next(da));
+        ASSERT_TRUE(b.next(db));
+        ASSERT_EQ(da.pc, db.pc);
+        ASSERT_EQ(da.effAddr, db.effAddr);
+        ASSERT_EQ(da.taken, db.taken);
+    }
+}
+
+TEST(Generator, ResetReplaysIdentically)
+{
+    const auto p = workload::profileByName("sjeng");
+    SyntheticWorkload w(p, 77);
+    std::vector<Addr> first;
+    DynInst d;
+    for (int i = 0; i < 2000; ++i) {
+        w.next(d);
+        first.push_back(d.pc);
+    }
+    w.reset();
+    for (int i = 0; i < 2000; ++i) {
+        w.next(d);
+        ASSERT_EQ(d.pc, first[i]) << "at " << i;
+    }
+}
+
+TEST(Generator, ControlFlowIsConsistent)
+{
+    // The dynamic stream must be a walk: each instruction's nextPc is
+    // the next instruction's pc.
+    const auto p = workload::profileByName("perlbench");
+    SyntheticWorkload w(p, 5);
+    DynInst cur, next;
+    ASSERT_TRUE(w.next(cur));
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w.next(next));
+        ASSERT_EQ(cur.nextPc(), next.pc)
+            << "broken control flow after " << cur.disassemble();
+        cur = next;
+    }
+}
+
+TEST(Generator, MixMatchesProfile)
+{
+    const auto p = workload::profileByName("bzip2");
+    SyntheticWorkload w(p, 11);
+    auto s = trace::summarize(w, 60000);
+    // Loads/stores dilute through branches/joins; allow loose bands.
+    EXPECT_NEAR(s.fracLoads(), p.fracLoad, 0.10);
+    EXPECT_NEAR(s.fracStores(), p.fracStore, 0.07);
+    EXPECT_GT(s.fracBranches(), 0.05);
+    EXPECT_LT(s.fracBranches(), 0.40);
+}
+
+TEST(Generator, FpProfileEmitsFpOps)
+{
+    const auto p = workload::profileByName("milc");
+    SyntheticWorkload w(p, 13);
+    auto s = trace::summarize(w, 40000);
+    const double fp =
+        s.fracOp(isa::OpClass::FpAdd) + s.fracOp(isa::OpClass::FpMul) +
+        s.fracOp(isa::OpClass::FpDiv);
+    EXPECT_GT(fp, 0.2);
+}
+
+TEST(Generator, IntProfileEmitsNoFpOps)
+{
+    const auto p = workload::profileByName("gcc");
+    SyntheticWorkload w(p, 13);
+    auto s = trace::summarize(w, 40000);
+    const double fp =
+        s.fracOp(isa::OpClass::FpAdd) + s.fracOp(isa::OpClass::FpMul) +
+        s.fracOp(isa::OpClass::FpDiv);
+    EXPECT_DOUBLE_EQ(fp, 0.0);
+}
+
+TEST(Generator, DependenceDistanceTracksIlpKnob)
+{
+    // Controlled experiment: the same profile with only the lookback
+    // knob varied must shift the measured dependence distances.
+    auto base = workload::profileByName("bzip2");
+    base.fracInvariantSrc = 0.0;
+
+    auto narrow = base;
+    narrow.depLookback = 1.5;
+    auto wide = base;
+    wide.depLookback = 14.0;
+
+    SyntheticWorkload w_narrow(narrow, 21);
+    SyntheticWorkload w_wide(wide, 21);
+    const auto s_narrow = trace::summarize(w_narrow, 40000);
+    const auto s_wide = trace::summarize(w_wide, 40000);
+    EXPECT_GT(s_wide.meanDepDistance, s_narrow.meanDepDistance);
+}
+
+TEST(Generator, FootprintTracksProfile)
+{
+    SyntheticWorkload small_fp(workload::profileByName("hmmer"), 31);
+    SyntheticWorkload big_fp(workload::profileByName("mcf"), 31);
+    const auto s_small = trace::summarize(small_fp, 60000);
+    const auto s_big = trace::summarize(big_fp, 60000);
+    EXPECT_GT(s_big.dataBlocks, 4 * s_small.dataBlocks);
+}
+
+TEST(Generator, StaticCodeTracksProfile)
+{
+    SyntheticWorkload small_code(workload::profileByName("lbm"), 37);
+    SyntheticWorkload big_code(workload::profileByName("gcc"), 37);
+    const auto s_small = trace::summarize(small_code, 60000);
+    const auto s_big = trace::summarize(big_code, 60000);
+    EXPECT_GT(s_big.staticInsts, 2 * s_small.staticInsts);
+}
+
+TEST(Generator, BranchPredictabilityTracksProfile)
+{
+    // gobmk-like code must carry a much larger share of
+    // unpredictable (Random-behaviour) static branches than
+    // libquantum-like code.
+    auto random_frac = [](const char *name) {
+        const auto prog = workload::buildProgram(
+            workload::profileByName(name), 41);
+        std::size_t total = prog.branchBehaviors.size();
+        std::size_t random = 0;
+        for (const auto &b : prog.branchBehaviors) {
+            if (b.kind == workload::BranchBehavior::Kind::Random)
+                ++random;
+        }
+        return total ? static_cast<double>(random) / total : 0.0;
+    };
+    EXPECT_GT(random_frac("gobmk"), 2.0 * random_frac("libquantum"));
+}
+
+TEST(Generator, AllProfilesProduceValidStreams)
+{
+    for (const auto &p : workload::spec2006Profiles()) {
+        SyntheticWorkload w(p, 1);
+        DynInst cur, next;
+        ASSERT_TRUE(w.next(cur)) << p.name;
+        for (int i = 0; i < 3000; ++i) {
+            ASSERT_TRUE(w.next(next)) << p.name;
+            ASSERT_EQ(cur.nextPc(), next.pc) << p.name << " at " << i;
+            if (next.isMem()) {
+                ASSERT_GT(next.memSize, 0) << p.name;
+                ASSERT_NE(next.effAddr, 0u) << p.name;
+            }
+            cur = next;
+        }
+    }
+}
+
+// ---- microbenches ------------------------------------------------------------------
+
+TEST(Microbench, ChainIsSerial)
+{
+    const auto v = workload::chainTrace(10);
+    ASSERT_EQ(v.size(), 10u);
+    for (std::size_t i = 1; i < v.size(); ++i)
+        EXPECT_EQ(v[i].srcs[0], v[i - 1].dst);
+}
+
+TEST(Microbench, IndependentHasNoShortDeps)
+{
+    trace::VectorTraceSource src(workload::independentTrace(64));
+    const auto s = trace::summarize(src, 1000);
+    EXPECT_DOUBLE_EQ(s.fracWithDeps, 0.0);
+}
+
+TEST(Microbench, TwoChainsInterleaveByGroup)
+{
+    const auto v = workload::twoChainTrace(16);
+    // Groups of four alternate between the two chain registers.
+    EXPECT_EQ(v[0].dst, v[3].dst);
+    EXPECT_EQ(v[4].dst, v[7].dst);
+    EXPECT_NE(v[0].dst, v[4].dst);
+    EXPECT_EQ(v[0].dst, v[8].dst);
+    // Within a chain the dependence is serial.
+    EXPECT_EQ(v[1].srcs[0], v[0].dst);
+    EXPECT_EQ(v[8].srcs[0], v[0].dst);
+}
+
+TEST(Microbench, LoopTraceBackEdges)
+{
+    const auto v = workload::loopTrace(4, 3);
+    ASSERT_EQ(v.size(), 15u);
+    EXPECT_TRUE(v[4].isCondBranch());
+    EXPECT_TRUE(v[4].taken);
+    EXPECT_FALSE(v[14].taken); // loop exit
+}
+
+TEST(Microbench, StoreLoadPairsOverlap)
+{
+    const auto v = workload::storeLoadForwardTrace(4);
+    for (std::size_t i = 0; i < v.size(); i += 2) {
+        EXPECT_TRUE(v[i].isStore());
+        EXPECT_TRUE(v[i + 1].isLoad());
+        EXPECT_EQ(v[i].effAddr, v[i + 1].effAddr);
+    }
+}
+
+TEST(Microbench, PointerChaseIsSerialThroughRegisters)
+{
+    const auto v = workload::pointerChaseTrace(16, 1 << 20, 3);
+    for (const auto &ld : v) {
+        EXPECT_TRUE(ld.isLoad());
+        EXPECT_EQ(ld.srcs[0], ld.dst); // address depends on prior load
+    }
+}
+
+} // namespace
+} // namespace fgstp
