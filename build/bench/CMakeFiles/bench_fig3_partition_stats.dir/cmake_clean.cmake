@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_partition_stats.dir/bench_fig3_partition_stats.cc.o"
+  "CMakeFiles/bench_fig3_partition_stats.dir/bench_fig3_partition_stats.cc.o.d"
+  "bench_fig3_partition_stats"
+  "bench_fig3_partition_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_partition_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_speculation.dir/bench_fig7_speculation.cc.o"
+  "CMakeFiles/bench_fig7_speculation.dir/bench_fig7_speculation.cc.o.d"
+  "bench_fig7_speculation"
+  "bench_fig7_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

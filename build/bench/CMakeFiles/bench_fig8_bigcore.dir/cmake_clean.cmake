@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bigcore.dir/bench_fig8_bigcore.cc.o"
+  "CMakeFiles/bench_fig8_bigcore.dir/bench_fig8_bigcore.cc.o.d"
+  "bench_fig8_bigcore"
+  "bench_fig8_bigcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bigcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fgstp_bench_util.dir/bench_util.cc.o.d"
+  "libfgstp_bench_util.a"
+  "libfgstp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

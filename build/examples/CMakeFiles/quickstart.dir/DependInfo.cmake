@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fgstp/CMakeFiles/fgstp_fgstp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fgstp_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fgstp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fgstp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fgstp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/fgstp_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fgstp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgstp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fgstp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_branch.dir/direction_predictor.cc.o"
+  "CMakeFiles/fgstp_branch.dir/direction_predictor.cc.o.d"
+  "CMakeFiles/fgstp_branch.dir/perceptron.cc.o"
+  "CMakeFiles/fgstp_branch.dir/perceptron.cc.o.d"
+  "CMakeFiles/fgstp_branch.dir/predictor.cc.o"
+  "CMakeFiles/fgstp_branch.dir/predictor.cc.o.d"
+  "libfgstp_branch.a"
+  "libfgstp_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

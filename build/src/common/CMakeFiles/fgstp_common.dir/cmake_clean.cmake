@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_common.dir/logging.cc.o"
+  "CMakeFiles/fgstp_common.dir/logging.cc.o.d"
+  "CMakeFiles/fgstp_common.dir/random.cc.o"
+  "CMakeFiles/fgstp_common.dir/random.cc.o.d"
+  "CMakeFiles/fgstp_common.dir/stats.cc.o"
+  "CMakeFiles/fgstp_common.dir/stats.cc.o.d"
+  "libfgstp_common.a"
+  "libfgstp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

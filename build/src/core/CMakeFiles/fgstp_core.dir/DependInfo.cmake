@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fu_pool.cc" "src/core/CMakeFiles/fgstp_core.dir/fu_pool.cc.o" "gcc" "src/core/CMakeFiles/fgstp_core.dir/fu_pool.cc.o.d"
+  "/root/repo/src/core/ooo_core.cc" "src/core/CMakeFiles/fgstp_core.dir/ooo_core.cc.o" "gcc" "src/core/CMakeFiles/fgstp_core.dir/ooo_core.cc.o.d"
+  "/root/repo/src/core/store_set.cc" "src/core/CMakeFiles/fgstp_core.dir/store_set.cc.o" "gcc" "src/core/CMakeFiles/fgstp_core.dir/store_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/branch/CMakeFiles/fgstp_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fgstp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fgstp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fgstp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

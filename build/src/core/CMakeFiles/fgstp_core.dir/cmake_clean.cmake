@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_core.dir/fu_pool.cc.o"
+  "CMakeFiles/fgstp_core.dir/fu_pool.cc.o.d"
+  "CMakeFiles/fgstp_core.dir/ooo_core.cc.o"
+  "CMakeFiles/fgstp_core.dir/ooo_core.cc.o.d"
+  "CMakeFiles/fgstp_core.dir/store_set.cc.o"
+  "CMakeFiles/fgstp_core.dir/store_set.cc.o.d"
+  "libfgstp_core.a"
+  "libfgstp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_fgstp.dir/chunk_partitioner.cc.o"
+  "CMakeFiles/fgstp_fgstp.dir/chunk_partitioner.cc.o.d"
+  "CMakeFiles/fgstp_fgstp.dir/machine.cc.o"
+  "CMakeFiles/fgstp_fgstp.dir/machine.cc.o.d"
+  "CMakeFiles/fgstp_fgstp.dir/partitioner.cc.o"
+  "CMakeFiles/fgstp_fgstp.dir/partitioner.cc.o.d"
+  "libfgstp_fgstp.a"
+  "libfgstp_fgstp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_fgstp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfgstp_fgstp.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for fgstp_fgstp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_fusion.dir/fused_config.cc.o"
+  "CMakeFiles/fgstp_fusion.dir/fused_config.cc.o.d"
+  "libfgstp_fusion.a"
+  "libfgstp_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

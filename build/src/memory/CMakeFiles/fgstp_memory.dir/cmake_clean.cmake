@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_memory.dir/cache_array.cc.o"
+  "CMakeFiles/fgstp_memory.dir/cache_array.cc.o.d"
+  "CMakeFiles/fgstp_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/fgstp_memory.dir/hierarchy.cc.o.d"
+  "CMakeFiles/fgstp_memory.dir/prefetcher.cc.o"
+  "CMakeFiles/fgstp_memory.dir/prefetcher.cc.o.d"
+  "libfgstp_memory.a"
+  "libfgstp_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

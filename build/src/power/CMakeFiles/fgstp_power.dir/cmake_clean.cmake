@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_power.dir/energy_model.cc.o"
+  "CMakeFiles/fgstp_power.dir/energy_model.cc.o.d"
+  "libfgstp_power.a"
+  "libfgstp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

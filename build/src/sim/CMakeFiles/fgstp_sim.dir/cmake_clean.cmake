@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_sim.dir/machine.cc.o"
+  "CMakeFiles/fgstp_sim.dir/machine.cc.o.d"
+  "CMakeFiles/fgstp_sim.dir/presets.cc.o"
+  "CMakeFiles/fgstp_sim.dir/presets.cc.o.d"
+  "CMakeFiles/fgstp_sim.dir/single_core.cc.o"
+  "CMakeFiles/fgstp_sim.dir/single_core.cc.o.d"
+  "CMakeFiles/fgstp_sim.dir/stat_report.cc.o"
+  "CMakeFiles/fgstp_sim.dir/stat_report.cc.o.d"
+  "libfgstp_sim.a"
+  "libfgstp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

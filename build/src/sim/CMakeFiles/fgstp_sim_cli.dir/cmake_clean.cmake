@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_sim_cli.dir/main.cc.o"
+  "CMakeFiles/fgstp_sim_cli.dir/main.cc.o.d"
+  "fgstp_sim"
+  "fgstp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_trace_tool.dir/trace_tool.cc.o"
+  "CMakeFiles/fgstp_trace_tool.dir/trace_tool.cc.o.d"
+  "fgstp_trace"
+  "fgstp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_trace.dir/dyn_inst.cc.o"
+  "CMakeFiles/fgstp_trace.dir/dyn_inst.cc.o.d"
+  "CMakeFiles/fgstp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/fgstp_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/fgstp_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/fgstp_trace.dir/trace_stats.cc.o.d"
+  "libfgstp_trace.a"
+  "libfgstp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgstp_workload.dir/builder.cc.o"
+  "CMakeFiles/fgstp_workload.dir/builder.cc.o.d"
+  "CMakeFiles/fgstp_workload.dir/generator.cc.o"
+  "CMakeFiles/fgstp_workload.dir/generator.cc.o.d"
+  "CMakeFiles/fgstp_workload.dir/microbench.cc.o"
+  "CMakeFiles/fgstp_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/fgstp_workload.dir/profiles.cc.o"
+  "CMakeFiles/fgstp_workload.dir/profiles.cc.o.d"
+  "libfgstp_workload.a"
+  "libfgstp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgstp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

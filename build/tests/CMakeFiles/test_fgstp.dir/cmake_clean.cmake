@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fgstp.dir/test_fgstp.cc.o"
+  "CMakeFiles/test_fgstp.dir/test_fgstp.cc.o.d"
+  "test_fgstp"
+  "test_fgstp.pdb"
+  "test_fgstp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fgstp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uncore.dir/test_uncore.cc.o"
+  "CMakeFiles/test_uncore.dir/test_uncore.cc.o.d"
+  "test_uncore"
+  "test_uncore.pdb"
+  "test_uncore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
