@@ -2,108 +2,15 @@
  * @file
  * Fig. 10: energy per instruction and energy-delay.
  *
- * The paper's motivation is that power forced the shift to CMPs; this
- * bench checks that Fg-STP's speedup does not come at big-core energy.
- * Per benchmark: EPI (nJ/instruction) for the four machines, plus
- * geomean EPI and energy-delay product — expected shape: the big core
- * pays the worst EPI (upsized structures), Fg-STP pays two-small-core
- * energy plus a small coupling tax, and wins on energy-delay.
+ * Thin wrapper: runs the "fig10" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-#include "power/energy_model.hh"
-#include "workload/generator.hh"
-
-using namespace fgstp;
-using bench::Table;
-
-namespace
-{
-
-struct EnergyPoint
-{
-    double epi = 0.0;
-    double edp = 0.0;
-};
-
-template <typename Machine>
-EnergyPoint
-measure(Machine &m, const sim::RunResult &r, double width_factor,
-        bool fgstp_part, bool fusion_steer,
-        std::uint64_t link_transfers = 0)
-{
-    std::vector<const core::CoreStats *> cs;
-    for (unsigned i = 0; i < m.numCores(); ++i)
-        cs.push_back(&m.coreStats(i));
-    auto act = power::gatherActivity(cs.data(), m.numCores(),
-                                     m.memory().stats(), r.cycles,
-                                     r.instructions, width_factor);
-    act.fgstpPartitioning = fgstp_part;
-    act.fusionSteering = fusion_steer;
-    act.linkTransfers = link_transfers;
-    const auto e = power::estimateEnergy(act);
-    return {e.epi, e.edp};
-}
-
-} // namespace
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 10: energy per instruction (nJ) and "
-                  "energy-delay, medium design point");
-
-    const auto p = sim::mediumPreset();
-    const auto big = sim::bigCoreConfig();
-
-    Table t({"benchmark", "1core", "bigCore", "fusion", "fgStp",
-             "fgStpEDP/1coreEDP"});
-
-    std::vector<double> epi1, epib, epif, epis, edr;
-    for (const auto &name : bench::allBenchmarks()) {
-        const auto prof = workload::profileByName(name);
-
-        workload::SyntheticWorkload w1(prof, bench::evalSeed);
-        sim::SingleCoreMachine m1(p.core, p.memory, w1);
-        const auto r1 = m1.run(bench::defaultInsts);
-        const auto e1 = measure(m1, r1, 1.0, false, false);
-
-        workload::SyntheticWorkload w2(prof, bench::evalSeed);
-        sim::SingleCoreMachine m2(big, p.memory, w2);
-        const auto r2 = m2.run(bench::defaultInsts);
-        const auto e2 = measure(m2, r2, 2.0, false, false);
-
-        workload::SyntheticWorkload w3(prof, bench::evalSeed);
-        fusion::FusedMachine m3(p.core, p.memory, w3,
-                                p.fusionOverheads);
-        const auto r3 = m3.run(bench::defaultInsts);
-        const auto e3 = measure(m3, r3, 2.0, false, true);
-
-        workload::SyntheticWorkload w4(prof, bench::evalSeed);
-        part::FgstpMachine m4(p.core, p.memory, p.fgstp(), w4);
-        const auto r4 = m4.run(bench::defaultInsts);
-        const auto e4 = measure(m4, r4, 1.0, true, false,
-                                m4.fgstpStats().valueTransfers);
-
-        epi1.push_back(e1.epi);
-        epib.push_back(e2.epi);
-        epif.push_back(e3.epi);
-        epis.push_back(e4.epi);
-        edr.push_back(e4.edp / e1.edp);
-
-        t.addRow({name, Table::fmt(e1.epi, 2), Table::fmt(e2.epi, 2),
-                  Table::fmt(e3.epi, 2), Table::fmt(e4.epi, 2),
-                  Table::fmt(e4.edp / e1.edp, 3)});
-    }
-
-    t.addRow({"GEOMEAN", Table::fmt(bench::geomeanRatio(epi1), 2),
-              Table::fmt(bench::geomeanRatio(epib), 2),
-              Table::fmt(bench::geomeanRatio(epif), 2),
-              Table::fmt(bench::geomeanRatio(epis), 2),
-              Table::fmt(bench::geomeanRatio(edr), 3)});
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("fig10", argc, argv);
 }

@@ -1,51 +1,16 @@
 /**
  * @file
- * Fig. 1: per-benchmark speedup on the medium 2-core CMP.
+ * Fig. 1: speedup over one core on the medium 2-core CMP.
  *
- * Series: Core Fusion and Fg-STP, both normalized to one medium core;
- * the last row is the geomean and the Fg-STP/Core-Fusion ratio — the
- * paper's headline (+18% on the medium CMP).
+ * Thin wrapper: runs the "fig1" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 1: speedup over 1 core, medium 2-core CMP");
-
-    const auto p = sim::mediumPreset();
-    Table t({"benchmark", "coreFusion", "fgStp", "fgStp/fusion"});
-
-    std::vector<double> fusion_sp, fgstp_sp;
-    for (const auto &name : bench::allBenchmarks()) {
-        const auto base = bench::runSingle(name, p);
-        const auto fused = bench::runFused(name, p);
-        const auto stp = bench::runFgstp(name, p);
-
-        const double sf =
-            static_cast<double>(base.cycles) / fused.cycles;
-        const double ss = static_cast<double>(base.cycles) / stp.cycles;
-        fusion_sp.push_back(sf);
-        fgstp_sp.push_back(ss);
-        t.addRow({name, Table::fmt(sf), Table::fmt(ss),
-                  Table::fmt(ss / sf)});
-    }
-
-    const double gf = bench::geomeanRatio(fusion_sp);
-    const double gs = bench::geomeanRatio(fgstp_sp);
-    t.addRow({"GEOMEAN", Table::fmt(gf), Table::fmt(gs),
-              Table::fmt(gs / gf)});
-    t.print(csv);
-
-    std::printf("\npaper: Fg-STP beats Core Fusion by ~18%% on the "
-                "medium CMP; measured: %+.1f%%\n",
-                100.0 * (gs / gf - 1.0));
-    return 0;
+    return fgstp::bench::legacyMain("fig1", argc, argv);
 }

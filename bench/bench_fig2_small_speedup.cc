@@ -1,50 +1,16 @@
 /**
  * @file
- * Fig. 2: per-benchmark speedup on the small 2-core CMP.
+ * Fig. 2: speedup over one core on the small 2-core CMP.
  *
- * Same series as Fig. 1 on the 2-wide design point; the paper reports
- * Fg-STP beating Core Fusion by ~7% here.
+ * Thin wrapper: runs the "fig2" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 2: speedup over 1 core, small 2-core CMP");
-
-    const auto p = sim::smallPreset();
-    Table t({"benchmark", "coreFusion", "fgStp", "fgStp/fusion"});
-
-    std::vector<double> fusion_sp, fgstp_sp;
-    for (const auto &name : bench::allBenchmarks()) {
-        const auto base = bench::runSingle(name, p);
-        const auto fused = bench::runFused(name, p);
-        const auto stp = bench::runFgstp(name, p);
-
-        const double sf =
-            static_cast<double>(base.cycles) / fused.cycles;
-        const double ss = static_cast<double>(base.cycles) / stp.cycles;
-        fusion_sp.push_back(sf);
-        fgstp_sp.push_back(ss);
-        t.addRow({name, Table::fmt(sf), Table::fmt(ss),
-                  Table::fmt(ss / sf)});
-    }
-
-    const double gf = bench::geomeanRatio(fusion_sp);
-    const double gs = bench::geomeanRatio(fgstp_sp);
-    t.addRow({"GEOMEAN", Table::fmt(gf), Table::fmt(gs),
-              Table::fmt(gs / gf)});
-    t.print(csv);
-
-    std::printf("\npaper: Fg-STP beats Core Fusion by ~7%% on the "
-                "small CMP; measured: %+.1f%%\n",
-                100.0 * (gs / gf - 1.0));
-    return 0;
+    return fgstp::bench::legacyMain("fig2", argc, argv);
 }

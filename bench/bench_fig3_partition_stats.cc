@@ -1,46 +1,16 @@
 /**
  * @file
- * Fig. 3: where Fg-STP's mechanisms are exercised.
+ * Fig. 3: partition/communication/replication profile.
  *
- * Per benchmark on the medium CMP: fraction of instructions
- * replicated, fraction whose value crosses the link, placement split,
- * link transfers per kilo-instruction and store-set synchronizations.
+ * Thin wrapper: runs the "fig3" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 3: partition/communication/replication profile "
-                  "(medium CMP)");
-
-    const auto p = sim::mediumPreset();
-    Table t({"benchmark", "repl%", "comm%", "core1%", "xfers/kinst",
-             "syncs/kinst"});
-
-    for (const auto &name : bench::allBenchmarks()) {
-        std::unique_ptr<part::FgstpMachine> m;
-        const auto s =
-            bench::runFgstp(name, p, p.fgstp(), bench::defaultInsts, &m);
-        const auto &ps = m->partitionStats();
-        const auto &fs = m->fgstpStats();
-        const double kinsts = s.instructions / 1000.0;
-
-        t.addRow({name,
-                  Table::fmt(100.0 * ps.replicationRate(), 2),
-                  Table::fmt(100.0 * ps.commRate(), 2),
-                  Table::fmt(100.0 * ps.remoteFraction(), 1),
-                  Table::fmt(fs.valueTransfers / kinsts, 2),
-                  Table::fmt(fs.predictedSyncs / kinsts, 2)});
-    }
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("fig3", argc, argv);
 }

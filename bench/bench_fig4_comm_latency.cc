@@ -1,60 +1,16 @@
 /**
  * @file
- * Fig. 4: sensitivity to inter-core communication latency.
+ * Fig. 4: Fg-STP speedup vs inter-core link latency.
  *
- * Sweeps the operand-link latency and reports the Fg-STP geomean
- * speedup over one core (sweep subset of benchmarks); the Core Fusion
- * geomean at its fixed cross-backend delay is printed as the flat
- * reference series. Expected shape: Fg-STP degrades gracefully with
- * link latency because replication removes edges from critical paths.
+ * Thin wrapper: runs the "fig4" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 4: Fg-STP speedup vs link latency (medium CMP)");
-
-    const auto p = sim::mediumPreset();
-    const auto benches = bench::sweepBenchmarks();
-
-    // Flat Core Fusion reference.
-    std::vector<double> fusion_sp;
-    std::vector<double> base_cycles;
-    for (const auto &name : benches) {
-        const auto base = bench::runSingle(name, p);
-        const auto fused = bench::runFused(name, p);
-        base_cycles.push_back(static_cast<double>(base.cycles));
-        fusion_sp.push_back(
-            static_cast<double>(base.cycles) / fused.cycles);
-    }
-    const double fusion_geo = bench::geomeanRatio(fusion_sp);
-
-    Table t({"linkLatency", "fgStpSpeedup", "coreFusionRef"});
-    for (const Cycle lat : {1, 2, 4, 8, 12, 16}) {
-        auto cfg = p.fgstp();
-        cfg.link.latency = lat;
-        cfg.estCommCost = static_cast<std::uint32_t>(
-            std::max<Cycle>(lat, 4) * 2);
-
-        std::vector<double> sp;
-        for (std::size_t i = 0; i < benches.size(); ++i) {
-            const auto s = bench::runFgstp(benches[i], p, cfg,
-                                           bench::defaultInsts);
-            sp.push_back(base_cycles[i] / s.cycles);
-        }
-        t.addRow({std::to_string(lat),
-                  Table::fmt(bench::geomeanRatio(sp)),
-                  Table::fmt(fusion_geo)});
-    }
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("fig4", argc, argv);
 }

@@ -1,50 +1,16 @@
 /**
  * @file
- * Fig. 5: sensitivity to the partition lookahead window.
+ * Fig. 5: Fg-STP speedup vs partition window size.
  *
- * Sweeps the number of dynamic instructions the partition hardware
- * analyzes per chunk. Expected shape: speedup grows with the window
- * (more parallelism visible to the heuristic) and saturates — the
- * basis of the paper's "large instruction windows" claim.
+ * Thin wrapper: runs the "fig5" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 5: Fg-STP speedup vs partition window "
-                  "(medium CMP)");
-
-    const auto p = sim::mediumPreset();
-    const auto benches = bench::sweepBenchmarks();
-
-    std::vector<double> base_cycles;
-    for (const auto &name : benches)
-        base_cycles.push_back(static_cast<double>(
-            bench::runSingle(name, p).cycles));
-
-    Table t({"window", "fgStpSpeedup"});
-    for (const std::uint32_t win : {32u, 64u, 128u, 256u, 512u, 1024u}) {
-        auto cfg = p.fgstp();
-        cfg.windowSize = win;
-
-        std::vector<double> sp;
-        for (std::size_t i = 0; i < benches.size(); ++i) {
-            const auto s = bench::runFgstp(benches[i], p, cfg,
-                                           bench::defaultInsts);
-            sp.push_back(base_cycles[i] / s.cycles);
-        }
-        t.addRow({std::to_string(win),
-                  Table::fmt(bench::geomeanRatio(sp))});
-    }
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("fig5", argc, argv);
 }

@@ -1,83 +1,16 @@
 /**
  * @file
- * Fig. 6: feature ablation.
+ * Fig. 6: Fg-STP feature ablation.
  *
- * The abstract singles out the "extensive use of dependence
- * speculation, replication and communication" as what distinguishes
- * Fg-STP; this bench removes each feature and reports the geomean
- * speedup (medium CMP, sweep subset) for:
- *
- *   full            everything on (the Fig. 1 configuration)
- *   no-replication  cross-core values always communicated
- *   no-mem-spec     loads wait for older remote stores
- *   no-shared-pred  private per-core branch predictors
- *   branch-repl     control instructions executed on both cores
- *   none            replication and memory speculation both off
+ * Thin wrapper: runs the "fig6" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 6: Fg-STP feature ablation (medium CMP)");
-
-    const auto p = sim::mediumPreset();
-    const auto benches = bench::sweepBenchmarks();
-
-    std::vector<double> base_cycles;
-    for (const auto &name : benches)
-        base_cycles.push_back(static_cast<double>(
-            bench::runSingle(name, p).cycles));
-
-    auto geo_speedup = [&](const part::FgstpConfig &cfg) {
-        std::vector<double> sp;
-        for (std::size_t i = 0; i < benches.size(); ++i) {
-            const auto s = bench::runFgstp(benches[i], p, cfg,
-                                           bench::defaultInsts);
-            sp.push_back(base_cycles[i] / s.cycles);
-        }
-        return bench::geomeanRatio(sp);
-    };
-
-    Table t({"variant", "fgStpSpeedup"});
-
-    const auto full = p.fgstp();
-    t.addRow({"full", Table::fmt(geo_speedup(full))});
-
-    {
-        auto cfg = full;
-        cfg.replication = false;
-        t.addRow({"no-replication", Table::fmt(geo_speedup(cfg))});
-    }
-    {
-        auto cfg = full;
-        cfg.memSpeculation = false;
-        t.addRow({"no-mem-spec", Table::fmt(geo_speedup(cfg))});
-    }
-    {
-        auto cfg = full;
-        cfg.sharedPrediction = false;
-        t.addRow({"no-shared-pred", Table::fmt(geo_speedup(cfg))});
-    }
-    {
-        auto cfg = full;
-        cfg.replicateBranches = true;
-        t.addRow({"branch-repl", Table::fmt(geo_speedup(cfg))});
-    }
-    {
-        auto cfg = full;
-        cfg.replication = false;
-        cfg.memSpeculation = false;
-        t.addRow({"none", Table::fmt(geo_speedup(cfg))});
-    }
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("fig6", argc, argv);
 }

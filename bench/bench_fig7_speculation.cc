@@ -2,52 +2,15 @@
  * @file
  * Fig. 7: memory-dependence speculation behaviour.
  *
- * Per benchmark on the medium CMP: cross-core memory-order violations
- * and squashes per kilo-instruction, store-set synchronizations, and
- * the cycle cost of turning speculation off (conservative / spec
- * cycle ratio — above 1.0 means speculation wins).
+ * Thin wrapper: runs the "fig7" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 7: cross-core memory speculation (medium CMP)");
-
-    const auto p = sim::mediumPreset();
-    Table t({"benchmark", "viol/kinst", "squash/kinst", "syncs/kinst",
-             "cons/spec"});
-
-    for (const auto &name : bench::allBenchmarks()) {
-        std::unique_ptr<part::FgstpMachine> m;
-        const auto spec =
-            bench::runFgstp(name, p, p.fgstp(), bench::defaultInsts, &m);
-        const double kinsts = spec.instructions / 1000.0;
-        const auto &fs = m->fgstpStats();
-        const double squashes =
-            static_cast<double>(m->coreStats(0).squashes +
-                                m->coreStats(1).squashes) / 2.0;
-
-        auto cons_cfg = p.fgstp();
-        cons_cfg.memSpeculation = false;
-        const auto cons = bench::runFgstp(name, p, cons_cfg,
-                                          bench::defaultInsts);
-
-        t.addRow({name,
-                  Table::fmt(fs.crossViolations / kinsts, 3),
-                  Table::fmt(squashes / kinsts, 3),
-                  Table::fmt(fs.predictedSyncs / kinsts, 3),
-                  Table::fmt(static_cast<double>(cons.cycles) /
-                             spec.cycles)});
-    }
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("fig7", argc, argv);
 }

@@ -1,52 +1,16 @@
 /**
  * @file
- * Fig. 8: two coupled cores vs one big core.
+ * Fig. 8: coupled 2-core schemes vs one big core.
  *
- * The classic Core-Fusion-literature comparison: is gluing two medium
- * cores together (Core Fusion or Fg-STP) competitive with building one
- * monolithic core of twice the resources (which pays a deeper front
- * end but no coupling overheads)?
+ * Thin wrapper: runs the "fig8" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 8: coupled 2-core schemes vs one big core "
-                  "(normalized to one medium core)");
-
-    const auto p = sim::mediumPreset();
-    const auto big = sim::bigCoreConfig();
-
-    Table t({"benchmark", "bigCore", "coreFusion", "fgStp"});
-    std::vector<double> sp_big, sp_fused, sp_stp;
-
-    for (const auto &name : bench::allBenchmarks()) {
-        const auto base = bench::runSingle(name, p);
-        const auto bigr = bench::runSingleWithCore(name, big, p);
-        const auto fused = bench::runFused(name, p);
-        const auto stp = bench::runFgstp(name, p);
-
-        const double b = static_cast<double>(base.cycles) / bigr.cycles;
-        const double f =
-            static_cast<double>(base.cycles) / fused.cycles;
-        const double s = static_cast<double>(base.cycles) / stp.cycles;
-        sp_big.push_back(b);
-        sp_fused.push_back(f);
-        sp_stp.push_back(s);
-        t.addRow({name, Table::fmt(b), Table::fmt(f), Table::fmt(s)});
-    }
-
-    t.addRow({"GEOMEAN", Table::fmt(bench::geomeanRatio(sp_big)),
-              Table::fmt(bench::geomeanRatio(sp_fused)),
-              Table::fmt(bench::geomeanRatio(sp_stp))});
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("fig8", argc, argv);
 }

@@ -1,65 +1,16 @@
 /**
  * @file
- * Fig. 9: fine-grain vs chunk-granularity partitioning.
+ * Fig. 9: partitioning granularity (fine-grain vs chunks).
  *
- * The paper's title claim: partitioning at *instruction* granularity
- * with dependence awareness beats the coarse chunk-alternation of
- * earlier thread-partitioning proposals. This bench runs the Fg-STP
- * machine with the dependence-aware partitioner and with fixed-size
- * chunk alternation at several chunk sizes, reporting geomean speedup
- * over one core (medium CMP, sweep subset) and the communication rate
- * each granularity induces.
+ * Thin wrapper: runs the "fig9" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Fig. 9: partitioning granularity (medium CMP)");
-
-    const auto p = sim::mediumPreset();
-    const auto benches = bench::sweepBenchmarks();
-
-    std::vector<double> base_cycles;
-    for (const auto &name : benches)
-        base_cycles.push_back(static_cast<double>(
-            bench::runSingle(name, p).cycles));
-
-    Table t({"partitioning", "speedup", "comm%"});
-
-    auto run_cfg = [&](const part::FgstpConfig &cfg, const char *label) {
-        std::vector<double> sp;
-        double comm = 0.0;
-        for (std::size_t i = 0; i < benches.size(); ++i) {
-            std::unique_ptr<part::FgstpMachine> m;
-            const auto s = bench::runFgstp(benches[i], p, cfg,
-                                           bench::defaultInsts, &m);
-            sp.push_back(base_cycles[i] / s.cycles);
-            comm += m->partitionStats().commRate();
-        }
-        t.addRow({label, Table::fmt(bench::geomeanRatio(sp)),
-                  Table::fmt(100.0 * comm / benches.size(), 2)});
-    };
-
-    run_cfg(p.fgstp(), "fine-grain (Fg-STP)");
-
-    for (const std::uint32_t chunk : {8u, 32u, 128u, 512u}) {
-        auto cfg = p.fgstp();
-        cfg.granularity = part::Granularity::Chunk;
-        cfg.chunkSize = chunk;
-        const std::string label = "chunk-" + std::to_string(chunk);
-        run_cfg(cfg, label.c_str());
-    }
-
-    t.print(csv);
-    std::printf("\nexpected shape: fine-grain on top; small chunks "
-                "drown in communication, large chunks idle one core.\n");
-    return 0;
+    return fgstp::bench::legacyMain("fig9", argc, argv);
 }

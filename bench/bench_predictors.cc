@@ -2,64 +2,15 @@
  * @file
  * Substrate characterization: direction-predictor comparison.
  *
- * Conditional-branch misprediction rate (%) per predictor kind over
- * the SPEC2006-like workloads, at the medium front-end budget. Shows
- * the predictor substrate behaves like its published counterparts
- * (bimodal < gshare < tournament/perceptron on correlated codes) and
- * justifies the tournament default.
+ * Thin wrapper: runs the "predictors" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-#include "branch/direction_predictor.hh"
-#include "workload/generator.hh"
-
-using namespace fgstp;
-using bench::Table;
-
-namespace
-{
-
-double
-missRate(const char *kind, const std::string &bench_name)
-{
-    auto p = branch::makeDirectionPredictor(kind, 16384, 12);
-    workload::SyntheticWorkload w(
-        workload::profileByName(bench_name), bench::evalSeed);
-
-    trace::DynInst d;
-    std::uint64_t lookups = 0, wrong = 0;
-    for (int i = 0; i < 60000; ++i) {
-        w.next(d);
-        if (!d.isCondBranch())
-            continue;
-        ++lookups;
-        wrong += p->lookup(d.pc) != d.taken;
-        p->update(d.pc, d.taken);
-    }
-    return lookups ? 100.0 * wrong / lookups : 0.0;
-}
-
-} // namespace
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Predictor comparison: conditional misprediction "
-                  "rate (%)");
-
-    Table t({"benchmark", "bimodal", "gshare", "tournament",
-             "perceptron"});
-
-    for (const auto &name : bench::allBenchmarks()) {
-        t.addRow({name, Table::fmt(missRate("bimodal", name), 2),
-                  Table::fmt(missRate("gshare", name), 2),
-                  Table::fmt(missRate("tournament", name), 2),
-                  Table::fmt(missRate("perceptron", name), 2)});
-    }
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("predictors", argc, argv);
 }

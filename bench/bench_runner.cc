@@ -1,0 +1,179 @@
+/**
+ * @file
+ * fgstp_bench — the unified experiment runner.
+ *
+ *   fgstp_bench [--experiment=fig1,fig2,...|all] [--jobs=N]
+ *               [--format=text|csv|json] [--out=DIR]
+ *               [--insts=N] [--seed=N] [--list]
+ *
+ * Runs any subset of the paper's table/figure experiments over one
+ * shared thread pool. Every (experiment, benchmark, config) cell is
+ * an independent job with a seed derived from its identity, so the
+ * numbers are bit-identical at any --jobs value. All cells of all
+ * selected experiments are scheduled before any are collected, which
+ * keeps the pool saturated across experiment boundaries.
+ *
+ * text/csv formats print to stdout; json writes one
+ * BENCH_<experiment>.json per experiment into --out (schema:
+ * docs/STATS.md) and prints a one-line summary per file.
+ * All flags are documented in docs/CLI.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "common/logging.hh"
+
+using namespace fgstp;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> experiments; // empty means all
+    unsigned jobs = 0;                    // 0 means hardware default
+    std::string format = "text";
+    std::string outDir = ".";
+    bench::RunParams params;
+    bool list = false;
+};
+
+bool
+matchValue(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    std::string v;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (matchValue(a, "--experiment", v)) {
+            if (v != "all")
+                o.experiments = splitCsv(v);
+        } else if (matchValue(a, "--jobs", v)) {
+            o.jobs = static_cast<unsigned>(std::strtoul(
+                v.c_str(), nullptr, 10));
+        } else if (matchValue(a, "--format", v)) {
+            o.format = v;
+        } else if (matchValue(a, "--out", v)) {
+            o.outDir = v;
+        } else if (matchValue(a, "--insts", v)) {
+            o.params.insts = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (matchValue(a, "--seed", v)) {
+            o.params.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (std::strcmp(a, "--list") == 0) {
+            o.list = true;
+        } else {
+            fatal("unknown option '", a, "' (see docs/CLI.md)");
+        }
+    }
+    if (o.format != "text" && o.format != "csv" && o.format != "json")
+        fatal("unknown format '", o.format, "' (text | csv | json)");
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    if (o.list) {
+        for (const auto &e : bench::allExperiments())
+            std::printf("%-11s %s\n", e.name.c_str(), e.title.c_str());
+        return 0;
+    }
+
+    std::vector<const bench::Experiment *> selected;
+    if (o.experiments.empty()) {
+        for (const auto &e : bench::allExperiments())
+            selected.push_back(&e);
+    } else {
+        for (const auto &name : o.experiments) {
+            const auto *e = bench::findExperiment(name);
+            if (!e)
+                fatal("unknown experiment '", name,
+                      "' (fgstp_bench --list)");
+            selected.push_back(e);
+        }
+    }
+
+    unsigned jobs = o.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    ThreadPool pool(jobs);
+
+    // Schedule everything up front, collect in selection order.
+    std::vector<bench::ScheduledExperiment> scheduled;
+    scheduled.reserve(selected.size());
+    for (const auto *e : selected)
+        scheduled.push_back(
+            bench::scheduleExperiment(*e, o.params, pool));
+
+    int failures = 0;
+    bool first = true;
+    for (auto &s : scheduled) {
+        const auto *e = s.experiment;
+        try {
+            auto run =
+                bench::collectExperiment(std::move(s), o.params);
+            if (o.format == "json") {
+                const std::string path =
+                    o.outDir + "/BENCH_" + e->name + ".json";
+                std::ofstream out(path);
+                if (!out)
+                    fatal("cannot open '", path, "' for writing");
+                bench::renderJson(out, run, o.params, pool.size());
+                std::printf("%-11s %4zu jobs %9.1f ms  -> %s\n",
+                            e->name.c_str(), run.cells.size(),
+                            run.wallTimeMs, path.c_str());
+            } else {
+                if (!first)
+                    std::cout << "\n";
+                bench::renderText(std::cout, run, o.format == "csv");
+            }
+            first = false;
+        } catch (const std::exception &ex) {
+            std::fprintf(stderr, "fgstp_bench: experiment %s failed: %s\n",
+                         e->name.c_str(), ex.what());
+            ++failures;
+        }
+    }
+    return failures ? 1 : 0;
+}

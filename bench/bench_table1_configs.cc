@@ -2,85 +2,15 @@
  * @file
  * Table 1: the two CMP design points (machine configurations).
  *
- * Prints every parameter the timing models consume for the small and
- * medium presets, plus the derived Core Fusion and Fg-STP settings.
+ * Thin wrapper: runs the "table1" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-#include "fusion/fused_config.hh"
-
-using namespace fgstp;
-using bench::Table;
-
-namespace
-{
-
-std::string
-u(std::uint64_t v)
-{
-    return std::to_string(v);
-}
-
-} // namespace
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Table 1: machine configurations");
-
-    const auto small = sim::smallPreset();
-    const auto medium = sim::mediumPreset();
-
-    Table t({"parameter", "small", "medium"});
-    auto row = [&](const char *name, std::uint64_t s, std::uint64_t m) {
-        t.addRow({name, u(s), u(m)});
-    };
-
-    row("fetch/decode/issue/commit width", small.core.fetchWidth,
-        medium.core.fetchWidth);
-    row("ROB entries", small.core.robSize, medium.core.robSize);
-    row("IQ entries", small.core.iqSize, medium.core.iqSize);
-    row("LQ entries", small.core.lqSize, medium.core.lqSize);
-    row("SQ entries", small.core.sqSize, medium.core.sqSize);
-    row("front-end depth (cycles)", small.core.frontendDepth,
-        medium.core.frontendDepth);
-    row("int ALUs", small.core.fuPerCluster.intAlu,
-        medium.core.fuPerCluster.intAlu);
-    row("int mul/div units", small.core.fuPerCluster.intMulDiv,
-        medium.core.fuPerCluster.intMulDiv);
-    row("FP units", small.core.fuPerCluster.fp,
-        medium.core.fuPerCluster.fp);
-    row("memory ports", small.core.fuPerCluster.memPorts,
-        medium.core.fuPerCluster.memPorts);
-    row("predictor entries", small.core.predictor.tableEntries,
-        medium.core.predictor.tableEntries);
-    row("BTB entries", small.core.predictor.btbEntries,
-        medium.core.predictor.btbEntries);
-    row("L1I/L1D size (KB)", small.memory.l1d.sizeBytes / 1024,
-        medium.memory.l1d.sizeBytes / 1024);
-    row("L1 latency", small.memory.l1Latency, medium.memory.l1Latency);
-    row("shared L2 size (KB)", small.memory.l2.sizeBytes / 1024,
-        medium.memory.l2.sizeBytes / 1024);
-    row("L2 latency", small.memory.l2Latency, medium.memory.l2Latency);
-    row("DRAM latency", small.memory.dramLatency,
-        medium.memory.dramLatency);
-    row("L1D MSHRs", small.memory.numMshrs, medium.memory.numMshrs);
-    row("link latency (cycles)", small.link.latency,
-        medium.link.latency);
-    row("link width (values/cycle)", small.link.width,
-        medium.link.width);
-    row("Fg-STP partition window", small.partitionWindow,
-        medium.partitionWindow);
-    row("fusion extra FE stages",
-        small.fusionOverheads.extraFrontendStages,
-        medium.fusionOverheads.extraFrontendStages);
-    row("fusion cross-backend delay",
-        small.fusionOverheads.crossBackendDelay,
-        medium.fusionOverheads.crossBackendDelay);
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("table1", argc, argv);
 }

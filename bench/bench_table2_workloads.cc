@@ -2,54 +2,15 @@
  * @file
  * Table 2: workload characterization.
  *
- * Per benchmark: baseline 1-core IPC (medium core), conditional-branch
- * MPKI, L1D MPKI and L2 MPKI — the sanity anchor showing the synthetic
- * SPEC2006-like workloads span the intended behaviour space.
+ * Thin wrapper: runs the "table2" experiment from bench/experiments.cc
+ * through the shared pool and prints it as text (--csv for CSV). The
+ * fgstp_bench runner drives the same descriptor with more options.
  */
 
-#include <cstdio>
-
-#include "bench/bench_util.hh"
-#include "sim/single_core.hh"
-#include "trace/trace_stats.hh"
-#include "workload/generator.hh"
-
-using namespace fgstp;
-using bench::Table;
+#include "bench/experiments.hh"
 
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    bench::banner("Table 2: workload characterization (medium 1-core)");
-
-    const auto preset = sim::mediumPreset();
-    Table t({"benchmark", "ipc", "brMPKI", "l1dMPKI", "l2MPKI",
-             "loads%", "stores%"});
-
-    for (const auto &name : bench::allBenchmarks()) {
-        workload::SyntheticWorkload w(workload::profileByName(name),
-                                      bench::evalSeed);
-        sim::SingleCoreMachine m(preset.core, preset.memory, w);
-        const auto r = m.run(bench::defaultInsts);
-
-        const double kinsts = r.instructions / 1000.0;
-        const auto &bs = m.branchStats(0);
-        const auto &ms = m.memory().stats();
-
-        workload::SyntheticWorkload w2(workload::profileByName(name),
-                                       bench::evalSeed);
-        const auto sum = trace::summarize(w2, bench::defaultInsts);
-
-        t.addRow({name,
-                  Table::fmt(r.ipc()),
-                  Table::fmt(bs.totalMispredicts() / kinsts, 2),
-                  Table::fmt(ms.l1dMisses / kinsts, 2),
-                  Table::fmt(ms.l2Misses / kinsts, 2),
-                  Table::fmt(100.0 * sum.fracLoads(), 1),
-                  Table::fmt(100.0 * sum.fracStores(), 1)});
-    }
-
-    t.print(csv);
-    return 0;
+    return fgstp::bench::legacyMain("table2", argc, argv);
 }

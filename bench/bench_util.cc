@@ -20,68 +20,108 @@ toSample(const sim::RunResult &r)
     return {r.cycles, r.instructions};
 }
 
+/** FNV-1a over a string, folded into an accumulator. */
+std::uint64_t
+fnv1a(std::uint64_t h, std::string_view s)
+{
+    constexpr std::uint64_t prime = 1099511628211ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= prime;
+    }
+    // Separator so ("ab","c") and ("a","bc") hash differently.
+    h ^= 0x1f;
+    h *= prime;
+    return h;
+}
+
+/** splitmix64 finalizer: diffuses the combined hash. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 } // namespace
+
+std::uint64_t
+jobSeed(std::uint64_t eval_seed, std::string_view experiment,
+        std::string_view bench, std::string_view config)
+{
+    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
+    h = fnv1a(h, experiment);
+    h = fnv1a(h, bench);
+    h = fnv1a(h, config);
+    return mix(h ^ mix(eval_seed));
+}
 
 Sample
 runSingle(const std::string &bench, const sim::MachinePreset &p,
-          std::uint64_t insts)
+          std::uint64_t insts, std::uint64_t seed)
 {
-    return runSingleWithCore(bench, p.core, p, insts);
+    return runSingleWithCore(bench, p.core, p, insts, seed);
 }
 
 Sample
 runSingleWithCore(const std::string &bench,
                   const core::CoreConfig &core_cfg,
-                  const sim::MachinePreset &p, std::uint64_t insts)
+                  const sim::MachinePreset &p, std::uint64_t insts,
+                  std::uint64_t seed)
 {
-    workload::SyntheticWorkload w(workload::profileByName(bench),
-                                  evalSeed);
+    workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     sim::SingleCoreMachine m(core_cfg, p.memory, w);
     return toSample(m.run(insts));
 }
 
 Sample
 runFused(const std::string &bench, const sim::MachinePreset &p,
-         std::uint64_t insts)
+         std::uint64_t insts, std::uint64_t seed)
 {
-    return runFused(bench, p, p.fusionOverheads, insts);
+    return runFused(bench, p, p.fusionOverheads, insts, seed);
 }
 
 Sample
 runFused(const std::string &bench, const sim::MachinePreset &p,
-         const fusion::FusionOverheads &ovh, std::uint64_t insts)
+         const fusion::FusionOverheads &ovh, std::uint64_t insts,
+         std::uint64_t seed)
 {
-    workload::SyntheticWorkload w(workload::profileByName(bench),
-                                  evalSeed);
+    workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     fusion::FusedMachine m(p.core, p.memory, w, ovh);
     return toSample(m.run(insts));
 }
 
 Sample
 runFgstp(const std::string &bench, const sim::MachinePreset &p,
-         std::uint64_t insts)
+         std::uint64_t insts, std::uint64_t seed)
 {
-    return runFgstp(bench, p, p.fgstp(), insts);
+    return runFgstp(bench, p, p.fgstp(), insts, seed);
 }
 
 Sample
 runFgstp(const std::string &bench, const sim::MachinePreset &p,
          const part::FgstpConfig &cfg, std::uint64_t insts,
-         std::unique_ptr<part::FgstpMachine> *out)
+         std::uint64_t seed)
 {
-    auto w = std::make_unique<workload::SyntheticWorkload>(
-        workload::profileByName(bench), evalSeed);
-    auto m = std::make_unique<part::FgstpMachine>(p.core, p.memory, cfg,
-                                                  *w);
-    const auto r = m->run(insts);
-    if (out) {
-        // Keep the workload alive alongside the machine.
-        static std::vector<std::unique_ptr<workload::SyntheticWorkload>>
-            keep_alive;
-        keep_alive.push_back(std::move(w));
-        *out = std::move(m);
-    }
-    return toSample(r);
+    workload::SyntheticWorkload w(workload::profileByName(bench), seed);
+    part::FgstpMachine m(p.core, p.memory, cfg, w);
+    return toSample(m.run(insts));
+}
+
+FgstpRun
+runFgstpFull(const std::string &bench, const sim::MachinePreset &p,
+             const part::FgstpConfig &cfg, std::uint64_t insts,
+             std::uint64_t seed)
+{
+    FgstpRun r;
+    r.workload = std::make_unique<workload::SyntheticWorkload>(
+        workload::profileByName(bench), seed);
+    r.machine = std::make_unique<part::FgstpMachine>(p.core, p.memory,
+                                                     cfg, *r.workload);
+    r.sample = toSample(r.machine->run(insts));
+    return r;
 }
 
 std::vector<std::string>
@@ -130,16 +170,14 @@ Table::fmt(double v, int precision)
 }
 
 void
-Table::print(bool csv) const
+Table::render(std::ostream &os, bool csv) const
 {
     if (csv) {
         for (std::size_t i = 0; i < headers.size(); ++i)
-            std::printf("%s%s", headers[i].c_str(),
-                        i + 1 < headers.size() ? "," : "\n");
+            os << headers[i] << (i + 1 < headers.size() ? "," : "\n");
         for (const auto &row : rows) {
             for (std::size_t i = 0; i < row.size(); ++i)
-                std::printf("%s%s", row[i].c_str(),
-                            i + 1 < row.size() ? "," : "\n");
+                os << row[i] << (i + 1 < row.size() ? "," : "\n");
         }
         return;
     }
@@ -154,19 +192,25 @@ Table::print(bool csv) const
 
     auto print_row = [&](const std::vector<std::string> &cells) {
         for (std::size_t i = 0; i < cells.size(); ++i) {
-            std::printf("%-*s ", static_cast<int>(widths[i]),
-                        cells[i].c_str());
+            os << cells[i]
+               << std::string(widths[i] - cells[i].size() + 1, ' ');
         }
-        std::printf("\n");
+        os << "\n";
     };
 
     print_row(headers);
     std::size_t total = headers.size();
     for (std::size_t w : widths)
         total += w;
-    std::printf("%s\n", std::string(total, '-').c_str());
+    os << std::string(total, '-') << "\n";
     for (const auto &row : rows)
         print_row(row);
+}
+
+void
+Table::print(bool csv) const
+{
+    render(std::cout, csv);
 }
 
 bool

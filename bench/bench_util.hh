@@ -2,18 +2,23 @@
  * @file
  * Shared plumbing for the table/figure regeneration benches.
  *
- * Every bench binary reproduces one table or figure of the evaluation
+ * Every experiment reproduces one table or figure of the evaluation
  * (see DESIGN.md's experiment index): it runs the relevant machines
- * over the SPEC2006-like workloads and prints the same rows/series the
- * paper reports, as an aligned text table (default) or CSV (--csv).
+ * over the SPEC2006-like workloads and reports the same rows/series
+ * the paper does. This header holds the machine-run helpers and the
+ * table formatter; the experiment descriptors themselves live in
+ * bench/experiments.hh and are driven either by the fgstp_bench
+ * runner or by the legacy one-binary-per-figure wrappers.
  */
 
 #ifndef FGSTP_BENCH_BENCH_UTIL_HH
 #define FGSTP_BENCH_BENCH_UTIL_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fgstp/machine.hh"
@@ -31,6 +36,21 @@ inline constexpr std::uint64_t defaultInsts = 40000;
 /** Workload seed used throughout the evaluation. */
 inline constexpr std::uint64_t evalSeed = 42;
 
+/**
+ * Derives the deterministic workload seed for one experiment cell
+ * from the (evalSeed, experiment, bench, config) tuple.
+ *
+ * The derivation depends only on the cell's identity — never on
+ * submission order, thread id or wall time — so a parallel sweep and
+ * a serial sweep run every cell with the same seed and produce
+ * bit-identical numbers. The config component is the experiment's
+ * *base* configuration tag (its preset), shared by every machine and
+ * swept-parameter point of one benchmark so that speedup ratios
+ * compare runs of the same workload instance.
+ */
+std::uint64_t jobSeed(std::uint64_t eval_seed, std::string_view experiment,
+                      std::string_view bench, std::string_view config);
+
 /** One machine run's interesting outputs. */
 struct Sample
 {
@@ -47,27 +67,48 @@ struct Sample
 
 /** Runs the 1-core baseline on a named benchmark. */
 Sample runSingle(const std::string &bench, const sim::MachinePreset &p,
-                 std::uint64_t insts = defaultInsts);
+                 std::uint64_t insts = defaultInsts,
+                 std::uint64_t seed = evalSeed);
 
 /** Runs the baseline with an explicit core config (Fig. 8 big core). */
 Sample runSingleWithCore(const std::string &bench,
                          const core::CoreConfig &core_cfg,
                          const sim::MachinePreset &p,
-                         std::uint64_t insts = defaultInsts);
+                         std::uint64_t insts = defaultInsts,
+                         std::uint64_t seed = evalSeed);
 
 /** Runs the Core Fusion comparator. */
 Sample runFused(const std::string &bench, const sim::MachinePreset &p,
-                std::uint64_t insts = defaultInsts);
+                std::uint64_t insts = defaultInsts,
+                std::uint64_t seed = evalSeed);
 Sample runFused(const std::string &bench, const sim::MachinePreset &p,
-                const fusion::FusionOverheads &ovh,
-                std::uint64_t insts);
+                const fusion::FusionOverheads &ovh, std::uint64_t insts,
+                std::uint64_t seed = evalSeed);
 
-/** Runs Fg-STP; optionally returns the machine for stats extraction. */
+/** Runs Fg-STP and returns the headline sample. */
 Sample runFgstp(const std::string &bench, const sim::MachinePreset &p,
-                std::uint64_t insts = defaultInsts);
+                std::uint64_t insts = defaultInsts,
+                std::uint64_t seed = evalSeed);
 Sample runFgstp(const std::string &bench, const sim::MachinePreset &p,
                 const part::FgstpConfig &cfg, std::uint64_t insts,
-                std::unique_ptr<part::FgstpMachine> *out = nullptr);
+                std::uint64_t seed = evalSeed);
+
+/**
+ * Runs Fg-STP keeping the machine (and the workload it references)
+ * alive for stats extraction. Each call owns its own state, so
+ * concurrent calls from pool workers do not interfere.
+ */
+struct FgstpRun
+{
+    Sample sample;
+    std::unique_ptr<workload::SyntheticWorkload> workload;
+    std::unique_ptr<part::FgstpMachine> machine;
+};
+
+FgstpRun runFgstpFull(const std::string &bench,
+                      const sim::MachinePreset &p,
+                      const part::FgstpConfig &cfg, std::uint64_t insts,
+                      std::uint64_t seed = evalSeed);
 
 /** All nineteen benchmark names, SPECint first. */
 std::vector<std::string> allBenchmarks();
@@ -84,12 +125,23 @@ double geomeanRatio(const std::vector<double> &ratios);
 class Table
 {
   public:
+    Table() = default;
     explicit Table(std::vector<std::string> headers);
 
     void addRow(std::vector<std::string> cells);
 
+    /** Renders to an arbitrary stream; csv selects comma separation. */
+    void render(std::ostream &os, bool csv) const;
+
     /** Renders to stdout; csv selects comma-separated output. */
     void print(bool csv) const;
+
+    const std::vector<std::string> &headerCells() const { return headers; }
+    const std::vector<std::vector<std::string>> &
+    rowCells() const
+    {
+        return rows;
+    }
 
     static std::string fmt(double v, int precision = 3);
 

@@ -1,0 +1,1125 @@
+/**
+ * @file
+ * The 13 experiment descriptors (tables 1–2, figures 1–10, the
+ * predictor comparison) plus the machinery that runs them: cell
+ * scheduling onto a ThreadPool, collection/reduction, and the
+ * text/CSV/JSON renderers. See experiments.hh for the model and
+ * docs/STATS.md for the JSON schema.
+ */
+
+#include "bench/experiments.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "branch/direction_predictor.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "fusion/fused_config.hh"
+#include "power/energy_model.hh"
+#include "trace/trace_stats.hh"
+#include "workload/generator.hh"
+
+namespace fgstp::bench
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+std::string
+pct(double ratio_minus_one)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                  100.0 * ratio_minus_one);
+    return buf;
+}
+
+/** Finds a headline metric by name; NaN when absent. */
+double
+headlineValue(const ExperimentOutput &out, const std::string &metric)
+{
+    for (const auto &[k, v] : out.headline) {
+        if (k == metric)
+            return v;
+    }
+    return std::nan("");
+}
+
+// ---- Fig. 1 / Fig. 2: speedup over one core --------------------------------
+
+Experiment
+speedupExperiment(std::string name, std::string title,
+                  std::string preset_name, double paper_ratio,
+                  std::string paper_note)
+{
+    Experiment e;
+    e.name = name;
+    e.title = std::move(title);
+    e.preset = preset_name;
+    e.paper = {{"fgstpVsFusionGeomean", paper_ratio, paper_note}};
+
+    e.makeCells = [name, preset_name](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : allBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, name, b, preset_name);
+            cells.push_back({b, "single", seed,
+                [b, prm, seed, preset_name] {
+                    const auto p = sim::presetByName(preset_name);
+                    return std::vector<double>{static_cast<double>(
+                        runSingle(b, p, prm.insts, seed).cycles)};
+                }});
+            cells.push_back({b, "fusion", seed,
+                [b, prm, seed, preset_name] {
+                    const auto p = sim::presetByName(preset_name);
+                    return std::vector<double>{static_cast<double>(
+                        runFused(b, p, prm.insts, seed).cycles)};
+                }});
+            cells.push_back({b, "fgstp", seed,
+                [b, prm, seed, preset_name] {
+                    const auto p = sim::presetByName(preset_name);
+                    return std::vector<double>{static_cast<double>(
+                        runFgstp(b, p, prm.insts, seed).cycles)};
+                }});
+        }
+        return cells;
+    };
+
+    e.reduce = [paper_note](const RunParams &,
+                            const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table =
+            Table({"benchmark", "coreFusion", "fgStp", "fgStp/fusion"});
+        const auto benches = allBenchmarks();
+        std::vector<double> fusion_sp, fgstp_sp;
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            const double base = res[3 * i].values[0];
+            const double fused = res[3 * i + 1].values[0];
+            const double stp = res[3 * i + 2].values[0];
+            const double sf = base / fused;
+            const double ss = base / stp;
+            fusion_sp.push_back(sf);
+            fgstp_sp.push_back(ss);
+            out.table.addRow({benches[i], Table::fmt(sf),
+                              Table::fmt(ss), Table::fmt(ss / sf)});
+        }
+        const double gf = geomeanRatio(fusion_sp);
+        const double gs = geomeanRatio(fgstp_sp);
+        out.table.addRow({"GEOMEAN", Table::fmt(gf), Table::fmt(gs),
+                          Table::fmt(gs / gf)});
+        out.headline = {{"coreFusionGeomeanSpeedup", gf},
+                        {"fgstpGeomeanSpeedup", gs},
+                        {"fgstpVsFusionGeomean", gs / gf}};
+        out.footer = "paper: " + paper_note + "; measured: " +
+                     pct(gs / gf - 1.0);
+        return out;
+    };
+    return e;
+}
+
+// ---- Table 1: machine configurations ---------------------------------------
+
+Experiment
+table1Experiment()
+{
+    Experiment e;
+    e.name = "table1";
+    e.title = "Table 1: machine configurations";
+    e.preset = "-";
+    e.makeCells = [](const RunParams &) { return std::vector<Cell>{}; };
+    e.reduce = [](const RunParams &, const std::vector<CellResult> &) {
+        const auto small = sim::smallPreset();
+        const auto medium = sim::mediumPreset();
+
+        ExperimentOutput out;
+        out.table = Table({"parameter", "small", "medium"});
+        auto row = [&](const char *name, std::uint64_t s,
+                       std::uint64_t m) {
+            out.table.addRow(
+                {name, std::to_string(s), std::to_string(m)});
+        };
+
+        row("fetch/decode/issue/commit width", small.core.fetchWidth,
+            medium.core.fetchWidth);
+        row("ROB entries", small.core.robSize, medium.core.robSize);
+        row("IQ entries", small.core.iqSize, medium.core.iqSize);
+        row("LQ entries", small.core.lqSize, medium.core.lqSize);
+        row("SQ entries", small.core.sqSize, medium.core.sqSize);
+        row("front-end depth (cycles)", small.core.frontendDepth,
+            medium.core.frontendDepth);
+        row("int ALUs", small.core.fuPerCluster.intAlu,
+            medium.core.fuPerCluster.intAlu);
+        row("int mul/div units", small.core.fuPerCluster.intMulDiv,
+            medium.core.fuPerCluster.intMulDiv);
+        row("FP units", small.core.fuPerCluster.fp,
+            medium.core.fuPerCluster.fp);
+        row("memory ports", small.core.fuPerCluster.memPorts,
+            medium.core.fuPerCluster.memPorts);
+        row("predictor entries", small.core.predictor.tableEntries,
+            medium.core.predictor.tableEntries);
+        row("BTB entries", small.core.predictor.btbEntries,
+            medium.core.predictor.btbEntries);
+        row("L1I/L1D size (KB)", small.memory.l1d.sizeBytes / 1024,
+            medium.memory.l1d.sizeBytes / 1024);
+        row("L1 latency", small.memory.l1Latency,
+            medium.memory.l1Latency);
+        row("shared L2 size (KB)", small.memory.l2.sizeBytes / 1024,
+            medium.memory.l2.sizeBytes / 1024);
+        row("L2 latency", small.memory.l2Latency,
+            medium.memory.l2Latency);
+        row("DRAM latency", small.memory.dramLatency,
+            medium.memory.dramLatency);
+        row("L1D MSHRs", small.memory.numMshrs, medium.memory.numMshrs);
+        row("link latency (cycles)", small.link.latency,
+            medium.link.latency);
+        row("link width (values/cycle)", small.link.width,
+            medium.link.width);
+        row("Fg-STP partition window", small.partitionWindow,
+            medium.partitionWindow);
+        row("fusion extra FE stages",
+            small.fusionOverheads.extraFrontendStages,
+            medium.fusionOverheads.extraFrontendStages);
+        row("fusion cross-backend delay",
+            small.fusionOverheads.crossBackendDelay,
+            medium.fusionOverheads.crossBackendDelay);
+        return out;
+    };
+    return e;
+}
+
+// ---- Table 2: workload characterization ------------------------------------
+
+Experiment
+table2Experiment()
+{
+    Experiment e;
+    e.name = "table2";
+    e.title = "Table 2: workload characterization (medium 1-core)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : allBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "table2", b, "medium");
+            cells.push_back({b, "single", seed, [b, prm, seed] {
+                const auto preset = sim::mediumPreset();
+                workload::SyntheticWorkload w(
+                    workload::profileByName(b), seed);
+                sim::SingleCoreMachine m(preset.core, preset.memory, w);
+                const auto r = m.run(prm.insts);
+
+                const double kinsts =
+                    std::max(1.0, r.instructions / 1000.0);
+                const auto &bs = m.branchStats(0);
+                const auto &ms = m.memory().stats();
+
+                workload::SyntheticWorkload w2(
+                    workload::profileByName(b), seed);
+                const auto sum = trace::summarize(w2, prm.insts);
+
+                return std::vector<double>{
+                    r.ipc(),
+                    bs.totalMispredicts() / kinsts,
+                    ms.l1dMisses / kinsts,
+                    ms.l2Misses / kinsts,
+                    100.0 * sum.fracLoads(),
+                    100.0 * sum.fracStores()};
+            }});
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"benchmark", "ipc", "brMPKI", "l1dMPKI",
+                           "l2MPKI", "loads%", "stores%"});
+        const auto benches = allBenchmarks();
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            const auto &v = res[i].values;
+            out.table.addRow({benches[i], Table::fmt(v[0]),
+                              Table::fmt(v[1], 2), Table::fmt(v[2], 2),
+                              Table::fmt(v[3], 2), Table::fmt(v[4], 1),
+                              Table::fmt(v[5], 1)});
+        }
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 3: partition/communication/replication profile -------------------
+
+Experiment
+fig3Experiment()
+{
+    Experiment e;
+    e.name = "fig3";
+    e.title = "Fig. 3: partition/communication/replication profile "
+              "(medium CMP)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : allBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig3", b, "medium");
+            cells.push_back({b, "fgstp", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                const auto r =
+                    runFgstpFull(b, p, p.fgstp(), prm.insts, seed);
+                const auto &ps = r.machine->partitionStats();
+                const auto &fs = r.machine->fgstpStats();
+                const double kinsts =
+                    std::max(1.0, r.sample.instructions / 1000.0);
+                return std::vector<double>{
+                    100.0 * ps.replicationRate(),
+                    100.0 * ps.commRate(),
+                    100.0 * ps.remoteFraction(),
+                    fs.valueTransfers / kinsts,
+                    fs.predictedSyncs / kinsts};
+            }});
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"benchmark", "repl%", "comm%", "core1%",
+                           "xfers/kinst", "syncs/kinst"});
+        const auto benches = allBenchmarks();
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            const auto &v = res[i].values;
+            out.table.addRow({benches[i], Table::fmt(v[0], 2),
+                              Table::fmt(v[1], 2), Table::fmt(v[2], 1),
+                              Table::fmt(v[3], 2),
+                              Table::fmt(v[4], 2)});
+        }
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 4: link-latency sensitivity --------------------------------------
+
+const std::vector<Cycle> fig4Latencies = {1, 2, 4, 8, 12, 16};
+
+Experiment
+fig4Experiment()
+{
+    Experiment e;
+    e.name = "fig4";
+    e.title = "Fig. 4: Fg-STP speedup vs link latency (medium CMP)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : sweepBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig4", b, "medium");
+            cells.push_back({b, "single", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runSingle(b, p, prm.insts, seed).cycles)};
+            }});
+            cells.push_back({b, "fusion", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runFused(b, p, prm.insts, seed).cycles)};
+            }});
+            for (const Cycle lat : fig4Latencies) {
+                cells.push_back(
+                    {b, "fgstp-lat" + std::to_string(lat), seed,
+                     [b, prm, seed, lat] {
+                         const auto p = sim::mediumPreset();
+                         auto cfg = p.fgstp();
+                         cfg.link.latency = lat;
+                         cfg.estCommCost = static_cast<std::uint32_t>(
+                             std::max<Cycle>(lat, 4) * 2);
+                         return std::vector<double>{
+                             static_cast<double>(
+                                 runFgstp(b, p, cfg, prm.insts, seed)
+                                     .cycles)};
+                     }});
+            }
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table =
+            Table({"linkLatency", "fgStpSpeedup", "coreFusionRef"});
+        const auto benches = sweepBenchmarks();
+        const std::size_t stride = 2 + fig4Latencies.size();
+
+        std::vector<double> fusion_sp;
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            fusion_sp.push_back(res[stride * i].values[0] /
+                                res[stride * i + 1].values[0]);
+        }
+        const double fusion_geo = geomeanRatio(fusion_sp);
+
+        for (std::size_t l = 0; l < fig4Latencies.size(); ++l) {
+            std::vector<double> sp;
+            for (std::size_t i = 0; i < benches.size(); ++i) {
+                sp.push_back(res[stride * i].values[0] /
+                             res[stride * i + 2 + l].values[0]);
+            }
+            out.table.addRow({std::to_string(fig4Latencies[l]),
+                              Table::fmt(geomeanRatio(sp)),
+                              Table::fmt(fusion_geo)});
+        }
+        out.headline = {{"coreFusionGeomeanSpeedup", fusion_geo}};
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 5: partition-window sensitivity ----------------------------------
+
+const std::vector<std::uint32_t> fig5Windows = {32, 64, 128, 256, 512,
+                                                1024};
+
+Experiment
+fig5Experiment()
+{
+    Experiment e;
+    e.name = "fig5";
+    e.title =
+        "Fig. 5: Fg-STP speedup vs partition window (medium CMP)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : sweepBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig5", b, "medium");
+            cells.push_back({b, "single", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runSingle(b, p, prm.insts, seed).cycles)};
+            }});
+            for (const std::uint32_t win : fig5Windows) {
+                cells.push_back(
+                    {b, "fgstp-win" + std::to_string(win), seed,
+                     [b, prm, seed, win] {
+                         const auto p = sim::mediumPreset();
+                         auto cfg = p.fgstp();
+                         cfg.windowSize = win;
+                         return std::vector<double>{
+                             static_cast<double>(
+                                 runFgstp(b, p, cfg, prm.insts, seed)
+                                     .cycles)};
+                     }});
+            }
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"window", "fgStpSpeedup"});
+        const auto benches = sweepBenchmarks();
+        const std::size_t stride = 1 + fig5Windows.size();
+        for (std::size_t wi = 0; wi < fig5Windows.size(); ++wi) {
+            std::vector<double> sp;
+            for (std::size_t i = 0; i < benches.size(); ++i) {
+                sp.push_back(res[stride * i].values[0] /
+                             res[stride * i + 1 + wi].values[0]);
+            }
+            out.table.addRow({std::to_string(fig5Windows[wi]),
+                              Table::fmt(geomeanRatio(sp))});
+        }
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 6: feature ablation ----------------------------------------------
+
+struct AblationVariant
+{
+    const char *label;
+    void (*apply)(part::FgstpConfig &);
+};
+
+const std::vector<AblationVariant> fig6Variants = {
+    {"full", [](part::FgstpConfig &) {}},
+    {"no-replication",
+     [](part::FgstpConfig &c) { c.replication = false; }},
+    {"no-mem-spec",
+     [](part::FgstpConfig &c) { c.memSpeculation = false; }},
+    {"no-shared-pred",
+     [](part::FgstpConfig &c) { c.sharedPrediction = false; }},
+    {"branch-repl",
+     [](part::FgstpConfig &c) { c.replicateBranches = true; }},
+    {"none",
+     [](part::FgstpConfig &c) {
+         c.replication = false;
+         c.memSpeculation = false;
+     }},
+};
+
+Experiment
+fig6Experiment()
+{
+    Experiment e;
+    e.name = "fig6";
+    e.title = "Fig. 6: Fg-STP feature ablation (medium CMP)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : sweepBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig6", b, "medium");
+            cells.push_back({b, "single", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runSingle(b, p, prm.insts, seed).cycles)};
+            }});
+            for (const auto &var : fig6Variants) {
+                cells.push_back(
+                    {b, var.label, seed,
+                     [b, prm, seed, apply = var.apply] {
+                         const auto p = sim::mediumPreset();
+                         auto cfg = p.fgstp();
+                         apply(cfg);
+                         return std::vector<double>{
+                             static_cast<double>(
+                                 runFgstp(b, p, cfg, prm.insts, seed)
+                                     .cycles)};
+                     }});
+            }
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"variant", "fgStpSpeedup"});
+        const auto benches = sweepBenchmarks();
+        const std::size_t stride = 1 + fig6Variants.size();
+        for (std::size_t vi = 0; vi < fig6Variants.size(); ++vi) {
+            std::vector<double> sp;
+            for (std::size_t i = 0; i < benches.size(); ++i) {
+                sp.push_back(res[stride * i].values[0] /
+                             res[stride * i + 1 + vi].values[0]);
+            }
+            const double g = geomeanRatio(sp);
+            out.table.addRow({fig6Variants[vi].label, Table::fmt(g)});
+            out.headline.emplace_back(
+                std::string("speedup.") + fig6Variants[vi].label, g);
+        }
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 7: memory-dependence speculation ---------------------------------
+
+Experiment
+fig7Experiment()
+{
+    Experiment e;
+    e.name = "fig7";
+    e.title = "Fig. 7: cross-core memory speculation (medium CMP)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : allBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig7", b, "medium");
+            cells.push_back({b, "fgstp", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                const auto r =
+                    runFgstpFull(b, p, p.fgstp(), prm.insts, seed);
+                const double kinsts =
+                    std::max(1.0, r.sample.instructions / 1000.0);
+                const auto &fs = r.machine->fgstpStats();
+                const double squashes =
+                    static_cast<double>(
+                        r.machine->coreStats(0).squashes +
+                        r.machine->coreStats(1).squashes) /
+                    2.0;
+                return std::vector<double>{
+                    fs.crossViolations / kinsts, squashes / kinsts,
+                    fs.predictedSyncs / kinsts,
+                    static_cast<double>(r.sample.cycles)};
+            }});
+            cells.push_back({b, "fgstp-conservative", seed,
+                [b, prm, seed] {
+                    const auto p = sim::mediumPreset();
+                    auto cfg = p.fgstp();
+                    cfg.memSpeculation = false;
+                    return std::vector<double>{static_cast<double>(
+                        runFgstp(b, p, cfg, prm.insts, seed).cycles)};
+                }});
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"benchmark", "viol/kinst", "squash/kinst",
+                           "syncs/kinst", "cons/spec"});
+        const auto benches = allBenchmarks();
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            const auto &spec = res[2 * i].values;
+            const double cons_cycles = res[2 * i + 1].values[0];
+            out.table.addRow({benches[i], Table::fmt(spec[0], 3),
+                              Table::fmt(spec[1], 3),
+                              Table::fmt(spec[2], 3),
+                              Table::fmt(cons_cycles / spec[3])});
+        }
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 8: coupled cores vs one big core ---------------------------------
+
+Experiment
+fig8Experiment()
+{
+    Experiment e;
+    e.name = "fig8";
+    e.title = "Fig. 8: coupled 2-core schemes vs one big core "
+              "(normalized to one medium core)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : allBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig8", b, "medium");
+            cells.push_back({b, "single", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runSingle(b, p, prm.insts, seed).cycles)};
+            }});
+            cells.push_back({b, "big", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runSingleWithCore(b, sim::bigCoreConfig(), p,
+                                      prm.insts, seed)
+                        .cycles)};
+            }});
+            cells.push_back({b, "fusion", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runFused(b, p, prm.insts, seed).cycles)};
+            }});
+            cells.push_back({b, "fgstp", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runFgstp(b, p, prm.insts, seed).cycles)};
+            }});
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table =
+            Table({"benchmark", "bigCore", "coreFusion", "fgStp"});
+        const auto benches = allBenchmarks();
+        std::vector<double> sp_big, sp_fused, sp_stp;
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            const double base = res[4 * i].values[0];
+            const double b = base / res[4 * i + 1].values[0];
+            const double f = base / res[4 * i + 2].values[0];
+            const double s = base / res[4 * i + 3].values[0];
+            sp_big.push_back(b);
+            sp_fused.push_back(f);
+            sp_stp.push_back(s);
+            out.table.addRow({benches[i], Table::fmt(b), Table::fmt(f),
+                              Table::fmt(s)});
+        }
+        const double gb = geomeanRatio(sp_big);
+        const double gf = geomeanRatio(sp_fused);
+        const double gs = geomeanRatio(sp_stp);
+        out.table.addRow({"GEOMEAN", Table::fmt(gb), Table::fmt(gf),
+                          Table::fmt(gs)});
+        out.headline = {{"bigCoreGeomeanSpeedup", gb},
+                        {"coreFusionGeomeanSpeedup", gf},
+                        {"fgstpGeomeanSpeedup", gs}};
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 9: partitioning granularity --------------------------------------
+
+const std::vector<std::uint32_t> fig9Chunks = {8, 32, 128, 512};
+
+Experiment
+fig9Experiment()
+{
+    Experiment e;
+    e.name = "fig9";
+    e.title = "Fig. 9: partitioning granularity (medium CMP)";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : sweepBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig9", b, "medium");
+            cells.push_back({b, "single", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                return std::vector<double>{static_cast<double>(
+                    runSingle(b, p, prm.insts, seed).cycles)};
+            }});
+            auto fgstp_cell = [&](const std::string &label,
+                                  std::uint32_t chunk) {
+                cells.push_back({b, label, seed,
+                    [b, prm, seed, chunk] {
+                        const auto p = sim::mediumPreset();
+                        auto cfg = p.fgstp();
+                        if (chunk) {
+                            cfg.granularity = part::Granularity::Chunk;
+                            cfg.chunkSize = chunk;
+                        }
+                        const auto r = runFgstpFull(b, p, cfg,
+                                                    prm.insts, seed);
+                        return std::vector<double>{
+                            static_cast<double>(r.sample.cycles),
+                            r.machine->partitionStats().commRate()};
+                    }});
+            };
+            fgstp_cell("fine-grain", 0);
+            for (const std::uint32_t chunk : fig9Chunks)
+                fgstp_cell("chunk-" + std::to_string(chunk), chunk);
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"partitioning", "speedup", "comm%"});
+        const auto benches = sweepBenchmarks();
+        const std::size_t num_cfgs = 1 + fig9Chunks.size();
+        const std::size_t stride = 1 + num_cfgs;
+
+        std::vector<std::string> labels = {"fine-grain (Fg-STP)"};
+        for (const std::uint32_t chunk : fig9Chunks)
+            labels.push_back("chunk-" + std::to_string(chunk));
+
+        for (std::size_t c = 0; c < num_cfgs; ++c) {
+            std::vector<double> sp;
+            double comm = 0.0;
+            for (std::size_t i = 0; i < benches.size(); ++i) {
+                const double base = res[stride * i].values[0];
+                const auto &v = res[stride * i + 1 + c].values;
+                sp.push_back(base / v[0]);
+                comm += v[1];
+            }
+            out.table.addRow(
+                {labels[c], Table::fmt(geomeanRatio(sp)),
+                 Table::fmt(100.0 * comm / benches.size(), 2)});
+        }
+        out.footer =
+            "expected shape: fine-grain on top; small chunks drown in "
+            "communication, large chunks idle one core.";
+        return out;
+    };
+    return e;
+}
+
+// ---- Fig. 10: energy -------------------------------------------------------
+
+template <typename Machine>
+std::vector<double>
+measureEnergy(Machine &m, const sim::RunResult &r, double width_factor,
+              bool fgstp_part, bool fusion_steer,
+              std::uint64_t link_transfers = 0)
+{
+    std::vector<const core::CoreStats *> cs;
+    for (unsigned i = 0; i < m.numCores(); ++i)
+        cs.push_back(&m.coreStats(i));
+    auto act = power::gatherActivity(cs.data(), m.numCores(),
+                                     m.memory().stats(), r.cycles,
+                                     r.instructions, width_factor);
+    act.fgstpPartitioning = fgstp_part;
+    act.fusionSteering = fusion_steer;
+    act.linkTransfers = link_transfers;
+    const auto e = power::estimateEnergy(act);
+    return {e.epi, e.edp};
+}
+
+Experiment
+fig10Experiment()
+{
+    Experiment e;
+    e.name = "fig10";
+    e.title = "Fig. 10: energy per instruction (nJ) and energy-delay, "
+              "medium design point";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : allBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "fig10", b, "medium");
+            cells.push_back({b, "single", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                workload::SyntheticWorkload w(
+                    workload::profileByName(b), seed);
+                sim::SingleCoreMachine m(p.core, p.memory, w);
+                const auto r = m.run(prm.insts);
+                return measureEnergy(m, r, 1.0, false, false);
+            }});
+            cells.push_back({b, "big", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                workload::SyntheticWorkload w(
+                    workload::profileByName(b), seed);
+                sim::SingleCoreMachine m(sim::bigCoreConfig(),
+                                         p.memory, w);
+                const auto r = m.run(prm.insts);
+                return measureEnergy(m, r, 2.0, false, false);
+            }});
+            cells.push_back({b, "fusion", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                workload::SyntheticWorkload w(
+                    workload::profileByName(b), seed);
+                fusion::FusedMachine m(p.core, p.memory, w,
+                                       p.fusionOverheads);
+                const auto r = m.run(prm.insts);
+                return measureEnergy(m, r, 2.0, false, true);
+            }});
+            cells.push_back({b, "fgstp", seed, [b, prm, seed] {
+                const auto p = sim::mediumPreset();
+                workload::SyntheticWorkload w(
+                    workload::profileByName(b), seed);
+                part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+                const auto r = m.run(prm.insts);
+                return measureEnergy(m, r, 1.0, true, false,
+                                     m.fgstpStats().valueTransfers);
+            }});
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"benchmark", "1core", "bigCore", "fusion",
+                           "fgStp", "fgStpEDP/1coreEDP"});
+        const auto benches = allBenchmarks();
+        std::vector<double> epi1, epib, epif, epis, edr;
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            const auto &e1 = res[4 * i].values;
+            const auto &e2 = res[4 * i + 1].values;
+            const auto &e3 = res[4 * i + 2].values;
+            const auto &e4 = res[4 * i + 3].values;
+            epi1.push_back(e1[0]);
+            epib.push_back(e2[0]);
+            epif.push_back(e3[0]);
+            epis.push_back(e4[0]);
+            edr.push_back(e4[1] / e1[1]);
+            out.table.addRow({benches[i], Table::fmt(e1[0], 2),
+                              Table::fmt(e2[0], 2),
+                              Table::fmt(e3[0], 2),
+                              Table::fmt(e4[0], 2),
+                              Table::fmt(e4[1] / e1[1])});
+        }
+        out.table.addRow({"GEOMEAN", Table::fmt(geomeanRatio(epi1), 2),
+                          Table::fmt(geomeanRatio(epib), 2),
+                          Table::fmt(geomeanRatio(epif), 2),
+                          Table::fmt(geomeanRatio(epis), 2),
+                          Table::fmt(geomeanRatio(edr))});
+        out.headline = {{"fgstpEdpVsSingleGeomean", geomeanRatio(edr)}};
+        return out;
+    };
+    return e;
+}
+
+// ---- predictor substrate ---------------------------------------------------
+
+const std::vector<std::string> predictorKinds = {"bimodal", "gshare",
+                                                 "tournament",
+                                                 "perceptron"};
+
+Experiment
+predictorsExperiment()
+{
+    Experiment e;
+    e.name = "predictors";
+    e.title =
+        "Predictor comparison: conditional misprediction rate (%)";
+    e.preset = "-";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        // 1.5x the machine-run budget: predictor-only streaming is
+        // far cheaper than cycle simulation (60k at the default).
+        const std::uint64_t insts = prm.insts + prm.insts / 2;
+        for (const auto &b : allBenchmarks()) {
+            const auto seed = jobSeed(prm.seed, "predictors", b, "-");
+            for (const auto &kind : predictorKinds) {
+                cells.push_back({b, kind, seed,
+                    [b, kind, seed, insts] {
+                        auto p = branch::makeDirectionPredictor(
+                            kind.c_str(), 16384, 12);
+                        workload::SyntheticWorkload w(
+                            workload::profileByName(b), seed);
+                        trace::DynInst d;
+                        std::uint64_t lookups = 0, wrong = 0;
+                        for (std::uint64_t i = 0;
+                             i < insts && w.next(d); ++i) {
+                            if (!d.isCondBranch())
+                                continue;
+                            ++lookups;
+                            wrong += p->lookup(d.pc) != d.taken;
+                            p->update(d.pc, d.taken);
+                        }
+                        return std::vector<double>{
+                            lookups ? 100.0 * wrong / lookups : 0.0};
+                    }});
+            }
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        std::vector<std::string> headers = {"benchmark"};
+        for (const auto &kind : predictorKinds)
+            headers.push_back(kind);
+        out.table = Table(headers);
+        const auto benches = allBenchmarks();
+        const std::size_t stride = predictorKinds.size();
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            std::vector<std::string> row = {benches[i]};
+            for (std::size_t k = 0; k < stride; ++k)
+                row.push_back(
+                    Table::fmt(res[stride * i + k].values[0], 2));
+            out.table.addRow(row);
+        }
+        return out;
+    };
+    return e;
+}
+
+} // namespace
+
+// ---- registry --------------------------------------------------------------
+
+const std::vector<Experiment> &
+allExperiments()
+{
+    static const std::vector<Experiment> experiments = {
+        table1Experiment(),
+        table2Experiment(),
+        speedupExperiment(
+            "fig1", "Fig. 1: speedup over 1 core, medium 2-core CMP",
+            "medium", 1.18,
+            "Fg-STP beats Core Fusion by ~18% on the medium CMP"),
+        speedupExperiment(
+            "fig2", "Fig. 2: speedup over 1 core, small 2-core CMP",
+            "small", 1.07,
+            "Fg-STP beats Core Fusion by ~7% on the small CMP"),
+        fig3Experiment(),
+        fig4Experiment(),
+        fig5Experiment(),
+        fig6Experiment(),
+        fig7Experiment(),
+        fig8Experiment(),
+        fig9Experiment(),
+        fig10Experiment(),
+        predictorsExperiment(),
+    };
+    return experiments;
+}
+
+const Experiment *
+findExperiment(const std::string &name)
+{
+    for (const auto &e : allExperiments()) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+// ---- running ---------------------------------------------------------------
+
+ScheduledExperiment
+scheduleExperiment(const Experiment &e, const RunParams &params,
+                   ThreadPool &pool)
+{
+    ScheduledExperiment s;
+    s.experiment = &e;
+    s.cells = e.makeCells(params);
+    s.futures.reserve(s.cells.size());
+    for (auto &c : s.cells) {
+        s.futures.push_back(pool.submit([fn = std::move(c.fn)] {
+            const auto t0 = Clock::now();
+            CellResult r;
+            r.values = fn();
+            r.wallTimeMs = msSince(t0);
+            return r;
+        }));
+        c.fn = nullptr; // consumed
+    }
+    return s;
+}
+
+ExperimentRun
+collectExperiment(ScheduledExperiment &&scheduled,
+                  const RunParams &params)
+{
+    const auto t0 = Clock::now();
+    ExperimentRun run;
+    run.experiment = scheduled.experiment;
+    run.cells = std::move(scheduled.cells);
+
+    std::vector<CellResult> results;
+    results.reserve(scheduled.futures.size());
+    for (auto &f : scheduled.futures)
+        results.push_back(f.get()); // rethrows cell exceptions
+    for (const auto &r : results)
+        run.cellWallTimeMs.push_back(r.wallTimeMs);
+
+    run.output = scheduled.experiment->reduce(params, results);
+    run.wallTimeMs = msSince(t0);
+    return run;
+}
+
+ExperimentRun
+runExperiment(const Experiment &e, const RunParams &params,
+              ThreadPool &pool)
+{
+    const auto t0 = Clock::now();
+    auto run = collectExperiment(scheduleExperiment(e, params, pool),
+                                 params);
+    run.wallTimeMs = msSince(t0);
+    return run;
+}
+
+// ---- rendering -------------------------------------------------------------
+
+void
+renderText(std::ostream &os, const ExperimentRun &run, bool csv)
+{
+    os << "== " << run.experiment->title << " ==\n";
+    run.output.table.render(os, csv);
+    if (!run.output.footer.empty())
+        os << "\n" << run.output.footer << "\n";
+}
+
+namespace
+{
+
+/**
+ * Emits a table cell: bare JSON number when the formatted string is
+ * itself a finite decimal literal, quoted string otherwise.
+ */
+std::string
+jsonCell(const std::string &cell)
+{
+    if (cell.empty())
+        return json::quote(cell);
+    const char *begin = cell.c_str();
+    char *end = nullptr;
+    const double v = std::strtod(begin, &end);
+    const bool fully_numeric = end == begin + cell.size();
+    // Reject strtod-accepted spellings that are not JSON numbers
+    // (inf, nan, hex floats, leading '+').
+    const bool plain =
+        cell.find_first_not_of("0123456789.eE+-") == std::string::npos &&
+        cell[0] != '+';
+    if (fully_numeric && plain && std::isfinite(v))
+        return cell;
+    return json::quote(cell);
+}
+
+} // namespace
+
+void
+renderJson(std::ostream &os, const ExperimentRun &run,
+           const RunParams &params, unsigned pool_jobs)
+{
+    const auto &e = *run.experiment;
+    const auto &out = run.output;
+
+    os << "{\n";
+    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"experiment\": " << json::quote(e.name) << ",\n";
+    os << "  \"title\": " << json::quote(e.title) << ",\n";
+    os << "  \"preset\": " << json::quote(e.preset) << ",\n";
+    os << "  \"meta\": {\n";
+    os << "    \"insts\": " << json::number(params.insts) << ",\n";
+    os << "    \"evalSeed\": " << json::number(params.seed) << ",\n";
+    os << "    \"cellCount\": "
+       << json::number(static_cast<std::uint64_t>(run.cells.size()))
+       << ",\n";
+    // Run-environment metadata shares the wallTimeMs line so a single
+    // `grep -v wallTimeMs` leaves only deterministic content.
+    os << "    \"poolJobs\": "
+       << json::number(static_cast<std::uint64_t>(pool_jobs))
+       << ", \"wallTimeMs\": " << json::number(run.wallTimeMs) << "\n";
+    os << "  },\n";
+
+    os << "  \"columns\": [";
+    const auto &headers = out.table.headerCells();
+    for (std::size_t i = 0; i < headers.size(); ++i)
+        os << (i ? ", " : "") << json::quote(headers[i]);
+    os << "],\n";
+
+    os << "  \"rows\": [\n";
+    const auto &rows = out.table.rowCells();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << "    [";
+        for (std::size_t c = 0; c < rows[r].size(); ++c)
+            os << (c ? ", " : "") << jsonCell(rows[r][c]);
+        os << "]" << (r + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"headline\": {";
+    for (std::size_t i = 0; i < out.headline.size(); ++i) {
+        os << (i ? ", " : "") << json::quote(out.headline[i].first)
+           << ": " << json::number(out.headline[i].second);
+    }
+    os << "},\n";
+
+    os << "  \"paper\": [\n";
+    for (std::size_t i = 0; i < e.paper.size(); ++i) {
+        const auto &claim = e.paper[i];
+        const double measured = headlineValue(out, claim.metric);
+        os << "    {\"metric\": " << json::quote(claim.metric)
+           << ", \"paper\": " << json::number(claim.expected)
+           << ", \"measured\": " << json::number(measured)
+           << ", \"note\": " << json::quote(claim.note) << "}"
+           << (i + 1 < e.paper.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < run.cells.size(); ++i) {
+        const auto &c = run.cells[i];
+        os << "    {\"bench\": " << json::quote(c.bench)
+           << ", \"machine\": " << json::quote(c.machine)
+           << ", \"seed\": " << json::number(c.seed) << ",\n"
+           << "     \"wallTimeMs\": "
+           << json::number(run.cellWallTimeMs[i]) << "}"
+           << (i + 1 < run.cells.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"footer\": " << json::quote(out.footer) << "\n";
+    os << "}\n";
+}
+
+int
+legacyMain(const char *experiment_name, int argc, char **argv)
+{
+    const bool csv = wantCsv(argc, argv);
+    const Experiment *e = findExperiment(experiment_name);
+    if (!e)
+        fatal("unknown experiment '", experiment_name, "'");
+
+    ThreadPool pool(std::thread::hardware_concurrency());
+    const auto run = runExperiment(*e, RunParams{}, pool);
+    renderText(std::cout, run, csv);
+    return 0;
+}
+
+} // namespace fgstp::bench

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The experiment registry and parallel runner for the evaluation.
+ *
+ * Every table/figure of the reproduction is described once, as an
+ * Experiment: a set of independent *cells* — one (benchmark, machine,
+ * config) simulation each — plus a reduce step that folds the cell
+ * results into the table the paper reports. Cells are pure functions
+ * of their captured inputs (workload seeds come from bench::jobSeed),
+ * so a ThreadPool can run them in any order, at any parallelism, and
+ * the reduced output is bit-identical to a serial run.
+ *
+ * Consumers:
+ *   - bench/bench_runner.cc   the fgstp_bench CLI (text/CSV/JSON)
+ *   - bench/bench_fig*.cc     legacy per-figure wrappers (legacyMain)
+ *   - tests/test_bench_runner.cc  determinism and pool coverage
+ *
+ * The BENCH_<experiment>.json schema produced from these results is
+ * specified in docs/STATS.md.
+ */
+
+#ifndef FGSTP_BENCH_EXPERIMENTS_HH
+#define FGSTP_BENCH_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
+
+namespace fgstp::bench
+{
+
+/** Knobs shared by every cell of a sweep. */
+struct RunParams
+{
+    std::uint64_t insts = defaultInsts; ///< instructions per machine run
+    std::uint64_t seed = evalSeed;      ///< evaluation master seed
+};
+
+/**
+ * One schedulable unit of work: a single simulation (or a paired
+ * mini-comparison) whose result is a fixed-length metric vector the
+ * owning experiment's reduce step knows how to interpret.
+ */
+struct Cell
+{
+    std::string bench;   ///< benchmark name (row identity)
+    std::string machine; ///< machine/config-point label within the row
+    std::uint64_t seed;  ///< workload seed the job runs with
+    std::function<std::vector<double>()> fn;
+};
+
+/** A cell's outcome plus the wall time the job took on its worker. */
+struct CellResult
+{
+    std::vector<double> values;
+    double wallTimeMs = 0.0;
+};
+
+/** A quantitative expectation the paper states for an experiment. */
+struct PaperClaim
+{
+    std::string metric; ///< must match a headline metric name
+    double expected;    ///< the paper's value for that metric
+    std::string note;   ///< human-readable phrasing of the claim
+};
+
+/** Reduced output of one experiment. */
+struct ExperimentOutput
+{
+    Table table;
+    /** Named headline metrics (geomeans, ratios) for paper-vs-measured. */
+    std::vector<std::pair<std::string, double>> headline;
+    /** Optional free-text trailer printed after the table. */
+    std::string footer;
+};
+
+/** One table/figure experiment of the evaluation. */
+struct Experiment
+{
+    std::string name;   ///< CLI name: "table1", "fig1", "predictors"...
+    std::string title;  ///< banner line
+    std::string preset; ///< design point: "small", "medium" or "-"
+    std::vector<PaperClaim> paper;
+    /** Enumerates the cells in canonical order. */
+    std::function<std::vector<Cell>(const RunParams &)> makeCells;
+    /** Folds results (in makeCells order) into the reported table. */
+    std::function<ExperimentOutput(const RunParams &,
+                                   const std::vector<CellResult> &)>
+        reduce;
+};
+
+/** The full registry, in presentation order (tables, then figures). */
+const std::vector<Experiment> &allExperiments();
+
+/** Looks up an experiment by name; nullptr when absent. */
+const Experiment *findExperiment(const std::string &name);
+
+// ---- running ---------------------------------------------------------------
+
+/** An experiment whose cells have been submitted to a pool. */
+struct ScheduledExperiment
+{
+    const Experiment *experiment = nullptr;
+    std::vector<Cell> cells; ///< fn members consumed by submission
+    std::vector<std::future<CellResult>> futures;
+};
+
+/**
+ * Submits every cell of `e` to `pool` without waiting. Scheduling
+ * all experiments before collecting any keeps the pool saturated
+ * across experiment boundaries.
+ */
+ScheduledExperiment scheduleExperiment(const Experiment &e,
+                                       const RunParams &params,
+                                       ThreadPool &pool);
+
+/** A fully-run experiment: reduced output plus per-job metadata. */
+struct ExperimentRun
+{
+    const Experiment *experiment = nullptr;
+    ExperimentOutput output;
+    std::vector<Cell> cells;           ///< identity + seed per job
+    std::vector<double> cellWallTimeMs; ///< per-job wall time
+    double wallTimeMs = 0.0; ///< schedule-to-reduce elapsed time
+};
+
+/** Waits for all cells, then reduces. Rethrows any cell exception. */
+ExperimentRun collectExperiment(ScheduledExperiment &&scheduled,
+                                const RunParams &params);
+
+/** scheduleExperiment + collectExperiment in one call. */
+ExperimentRun runExperiment(const Experiment &e, const RunParams &params,
+                            ThreadPool &pool);
+
+// ---- rendering -------------------------------------------------------------
+
+/** Banner + aligned table (or CSV) + footer + paper-vs-measured. */
+void renderText(std::ostream &os, const ExperimentRun &run, bool csv);
+
+/**
+ * The BENCH_<experiment>.json document (schema: docs/STATS.md).
+ * Every field is deterministic except the wall-time metadata, which
+ * is confined to lines containing "wallTimeMs" so consumers can
+ * compare runs byte-for-byte modulo those lines.
+ */
+void renderJson(std::ostream &os, const ExperimentRun &run,
+                const RunParams &params, unsigned pool_jobs);
+
+/**
+ * Entry point of the legacy one-binary-per-figure wrappers: runs one
+ * experiment (hardware-concurrency pool) and prints it as text, or
+ * CSV when argv contains --csv.
+ */
+int legacyMain(const char *experiment_name, int argc, char **argv);
+
+} // namespace fgstp::bench
+
+#endif // FGSTP_BENCH_EXPERIMENTS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal JSON *writing* helpers (no parser, no DOM).
+ *
+ * Everything that serializes to JSON in this code base — the stats
+ * package's dumpJson and the bench runner's BENCH_*.json reports —
+ * funnels through these two functions so the byte-level encoding is
+ * identical everywhere: strings escaped per RFC 8259, numbers printed
+ * with std::to_chars shortest round-trip form (locale-independent and
+ * bit-stable, which the runner's --jobs=1 vs --jobs=N byte-identical
+ * output guarantee relies on).
+ */
+
+#ifndef FGSTP_COMMON_JSON_HH
+#define FGSTP_COMMON_JSON_HH
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace fgstp::json
+{
+
+/** Quotes and escapes a string as a JSON string literal. */
+inline std::string
+quote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Renders a double as a JSON number: shortest form that round-trips
+ * to the same bits. Non-finite values (which JSON cannot express)
+ * render as null.
+ */
+inline std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/** Renders an unsigned integer as a JSON number. */
+inline std::string
+number(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace fgstp::json
+
+#endif // FGSTP_COMMON_JSON_HH

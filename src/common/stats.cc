@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "common/json.hh"
+
 namespace fgstp::stats
 {
 
@@ -91,6 +93,44 @@ Distribution::printExtra(std::ostream &os) const
 }
 
 void
+StatBase::jsonFields(std::ostream &os) const
+{
+    os << "\"value\": " << json::number(value());
+}
+
+void
+Scalar::jsonFields(std::ostream &os) const
+{
+    os << "\"value\": " << json::number(raw());
+}
+
+void
+Average::jsonFields(std::ostream &os) const
+{
+    os << "\"value\": " << json::number(value())
+       << ", \"samples\": " << json::number(samples());
+}
+
+void
+Distribution::jsonFields(std::ostream &os) const
+{
+    os << "\"value\": " << json::number(mean())
+       << ", \"samples\": " << json::number(n)
+       << ", \"min\": " << json::number(minV)
+       << ", \"max\": " << json::number(maxV)
+       << ", \"stdev\": " << json::number(stdev())
+       << ", \"lo\": " << json::number(lo)
+       << ", \"hi\": " << json::number(hi)
+       << ", \"bucketWidth\": " << json::number(width)
+       << ", \"underflows\": " << json::number(underflow)
+       << ", \"overflows\": " << json::number(overflow)
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        os << (i ? ", " : "") << json::number(buckets[i]);
+    os << "]";
+}
+
+void
 StatGroup::registerStat(StatBase *stat)
 {
     sim_assert(find(stat->name()) == nullptr,
@@ -142,6 +182,22 @@ StatGroup::dumpCsv(std::ostream &os) const
 {
     for (const auto *s : stat_list)
         os << _name << "." << s->name() << "," << s->value() << "\n";
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\n  \"group\": " << json::quote(_name)
+       << ",\n  \"stats\": [\n";
+    for (std::size_t i = 0; i < stat_list.size(); ++i) {
+        const auto *s = stat_list[i];
+        os << "    {\"name\": " << json::quote(s->name())
+           << ", \"kind\": \"" << s->kind()
+           << "\", \"desc\": " << json::quote(s->desc()) << ", ";
+        s->jsonFields(os);
+        os << "}" << (i + 1 < stat_list.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
 }
 
 } // namespace fgstp::stats

@@ -10,6 +10,9 @@
  *  - Average      running mean of sampled values
  *  - Distribution bucketed distribution with min/max/mean/stdev
  *  - Formula      a value derived from other stats at dump time
+ *
+ * Renderers: aligned text (dump), CSV (dumpCsv) and JSON (dumpJson).
+ * The JSON schema is specified in docs/STATS.md.
  */
 
 #ifndef FGSTP_COMMON_STATS_HH
@@ -45,6 +48,9 @@ class StatBase
     /** Current primary value of the stat (what a report prints). */
     virtual double value() const = 0;
 
+    /** Stat kind tag for machine-readable output. */
+    virtual const char *kind() const = 0;
+
     /** Resets the stat to its freshly-constructed state. */
     virtual void reset() = 0;
 
@@ -53,6 +59,12 @@ class StatBase
     printExtra(std::ostream &) const
     {
     }
+
+    /**
+     * Writes this stat's JSON fields ("value": ... plus any
+     * kind-specific extras), without the surrounding braces.
+     */
+    virtual void jsonFields(std::ostream &os) const;
 
   private:
     std::string _name;
@@ -83,7 +95,9 @@ class Scalar : public StatBase
     std::uint64_t raw() const { return count; }
 
     double value() const override { return static_cast<double>(count); }
+    const char *kind() const override { return "Scalar"; }
     void reset() override { count = 0; }
+    void jsonFields(std::ostream &os) const override;
 
   private:
     std::uint64_t count = 0;
@@ -110,12 +124,16 @@ class Average : public StatBase
         return n ? sum / static_cast<double>(n) : 0.0;
     }
 
+    const char *kind() const override { return "Average"; }
+
     void
     reset() override
     {
         sum = 0.0;
         n = 0;
     }
+
+    void jsonFields(std::ostream &os) const override;
 
   private:
     double sum = 0.0;
@@ -141,8 +159,10 @@ class Distribution : public StatBase
     std::uint64_t overflows() const { return overflow; }
 
     double value() const override { return mean(); }
+    const char *kind() const override { return "Distribution"; }
     void reset() override;
     void printExtra(std::ostream &os) const override;
+    void jsonFields(std::ostream &os) const override;
 
   private:
     double lo;
@@ -174,6 +194,8 @@ class Formula : public StatBase
     {
         return fn ? fn() : 0.0;
     }
+
+    const char *kind() const override { return "Formula"; }
 
     void
     reset() override
@@ -213,6 +235,14 @@ class StatGroup
 
     /** name,value CSV (one line per stat). */
     void dumpCsv(std::ostream &os) const;
+
+    /**
+     * JSON object: {"group": name, "stats": [...]} with one entry per
+     * stat carrying name, kind, desc and kind-specific fields (see
+     * docs/STATS.md). Numbers use shortest-round-trip encoding, so
+     * the output is byte-stable for equal stat values.
+     */
+    void dumpJson(std::ostream &os) const;
 
   private:
     std::string _name;

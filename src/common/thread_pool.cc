@@ -1,0 +1,47 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace fgstp
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    const unsigned n = std::max(1u, num_threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            // Drain-then-stop: a stopping pool still runs every job
+            // already in the queue, so ~ThreadPool is a barrier.
+            if (queue.empty())
+                return;
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        // packaged_task routes any exception into the future.
+        job();
+    }
+}
+
+} // namespace fgstp

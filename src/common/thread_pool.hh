@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A fixed-size thread pool for embarrassingly parallel job sets.
+ *
+ * Deliberately minimal: no work stealing, no priorities, no dynamic
+ * sizing. Jobs are closures submitted to one FIFO queue and executed
+ * by a fixed set of workers; submit() returns a std::future that
+ * carries the job's result or its exception. The destructor drains
+ * every job submitted so far, then joins the workers, so destroying
+ * the pool is a barrier.
+ *
+ * Determinism contract: the pool never supplies randomness or
+ * ordering to its jobs. A job set whose jobs are pure functions of
+ * their captured inputs produces bit-identical results at any pool
+ * size, including 1 — the property the bench runner's
+ * --jobs=1 / --jobs=N equivalence rests on.
+ */
+
+#ifndef FGSTP_COMMON_THREAD_POOL_HH
+#define FGSTP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fgstp
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 is clamped to 1. Pass
+     *        std::thread::hardware_concurrency() for one-per-core.
+     */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Drains all submitted jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /**
+     * Enqueues a job; the returned future yields the job's return
+     * value, or rethrows whatever the job threw. Safe to call from
+     * any thread, including from inside a running job.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            queue.emplace_back([task] { (*task)(); });
+        }
+        cv.notify_one();
+        return fut;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_THREAD_POOL_HH

@@ -3,9 +3,10 @@
  * fgstp_sim — the command-line simulator driver.
  *
  *   fgstp_sim --machine=fgstp --preset=medium --bench=gcc \
- *             --insts=100000 [--seed=N] [--stats] [knobs...]
+ *             --insts=100000 [--seed=N] [--stats] [--json] [knobs...]
  *
  * Machines: single | big | fusion | fgstp
+ * All flags are documented in docs/CLI.md.
  * Knobs (fgstp): --window=N --link-latency=N --chunk=N (chunk mode)
  *                --no-replication --no-mem-spec --no-shared-pred
  *                --replicate-branches
@@ -42,6 +43,7 @@ struct Options
     std::uint64_t insts = 100000;
     std::uint64_t seed = 1;
     bool stats = false;
+    bool jsonStats = false;
 
     std::uint32_t window = 0;
     Cycle linkLatency = 0;
@@ -90,6 +92,9 @@ parse(int argc, char **argv)
             o.chunk = static_cast<std::uint32_t>(std::stoul(v));
         } else if (std::strcmp(a, "--stats") == 0) {
             o.stats = true;
+        } else if (std::strcmp(a, "--json") == 0) {
+            o.stats = true;
+            o.jsonStats = true;
         } else if (std::strcmp(a, "--no-replication") == 0) {
             o.noReplication = true;
         } else if (std::strcmp(a, "--no-mem-spec") == 0) {
@@ -168,7 +173,10 @@ main(int argc, char **argv)
 
     if (o.stats) {
         sim::StatReport report(*machine, r);
-        report.dump(std::cout);
+        if (o.jsonStats)
+            report.dumpJson(std::cout);
+        else
+            report.dump(std::cout);
     }
     return 0;
 }

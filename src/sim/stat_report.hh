@@ -42,6 +42,7 @@ class StatReport
 
     void dump(std::ostream &os) const { _group.dump(os); }
     void dumpCsv(std::ostream &os) const { _group.dumpCsv(os); }
+    void dumpJson(std::ostream &os) const { _group.dumpJson(os); }
 
   private:
     void addScalar(const std::string &name, const std::string &desc,

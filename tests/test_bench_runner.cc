@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: the ThreadPool itself,
+ * the per-cell seed derivation, and the headline determinism property
+ * (a sweep at --jobs=1 and --jobs=8 renders byte-identical JSON once
+ * the wall-time metadata lines are stripped).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "common/thread_pool.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 100; ++i) {
+        futs.push_back(pool.submit([i, &ran] {
+            ++ran;
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futs[i].get(), i * i);
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 1; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("cell failed"); });
+    EXPECT_EQ(ok.get(), 1);
+    try {
+        bad.get();
+        FAIL() << "expected the cell's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "cell failed");
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingQueue)
+{
+    // One worker, many queued tasks: destruction must act as a
+    // barrier and run everything that was submitted.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++ran;
+            });
+        }
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ParallelismActuallyOverlaps)
+{
+    // With 4 workers, 4 tasks that each wait for the others to start
+    // can only finish if they run concurrently.
+    ThreadPool pool(4);
+    std::atomic<int> started{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 4; ++i) {
+        futs.push_back(pool.submit([&started] {
+            ++started;
+            while (started.load() < 4)
+                std::this_thread::yield();
+        }));
+    }
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(started.load(), 4);
+}
+
+// ---- jobSeed ---------------------------------------------------------------
+
+TEST(JobSeed, DeterministicAndIdentitySensitive)
+{
+    const auto s = bench::jobSeed(42, "fig1", "gcc", "medium");
+    EXPECT_EQ(s, bench::jobSeed(42, "fig1", "gcc", "medium"));
+    EXPECT_NE(s, bench::jobSeed(43, "fig1", "gcc", "medium"));
+    EXPECT_NE(s, bench::jobSeed(42, "fig2", "gcc", "medium"));
+    EXPECT_NE(s, bench::jobSeed(42, "fig1", "mcf", "medium"));
+    EXPECT_NE(s, bench::jobSeed(42, "fig1", "gcc", "small"));
+}
+
+TEST(JobSeed, ComponentBoundariesMatter)
+{
+    // ("ab","c") and ("a","bc") must not collide.
+    EXPECT_NE(bench::jobSeed(1, "ab", "c", "x"),
+              bench::jobSeed(1, "a", "bc", "x"));
+}
+
+TEST(JobSeed, SpreadsAcrossBenchmarks)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &b : bench::allBenchmarks())
+        seeds.insert(bench::jobSeed(42, "fig1", b, "medium"));
+    EXPECT_EQ(seeds.size(), bench::allBenchmarks().size());
+}
+
+// ---- experiment registry ---------------------------------------------------
+
+TEST(Experiments, RegistryIsCompleteAndFindable)
+{
+    const auto &all = bench::allExperiments();
+    EXPECT_EQ(all.size(), 13u);
+    for (const auto &e : all) {
+        EXPECT_EQ(bench::findExperiment(e.name), &e);
+        EXPECT_FALSE(e.title.empty());
+    }
+    EXPECT_EQ(bench::findExperiment("nope"), nullptr);
+}
+
+TEST(Experiments, CellSeedsFollowJobSeedDerivation)
+{
+    const auto *fig1 = bench::findExperiment("fig1");
+    ASSERT_NE(fig1, nullptr);
+    bench::RunParams prm;
+    prm.insts = 100;
+    const auto cells = fig1->makeCells(prm);
+    ASSERT_FALSE(cells.empty());
+    for (const auto &c : cells) {
+        EXPECT_EQ(c.seed, bench::jobSeed(prm.seed, "fig1", c.bench,
+                                         fig1->preset));
+    }
+}
+
+// ---- determinism across parallelism ----------------------------------------
+
+std::string
+stripWallTime(const std::string &json)
+{
+    std::istringstream in(json);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.find("wallTimeMs") == std::string::npos)
+            out += line + "\n";
+    }
+    return out;
+}
+
+std::string
+renderWithJobs(const bench::Experiment &e, const bench::RunParams &prm,
+               unsigned jobs)
+{
+    ThreadPool pool(jobs);
+    const auto run = bench::runExperiment(e, prm, pool);
+    std::ostringstream os;
+    bench::renderJson(os, run, prm, pool.size());
+    return os.str();
+}
+
+TEST(Determinism, SerialAndParallelJsonMatchModuloWallTime)
+{
+    bench::RunParams prm;
+    prm.insts = 2000;
+    for (const char *name : {"fig1", "fig2"}) {
+        const auto *e = bench::findExperiment(name);
+        ASSERT_NE(e, nullptr);
+        const auto serial = renderWithJobs(*e, prm, 1);
+        const auto parallel = renderWithJobs(*e, prm, 8);
+        EXPECT_EQ(stripWallTime(serial), stripWallTime(parallel))
+            << "experiment " << name
+            << " is not schedule-independent";
+    }
+}
+
+} // namespace
+} // namespace fgstp

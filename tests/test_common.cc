@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -275,6 +276,57 @@ TEST(Stats, GroupCsv)
     std::ostringstream os;
     g.dumpCsv(os);
     EXPECT_EQ(os.str(), "grp.a,2\n");
+}
+
+TEST(Stats, KindsAreReported)
+{
+    stats::StatGroup g("g");
+    stats::Scalar s(g, "s", "");
+    stats::Average a(g, "a", "");
+    stats::Distribution d(g, "d", "", 0.0, 1.0, 2);
+    stats::Formula f(g, "f", "", [] { return 0.0; });
+    EXPECT_STREQ(s.kind(), "Scalar");
+    EXPECT_STREQ(a.kind(), "Average");
+    EXPECT_STREQ(d.kind(), "Distribution");
+    EXPECT_STREQ(f.kind(), "Formula");
+}
+
+TEST(Stats, DumpJsonIsWellFormed)
+{
+    stats::StatGroup g("grp");
+    stats::Scalar s(g, "sc", "a \"quoted\" counter");
+    stats::Average a(g, "avg", "mean");
+    stats::Distribution d(g, "dist", "spread", 0.0, 10.0, 5);
+    stats::Formula f(g, "form", "ratio", [&] { return 2.5; });
+    s += 3;
+    a.sample(1.0);
+    a.sample(3.0);
+    d.sample(4.5);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string j = os.str();
+
+    // Structure and content checks (full schema: docs/STATS.md).
+    EXPECT_NE(j.find("\"group\": \"grp\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\": \"sc\""), std::string::npos);
+    EXPECT_NE(j.find("\"kind\": \"Scalar\""), std::string::npos);
+    EXPECT_NE(j.find("\"value\": 3"), std::string::npos);
+    EXPECT_NE(j.find("\"kind\": \"Average\""), std::string::npos);
+    EXPECT_NE(j.find("\"samples\": 2"), std::string::npos);
+    EXPECT_NE(j.find("\"kind\": \"Distribution\""), std::string::npos);
+    EXPECT_NE(j.find("\"buckets\": [0, 0, 1, 0, 0]"),
+              std::string::npos);
+    EXPECT_NE(j.find("\"kind\": \"Formula\""), std::string::npos);
+    EXPECT_NE(j.find("\"value\": 2.5"), std::string::npos);
+    // The quote in the description must be escaped.
+    EXPECT_NE(j.find("a \\\"quoted\\\" counter"), std::string::npos);
+    EXPECT_EQ(j.find("a \"quoted\" counter"), std::string::npos);
+    // Balanced braces/brackets as a cheap well-formedness proxy.
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
 }
 
 TEST(Stats, ResetAll)

@@ -83,8 +83,9 @@ TEST(Partitioner, ExtDepsOnlyOnOwnedCopies)
     for (int i = 0; i < 20 && part.nextBatch(batch); ++i) {
         for (const auto &r : batch) {
             for (CoreId c = 0; c < 2; ++c) {
-                if (!r.runsOn(c))
+                if (!r.runsOn(c)) {
                     EXPECT_TRUE(r.extDeps[c].empty());
+                }
             }
         }
     }
