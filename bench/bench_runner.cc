@@ -4,7 +4,7 @@
  *
  *   fgstp_bench [--experiment=fig1,fig2,...|all] [--jobs=N]
  *               [--format=text|csv|json] [--out=DIR]
- *               [--insts=N] [--seed=N] [--list]
+ *               [--insts=N] [--seed=N] [--cpi-stack] [--list]
  *
  * Runs any subset of the paper's table/figure experiments over one
  * shared thread pool. Every (experiment, benchmark, config) cell is
@@ -15,7 +15,11 @@
  *
  * text/csv formats print to stdout; json writes one
  * BENCH_<experiment>.json per experiment into --out (schema:
- * docs/STATS.md) and prints a one-line summary per file.
+ * docs/STATS.md) and prints a one-line summary per file. A missing
+ * --out directory is created. --cpi-stack additionally attaches a
+ * CPI-stack monitor to every cell's machine and emits the per-cell
+ * stall breakdown (BENCH_cpistack.json under json, a table
+ * otherwise).
  * All flags are documented in docs/CLI.md.
  */
 
@@ -29,7 +33,10 @@
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "common/fs.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/events.hh"
 
 using namespace fgstp;
 
@@ -43,6 +50,7 @@ struct Options
     std::string format = "text";
     std::string outDir = ".";
     bench::RunParams params;
+    bool cpiStack = false;
     bool list = false;
 };
 
@@ -96,6 +104,8 @@ parse(int argc, char **argv)
             o.params.insts = std::strtoull(v.c_str(), nullptr, 10);
         } else if (matchValue(a, "--seed", v)) {
             o.params.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (std::strcmp(a, "--cpi-stack") == 0) {
+            o.cpiStack = true;
         } else if (std::strcmp(a, "--list") == 0) {
             o.list = true;
         } else {
@@ -105,6 +115,78 @@ parse(int argc, char **argv)
     if (o.format != "text" && o.format != "csv" && o.format != "json")
         fatal("unknown format '", o.format, "' (text | csv | json)");
     return o;
+}
+
+/** Writes the per-cell CPI stacks as BENCH_cpistack.json. */
+void
+renderCpiJson(std::ostream &os, const std::vector<bench::CellCpi> &cells,
+              const bench::RunParams &params)
+{
+    os << "{\n";
+    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"experiment\": \"cpistack\",\n";
+    os << "  \"title\": \"Per-cell CPI-stack stall attribution\",\n";
+    os << "  \"meta\": {\n";
+    os << "    \"insts\": " << json::number(params.insts) << ",\n";
+    os << "    \"evalSeed\": " << json::number(params.seed) << ",\n";
+    os << "    \"cellCount\": "
+       << json::number(static_cast<std::uint64_t>(cells.size())) << "\n";
+    os << "  },\n";
+    os << "  \"causes\": [";
+    for (std::size_t i = 0; i < obs::numCpiCauses; ++i) {
+        os << (i ? ", " : "")
+           << json::quote(obs::cpiCauseKey(
+                  static_cast<obs::CpiCause>(i)));
+    }
+    os << "],\n";
+    os << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        os << "    {\"machine\": " << json::quote(c.machine)
+           << ", \"bench\": " << json::quote(c.bench)
+           << ", \"seed\": " << json::number(c.seed)
+           << ", \"cycles\": " << json::number(c.cycles)
+           << ", \"cores\": [";
+        for (std::size_t k = 0; k < c.perCore.size(); ++k) {
+            os << (k ? ", " : "") << "[";
+            for (std::size_t j = 0; j < obs::numCpiCauses; ++j) {
+                os << (j ? ", " : "")
+                   << json::number(c.perCore[k].cycles[j]);
+            }
+            os << "]";
+        }
+        os << "]}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+/** Prints the per-cell CPI stacks as a table (text/csv formats). */
+void
+renderCpiText(std::ostream &os, const std::vector<bench::CellCpi> &cells,
+              bool csv)
+{
+    std::vector<std::string> headers{"machine", "bench", "cycles"};
+    for (std::size_t i = 0; i < obs::numCpiCauses; ++i)
+        headers.push_back(
+            obs::cpiCauseKey(static_cast<obs::CpiCause>(i)));
+    bench::Table t(std::move(headers));
+    for (const auto &c : cells) {
+        // Sum the cores: the stack fractions describe the machine.
+        obs::CpiStack sum;
+        for (const auto &st : c.perCore) {
+            for (std::size_t j = 0; j < obs::numCpiCauses; ++j)
+                sum.cycles[j] += st.cycles[j];
+        }
+        std::vector<std::string> row{c.machine, c.bench,
+                                     std::to_string(c.cycles)};
+        for (std::size_t j = 0; j < obs::numCpiCauses; ++j)
+            row.push_back(bench::Table::fmt(
+                sum.fraction(static_cast<obs::CpiCause>(j)), 3));
+        t.addRow(std::move(row));
+    }
+    os << "\n";
+    t.render(os, csv);
 }
 
 } // namespace
@@ -133,6 +215,11 @@ main(int argc, char **argv)
             selected.push_back(e);
         }
     }
+
+    if (o.format == "json")
+        ensureDir(o.outDir);
+    if (o.cpiStack)
+        bench::enableCellObservability(true);
 
     unsigned jobs = o.jobs;
     if (jobs == 0)
@@ -173,6 +260,21 @@ main(int argc, char **argv)
             std::fprintf(stderr, "fgstp_bench: experiment %s failed: %s\n",
                          e->name.c_str(), ex.what());
             ++failures;
+        }
+    }
+
+    if (o.cpiStack) {
+        const auto cells = bench::takeCellCpiSamples();
+        if (o.format == "json") {
+            const std::string path = o.outDir + "/BENCH_cpistack.json";
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot open '", path, "' for writing");
+            renderCpiJson(out, cells, o.params);
+            std::printf("%-11s %4zu cells              -> %s\n",
+                        "cpistack", cells.size(), path.c_str());
+        } else {
+            renderCpiText(std::cout, cells, o.format == "csv");
         }
     }
     return failures ? 1 : 0;

@@ -1,9 +1,13 @@
 #include "bench/bench_util.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <mutex>
+#include <tuple>
 
 #include "common/logging.hh"
 #include "common/util.hh"
@@ -18,6 +22,43 @@ Sample
 toSample(const sim::RunResult &r)
 {
     return {r.cycles, r.instructions};
+}
+
+// ---- per-cell observability collector ------------------------------------
+
+std::atomic<bool> cellObsEnabled{false};
+std::mutex cellObsMutex;
+std::vector<CellCpi> cellObsSamples;
+
+/** Attaches a CPI-stack monitor when cell observability is on. */
+void
+maybeMonitor(sim::Machine &m)
+{
+    if (!cellObsEnabled.load(std::memory_order_relaxed))
+        return;
+    obs::MonitorConfig mc;
+    mc.cpiStack = true;
+    m.enableObservability(mc);
+}
+
+/** Records the finished run's CPI stacks into the collector. */
+void
+maybeRecord(const sim::Machine &m, const std::string &bench,
+            std::uint64_t seed, const Sample &s)
+{
+    if (!cellObsEnabled.load(std::memory_order_relaxed))
+        return;
+    CellCpi cell;
+    cell.machine = m.kind();
+    cell.bench = bench;
+    cell.seed = seed;
+    cell.cycles = s.cycles;
+    for (unsigned c = 0; c < m.numCores(); ++c) {
+        if (const obs::CoreMonitor *mon = m.monitor(c))
+            cell.perCore.push_back(mon->cpi());
+    }
+    std::lock_guard<std::mutex> lock(cellObsMutex);
+    cellObsSamples.push_back(std::move(cell));
 }
 
 /** FNV-1a over a string, folded into an accumulator. */
@@ -73,7 +114,10 @@ runSingleWithCore(const std::string &bench,
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     sim::SingleCoreMachine m(core_cfg, p.memory, w);
-    return toSample(m.run(insts));
+    maybeMonitor(m);
+    const Sample s = toSample(m.run(insts));
+    maybeRecord(m, bench, seed, s);
+    return s;
 }
 
 Sample
@@ -90,7 +134,10 @@ runFused(const std::string &bench, const sim::MachinePreset &p,
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     fusion::FusedMachine m(p.core, p.memory, w, ovh);
-    return toSample(m.run(insts));
+    maybeMonitor(m);
+    const Sample s = toSample(m.run(insts));
+    maybeRecord(m, bench, seed, s);
+    return s;
 }
 
 Sample
@@ -107,7 +154,10 @@ runFgstp(const std::string &bench, const sim::MachinePreset &p,
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     part::FgstpMachine m(p.core, p.memory, cfg, w);
-    return toSample(m.run(insts));
+    maybeMonitor(m);
+    const Sample s = toSample(m.run(insts));
+    maybeRecord(m, bench, seed, s);
+    return s;
 }
 
 FgstpRun
@@ -120,8 +170,55 @@ runFgstpFull(const std::string &bench, const sim::MachinePreset &p,
         workload::profileByName(bench), seed);
     r.machine = std::make_unique<part::FgstpMachine>(p.core, p.memory,
                                                      cfg, *r.workload);
+    maybeMonitor(*r.machine);
     r.sample = toSample(r.machine->run(insts));
+    maybeRecord(*r.machine, bench, seed, r.sample);
     return r;
+}
+
+void
+enableCellObservability(bool on)
+{
+    cellObsEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+cellObservabilityEnabled()
+{
+    return cellObsEnabled.load(std::memory_order_relaxed);
+}
+
+std::vector<CellCpi>
+takeCellCpiSamples()
+{
+    std::vector<CellCpi> out;
+    {
+        std::lock_guard<std::mutex> lock(cellObsMutex);
+        out.swap(cellObsSamples);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CellCpi &a, const CellCpi &b) {
+                  return std::tie(a.machine, a.bench, a.seed, a.cycles) <
+                         std::tie(b.machine, b.bench, b.seed, b.cycles);
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const CellCpi &a, const CellCpi &b) {
+                              return a.machine == b.machine &&
+                                     a.bench == b.bench &&
+                                     a.seed == b.seed &&
+                                     a.cycles == b.cycles &&
+                                     std::equal(
+                                         a.perCore.begin(),
+                                         a.perCore.end(),
+                                         b.perCore.begin(),
+                                         b.perCore.end(),
+                                         [](const obs::CpiStack &x,
+                                            const obs::CpiStack &y) {
+                                             return x.cycles == y.cycles;
+                                         });
+                          }),
+              out.end());
+    return out;
 }
 
 std::vector<std::string>

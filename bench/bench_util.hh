@@ -23,6 +23,7 @@
 
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
+#include "obs/cpi_stack.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
 #include "workload/generator.hh"
@@ -109,6 +110,36 @@ FgstpRun runFgstpFull(const std::string &bench,
                       const sim::MachinePreset &p,
                       const part::FgstpConfig &cfg, std::uint64_t insts,
                       std::uint64_t seed = evalSeed);
+
+// ---- per-cell observability ------------------------------------------------
+
+/** One experiment cell's CPI-stack measurement. */
+struct CellCpi
+{
+    std::string machine; ///< machine kind ("single-core", "fg-stp", ...)
+    std::string bench;
+    std::uint64_t seed = 0;
+    std::uint64_t cycles = 0;
+    std::vector<obs::CpiStack> perCore;
+};
+
+/**
+ * Turns CPI-stack collection on (or off) for every machine the run
+ * helpers above construct, process-wide. When enabled, each completed
+ * run records a CellCpi into a shared collector; pool workers may
+ * record concurrently. Off by default, where the helpers attach no
+ * monitor and the timing models run uninstrumented.
+ */
+void enableCellObservability(bool on);
+bool cellObservabilityEnabled();
+
+/**
+ * Drains the collector: returns every recorded cell sorted by
+ * (machine, bench, seed) with exact duplicates removed — experiments
+ * sharing a cell re-run it, and the runs are deterministic — so the
+ * output is identical at any --jobs value.
+ */
+std::vector<CellCpi> takeCellCpiSamples();
 
 /** All nineteen benchmark names, SPECint first. */
 std::vector<std::string> allBenchmarks();

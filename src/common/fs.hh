@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Filesystem helpers for tools that write output files.
+ *
+ * Every CLI that takes an output path (fgstp_bench --out, fgstp_sim
+ * --pipeview/--eventlog, fgstp_trace --out) funnels through these so
+ * a missing directory is created up front — or fails with a clear
+ * message — instead of each tool discovering a bad path only when a
+ * stream silently fails to open.
+ */
+
+#ifndef FGSTP_COMMON_FS_HH
+#define FGSTP_COMMON_FS_HH
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace fgstp
+{
+
+/** Creates `dir` (and any missing parents); fatal on failure. */
+inline void
+ensureDir(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec || !std::filesystem::is_directory(dir)) {
+        fatal("cannot create output directory '", dir, "': ",
+              ec ? ec.message() : "path exists but is not a directory");
+    }
+}
+
+/**
+ * Creates the parent directory of the file at `path` when it is
+ * missing; fatal when that is impossible (e.g. a path component is
+ * an existing file).
+ */
+inline void
+ensureParentDir(const std::string &path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        ensureDir(parent.string());
+}
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_FS_HH

@@ -33,8 +33,19 @@ struct CoreInst
     /** Producers (local or external) whose timing is not yet known. */
     std::uint32_t unknownDeps = 0;
 
+    /**
+     * The subset of unknownDeps produced on the other core. Kept for
+     * the CPI-stack accountant, which charges a head-of-ROB wait to
+     * the operand link only when a cross-core producer is what holds
+     * the instruction back.
+     */
+    std::uint32_t externalDeps = 0;
+
     /** Earliest cycle all currently-known operands are available. */
     Cycle readyCycle = 0;
+
+    /** Latest known arrival of an external (cross-core) operand. */
+    Cycle extReadyCycle = 0;
 
     /** Local consumers to wake when this instruction issues. */
     std::vector<InstSeqNum> waiters;

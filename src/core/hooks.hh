@@ -17,6 +17,7 @@
 
 #include "common/types.hh"
 #include "core/core_inst.hh"
+#include "obs/events.hh"
 #include "trace/dyn_inst.hh"
 
 namespace fgstp::branch
@@ -147,9 +148,12 @@ class CoreHooks
      * The core detected a memory-order violation at `seq` and wants a
      * (machine-wide) squash from that sequence number. The machine
      * must call OoOCore::squashFrom on every core it owns — squashes
-     * are global because the cores execute one logical thread.
+     * are global because the cores execute one logical thread. The
+     * cause tags the flush for the observability subsystem (event
+     * trace and CPI-stack attribution).
      */
-    virtual void requestSquash(InstSeqNum seq) = 0;
+    virtual void requestSquash(InstSeqNum seq,
+                               obs::SquashCause cause) = 0;
 };
 
 } // namespace fgstp::core

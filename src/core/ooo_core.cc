@@ -45,6 +45,85 @@ OoOCore::drainCommit(Cycle now)
     commit(now);
 }
 
+void
+OoOCore::finishCycle(Cycle now)
+{
+    if (!monitor_)
+        return;
+    obs::Occupancies occ;
+    occ.rob = static_cast<std::uint32_t>(rob.size());
+    occ.iq = static_cast<std::uint32_t>(iq.size());
+    occ.lq = static_cast<std::uint32_t>(lq.size());
+    occ.sq = static_cast<std::uint32_t>(sq.size());
+    occ.fetchQueue = static_cast<std::uint32_t>(fetchQueue.size());
+    monitor_->onCycle(classifyCycle(now), occ);
+}
+
+/**
+ * Charges the cycle that just finished to one CpiCause, by inspecting
+ * the state of the ROB head (the oldest uncommitted instruction
+ * determines whether the machine made architectural progress and, if
+ * not, what it is waiting for). Must run after every commit
+ * opportunity of the cycle so commitsThisCycle is final.
+ */
+obs::CpiCause
+OoOCore::classifyCycle(Cycle now) const
+{
+    using obs::CpiCause;
+
+    if (commitsThisCycle > 0)
+        return CpiCause::Base;
+
+    if (rob.empty()) {
+        // The window drained: the front end is not supplying
+        // instructions. Distinguish waiting behind an unresolved
+        // mispredicted branch from refills and I-cache misses, whose
+        // cause was latched when the stall was set.
+        if (blockedOnSeq != invalidSeqNum)
+            return CpiCause::BranchSquash;
+        if (fetchStallUntil > now)
+            return fetchStallCause_;
+        return CpiCause::Frontend;
+    }
+
+    const CoreInst &head = *rob.front();
+    switch (head.state) {
+    case CoreInst::State::Done:
+        // Completed but not allowed to commit: the machine's commit
+        // gate (Fg-STP's global token on the other core) said no.
+        return CpiCause::CommitGating;
+
+    case CoreInst::State::Issued:
+        // Executing. A load in flight is a memory-system wait; any
+        // other multi-cycle op is forward progress.
+        return head.isLoad() ? CpiCause::Memory : CpiCause::Base;
+
+    case CoreInst::State::Dispatched:
+        if (head.unknownDeps > 0) {
+            // All local producers older than the head have committed,
+            // so an unknown producer at the head is (almost always) a
+            // cross-core one whose issue the other core has not yet
+            // reported.
+            return head.externalDeps > 0 ? CpiCause::CrossCoreOperandWait
+                                         : CpiCause::Base;
+        }
+        if (head.readyCycle > now) {
+            // Waiting for an operand in transit; charge the link if
+            // the external arrival is the binding constraint.
+            return head.extReadyCycle >= head.readyCycle
+                       ? CpiCause::CrossCoreOperandWait
+                       : CpiCause::Base;
+        }
+        // Ready but not issued: a load held back by unresolved older
+        // store addresses or a memory op contending for the LSQ port
+        // is a memory wait; anything else is FU contention (base).
+        if (head.isLoad() || head.isStore())
+            return CpiCause::Memory;
+        return CpiCause::Base;
+    }
+    return CpiCause::Base; // unreachable
+}
+
 CoreInst *
 OoOCore::find(InstSeqNum seq)
 {
@@ -110,6 +189,7 @@ OoOCore::fetch(Cycle now)
             haveFetchBlock = true;
             if (!res.l1Hit) {
                 fetchStallUntil = res.readyCycle;
+                fetchStallCause_ = obs::CpiCause::Frontend;
                 break;
             }
         }
@@ -135,6 +215,8 @@ OoOCore::fetch(Cycle now)
 
         hooks.fetchConsume();
         fetchQueue.push_back({now + cfg.frontendDepth, std::move(ci)});
+        if (monitor_)
+            monitor_->onFetch(seq, fetchQueue.back().inst->inst, now);
         ++_stats.fetched;
         ++fetched;
 
@@ -145,8 +227,10 @@ OoOCore::fetch(Cycle now)
         }
         if (taken_break) {
             haveFetchBlock = false;
-            if (cfg.takenBranchBubble)
+            if (cfg.takenBranchBubble) {
                 fetchStallUntil = std::max(fetchStallUntil, now + 2);
+                fetchStallCause_ = obs::CpiCause::Frontend;
+            }
             break;
         }
     }
@@ -218,7 +302,9 @@ OoOCore::dispatch(Cycle now)
         // Cross-core dependences, if the machine routed any here.
         const ExtDepInfo ext = hooks.externalDeps(ci->seq, now);
         ci->unknownDeps += ext.unknownCount;
+        ci->externalDeps = ext.unknownCount;
         ci->readyCycle = std::max(ci->readyCycle, ext.knownReadyCycle);
+        ci->extReadyCycle = ext.knownReadyCycle;
 
         if (ci->inst.hasDst() && ci->inst.dst != isa::zeroReg)
             renameMap[ci->inst.dst] = ci->seq;
@@ -229,6 +315,8 @@ OoOCore::dispatch(Cycle now)
         if (ci->isStore())
             sq.push_back(ci);
 
+        if (monitor_)
+            monitor_->onDispatch(ci->seq, now);
         ++_stats.dispatched;
         ++n;
     }
@@ -243,6 +331,8 @@ OoOCore::scheduleCompletion(CoreInst &in, Cycle done, Cycle now)
     in.issueCycle = now;
     in.doneCycle = done;
     completionQueue[done].push_back(in.seq);
+    if (monitor_)
+        monitor_->onIssue(in.seq, now);
     wakeWaiters(in);
     hooks.onExecuted(in, now);
 }
@@ -385,7 +475,7 @@ OoOCore::resolveStore(CoreInst &st, Cycle now)
         }
         ++_stats.memOrderViolations;
         storeSet.train(ld->inst.pc, st.inst.pc);
-        hooks.requestSquash(ld->seq);
+        hooks.requestSquash(ld->seq, obs::SquashCause::MemOrderLocal);
         break;
     }
 
@@ -411,6 +501,8 @@ OoOCore::processCompletions(Cycle now)
                 continue; // stale event from a squashed incarnation
             }
             ci->state = CoreInst::State::Done;
+            if (monitor_)
+                monitor_->onComplete(ci->seq, at);
 
             if (ci->isStore())
                 resolveStore(*ci, at);
@@ -419,6 +511,7 @@ OoOCore::processCompletions(Cycle now)
                 blockedOnSeq = invalidSeqNum;
                 fetchStallUntil =
                     std::max(fetchStallUntil, now + cfg.frontendDepth);
+                fetchStallCause_ = obs::CpiCause::BranchSquash;
                 haveFetchBlock = false;
                 hooks.onMispredictResolved(ci->seq, now);
             }
@@ -463,6 +556,8 @@ OoOCore::commit(Cycle now)
                 renameMap.erase(it);
         }
 
+        if (monitor_)
+            monitor_->onCommit(head->seq, now);
         index.erase(head->seq);
         rob.pop_front();
         ++_stats.committed;
@@ -473,13 +568,15 @@ OoOCore::commit(Cycle now)
 // ---- squash ---------------------------------------------------------------
 
 void
-OoOCore::squashFrom(InstSeqNum target, Cycle now)
+OoOCore::squashFrom(InstSeqNum target, Cycle now, obs::SquashCause cause)
 {
     ++_stats.squashes;
 
     // Fetch queue.
     std::erase_if(fetchQueue, [&](const FetchEntry &e) {
         if (e.inst->seq >= target) {
+            if (monitor_)
+                monitor_->onSquash(e.inst->seq, cause, now);
             ++_stats.squashedInsts;
             return true;
         }
@@ -497,6 +594,8 @@ OoOCore::squashFrom(InstSeqNum target, Cycle now)
     drop(sq);
 
     while (!rob.empty() && rob.back()->seq >= target) {
+        if (monitor_)
+            monitor_->onSquash(rob.back()->seq, cause, now);
         index.erase(rob.back()->seq);
         rob.pop_back();
         ++_stats.squashedInsts;
@@ -515,6 +614,7 @@ OoOCore::squashFrom(InstSeqNum target, Cycle now)
     if (blockedOnSeq != invalidSeqNum && blockedOnSeq >= target)
         blockedOnSeq = invalidSeqNum;
     fetchStallUntil = std::max(fetchStallUntil, now + cfg.frontendDepth);
+    fetchStallCause_ = obs::CpiCause::DependenceViolationSquash;
     haveFetchBlock = false;
 
     hooks.fetchRewind(target);
@@ -539,8 +639,11 @@ OoOCore::satisfyExternal(InstSeqNum consumer, Cycle arrival)
     if (!ci || ci->state != CoreInst::State::Dispatched)
         return;
     ci->readyCycle = std::max(ci->readyCycle, arrival);
+    ci->extReadyCycle = std::max(ci->extReadyCycle, arrival);
     if (ci->unknownDeps > 0)
         --ci->unknownDeps;
+    if (ci->externalDeps > 0)
+        --ci->externalDeps;
 }
 
 void
@@ -602,6 +705,7 @@ OoOCore::reset()
     haveFetchBlock = false;
     curFetchBlock = 0;
     fetchStallUntil = 0;
+    fetchStallCause_ = obs::CpiCause::Frontend;
     blockedOnSeq = invalidSeqNum;
     steerHint = 0;
     for (auto &p : fuPools)

@@ -39,6 +39,7 @@
 #include "core/hooks.hh"
 #include "core/store_set.hh"
 #include "memory/hierarchy.hh"
+#include "obs/monitor.hh"
 
 namespace fgstp::core
 {
@@ -75,6 +76,16 @@ class OoOCore
     void tick(Cycle now);
 
     /**
+     * Closes the books on cycle `now` for the observability layer:
+     * charges the cycle to one CPI cause and samples occupancies.
+     * Machines call this once per cycle after every commit
+     * opportunity of the cycle (including drainCommit re-runs) so the
+     * accounting sees the cycle's final state. A no-op when no
+     * monitor is attached.
+     */
+    void finishCycle(Cycle now);
+
+    /**
      * Re-runs the commit stage within the current cycle, respecting
      * the per-cycle commit-width budget. Machines that order commit
      * globally across cores call this after both cores ticked so the
@@ -92,8 +103,10 @@ class OoOCore
     /**
      * Flushes every instruction with seq >= target from the pipeline,
      * repairs the rename state and restarts fetch at the target.
+     * `cause` tags the flush for the observability layer.
      */
-    void squashFrom(InstSeqNum target, Cycle now);
+    void squashFrom(InstSeqNum target, Cycle now,
+                    obs::SquashCause cause = obs::SquashCause::MemOrderLocal);
 
     /**
      * Visits executed loads with seq > after whose address overlaps
@@ -137,6 +150,21 @@ class OoOCore
     /** One-line pipeline state snapshot for deadlock diagnostics. */
     std::string debugState() const;
 
+    /**
+     * Attaches (or, with nullptr, detaches) a pipeline monitor. The
+     * core does not own the monitor; it must outlive the attachment.
+     * With no monitor attached every instrumentation site is a single
+     * pointer test.
+     */
+    void attachMonitor(obs::CoreMonitor *m) { monitor_ = m; }
+
+    obs::CoreMonitor *monitor() const { return monitor_; }
+
+    std::size_t iqOccupancy() const { return iq.size(); }
+    std::size_t lqOccupancy() const { return lq.size(); }
+    std::size_t sqOccupancy() const { return sq.size(); }
+    std::size_t fetchQueueOccupancy() const { return fetchQueue.size(); }
+
   private:
     struct FetchEntry
     {
@@ -160,6 +188,7 @@ class OoOCore
     bool tryIssueStore(CoreInst &st, Cycle now);
     void resolveStore(CoreInst &st, Cycle now);
     void rebuildRenameMap();
+    obs::CpiCause classifyCycle(Cycle now) const;
     Cycle bypassReady(const CoreInst &producer,
                       const CoreInst &consumer);
 
@@ -197,6 +226,16 @@ class OoOCore
 
     /** Commit-width budget consumed in the current cycle. */
     std::uint32_t commitsThisCycle = 0;
+
+    /** Optional pipeline monitor; null when observability is off. */
+    obs::CoreMonitor *monitor_ = nullptr;
+
+    /**
+     * What the current fetch stall (fetchStallUntil > now) is paying
+     * for, so an empty ROB during the refill is charged to the event
+     * that caused it rather than generically to the front end.
+     */
+    obs::CpiCause fetchStallCause_ = obs::CpiCause::Frontend;
 
     CoreStats _stats;
 };

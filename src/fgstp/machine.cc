@@ -80,9 +80,9 @@ struct CoreAdapter : core::CoreHooks
     }
 
     void
-    requestSquash(InstSeqNum seq) override
+    requestSquash(InstSeqNum seq, obs::SquashCause cause) override
     {
-        m.requestSquash(seq);
+        m.requestSquash(seq, cause);
     }
 
     FgstpMachine &m;
@@ -376,7 +376,7 @@ FgstpMachine::onStoreResolved(CoreId c, const core::CoreInst &store,
     if (oldest != invalidSeqNum) {
         ++_stats.crossViolations;
         globalStoreSet.train(victim_pc, store.inst.pc);
-        requestSquash(oldest);
+        requestSquash(oldest, obs::SquashCause::MemOrderCross);
     }
     (void)now;
 }
@@ -428,10 +428,47 @@ FgstpMachine::onMispredictResolved(CoreId, InstSeqNum seq, Cycle)
 }
 
 void
-FgstpMachine::requestSquash(InstSeqNum seq)
+FgstpMachine::requestSquash(InstSeqNum seq, obs::SquashCause cause)
 {
-    if (seq < pendingSquash)
+    if (seq < pendingSquash) {
         pendingSquash = seq;
+        pendingSquashCause = cause;
+    }
+}
+
+void
+FgstpMachine::enableObservability(const obs::MonitorConfig &mcfg)
+{
+    if (!mcfg.any()) {
+        for (CoreId c = 0; c < 2; ++c) {
+            cores[c]->attachMonitor(nullptr);
+            monitors[c].reset();
+        }
+        linkOcc.reset();
+        return;
+    }
+    for (CoreId c = 0; c < 2; ++c) {
+        const core::CoreConfig &cc = cores[c]->config();
+        obs::OccupancyCaps caps;
+        caps.rob = cc.robSize;
+        caps.iq = cc.iqSize;
+        caps.lq = cc.lqSize;
+        caps.sq = cc.sqSize;
+        caps.fetchQueue = cc.fetchQueueSize;
+        monitors[c] =
+            std::make_unique<obs::CoreMonitor>(c, mcfg, caps);
+        cores[c]->attachMonitor(monitors[c].get());
+    }
+    if (mcfg.occupancy) {
+        // In-flight count is bounded by width values entering per
+        // cycle per direction for `latency` cycles, plus queued
+        // sends; clamp everything beyond a generous margin.
+        const auto &lc = link.config();
+        const std::uint32_t cap =
+            2 * lc.width * static_cast<std::uint32_t>(lc.latency) + 64;
+        linkOcc = std::make_unique<obs::Histogram>(cap);
+        link.enableOccupancyTracking();
+    }
 }
 
 void
@@ -445,7 +482,7 @@ FgstpMachine::applyPendingSquash()
                "squash below the global commit point");
 
     for (CoreId c = 0; c < 2; ++c) {
-        cores[c]->squashFrom(target, cycle);
+        cores[c]->squashFrom(target, cycle, pendingSquashCause);
         peekValid[c] = false;
     }
 
@@ -499,6 +536,14 @@ FgstpMachine::run(std::uint64_t num_insts)
 
         applyPendingSquash();
         retireWindow();
+
+        // Close the observability books only after drainCommit and
+        // the squash ran: the CPI accountant must see the cycle's
+        // final commit count and post-flush window state.
+        cores[0]->finishCycle(cycle);
+        cores[1]->finishCycle(cycle);
+        if (linkOcc)
+            linkOcc->sample(link.sampleInFlight(cycle));
 
         // Producer bookkeeping older than the window can no longer be
         // referenced (all its consumer edges were routed and are now

@@ -91,6 +91,20 @@ class FgstpMachine : public sim::Machine
 
     Cycle currentCycle() const { return cycle; }
 
+    void enableObservability(const obs::MonitorConfig &cfg) override;
+
+    obs::CoreMonitor *
+    monitor(unsigned i) const override
+    {
+        return monitors[i].get();
+    }
+
+    const obs::Histogram *
+    linkOccupancy() const override
+    {
+        return linkOcc.get();
+    }
+
     void
     resetStats() override
     {
@@ -101,6 +115,12 @@ class FgstpMachine : public sim::Machine
         partitioner->resetStats();
         orchestratorPredictor.resetStats();
         _stats = FgstpStats{};
+        for (auto &m : monitors) {
+            if (m)
+                m->resetStats();
+        }
+        if (linkOcc)
+            linkOcc->reset();
     }
 
   private:
@@ -149,7 +169,7 @@ class FgstpMachine : public sim::Machine
     void onCommitted(CoreId c, const core::CoreInst &inst, Cycle now);
     void onMispredictFetched(CoreId c, InstSeqNum seq);
     void onMispredictResolved(CoreId c, InstSeqNum seq, Cycle now);
-    void requestSquash(InstSeqNum seq);
+    void requestSquash(InstSeqNum seq, obs::SquashCause cause);
 
     // ---- helpers ------------------------------------------------------------
     WindowEntry *windowAt(InstSeqNum seq);
@@ -169,6 +189,10 @@ class FgstpMachine : public sim::Machine
 
     std::unique_ptr<core::CoreHooks> adapters[2];
     std::unique_ptr<core::OoOCore> cores[2];
+    std::unique_ptr<obs::CoreMonitor> monitors[2];
+
+    /** In-flight operand-link histogram (occupancy profiling only). */
+    std::unique_ptr<obs::Histogram> linkOcc;
 
     // Routed-instruction window.
     std::deque<WindowEntry> window;
@@ -205,6 +229,7 @@ class FgstpMachine : public sim::Machine
     std::set<InstSeqNum> blockedBranches;
 
     InstSeqNum pendingSquash = invalidSeqNum;
+    obs::SquashCause pendingSquashCause = obs::SquashCause::MemOrderLocal;
 
     Cycle cycle = 0;
 

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The CPI-stack accumulator: one counter per CpiCause.
+ *
+ * A core charges exactly one cause per cycle (OoOCore::finishCycle),
+ * so total() always equals the number of accounted cycles — the
+ * invariant the CPI-stack tests assert on every machine model.
+ */
+
+#ifndef FGSTP_OBS_CPI_STACK_HH
+#define FGSTP_OBS_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "obs/events.hh"
+
+namespace fgstp::obs
+{
+
+struct CpiStack
+{
+    std::array<std::uint64_t, numCpiCauses> cycles{};
+
+    void
+    add(CpiCause c)
+    {
+        ++cycles[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    get(CpiCause c) const
+    {
+        return cycles[static_cast<std::size_t>(c)];
+    }
+
+    /** Sum over all causes; equals the accounted cycle count. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (const std::uint64_t v : cycles)
+            t += v;
+        return t;
+    }
+
+    /** Fraction of the accounted cycles charged to `c` (0 when empty). */
+    double
+    fraction(CpiCause c) const
+    {
+        const std::uint64_t t = total();
+        return t ? static_cast<double>(get(c)) / t : 0.0;
+    }
+
+    void reset() { cycles.fill(0); }
+};
+
+} // namespace fgstp::obs
+
+#endif // FGSTP_OBS_CPI_STACK_HH

@@ -1,0 +1,143 @@
+#include "obs/event_log.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/fs.hh"
+#include "common/logging.hh"
+#include "isa/op_class.hh"
+
+namespace fgstp::obs
+{
+
+namespace
+{
+
+/** On-disk record layout (little-endian, fixed size). */
+struct PackedEvent
+{
+    std::uint64_t seq;
+    std::uint64_t pc;
+    std::uint64_t fetch;
+    std::uint64_t dispatch;
+    std::uint64_t issue;
+    std::uint64_t complete;
+    std::uint64_t commit;
+    std::uint64_t squash;
+    std::uint8_t op;
+    std::uint8_t core;
+    std::uint8_t squashed;
+    std::uint8_t squashCause;
+    std::uint8_t pad[4];
+};
+
+static_assert(sizeof(PackedEvent) == 72,
+              "packed event size changed (68B payload + padding)");
+
+PackedEvent
+pack(const InstEvent &e)
+{
+    PackedEvent p{};
+    p.seq = e.seq;
+    p.pc = e.pc;
+    p.fetch = e.fetchCycle;
+    p.dispatch = e.dispatchCycle;
+    p.issue = e.issueCycle;
+    p.complete = e.completeCycle;
+    p.commit = e.commitCycle;
+    p.squash = e.squashCycle;
+    p.op = e.op;
+    p.core = e.core;
+    p.squashed = e.squashed;
+    p.squashCause = e.squashCause;
+    return p;
+}
+
+InstEvent
+unpack(const PackedEvent &p)
+{
+    InstEvent e;
+    e.seq = p.seq;
+    e.pc = p.pc;
+    e.fetchCycle = p.fetch;
+    e.dispatchCycle = p.dispatch;
+    e.issueCycle = p.issue;
+    e.completeCycle = p.complete;
+    e.commitCycle = p.commit;
+    e.squashCycle = p.squash;
+    e.op = p.op;
+    e.core = p.core;
+    e.squashed = p.squashed;
+    e.squashCause = p.squashCause;
+    return e;
+}
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+} // namespace
+
+void
+writeEventLog(std::ostream &os, const std::vector<InstEvent> &events)
+{
+    Header h{eventLogMagic, eventLogVersion, events.size()};
+    os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    for (const InstEvent &e : events) {
+        const PackedEvent p = pack(e);
+        os.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    }
+    if (!os)
+        fatal("event-log write failed");
+}
+
+std::vector<InstEvent>
+readEventLog(std::istream &is)
+{
+    Header h{};
+    is.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!is || h.magic != eventLogMagic)
+        fatal("not an event-log file (bad magic)");
+    if (h.version != eventLogVersion)
+        fatal("unsupported event-log version ", h.version);
+
+    std::vector<InstEvent> events;
+    events.reserve(h.count);
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+        PackedEvent p{};
+        is.read(reinterpret_cast<char *>(&p), sizeof(p));
+        if (!is)
+            fatal("truncated event-log file: got ", i, " of ", h.count,
+                  " records");
+        if (p.op >= isa::numOpClasses)
+            fatal("corrupt event-log record at ", i, ": bad op class");
+        events.push_back(unpack(p));
+    }
+    return events;
+}
+
+void
+saveEventLog(const std::string &path,
+             const std::vector<InstEvent> &events)
+{
+    ensureParentDir(path);
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeEventLog(os, events);
+}
+
+std::vector<InstEvent>
+loadEventLog(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return readEventLog(is);
+}
+
+} // namespace fgstp::obs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary pipeline-event log I/O.
+ *
+ * The compact on-disk form of a run's InstEvents (fgstp_sim
+ * --eventlog=FILE): a small header followed by fixed-size
+ * little-endian records, mirroring the trace-file idiom of
+ * trace/trace_io.hh. Readers reject wrong magic, unsupported
+ * versions and truncated files; a zero-record log round-trips.
+ */
+
+#ifndef FGSTP_OBS_EVENT_LOG_HH
+#define FGSTP_OBS_EVENT_LOG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/events.hh"
+
+namespace fgstp::obs
+{
+
+/** File format identification. */
+inline constexpr std::uint32_t eventLogMagic = 0x46674556; // "FgEV"
+inline constexpr std::uint32_t eventLogVersion = 1;
+
+/** Writes `events` to the stream in the binary event-log format. */
+void writeEventLog(std::ostream &os,
+                   const std::vector<InstEvent> &events);
+
+/**
+ * Reads a complete event log from the stream.
+ * fatal()s on bad magic, unsupported version or truncation.
+ */
+std::vector<InstEvent> readEventLog(std::istream &is);
+
+/**
+ * Convenience file wrappers. Saving creates missing parent
+ * directories (fatal on failure).
+ */
+void saveEventLog(const std::string &path,
+                  const std::vector<InstEvent> &events);
+std::vector<InstEvent> loadEventLog(const std::string &path);
+
+} // namespace fgstp::obs
+
+#endif // FGSTP_OBS_EVENT_LOG_HH

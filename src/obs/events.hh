@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared vocabulary of the observability subsystem.
+ *
+ * Three kinds of facts leave a monitored pipeline:
+ *
+ *  - per-instruction lifecycle events (InstEvent): the cycle each
+ *    instruction passed fetch / dispatch / issue / complete / commit,
+ *    or the cycle it was squashed and why;
+ *  - per-cycle CPI-stack attribution (CpiCause): every commit-slot
+ *    cycle of a core is charged to exactly one cause, so the stack
+ *    sums to the core's total cycles by construction;
+ *  - per-cycle structure occupancies (Occupancies).
+ *
+ * The layer below (core/, fgstp/) produces these; the layer above
+ * (event_log, pipeview, stat_report) consumes them. Nothing in this
+ * header depends on the timing models.
+ */
+
+#ifndef FGSTP_OBS_EVENTS_HH
+#define FGSTP_OBS_EVENTS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fgstp::obs
+{
+
+/** Why a pipeline flush was requested. */
+enum class SquashCause : std::uint8_t
+{
+    MemOrderLocal, ///< same-core load/store order violation
+    MemOrderCross, ///< cross-core dependence-speculation violation
+};
+
+inline constexpr std::size_t numSquashCauses = 2;
+
+const char *squashCauseName(SquashCause c);
+
+/**
+ * The CPI-stack cause taxonomy. Each cycle of a core is attributed to
+ * the first cause that applies (docs/OBSERVABILITY.md gives the full
+ * decision procedure):
+ *
+ *  - Base: at least one instruction committed, or the ROB head is
+ *    making forward progress (executing, or waiting on local
+ *    operands / functional units);
+ *  - Frontend: the ROB drained because fetch cannot supply
+ *    instructions (I-cache miss, refill after a redirect, stream
+ *    stall / partition fetch barrier);
+ *  - BranchSquash: the ROB drained behind a mispredicted branch
+ *    (waiting for it to resolve, or refilling afterwards);
+ *  - Memory: the ROB head is a memory operation waiting on the memory
+ *    system (load in flight, or blocked on older store addresses);
+ *  - CrossCoreOperandWait: the ROB head waits on an operand produced
+ *    by the other core (Fg-STP operand-link latency/bandwidth);
+ *  - DependenceViolationSquash: refill after a memory-order-violation
+ *    squash (local or cross-core);
+ *  - CommitGating: the head is done but may not commit (Fg-STP global
+ *    commit token is on the other core).
+ */
+enum class CpiCause : std::uint8_t
+{
+    Base,
+    Frontend,
+    BranchSquash,
+    Memory,
+    CrossCoreOperandWait,
+    DependenceViolationSquash,
+    CommitGating,
+};
+
+inline constexpr std::size_t numCpiCauses = 7;
+
+/** Human-readable name ("cross-core-operand-wait"). */
+const char *cpiCauseName(CpiCause c);
+
+/** Stat-key name ("crossCoreOperandWait"). */
+const char *cpiCauseKey(CpiCause c);
+
+/**
+ * One instruction's lifecycle through a core's pipeline. Stages the
+ * instruction never reached hold neverCycle. A squashed instruction
+ * has squashed != 0, a valid squashCycle and cause, and commitCycle
+ * == neverCycle; refetched incarnations of the same sequence number
+ * produce separate records.
+ */
+struct InstEvent
+{
+    InstSeqNum seq = invalidSeqNum;
+    Addr pc = 0;
+    std::uint8_t op = 0;   ///< isa::OpClass of the instruction
+    std::uint8_t core = 0; ///< physical core that fetched this copy
+    std::uint8_t squashed = 0;
+    std::uint8_t squashCause = 0; ///< SquashCause, valid when squashed
+
+    Cycle fetchCycle = neverCycle;
+    Cycle dispatchCycle = neverCycle;
+    Cycle issueCycle = neverCycle;
+    Cycle completeCycle = neverCycle;
+    Cycle commitCycle = neverCycle;
+    Cycle squashCycle = neverCycle;
+};
+
+/** Structure occupancies of one core, sampled once per cycle. */
+struct Occupancies
+{
+    std::uint32_t rob = 0;
+    std::uint32_t iq = 0;
+    std::uint32_t lq = 0;
+    std::uint32_t sq = 0;
+    std::uint32_t fetchQueue = 0;
+};
+
+} // namespace fgstp::obs
+
+#endif // FGSTP_OBS_EVENTS_HH

@@ -1,0 +1,149 @@
+#include "obs/monitor.hh"
+
+namespace fgstp::obs
+{
+
+const char *
+squashCauseName(SquashCause c)
+{
+    switch (c) {
+      case SquashCause::MemOrderLocal: return "mem-order-local";
+      case SquashCause::MemOrderCross: return "mem-order-cross";
+    }
+    return "?";
+}
+
+const char *
+cpiCauseName(CpiCause c)
+{
+    switch (c) {
+      case CpiCause::Base: return "base";
+      case CpiCause::Frontend: return "frontend";
+      case CpiCause::BranchSquash: return "branch-squash";
+      case CpiCause::Memory: return "memory";
+      case CpiCause::CrossCoreOperandWait:
+        return "cross-core-operand-wait";
+      case CpiCause::DependenceViolationSquash:
+        return "dependence-violation-squash";
+      case CpiCause::CommitGating: return "commit-gating";
+    }
+    return "?";
+}
+
+const char *
+cpiCauseKey(CpiCause c)
+{
+    switch (c) {
+      case CpiCause::Base: return "base";
+      case CpiCause::Frontend: return "frontend";
+      case CpiCause::BranchSquash: return "branchSquash";
+      case CpiCause::Memory: return "memory";
+      case CpiCause::CrossCoreOperandWait: return "crossCoreOperandWait";
+      case CpiCause::DependenceViolationSquash:
+        return "dependenceViolationSquash";
+      case CpiCause::CommitGating: return "commitGating";
+    }
+    return "?";
+}
+
+CoreMonitor::CoreMonitor(CoreId core, const MonitorConfig &cfg,
+                         const OccupancyCaps &caps)
+    : core_(core), cfg_(cfg), occ_(caps)
+{
+}
+
+InstEvent *
+CoreMonitor::find(InstSeqNum seq)
+{
+    auto it = inflight_.find(seq);
+    return it == inflight_.end() ? nullptr : &it->second;
+}
+
+void
+CoreMonitor::onFetch(InstSeqNum seq, const trace::DynInst &inst,
+                     Cycle now)
+{
+    if (!cfg_.trace)
+        return;
+    // A refetch after a squash starts a fresh record; the squashed
+    // incarnation was finalized when the squash was reported.
+    InstEvent &e = inflight_[seq];
+    e = InstEvent{};
+    e.seq = seq;
+    e.pc = inst.pc;
+    e.op = static_cast<std::uint8_t>(inst.op);
+    e.core = core_;
+    e.fetchCycle = now;
+}
+
+void
+CoreMonitor::onDispatch(InstSeqNum seq, Cycle now)
+{
+    if (InstEvent *e = find(seq))
+        e->dispatchCycle = now;
+}
+
+void
+CoreMonitor::onIssue(InstSeqNum seq, Cycle now)
+{
+    if (InstEvent *e = find(seq))
+        e->issueCycle = now;
+}
+
+void
+CoreMonitor::onComplete(InstSeqNum seq, Cycle now)
+{
+    if (InstEvent *e = find(seq))
+        e->completeCycle = now;
+}
+
+void
+CoreMonitor::finalize(InstSeqNum seq, InstEvent &e)
+{
+    events_.push_back(e);
+    inflight_.erase(seq);
+}
+
+void
+CoreMonitor::onCommit(InstSeqNum seq, Cycle now)
+{
+    if (InstEvent *e = find(seq)) {
+        e->commitCycle = now;
+        finalize(seq, *e);
+    }
+}
+
+void
+CoreMonitor::onSquash(InstSeqNum seq, SquashCause cause, Cycle now)
+{
+    if (InstEvent *e = find(seq)) {
+        e->squashed = 1;
+        e->squashCause = static_cast<std::uint8_t>(cause);
+        e->squashCycle = now;
+        finalize(seq, *e);
+    }
+}
+
+void
+CoreMonitor::onCycle(CpiCause cause, const Occupancies &occ)
+{
+    if (cfg_.cpiStack)
+        cpi_.add(cause);
+    if (cfg_.occupancy) {
+        occ_.rob.sample(occ.rob);
+        occ_.iq.sample(occ.iq);
+        occ_.lq.sample(occ.lq);
+        occ_.sq.sample(occ.sq);
+        occ_.fetchQueue.sample(occ.fetchQueue);
+    }
+}
+
+void
+CoreMonitor::resetStats()
+{
+    cpi_.reset();
+    occ_.reset();
+    events_.clear();
+}
+
+} // namespace fgstp::obs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The per-core pipeline monitor.
+ *
+ * A CoreMonitor is attached to an OoOCore (OoOCore::attachMonitor)
+ * and receives the instruction-lifecycle callbacks plus one per-cycle
+ * accounting call. Which of the three collectors run is chosen at
+ * attach time through MonitorConfig:
+ *
+ *  - trace:     per-instruction InstEvents (pipeview / binary log)
+ *  - cpiStack:  one CpiCause counter bump per cycle
+ *  - occupancy: ROB/IQ/LQ/SQ/fetch-queue histograms per cycle
+ *
+ * Cost model: a detached core holds a null monitor pointer, so every
+ * instrumentation site in the hot path reduces to one inlined
+ * pointer test (see OoOCore) — no virtual calls, no allocation, and
+ * the per-cycle accounting work is skipped entirely. The smoke-sweep
+ * byte-identity and wall-time checks in CI run with monitors
+ * detached.
+ */
+
+#ifndef FGSTP_OBS_MONITOR_HH
+#define FGSTP_OBS_MONITOR_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/cpi_stack.hh"
+#include "obs/events.hh"
+#include "obs/occupancy.hh"
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::obs
+{
+
+/** Which collectors a monitor runs. */
+struct MonitorConfig
+{
+    bool trace = false;     ///< record per-instruction InstEvents
+    bool cpiStack = false;  ///< per-cycle stall attribution
+    bool occupancy = false; ///< per-cycle structure histograms
+
+    bool
+    any() const
+    {
+        return trace || cpiStack || occupancy;
+    }
+};
+
+class CoreMonitor
+{
+  public:
+    CoreMonitor(CoreId core, const MonitorConfig &cfg,
+                const OccupancyCaps &caps);
+
+    const MonitorConfig &config() const { return cfg_; }
+    CoreId core() const { return core_; }
+
+    // ---- instruction lifecycle (called by the core) -------------------
+
+    void onFetch(InstSeqNum seq, const trace::DynInst &inst, Cycle now);
+    void onDispatch(InstSeqNum seq, Cycle now);
+    void onIssue(InstSeqNum seq, Cycle now);
+    void onComplete(InstSeqNum seq, Cycle now);
+    void onCommit(InstSeqNum seq, Cycle now);
+    void onSquash(InstSeqNum seq, SquashCause cause, Cycle now);
+
+    // ---- per-cycle accounting (called once per core cycle) ------------
+
+    void onCycle(CpiCause cause, const Occupancies &occ);
+
+    // ---- results ------------------------------------------------------
+
+    /** Finalized events in commit/squash order. */
+    const std::vector<InstEvent> &events() const { return events_; }
+
+    const CpiStack &cpi() const { return cpi_; }
+    const OccupancyProfile &occupancy() const { return occ_; }
+
+    /**
+     * Zeroes the CPI stack, histograms and finalized events;
+     * instructions still in flight keep their pre-reset timestamps.
+     */
+    void resetStats();
+
+  private:
+    InstEvent *find(InstSeqNum seq);
+    void finalize(InstSeqNum seq, InstEvent &e);
+
+    CoreId core_;
+    MonitorConfig cfg_;
+
+    /** Lifecycle records of in-flight instructions (trace only). */
+    std::unordered_map<InstSeqNum, InstEvent> inflight_;
+    std::vector<InstEvent> events_;
+
+    CpiStack cpi_;
+    OccupancyProfile occ_;
+};
+
+} // namespace fgstp::obs
+
+#endif // FGSTP_OBS_MONITOR_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Occupancy histograms for pipeline structures.
+ *
+ * A Histogram counts how many cycles a structure spent at each
+ * occupancy level (one bucket per entry count, clamped at capacity),
+ * which is exact — no bucketing error — because the structures are
+ * small. An OccupancyProfile bundles the per-core set the monitor
+ * samples every cycle.
+ */
+
+#ifndef FGSTP_OBS_OCCUPANCY_HH
+#define FGSTP_OBS_OCCUPANCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fgstp::obs
+{
+
+/** Exact histogram over occupancies 0..capacity. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::uint32_t capacity)
+        : buckets_(capacity + 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        if (v >= buckets_.size())
+            v = buckets_.size() - 1; // clamp; capacity bucket is "full"
+        ++buckets_[v];
+        ++n_;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t samples() const { return n_; }
+    std::uint64_t maxSample() const { return max_; }
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(buckets_.size() - 1);
+    }
+
+    std::uint64_t
+    bucket(std::uint32_t occupancy) const
+    {
+        return buckets_.at(occupancy);
+    }
+
+    double
+    mean() const
+    {
+        return n_ ? static_cast<double>(sum_) / static_cast<double>(n_)
+                  : 0.0;
+    }
+
+    /**
+     * Smallest occupancy at which at least `p` (0..1] of the samples
+     * lie at or below it — the p-quantile of the distribution.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        sim_assert(p > 0.0 && p <= 1.0, "percentile needs p in (0,1]");
+        if (n_ == 0)
+            return 0;
+        const double target = p * static_cast<double>(n_);
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            acc += buckets_[i];
+            if (static_cast<double>(acc) >= target)
+                return i;
+        }
+        return buckets_.size() - 1;
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        n_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t n_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** Capacities used to size a core's occupancy histograms. */
+struct OccupancyCaps
+{
+    std::uint32_t rob = 0;
+    std::uint32_t iq = 0;
+    std::uint32_t lq = 0;
+    std::uint32_t sq = 0;
+    std::uint32_t fetchQueue = 0;
+};
+
+/** The per-core histogram set, sampled once per cycle. */
+struct OccupancyProfile
+{
+    explicit OccupancyProfile(const OccupancyCaps &caps)
+        : rob(caps.rob), iq(caps.iq), lq(caps.lq), sq(caps.sq),
+          fetchQueue(caps.fetchQueue)
+    {
+    }
+
+    Histogram rob;
+    Histogram iq;
+    Histogram lq;
+    Histogram sq;
+    Histogram fetchQueue;
+
+    void
+    reset()
+    {
+        rob.reset();
+        iq.reset();
+        lq.reset();
+        sq.reset();
+        fetchQueue.reset();
+    }
+};
+
+} // namespace fgstp::obs
+
+#endif // FGSTP_OBS_OCCUPANCY_HH

@@ -1,0 +1,101 @@
+#include "obs/pipeview.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/fs.hh"
+#include "common/logging.hh"
+#include "isa/op_class.hh"
+
+namespace fgstp::obs
+{
+
+namespace
+{
+
+/** neverCycle (stage not reached) renders as 0, like gem5. */
+std::uint64_t
+stamp(Cycle c)
+{
+    return c == neverCycle ? 0 : c;
+}
+
+void
+writeEvent(std::ostream &os, const InstEvent &e)
+{
+    const auto op = static_cast<isa::OpClass>(e.op);
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s (c%u)\n",
+                  static_cast<unsigned long long>(stamp(e.fetchCycle)),
+                  static_cast<unsigned long long>(e.pc),
+                  static_cast<unsigned long long>(e.seq),
+                  std::string(isa::opClassName(op)).c_str(),
+                  unsigned{e.core});
+    os << head;
+
+    const std::uint64_t dispatch = stamp(e.dispatchCycle);
+    os << "O3PipeView:decode:" << dispatch << "\n";
+    os << "O3PipeView:rename:" << dispatch << "\n";
+    os << "O3PipeView:dispatch:" << dispatch << "\n";
+    os << "O3PipeView:issue:" << stamp(e.issueCycle) << "\n";
+    os << "O3PipeView:complete:" << stamp(e.completeCycle) << "\n";
+
+    // Squashed instructions retire at 0 — Konata's flush marker. The
+    // trailing field is the store-writeback tick; stores complete at
+    // commit in this model.
+    const std::uint64_t retire =
+        e.squashed ? 0 : stamp(e.commitCycle);
+    const std::uint64_t store_tick =
+        (!e.squashed && op == isa::OpClass::Store) ? retire : 0;
+    os << "O3PipeView:retire:" << retire << ":store:" << store_tick
+       << "\n";
+}
+
+} // namespace
+
+std::vector<InstEvent>
+mergeEvents(const std::vector<const std::vector<InstEvent> *> &perCore)
+{
+    std::vector<InstEvent> all;
+    std::size_t total = 0;
+    for (const auto *v : perCore)
+        total += v->size();
+    all.reserve(total);
+    for (const auto *v : perCore)
+        all.insert(all.end(), v->begin(), v->end());
+
+    std::stable_sort(all.begin(), all.end(),
+                     [](const InstEvent &a, const InstEvent &b) {
+                         if (a.fetchCycle != b.fetchCycle)
+                             return a.fetchCycle < b.fetchCycle;
+                         if (a.seq != b.seq)
+                             return a.seq < b.seq;
+                         return a.core < b.core;
+                     });
+    return all;
+}
+
+void
+writePipeview(std::ostream &os, const std::vector<InstEvent> &events)
+{
+    for (const InstEvent &e : events)
+        writeEvent(os, e);
+}
+
+void
+savePipeview(const std::string &path,
+             const std::vector<InstEvent> &events)
+{
+    ensureParentDir(path);
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writePipeview(os, events);
+    if (!os)
+        fatal("pipeview write to '", path, "' failed");
+}
+
+} // namespace fgstp::obs

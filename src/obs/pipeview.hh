@@ -1,0 +1,49 @@
+/**
+ * @file
+ * gem5-O3PipeView-format pipeline trace output.
+ *
+ * Renders a run's InstEvents in the `O3PipeView:` line format emitted
+ * by gem5's O3 CPU, which the Konata pipeline viewer
+ * (https://github.com/shioyadan/Konata) loads directly: one record
+ * per fetched instruction copy with its fetch / decode / rename /
+ * dispatch / issue / complete / retire timestamps. Stages this
+ * simulator does not model separately (decode, rename) reuse the
+ * dispatch timestamp; stages an instruction never reached — and the
+ * retire stage of squashed instructions — are printed as 0, which
+ * Konata displays as a flushed instruction.
+ */
+
+#ifndef FGSTP_OBS_PIPEVIEW_HH
+#define FGSTP_OBS_PIPEVIEW_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/events.hh"
+
+namespace fgstp::obs
+{
+
+/**
+ * Merges per-core event lists into one stream ordered by fetch cycle
+ * (ties by sequence number, then core) — the order pipeline viewers
+ * expect.
+ */
+std::vector<InstEvent>
+mergeEvents(const std::vector<const std::vector<InstEvent> *> &perCore);
+
+/** Writes `events` (already merged/ordered) as O3PipeView lines. */
+void writePipeview(std::ostream &os,
+                   const std::vector<InstEvent> &events);
+
+/**
+ * File wrapper: creates missing parent directories, then writes the
+ * merged events; fatal on failure.
+ */
+void savePipeview(const std::string &path,
+                  const std::vector<InstEvent> &events);
+
+} // namespace fgstp::obs
+
+#endif // FGSTP_OBS_PIPEVIEW_HH

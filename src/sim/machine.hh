@@ -13,6 +13,8 @@
 #include "branch/predictor.hh"
 #include "core/ooo_core.hh"
 #include "memory/hierarchy.hh"
+#include "obs/monitor.hh"
+#include "obs/occupancy.hh"
 
 namespace fgstp::sim
 {
@@ -53,6 +55,35 @@ class Machine
 
     /** Writes a human-readable stats report. */
     virtual void dumpStats(std::ostream &os) const;
+
+    // ---- observability --------------------------------------------------
+
+    /**
+     * Attaches a pipeline monitor (event trace / CPI stack /
+     * occupancy histograms, per `cfg`) to every core. Must be called
+     * before run(); calling it again replaces the monitors. With
+     * cfg.any() == false the machine stays unmonitored and pays no
+     * instrumentation cost.
+     */
+    virtual void enableObservability(const obs::MonitorConfig &cfg) = 0;
+
+    /** Core i's monitor, or nullptr when observability is off. */
+    virtual obs::CoreMonitor *
+    monitor(unsigned i) const
+    {
+        (void)i;
+        return nullptr;
+    }
+
+    /**
+     * In-flight operand-link occupancy histogram, or nullptr when the
+     * machine has no link or occupancy profiling is off.
+     */
+    virtual const obs::Histogram *
+    linkOccupancy() const
+    {
+        return nullptr;
+    }
 
     /**
      * Zeroes every microarchitectural counter while preserving all

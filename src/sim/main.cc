@@ -10,6 +10,9 @@
  * Knobs (fgstp): --window=N --link-latency=N --chunk=N (chunk mode)
  *                --no-replication --no-mem-spec --no-shared-pred
  *                --replicate-branches
+ * Observability: --pipeview=FILE (Konata/O3PipeView trace)
+ *                --eventlog=FILE (binary event log)
+ *                --cpi-stack --occupancy (imply --stats)
  */
 
 #include <cstdio>
@@ -22,6 +25,9 @@
 #include "common/logging.hh"
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
+#include "obs/event_log.hh"
+#include "obs/monitor.hh"
+#include "obs/pipeview.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
 #include "sim/stat_report.hh"
@@ -44,6 +50,11 @@ struct Options
     std::uint64_t seed = 1;
     bool stats = false;
     bool jsonStats = false;
+
+    std::string pipeviewFile; // Konata/O3PipeView text trace
+    std::string eventlogFile; // binary event log
+    bool cpiStack = false;
+    bool occupancy = false;
 
     std::uint32_t window = 0;
     Cycle linkLatency = 0;
@@ -90,6 +101,16 @@ parse(int argc, char **argv)
             o.linkLatency = std::strtoull(v.c_str(), nullptr, 10);
         } else if (matchValue(a, "--chunk", v)) {
             o.chunk = static_cast<std::uint32_t>(std::stoul(v));
+        } else if (matchValue(a, "--pipeview", v)) {
+            o.pipeviewFile = v;
+        } else if (matchValue(a, "--eventlog", v)) {
+            o.eventlogFile = v;
+        } else if (std::strcmp(a, "--cpi-stack") == 0) {
+            o.cpiStack = true;
+            o.stats = true;
+        } else if (std::strcmp(a, "--occupancy") == 0) {
+            o.occupancy = true;
+            o.stats = true;
         } else if (std::strcmp(a, "--stats") == 0) {
             o.stats = true;
         } else if (std::strcmp(a, "--json") == 0) {
@@ -165,11 +186,31 @@ main(int argc, char **argv)
               "' (single | big | fusion | fgstp)");
     }
 
+    obs::MonitorConfig mcfg;
+    mcfg.trace = !o.pipeviewFile.empty() || !o.eventlogFile.empty();
+    mcfg.cpiStack = o.cpiStack;
+    mcfg.occupancy = o.occupancy;
+    if (mcfg.any())
+        machine->enableObservability(mcfg);
+
     const auto r = machine->run(o.insts);
     std::printf("%s %s %s: instructions=%lu cycles=%lu ipc=%.4f\n",
                 machine->kind(), preset.name, o.bench.c_str(),
                 static_cast<unsigned long>(r.instructions),
                 static_cast<unsigned long>(r.cycles), r.ipc());
+
+    if (mcfg.trace) {
+        std::vector<const std::vector<obs::InstEvent> *> per_core;
+        for (unsigned c = 0; c < machine->numCores(); ++c) {
+            if (const obs::CoreMonitor *mon = machine->monitor(c))
+                per_core.push_back(&mon->events());
+        }
+        const auto events = obs::mergeEvents(per_core);
+        if (!o.pipeviewFile.empty())
+            obs::savePipeview(o.pipeviewFile, events);
+        if (!o.eventlogFile.empty())
+            obs::saveEventLog(o.eventlogFile, events);
+    }
 
     if (o.stats) {
         sim::StatReport report(*machine, r);

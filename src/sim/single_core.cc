@@ -75,10 +75,31 @@ SingleCoreMachine::onCommitted(const core::CoreInst &inst, Cycle)
 }
 
 void
-SingleCoreMachine::requestSquash(InstSeqNum seq)
+SingleCoreMachine::requestSquash(InstSeqNum seq, obs::SquashCause cause)
 {
-    if (seq < pendingSquash)
+    if (seq < pendingSquash) {
         pendingSquash = seq;
+        pendingSquashCause = cause;
+    }
+}
+
+void
+SingleCoreMachine::enableObservability(const obs::MonitorConfig &cfg)
+{
+    if (!cfg.any()) {
+        cpu->attachMonitor(nullptr);
+        mon.reset();
+        return;
+    }
+    const core::CoreConfig &cc = cpu->config();
+    obs::OccupancyCaps caps;
+    caps.rob = cc.robSize;
+    caps.iq = cc.iqSize;
+    caps.lq = cc.lqSize;
+    caps.sq = cc.sqSize;
+    caps.fetchQueue = cc.fetchQueueSize;
+    mon = std::make_unique<obs::CoreMonitor>(cpu->id(), cfg, caps);
+    cpu->attachMonitor(mon.get());
 }
 
 RunResult
@@ -92,9 +113,11 @@ SingleCoreMachine::run(std::uint64_t num_insts)
         cpu->tick(cycle);
 
         if (pendingSquash != invalidSeqNum) {
-            cpu->squashFrom(pendingSquash, cycle);
+            cpu->squashFrom(pendingSquash, cycle, pendingSquashCause);
             pendingSquash = invalidSeqNum;
         }
+
+        cpu->finishCycle(cycle);
 
         if (streamEnded && cpu->pipelineEmpty())
             break;

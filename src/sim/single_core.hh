@@ -50,11 +50,21 @@ class SingleCoreMachine : public Machine, private core::CoreHooks
 
     Cycle currentCycle() const { return cycle; }
 
+    void enableObservability(const obs::MonitorConfig &cfg) override;
+
+    obs::CoreMonitor *
+    monitor(unsigned) const override
+    {
+        return mon.get();
+    }
+
     void
     resetStats() override
     {
         cpu->resetStats();
         mem.resetStats();
+        if (mon)
+            mon->resetStats();
     }
 
   private:
@@ -64,12 +74,13 @@ class SingleCoreMachine : public Machine, private core::CoreHooks
     void fetchRewind(InstSeqNum seq) override;
     bool canCommit(InstSeqNum seq, Cycle now) override;
     void onCommitted(const core::CoreInst &inst, Cycle now) override;
-    void requestSquash(InstSeqNum seq) override;
+    void requestSquash(InstSeqNum seq, obs::SquashCause cause) override;
 
     const char *kindName;
     mem::MemoryHierarchy mem;
     trace::ReplayBuffer buffer;
     std::unique_ptr<core::OoOCore> cpu;
+    std::unique_ptr<obs::CoreMonitor> mon;
 
     Cycle cycle = 0;
     InstSeqNum nextFetchSeq = 1;
@@ -79,6 +90,7 @@ class SingleCoreMachine : public Machine, private core::CoreHooks
     bool curValid = false;
 
     InstSeqNum pendingSquash = invalidSeqNum;
+    obs::SquashCause pendingSquashCause = obs::SquashCause::MemOrderLocal;
 };
 
 } // namespace fgstp::sim

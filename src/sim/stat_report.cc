@@ -20,6 +20,29 @@ StatReport::addValue(const std::string &name, const std::string &desc,
         _group, name, desc, [value] { return value; }));
 }
 
+void
+StatReport::addHistogram(const std::string &name,
+                         const std::string &what,
+                         const obs::Histogram &h)
+{
+    addValue(name + "Mean", what + " (mean)", h.mean());
+    addScalar(name + "Max", what + " (max)", h.maxSample());
+    addScalar(name + "P95", what + " (95th percentile)",
+              h.percentile(0.95));
+}
+
+void
+StatReport::addOccupancy(const std::string &prefix,
+                         const obs::OccupancyProfile &occ)
+{
+    addHistogram(prefix + "occ.rob", "ROB occupancy", occ.rob);
+    addHistogram(prefix + "occ.iq", "IQ occupancy", occ.iq);
+    addHistogram(prefix + "occ.lq", "LQ occupancy", occ.lq);
+    addHistogram(prefix + "occ.sq", "SQ occupancy", occ.sq);
+    addHistogram(prefix + "occ.fetchQueue", "fetch-queue occupancy",
+                 occ.fetchQueue);
+}
+
 StatReport::StatReport(const Machine &machine, const RunResult &result)
     : _group(machine.kind())
 {
@@ -65,7 +88,26 @@ StatReport::StatReport(const Machine &machine, const RunResult &result)
                   b.condMispredicts);
         addValue(p + "brMpki", "mispredictions per kilo-instruction",
                  b.totalMispredicts() / kinsts);
+
+        const obs::CoreMonitor *mon = machine.monitor(c);
+        if (mon && mon->config().cpiStack) {
+            const obs::CpiStack &st = mon->cpi();
+            addScalar(p + "cpi.totalCycles",
+                      "cycles attributed by the CPI stack", st.total());
+            for (std::size_t i = 0; i < obs::numCpiCauses; ++i) {
+                const auto cause = static_cast<obs::CpiCause>(i);
+                addScalar(p + "cpi." + obs::cpiCauseKey(cause),
+                          std::string("cycles charged to ") +
+                              obs::cpiCauseName(cause),
+                          st.get(cause));
+            }
+        }
+        if (mon && mon->config().occupancy)
+            addOccupancy(p, mon->occupancy());
     }
+
+    if (const obs::Histogram *lo = machine.linkOccupancy())
+        addHistogram("link.occ", "operand-link values in flight", *lo);
 
     const auto &m = machine.memory().stats();
     addScalar("mem.l1dAccesses", "L1D accesses", m.l1dAccesses);

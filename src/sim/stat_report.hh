@@ -49,6 +49,10 @@ class StatReport
                    std::uint64_t value);
     void addValue(const std::string &name, const std::string &desc,
                   double value);
+    void addHistogram(const std::string &name, const std::string &what,
+                      const obs::Histogram &h);
+    void addOccupancy(const std::string &prefix,
+                      const obs::OccupancyProfile &occ);
 
     stats::StatGroup _group;
     // Owned stat objects (StatGroup holds raw pointers).

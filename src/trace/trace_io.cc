@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/fs.hh"
 #include "common/logging.hh"
 
 namespace fgstp::trace
@@ -124,6 +125,7 @@ readTrace(std::istream &is)
 void
 saveTraceFile(const std::string &path, const std::vector<DynInst> &insts)
 {
+    ensureParentDir(path);
     std::ofstream os(path, std::ios::binary);
     if (!os)
         fatal("cannot open '", path, "' for writing");

@@ -13,6 +13,7 @@
 #ifndef FGSTP_UNCORE_LINK_HH
 #define FGSTP_UNCORE_LINK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -109,7 +110,30 @@ class OperandLink
         const Cycle slot = ports[from % 2].claim(now);
         ++_stats.messages;
         _stats.queuedCycles += slot - now;
-        return slot + cfg.latency;
+        const Cycle arrival = slot + cfg.latency;
+        if (trackOccupancy)
+            pendingArrivals.push_back(arrival);
+        return arrival;
+    }
+
+    /**
+     * Opt-in occupancy profiling: record each message's arrival cycle
+     * so sampleInFlight can report how many values are on the wire.
+     * Off by default — send() then does no extra work.
+     */
+    void enableOccupancyTracking() { trackOccupancy = true; }
+
+    /**
+     * Messages still in flight (sent, not yet arrived) at `now`.
+     * Retires delivered arrivals as a side effect; call with
+     * monotonically increasing cycles.
+     */
+    std::size_t
+    sampleInFlight(Cycle now)
+    {
+        std::erase_if(pendingArrivals,
+                      [&](Cycle a) { return a <= now; });
+        return pendingArrivals.size();
     }
 
     const LinkConfig &config() const { return cfg; }
@@ -120,6 +144,7 @@ class OperandLink
     {
         ports[0].reset();
         ports[1].reset();
+        pendingArrivals.clear();
         _stats = LinkStats{};
     }
 
@@ -129,6 +154,8 @@ class OperandLink
   private:
     LinkConfig cfg;
     BandwidthPort ports[2];
+    bool trackOccupancy = false;
+    std::vector<Cycle> pendingArrivals;
     LinkStats _stats;
 };
 

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for the observability subsystem: event-log I/O error paths,
+ * the CPI-stack sums-to-total-cycles invariant on all three machine
+ * models, occupancy histogram sanity, the O3PipeView golden output,
+ * and the filesystem helpers behind --out/--pipeview.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/fs.hh"
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "isa/op_class.hh"
+#include "obs/cpi_stack.hh"
+#include "obs/event_log.hh"
+#include "obs/monitor.hh"
+#include "obs/occupancy.hh"
+#include "obs/pipeview.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+obs::InstEvent
+sampleEvent(InstSeqNum seq)
+{
+    obs::InstEvent e;
+    e.seq = seq;
+    e.pc = 0x4000 + seq * 4;
+    e.op = static_cast<std::uint8_t>(isa::OpClass::IntAlu);
+    e.core = static_cast<std::uint8_t>(seq % 2);
+    e.fetchCycle = seq + 10;
+    e.dispatchCycle = seq + 13;
+    e.issueCycle = seq + 14;
+    e.completeCycle = seq + 15;
+    e.commitCycle = seq + 20;
+    return e;
+}
+
+// ---- event-log I/O ---------------------------------------------------------
+
+TEST(EventLog, RoundTrips)
+{
+    std::vector<obs::InstEvent> events;
+    for (InstSeqNum s = 1; s <= 100; ++s)
+        events.push_back(sampleEvent(s));
+    events[7].squashed = 1;
+    events[7].squashCause =
+        static_cast<std::uint8_t>(obs::SquashCause::MemOrderCross);
+    events[7].squashCycle = 99;
+    events[7].commitCycle = neverCycle;
+
+    std::stringstream buf;
+    obs::writeEventLog(buf, events);
+    const auto loaded = obs::readEventLog(buf);
+
+    ASSERT_EQ(loaded.size(), events.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].seq, events[i].seq) << i;
+        EXPECT_EQ(loaded[i].pc, events[i].pc) << i;
+        EXPECT_EQ(loaded[i].op, events[i].op) << i;
+        EXPECT_EQ(loaded[i].core, events[i].core) << i;
+        EXPECT_EQ(loaded[i].squashed, events[i].squashed) << i;
+        EXPECT_EQ(loaded[i].squashCause, events[i].squashCause) << i;
+        EXPECT_EQ(loaded[i].fetchCycle, events[i].fetchCycle) << i;
+        EXPECT_EQ(loaded[i].dispatchCycle, events[i].dispatchCycle) << i;
+        EXPECT_EQ(loaded[i].issueCycle, events[i].issueCycle) << i;
+        EXPECT_EQ(loaded[i].completeCycle, events[i].completeCycle) << i;
+        EXPECT_EQ(loaded[i].commitCycle, events[i].commitCycle) << i;
+        EXPECT_EQ(loaded[i].squashCycle, events[i].squashCycle) << i;
+    }
+}
+
+TEST(EventLog, ZeroRecordLogRoundTrips)
+{
+    std::stringstream buf;
+    obs::writeEventLog(buf, {});
+    EXPECT_TRUE(obs::readEventLog(buf).empty());
+}
+
+TEST(EventLogDeath, BadMagicRejected)
+{
+    std::stringstream buf;
+    buf << "definitely not an event log..............";
+    EXPECT_EXIT(obs::readEventLog(buf), testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(EventLogDeath, WrongVersionRejected)
+{
+    std::stringstream buf;
+    obs::writeEventLog(buf, {sampleEvent(1)});
+    std::string bytes = buf.str();
+    // The header is magic(u32) then version(u32); corrupt the version.
+    bytes[4] = 0x7f;
+    std::stringstream bad(bytes);
+    EXPECT_EXIT(obs::readEventLog(bad), testing::ExitedWithCode(1),
+                "unsupported event-log version");
+}
+
+TEST(EventLogDeath, TruncationDetected)
+{
+    std::vector<obs::InstEvent> events;
+    for (InstSeqNum s = 1; s <= 10; ++s)
+        events.push_back(sampleEvent(s));
+    std::stringstream buf;
+    obs::writeEventLog(buf, events);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() - 30));
+    EXPECT_EXIT(obs::readEventLog(cut), testing::ExitedWithCode(1),
+                "truncated event-log file");
+}
+
+TEST(EventLogDeath, CorruptOpClassRejected)
+{
+    std::stringstream buf;
+    auto e = sampleEvent(1);
+    e.op = 0xee; // no such OpClass
+    obs::writeEventLog(buf, {e});
+    EXPECT_EXIT(obs::readEventLog(buf), testing::ExitedWithCode(1),
+                "bad op class");
+}
+
+TEST(EventLog, FileRoundTripCreatesParentDirs)
+{
+    const std::string dir =
+        "/tmp/fgstp_obs_test_dir/nested/deeper";
+    const std::string path = dir + "/events.bin";
+    std::filesystem::remove_all("/tmp/fgstp_obs_test_dir");
+
+    obs::saveEventLog(path, {sampleEvent(1), sampleEvent(2)});
+    const auto loaded = obs::loadEventLog(path);
+    EXPECT_EQ(loaded.size(), 2u);
+    std::filesystem::remove_all("/tmp/fgstp_obs_test_dir");
+}
+
+// ---- filesystem helpers ----------------------------------------------------
+
+TEST(Fs, EnsureDirCreatesMissingChain)
+{
+    const std::string dir = "/tmp/fgstp_fs_test/a/b/c";
+    std::filesystem::remove_all("/tmp/fgstp_fs_test");
+    ensureDir(dir);
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+    ensureDir(dir); // idempotent
+    std::filesystem::remove_all("/tmp/fgstp_fs_test");
+}
+
+TEST(Fs, EnsureParentDirNoopOnBareFilename)
+{
+    ensureParentDir("no_directory_component.txt");
+}
+
+TEST(FsDeath, EnsureDirFatalWhenComponentIsAFile)
+{
+    const std::string file = "/tmp/fgstp_fs_test_file";
+    std::ofstream(file) << "x";
+    EXPECT_EXIT(ensureDir(file + "/sub"), testing::ExitedWithCode(1),
+                "cannot create output directory");
+    std::filesystem::remove(file);
+}
+
+// ---- CPI stack: sums to total cycles on every machine ---------------------
+
+void
+expectCpiSumsToCycles(const sim::Machine &m, std::uint64_t cycles)
+{
+    for (unsigned c = 0; c < m.numCores(); ++c) {
+        const obs::CoreMonitor *mon = m.monitor(c);
+        ASSERT_NE(mon, nullptr) << "core " << c;
+        EXPECT_EQ(mon->cpi().total(), cycles)
+            << "CPI stack of core " << c
+            << " does not sum to total cycles";
+        // Occupancy histograms sample once per accounted cycle and
+        // never exceed the structure capacity.
+        const auto &occ = mon->occupancy();
+        EXPECT_EQ(occ.rob.samples(), cycles);
+        EXPECT_LE(occ.rob.maxSample(), occ.rob.capacity());
+        EXPECT_EQ(occ.iq.samples(), cycles);
+        EXPECT_LE(occ.iq.maxSample(), occ.iq.capacity());
+        EXPECT_EQ(occ.lq.samples(), cycles);
+        EXPECT_EQ(occ.sq.samples(), cycles);
+        EXPECT_EQ(occ.fetchQueue.samples(), cycles);
+        EXPECT_LE(occ.fetchQueue.maxSample(),
+                  occ.fetchQueue.capacity());
+    }
+}
+
+obs::MonitorConfig
+fullConfig()
+{
+    obs::MonitorConfig mc;
+    mc.trace = true;
+    mc.cpiStack = true;
+    mc.occupancy = true;
+    return mc;
+}
+
+TEST(CpiStack, SumsToCyclesOnSingleCore)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    m.enableObservability(fullConfig());
+    const auto r = m.run(4000);
+    ASSERT_GT(r.cycles, 0u);
+    expectCpiSumsToCycles(m, r.cycles);
+}
+
+TEST(CpiStack, SumsToCyclesOnCoreFusion)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("mcf"), 7);
+    fusion::FusedMachine m(p.core, p.memory, w, p.fusionOverheads);
+    m.enableObservability(fullConfig());
+    const auto r = m.run(4000);
+    ASSERT_GT(r.cycles, 0u);
+    expectCpiSumsToCycles(m, r.cycles);
+}
+
+TEST(CpiStack, SumsToCyclesOnFgstp)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableObservability(fullConfig());
+    const auto r = m.run(4000);
+    ASSERT_GT(r.cycles, 0u);
+    expectCpiSumsToCycles(m, r.cycles);
+}
+
+TEST(CpiStack, FgstpChargesCrossCoreCauses)
+{
+    // A dependence-heavy workload split across two cores must spend
+    // cycles on at least one of the Fg-STP-specific causes (operand
+    // wait / commit gating) — the stack separates them from base.
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(
+        workload::profileByName("xalancbmk"), 11);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableObservability(fullConfig());
+    (void)m.run(4000);
+    std::uint64_t fgstp_causes = 0;
+    for (unsigned c = 0; c < 2; ++c) {
+        const auto &st = m.monitor(c)->cpi();
+        fgstp_causes +=
+            st.get(obs::CpiCause::CrossCoreOperandWait) +
+            st.get(obs::CpiCause::CommitGating);
+    }
+    EXPECT_GT(fgstp_causes, 0u);
+}
+
+TEST(CpiStack, ResetStatsRestartsTheAccounting)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    m.enableObservability(fullConfig());
+    const auto warm = m.run(1000);
+    m.resetStats();
+    const auto r = m.run(3000);
+    // run() totals are cumulative; the monitor was reset at the
+    // boundary, so it accounts only the measurement region.
+    EXPECT_EQ(m.monitor(0)->cpi().total(), r.cycles - warm.cycles);
+}
+
+// ---- instruction event trace ----------------------------------------------
+
+TEST(EventTrace, CommittedEventsHaveMonotoneStamps)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    m.enableObservability(fullConfig());
+    (void)m.run(3000);
+
+    const auto &events = m.monitor(0)->events();
+    ASSERT_FALSE(events.empty());
+    std::size_t committed = 0;
+    for (const auto &e : events) {
+        if (e.squashed) {
+            EXPECT_EQ(e.commitCycle, neverCycle);
+            EXPECT_NE(e.squashCycle, neverCycle);
+            continue;
+        }
+        ++committed;
+        ASSERT_NE(e.commitCycle, neverCycle);
+        EXPECT_LE(e.fetchCycle, e.dispatchCycle);
+        EXPECT_LE(e.dispatchCycle, e.issueCycle);
+        EXPECT_LE(e.issueCycle, e.completeCycle);
+        EXPECT_LE(e.completeCycle, e.commitCycle);
+    }
+    EXPECT_GT(committed, 0u);
+}
+
+TEST(EventTrace, MergeOrdersByFetchCycle)
+{
+    std::vector<obs::InstEvent> a{sampleEvent(3), sampleEvent(5)};
+    std::vector<obs::InstEvent> b{sampleEvent(2), sampleEvent(4)};
+    const auto merged = obs::mergeEvents({&a, &b});
+    ASSERT_EQ(merged.size(), 4u);
+    for (std::size_t i = 1; i < merged.size(); ++i)
+        EXPECT_LE(merged[i - 1].fetchCycle, merged[i].fetchCycle);
+}
+
+// ---- pipeview golden output ------------------------------------------------
+
+/**
+ * The golden file pins the O3PipeView byte format (docs/OBSERVABILITY
+ * .md documents it as stable). Regenerate after an intentional format
+ * change with: FGSTP_UPDATE_GOLDEN=1 ./test_obs
+ */
+TEST(Pipeview, MatchesGoldenFile)
+{
+    const auto p = sim::smallPreset();
+    trace::VectorTraceSource src(workload::loopTrace(4, 3));
+    sim::SingleCoreMachine m(p.core, p.memory, src);
+    obs::MonitorConfig mc;
+    mc.trace = true;
+    m.enableObservability(mc);
+    (void)m.run(1'000'000);
+
+    std::ostringstream out;
+    obs::writePipeview(
+        out, obs::mergeEvents({&m.monitor(0)->events()}));
+    const std::string produced = out.str();
+    EXPECT_NE(produced.find("O3PipeView:fetch:"), std::string::npos);
+    EXPECT_NE(produced.find(":retire:"), std::string::npos);
+
+    const std::string golden_path =
+        std::string(FGSTP_GOLDEN_DIR) + "/pipeview_single_loop.txt";
+    if (std::getenv("FGSTP_UPDATE_GOLDEN")) {
+        std::ofstream g(golden_path);
+        ASSERT_TRUE(g.is_open()) << golden_path;
+        g << produced;
+        GTEST_SKIP() << "golden file regenerated";
+    }
+
+    std::ifstream g(golden_path);
+    ASSERT_TRUE(g.is_open())
+        << "missing golden file " << golden_path
+        << " (regenerate with FGSTP_UPDATE_GOLDEN=1)";
+    std::stringstream expected;
+    expected << g.rdbuf();
+    EXPECT_EQ(produced, expected.str());
+}
+
+// ---- zero-cost contract ----------------------------------------------------
+
+TEST(Observability, DisabledMachineReportsNoMonitors)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    EXPECT_EQ(m.monitor(0), nullptr);
+    EXPECT_EQ(m.monitor(1), nullptr);
+    EXPECT_EQ(m.linkOccupancy(), nullptr);
+}
+
+TEST(Observability, EnableThenDisableDetaches)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    m.enableObservability(fullConfig());
+    EXPECT_NE(m.monitor(0), nullptr);
+    m.enableObservability(obs::MonitorConfig{});
+    EXPECT_EQ(m.monitor(0), nullptr);
+}
+
+TEST(Observability, TimingIsUnchangedByMonitoring)
+{
+    // Attaching a monitor must observe the pipeline, not perturb it:
+    // the same (workload, seed, machine) runs to the same cycle count
+    // with and without instrumentation.
+    const auto p = sim::smallPreset();
+    std::uint64_t cycles_plain = 0;
+    std::uint64_t cycles_monitored = 0;
+    {
+        workload::SyntheticWorkload w(
+            workload::profileByName("mcf"), 3);
+        part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+        cycles_plain = m.run(3000).cycles;
+    }
+    {
+        workload::SyntheticWorkload w(
+            workload::profileByName("mcf"), 3);
+        part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+        m.enableObservability(fullConfig());
+        cycles_monitored = m.run(3000).cycles;
+    }
+    EXPECT_EQ(cycles_plain, cycles_monitored);
+}
+
+// ---- link occupancy --------------------------------------------------------
+
+TEST(LinkOccupancy, TracksInFlightValues)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(
+        workload::profileByName("xalancbmk"), 11);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableObservability(fullConfig());
+    const auto r = m.run(4000);
+
+    const obs::Histogram *h = m.linkOccupancy();
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->samples(), r.cycles);
+    // The machine transfers values, so something must be observed in
+    // flight at least once.
+    EXPECT_GT(h->maxSample(), 0u);
+}
+
+// ---- histogram unit behavior ----------------------------------------------
+
+TEST(Histogram, MeanMaxPercentile)
+{
+    obs::Histogram h(8);
+    for (std::uint64_t v : {0, 1, 1, 2, 2, 2, 3, 8, 8, 8})
+        h.sample(v);
+    EXPECT_EQ(h.samples(), 10u);
+    EXPECT_EQ(h.maxSample(), 8u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+    EXPECT_EQ(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(1.0), 8u);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.maxSample(), 0u);
+}
+
+TEST(Histogram, ClampsAboveCapacity)
+{
+    obs::Histogram h(4);
+    h.sample(100);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.maxSample(), 4u);
+}
+
+} // namespace
+} // namespace fgstp

@@ -283,6 +283,18 @@ TEST(TraceIoDeath, BadMagicRejected)
                 "bad magic");
 }
 
+TEST(TraceIoDeath, WrongVersionRejected)
+{
+    std::stringstream buf;
+    trace::writeTrace(buf, workload::independentTrace(3));
+    std::string bytes = buf.str();
+    // The header is magic(u32) then version(u32); corrupt the version.
+    bytes[4] = 0x7f;
+    std::stringstream bad(bytes);
+    EXPECT_EXIT(trace::readTrace(bad), testing::ExitedWithCode(1),
+                "unsupported trace version");
+}
+
 TEST(TraceIoDeath, TruncationDetected)
 {
     std::stringstream buf;
