@@ -5,6 +5,7 @@
  *   fgstp_bench [--experiment=fig1,fig2,...|all] [--jobs=N]
  *               [--format=text|csv|json] [--out=DIR]
  *               [--insts=N] [--seed=N] [--cpi-stack] [--list]
+ *               [--check] [--inject=SPEC]
  *
  * Runs any subset of the paper's table/figure experiments over one
  * shared thread pool. Every (experiment, benchmark, config) cell is
@@ -20,6 +21,13 @@
  * CPI-stack monitor to every cell's machine and emits the per-cell
  * stall breakdown (BENCH_cpistack.json under json, a table
  * otherwise).
+ *
+ * Hardening: --check cross-checks every cell's commit stream against
+ * a golden model; --inject=SPEC (grammar: docs/ROBUSTNESS.md) runs
+ * every Fg-STP cell under a deterministic fault plan. A cell that
+ * throws — divergence, watchdog deadlock, unrecoverable fault — is
+ * recorded as "status": "failed" in the JSON report instead of
+ * killing the sweep, and the exit code becomes non-zero.
  * All flags are documented in docs/CLI.md.
  */
 
@@ -33,9 +41,11 @@
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "common/error.hh"
 #include "common/fs.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "harden/fault.hh"
 #include "obs/events.hh"
 
 using namespace fgstp;
@@ -52,6 +62,8 @@ struct Options
     bench::RunParams params;
     bool cpiStack = false;
     bool list = false;
+    bool check = false;     // golden-model cross-check per cell
+    std::string injectSpec; // fault plan for Fg-STP cells
 };
 
 bool
@@ -106,6 +118,10 @@ parse(int argc, char **argv)
             o.params.seed = std::strtoull(v.c_str(), nullptr, 10);
         } else if (std::strcmp(a, "--cpi-stack") == 0) {
             o.cpiStack = true;
+        } else if (std::strcmp(a, "--check") == 0) {
+            o.check = true;
+        } else if (matchValue(a, "--inject", v)) {
+            o.injectSpec = v;
         } else if (std::strcmp(a, "--list") == 0) {
             o.list = true;
         } else {
@@ -189,19 +205,27 @@ renderCpiText(std::ostream &os, const std::vector<bench::CellCpi> &cells,
     t.render(os, csv);
 }
 
-} // namespace
+/** Reports every failed cell of a collected run on stderr. */
+void
+reportFailedCells(const bench::ExperimentRun &run)
+{
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+        if (run.results[i].ok)
+            continue;
+        const auto &c = run.cells[i];
+        std::fprintf(stderr,
+                     "fgstp_bench: %s: cell %s/%s (seed %llu) "
+                     "failed: %s\n",
+                     run.experiment->name.c_str(), c.bench.c_str(),
+                     c.machine.c_str(),
+                     static_cast<unsigned long long>(c.seed),
+                     run.results[i].error.c_str());
+    }
+}
 
 int
-main(int argc, char **argv)
+runBench(const Options &o)
 {
-    const Options o = parse(argc, argv);
-
-    if (o.list) {
-        for (const auto &e : bench::allExperiments())
-            std::printf("%-11s %s\n", e.name.c_str(), e.title.c_str());
-        return 0;
-    }
-
     std::vector<const bench::Experiment *> selected;
     if (o.experiments.empty()) {
         for (const auto &e : bench::allExperiments())
@@ -221,6 +245,17 @@ main(int argc, char **argv)
     if (o.cpiStack)
         bench::enableCellObservability(true);
 
+    if (o.check || !o.injectSpec.empty()) {
+        harden::FaultPlan plan; // any() == false when no --inject
+        if (!o.injectSpec.empty()) {
+            plan = harden::parseFaultPlan(o.injectSpec);
+            std::fprintf(stderr,
+                         "fgstp_bench: injecting faults into Fg-STP "
+                         "cells: %s\n", plan.describe().c_str());
+        }
+        bench::setCellHardening(plan, o.check);
+    }
+
     unsigned jobs = o.jobs;
     if (jobs == 0)
         jobs = std::max(1u, std::thread::hardware_concurrency());
@@ -237,40 +272,38 @@ main(int argc, char **argv)
     bool first = true;
     for (auto &s : scheduled) {
         const auto *e = s.experiment;
-        try {
-            auto run =
-                bench::collectExperiment(std::move(s), o.params);
-            if (o.format == "json") {
-                const std::string path =
-                    o.outDir + "/BENCH_" + e->name + ".json";
-                std::ofstream out(path);
-                if (!out)
-                    fatal("cannot open '", path, "' for writing");
-                bench::renderJson(out, run, o.params, pool.size());
-                std::printf("%-11s %4zu jobs %9.1f ms  -> %s\n",
-                            e->name.c_str(), run.cells.size(),
-                            run.wallTimeMs, path.c_str());
-            } else {
-                if (!first)
-                    std::cout << "\n";
-                bench::renderText(std::cout, run, o.format == "csv");
-            }
-            first = false;
-        } catch (const std::exception &ex) {
-            std::fprintf(stderr, "fgstp_bench: experiment %s failed: %s\n",
-                         e->name.c_str(), ex.what());
+        auto run = bench::collectExperiment(std::move(s), o.params);
+        if (!run.ok()) {
+            reportFailedCells(run);
             ++failures;
         }
+        if (o.format == "json") {
+            const std::string path =
+                o.outDir + "/BENCH_" + e->name + ".json";
+            AtomicFileWriter out(path);
+            bench::renderJson(out.stream(), run, o.params,
+                              pool.size());
+            out.commit();
+            std::printf("%-11s %4zu jobs %9.1f ms%s  -> %s\n",
+                        e->name.c_str(), run.cells.size(),
+                        run.wallTimeMs,
+                        run.ok() ? "" : " [FAILED CELLS]",
+                        path.c_str());
+        } else {
+            if (!first)
+                std::cout << "\n";
+            bench::renderText(std::cout, run, o.format == "csv");
+        }
+        first = false;
     }
 
     if (o.cpiStack) {
         const auto cells = bench::takeCellCpiSamples();
         if (o.format == "json") {
             const std::string path = o.outDir + "/BENCH_cpistack.json";
-            std::ofstream out(path);
-            if (!out)
-                fatal("cannot open '", path, "' for writing");
-            renderCpiJson(out, cells, o.params);
+            AtomicFileWriter out(path);
+            renderCpiJson(out.stream(), cells, o.params);
+            out.commit();
             std::printf("%-11s %4zu cells              -> %s\n",
                         "cpistack", cells.size(), path.c_str());
         } else {
@@ -278,4 +311,29 @@ main(int argc, char **argv)
         }
     }
     return failures ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    if (o.list) {
+        for (const auto &e : bench::allExperiments())
+            std::printf("%-11s %s\n", e.name.c_str(), e.title.c_str());
+        return 0;
+    }
+
+    try {
+        return runBench(o);
+    } catch (const SimError &ex) {
+        // Bad --inject spec or a failed report write. Per-cell
+        // failures never reach here — they are folded into the
+        // "status": "failed" rows and the exit code by runBench.
+        std::fflush(stdout);
+        std::fprintf(stderr, "fgstp_bench: error: %s\n", ex.what());
+        return 1;
+    }
 }

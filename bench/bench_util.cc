@@ -24,6 +24,50 @@ toSample(const sim::RunResult &r)
     return {r.cycles, r.instructions};
 }
 
+// ---- per-cell hardening state ---------------------------------------------
+
+std::atomic<bool> cellCheck{false};
+std::atomic<bool> cellInject{false};
+std::mutex cellPlanMutex;
+harden::FaultPlan cellPlan; // guarded by cellPlanMutex
+
+/**
+ * Attaches a golden-model checker when per-cell checking is on. The
+ * golden stream is a second SyntheticWorkload over the same (bench,
+ * seed) — the trace is post-execution, so it *is* the reference
+ * architectural stream. Returns the owning pointer; the caller keeps
+ * it alive across run().
+ */
+std::unique_ptr<harden::CommitChecker>
+maybeChecker(sim::Machine &m, const std::string &bench,
+             std::uint64_t seed)
+{
+    if (!cellCheck.load(std::memory_order_relaxed))
+        return nullptr;
+    auto golden = std::make_unique<workload::SyntheticWorkload>(
+        workload::profileByName(bench), seed);
+    auto checker = std::make_unique<harden::CommitChecker>(
+        std::move(golden), bench + "/" + std::string(m.kind()));
+    m.attachCommitChecker(checker.get());
+    return checker;
+}
+
+/** Arms the cell's fault plan (Fg-STP machines only), reseeded so
+ *  each cell draws an independent deterministic fault stream. */
+void
+maybeInject(part::FgstpMachine &m, std::uint64_t seed)
+{
+    if (!cellInject.load(std::memory_order_relaxed))
+        return;
+    harden::FaultPlan p;
+    {
+        std::lock_guard<std::mutex> lock(cellPlanMutex);
+        p = cellPlan;
+    }
+    p.seed ^= seed;
+    m.enableFaultInjection(p);
+}
+
 // ---- per-cell observability collector ------------------------------------
 
 std::atomic<bool> cellObsEnabled{false};
@@ -114,6 +158,7 @@ runSingleWithCore(const std::string &bench,
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     sim::SingleCoreMachine m(core_cfg, p.memory, w);
+    const auto checker = maybeChecker(m, bench, seed);
     maybeMonitor(m);
     const Sample s = toSample(m.run(insts));
     maybeRecord(m, bench, seed, s);
@@ -134,6 +179,7 @@ runFused(const std::string &bench, const sim::MachinePreset &p,
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     fusion::FusedMachine m(p.core, p.memory, w, ovh);
+    const auto checker = maybeChecker(m, bench, seed);
     maybeMonitor(m);
     const Sample s = toSample(m.run(insts));
     maybeRecord(m, bench, seed, s);
@@ -154,6 +200,8 @@ runFgstp(const std::string &bench, const sim::MachinePreset &p,
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     part::FgstpMachine m(p.core, p.memory, cfg, w);
+    const auto checker = maybeChecker(m, bench, seed);
+    maybeInject(m, seed);
     maybeMonitor(m);
     const Sample s = toSample(m.run(insts));
     maybeRecord(m, bench, seed, s);
@@ -170,10 +218,35 @@ runFgstpFull(const std::string &bench, const sim::MachinePreset &p,
         workload::profileByName(bench), seed);
     r.machine = std::make_unique<part::FgstpMachine>(p.core, p.memory,
                                                      cfg, *r.workload);
+    r.checker = maybeChecker(*r.machine, bench, seed);
+    maybeInject(*r.machine, seed);
     maybeMonitor(*r.machine);
     r.sample = toSample(r.machine->run(insts));
     maybeRecord(*r.machine, bench, seed, r.sample);
     return r;
+}
+
+void
+setCellHardening(const harden::FaultPlan &plan, bool check)
+{
+    {
+        std::lock_guard<std::mutex> lock(cellPlanMutex);
+        cellPlan = plan;
+    }
+    cellInject.store(plan.any(), std::memory_order_relaxed);
+    cellCheck.store(check, std::memory_order_relaxed);
+}
+
+bool
+cellCheckEnabled()
+{
+    return cellCheck.load(std::memory_order_relaxed);
+}
+
+bool
+cellInjectEnabled()
+{
+    return cellInject.load(std::memory_order_relaxed);
 }
 
 void

@@ -23,6 +23,8 @@
 
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
+#include "harden/commit_checker.hh"
+#include "harden/fault.hh"
 #include "obs/cpi_stack.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
@@ -104,12 +106,33 @@ struct FgstpRun
     Sample sample;
     std::unique_ptr<workload::SyntheticWorkload> workload;
     std::unique_ptr<part::FgstpMachine> machine;
+    /** Present when per-cell checking is on; owned past the machine
+     *  so the attached pointer can never dangle mid-run. */
+    std::unique_ptr<harden::CommitChecker> checker;
 };
 
 FgstpRun runFgstpFull(const std::string &bench,
                       const sim::MachinePreset &p,
                       const part::FgstpConfig &cfg, std::uint64_t insts,
                       std::uint64_t seed = evalSeed);
+
+// ---- per-cell hardening ----------------------------------------------------
+
+/**
+ * Process-wide per-cell hardening, mirroring enableCellObservability:
+ * when `check` is on, every machine the run helpers construct gets a
+ * golden-model CommitChecker fed by a second SyntheticWorkload of the
+ * same (bench, seed); when `plan.any()`, Fg-STP machines additionally
+ * run under the fault plan, reseeded per cell (plan.seed ^ cell seed)
+ * so every job draws its own deterministic fault stream. Faults
+ * target the Fg-STP cross-core machinery only — single-core and
+ * fusion cells are never injected. A cell that diverges, deadlocks or
+ * hits an unrecoverable fault throws; the experiment runner records
+ * it as a failed cell instead of crashing the sweep.
+ */
+void setCellHardening(const harden::FaultPlan &plan, bool check);
+bool cellCheckEnabled();
+bool cellInjectEnabled();
 
 // ---- per-cell observability ------------------------------------------------
 

@@ -952,7 +952,18 @@ scheduleExperiment(const Experiment &e, const RunParams &params,
         s.futures.push_back(pool.submit([fn = std::move(c.fn)] {
             const auto t0 = Clock::now();
             CellResult r;
-            r.values = fn();
+            // Crash isolation: a throwing cell (watchdog, checker,
+            // unrecoverable fault, I/O) becomes a failed result, not
+            // a dead 13-experiment sweep.
+            try {
+                r.values = fn();
+            } catch (const std::exception &ex) {
+                r.ok = false;
+                r.error = ex.what();
+            } catch (...) {
+                r.ok = false;
+                r.error = "unknown exception";
+            }
             r.wallTimeMs = msSince(t0);
             return r;
         }));
@@ -973,11 +984,20 @@ collectExperiment(ScheduledExperiment &&scheduled,
     std::vector<CellResult> results;
     results.reserve(scheduled.futures.size());
     for (auto &f : scheduled.futures)
-        results.push_back(f.get()); // rethrows cell exceptions
-    for (const auto &r : results)
-        run.cellWallTimeMs.push_back(r.wallTimeMs);
+        results.push_back(f.get()); // exceptions were captured per cell
 
-    run.output = scheduled.experiment->reduce(params, results);
+    run.results = results;
+    if (run.ok()) {
+        run.output = scheduled.experiment->reduce(params, results);
+    } else {
+        // Reducers index positional metric vectors that failed cells
+        // lack; degrade to an error summary instead.
+        run.output.footer =
+            std::to_string(run.failedCells()) + " of " +
+            std::to_string(results.size()) +
+            " cells failed; table not reduced (see the per-job "
+            "status list).";
+    }
     run.wallTimeMs = msSince(t0);
     return run;
 }
@@ -1002,6 +1022,16 @@ renderText(std::ostream &os, const ExperimentRun &run, bool csv)
     run.output.table.render(os, csv);
     if (!run.output.footer.empty())
         os << "\n" << run.output.footer << "\n";
+    if (!run.ok()) {
+        for (std::size_t i = 0; i < run.results.size(); ++i) {
+            if (run.results[i].ok)
+                continue;
+            os << "FAILED " << run.cells[i].bench << "/"
+               << run.cells[i].machine << " (seed "
+               << run.cells[i].seed << "): " << run.results[i].error
+               << "\n";
+        }
+    }
 }
 
 namespace
@@ -1040,7 +1070,7 @@ renderJson(std::ostream &os, const ExperimentRun &run,
     const auto &out = run.output;
 
     os << "{\n";
-    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"schemaVersion\": 2,\n";
     os << "  \"experiment\": " << json::quote(e.name) << ",\n";
     os << "  \"title\": " << json::quote(e.title) << ",\n";
     os << "  \"preset\": " << json::quote(e.preset) << ",\n";
@@ -1049,6 +1079,9 @@ renderJson(std::ostream &os, const ExperimentRun &run,
     os << "    \"evalSeed\": " << json::number(params.seed) << ",\n";
     os << "    \"cellCount\": "
        << json::number(static_cast<std::uint64_t>(run.cells.size()))
+       << ",\n";
+    os << "    \"failedCells\": "
+       << json::number(static_cast<std::uint64_t>(run.failedCells()))
        << ",\n";
     // Run-environment metadata shares the wallTimeMs line so a single
     // `grep -v wallTimeMs` leaves only deterministic content.
@@ -1095,12 +1128,21 @@ renderJson(std::ostream &os, const ExperimentRun &run,
     os << "  \"jobs\": [\n";
     for (std::size_t i = 0; i < run.cells.size(); ++i) {
         const auto &c = run.cells[i];
+        const auto &r = run.results[i];
         os << "    {\"bench\": " << json::quote(c.bench)
            << ", \"machine\": " << json::quote(c.machine)
-           << ", \"seed\": " << json::number(c.seed) << ",\n"
-           << "     \"wallTimeMs\": "
-           << json::number(run.cellWallTimeMs[i]) << "}"
-           << (i + 1 < run.cells.size() ? "," : "") << "\n";
+           << ", \"seed\": " << json::number(c.seed) << ",\n";
+        if (r.ok) {
+            os << "     \"status\": \"ok\",\n";
+        } else {
+            // json::quote escapes the newlines a watchdog dump or a
+            // divergence report may carry, so each job row stays a
+            // fixed number of physical lines.
+            os << "     \"status\": \"failed\", \"error\": "
+               << json::quote(r.error) << ",\n";
+        }
+        os << "     \"wallTimeMs\": " << json::number(r.wallTimeMs)
+           << "}" << (i + 1 < run.cells.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
 
@@ -1119,7 +1161,7 @@ legacyMain(const char *experiment_name, int argc, char **argv)
     ThreadPool pool(std::thread::hardware_concurrency());
     const auto run = runExperiment(*e, RunParams{}, pool);
     renderText(std::cout, run, csv);
-    return 0;
+    return run.ok() ? 0 : 1;
 }
 
 } // namespace fgstp::bench

@@ -56,11 +56,19 @@ struct Cell
     std::function<std::vector<double>()> fn;
 };
 
-/** A cell's outcome plus the wall time the job took on its worker. */
+/**
+ * A cell's outcome plus the wall time the job took on its worker.
+ * A cell that threw (watchdog trip, checker divergence, unrecoverable
+ * injected fault, ...) is recorded with ok == false and the error
+ * message, instead of killing the sweep — crash isolation is per
+ * cell.
+ */
 struct CellResult
 {
     std::vector<double> values;
     double wallTimeMs = 0.0;
+    bool ok = true;
+    std::string error;
 };
 
 /** A quantitative expectation the paper states for an experiment. */
@@ -126,12 +134,28 @@ struct ExperimentRun
 {
     const Experiment *experiment = nullptr;
     ExperimentOutput output;
-    std::vector<Cell> cells;           ///< identity + seed per job
-    std::vector<double> cellWallTimeMs; ///< per-job wall time
+    std::vector<Cell> cells;         ///< identity + seed per job
+    std::vector<CellResult> results; ///< per-job outcome (cells order)
     double wallTimeMs = 0.0; ///< schedule-to-reduce elapsed time
+
+    std::size_t
+    failedCells() const
+    {
+        std::size_t n = 0;
+        for (const auto &r : results)
+            n += !r.ok;
+        return n;
+    }
+
+    bool ok() const { return failedCells() == 0; }
 };
 
-/** Waits for all cells, then reduces. Rethrows any cell exception. */
+/**
+ * Waits for all cells, then reduces. Cell exceptions never propagate:
+ * each failed cell is recorded in results (ok == false) and the
+ * reduce step is skipped when any cell failed (the reducers index
+ * positional metric vectors that a failed cell does not have).
+ */
 ExperimentRun collectExperiment(ScheduledExperiment &&scheduled,
                                 const RunParams &params);
 

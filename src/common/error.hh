@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The structured simulator error hierarchy.
+ *
+ * Complements logging.hh's fatal()/panic(): those terminate the
+ * process and are right for CLI argument errors and internal invariant
+ * violations, but the robustness layer (src/harden) needs failures a
+ * caller can *contain* — a bench sweep must record one bad cell and
+ * keep going, a test must assert that a wedged machine raises rather
+ * than hangs. Everything recoverable therefore throws a SimError
+ * subclass; each CLI main catches SimError at top level and turns it
+ * into a clear message plus a non-zero exit, preserving the
+ * exit-code contract of the fatal() era.
+ */
+
+#ifndef FGSTP_COMMON_ERROR_HH
+#define FGSTP_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace fgstp
+{
+
+/** Base of every recoverable simulator error. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg)
+    {
+    }
+};
+
+/** An output file could not be opened, written or finalized. */
+class SimIoError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** A trace or event-log file failed to parse (corrupt or truncated). */
+class TraceFormatError : public SimIoError
+{
+  public:
+    using SimIoError::SimIoError;
+};
+
+/** A --inject specification string failed to parse. */
+class FaultSpecError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * An injected fault exceeded the machine's recovery capability (e.g.
+ * an operand-link packet was dropped on every retransmission). Raised
+ * instead of silently corrupting results.
+ */
+class FaultInjectionError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * The forward-progress watchdog tripped: no instruction committed for
+ * the machine's watchdog budget. what() carries the full diagnostic
+ * dump (ROB head state per core plus a StatReport snapshot).
+ */
+class SimDeadlockError : public SimError
+{
+  public:
+    SimDeadlockError(Cycle cycle, std::uint64_t committed,
+                     const std::string &msg)
+        : SimError(msg), _cycle(cycle), _committed(committed)
+    {
+    }
+
+    /** Cycle at which the watchdog fired. */
+    Cycle cycle() const { return _cycle; }
+
+    /** Instructions committed before progress stopped. */
+    std::uint64_t committed() const { return _committed; }
+
+  private:
+    Cycle _cycle;
+    std::uint64_t _committed;
+};
+
+/**
+ * The golden-model cross-check found a committed instruction that
+ * differs from the reference stream. what() is the first-divergence
+ * report; seq() is the offending global sequence number.
+ */
+class CheckDivergenceError : public SimError
+{
+  public:
+    CheckDivergenceError(InstSeqNum seq, const std::string &msg)
+        : SimError(msg), _seq(seq)
+    {
+    }
+
+    InstSeqNum seq() const { return _seq; }
+
+  private:
+    InstSeqNum _seq;
+};
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_ERROR_HH

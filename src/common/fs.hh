@@ -7,15 +7,24 @@
  * a missing directory is created up front — or fails with a clear
  * message — instead of each tool discovering a bad path only when a
  * stream silently fails to open.
+ *
+ * AtomicFileWriter extends that contract to the write itself: output
+ * goes to `<path>.tmp` and is renamed over `path` only after a
+ * verified flush, so an unwritable path or a disk filling up mid-write
+ * raises SimIoError and leaves no partial file that would later parse
+ * as truncated.
  */
 
 #ifndef FGSTP_COMMON_FS_HH
 #define FGSTP_COMMON_FS_HH
 
 #include <filesystem>
+#include <fstream>
+#include <ios>
 #include <string>
 #include <system_error>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace fgstp
@@ -48,6 +57,90 @@ ensureParentDir(const std::string &path)
     if (!parent.empty())
         ensureDir(parent.string());
 }
+
+/**
+ * Writes a file all-or-nothing: stream() feeds `<path>.tmp`, and
+ * commit() flushes, verifies the stream and renames the temporary
+ * over the final path. Any failure — unopenable path, write error,
+ * disk full at flush, rename refusal — throws SimIoError; an
+ * uncommitted writer (error or early destruction) removes the
+ * temporary so no partial output survives under either name.
+ */
+class AtomicFileWriter
+{
+  public:
+    explicit AtomicFileWriter(const std::string &path,
+                              bool binary = false)
+        : finalPath(path), tmpPath(path + ".tmp")
+    {
+        // Unlike ensureParentDir (fatal), a bad parent throws here so
+        // the caller's one SimError catch — or a sweep's per-cell
+        // isolation — can report it instead of dying mid-process.
+        const std::filesystem::path parent =
+            std::filesystem::path(path).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+            if (ec || !std::filesystem::is_directory(parent)) {
+                throw SimIoError(
+                    "cannot create output directory '" +
+                    parent.string() + "' for writing '" + path + "'" +
+                    (ec ? ": " + ec.message() : ""));
+            }
+        }
+        os.open(tmpPath, binary
+                    ? std::ios::binary | std::ios::trunc
+                    : std::ios::trunc);
+        if (!os) {
+            throw SimIoError("cannot open '" + tmpPath +
+                             "' for writing (unwritable path?)");
+        }
+    }
+
+    ~AtomicFileWriter()
+    {
+        if (committed)
+            return;
+        os.close();
+        std::error_code ec;
+        std::filesystem::remove(tmpPath, ec);
+    }
+
+    AtomicFileWriter(const AtomicFileWriter &) = delete;
+    AtomicFileWriter &operator=(const AtomicFileWriter &) = delete;
+
+    std::ofstream &stream() { return os; }
+
+    void
+    commit()
+    {
+        os.flush();
+        if (!os) {
+            throw SimIoError("write to '" + tmpPath +
+                             "' failed (disk full?)");
+        }
+        os.close();
+        if (os.fail()) {
+            throw SimIoError("closing '" + tmpPath +
+                             "' failed (disk full?)");
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmpPath, finalPath, ec);
+        if (ec) {
+            std::error_code rm;
+            std::filesystem::remove(tmpPath, rm);
+            throw SimIoError("cannot finalize '" + finalPath +
+                             "': " + ec.message());
+        }
+        committed = true;
+    }
+
+  private:
+    std::string finalPath;
+    std::string tmpPath;
+    std::ofstream os;
+    bool committed = false;
+};
 
 } // namespace fgstp
 

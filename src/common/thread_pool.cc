@@ -1,6 +1,9 @@
 #include "common/thread_pool.hh"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
 
 namespace fgstp
 {
@@ -22,6 +25,40 @@ ThreadPool::~ThreadPool()
     cv.notify_all();
     for (auto &w : workers)
         w.join();
+
+    if (const auto n = uncaughtErrorCount()) {
+        warn("thread pool destroyed with ", n,
+             " uncollected job error(s); call takeUncaughtErrors() "
+             "after the barrier to handle them");
+    }
+}
+
+void
+ThreadPool::post(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.emplace_back([this, job = std::move(job)] {
+            try {
+                job();
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> elock(errorMutex);
+                    uncaught.push_back(std::current_exception());
+                }
+                errorCount.fetch_add(1, std::memory_order_release);
+            }
+        });
+    }
+    cv.notify_one();
+}
+
+std::vector<std::exception_ptr>
+ThreadPool::takeUncaughtErrors()
+{
+    std::lock_guard<std::mutex> lock(errorMutex);
+    errorCount.store(0, std::memory_order_release);
+    return std::exchange(uncaught, {});
 }
 
 void
@@ -39,8 +76,19 @@ ThreadPool::workerLoop()
             job = std::move(queue.front());
             queue.pop_front();
         }
-        // packaged_task routes any exception into the future.
-        job();
+        // packaged_task (submit) routes any exception into the
+        // future, and post() wraps its job in a catch-all — but an
+        // exception must never unwind the worker itself, so guard
+        // defensively against jobs enqueued by other means.
+        try {
+            job();
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> elock(errorMutex);
+                uncaught.push_back(std::current_exception());
+            }
+            errorCount.fetch_add(1, std::memory_order_release);
+        }
     }
 }
 

@@ -5,9 +5,12 @@
  * Deliberately minimal: no work stealing, no priorities, no dynamic
  * sizing. Jobs are closures submitted to one FIFO queue and executed
  * by a fixed set of workers; submit() returns a std::future that
- * carries the job's result or its exception. The destructor drains
- * every job submitted so far, then joins the workers, so destroying
- * the pool is a barrier.
+ * carries the job's result or its exception, while post() is
+ * fire-and-forget — an exception escaping a posted job is captured
+ * (never allowed to unwind a worker thread into std::terminate) and
+ * surfaced through takeUncaughtErrors(). The destructor drains every
+ * job submitted so far, then joins the workers, so destroying the
+ * pool is a barrier.
  *
  * Determinism contract: the pool never supplies randomness or
  * ordering to its jobs. A job set whose jobs are pure functions of
@@ -19,8 +22,10 @@
 #ifndef FGSTP_COMMON_THREAD_POOL_HH
 #define FGSTP_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -70,6 +75,24 @@ class ThreadPool
         return fut;
     }
 
+    /**
+     * Enqueues a fire-and-forget job. An exception the job throws is
+     * captured into the uncaught-error list instead of terminating
+     * the worker; collect it with takeUncaughtErrors() after the
+     * barrier (or be warned at destruction).
+     */
+    void post(std::function<void()> job);
+
+    /** Errors captured from posted jobs so far (without claiming). */
+    std::size_t
+    uncaughtErrorCount() const
+    {
+        return errorCount.load(std::memory_order_acquire);
+    }
+
+    /** Claims and clears the captured errors of posted jobs. */
+    std::vector<std::exception_ptr> takeUncaughtErrors();
+
   private:
     void workerLoop();
 
@@ -78,6 +101,11 @@ class ThreadPool
     std::mutex mutex;
     std::condition_variable cv;
     bool stopping = false;
+
+    /** Exceptions escaped from post()ed jobs, under errorMutex. */
+    std::vector<std::exception_ptr> uncaught;
+    std::mutex errorMutex;
+    std::atomic<std::size_t> errorCount{0};
 };
 
 } // namespace fgstp

@@ -8,6 +8,11 @@
  * reports execution events back through it; the machine uses those to
  * move values over the operand link, order global commit and detect
  * cross-core memory-order violations.
+ *
+ * onCommitted() is also the hardening tap: machines feed each distinct
+ * commit to an attached harden::CommitChecker (see sim::Machine::
+ * attachCommitChecker), which verifies the retired stream against a
+ * golden single-core reference.
  */
 
 #ifndef FGSTP_CORE_HOOKS_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "harden/commit_checker.hh"
 
 namespace fgstp::part
 {
@@ -139,8 +141,23 @@ FgstpMachine::fillWindow()
         streamEnded = true;
         return false;
     }
-    for (auto &r : batch)
+    for (auto &r : batch) {
+        if (injector) {
+            // Steering-table bit flip: perturb the placement decision
+            // after partitioning. The architectural stream is defined
+            // by the trace, so a flip can only disturb timing — but it
+            // stresses every cross-core path (commit token, operand
+            // link, memory speculation) on an unintended schedule. A
+            // flip that would leave the instruction unassigned is
+            // discarded.
+            if (const std::uint8_t bit = injector->steerFlipBit()) {
+                const std::uint8_t flipped = r.cores ^ bit;
+                if (flipped != maskNone)
+                    r.cores = flipped;
+            }
+        }
         window.push_back({std::move(r), 0});
+    }
     return true;
 }
 
@@ -283,8 +300,14 @@ FgstpMachine::externalDeps(CoreId c, InstSeqNum seq, Cycle now)
     // already, so it knows they are coming even when the peer core
     // has not dispatched them yet.
     if (r.inst.isLoad()) {
-        const auto pred = cfg.memSpeculation
+        auto pred = cfg.memSpeculation
             ? globalStoreSet.predictedStore(r.inst.pc) : std::nullopt;
+        // Injected store-set misprediction: pretend the predictor had
+        // no entry, so the load speculates past the remote store it
+        // previously collided with and the cross-core alias check must
+        // catch and repair any violation.
+        if (pred && injector && injector->dropStoreSetSync())
+            pred.reset();
         if (!cfg.memSpeculation || pred) {
             const InstSeqNum scan_floor =
                 seq > windowBase + storeScanDepth
@@ -393,7 +416,7 @@ FgstpMachine::canCommit(CoreId, InstSeqNum seq, Cycle)
 }
 
 void
-FgstpMachine::onCommitted(CoreId, const core::CoreInst &inst, Cycle)
+FgstpMachine::onCommitted(CoreId, const core::CoreInst &inst, Cycle now)
 {
     WindowEntry *e = windowAt(inst.seq);
     sim_assert(e, "commit of instruction ", inst.seq,
@@ -404,6 +427,8 @@ FgstpMachine::onCommitted(CoreId, const core::CoreInst &inst, Cycle)
 
     ++committed;
     nextCommitSeq = inst.seq + 1;
+    if (checker)
+        checker->onCommit(inst.seq, inst.inst, now);
 
     if (inst.isStore())
         storesInFlight.erase(inst.seq);
@@ -433,6 +458,23 @@ FgstpMachine::requestSquash(InstSeqNum seq, obs::SquashCause cause)
     if (seq < pendingSquash) {
         pendingSquash = seq;
         pendingSquashCause = cause;
+    }
+}
+
+void
+FgstpMachine::enableFaultInjection(const harden::FaultPlan &plan)
+{
+    injector = std::make_unique<harden::FaultInjector>(plan);
+    if (plan.anyLink()) {
+        uncore::LinkFaultConfig lf;
+        lf.dropRate = plan.linkDropRate;
+        lf.delayRate = plan.linkDelayRate;
+        lf.delayCycles = plan.linkDelayCycles;
+        lf.retryTimeout = plan.linkRetryTimeout;
+        lf.maxRetries = plan.linkMaxRetries;
+        // Keep the link stream independent of the injector streams.
+        lf.seed = plan.seed ^ 0x4c696e6b44726f70ull;
+        link.enableFaultInjection(lf);
     }
 }
 
@@ -563,21 +605,22 @@ FgstpMachine::run(std::uint64_t num_insts)
         if (committed != last_committed) {
             last_committed = committed;
             last_progress = cycle;
-        } else if (cycle - last_progress > 200000) {
+        } else if (cycle - last_progress > watchdog) {
             const WindowEntry *stuck = windowAt(nextCommitSeq);
-            panic("Fg-STP made no commit progress for 200000 cycles "
-                  "at cycle ", cycle, " (nextCommitSeq=", nextCommitSeq,
-                  " cores=",
-                  stuck ? int{stuck->routed.cores} : -1,
-                  " copies=",
-                  stuck ? int{stuck->committedCopies} : -1,
-                  " barrier=",
-                  static_cast<std::int64_t>(fetchBarrier() ==
-                      invalidSeqNum ? -1 : static_cast<std::int64_t>(
-                          fetchBarrier())),
-                  " cur0=", cursor[0], " cur1=", cursor[1], ")\n  ",
-                  cores[0]->debugState(), "\n  ",
-                  cores[1]->debugState());
+            std::ostringstream detail;
+            detail << "  window: nextCommitSeq=" << nextCommitSeq
+                   << " cores="
+                   << (stuck ? int{stuck->routed.cores} : -1)
+                   << " copies="
+                   << (stuck ? int{stuck->committedCopies} : -1)
+                   << " barrier="
+                   << (fetchBarrier() == invalidSeqNum
+                           ? std::int64_t{-1}
+                           : static_cast<std::int64_t>(fetchBarrier()))
+                   << " cur0=" << cursor[0] << " cur1=" << cursor[1]
+                   << "\n  core0: " << cores[0]->debugState()
+                   << "\n  core1: " << cores[1]->debugState();
+            raiseDeadlock(cycle, committed, detail.str());
         }
     }
 

@@ -38,6 +38,7 @@
 #include "fgstp/config.hh"
 #include "fgstp/partitioner.hh"
 #include "fgstp/routed_inst.hh"
+#include "harden/fault.hh"
 #include "memory/hierarchy.hh"
 #include "sim/machine.hh"
 #include "trace/trace_source.hh"
@@ -90,6 +91,21 @@ class FgstpMachine : public sim::Machine
     const uncore::LinkStats &linkStats() const { return link.stats(); }
 
     Cycle currentCycle() const { return cycle; }
+
+    /**
+     * Arms seeded fault injection (src/harden): forced store-set sync
+     * drops, steering-mask bit flips, and operand-link packet
+     * delay/drop per `plan`. Call before run(). Without this call the
+     * machine carries a single null-pointer test per injection point.
+     */
+    void enableFaultInjection(const harden::FaultPlan &plan);
+
+    /** The armed injector, or nullptr when fault injection is off. */
+    const harden::FaultInjector *
+    faultInjector() const
+    {
+        return injector.get();
+    }
 
     void enableObservability(const obs::MonitorConfig &cfg) override;
 
@@ -232,6 +248,9 @@ class FgstpMachine : public sim::Machine
     obs::SquashCause pendingSquashCause = obs::SquashCause::MemOrderLocal;
 
     Cycle cycle = 0;
+
+    /** Seeded fault injector; null when fault injection is off. */
+    std::unique_ptr<harden::FaultInjector> injector;
 
     FgstpStats _stats;
 };

@@ -2,6 +2,10 @@
  * @file
  * The Core Fusion machine: a SingleCoreMachine running the fused
  * (two-cluster, double-width, deeper-front-end) core configuration.
+ *
+ * Hardening (commit checker, forward-progress watchdog) is inherited
+ * from SingleCoreMachine — a FusedMachine with a checker attached is
+ * verified commit-by-commit like the other two machines.
  */
 
 #ifndef FGSTP_FUSION_FUSED_MACHINE_HH

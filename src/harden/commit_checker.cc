@@ -1,0 +1,77 @@
+#include "harden/commit_checker.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "isa/op_class.hh"
+
+namespace fgstp::harden
+{
+
+CommitChecker::CommitChecker(std::unique_ptr<trace::TraceSource> golden,
+                             std::string label)
+    : golden(std::move(golden)), label(std::move(label))
+{
+}
+
+void
+CommitChecker::diverge(InstSeqNum seq, Cycle now, const char *field,
+                       const std::string &expected,
+                       const std::string &actual) const
+{
+    std::ostringstream os;
+    os << "commit checker (" << label << "): first divergence at seq "
+       << seq << ", cycle " << now << ": " << field << " expected "
+       << expected << ", got " << actual << " (" << count
+       << " commits verified before the divergence)";
+    throw CheckDivergenceError(seq, os.str());
+}
+
+void
+CommitChecker::onCommit(InstSeqNum seq, const trace::DynInst &inst,
+                        Cycle now)
+{
+    auto hex = [](Addr a) {
+        std::ostringstream os;
+        os << "0x" << std::hex << a;
+        return os.str();
+    };
+
+    // Commit order: exactly one step forward, never a skip, never a
+    // replayed (duplicate) distinct commit.
+    if (seq != nextSeq) {
+        diverge(seq, now, "commit sequence", std::to_string(nextSeq),
+                std::to_string(seq));
+    }
+
+    trace::DynInst ref;
+    if (!golden->next(ref)) {
+        diverge(seq, now, "stream length",
+                "end of golden stream at " + std::to_string(count),
+                "another commit");
+    }
+
+    if (inst.pc != ref.pc)
+        diverge(seq, now, "pc", hex(ref.pc), hex(inst.pc));
+    if (inst.op != ref.op) {
+        diverge(seq, now, "op class",
+                std::string(isa::opClassName(ref.op)),
+                std::string(isa::opClassName(inst.op)));
+    }
+    if (inst.isMem()) {
+        if (inst.effAddr != ref.effAddr) {
+            diverge(seq, now, "memory address", hex(ref.effAddr),
+                    hex(inst.effAddr));
+        }
+        if (inst.memSize != ref.memSize) {
+            diverge(seq, now, "memory size",
+                    std::to_string(ref.memSize),
+                    std::to_string(inst.memSize));
+        }
+    }
+
+    ++nextSeq;
+    ++count;
+}
+
+} // namespace fgstp::harden

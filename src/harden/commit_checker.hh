@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Golden-model cross-check of the committed instruction stream.
+ *
+ * A partitioned or fused run must commit the *exact* architectural
+ * work a single core would: same instructions, same order, no
+ * duplicates, no gaps. The trace is post-execution, so the dynamic
+ * stream delivered by a TraceSource *is* the architecturally correct
+ * committed stream — a fresh source over the same workload/trace is
+ * therefore equivalent to a single-core reference run, without paying
+ * for a second timing simulation. (The single-core-with-checker test
+ * in tests/test_harden.cc pins down that equivalence.)
+ *
+ * The checker is fed through the machines' core::CoreHooks commit
+ * path at each *distinct* commit and diffs online: sequence numbers
+ * must advance by exactly one, and pc / op class / memory address and
+ * size must match the reference record. The first mismatch raises a
+ * CheckDivergenceError carrying a precise report; a clean run costs
+ * one source read and a handful of compares per commit, and a
+ * detached checker (the default — machines hold a null pointer, like
+ * the src/obs monitors) costs nothing at all.
+ */
+
+#ifndef FGSTP_HARDEN_COMMIT_CHECKER_HH
+#define FGSTP_HARDEN_COMMIT_CHECKER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "trace/dyn_inst.hh"
+#include "trace/trace_source.hh"
+
+namespace fgstp::harden
+{
+
+class CommitChecker
+{
+  public:
+    /**
+     * @param golden a fresh source over the same workload/trace the
+     *               checked machine runs (same profile and seed)
+     * @param label  run identity used in divergence reports
+     */
+    explicit CommitChecker(std::unique_ptr<trace::TraceSource> golden,
+                           std::string label = "golden");
+
+    /**
+     * Verifies one distinct commit against the reference stream.
+     * Throws CheckDivergenceError on the first divergence.
+     */
+    void onCommit(InstSeqNum seq, const trace::DynInst &inst, Cycle now);
+
+    /** Distinct commits verified so far. */
+    std::uint64_t checked() const { return count; }
+
+  private:
+    [[noreturn]] void diverge(InstSeqNum seq, Cycle now,
+                              const char *field,
+                              const std::string &expected,
+                              const std::string &actual) const;
+
+    std::unique_ptr<trace::TraceSource> golden;
+    std::string label;
+    InstSeqNum nextSeq = 1;
+    std::uint64_t count = 0;
+};
+
+} // namespace fgstp::harden
+
+#endif // FGSTP_HARDEN_COMMIT_CHECKER_HH

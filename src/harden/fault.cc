@@ -1,0 +1,222 @@
+#include "harden/fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace fgstp::harden
+{
+
+namespace
+{
+
+[[noreturn]] void
+specError(const std::string &spec, const std::string &what)
+{
+    throw FaultSpecError("bad --inject spec '" + spec + "': " + what);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        auto end = s.find(sep, start);
+        if (end == std::string::npos)
+            end = s.size();
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+double
+parseRate(const std::string &spec, const std::string &key,
+          const std::string &value)
+{
+    if (value.empty())
+        specError(spec, "empty value for '" + key + "'");
+    char *end = nullptr;
+    double r = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size())
+        specError(spec, "'" + key + "=" + value + "' is not a number");
+    if (r < 0.0 || r > 1.0) {
+        specError(spec, "'" + key + "=" + value +
+                            "' must be a probability in [0, 1]");
+    }
+    return r;
+}
+
+std::uint64_t
+parseCount(const std::string &spec, const std::string &key,
+           const std::string &value)
+{
+    if (value.empty())
+        specError(spec, "empty value for '" + key + "'");
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size() || value[0] == '-')
+        specError(spec, "'" + key + "=" + value +
+                            "' is not a non-negative integer");
+    return n;
+}
+
+/** One `key=value` pair inside a clause body. */
+struct KeyValue
+{
+    std::string key;
+    std::string value;
+};
+
+std::vector<KeyValue>
+parsePairs(const std::string &spec, const std::string &clause,
+           const std::string &body)
+{
+    std::vector<KeyValue> pairs;
+    for (const auto &item : split(body, ',')) {
+        auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            specError(spec, "expected key=value in '" + clause +
+                                "' clause, got '" + item + "'");
+        }
+        pairs.push_back({item.substr(0, eq), item.substr(eq + 1)});
+    }
+    return pairs;
+}
+
+} // namespace
+
+FaultPlan
+parseFaultPlan(const std::string &spec)
+{
+    if (spec.empty())
+        specError(spec, "empty spec");
+
+    FaultPlan plan;
+    for (const auto &clause : split(spec, ';')) {
+        auto colon = clause.find(':');
+        if (colon == std::string::npos) {
+            specError(spec, "clause '" + clause +
+                                "' has no ':' (expected kind:args)");
+        }
+        const std::string kind = clause.substr(0, colon);
+        const std::string body = clause.substr(colon + 1);
+
+        if (kind == "seed") {
+            plan.seed = parseCount(spec, "seed", body);
+        } else if (kind == "storeset") {
+            for (const auto &kv : parsePairs(spec, kind, body)) {
+                if (kv.key == "rate") {
+                    plan.storeSetDropRate =
+                        parseRate(spec, kv.key, kv.value);
+                } else {
+                    specError(spec, "unknown storeset key '" + kv.key +
+                                        "' (expected rate)");
+                }
+            }
+        } else if (kind == "steer") {
+            for (const auto &kv : parsePairs(spec, kind, body)) {
+                if (kv.key == "rate") {
+                    plan.steerFlipRate =
+                        parseRate(spec, kv.key, kv.value);
+                } else {
+                    specError(spec, "unknown steer key '" + kv.key +
+                                        "' (expected rate)");
+                }
+            }
+        } else if (kind == "link") {
+            for (const auto &kv : parsePairs(spec, kind, body)) {
+                if (kv.key == "drop") {
+                    plan.linkDropRate =
+                        parseRate(spec, kv.key, kv.value);
+                } else if (kv.key == "delay-rate") {
+                    plan.linkDelayRate =
+                        parseRate(spec, kv.key, kv.value);
+                } else if (kv.key == "delay") {
+                    plan.linkDelayCycles =
+                        parseCount(spec, kv.key, kv.value);
+                } else if (kv.key == "timeout") {
+                    plan.linkRetryTimeout =
+                        parseCount(spec, kv.key, kv.value);
+                    if (plan.linkRetryTimeout == 0) {
+                        specError(spec,
+                                  "'timeout' must be at least 1 cycle");
+                    }
+                } else if (kv.key == "retries") {
+                    auto n = parseCount(spec, kv.key, kv.value);
+                    if (n == 0 || n > 1u << 20)
+                        specError(spec, "'retries' must be in [1, 2^20]");
+                    plan.linkMaxRetries =
+                        static_cast<std::uint32_t>(n);
+                } else {
+                    specError(spec,
+                              "unknown link key '" + kv.key +
+                                  "' (expected drop, delay-rate, delay, "
+                                  "timeout or retries)");
+                }
+            }
+        } else {
+            specError(spec, "unknown fault kind '" + kind +
+                                "' (expected seed, storeset, steer "
+                                "or link)");
+        }
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << "seed:" << seed;
+    if (storeSetDropRate > 0.0)
+        os << "; storeset:rate=" << storeSetDropRate;
+    if (steerFlipRate > 0.0)
+        os << "; steer:rate=" << steerFlipRate;
+    if (anyLink()) {
+        os << "; link:drop=" << linkDropRate
+           << ",delay-rate=" << linkDelayRate
+           << ",delay=" << linkDelayCycles
+           << ",timeout=" << linkRetryTimeout
+           << ",retries=" << linkMaxRetries;
+    }
+    return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : _plan(plan),
+      // Distinct stream constants per fault kind: enabling or
+      // re-ordering one kind never changes another kind's sequence.
+      storeSetRng(plan.seed ^ 0x5374534574536574ull),
+      steerRng(plan.seed ^ 0x5374656572466c70ull)
+{
+}
+
+bool
+FaultInjector::dropStoreSetSync()
+{
+    if (_plan.storeSetDropRate <= 0.0)
+        return false;
+    if (!storeSetRng.chance(_plan.storeSetDropRate))
+        return false;
+    ++_stats.storeSetDrops;
+    return true;
+}
+
+std::uint8_t
+FaultInjector::steerFlipBit()
+{
+    if (_plan.steerFlipRate <= 0.0)
+        return 0;
+    if (!steerRng.chance(_plan.steerFlipRate))
+        return 0;
+    ++_stats.steerFlips;
+    // Pick which steering-table bit flips; the machine validates the
+    // flipped mask so an instruction never ends up unassigned.
+    return steerRng.chance(0.5) ? std::uint8_t(1) : std::uint8_t(2);
+}
+
+} // namespace fgstp::harden

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic fault injection for the Fg-STP machine.
+ *
+ * A FaultPlan describes *what* to break and at what rate; it is parsed
+ * from the `--inject=SPEC` grammar (docs/ROBUSTNESS.md):
+ *
+ *   SPEC   := clause (';' clause)*
+ *   clause := 'seed' ':' N
+ *           | 'storeset' ':' kv (',' kv)*    # rate=R
+ *           | 'steer'    ':' kv (',' kv)*    # rate=R
+ *           | 'link'     ':' kv (',' kv)*    # drop=R, delay-rate=R,
+ *                                            # delay=N, timeout=N,
+ *                                            # retries=N
+ *
+ * Fault kinds:
+ *  - storeset: a predicted store-set synchronization is dropped with
+ *    probability `rate`, forcing the load to speculate past the remote
+ *    store — the hardware recovery path (cross-core alias check,
+ *    squash, retrain) must clean it up.
+ *  - steer: a routed instruction's steering mask has one core bit
+ *    flipped with probability `rate` after partitioning (a steering-
+ *    table bit flip). Flips never produce an unassigned instruction.
+ *  - link: operand-link packets are dropped (recovered by receiver
+ *    timeout + retransmission, bounded by `retries`) or delayed by
+ *    `delay` extra cycles; these live in uncore::OperandLink.
+ *
+ * Everything is seeded: one plan + seed reproduces the exact same
+ * fault sequence, so every injected failure is replayable. The
+ * FaultInjector holds the run-time dice, one independent stream per
+ * fault kind so enabling one kind never perturbs another's sequence.
+ */
+
+#ifndef FGSTP_HARDEN_FAULT_HH
+#define FGSTP_HARDEN_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace fgstp::harden
+{
+
+/** A parsed, seeded description of the faults to inject. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    /** Probability a predicted store-set sync is dropped. */
+    double storeSetDropRate = 0.0;
+
+    /** Probability a routed instruction's core mask is flipped. */
+    double steerFlipRate = 0.0;
+
+    /** Probability a link packet's first transmission is dropped. */
+    double linkDropRate = 0.0;
+
+    /** Probability a link packet is delayed by linkDelayCycles. */
+    double linkDelayRate = 0.0;
+
+    /** Extra in-flight cycles for a delayed packet. */
+    Cycle linkDelayCycles = 0;
+
+    /** Receiver timeout before a retransmission is requested. */
+    Cycle linkRetryTimeout = 32;
+
+    /** Retransmissions before the loss is declared unrecoverable. */
+    std::uint32_t linkMaxRetries = 8;
+
+    bool
+    anyLink() const
+    {
+        return linkDropRate > 0.0 ||
+               (linkDelayRate > 0.0 && linkDelayCycles > 0);
+    }
+
+    bool
+    any() const
+    {
+        return storeSetDropRate > 0.0 || steerFlipRate > 0.0 ||
+               anyLink();
+    }
+
+    /** One-line human-readable summary of the active clauses. */
+    std::string describe() const;
+};
+
+/**
+ * Parses the --inject grammar above. Throws FaultSpecError with a
+ * precise message on malformed input.
+ */
+FaultPlan parseFaultPlan(const std::string &spec);
+
+/** Counters for the faults actually injected during a run. */
+struct InjectionStats
+{
+    std::uint64_t storeSetDrops = 0;
+    std::uint64_t steerFlips = 0;
+};
+
+/** The run-time dice for one machine's fault plan. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    const FaultPlan &plan() const { return _plan; }
+    const InjectionStats &stats() const { return _stats; }
+
+    /** Rolls the store-set clause: drop this predicted sync? */
+    bool dropStoreSetSync();
+
+    /**
+     * Rolls the steering clause: returns the core-mask bit to flip
+     * (maskCore0 or maskCore1 as a raw bit), or 0 for no flip.
+     */
+    std::uint8_t steerFlipBit();
+
+  private:
+    FaultPlan _plan;
+    InjectionStats _stats;
+    Rng storeSetRng;
+    Rng steerRng;
+};
+
+} // namespace fgstp::harden
+
+#endif // FGSTP_HARDEN_FAULT_HH

@@ -1,9 +1,11 @@
 #include "obs/event_log.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
+#include "common/error.hh"
 #include "common/fs.hh"
 #include "common/logging.hh"
 #include "isa/op_class.hh"
@@ -92,7 +94,7 @@ writeEventLog(std::ostream &os, const std::vector<InstEvent> &events)
         os.write(reinterpret_cast<const char *>(&p), sizeof(p));
     }
     if (!os)
-        fatal("event-log write failed");
+        throw SimIoError("event-log write failed (disk full?)");
 }
 
 std::vector<InstEvent>
@@ -101,20 +103,28 @@ readEventLog(std::istream &is)
     Header h{};
     is.read(reinterpret_cast<char *>(&h), sizeof(h));
     if (!is || h.magic != eventLogMagic)
-        fatal("not an event-log file (bad magic)");
-    if (h.version != eventLogVersion)
-        fatal("unsupported event-log version ", h.version);
+        throw TraceFormatError("not an event-log file (bad magic)");
+    if (h.version != eventLogVersion) {
+        throw TraceFormatError("unsupported event-log version " +
+                               std::to_string(h.version));
+    }
 
     std::vector<InstEvent> events;
-    events.reserve(h.count);
+    // Bound the up-front allocation so a corrupt count cannot OOM.
+    events.reserve(std::min<std::uint64_t>(h.count, 1u << 16));
     for (std::uint64_t i = 0; i < h.count; ++i) {
         PackedEvent p{};
         is.read(reinterpret_cast<char *>(&p), sizeof(p));
-        if (!is)
-            fatal("truncated event-log file: got ", i, " of ", h.count,
-                  " records");
-        if (p.op >= isa::numOpClasses)
-            fatal("corrupt event-log record at ", i, ": bad op class");
+        if (!is) {
+            throw TraceFormatError(
+                "truncated event-log file: got " + std::to_string(i) +
+                " of " + std::to_string(h.count) + " records");
+        }
+        if (p.op >= isa::numOpClasses) {
+            throw TraceFormatError("corrupt event-log record at " +
+                                   std::to_string(i) +
+                                   ": bad op class");
+        }
         events.push_back(unpack(p));
     }
     return events;
@@ -124,11 +134,9 @@ void
 saveEventLog(const std::string &path,
              const std::vector<InstEvent> &events)
 {
-    ensureParentDir(path);
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot open '", path, "' for writing");
-    writeEventLog(os, events);
+    AtomicFileWriter out(path, /*binary=*/true);
+    writeEventLog(out.stream(), events);
+    out.commit();
 }
 
 std::vector<InstEvent>
@@ -136,7 +144,7 @@ loadEventLog(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        fatal("cannot open '", path, "' for reading");
+        throw SimIoError("cannot open '" + path + "' for reading");
     return readEventLog(is);
 }
 

@@ -89,13 +89,9 @@ void
 savePipeview(const std::string &path,
              const std::vector<InstEvent> &events)
 {
-    ensureParentDir(path);
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open '", path, "' for writing");
-    writePipeview(os, events);
-    if (!os)
-        fatal("pipeview write to '", path, "' failed");
+    AtomicFileWriter out(path);
+    writePipeview(out.stream(), events);
+    out.commit();
 }
 
 } // namespace fgstp::obs

@@ -1,7 +1,28 @@
 #include "sim/machine.hh"
 
+#include <sstream>
+
+#include "common/error.hh"
+#include "sim/stat_report.hh"
+
 namespace fgstp::sim
 {
+
+void
+Machine::raiseDeadlock(Cycle now, std::uint64_t committed,
+                       const std::string &detail) const
+{
+    std::ostringstream os;
+    os << "forward-progress watchdog: " << kind()
+       << " machine committed nothing for " << watchdog
+       << " cycles (cycle " << now << ", " << committed
+       << " instructions committed)\n";
+    if (!detail.empty())
+        os << detail << "\n";
+    os << "--- stats at deadlock ---\n";
+    StatReport(*this, RunResult{now, committed}).dump(os);
+    throw SimDeadlockError(now, committed, os.str());
+}
 
 void
 Machine::dumpStats(std::ostream &os) const

@@ -10,11 +10,18 @@
 #include <cstdint>
 #include <ostream>
 
+#include <string>
+
 #include "branch/predictor.hh"
 #include "core/ooo_core.hh"
 #include "memory/hierarchy.hh"
 #include "obs/monitor.hh"
 #include "obs/occupancy.hh"
+
+namespace fgstp::harden
+{
+class CommitChecker;
+} // namespace fgstp::harden
 
 namespace fgstp::sim
 {
@@ -92,6 +99,47 @@ class Machine
      * stats (run() totals remain cumulative).
      */
     virtual void resetStats() = 0;
+
+    // ---- hardening (src/harden) -----------------------------------------
+
+    /**
+     * Attaches a golden-model commit checker; every distinct commit is
+     * verified online against the checker's reference stream and the
+     * first divergence throws CheckDivergenceError out of run(). The
+     * checker is borrowed, not owned, and null (the default) means no
+     * checking and no cost — the same detached-monitor contract as
+     * enableObservability().
+     */
+    void attachCommitChecker(harden::CommitChecker *c) { checker = c; }
+
+    /**
+     * Forward-progress watchdog budget: run() throws SimDeadlockError
+     * (with a full diagnostic dump) when no instruction commits for
+     * this many consecutive cycles. 0 restores the default.
+     */
+    void
+    setWatchdogLimit(Cycle cycles)
+    {
+        watchdog = cycles ? cycles : defaultWatchdogLimit;
+    }
+
+    Cycle watchdogLimit() const { return watchdog; }
+
+    static constexpr Cycle defaultWatchdogLimit = 200000;
+
+  protected:
+    /**
+     * Builds the watchdog diagnostic (machine kind, `detail` lines
+     * supplied by the caller — typically per-core ROB-head state —
+     * plus a StatReport snapshot) and throws SimDeadlockError.
+     */
+    [[noreturn]] void raiseDeadlock(Cycle now, std::uint64_t committed,
+                                    const std::string &detail) const;
+
+    /** Borrowed golden-model checker; null when detached. */
+    harden::CommitChecker *checker = nullptr;
+
+    Cycle watchdog = defaultWatchdogLimit;
 };
 
 } // namespace fgstp::sim

@@ -13,6 +13,10 @@
  * Observability: --pipeview=FILE (Konata/O3PipeView trace)
  *                --eventlog=FILE (binary event log)
  *                --cpi-stack --occupancy (imply --stats)
+ * Hardening:     --check (golden-model commit cross-check)
+ *                --inject=SPEC (seeded fault injection, fgstp only;
+ *                               grammar in docs/ROBUSTNESS.md)
+ *                --watchdog=N (deadlock budget in cycles)
  */
 
 #include <cstdio>
@@ -22,7 +26,10 @@
 #include <memory>
 #include <string>
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "harden/commit_checker.hh"
+#include "harden/fault.hh"
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
 #include "obs/event_log.hh"
@@ -55,6 +62,10 @@ struct Options
     std::string eventlogFile; // binary event log
     bool cpiStack = false;
     bool occupancy = false;
+
+    bool check = false;       // golden-model commit cross-check
+    std::string injectSpec;   // fault plan (empty = none)
+    Cycle watchdogLimit = 0;  // 0 = machine default
 
     std::uint32_t window = 0;
     Cycle linkLatency = 0;
@@ -105,6 +116,12 @@ parse(int argc, char **argv)
             o.pipeviewFile = v;
         } else if (matchValue(a, "--eventlog", v)) {
             o.eventlogFile = v;
+        } else if (std::strcmp(a, "--check") == 0) {
+            o.check = true;
+        } else if (matchValue(a, "--inject", v)) {
+            o.injectSpec = v;
+        } else if (matchValue(a, "--watchdog", v)) {
+            o.watchdogLimit = std::strtoull(v.c_str(), nullptr, 10);
         } else if (std::strcmp(a, "--cpi-stack") == 0) {
             o.cpiStack = true;
             o.stats = true;
@@ -136,12 +153,9 @@ parse(int argc, char **argv)
     return o;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runSim(Options o)
 {
-    Options o = parse(argc, argv);
     const auto preset = sim::presetByName(o.preset);
     std::unique_ptr<trace::TraceSource> owned_source;
     if (!o.traceFile.empty()) {
@@ -155,6 +169,7 @@ main(int argc, char **argv)
     trace::TraceSource &source = *owned_source;
 
     std::unique_ptr<sim::Machine> machine;
+    part::FgstpMachine *fgstp_machine = nullptr;
     if (o.machine == "single") {
         machine = std::make_unique<sim::SingleCoreMachine>(
             preset.core, preset.memory, source);
@@ -179,11 +194,44 @@ main(int argc, char **argv)
         cfg.memSpeculation = !o.noMemSpec;
         cfg.sharedPrediction = !o.noSharedPred;
         cfg.replicateBranches = o.replicateBranches;
-        machine = std::make_unique<part::FgstpMachine>(
+        auto fm = std::make_unique<part::FgstpMachine>(
             preset.core, preset.memory, cfg, source);
+        fgstp_machine = fm.get();
+        machine = std::move(fm);
     } else {
         fatal("unknown machine '", o.machine,
               "' (single | big | fusion | fgstp)");
+    }
+
+    if (o.watchdogLimit)
+        machine->setWatchdogLimit(o.watchdogLimit);
+
+    std::unique_ptr<harden::CommitChecker> checker;
+    if (o.check) {
+        // The golden stream is a fresh source over the same input: a
+        // reloaded trace file, or the same profile/seed regenerated.
+        std::unique_ptr<trace::TraceSource> golden;
+        if (!o.traceFile.empty()) {
+            golden = std::make_unique<trace::VectorTraceSource>(
+                trace::loadTraceFile(o.traceFile));
+        } else {
+            golden = std::make_unique<workload::SyntheticWorkload>(
+                workload::profileByName(o.bench), o.seed);
+        }
+        checker = std::make_unique<harden::CommitChecker>(
+            std::move(golden), o.bench + "/" + o.machine);
+        machine->attachCommitChecker(checker.get());
+    }
+
+    if (!o.injectSpec.empty()) {
+        if (!fgstp_machine) {
+            fatal("--inject targets the Fg-STP cross-core machinery; "
+                  "use --machine=fgstp");
+        }
+        const auto plan = harden::parseFaultPlan(o.injectSpec);
+        fgstp_machine->enableFaultInjection(plan);
+        std::fprintf(stderr, "fgstp_sim: injecting faults: %s\n",
+                     plan.describe().c_str());
     }
 
     obs::MonitorConfig mcfg;
@@ -198,6 +246,22 @@ main(int argc, char **argv)
                 machine->kind(), preset.name, o.bench.c_str(),
                 static_cast<unsigned long>(r.instructions),
                 static_cast<unsigned long>(r.cycles), r.ipc());
+
+    if (checker) {
+        std::printf("commit check: %lu instructions verified "
+                    "against the golden stream\n",
+                    static_cast<unsigned long>(checker->checked()));
+    }
+    if (fgstp_machine && fgstp_machine->faultInjector()) {
+        const auto &is = fgstp_machine->faultInjector()->stats();
+        const auto &ls = fgstp_machine->linkStats();
+        std::printf("faults injected: storeSetDrops=%lu "
+                    "steerFlips=%lu linkDrops=%lu linkDelays=%lu\n",
+                    static_cast<unsigned long>(is.storeSetDrops),
+                    static_cast<unsigned long>(is.steerFlips),
+                    static_cast<unsigned long>(ls.faultDrops),
+                    static_cast<unsigned long>(ls.faultDelays));
+    }
 
     if (mcfg.trace) {
         std::vector<const std::vector<obs::InstEvent> *> per_core;
@@ -220,4 +284,23 @@ main(int argc, char **argv)
             report.dump(std::cout);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    try {
+        return runSim(o);
+    } catch (const SimError &ex) {
+        // One catch handles every structured failure — a divergent
+        // commit stream, a watchdog trip, an unrecoverable injected
+        // fault, a bad fault spec, or an I/O error — as a clear
+        // message plus a non-zero exit.
+        std::fflush(stdout);
+        std::fprintf(stderr, "fgstp_sim: error: %s\n", ex.what());
+        return 1;
+    }
 }

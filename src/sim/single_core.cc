@@ -1,6 +1,7 @@
 #include "sim/single_core.hh"
 
 #include "common/logging.hh"
+#include "harden/commit_checker.hh"
 
 namespace fgstp::sim
 {
@@ -68,9 +69,11 @@ SingleCoreMachine::canCommit(InstSeqNum seq, Cycle)
 }
 
 void
-SingleCoreMachine::onCommitted(const core::CoreInst &inst, Cycle)
+SingleCoreMachine::onCommitted(const core::CoreInst &inst, Cycle now)
 {
     ++committed;
+    if (checker)
+        checker->onCommit(inst.seq, inst.inst, now);
     buffer.retireUpTo(inst.seq + 1);
 }
 
@@ -125,9 +128,9 @@ SingleCoreMachine::run(std::uint64_t num_insts)
         if (committed != last_committed) {
             last_committed = committed;
             last_progress = cycle;
-        } else if (cycle - last_progress > 200000) {
-            panic("no commit progress for 200000 cycles at cycle ",
-                  cycle, " (deadlock in the timing model)");
+        } else if (cycle - last_progress > watchdog) {
+            raiseDeadlock(cycle, committed,
+                          "  core0: " + cpu->debugState());
         }
     }
 

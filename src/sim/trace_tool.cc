@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
@@ -63,6 +64,8 @@ main(int argc, char **argv)
         }
     }
 
+    try {
+
     std::vector<trace::DynInst> insts_vec;
     if (!in_path.empty()) {
         insts_vec = trace::loadTraceFile(in_path);
@@ -111,6 +114,14 @@ main(int argc, char **argv)
     for (std::uint64_t i = 0; i < disasm && i < insts_vec.size(); ++i)
         std::printf("%6lu  %s\n", static_cast<unsigned long>(i),
                     insts_vec[i].disassemble().c_str());
+
+    } catch (const SimError &ex) {
+        // Corrupt/truncated input or a failed atomic write: clear
+        // message, non-zero exit, no partial output file.
+        std::fflush(stdout);
+        std::fprintf(stderr, "fgstp_trace: error: %s\n", ex.what());
+        return 1;
+    }
 
     return 0;
 }

@@ -1,11 +1,14 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
+#include "common/error.hh"
 #include "common/fs.hh"
 #include "common/logging.hh"
+#include "trace/dyn_inst.hh"
 
 namespace fgstp::trace
 {
@@ -83,7 +86,7 @@ writeTrace(std::ostream &os, const std::vector<DynInst> &insts)
         os.write(reinterpret_cast<const char *>(&p), sizeof(p));
     }
     if (!os)
-        fatal("trace write failed");
+        throw SimIoError("trace write failed (disk full?)");
 }
 
 void
@@ -103,21 +106,41 @@ readTrace(std::istream &is)
     Header h{};
     is.read(reinterpret_cast<char *>(&h), sizeof(h));
     if (!is || h.magic != traceMagic)
-        fatal("not a trace file (bad magic)");
-    if (h.version != traceVersion)
-        fatal("unsupported trace version ", h.version);
+        throw TraceFormatError("not a trace file (bad magic)");
+    if (h.version != traceVersion) {
+        throw TraceFormatError("unsupported trace version " +
+                               std::to_string(h.version));
+    }
 
     std::vector<DynInst> insts;
-    insts.reserve(h.count);
+    // A corrupt header count must not drive allocation: grow towards
+    // it instead, so truncation is detected after a bounded reserve.
+    insts.reserve(std::min<std::uint64_t>(h.count, 1u << 16));
     for (std::uint64_t i = 0; i < h.count; ++i) {
         PackedInst p{};
         is.read(reinterpret_cast<char *>(&p), sizeof(p));
-        if (!is)
-            fatal("truncated trace file: got ", i, " of ", h.count,
-                  " records");
-        if (p.op >= isa::numOpClasses)
-            fatal("corrupt trace record at ", i, ": bad op class");
-        insts.push_back(unpack(p));
+        if (!is) {
+            throw TraceFormatError(
+                "truncated trace file: got " + std::to_string(i) +
+                " of " + std::to_string(h.count) + " records");
+        }
+        if (p.op >= isa::numOpClasses) {
+            throw TraceFormatError("corrupt trace record at " +
+                                   std::to_string(i) +
+                                   ": bad op class");
+        }
+        if (p.numSrcs > maxSrcRegs) {
+            throw TraceFormatError("corrupt trace record at " +
+                                   std::to_string(i) +
+                                   ": bad source-register count");
+        }
+        DynInst d = unpack(p);
+        if (d.isMem() && (d.memSize == 0 || d.memSize > 64)) {
+            throw TraceFormatError("corrupt trace record at " +
+                                   std::to_string(i) +
+                                   ": bad memory access size");
+        }
+        insts.push_back(d);
     }
     return insts;
 }
@@ -125,11 +148,9 @@ readTrace(std::istream &is)
 void
 saveTraceFile(const std::string &path, const std::vector<DynInst> &insts)
 {
-    ensureParentDir(path);
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot open '", path, "' for writing");
-    writeTrace(os, insts);
+    AtomicFileWriter out(path, /*binary=*/true);
+    writeTrace(out.stream(), insts);
+    out.commit();
 }
 
 std::vector<DynInst>
@@ -137,7 +158,7 @@ loadTraceFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        fatal("cannot open '", path, "' for reading");
+        throw SimIoError("cannot open '" + path + "' for reading");
     return readTrace(is);
 }
 

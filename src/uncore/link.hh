@@ -8,6 +8,12 @@
  * bounded number of value slots per cycle: a send claims the first
  * free slot at or after `now` and the value arrives `latency` cycles
  * later. Queue delay therefore emerges from slot contention.
+ *
+ * For robustness testing (src/harden) the link supports seeded fault
+ * injection: packets can be delayed or dropped, and a dropped packet
+ * is recovered by a receiver timeout plus retransmission — bounded by
+ * a retry budget, past which the loss raises FaultInjectionError
+ * instead of silently losing an operand.
  */
 
 #ifndef FGSTP_UNCORE_LINK_HH
@@ -16,8 +22,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/error.hh"
+#include "common/random.hh"
 #include "common/types.hh"
 
 namespace fgstp::uncore
@@ -82,6 +92,8 @@ struct LinkStats
 {
     std::uint64_t messages = 0;
     std::uint64_t queuedCycles = 0; ///< total slot-wait cycles
+    std::uint64_t faultDrops = 0;   ///< injected drops (recovered)
+    std::uint64_t faultDelays = 0;  ///< injected extra delays
 
     double
     meanQueueDelay() const
@@ -89,6 +101,23 @@ struct LinkStats
         return messages
             ? static_cast<double>(queuedCycles) / messages : 0.0;
     }
+};
+
+/**
+ * Seeded link fault model (see harden::FaultPlan). Rates are
+ * per-packet probabilities; a drop is detected by the receiver after
+ * `retryTimeout` cycles and the packet retransmitted, claiming a
+ * fresh bandwidth slot. `maxRetries` consecutive losses of the same
+ * packet raise FaultInjectionError.
+ */
+struct LinkFaultConfig
+{
+    double dropRate = 0.0;
+    double delayRate = 0.0;
+    Cycle delayCycles = 0;
+    Cycle retryTimeout = 32;
+    std::uint32_t maxRetries = 8;
+    std::uint64_t seed = 1;
 };
 
 class OperandLink
@@ -110,10 +139,23 @@ class OperandLink
         const Cycle slot = ports[from % 2].claim(now);
         ++_stats.messages;
         _stats.queuedCycles += slot - now;
-        const Cycle arrival = slot + cfg.latency;
+        Cycle arrival = slot + cfg.latency;
+        if (faults)
+            arrival = injectFaults(from, arrival);
         if (trackOccupancy)
             pendingArrivals.push_back(arrival);
         return arrival;
+    }
+
+    /**
+     * Arms seeded fault injection on every subsequent send(). A null
+     * `faults` pointer (the default) keeps the fast path branch-free
+     * apart from one predictable test.
+     */
+    void
+    enableFaultInjection(const LinkFaultConfig &fcfg)
+    {
+        faults = std::make_unique<FaultState>(fcfg);
     }
 
     /**
@@ -146,17 +188,64 @@ class OperandLink
         ports[1].reset();
         pendingArrivals.clear();
         _stats = LinkStats{};
+        if (faults)
+            faults->rng.reseed(faults->cfg.seed);
     }
 
     /** Zeroes the counters without releasing claimed slots. */
     void resetStats() { _stats = LinkStats{}; }
 
   private:
+    struct FaultState
+    {
+        explicit FaultState(const LinkFaultConfig &cfg)
+            : cfg(cfg), rng(cfg.seed)
+        {
+        }
+
+        LinkFaultConfig cfg;
+        Rng rng;
+    };
+
+    Cycle
+    injectFaults(CoreId from, Cycle arrival)
+    {
+        auto &f = *faults;
+        if (f.cfg.delayRate > 0.0 && f.cfg.delayCycles > 0 &&
+            f.rng.chance(f.cfg.delayRate)) {
+            arrival += f.cfg.delayCycles;
+            ++_stats.faultDelays;
+        }
+        // A dropped packet is noticed by the receiver only after the
+        // retry timeout expires; the retransmission claims a fresh
+        // bandwidth slot and pays the wire latency again. Each retry
+        // can itself be dropped, so losses compound until the retry
+        // budget runs out.
+        std::uint32_t attempt = 0;
+        while (f.cfg.dropRate > 0.0 && f.rng.chance(f.cfg.dropRate)) {
+            if (++attempt > f.cfg.maxRetries) {
+                throw FaultInjectionError(
+                    "operand link: packet from core " +
+                    std::to_string(from) + " lost after " +
+                    std::to_string(f.cfg.maxRetries) +
+                    " retransmissions (drop rate " +
+                    std::to_string(f.cfg.dropRate) +
+                    ") — unrecoverable under this fault plan");
+            }
+            ++_stats.faultDrops;
+            const Cycle resend =
+                ports[from % 2].claim(arrival + f.cfg.retryTimeout);
+            arrival = resend + cfg.latency;
+        }
+        return arrival;
+    }
+
     LinkConfig cfg;
     BandwidthPort ports[2];
     bool trackOccupancy = false;
     std::vector<Cycle> pendingArrivals;
     LinkStats _stats;
+    std::unique_ptr<FaultState> faults;
 };
 
 } // namespace fgstp::uncore

@@ -201,5 +201,87 @@ TEST(Determinism, SerialAndParallelJsonMatchModuloWallTime)
     }
 }
 
+// ---- crash-isolated sweeps -------------------------------------------------
+
+/** A synthetic two-cell experiment whose second cell always throws. */
+bench::Experiment
+faultyExperiment()
+{
+    bench::Experiment e;
+    e.name = "faulty";
+    e.title = "synthetic crash-isolation probe";
+    e.preset = "-";
+    e.makeCells = [](const bench::RunParams &) {
+        std::vector<bench::Cell> cells;
+        cells.push_back({"okbench", "single", 1,
+                         [] { return std::vector<double>{1.0}; }});
+        cells.push_back({"badbench", "fgstp", 2,
+                         []() -> std::vector<double> {
+                             throw std::runtime_error(
+                                 "synthetic cell failure");
+                         }});
+        return cells;
+    };
+    e.reduce = [](const bench::RunParams &,
+                  const std::vector<bench::CellResult> &results) {
+        bench::ExperimentOutput out;
+        out.table = bench::Table({"value"});
+        out.table.addRow({bench::Table::fmt(results[0].values[0])});
+        return out;
+    };
+    return e;
+}
+
+TEST(CrashIsolation, FailedCellIsRecordedNotFatal)
+{
+    const auto e = faultyExperiment();
+    ThreadPool pool(2);
+    const auto run = bench::runExperiment(e, bench::RunParams{}, pool);
+
+    EXPECT_EQ(run.failedCells(), 1u);
+    EXPECT_FALSE(run.ok());
+    ASSERT_EQ(run.results.size(), 2u);
+    EXPECT_TRUE(run.results[0].ok);
+    EXPECT_FALSE(run.results[1].ok);
+    EXPECT_EQ(run.results[1].error, "synthetic cell failure");
+    // The reduce step is skipped — its positional indexing cannot be
+    // trusted once a cell has no metric vector.
+    EXPECT_TRUE(run.output.table.rowCells().empty());
+    EXPECT_NE(run.output.footer.find("1 of 2 cells failed"),
+              std::string::npos);
+}
+
+TEST(CrashIsolation, JsonReportsPerCellStatus)
+{
+    const auto e = faultyExperiment();
+    ThreadPool pool(2);
+    const auto run = bench::runExperiment(e, bench::RunParams{}, pool);
+    std::ostringstream os;
+    bench::renderJson(os, run, bench::RunParams{}, pool.size());
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"schemaVersion\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"failedCells\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"failed\", \"error\": "
+                        "\"synthetic cell failure\""),
+              std::string::npos);
+}
+
+TEST(CrashIsolation, CleanRunReportsAllCellsOk)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 500;
+    ThreadPool pool(4);
+    const auto run = bench::runExperiment(*e, prm, pool);
+    EXPECT_TRUE(run.ok());
+    std::ostringstream os;
+    bench::renderJson(os, run, prm, pool.size());
+    EXPECT_EQ(os.str().find("\"status\": \"failed\""),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace fgstp

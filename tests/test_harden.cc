@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests of the hardening layer: the --inject fault-spec parser, the
+ * golden-model commit checker on all three machines, the
+ * forward-progress watchdog, per-fault-kind recovery under the
+ * checker, fault-stream determinism, and the thread pool's uncaught-
+ * error capture behind crash-isolated sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/thread_pool.hh"
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "harden/commit_checker.hh"
+#include "harden/fault.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "trace/trace_source.hh"
+#include "workload/generator.hh"
+#include "workload/microbench.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+constexpr std::uint64_t checkInsts = 2500;
+
+std::unique_ptr<trace::TraceSource>
+goldenFor(const std::string &bench, std::uint64_t seed)
+{
+    return std::make_unique<workload::SyntheticWorkload>(
+        workload::profileByName(bench), seed);
+}
+
+// ---- fault-spec parsing ----------------------------------------------------
+
+TEST(FaultSpec, ParsesFullGrammar)
+{
+    const auto p = harden::parseFaultPlan(
+        "seed:7;storeset:rate=0.5;steer:rate=0.25;"
+        "link:drop=0.1,delay-rate=0.2,delay=3,timeout=16,retries=4");
+    EXPECT_EQ(p.seed, 7u);
+    EXPECT_DOUBLE_EQ(p.storeSetDropRate, 0.5);
+    EXPECT_DOUBLE_EQ(p.steerFlipRate, 0.25);
+    EXPECT_DOUBLE_EQ(p.linkDropRate, 0.1);
+    EXPECT_DOUBLE_EQ(p.linkDelayRate, 0.2);
+    EXPECT_EQ(p.linkDelayCycles, 3u);
+    EXPECT_EQ(p.linkRetryTimeout, 16u);
+    EXPECT_EQ(p.linkMaxRetries, 4u);
+    EXPECT_TRUE(p.any());
+    EXPECT_TRUE(p.anyLink());
+    EXPECT_NE(p.describe().find("seed:7"), std::string::npos);
+}
+
+TEST(FaultSpec, DefaultsWhenOmitted)
+{
+    const auto p = harden::parseFaultPlan("steer:rate=0.1");
+    EXPECT_EQ(p.seed, 1u);
+    EXPECT_DOUBLE_EQ(p.storeSetDropRate, 0.0);
+    EXPECT_EQ(p.linkRetryTimeout, 32u);
+    EXPECT_EQ(p.linkMaxRetries, 8u);
+    EXPECT_TRUE(p.any());
+    EXPECT_FALSE(p.anyLink());
+}
+
+TEST(FaultSpec, RejectsBadInput)
+{
+    EXPECT_THROW(harden::parseFaultPlan(""), FaultSpecError);
+    EXPECT_THROW(harden::parseFaultPlan("bogus:rate=1"),
+                 FaultSpecError);
+    EXPECT_THROW(harden::parseFaultPlan("storeset:frob=1"),
+                 FaultSpecError);
+    EXPECT_THROW(harden::parseFaultPlan("steer:rate=2.0"),
+                 FaultSpecError);
+    EXPECT_THROW(harden::parseFaultPlan("link:drop=abc"),
+                 FaultSpecError);
+    EXPECT_THROW(harden::parseFaultPlan("link:retries=0"),
+                 FaultSpecError);
+}
+
+// ---- golden-model commit checker -------------------------------------------
+
+TEST(CommitChecker, SingleCoreMatchesGoldenStream)
+{
+    for (const std::string bench : {"gcc", "mcf", "libquantum"}) {
+        workload::SyntheticWorkload w(workload::profileByName(bench),
+                                      3);
+        sim::SingleCoreMachine m(sim::mediumPreset().core,
+                                 sim::mediumPreset().memory, w);
+        harden::CommitChecker checker(goldenFor(bench, 3),
+                                      bench + "/single");
+        m.attachCommitChecker(&checker);
+        // run() may overshoot the request by a partial commit batch;
+        // the invariant is that every commit was verified.
+        const auto r = m.run(checkInsts);
+        EXPECT_EQ(checker.checked(), r.instructions) << bench;
+        EXPECT_GE(r.instructions, checkInsts) << bench;
+    }
+}
+
+TEST(CommitChecker, FusionMatchesGoldenStream)
+{
+    const auto p = sim::mediumPreset();
+    for (const std::string bench : {"gcc", "mcf", "libquantum"}) {
+        workload::SyntheticWorkload w(workload::profileByName(bench),
+                                      3);
+        fusion::FusedMachine m(p.core, p.memory, w,
+                               p.fusionOverheads);
+        harden::CommitChecker checker(goldenFor(bench, 3),
+                                      bench + "/fusion");
+        m.attachCommitChecker(&checker);
+        const auto r = m.run(checkInsts);
+        EXPECT_EQ(checker.checked(), r.instructions) << bench;
+    }
+}
+
+TEST(CommitChecker, FgstpMatchesGoldenStream)
+{
+    const auto p = sim::mediumPreset();
+    for (const std::string bench : {"gcc", "mcf", "libquantum"}) {
+        workload::SyntheticWorkload w(workload::profileByName(bench),
+                                      3);
+        part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+        harden::CommitChecker checker(goldenFor(bench, 3),
+                                      bench + "/fgstp");
+        m.attachCommitChecker(&checker);
+        const auto r = m.run(checkInsts);
+        EXPECT_EQ(checker.checked(), r.instructions) << bench;
+    }
+}
+
+TEST(CommitChecker, WrongGoldenSeedDiverges)
+{
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    sim::SingleCoreMachine m(sim::mediumPreset().core,
+                             sim::mediumPreset().memory, w);
+    harden::CommitChecker checker(goldenFor("gcc", 4), "gcc/wrong");
+    m.attachCommitChecker(&checker);
+    try {
+        m.run(checkInsts);
+        FAIL() << "run did not diverge";
+    } catch (const CheckDivergenceError &ex) {
+        EXPECT_NE(std::string(ex.what()).find("first divergence"),
+                  std::string::npos);
+        EXPECT_NE(std::string(ex.what()).find("gcc/wrong"),
+                  std::string::npos);
+        EXPECT_GE(ex.seq(), 1u);
+    }
+}
+
+TEST(CommitChecker, SequenceSkipDetected)
+{
+    const auto insts = workload::independentTrace(10);
+    harden::CommitChecker checker(
+        std::make_unique<trace::VectorTraceSource>(insts), "unit");
+    checker.onCommit(1, insts[0], 100);
+    try {
+        checker.onCommit(3, insts[2], 101); // seq 2 never committed
+        FAIL() << "skip not detected";
+    } catch (const CheckDivergenceError &ex) {
+        EXPECT_NE(std::string(ex.what()).find("commit sequence"),
+                  std::string::npos);
+    }
+}
+
+TEST(CommitChecker, ExtraCommitPastGoldenEndDetected)
+{
+    const auto insts = workload::independentTrace(1);
+    harden::CommitChecker checker(
+        std::make_unique<trace::VectorTraceSource>(insts), "unit");
+    checker.onCommit(1, insts[0], 5);
+    EXPECT_THROW(checker.onCommit(2, insts[0], 6),
+                 CheckDivergenceError);
+}
+
+TEST(CommitChecker, AttachedCheckerCostsZeroCycles)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w1(workload::profileByName("gcc"), 3);
+    part::FgstpMachine plain(p.core, p.memory, p.fgstp(), w1);
+    const auto a = plain.run(checkInsts);
+
+    workload::SyntheticWorkload w2(workload::profileByName("gcc"), 3);
+    part::FgstpMachine checked(p.core, p.memory, p.fgstp(), w2);
+    harden::CommitChecker checker(goldenFor("gcc", 3), "gcc/fgstp");
+    checked.attachCommitChecker(&checker);
+    const auto b = checked.run(checkInsts);
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+// ---- forward-progress watchdog ---------------------------------------------
+
+TEST(Watchdog, ImpossiblyTightBudgetTrips)
+{
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    sim::SingleCoreMachine m(sim::mediumPreset().core,
+                             sim::mediumPreset().memory, w);
+    // Nothing can commit three cycles after reset: the pipeline is
+    // still filling, so the watchdog must fire with diagnostics.
+    m.setWatchdogLimit(3);
+    try {
+        m.run(1000);
+        FAIL() << "watchdog did not fire";
+    } catch (const SimDeadlockError &ex) {
+        EXPECT_NE(
+            std::string(ex.what()).find("forward-progress watchdog"),
+            std::string::npos);
+        EXPECT_NE(std::string(ex.what()).find("stats at deadlock"),
+                  std::string::npos);
+        EXPECT_GT(ex.cycle(), 3u);
+        EXPECT_EQ(ex.committed(), 0u);
+    }
+}
+
+TEST(Watchdog, FgstpTightBudgetTrips)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.setWatchdogLimit(3);
+    EXPECT_THROW(m.run(1000), SimDeadlockError);
+}
+
+TEST(Watchdog, ZeroRestoresDefaultLimit)
+{
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    sim::SingleCoreMachine m(sim::mediumPreset().core,
+                             sim::mediumPreset().memory, w);
+    m.setWatchdogLimit(3);
+    m.setWatchdogLimit(0);
+    EXPECT_EQ(m.watchdogLimit(), sim::Machine::defaultWatchdogLimit);
+    EXPECT_EQ(m.run(1000).instructions, 1000u);
+}
+
+// ---- fault injection: recovery under the checker ---------------------------
+
+TEST(FaultInjection, SteerFlipsRecoverCheckerClean)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableFaultInjection(harden::parseFaultPlan("steer:rate=0.05"));
+    harden::CommitChecker checker(goldenFor("gcc", 3), "gcc/steer");
+    m.attachCommitChecker(&checker);
+    const auto r = m.run(checkInsts);
+    EXPECT_EQ(checker.checked(), r.instructions);
+    ASSERT_NE(m.faultInjector(), nullptr);
+    EXPECT_GT(m.faultInjector()->stats().steerFlips, 0u);
+}
+
+TEST(FaultInjection, StoreSetDropsRecoverCheckerClean)
+{
+    // The fine-grain partitioner keeps memory dependences local, so
+    // the cross-core store-set path only trains in chunk mode.
+    const auto p = sim::mediumPreset();
+    auto cfg = p.fgstp();
+    cfg.granularity = part::Granularity::Chunk;
+    cfg.chunkSize = 32;
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    part::FgstpMachine m(p.core, p.memory, cfg, w);
+    m.enableFaultInjection(
+        harden::parseFaultPlan("storeset:rate=1.0"));
+    harden::CommitChecker checker(goldenFor("gcc", 3), "gcc/storeset");
+    m.attachCommitChecker(&checker);
+    const auto r = m.run(20000);
+    EXPECT_EQ(checker.checked(), r.instructions);
+    ASSERT_NE(m.faultInjector(), nullptr);
+    EXPECT_GT(m.faultInjector()->stats().storeSetDrops, 0u);
+}
+
+TEST(FaultInjection, LinkFaultsRecoverCheckerClean)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("mcf"), 3);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableFaultInjection(harden::parseFaultPlan(
+        "link:drop=0.3,delay-rate=0.2,delay=3"));
+    harden::CommitChecker checker(goldenFor("mcf", 3), "mcf/link");
+    m.attachCommitChecker(&checker);
+    const auto r = m.run(5000);
+    EXPECT_EQ(checker.checked(), r.instructions);
+    EXPECT_GT(m.linkStats().faultDrops + m.linkStats().faultDelays,
+              0u);
+}
+
+TEST(FaultInjection, UnrecoverableLinkLossRaisesStructuredError)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("mcf"), 3);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableFaultInjection(
+        harden::parseFaultPlan("link:drop=1.0,retries=2"));
+    try {
+        m.run(5000);
+        FAIL() << "total loss did not raise";
+    } catch (const FaultInjectionError &ex) {
+        EXPECT_NE(std::string(ex.what()).find("unrecoverable"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultInjection, SameSeedSamePerturbation)
+{
+    const auto p = sim::mediumPreset();
+    const auto plan = harden::parseFaultPlan(
+        "seed:9;steer:rate=0.05;link:drop=0.1,delay-rate=0.2,delay=3");
+
+    auto once = [&] {
+        workload::SyntheticWorkload w(workload::profileByName("gcc"),
+                                      3);
+        part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+        m.enableFaultInjection(plan);
+        const auto r = m.run(checkInsts);
+        return std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                          std::uint64_t>(
+            r.cycles, m.faultInjector()->stats().steerFlips,
+            m.linkStats().faultDrops, m.linkStats().faultDelays);
+    };
+
+    EXPECT_EQ(once(), once());
+}
+
+// ---- thread pool error capture ---------------------------------------------
+
+TEST(ThreadPoolHardening, PostCapturesUncaughtExceptions)
+{
+    ThreadPool pool(2);
+    pool.post([] { throw std::runtime_error("job blew up"); });
+    for (int i = 0; i < 1000 && pool.uncaughtErrorCount() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(pool.uncaughtErrorCount(), 1u);
+
+    auto errors = pool.takeUncaughtErrors();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(pool.uncaughtErrorCount(), 0u);
+    try {
+        std::rethrow_exception(errors[0]);
+    } catch (const std::runtime_error &ex) {
+        EXPECT_STREQ(ex.what(), "job blew up");
+    }
+}
+
+} // namespace
+} // namespace fgstp

@@ -13,7 +13,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/fs.hh"
+#include "common/random.hh"
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
 #include "isa/op_class.hh"
@@ -90,27 +92,41 @@ TEST(EventLog, ZeroRecordLogRoundTrips)
     EXPECT_TRUE(obs::readEventLog(buf).empty());
 }
 
-TEST(EventLogDeath, BadMagicRejected)
+/** Runs the reader over raw bytes, returning the error message (empty
+ *  when the bytes parsed cleanly). */
+std::string
+eventLogReaderError(const std::string &bytes)
 {
-    std::stringstream buf;
-    buf << "definitely not an event log..............";
-    EXPECT_EXIT(obs::readEventLog(buf), testing::ExitedWithCode(1),
-                "bad magic");
+    std::stringstream is(bytes);
+    try {
+        obs::readEventLog(is);
+        return "";
+    } catch (const TraceFormatError &ex) {
+        return ex.what();
+    }
 }
 
-TEST(EventLogDeath, WrongVersionRejected)
+TEST(EventLogReject, BadMagicRejected)
+{
+    EXPECT_NE(
+        eventLogReaderError("definitely not an event log..............")
+            .find("bad magic"),
+        std::string::npos);
+}
+
+TEST(EventLogReject, WrongVersionRejected)
 {
     std::stringstream buf;
     obs::writeEventLog(buf, {sampleEvent(1)});
     std::string bytes = buf.str();
     // The header is magic(u32) then version(u32); corrupt the version.
     bytes[4] = 0x7f;
-    std::stringstream bad(bytes);
-    EXPECT_EXIT(obs::readEventLog(bad), testing::ExitedWithCode(1),
-                "unsupported event-log version");
+    EXPECT_NE(
+        eventLogReaderError(bytes).find("unsupported event-log version"),
+        std::string::npos);
 }
 
-TEST(EventLogDeath, TruncationDetected)
+TEST(EventLogReject, TruncationDetected)
 {
     std::vector<obs::InstEvent> events;
     for (InstSeqNum s = 1; s <= 10; ++s)
@@ -118,19 +134,41 @@ TEST(EventLogDeath, TruncationDetected)
     std::stringstream buf;
     obs::writeEventLog(buf, events);
     const std::string full = buf.str();
-    std::stringstream cut(full.substr(0, full.size() - 30));
-    EXPECT_EXIT(obs::readEventLog(cut), testing::ExitedWithCode(1),
-                "truncated event-log file");
+    EXPECT_NE(eventLogReaderError(full.substr(0, full.size() - 30))
+                  .find("truncated event-log file"),
+              std::string::npos);
 }
 
-TEST(EventLogDeath, CorruptOpClassRejected)
+TEST(EventLogReject, CorruptOpClassRejected)
 {
     std::stringstream buf;
     auto e = sampleEvent(1);
     e.op = 0xee; // no such OpClass
     obs::writeEventLog(buf, {e});
-    EXPECT_EXIT(obs::readEventLog(buf), testing::ExitedWithCode(1),
-                "bad op class");
+    EXPECT_NE(eventLogReaderError(buf.str()).find("bad op class"),
+              std::string::npos);
+}
+
+TEST(EventLogReject, SeededCorruptionCorpusNeverCrashes)
+{
+    std::vector<obs::InstEvent> events;
+    for (InstSeqNum s = 1; s <= 32; ++s)
+        events.push_back(sampleEvent(s));
+    std::stringstream buf;
+    obs::writeEventLog(buf, events);
+    const std::string full = buf.str();
+    Rng rng(0xEB1721ull);
+    for (int i = 0; i < 200; ++i) {
+        // Truncate at a random point...
+        const std::string err =
+            eventLogReaderError(full.substr(0, rng.below(full.size())));
+        EXPECT_FALSE(err.empty());
+        // ...and flip a random bit: structured error or clean parse.
+        std::string bytes = full;
+        bytes[rng.below(bytes.size())] ^= char(1u << rng.below(8));
+        (void)eventLogReaderError(bytes);
+    }
+    EXPECT_TRUE(eventLogReaderError(full).empty());
 }
 
 TEST(EventLog, FileRoundTripCreatesParentDirs)
@@ -170,6 +208,52 @@ TEST(FsDeath, EnsureDirFatalWhenComponentIsAFile)
     EXPECT_EXIT(ensureDir(file + "/sub"), testing::ExitedWithCode(1),
                 "cannot create output directory");
     std::filesystem::remove(file);
+}
+
+// ---- AtomicFileWriter ------------------------------------------------------
+
+TEST(AtomicWriter, CommitPublishesAndRemovesTmp)
+{
+    const std::string path = "/tmp/fgstp_atomic_test/out.txt";
+    std::filesystem::remove_all("/tmp/fgstp_atomic_test");
+    {
+        AtomicFileWriter w(path);
+        w.stream() << "payload\n";
+        w.commit();
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "payload");
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::filesystem::remove_all("/tmp/fgstp_atomic_test");
+}
+
+TEST(AtomicWriter, AbandonedWriterLeavesNoPartialFile)
+{
+    const std::string path = "/tmp/fgstp_atomic_test/aborted.txt";
+    std::filesystem::remove_all("/tmp/fgstp_atomic_test");
+    {
+        AtomicFileWriter w(path);
+        w.stream() << "half-written";
+        // No commit(): destruction stands in for a mid-write throw.
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::filesystem::remove_all("/tmp/fgstp_atomic_test");
+}
+
+TEST(AtomicWriter, UnwritablePathThrows)
+{
+    // /proc is not writable; the constructor must throw a SimIoError
+    // (with the path in the message), not leave a broken stream.
+    try {
+        AtomicFileWriter w("/proc/fgstp_no_such_dir/out.txt");
+        FAIL() << "constructor did not throw";
+    } catch (const SimIoError &ex) {
+        EXPECT_NE(std::string(ex.what()).find("fgstp_no_such_dir"),
+                  std::string::npos);
+    }
 }
 
 // ---- CPI stack: sums to total cycles on every machine ---------------------
