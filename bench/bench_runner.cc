@@ -3,9 +3,10 @@
  * fgstp_bench — the unified experiment runner.
  *
  *   fgstp_bench [--experiment=fig1,fig2,...|all] [--jobs=N]
- *               [--format=text|csv|json] [--out=DIR]
- *               [--insts=N] [--seed=N] [--cpi-stack] [--list]
+ *               [--format=text|csv|json] [--insts=N] [--seed=N]
+ *               [--out=DIR] [--cpi-stack] [--list]
  *               [--check] [--inject=SPEC]
+ *               [--sample[=ff=N,warmup=N,measure=N]]
  *
  * Runs any subset of the paper's table/figure experiments over one
  * shared thread pool. Every (experiment, benchmark, config) cell is
@@ -28,6 +29,12 @@
  * throws — divergence, watchdog deadlock, unrecoverable fault — is
  * recorded as "status": "failed" in the JSON report instead of
  * killing the sweep, and the exit code becomes non-zero.
+ *
+ * --sample switches every cell to SMARTS-style sampled simulation
+ * (docs/SAMPLING.md): JSON reports carry schemaVersion 3 with a
+ * meta.sampling block, and the per-cell sampling summaries are emitted
+ * as BENCH_sampling.json (json) or an extra table (text/csv).
+ * Incompatible with --cpi-stack, whose report wants full-run stacks.
  * All flags are documented in docs/CLI.md.
  */
 
@@ -47,6 +54,7 @@
 #include "common/logging.hh"
 #include "harden/fault.hh"
 #include "obs/events.hh"
+#include "sample/sampler.hh"
 
 using namespace fgstp;
 
@@ -64,6 +72,8 @@ struct Options
     bool list = false;
     bool check = false;     // golden-model cross-check per cell
     std::string injectSpec; // fault plan for Fg-STP cells
+    bool sample = false;    // SMARTS-style sampled cells
+    std::string sampleSpec; // empty keeps the SampleSpec defaults
 };
 
 bool
@@ -122,6 +132,11 @@ parse(int argc, char **argv)
             o.check = true;
         } else if (matchValue(a, "--inject", v)) {
             o.injectSpec = v;
+        } else if (std::strcmp(a, "--sample") == 0) {
+            o.sample = true;
+        } else if (matchValue(a, "--sample", v)) {
+            o.sample = true;
+            o.sampleSpec = v;
         } else if (std::strcmp(a, "--list") == 0) {
             o.list = true;
         } else {
@@ -130,6 +145,9 @@ parse(int argc, char **argv)
     }
     if (o.format != "text" && o.format != "csv" && o.format != "json")
         fatal("unknown format '", o.format, "' (text | csv | json)");
+    if (o.sample && o.cpiStack)
+        fatal("--sample resets monitors at every interval boundary; "
+              "the --cpi-stack report needs a full run");
     return o;
 }
 
@@ -205,6 +223,71 @@ renderCpiText(std::ostream &os, const std::vector<bench::CellCpi> &cells,
     t.render(os, csv);
 }
 
+/** Writes the per-cell sampling summaries as BENCH_sampling.json. */
+void
+renderSamplingJson(std::ostream &os,
+                   const std::vector<bench::CellSampling> &cells,
+                   const bench::RunParams &params)
+{
+    os << "{\n";
+    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"experiment\": \"sampling\",\n";
+    os << "  \"title\": \"Per-cell sampled-simulation summary\",\n";
+    os << "  \"meta\": {\n";
+    os << "    \"insts\": " << json::number(params.insts) << ",\n";
+    os << "    \"evalSeed\": " << json::number(params.seed) << ",\n";
+    os << "    \"sampling\": {\n";
+    os << "      \"mode\": \"smarts\",\n";
+    os << "      \"ffInsts\": " << json::number(params.sample.ffInsts)
+       << ",\n";
+    os << "      \"warmupInsts\": "
+       << json::number(params.sample.warmupInsts) << ",\n";
+    os << "      \"measureInsts\": "
+       << json::number(params.sample.measureInsts) << "\n";
+    os << "    },\n";
+    os << "    \"cellCount\": "
+       << json::number(static_cast<std::uint64_t>(cells.size())) << "\n";
+    os << "  },\n";
+    os << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        os << "    {\"machine\": " << json::quote(c.machine)
+           << ", \"bench\": " << json::quote(c.bench)
+           << ", \"seed\": " << json::number(c.seed)
+           << ", \"intervals\": " << json::number(c.intervals)
+           << ", \"measuredInstructions\": "
+           << json::number(c.measuredInstructions)
+           << ", \"measuredCycles\": " << json::number(c.measuredCycles)
+           << ", \"fastForwarded\": " << json::number(c.fastForwarded)
+           << ", \"ipc\": " << json::number(c.ipc)
+           << ", \"meanIpc\": " << json::number(c.meanIpc)
+           << ", \"ciHalfWidth\": " << json::number(c.ciHalfWidth)
+           << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+/** Prints the per-cell sampling summaries as a table (text/csv). */
+void
+renderSamplingText(std::ostream &os,
+                   const std::vector<bench::CellSampling> &cells,
+                   bool csv)
+{
+    bench::Table t({"machine", "bench", "intervals", "measuredInsts",
+                    "fastForwarded", "ipc", "meanIpc", "ci95"});
+    for (const auto &c : cells) {
+        t.addRow({c.machine, c.bench, std::to_string(c.intervals),
+                  std::to_string(c.measuredInstructions),
+                  std::to_string(c.fastForwarded),
+                  bench::Table::fmt(c.ipc, 4),
+                  bench::Table::fmt(c.meanIpc, 4),
+                  bench::Table::fmt(c.ciHalfWidth, 4)});
+    }
+    os << "\n";
+    t.render(os, csv);
+}
+
 /** Reports every failed cell of a collected run on stderr. */
 void
 reportFailedCells(const bench::ExperimentRun &run)
@@ -226,6 +309,14 @@ reportFailedCells(const bench::ExperimentRun &run)
 int
 runBench(const Options &o)
 {
+    bench::RunParams params = o.params;
+    if (o.sample) {
+        params.sampled = true;
+        if (!o.sampleSpec.empty())
+            params.sample = sample::parseSampleSpec(o.sampleSpec);
+        bench::setCellSampling(params.sample, true);
+    }
+
     std::vector<const bench::Experiment *> selected;
     if (o.experiments.empty()) {
         for (const auto &e : bench::allExperiments())
@@ -266,13 +357,13 @@ runBench(const Options &o)
     scheduled.reserve(selected.size());
     for (const auto *e : selected)
         scheduled.push_back(
-            bench::scheduleExperiment(*e, o.params, pool));
+            bench::scheduleExperiment(*e, params, pool));
 
     int failures = 0;
     bool first = true;
     for (auto &s : scheduled) {
         const auto *e = s.experiment;
-        auto run = bench::collectExperiment(std::move(s), o.params);
+        auto run = bench::collectExperiment(std::move(s), params);
         if (!run.ok()) {
             reportFailedCells(run);
             ++failures;
@@ -281,7 +372,7 @@ runBench(const Options &o)
             const std::string path =
                 o.outDir + "/BENCH_" + e->name + ".json";
             AtomicFileWriter out(path);
-            bench::renderJson(out.stream(), run, o.params,
+            bench::renderJson(out.stream(), run, params,
                               pool.size());
             out.commit();
             std::printf("%-11s %4zu jobs %9.1f ms%s  -> %s\n",
@@ -302,12 +393,26 @@ runBench(const Options &o)
         if (o.format == "json") {
             const std::string path = o.outDir + "/BENCH_cpistack.json";
             AtomicFileWriter out(path);
-            renderCpiJson(out.stream(), cells, o.params);
+            renderCpiJson(out.stream(), cells, params);
             out.commit();
             std::printf("%-11s %4zu cells              -> %s\n",
                         "cpistack", cells.size(), path.c_str());
         } else {
             renderCpiText(std::cout, cells, o.format == "csv");
+        }
+    }
+
+    if (o.sample) {
+        const auto cells = bench::takeCellSamplingRecords();
+        if (o.format == "json") {
+            const std::string path = o.outDir + "/BENCH_sampling.json";
+            AtomicFileWriter out(path);
+            renderSamplingJson(out.stream(), cells, params);
+            out.commit();
+            std::printf("%-11s %4zu cells              -> %s\n",
+                        "sampling", cells.size(), path.c_str());
+        } else {
+            renderSamplingText(std::cout, cells, o.format == "csv");
         }
     }
     return failures ? 1 : 0;

@@ -1,15 +1,40 @@
 /**
  * @file
- * Simulator-throughput microbenchmark (google-benchmark).
+ * Simulator-throughput microbenchmark.
  *
- * Measures host kilo-instructions-per-second for each machine model,
- * which bounds the cost of every other bench in this directory.
+ * Measures host instructions-per-second for each machine model in
+ * three modes — detailed, functional fast-forward, and SMARTS-style
+ * sampled (docs/SAMPLING.md) — which bounds the cost of every other
+ * bench in this directory.
+ *
+ * Default (no arguments): the google-benchmark suite, one BM_* per
+ * (machine, mode) pair plus the trace-generation floor.
+ *
+ * Measurement mode, selected by either option:
+ *   --json=FILE            write BENCH_simspeed.json rows: per machine,
+ *                          detailed / fastforward / sampled insts/sec
+ *                          and the speedups over detailed
+ *   --check-baseline=FILE  exit 1 when any machine's detailed-mode
+ *                          throughput drops below 70% of the committed
+ *                          baseline (bench/simspeed_baseline.json) —
+ *                          the CI perf-regression guard
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
+#include "sample/sampler.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
 #include "workload/generator.hh"
@@ -20,6 +45,8 @@ namespace
 {
 
 constexpr std::uint64_t chunk = 5000;
+
+// ---- google-benchmark suite -----------------------------------------------
 
 void
 BM_SingleCore(benchmark::State &state)
@@ -67,6 +94,42 @@ BM_FgStp(benchmark::State &state)
 }
 
 void
+BM_SingleCoreFastForward(benchmark::State &state)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.fastForward(chunk));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+void
+BM_CoreFusionFastForward(benchmark::State &state)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    fusion::FusedMachine m(p.core, p.memory, w, p.fusionOverheads);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.fastForward(chunk));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+void
+BM_FgStpFastForward(benchmark::State &state)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.fastForward(chunk));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+void
 BM_WorkloadGeneration(benchmark::State &state)
 {
     workload::SyntheticWorkload w(workload::profileByName("gcc"), 1);
@@ -83,8 +146,238 @@ BM_WorkloadGeneration(benchmark::State &state)
 BENCHMARK(BM_SingleCore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CoreFusion)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FgStp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleCoreFastForward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CoreFusionFastForward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FgStpFastForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+// ---- measurement mode ------------------------------------------------------
+
+/** The machines measured, with a factory so each mode runs fresh. */
+struct MachineUnderTest
+{
+    const char *name;
+    std::function<std::unique_ptr<sim::Machine>(
+        workload::SyntheticWorkload &)> make;
+};
+
+std::vector<MachineUnderTest>
+machinesUnderTest()
+{
+    return {
+        {"single-core",
+         [](workload::SyntheticWorkload &w) -> std::unique_ptr<sim::Machine> {
+             const auto p = sim::mediumPreset();
+             return std::make_unique<sim::SingleCoreMachine>(
+                 p.core, p.memory, w);
+         }},
+        {"core-fusion",
+         [](workload::SyntheticWorkload &w) -> std::unique_ptr<sim::Machine> {
+             const auto p = sim::mediumPreset();
+             return std::make_unique<fusion::FusedMachine>(
+                 p.core, p.memory, w, p.fusionOverheads);
+         }},
+        {"fg-stp",
+         [](workload::SyntheticWorkload &w) -> std::unique_ptr<sim::Machine> {
+             const auto p = sim::mediumPreset();
+             return std::make_unique<part::FgstpMachine>(
+                 p.core, p.memory, p.fgstp(), w);
+         }},
+    };
+}
+
+/** One machine's three throughput measurements, in insts/sec. */
+struct SpeedRow
+{
+    std::string machine;
+    double detailed = 0.0;
+    double fastforward = 0.0;
+    double sampled = 0.0;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-`reps` throughput of `body`, which advances `n` insts. */
+double
+throughput(std::uint64_t n, unsigned reps,
+           const std::function<void()> &fresh_body)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const double t0 = now();
+        fresh_body();
+        const double dt = now() - t0;
+        if (dt > 0.0)
+            best = std::max(best, static_cast<double>(n) / dt);
+    }
+    return best;
+}
+
+std::vector<SpeedRow>
+measure()
+{
+    constexpr std::uint64_t detInsts = 200000;
+    constexpr std::uint64_t ffInsts = 2000000;
+    constexpr unsigned reps = 3;
+
+    std::vector<SpeedRow> rows;
+    for (const auto &mut : machinesUnderTest()) {
+        SpeedRow row;
+        row.machine = mut.name;
+
+        row.detailed = throughput(detInsts, reps, [&] {
+            workload::SyntheticWorkload w(
+                workload::profileByName("gcc"), 1);
+            auto m = mut.make(w);
+            m->run(detInsts);
+        });
+        row.fastforward = throughput(ffInsts, reps, [&] {
+            workload::SyntheticWorkload w(
+                workload::profileByName("gcc"), 1);
+            auto m = mut.make(w);
+            m->fastForward(ffInsts);
+        });
+        row.sampled = throughput(ffInsts, reps, [&] {
+            workload::SyntheticWorkload w(
+                workload::profileByName("gcc"), 1);
+            auto m = mut.make(w);
+            sample::Sampler s(*m, sample::SampleSpec{});
+            s.run(ffInsts);
+        });
+
+        std::printf("%-12s detailed %9.0f /s   fastforward %9.0f /s "
+                    "(%.1fx)   sampled %9.0f /s (%.1fx)\n",
+                    row.machine.c_str(), row.detailed, row.fastforward,
+                    row.fastforward / row.detailed, row.sampled,
+                    row.sampled / row.detailed);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+writeJson(const std::string &path, const std::vector<SpeedRow> &rows)
+{
+    std::ofstream os(path);
+    os << "{\n";
+    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"experiment\": \"simspeed\",\n";
+    os << "  \"title\": \"Host simulation throughput (insts/sec)\",\n";
+    os << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"machine\": \"%s\", "
+                      "\"detailed\": %.0f, "
+                      "\"fastforward\": %.0f, "
+                      "\"sampled\": %.0f, "
+                      "\"ffSpeedup\": %.2f, "
+                      "\"sampledSpeedup\": %.2f}%s\n",
+                      r.machine.c_str(), r.detailed, r.fastforward,
+                      r.sampled, r.fastforward / r.detailed,
+                      r.sampled / r.detailed,
+                      i + 1 < rows.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n";
+    os << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Pulls `"key": <number>` out of a flat JSON document. Good enough for
+ * the committed baseline file, which this repo controls.
+ */
+bool
+extractNumber(const std::string &doc, const std::string &key, double &out)
+{
+    const std::string needle = "\"" + key + "\"";
+    std::size_t pos = doc.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos = doc.find(':', pos + needle.size());
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtod(doc.c_str() + pos + 1, nullptr);
+    return true;
+}
+
+int
+checkBaseline(const std::string &path, const std::vector<SpeedRow> &rows)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_simspeed: cannot read baseline %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+
+    // The guard fires only on large regressions: CI machines vary, so
+    // the committed baseline is deliberately conservative and the
+    // threshold sits at 70% of it.
+    constexpr double threshold = 0.7;
+    int failures = 0;
+    for (const auto &r : rows) {
+        double base = 0.0;
+        if (!extractNumber(doc, r.machine, base)) {
+            std::fprintf(stderr,
+                         "bench_simspeed: baseline %s has no entry for "
+                         "%s\n", path.c_str(), r.machine.c_str());
+            ++failures;
+            continue;
+        }
+        const double floor = base * threshold;
+        if (r.detailed < floor) {
+            std::fprintf(stderr,
+                         "bench_simspeed: PERF REGRESSION: %s detailed "
+                         "throughput %.0f insts/s is below %.0f "
+                         "(70%% of baseline %.0f)\n",
+                         r.machine.c_str(), r.detailed, floor, base);
+            ++failures;
+        } else {
+            std::printf("%-12s detailed %9.0f /s  >= floor %9.0f  ok\n",
+                        r.machine.c_str(), r.detailed, floor);
+        }
+    }
+    return failures ? 1 : 0;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath, baselinePath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            jsonPath = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--check-baseline=", 17) == 0)
+            baselinePath = argv[i] + 17;
+    }
+
+    if (!jsonPath.empty() || !baselinePath.empty()) {
+        const auto rows = measure();
+        if (!jsonPath.empty())
+            writeJson(jsonPath, rows);
+        if (!baselinePath.empty())
+            return checkBaseline(baselinePath, rows);
+        return 0;
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

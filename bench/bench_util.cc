@@ -105,6 +105,58 @@ maybeRecord(const sim::Machine &m, const std::string &bench,
     cellObsSamples.push_back(std::move(cell));
 }
 
+// ---- per-cell sampling state ----------------------------------------------
+
+std::atomic<bool> cellSamplingOn{false};
+std::mutex cellSamplingMutex;
+sample::SampleSpec cellSamplingSpec;           // guarded by cellSamplingMutex
+std::vector<CellSampling> cellSamplingRecords; // guarded by cellSamplingMutex
+
+/**
+ * Runs the machine to `insts`, sampled or full per the process-wide
+ * switch. A sampled run returns the measured-region totals so callers
+ * see the sampled IPC through the ordinary Sample math.
+ */
+Sample
+runMachine(sim::Machine &m, const std::string &bench, std::uint64_t seed,
+           std::uint64_t insts)
+{
+    if (!cellSamplingOn.load(std::memory_order_relaxed))
+        return toSample(m.run(insts));
+
+    // The per-interval CPI-stack self-check needs monitors; attach
+    // them when observability did not already.
+    if (!m.monitor(0)) {
+        obs::MonitorConfig mc;
+        mc.cpiStack = true;
+        m.enableObservability(mc);
+    }
+    sample::SampleSpec spec;
+    {
+        std::lock_guard<std::mutex> lock(cellSamplingMutex);
+        spec = cellSamplingSpec;
+    }
+    sample::Sampler sampler(m, spec);
+    const sample::SampleResult r = sampler.run(insts);
+
+    CellSampling rec;
+    rec.machine = m.kind();
+    rec.bench = bench;
+    rec.seed = seed;
+    rec.intervals = r.intervals.size();
+    rec.measuredInstructions = r.measuredInstructions();
+    rec.measuredCycles = r.measuredCycles();
+    rec.fastForwarded = r.fastForwarded;
+    rec.ipc = r.ipc();
+    rec.meanIpc = r.meanIpc();
+    rec.ciHalfWidth = r.ciHalfWidth();
+    {
+        std::lock_guard<std::mutex> lock(cellSamplingMutex);
+        cellSamplingRecords.push_back(std::move(rec));
+    }
+    return {r.measuredCycles(), r.measuredInstructions()};
+}
+
 /** FNV-1a over a string, folded into an accumulator. */
 std::uint64_t
 fnv1a(std::uint64_t h, std::string_view s)
@@ -160,7 +212,7 @@ runSingleWithCore(const std::string &bench,
     sim::SingleCoreMachine m(core_cfg, p.memory, w);
     const auto checker = maybeChecker(m, bench, seed);
     maybeMonitor(m);
-    const Sample s = toSample(m.run(insts));
+    const Sample s = runMachine(m, bench, seed, insts);
     maybeRecord(m, bench, seed, s);
     return s;
 }
@@ -181,7 +233,7 @@ runFused(const std::string &bench, const sim::MachinePreset &p,
     fusion::FusedMachine m(p.core, p.memory, w, ovh);
     const auto checker = maybeChecker(m, bench, seed);
     maybeMonitor(m);
-    const Sample s = toSample(m.run(insts));
+    const Sample s = runMachine(m, bench, seed, insts);
     maybeRecord(m, bench, seed, s);
     return s;
 }
@@ -203,7 +255,7 @@ runFgstp(const std::string &bench, const sim::MachinePreset &p,
     const auto checker = maybeChecker(m, bench, seed);
     maybeInject(m, seed);
     maybeMonitor(m);
-    const Sample s = toSample(m.run(insts));
+    const Sample s = runMachine(m, bench, seed, insts);
     maybeRecord(m, bench, seed, s);
     return s;
 }
@@ -221,7 +273,7 @@ runFgstpFull(const std::string &bench, const sim::MachinePreset &p,
     r.checker = maybeChecker(*r.machine, bench, seed);
     maybeInject(*r.machine, seed);
     maybeMonitor(*r.machine);
-    r.sample = toSample(r.machine->run(insts));
+    r.sample = runMachine(*r.machine, bench, seed, insts);
     maybeRecord(*r.machine, bench, seed, r.sample);
     return r;
 }
@@ -289,6 +341,49 @@ takeCellCpiSamples()
                                             const obs::CpiStack &y) {
                                              return x.cycles == y.cycles;
                                          });
+                          }),
+              out.end());
+    return out;
+}
+
+void
+setCellSampling(const sample::SampleSpec &spec, bool on)
+{
+    {
+        std::lock_guard<std::mutex> lock(cellSamplingMutex);
+        cellSamplingSpec = spec;
+    }
+    cellSamplingOn.store(on, std::memory_order_relaxed);
+}
+
+bool
+cellSamplingEnabled()
+{
+    return cellSamplingOn.load(std::memory_order_relaxed);
+}
+
+std::vector<CellSampling>
+takeCellSamplingRecords()
+{
+    std::vector<CellSampling> out;
+    {
+        std::lock_guard<std::mutex> lock(cellSamplingMutex);
+        out.swap(cellSamplingRecords);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CellSampling &a, const CellSampling &b) {
+                  return std::tie(a.machine, a.bench, a.seed,
+                                  a.measuredCycles) <
+                         std::tie(b.machine, b.bench, b.seed,
+                                  b.measuredCycles);
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const CellSampling &a,
+                             const CellSampling &b) {
+                              return a.machine == b.machine &&
+                                     a.bench == b.bench &&
+                                     a.seed == b.seed &&
+                                     a.measuredCycles == b.measuredCycles;
                           }),
               out.end());
     return out;

@@ -26,6 +26,7 @@
 #include "harden/commit_checker.hh"
 #include "harden/fault.hh"
 #include "obs/cpi_stack.hh"
+#include "sample/sampler.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
 #include "workload/generator.hh"
@@ -163,6 +164,42 @@ bool cellObservabilityEnabled();
  * output is identical at any --jobs value.
  */
 std::vector<CellCpi> takeCellCpiSamples();
+
+// ---- per-cell sampled simulation -------------------------------------------
+
+/** One experiment cell's sampled-run summary. */
+struct CellSampling
+{
+    std::string machine;
+    std::string bench;
+    std::uint64_t seed = 0;
+    std::uint64_t intervals = 0;
+    std::uint64_t measuredInstructions = 0;
+    std::uint64_t measuredCycles = 0;
+    std::uint64_t fastForwarded = 0;
+    double ipc = 0.0;         ///< instruction-weighted sampled IPC
+    double meanIpc = 0.0;     ///< unweighted per-interval mean
+    double ciHalfWidth = 0.0; ///< 95% CI half-width on meanIpc
+};
+
+/**
+ * Switches every machine the run helpers construct to SMARTS-style
+ * sampled simulation (src/sample), process-wide. A sampled cell's
+ * Sample carries the measured-region totals, so downstream IPC and
+ * speedup math transparently uses the sampled estimate; each cell also
+ * records a CellSampling row into a shared collector. Machines get a
+ * CPI-stack monitor if observability did not already attach one, so
+ * the per-interval stack invariant is verified on every cell.
+ */
+void setCellSampling(const sample::SampleSpec &spec, bool on);
+bool cellSamplingEnabled();
+
+/**
+ * Drains the sampling collector, sorted by (machine, bench, seed) and
+ * deduplicated like takeCellCpiSamples() so the output is identical at
+ * any --jobs value.
+ */
+std::vector<CellSampling> takeCellSamplingRecords();
 
 /** All nineteen benchmark names, SPECint first. */
 std::vector<std::string> allBenchmarks();

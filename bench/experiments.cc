@@ -1069,14 +1069,28 @@ renderJson(std::ostream &os, const ExperimentRun &run,
     const auto &e = *run.experiment;
     const auto &out = run.output;
 
+    // Schema v3 adds only the meta.sampling block and is emitted only
+    // for sampled sweeps, so full-detail output stays byte-identical
+    // to schema v2 consumers.
     os << "{\n";
-    os << "  \"schemaVersion\": 2,\n";
+    os << "  \"schemaVersion\": " << (params.sampled ? 3 : 2) << ",\n";
     os << "  \"experiment\": " << json::quote(e.name) << ",\n";
     os << "  \"title\": " << json::quote(e.title) << ",\n";
     os << "  \"preset\": " << json::quote(e.preset) << ",\n";
     os << "  \"meta\": {\n";
     os << "    \"insts\": " << json::number(params.insts) << ",\n";
     os << "    \"evalSeed\": " << json::number(params.seed) << ",\n";
+    if (params.sampled) {
+        os << "    \"sampling\": {\n";
+        os << "      \"mode\": \"smarts\",\n";
+        os << "      \"ffInsts\": " << json::number(params.sample.ffInsts)
+           << ",\n";
+        os << "      \"warmupInsts\": "
+           << json::number(params.sample.warmupInsts) << ",\n";
+        os << "      \"measureInsts\": "
+           << json::number(params.sample.measureInsts) << "\n";
+        os << "    },\n";
+    }
     os << "    \"cellCount\": "
        << json::number(static_cast<std::uint64_t>(run.cells.size()))
        << ",\n";

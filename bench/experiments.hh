@@ -41,6 +41,8 @@ struct RunParams
 {
     std::uint64_t insts = defaultInsts; ///< instructions per machine run
     std::uint64_t seed = evalSeed;      ///< evaluation master seed
+    bool sampled = false;               ///< SMARTS-style sampled cells
+    sample::SampleSpec sample;          ///< schedule when sampled
 };
 
 /**

@@ -66,6 +66,24 @@ class FaultInjectionError : public SimError
     using SimError::SimError;
 };
 
+/** A --sample specification string failed to parse. */
+class SampleSpecError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * A sampled-simulation self-check failed: a measured interval's
+ * CPI-stack sum did not equal its measured cycle count, so the
+ * interval's attribution (and possibly its IPC) cannot be trusted.
+ */
+class SampleInvariantError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
 /**
  * The forward-progress watchdog tripped: no instruction committed for
  * the machine's watchdog budget. what() carries the full diagnostic

@@ -669,6 +669,29 @@ OoOCore::trainStoreSet(Addr load_pc, Addr store_pc)
     storeSet.train(load_pc, store_pc);
 }
 
+void
+OoOCore::warmupInst(const trace::DynInst &inst)
+{
+    // Mirror fetch's I-side behavior: one I-cache access per block
+    // run; a taken control transfers the run to a new block.
+    const Addr blk = inst.pc & ~Addr{63};
+    if (!haveFetchBlock || blk != curFetchBlock) {
+        memory.warmInst(coreId, inst.pc);
+        curFetchBlock = blk;
+        haveFetchBlock = true;
+    }
+    if (inst.isControl()) {
+        branch::BranchPredictor *shared = hooks.sharedPredictor();
+        (shared ? *shared : predictor).predict(inst);
+        if (inst.taken || !inst.isCondBranch())
+            haveFetchBlock = false;
+    }
+    // Loads probe at issue and stores write at commit in the detailed
+    // model; both reduce to one data access here.
+    if (inst.isMem())
+        memory.warmData(coreId, inst.effAddr, inst.isStore());
+}
+
 std::string
 OoOCore::debugState() const
 {

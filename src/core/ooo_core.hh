@@ -119,6 +119,18 @@ class OoOCore
     /** Trains this core's memory-dependence predictor. */
     void trainStoreSet(Addr load_pc, Addr store_pc);
 
+    /**
+     * Functionally replays one instruction, updating only the
+     * warmup-relevant state the detailed pipeline would have touched:
+     * the I-side block stream (one I-cache access per block run, a
+     * taken control starts a new run), the branch predictor (shared or
+     * local, exactly as fetch selects it), and the data caches
+     * through the hierarchy's timing-free warm paths. No ROB/IQ/LSQ
+     * or timing state is created; the caller is responsible for
+     * having flushed the pipeline first.
+     */
+    void warmupInst(const trace::DynInst &inst);
+
     const CoreStats &stats() const { return _stats; }
     const branch::PredictorStats &branchStats() const
     {

@@ -165,7 +165,8 @@ void
 FgstpMachine::retireWindow()
 {
     while (!window.empty() && windowBase < nextCommitSeq) {
-        executedLog.erase(windowBase);
+        if (!executedLog.empty())
+            executedLog.erase(windowBase);
         window.pop_front();
         ++windowBase;
     }
@@ -549,6 +550,92 @@ FgstpMachine::applyPendingSquash()
         if (e.routed.seq >= target)
             e.committedCopies = 0;
     }
+}
+
+// ---- functional fast-forward ------------------------------------------------
+
+std::uint64_t
+FgstpMachine::fastForward(std::uint64_t num_insts)
+{
+    // Mode switch: flush both pipelines at the global commit point and
+    // drop the cross-core bookkeeping of everything in flight. The
+    // window keeps its routed entries — partitioning (and its steering
+    // state) advanced when they were routed, which is exactly the
+    // warmup-relevant part — and the functional loop consumes them in
+    // commit order.
+    if (!cores[0]->pipelineEmpty() || !cores[1]->pipelineEmpty() ||
+        peekValid[0] || peekValid[1]) {
+        pendingSquash = nextCommitSeq;
+        pendingSquashCause = obs::SquashCause::MemOrderLocal;
+        applyPendingSquash();
+    }
+    pendingSquash = invalidSeqNum;
+    retireWindow();
+
+    std::uint64_t skipped = 0;
+    // Every core the instruction was routed to warms its own
+    // front-end predictor (or the shared orchestrator predictor, once
+    // per copy — matching the detailed fetch of replicas) and its own
+    // caches. One notional cycle per instruction (see
+    // SingleCoreMachine::fastForward).
+    const auto consume = [&](const RoutedInst &r) {
+        sim_assert(r.seq == nextCommitSeq,
+                   "fast-forward out of commit order: ", r.seq,
+                   " != ", nextCommitSeq);
+        ++cycle;
+        for (CoreId c = 0; c < 2; ++c) {
+            if (r.runsOn(c))
+                cores[c]->warmupInst(r.inst);
+        }
+        if (checker)
+            checker->onCommit(nextCommitSeq, r.inst, cycle);
+        ++committed;
+        ++nextCommitSeq;
+        ++skipped;
+    };
+
+    // Entries the window already routed come first, in commit order
+    // (partitioning state advanced when they were routed).
+    while (skipped < num_insts && !window.empty()) {
+        consume(window.front().routed);
+        window.pop_front();
+        ++windowBase;
+    }
+
+    // Then pull batches straight from the partitioner into a scratch
+    // buffer — no window churn, no per-entry commit bookkeeping. A
+    // tail that overshoots the budget is routed state that must be
+    // kept: it goes into the window for the detailed region to
+    // consume. With fault injection armed, batches route through
+    // fillWindow instead so steering-flip semantics stay exactly the
+    // detailed path's.
+    while (skipped < num_insts && !streamEnded) {
+        if (injector) {
+            if (!fillWindow())
+                break; // fillWindow set streamEnded
+            while (skipped < num_insts && !window.empty()) {
+                consume(window.front().routed);
+                window.pop_front();
+                ++windowBase;
+            }
+            continue;
+        }
+        ffBatch.clear();
+        if (!partitioner->nextBatch(ffBatch)) {
+            streamEnded = true;
+            break;
+        }
+        std::size_t i = 0;
+        for (; i < ffBatch.size() && skipped < num_insts; ++i)
+            consume(ffBatch[i]);
+        windowBase = nextCommitSeq;
+        for (; i < ffBatch.size(); ++i)
+            window.push_back({std::move(ffBatch[i]), 0});
+    }
+
+    cursor[0] = std::max(cursor[0], nextCommitSeq);
+    cursor[1] = std::max(cursor[1], nextCommitSeq);
+    return skipped;
 }
 
 // ---- run loop -----------------------------------------------------------------

@@ -66,6 +66,7 @@ class FgstpMachine : public sim::Machine
     ~FgstpMachine() override;
 
     sim::RunResult run(std::uint64_t num_insts) override;
+    std::uint64_t fastForward(std::uint64_t num_insts) override;
 
     const char *kind() const override { return "fg-stp"; }
     const mem::MemoryHierarchy &memory() const override { return mem; }
@@ -214,6 +215,9 @@ class FgstpMachine : public sim::Machine
     std::deque<WindowEntry> window;
     InstSeqNum windowBase = 1;
     bool streamEnded = false;
+
+    /** fastForward()'s reusable batch buffer (keeps its capacity). */
+    std::vector<RoutedInst> ffBatch;
 
     // Per-core fetch cursors (sequence numbers) and peek slots.
     InstSeqNum cursor[2] = {1, 1};

@@ -6,9 +6,11 @@
 #ifndef FGSTP_FGSTP_ROUTED_INST_HH
 #define FGSTP_FGSTP_ROUTED_INST_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "trace/dyn_inst.hh"
 
@@ -31,6 +33,33 @@ struct ExtDep
     CoreId producerCore = 0;
 };
 
+/**
+ * Fixed-capacity inline list of cross-core dependences. A copy waits
+ * for at most one remote producer per source register, so the bound is
+ * trace::maxSrcRegs; keeping the entries inline spares every routed
+ * instruction two heap allocations on the partitioning fast path.
+ */
+class ExtDepList
+{
+  public:
+    void
+    push_back(const ExtDep &d)
+    {
+        sim_assert(n < trace::maxSrcRegs,
+                   "more external deps than source registers");
+        deps[n++] = d;
+    }
+
+    const ExtDep *begin() const { return deps.data(); }
+    const ExtDep *end() const { return deps.data() + n; }
+    bool empty() const { return n == 0; }
+    std::size_t size() const { return n; }
+
+  private:
+    std::array<ExtDep, trace::maxSrcRegs> deps{};
+    std::uint8_t n = 0;
+};
+
 struct RoutedInst
 {
     InstSeqNum seq = invalidSeqNum;
@@ -43,7 +72,7 @@ struct RoutedInst
      * Remote producers each copy waits for, indexed by executing
      * core. Producer seq numbers are always older than this seq.
      */
-    std::vector<ExtDep> extDeps[2];
+    ExtDepList extDeps[2];
 
     /** The instruction was replicated by the replication pass. */
     bool replicated = false;

@@ -11,6 +11,8 @@ CacheArray::CacheArray(const CacheGeometry &geom)
       assoc(geom.assoc),
       line(geom.lineBytes),
       lineMask(geom.lineBytes - 1),
+      lineShift(floorLog2(geom.lineBytes)),
+      setShift(floorLog2(geom.numSets())),
       ways(static_cast<std::size_t>(sets) * assoc)
 {
     sim_assert(isPowerOf2(line), "cache line size must be a power of 2");
@@ -22,13 +24,13 @@ CacheArray::CacheArray(const CacheGeometry &geom)
 std::uint64_t
 CacheArray::setIndex(Addr addr) const
 {
-    return (addr / line) & (sets - 1);
+    return (addr >> lineShift) & (sets - 1);
 }
 
 Addr
 CacheArray::tagOf(Addr addr) const
 {
-    return addr / line / sets;
+    return addr >> (lineShift + setShift);
 }
 
 bool

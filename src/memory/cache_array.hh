@@ -93,6 +93,11 @@ class CacheArray
     std::uint32_t assoc;
     std::uint32_t line;
     Addr lineMask;
+    // Line size and set count are asserted powers of two, so index and
+    // tag extraction shift instead of divide (addr / line / sets would
+    // otherwise be two hardware divisions on the hottest path).
+    std::uint32_t lineShift;
+    std::uint32_t setShift;
     std::vector<Way> ways; // sets * assoc, row-major
     std::uint64_t useClock = 0;
 };

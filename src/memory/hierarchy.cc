@@ -18,6 +18,7 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg)
         prefetchers.emplace_back(cfg.prefetchStreams,
                                  cfg.prefetchDegree,
                                  cfg.l1d.lineBytes);
+        warmMemo.emplace_back();
     }
 }
 
@@ -44,21 +45,27 @@ MemoryHierarchy::lookupBeyondL1(CoreId core, Addr block, Cycle now,
     const Cycle t = claimL2Port(now);
     ++_stats.l2Accesses;
 
-    // Peer L1D holding the block dirty supplies the data.
+    // Peer L1D holding the block dirty supplies the data. A
+    // single-core hierarchy has no peers and keeps dirtyOwner empty,
+    // so it skips the map lookup entirely.
     Cycle forward_penalty = 0;
-    auto owner_it = dirtyOwner.find(block);
-    if (owner_it != dirtyOwner.end() && owner_it->second != core) {
-        const CoreId peer = owner_it->second;
-        if (peer < l1d.size() && l1d[peer].probe(block)) {
-            forward_penalty = cfg.dirtyForwardPenalty;
-            ++_stats.dirtyForwards;
-            // After the forward, L2 holds current data; the peer keeps
-            // a clean copy.
-            dirtyOwner.erase(owner_it);
-            l2.fill(block);
-        } else {
-            // Dirty data was written back when the line left the peer.
-            dirtyOwner.erase(owner_it);
+    if (l1d.size() > 1) {
+        auto owner_it = dirtyOwner.find(block);
+        if (owner_it != dirtyOwner.end() && owner_it->second != core) {
+            const CoreId peer = owner_it->second;
+            if (peer < l1d.size() && l1d[peer].probe(block)) {
+                forward_penalty = cfg.dirtyForwardPenalty;
+                ++_stats.dirtyForwards;
+                // After the forward, L2 holds current data; the peer
+                // keeps a clean copy.
+                dirtyOwner.erase(owner_it);
+                l2.fill(block);
+            } else {
+                // Dirty data was written back when the line left the
+                // peer.
+                dirtyOwner.erase(owner_it);
+            }
+            clearWarmMemo(block);
         }
     }
 
@@ -80,9 +87,117 @@ MemoryHierarchy::lookupBeyondL1(CoreId core, Addr block, Cycle now,
                 ++_stats.invalidations;
             l1i[c].invalidate(ev.blockAddr);
         }
-        dirtyOwner.erase(ev.blockAddr);
+        if (l1d.size() > 1)
+            dirtyOwner.erase(ev.blockAddr);
+        clearWarmMemo(ev.blockAddr);
     }
     return ready;
+}
+
+void
+MemoryHierarchy::warmBeyondL1(CoreId core, Addr block)
+{
+    if (l1d.size() > 1) {
+        auto owner_it = dirtyOwner.find(block);
+        if (owner_it != dirtyOwner.end() && owner_it->second != core) {
+            const CoreId peer = owner_it->second;
+            if (peer < l1d.size() && l1d[peer].probe(block))
+                l2.fill(block);
+            dirtyOwner.erase(owner_it);
+            clearWarmMemo(block);
+        }
+    }
+
+    if (l2.access(block, false))
+        return;
+
+    const Eviction ev = l2.fill(block);
+    if (ev.valid) {
+        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+            l1d[c].invalidate(ev.blockAddr);
+            l1i[c].invalidate(ev.blockAddr);
+        }
+        if (l1d.size() > 1)
+            dirtyOwner.erase(ev.blockAddr);
+        clearWarmMemo(ev.blockAddr);
+    }
+}
+
+void
+MemoryHierarchy::warmData(CoreId core, Addr addr, bool is_write)
+{
+    const Addr block = l1d[core].blockAddr(addr);
+
+    // A repeat touch of the memoized block (already dirty-owned when
+    // writing) can only refresh LRU recency; skip the full walk.
+    WarmMemo &memo = warmMemo[core];
+    if (block == memo.block && (!is_write || memo.dirty))
+        return;
+
+    if (!l1d[core].access(addr, is_write)) {
+        warmBeyondL1(core, block);
+
+        const Eviction ev = l1d[core].fill(addr, is_write);
+        if (ev.valid) {
+            clearWarmMemo(ev.blockAddr);
+            if (ev.dirty) {
+                l2.fill(ev.blockAddr, true);
+                if (l1d.size() > 1) {
+                    auto it = dirtyOwner.find(ev.blockAddr);
+                    if (it != dirtyOwner.end() && it->second == core)
+                        dirtyOwner.erase(it);
+                }
+            }
+        }
+
+        if (!is_write && cfg.prefetch != PrefetchKind::None) {
+            PrefetchTargets targets;
+            if (cfg.prefetch == PrefetchKind::NextLine) {
+                targets.push_back(block + l1d[core].lineSize());
+            } else {
+                targets = prefetchers[core].onMiss(block);
+            }
+            for (const Addr t : targets) {
+                if (!l1d[core].probe(t)) {
+                    const Eviction pev = l1d[core].fill(t);
+                    if (pev.valid)
+                        clearWarmMemo(pev.blockAddr);
+                    l2.fill(t);
+                }
+            }
+        }
+    }
+
+    if (is_write && l1d.size() > 1) {
+        dirtyOwner[block] = core;
+        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+            if (c != core)
+                l1d[c].invalidate(block);
+        }
+        clearWarmMemo(block);
+    }
+
+    memo.block = block;
+    memo.dirty = is_write;
+}
+
+void
+MemoryHierarchy::warmInst(CoreId core, Addr addr)
+{
+    if (l1i[core].access(addr, false))
+        return;
+
+    const Addr block = l1i[core].blockAddr(addr);
+    warmBeyondL1(core, block);
+    l1i[core].fill(addr);
+
+    if (cfg.prefetch != PrefetchKind::None) {
+        const Addr next = block + l1i[core].lineSize();
+        if (!l1i[core].probe(next)) {
+            l1i[core].fill(next);
+            l2.fill(next);
+        }
+    }
 }
 
 AccessResult
@@ -119,9 +234,10 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
                 break;
             }
         }
-        if (is_write) {
+        if (is_write && l1d.size() > 1) {
             dirtyOwner[block] = core;
             invalidate_peers();
+            clearWarmMemo(block);
         }
         return res;
     }
@@ -148,23 +264,29 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
     res.readyCycle = ready;
 
     const Eviction ev = l1d[core].fill(addr, is_write);
-    if (ev.valid && ev.dirty) {
-        // Writeback to L2; timing-wise free (posted write).
-        l2.fill(ev.blockAddr, true);
-        auto it = dirtyOwner.find(ev.blockAddr);
-        if (it != dirtyOwner.end() && it->second == core)
-            dirtyOwner.erase(it);
+    if (ev.valid) {
+        clearWarmMemo(ev.blockAddr);
+        if (ev.dirty) {
+            // Writeback to L2; timing-wise free (posted write).
+            l2.fill(ev.blockAddr, true);
+            if (l1d.size() > 1) {
+                auto it = dirtyOwner.find(ev.blockAddr);
+                if (it != dirtyOwner.end() && it->second == core)
+                    dirtyOwner.erase(it);
+            }
+        }
     }
 
-    if (is_write) {
+    if (is_write && l1d.size() > 1) {
         dirtyOwner[block] = core;
         invalidate_peers();
+        clearWarmMemo(block);
     }
 
     // Prefetch on load misses (zero port cost; the optimism applies
     // to every machine model equally).
     if (!is_write && cfg.prefetch != PrefetchKind::None) {
-        std::vector<Addr> targets;
+        PrefetchTargets targets;
         if (cfg.prefetch == PrefetchKind::NextLine) {
             targets.push_back(block + l1d[core].lineSize());
         } else {
@@ -172,7 +294,9 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
         }
         for (const Addr t : targets) {
             if (!l1d[core].probe(t)) {
-                l1d[core].fill(t);
+                const Eviction pev = l1d[core].fill(t);
+                if (pev.valid)
+                    clearWarmMemo(pev.blockAddr);
                 l2.fill(t);
                 ++_stats.prefetchFills;
             }
@@ -240,6 +364,8 @@ MemoryHierarchy::reset()
     dirtyOwner.clear();
     for (auto &b : mshrs)
         b.clear();
+    for (auto &m : warmMemo)
+        m = WarmMemo{};
     for (auto &p : prefetchers)
         p.reset();
     l2PortFree = 0;

@@ -112,6 +112,16 @@ class MemoryHierarchy
     /** An instruction-block fetch by `core` at cycle `now`. */
     AccessResult accessInst(CoreId core, Addr addr, Cycle now);
 
+    /**
+     * Timing-free warm touch for functional fast-forward: updates
+     * cache contents, dirty ownership, inclusion and prefetch state
+     * exactly like accessData()/accessInst(), but skips MSHRs, port
+     * claims, latency computation and the demand counters — those all
+     * describe cycles that a functional region does not have.
+     */
+    void warmData(CoreId core, Addr addr, bool is_write);
+    void warmInst(CoreId core, Addr addr);
+
     /** Presence probe (no state change), for tests. */
     bool l1dHasBlock(CoreId core, Addr addr) const;
     bool l2HasBlock(Addr addr) const;
@@ -136,6 +146,22 @@ class MemoryHierarchy
     Cycle lookupBeyondL1(CoreId core, Addr block, Cycle now,
                          bool &l2_hit);
 
+    /** Contents-only twin of lookupBeyondL1 for the warm paths. */
+    void warmBeyondL1(CoreId core, Addr block);
+
+    /**
+     * Forgets any warm-path memo of `block` (call whenever a block
+     * may leave an L1D or lose its dirty ownership).
+     */
+    void
+    clearWarmMemo(Addr block)
+    {
+        for (auto &m : warmMemo) {
+            if (m.block == block)
+                m.block = invalidBlock;
+        }
+    }
+
     /** Earliest cycle the L2 port accepts a request at/after `now`. */
     Cycle claimL2Port(Cycle now);
     Cycle claimDramPort(Cycle now);
@@ -151,6 +177,23 @@ class MemoryHierarchy
     std::unordered_map<Addr, CoreId> dirtyOwner;
 
     std::vector<std::vector<Mshr>> mshrs; // per core
+
+    static constexpr Addr invalidBlock = ~Addr{0};
+
+    /**
+     * Warm-path short-circuit: the last block each core warm-touched,
+     * and whether that touch left it dirty-owned by the core. A warm
+     * access to the memoized block (loads always; stores only when
+     * already dirty) cannot change any hierarchy state beyond LRU
+     * recency, so it is skipped. Every path that can remove the block
+     * from the L1D or strip its dirty ownership clears the memo.
+     */
+    struct WarmMemo
+    {
+        Addr block = invalidBlock;
+        bool dirty = false;
+    };
+    std::vector<WarmMemo> warmMemo; // per core
 
     Cycle l2PortFree = 0;
     Cycle dramPortFree = 0;

@@ -15,9 +15,11 @@ StreamPrefetcher::StreamPrefetcher(std::size_t num_streams,
 {
     sim_assert(num_streams > 0 && degree > 0,
                "stream prefetcher needs streams and a degree");
+    sim_assert(degree <= maxPrefetchDegree, "prefetch degree above ",
+               maxPrefetchDegree);
 }
 
-std::vector<Addr>
+PrefetchTargets
 StreamPrefetcher::onMiss(Addr block)
 {
     // 1. Extend a tracked stream. Prefetches cover the blocks right
@@ -39,8 +41,7 @@ StreamPrefetcher::onMiss(Addr block)
                 ++s.confidence;
             if (s.confidence >= lockThreshold) {
                 ++numLocks;
-                std::vector<Addr> out;
-                out.reserve(degree);
+                PrefetchTargets out;
                 for (unsigned d = 1; d <= degree; ++d) {
                     out.push_back(block +
                                   static_cast<Addr>(s.stride) * d);

@@ -15,9 +15,11 @@
 #ifndef FGSTP_MEMORY_PREFETCHER_HH
 #define FGSTP_MEMORY_PREFETCHER_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace fgstp::mem
@@ -28,6 +30,36 @@ enum class PrefetchKind : std::uint8_t
     None,
     NextLine,
     Stream
+};
+
+/** Highest prefetch degree any scheme may be configured with. */
+inline constexpr unsigned maxPrefetchDegree = 8;
+
+/**
+ * Fixed-capacity list of prefetch target blocks. Misses are the
+ * hottest path through the hierarchy, so the targets live inline
+ * instead of in a heap-backed vector.
+ */
+class PrefetchTargets
+{
+  public:
+    void
+    push_back(Addr block)
+    {
+        sim_assert(n < maxPrefetchDegree, "prefetch burst too long");
+        targets[n++] = block;
+    }
+
+    const Addr *begin() const { return targets.data(); }
+    const Addr *end() const { return targets.data() + n; }
+    bool empty() const { return n == 0; }
+    std::size_t size() const { return n; }
+    Addr operator[](std::size_t i) const { return targets[i]; }
+    Addr back() const { return targets[n - 1]; }
+
+  private:
+    std::array<Addr, maxPrefetchDegree> targets{};
+    unsigned n = 0;
 };
 
 /** Per-core stride-detecting stream prefetcher. */
@@ -46,7 +78,7 @@ class StreamPrefetcher
      * Observes a demand miss to `block` (line-aligned) and returns
      * the blocks to prefetch (possibly empty).
      */
-    std::vector<Addr> onMiss(Addr block);
+    PrefetchTargets onMiss(Addr block);
 
     void reset();
 

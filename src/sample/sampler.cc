@@ -1,0 +1,260 @@
+#include "sample/sampler.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hh"
+#include "obs/monitor.hh"
+
+namespace fgstp::sample
+{
+
+// ---- spec parsing ----------------------------------------------------------
+
+namespace
+{
+
+std::uint64_t
+parseCount(const std::string &key, const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        throw SampleSpecError("--sample: bad value '" + value +
+                              "' for '" + key +
+                              "' (want a non-negative integer)");
+    }
+    return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+SampleSpec
+parseSampleSpec(const std::string &spec)
+{
+    SampleSpec s;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        if (end > start) {
+            const std::string field = spec.substr(start, end - start);
+            const std::size_t eq = field.find('=');
+            if (eq == std::string::npos) {
+                throw SampleSpecError(
+                    "--sample: expected key=value, got '" + field +
+                    "' (grammar: ff=N,warmup=N,measure=N)");
+            }
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            if (key == "ff") {
+                s.ffInsts = parseCount(key, value);
+            } else if (key == "warmup") {
+                s.warmupInsts = parseCount(key, value);
+            } else if (key == "measure") {
+                s.measureInsts = parseCount(key, value);
+            } else {
+                throw SampleSpecError("--sample: unknown key '" + key +
+                                      "' (ff | warmup | measure)");
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (s.measureInsts == 0)
+        throw SampleSpecError("--sample: measure must be > 0");
+    return s;
+}
+
+// ---- interval math ---------------------------------------------------------
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+sampleStddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (const double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+ciHalfWidth95(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    return 1.96 * sampleStddev(xs) /
+           std::sqrt(static_cast<double>(xs.size()));
+}
+
+// ---- SampleResult ----------------------------------------------------------
+
+std::uint64_t
+SampleResult::measuredInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const Interval &iv : intervals)
+        n += iv.instructions;
+    return n;
+}
+
+std::uint64_t
+SampleResult::measuredCycles() const
+{
+    std::uint64_t n = 0;
+    for (const Interval &iv : intervals)
+        n += iv.cycles;
+    return n;
+}
+
+double
+SampleResult::ipc() const
+{
+    const std::uint64_t c = measuredCycles();
+    return c ? static_cast<double>(measuredInstructions()) / c : 0.0;
+}
+
+namespace
+{
+
+std::vector<double>
+intervalIpcs(const std::vector<Interval> &intervals)
+{
+    std::vector<double> xs;
+    xs.reserve(intervals.size());
+    for (const Interval &iv : intervals)
+        xs.push_back(iv.ipc());
+    return xs;
+}
+
+} // namespace
+
+double
+SampleResult::meanIpc() const
+{
+    return mean(intervalIpcs(intervals));
+}
+
+double
+SampleResult::stddevIpc() const
+{
+    return sampleStddev(intervalIpcs(intervals));
+}
+
+double
+SampleResult::ciHalfWidth() const
+{
+    return ciHalfWidth95(intervalIpcs(intervals));
+}
+
+// ---- invariant check -------------------------------------------------------
+
+void
+checkCpiStack(const obs::CpiStack &stack, std::uint64_t cycles,
+              unsigned core, std::size_t interval)
+{
+    if (stack.total() == cycles)
+        return;
+    std::ostringstream os;
+    os << "sampled interval " << interval << ": core " << core
+       << " CPI stack sums to " << stack.total() << " but the interval "
+       << "measured " << cycles << " cycles";
+    throw SampleInvariantError(os.str());
+}
+
+void
+verifyInterval(const sim::Machine &m, std::uint64_t interval_cycles,
+               std::size_t interval)
+{
+    for (unsigned c = 0; c < m.numCores(); ++c) {
+        const obs::CoreMonitor *mon = m.monitor(c);
+        if (mon && mon->config().cpiStack)
+            checkCpiStack(mon->cpi(), interval_cycles, c, interval);
+    }
+}
+
+// ---- Sampler ---------------------------------------------------------------
+
+Sampler::Sampler(sim::Machine &machine, const SampleSpec &spec)
+    : machine(machine), _spec(spec)
+{
+}
+
+SampleResult
+Sampler::run(std::uint64_t num_insts)
+{
+    SampleResult res;
+    while (done < num_insts) {
+        const std::uint64_t remaining = num_insts - done;
+
+        // Fast-forward leg, shortened near the end of the budget so
+        // the tail is still warmed and measured.
+        const std::uint64_t reserve =
+            _spec.warmupInsts + _spec.measureInsts;
+        const std::uint64_t ff = remaining > reserve
+            ? std::min(_spec.ffInsts, remaining - reserve) : 0;
+        if (ff) {
+            const std::uint64_t skipped = machine.fastForward(ff);
+            done += skipped;
+            res.fastForwarded += skipped;
+            if (skipped < ff) {
+                res.streamEnded = true;
+                break;
+            }
+        }
+
+        // Detailed warmup (discarded at the resetStats boundary).
+        const std::uint64_t warm =
+            std::min(_spec.warmupInsts, num_insts - done);
+        if (warm) {
+            const auto r = machine.run(done + warm);
+            res.detailedInstructions += r.instructions - done;
+            const bool ended = r.instructions < done + warm;
+            done = r.instructions;
+            if (ended) {
+                res.streamEnded = true;
+                break;
+            }
+        }
+
+        // Measured interval.
+        machine.resetStats();
+        const sim::RunResult before = machine.run(done);
+        const std::uint64_t want =
+            std::min(_spec.measureInsts, num_insts - done);
+        const sim::RunResult after = machine.run(done + want);
+        Interval iv;
+        iv.instructions = after.instructions - before.instructions;
+        iv.cycles = after.cycles - before.cycles;
+        res.detailedInstructions += iv.instructions;
+        const bool ended = after.instructions < done + want;
+        done = after.instructions;
+        if (iv.instructions) {
+            verifyInterval(machine, iv.cycles, res.intervals.size());
+            res.intervals.push_back(iv);
+        }
+        if (ended) {
+            res.streamEnded = true;
+            break;
+        }
+    }
+    res.totalInstructions = done;
+    return res;
+}
+
+} // namespace fgstp::sample

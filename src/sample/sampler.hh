@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SMARTS-style sampled simulation (src/sample).
+ *
+ * Instead of simulating every instruction in full cycle-level detail,
+ * a Sampler drives a Machine through periodic sampling units:
+ *
+ *   fast-forward (functional)  ->  detailed warmup  ->  measured
+ *          ffInsts                   warmupInsts        measureInsts
+ *
+ * The fast-forward leg uses Machine::fastForward(), which replays the
+ * trace updating only warmup-relevant state (branch predictors,
+ * caches, partition routing) at well above detailed speed; the warmup
+ * leg runs the full timing model but its statistics are discarded
+ * (Machine::resetStats() at the measurement boundary); the measured
+ * leg is an ordinary detailed region whose cycle and instruction
+ * deltas form one interval observation. Interval IPCs are aggregated
+ * into a mean with a 95% confidence-interval half-width.
+ *
+ * Self-check: when the machine carries CPI-stack monitors, every
+ * measured interval's per-core stack must sum exactly to the
+ * interval's cycle count (the PR 2 invariant); a mismatch throws
+ * SampleInvariantError rather than silently reporting a bad interval.
+ *
+ * Methodology, accuracy bounds and when *not* to sample are
+ * documented in docs/SAMPLING.md.
+ */
+
+#ifndef FGSTP_SAMPLE_SAMPLER_HH
+#define FGSTP_SAMPLE_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/cpi_stack.hh"
+#include "sim/machine.hh"
+
+namespace fgstp::sample
+{
+
+/**
+ * One sampling unit's schedule, in instructions. The defaults were
+ * chosen against full runs of the synthetic workloads (docs/SAMPLING.md
+ * records the measurements): shorter warmup or measure legs bias the
+ * sampled IPC noticeably on these cache-hostile traces.
+ */
+struct SampleSpec
+{
+    std::uint64_t ffInsts = 50000;   ///< functional fast-forward leg
+    std::uint64_t warmupInsts = 5000;///< detailed, discarded
+    std::uint64_t measureInsts = 5000; ///< detailed, measured
+
+    std::uint64_t
+    period() const
+    {
+        return ffInsts + warmupInsts + measureInsts;
+    }
+};
+
+/**
+ * Parses "ff=N,warmup=N,measure=N" (any subset, any order; absent
+ * keys keep the SampleSpec defaults). Throws SampleSpecError on an
+ * unknown key, a malformed value, or measure == 0.
+ */
+SampleSpec parseSampleSpec(const std::string &spec);
+
+/** One measured interval's observation. */
+struct Interval
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles
+            ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+/** Aggregated outcome of a sampled run. */
+struct SampleResult
+{
+    std::vector<Interval> intervals;
+    std::uint64_t totalInstructions = 0; ///< advanced, incl. skipped
+    std::uint64_t fastForwarded = 0;     ///< functionally skipped
+    std::uint64_t detailedInstructions = 0; ///< warmup + measured
+    bool streamEnded = false;
+
+    std::uint64_t measuredInstructions() const;
+    std::uint64_t measuredCycles() const;
+
+    /** Instruction-weighted IPC over the measured regions. */
+    double ipc() const;
+
+    /** Unweighted mean of the per-interval IPCs. */
+    double meanIpc() const;
+
+    /** Sample standard deviation of the per-interval IPCs. */
+    double stddevIpc() const;
+
+    /** 95% confidence-interval half-width on meanIpc(). */
+    double ciHalfWidth() const;
+};
+
+// ---- interval math (unit-testable pieces) ---------------------------------
+
+double mean(const std::vector<double> &xs);
+double sampleStddev(const std::vector<double> &xs);
+
+/**
+ * Half-width of the 95% confidence interval on the mean under the
+ * normal approximation: 1.96 * s / sqrt(n). Zero when n < 2 (one
+ * observation carries no spread information).
+ */
+double ciHalfWidth95(const std::vector<double> &xs);
+
+/**
+ * The per-interval CPI-stack self-check: every accounted cycle must
+ * land in exactly one bucket, so the stack total equals the measured
+ * cycle count. Throws SampleInvariantError otherwise.
+ */
+void checkCpiStack(const obs::CpiStack &stack, std::uint64_t cycles,
+                   unsigned core, std::size_t interval);
+
+/**
+ * Applies checkCpiStack to every core of `m` that carries a CPI-stack
+ * monitor. A machine without monitors passes vacuously.
+ */
+void verifyInterval(const sim::Machine &m,
+                    std::uint64_t interval_cycles,
+                    std::size_t interval);
+
+/**
+ * Drives a machine through the periodic sampling schedule. The
+ * machine should be freshly constructed; attach observability (CPI
+ * stacks enable the per-interval self-check) and any commit checker
+ * before the first run() call.
+ */
+class Sampler
+{
+  public:
+    Sampler(sim::Machine &machine, const SampleSpec &spec);
+
+    /**
+     * Advances the machine until `num_insts` total instructions have
+     * been committed or skipped (cumulative across calls, like
+     * Machine::run), sampling per the spec. The tail of the budget is
+     * always measured: the last unit shortens its fast-forward leg so
+     * warmup + measure still fit.
+     */
+    SampleResult run(std::uint64_t num_insts);
+
+    const SampleSpec &spec() const { return _spec; }
+
+  private:
+    sim::Machine &machine;
+    SampleSpec _spec;
+    std::uint64_t done = 0; ///< cumulative instructions advanced
+};
+
+} // namespace fgstp::sample
+
+#endif // FGSTP_SAMPLE_SAMPLER_HH

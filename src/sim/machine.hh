@@ -49,6 +49,28 @@ class Machine
      */
     virtual RunResult run(std::uint64_t num_insts) = 0;
 
+    /**
+     * Functional fast-forward: advances the architectural stream by up
+     * to `num_insts` instructions at well above detailed speed,
+     * updating only warmup-relevant microarchitectural state (branch
+     * predictors, caches and prefetchers, partition routing) — no
+     * ROB/IQ/LSQ occupancy, operand-link traffic or cycle-accurate
+     * timing. Anything in flight is flushed first, so the replay
+     * continues from the exact committed point; skipped instructions
+     * count toward later run() targets (run() targets are cumulative)
+     * and are fed to an attached commit checker. Cache warming runs
+     * through the hierarchy's timing-free warm paths; the notional
+     * clock still advances one cycle per instruction so pre-flush
+     * port and MSHR reservations are in the past when detailed
+     * simulation resumes.
+     *
+     * Returns the number of instructions actually skipped — less than
+     * `num_insts` only when the trace ends. The default simulation
+     * path never calls this; see src/sample/ for the SMARTS-style
+     * driver built on top of it.
+     */
+    virtual std::uint64_t fastForward(std::uint64_t num_insts) = 0;
+
     virtual const char *kind() const = 0;
 
     /** The shared memory hierarchy. */

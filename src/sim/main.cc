@@ -17,6 +17,8 @@
  *                --inject=SPEC (seeded fault injection, fgstp only;
  *                               grammar in docs/ROBUSTNESS.md)
  *                --watchdog=N (deadlock budget in cycles)
+ * Sampling:      --sample[=ff=N,warmup=N,measure=N] (SMARTS-style
+ *                sampled simulation; see docs/SAMPLING.md)
  */
 
 #include <cstdio>
@@ -35,6 +37,7 @@
 #include "obs/event_log.hh"
 #include "obs/monitor.hh"
 #include "obs/pipeview.hh"
+#include "sample/sampler.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
 #include "sim/stat_report.hh"
@@ -66,6 +69,9 @@ struct Options
     bool check = false;       // golden-model commit cross-check
     std::string injectSpec;   // fault plan (empty = none)
     Cycle watchdogLimit = 0;  // 0 = machine default
+
+    bool sample = false;      // SMARTS-style sampled simulation
+    std::string sampleSpec;   // schedule override (empty = defaults)
 
     std::uint32_t window = 0;
     Cycle linkLatency = 0;
@@ -118,6 +124,11 @@ parse(int argc, char **argv)
             o.eventlogFile = v;
         } else if (std::strcmp(a, "--check") == 0) {
             o.check = true;
+        } else if (std::strcmp(a, "--sample") == 0) {
+            o.sample = true;
+        } else if (matchValue(a, "--sample", v)) {
+            o.sample = true;
+            o.sampleSpec = v;
         } else if (matchValue(a, "--inject", v)) {
             o.injectSpec = v;
         } else if (matchValue(a, "--watchdog", v)) {
@@ -238,14 +249,50 @@ runSim(Options o)
     mcfg.trace = !o.pipeviewFile.empty() || !o.eventlogFile.empty();
     mcfg.cpiStack = o.cpiStack;
     mcfg.occupancy = o.occupancy;
+    if (o.sample) {
+        if (mcfg.trace) {
+            fatal("--sample cannot be combined with --pipeview or "
+                  "--eventlog: the per-interval resetStats() would "
+                  "shred the event trace");
+        }
+        // The per-interval CPI-stack self-check rides on the stack
+        // collector.
+        mcfg.cpiStack = true;
+    }
     if (mcfg.any())
         machine->enableObservability(mcfg);
 
-    const auto r = machine->run(o.insts);
-    std::printf("%s %s %s: instructions=%lu cycles=%lu ipc=%.4f\n",
-                machine->kind(), preset.name, o.bench.c_str(),
-                static_cast<unsigned long>(r.instructions),
-                static_cast<unsigned long>(r.cycles), r.ipc());
+    sim::RunResult r;
+    sample::SampleResult sampled;
+    if (o.sample) {
+        const sample::SampleSpec spec = o.sampleSpec.empty()
+            ? sample::SampleSpec{}
+            : sample::parseSampleSpec(o.sampleSpec);
+        sample::Sampler sampler(*machine, spec);
+        sampled = sampler.run(o.insts);
+        r.instructions = sampled.measuredInstructions();
+        r.cycles = sampled.measuredCycles();
+        std::printf("%s %s %s [sampled]: ipc=%.4f meanIpc=%.4f "
+                    "ci95=%.4f intervals=%zu\n",
+                    machine->kind(), preset.name, o.bench.c_str(),
+                    sampled.ipc(), sampled.meanIpc(),
+                    sampled.ciHalfWidth(), sampled.intervals.size());
+        std::printf("  advanced=%lu (fast-forwarded=%lu detailed=%lu "
+                    "measured=%lu insts / %lu cycles)\n",
+                    static_cast<unsigned long>(
+                        sampled.totalInstructions),
+                    static_cast<unsigned long>(sampled.fastForwarded),
+                    static_cast<unsigned long>(
+                        sampled.detailedInstructions),
+                    static_cast<unsigned long>(r.instructions),
+                    static_cast<unsigned long>(r.cycles));
+    } else {
+        r = machine->run(o.insts);
+        std::printf("%s %s %s: instructions=%lu cycles=%lu ipc=%.4f\n",
+                    machine->kind(), preset.name, o.bench.c_str(),
+                    static_cast<unsigned long>(r.instructions),
+                    static_cast<unsigned long>(r.cycles), r.ipc());
+    }
 
     if (checker) {
         std::printf("commit check: %lu instructions verified "
@@ -277,7 +324,14 @@ runSim(Options o)
     }
 
     if (o.stats) {
-        sim::StatReport report(*machine, r);
+        sim::RunResult for_report = r;
+        if (o.sample && !sampled.intervals.empty()) {
+            // Counters reset at every interval boundary, so the report
+            // covers only the last measured interval.
+            for_report.instructions = sampled.intervals.back().instructions;
+            for_report.cycles = sampled.intervals.back().cycles;
+        }
+        sim::StatReport report(*machine, for_report);
         if (o.jsonStats)
             report.dumpJson(std::cout);
         else

@@ -105,6 +105,44 @@ SingleCoreMachine::enableObservability(const obs::MonitorConfig &cfg)
     cpu->attachMonitor(mon.get());
 }
 
+std::uint64_t
+SingleCoreMachine::fastForward(std::uint64_t num_insts)
+{
+    // Mode switch: flush everything in flight so the functional replay
+    // continues from the committed point. The flush disturbs only
+    // warmup state the caller is about to re-warm; the architectural
+    // stream is untouched (squashed instructions are refetched from
+    // the replay buffer by the functional loop below).
+    const InstSeqNum horizon = buffer.retireHorizon();
+    if (!cpu->pipelineEmpty())
+        cpu->squashFrom(horizon, cycle, obs::SquashCause::MemOrderLocal);
+    pendingSquash = invalidSeqNum;
+    curValid = false;
+    nextFetchSeq = horizon;
+
+    std::uint64_t skipped = 0;
+    while (skipped < num_insts) {
+        // With nothing in flight, consume at the horizon — no replay
+        // window is kept because nothing can squash here.
+        const trace::DynInst *inst = buffer.consumeNext();
+        if (!inst) {
+            streamEnded = true;
+            break;
+        }
+        // The notional clock moves one cycle per instruction so any
+        // pre-flush port or MSHR reservation lands in the past by the
+        // time detailed simulation resumes.
+        ++cycle;
+        cpu->warmupInst(*inst);
+        if (checker)
+            checker->onCommit(nextFetchSeq, *inst, cycle);
+        ++committed;
+        ++nextFetchSeq;
+        ++skipped;
+    }
+    return skipped;
+}
+
 RunResult
 SingleCoreMachine::run(std::uint64_t num_insts)
 {

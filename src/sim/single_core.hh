@@ -31,6 +31,7 @@ class SingleCoreMachine : public Machine, private core::CoreHooks
                       const char *kind_name = "single-core");
 
     RunResult run(std::uint64_t num_insts) override;
+    std::uint64_t fastForward(std::uint64_t num_insts) override;
 
     const char *kind() const override { return kindName; }
     const mem::MemoryHierarchy &memory() const override { return mem; }

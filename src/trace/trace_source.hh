@@ -99,6 +99,27 @@ class ReplayBuffer
         return &window[seq - base];
     }
 
+    /**
+     * Delivers and immediately retires the instruction at the retire
+     * horizon — the consume primitive for functional fast-forward,
+     * where no squash can ever rewind. Skips the window entirely when
+     * it is empty (the common case), so the instruction moves straight
+     * from the source into the returned slot with no deque traffic.
+     * The pointer is valid until the next call.
+     */
+    const DynInst *
+    consumeNext()
+    {
+        if (!window.empty()) {
+            scratch = window.front();
+            window.pop_front();
+        } else if (!source.next(scratch)) {
+            return nullptr;
+        }
+        ++base;
+        return &scratch;
+    }
+
     /** Discards instructions with sequence number < seq. */
     void
     retireUpTo(InstSeqNum seq)
@@ -126,6 +147,7 @@ class ReplayBuffer
     TraceSource &source;
     std::deque<DynInst> window;
     InstSeqNum base = 1;
+    DynInst scratch; // consumeNext()'s delivery slot
 };
 
 } // namespace fgstp::trace

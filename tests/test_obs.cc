@@ -532,5 +532,136 @@ TEST(Histogram, ClampsAboveCapacity)
     EXPECT_EQ(h.maxSample(), 4u);
 }
 
+// ---- resetStats round trip -------------------------------------------------
+//
+// The sampling driver (src/sample) leans on resetStats() at every
+// measurement boundary, so every additive counter — core, branch,
+// memory, uncore link, monitor CPI/occupancy — must restart cleanly:
+// a machine reset at instruction N and run to 2N must report exactly
+// the [N, 2N) delta of an identical machine that never reset, and the
+// reset must not perturb timing at all.
+
+/** Additive counters snapshotted from a machine's cumulative stats. */
+struct StatSnapshot
+{
+    std::vector<std::uint64_t> counters;
+
+    static StatSnapshot
+    of(const sim::Machine &m)
+    {
+        StatSnapshot s;
+        for (unsigned c = 0; c < m.numCores(); ++c) {
+            const auto &cs = m.coreStats(c);
+            s.counters.insert(s.counters.end(),
+                              {cs.fetched, cs.dispatched, cs.issued,
+                               cs.committed, cs.squashes,
+                               cs.squashedInsts, cs.loadsForwarded});
+            const auto &bs = m.branchStats(c);
+            s.counters.insert(s.counters.end(),
+                              {bs.condLookups, bs.condMispredicts,
+                               bs.indirectLookups, bs.returnLookups});
+            const obs::CoreMonitor *mon = m.monitor(c);
+            s.counters.push_back(mon->cpi().total());
+            s.counters.push_back(mon->occupancy().rob.samples());
+            s.counters.push_back(mon->occupancy().iq.samples());
+            s.counters.push_back(
+                mon->occupancy().fetchQueue.samples());
+        }
+        const auto &ms = m.memory().stats();
+        s.counters.insert(s.counters.end(),
+                          {ms.l1iAccesses, ms.l1iMisses,
+                           ms.l1dAccesses, ms.l1dMisses, ms.l2Accesses,
+                           ms.l2Misses, ms.invalidations,
+                           ms.dirtyForwards, ms.mshrStalls,
+                           ms.prefetchFills});
+        if (const obs::Histogram *link = m.linkOccupancy())
+            s.counters.push_back(link->samples());
+        return s;
+    }
+
+    StatSnapshot
+    minus(const StatSnapshot &o) const
+    {
+        StatSnapshot d;
+        EXPECT_EQ(counters.size(), o.counters.size());
+        for (std::size_t i = 0; i < counters.size(); ++i)
+            d.counters.push_back(counters[i] - o.counters[i]);
+        return d;
+    }
+};
+
+void
+expectResetRoundTrip(sim::Machine &reset_machine,
+                     sim::Machine &plain_machine, const char *kind)
+{
+    constexpr std::uint64_t half = 3000;
+    reset_machine.enableObservability(fullConfig());
+    plain_machine.enableObservability(fullConfig());
+
+    const auto plainAtHalf = plain_machine.run(half);
+    const StatSnapshot s1 = StatSnapshot::of(plain_machine);
+    const auto plainFull = plain_machine.run(2 * half);
+    const StatSnapshot s2 = StatSnapshot::of(plain_machine);
+
+    (void)reset_machine.run(half);
+    reset_machine.resetStats();
+    const auto resetFull = reset_machine.run(2 * half);
+    const StatSnapshot delta = StatSnapshot::of(reset_machine);
+
+    // resetStats must not perturb timing: the cumulative run()
+    // totals match the never-reset twin exactly.
+    EXPECT_EQ(resetFull.cycles, plainFull.cycles) << kind;
+    EXPECT_EQ(resetFull.instructions, plainFull.instructions) << kind;
+    EXPECT_GE(plainAtHalf.instructions, half) << kind;
+
+    // And the reset machine accounts exactly the second half.
+    const StatSnapshot expected = s2.minus(s1);
+    ASSERT_EQ(delta.counters.size(), expected.counters.size()) << kind;
+    for (std::size_t i = 0; i < delta.counters.size(); ++i) {
+        EXPECT_EQ(delta.counters[i], expected.counters[i])
+            << kind << " counter " << i;
+    }
+}
+
+TEST(ResetStats, RoundTripsOnSingleCore)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload wa(workload::profileByName("gcc"), 9);
+    workload::SyntheticWorkload wb(workload::profileByName("gcc"), 9);
+    sim::SingleCoreMachine a(p.core, p.memory, wa);
+    sim::SingleCoreMachine b(p.core, p.memory, wb);
+    expectResetRoundTrip(a, b, "single-core");
+}
+
+TEST(ResetStats, RoundTripsOnCoreFusion)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload wa(workload::profileByName("mcf"), 9);
+    workload::SyntheticWorkload wb(workload::profileByName("mcf"), 9);
+    fusion::FusedMachine a(p.core, p.memory, wa, p.fusionOverheads);
+    fusion::FusedMachine b(p.core, p.memory, wb, p.fusionOverheads);
+    expectResetRoundTrip(a, b, "core-fusion");
+}
+
+TEST(ResetStats, RoundTripsOnFgstp)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload wa(
+        workload::profileByName("xalancbmk"), 9);
+    workload::SyntheticWorkload wb(
+        workload::profileByName("xalancbmk"), 9);
+    part::FgstpMachine a(p.core, p.memory, p.fgstp(), wa);
+    part::FgstpMachine b(p.core, p.memory, p.fgstp(), wb);
+    expectResetRoundTrip(a, b, "fg-stp");
+
+    // Uncore link stats restart too: after a fresh reset the message
+    // counter re-accumulates from zero.
+    EXPECT_GT(a.linkStats().messages, 0u);
+    a.resetStats();
+    EXPECT_EQ(a.linkStats().messages, 0u);
+    (void)a.run(9000);
+    EXPECT_GT(a.linkStats().messages, 0u);
+}
+
 } // namespace
 } // namespace fgstp

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the SMARTS-style sampling subsystem (src/sample): the
+ * --sample spec grammar, the interval math, the per-interval CPI-stack
+ * invariant (a corrupted interval must throw, never report), the
+ * Sampler schedule on all three machine models, fast-forward's
+ * cumulative-target contract, composition with the golden-model
+ * commit checker, and the sampled-vs-full accuracy bound that
+ * docs/SAMPLING.md documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.hh"
+#include "fgstp/machine.hh"
+#include "fusion/fused_machine.hh"
+#include "harden/commit_checker.hh"
+#include "obs/cpi_stack.hh"
+#include "obs/monitor.hh"
+#include "sample/sampler.hh"
+#include "sim/presets.hh"
+#include "sim/single_core.hh"
+#include "workload/generator.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+// ---- spec parsing ----------------------------------------------------------
+
+TEST(SampleSpec, EmptyStringKeepsDefaults)
+{
+    const auto s = sample::parseSampleSpec("");
+    const sample::SampleSpec def;
+    EXPECT_EQ(s.ffInsts, def.ffInsts);
+    EXPECT_EQ(s.warmupInsts, def.warmupInsts);
+    EXPECT_EQ(s.measureInsts, def.measureInsts);
+    EXPECT_EQ(s.period(),
+              def.ffInsts + def.warmupInsts + def.measureInsts);
+}
+
+TEST(SampleSpec, ParsesFullGrammarAnyOrder)
+{
+    const auto s =
+        sample::parseSampleSpec("measure=300,ff=10000,warmup=200");
+    EXPECT_EQ(s.ffInsts, 10000u);
+    EXPECT_EQ(s.warmupInsts, 200u);
+    EXPECT_EQ(s.measureInsts, 300u);
+}
+
+TEST(SampleSpec, SubsetKeepsRemainingDefaults)
+{
+    const auto s = sample::parseSampleSpec("ff=123");
+    const sample::SampleSpec def;
+    EXPECT_EQ(s.ffInsts, 123u);
+    EXPECT_EQ(s.warmupInsts, def.warmupInsts);
+    EXPECT_EQ(s.measureInsts, def.measureInsts);
+}
+
+TEST(SampleSpec, RejectsBadInput)
+{
+    EXPECT_THROW(sample::parseSampleSpec("interval=5"),
+                 SampleSpecError);
+    EXPECT_THROW(sample::parseSampleSpec("ff"), SampleSpecError);
+    EXPECT_THROW(sample::parseSampleSpec("ff=12x"), SampleSpecError);
+    EXPECT_THROW(sample::parseSampleSpec("ff="), SampleSpecError);
+    EXPECT_THROW(sample::parseSampleSpec("measure=0"),
+                 SampleSpecError);
+}
+
+// ---- interval math ---------------------------------------------------------
+
+TEST(SampleMath, MeanAndStddev)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(sample::mean(xs), 2.5);
+    // Sample (n-1) standard deviation of {1,2,3,4}.
+    EXPECT_NEAR(sample::sampleStddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SampleMath, CiHalfWidthMatchesFormula)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(sample::ciHalfWidth95(xs),
+                1.96 * sample::sampleStddev(xs) / 2.0, 1e-12);
+}
+
+TEST(SampleMath, DegenerateInputsCarryNoSpread)
+{
+    EXPECT_DOUBLE_EQ(sample::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(sample::sampleStddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(sample::sampleStddev({1.5}), 0.0);
+    EXPECT_DOUBLE_EQ(sample::ciHalfWidth95({1.5}), 0.0);
+}
+
+TEST(SampleResult, WeightedVsUnweightedIpc)
+{
+    sample::SampleResult r;
+    // A long slow interval and a short fast one: the unweighted mean
+    // sits above the instruction-weighted aggregate.
+    r.intervals.push_back({1000, 4000}); // ipc 0.25
+    r.intervals.push_back({100, 100});   // ipc 1.00
+    EXPECT_EQ(r.measuredInstructions(), 1100u);
+    EXPECT_EQ(r.measuredCycles(), 4100u);
+    EXPECT_NEAR(r.ipc(), 1100.0 / 4100.0, 1e-12);
+    EXPECT_NEAR(r.meanIpc(), (0.25 + 1.0) / 2.0, 1e-12);
+    EXPECT_GT(r.meanIpc(), r.ipc());
+    EXPECT_GT(r.ciHalfWidth(), 0.0);
+}
+
+// ---- CPI-stack interval invariant ------------------------------------------
+
+TEST(SampleInvariant, MatchingStackPasses)
+{
+    obs::CpiStack st;
+    for (int i = 0; i < 7; ++i)
+        st.add(obs::CpiCause::Base);
+    EXPECT_NO_THROW(sample::checkCpiStack(st, 7, 0, 0));
+}
+
+TEST(SampleInvariant, CorruptedIntervalThrows)
+{
+    obs::CpiStack st;
+    for (int i = 0; i < 7; ++i)
+        st.add(obs::CpiCause::Base);
+    // A stack that lost (or double-counted) cycles must abort the
+    // sampled run, never fold a bad interval into the mean.
+    EXPECT_THROW(sample::checkCpiStack(st, 8, 1, 3),
+                 SampleInvariantError);
+    st.add(obs::CpiCause::Base);
+    st.add(obs::CpiCause::Base);
+    EXPECT_THROW(sample::checkCpiStack(st, 8, 1, 3),
+                 SampleInvariantError);
+}
+
+// ---- fast-forward contract -------------------------------------------------
+
+TEST(FastForward, TargetsAreCumulativeWithRun)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+
+    EXPECT_EQ(m.fastForward(1000), 1000u);
+    // run() targets count the skipped instructions too.
+    const auto r = m.run(1500);
+    EXPECT_GE(r.instructions, 1500u);
+    // A later fast-forward picks up from the committed point.
+    const std::uint64_t before = r.instructions;
+    EXPECT_EQ(m.fastForward(500), 500u);
+    const auto r2 = m.run(before + 700);
+    EXPECT_GE(r2.instructions, before + 700);
+}
+
+TEST(FastForward, WellAboveDetailedCostPerInstruction)
+{
+    // Not a timing test (CI boxes are noisy): fast-forward must not
+    // advance the detailed pipeline at all, which shows up as zero
+    // fetched/committed micro-counters.
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    ASSERT_EQ(m.fastForward(5000), 5000u);
+    EXPECT_EQ(m.coreStats(0).fetched, 0u);
+    EXPECT_EQ(m.coreStats(0).committed, 0u);
+    // The cache warm paths are stats-invisible by design: demand
+    // counters stay clean for the measured region.
+    EXPECT_EQ(m.memory().stats().l1dAccesses, 0u);
+    EXPECT_EQ(m.memory().stats().l1iAccesses, 0u);
+    // The branch predictor does warm (and counts its lookups, which
+    // resetStats() discards at the measurement boundary).
+    EXPECT_GT(m.branchStats(0).condLookups, 0u);
+}
+
+// ---- the Sampler schedule on all three machines ----------------------------
+
+std::unique_ptr<sim::Machine>
+makeMachine(const std::string &kind, trace::TraceSource &w)
+{
+    const auto p = sim::smallPreset();
+    if (kind == "single")
+        return std::make_unique<sim::SingleCoreMachine>(p.core,
+                                                        p.memory, w);
+    if (kind == "fusion")
+        return std::make_unique<fusion::FusedMachine>(
+            p.core, p.memory, w, p.fusionOverheads);
+    return std::make_unique<part::FgstpMachine>(p.core, p.memory,
+                                                p.fgstp(), w);
+}
+
+TEST(Sampler, SchedulesAllThreeMachines)
+{
+    const auto spec = sample::parseSampleSpec(
+        "ff=2000,warmup=400,measure=400");
+    for (const std::string kind : {"single", "fusion", "fgstp"}) {
+        workload::SyntheticWorkload w(workload::profileByName("gcc"),
+                                      7);
+        auto m = makeMachine(kind, w);
+        obs::MonitorConfig mc;
+        mc.cpiStack = true; // arms the per-interval self-check
+        m->enableObservability(mc);
+
+        sample::Sampler s(*m, spec);
+        const auto r = s.run(20000);
+
+        EXPECT_FALSE(r.streamEnded) << kind;
+        EXPECT_GE(r.totalInstructions, 20000u) << kind;
+        // ~7 full periods fit in the budget; the tail is measured.
+        EXPECT_GE(r.intervals.size(), 5u) << kind;
+        EXPECT_GT(r.fastForwarded, r.detailedInstructions) << kind;
+        EXPECT_EQ(r.totalInstructions,
+                  r.fastForwarded + r.detailedInstructions)
+            << kind;
+        for (const auto &iv : r.intervals) {
+            EXPECT_GT(iv.cycles, 0u) << kind;
+            EXPECT_GE(iv.instructions, spec.measureInsts) << kind;
+        }
+        EXPECT_GT(r.ipc(), 0.0) << kind;
+        EXPECT_GT(r.meanIpc(), 0.0) << kind;
+    }
+}
+
+TEST(Sampler, BudgetSmallerThanOnePeriodIsAllDetailed)
+{
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    const auto p = sim::smallPreset();
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    const auto spec =
+        sample::parseSampleSpec("ff=100000,warmup=500,measure=500");
+    sample::Sampler s(m, spec);
+    // warmup + measure cover the whole budget: nothing is skipped.
+    const auto r = s.run(1000);
+    EXPECT_EQ(r.fastForwarded, 0u);
+    ASSERT_EQ(r.intervals.size(), 1u);
+    EXPECT_GE(r.intervals[0].instructions, 500u);
+}
+
+TEST(Sampler, RunTargetsAreCumulative)
+{
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    const auto p = sim::smallPreset();
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    const auto spec =
+        sample::parseSampleSpec("ff=2000,warmup=400,measure=400");
+    sample::Sampler s(m, spec);
+    const auto r1 = s.run(6000);
+    const auto r2 = s.run(12000);
+    EXPECT_GE(r1.totalInstructions, 6000u);
+    // The second call resumes where the first stopped.
+    EXPECT_GE(r2.totalInstructions, 12000u - r1.totalInstructions);
+    EXPECT_FALSE(r2.intervals.empty());
+}
+
+TEST(Sampler, ComposesWithCommitChecker)
+{
+    // Fast-forwarded instructions still reach the golden-model
+    // checker, so a sampled run is verified end to end.
+    const auto p = sim::smallPreset();
+    for (const std::string kind : {"single", "fusion", "fgstp"}) {
+        workload::SyntheticWorkload w(workload::profileByName("mcf"),
+                                      5);
+        auto m = makeMachine(kind, w);
+        harden::CommitChecker checker(
+            std::make_unique<workload::SyntheticWorkload>(
+                workload::profileByName("mcf"), 5),
+            "sampled/" + kind);
+        m->attachCommitChecker(&checker);
+        sample::Sampler s(*m, sample::parseSampleSpec(
+                                  "ff=2000,warmup=400,measure=400"));
+        const auto r = s.run(15000);
+        EXPECT_EQ(checker.checked(), r.totalInstructions) << kind;
+    }
+}
+
+// ---- accuracy: sampled IPC tracks the full detailed run --------------------
+
+TEST(SamplerAccuracy, SampledIpcWithinDocumentedBound)
+{
+    // docs/SAMPLING.md documents the measured error of the default
+    // schedule (within ~5% on the medium preset); this harness uses
+    // a shorter fast-forward leg with the same warmup/measure lengths
+    // (warmup length is what the error is sensitive to) on a small
+    // budget, and enforces a 10% envelope — measured error is ~4%,
+    // while a broken warmup path shows up as tens of percent of bias.
+    const auto p = sim::mediumPreset();
+    constexpr std::uint64_t budget = 200000;
+
+    workload::SyntheticWorkload wFull(workload::profileByName("gcc"),
+                                      1);
+    sim::SingleCoreMachine full(p.core, p.memory, wFull);
+    const auto fr = full.run(budget);
+    const double fullIpc = fr.ipc();
+
+    workload::SyntheticWorkload wSam(workload::profileByName("gcc"),
+                                     1);
+    sim::SingleCoreMachine sampled(p.core, p.memory, wSam);
+    sample::Sampler s(sampled, sample::parseSampleSpec(
+                                   "ff=20000,warmup=5000,measure=5000"));
+    const auto sr = s.run(budget);
+
+    ASSERT_GT(sr.intervals.size(), 4u);
+    const double err = std::abs(sr.ipc() - fullIpc) / fullIpc;
+    EXPECT_LT(err, 0.10)
+        << "sampled ipc " << sr.ipc() << " vs full " << fullIpc;
+    // And sampling actually skipped the bulk of the run.
+    EXPECT_GT(sr.fastForwarded, budget / 2);
+}
+
+} // namespace
+} // namespace fgstp
