@@ -7,6 +7,7 @@
  *               [--out=DIR] [--cpi-stack] [--list]
  *               [--check] [--inject=SPEC]
  *               [--sample[=ff=N,warmup=N,measure=N]]
+ *               [--bus[=SPEC]]
  *
  * Runs any subset of the paper's table/figure experiments over one
  * shared thread pool. Every (experiment, benchmark, config) cell is
@@ -34,8 +35,14 @@
  * (docs/SAMPLING.md): JSON reports carry schemaVersion 3 with a
  * meta.sampling block, and the per-cell sampling summaries are emitted
  * as BENCH_sampling.json (json) or an extra table (text/csv).
- * Incompatible with --cpi-stack, whose report wants full-run stacks.
- * All flags are documented in docs/CLI.md.
+ * Incompatible with --cpi-stack, whose report wants full-run stacks
+ * (flag-conflict rules: src/common/cli_conflicts.hh).
+ *
+ * --bus[=SPEC] runs every cell with the shared uncore bus arbiter
+ * (docs/UNCORE.md): operand transfers and coherence traffic contend
+ * for one bandwidth-limited bus, JSON reports gain a meta.bus block,
+ * and --cpi-stack cells additionally carry the busContention
+ * sub-bucket. All flags are documented in docs/CLI.md.
  */
 
 #include <cstdio>
@@ -48,6 +55,7 @@
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "common/cli_conflicts.hh"
 #include "common/error.hh"
 #include "common/fs.hh"
 #include "common/json.hh"
@@ -74,6 +82,8 @@ struct Options
     std::string injectSpec; // fault plan for Fg-STP cells
     bool sample = false;    // SMARTS-style sampled cells
     std::string sampleSpec; // empty keeps the SampleSpec defaults
+    bool bus = false;       // shared uncore bus arbiter per cell
+    std::string busSpec;    // empty keeps the BusConfig defaults
 };
 
 bool
@@ -137,6 +147,11 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--sample", v)) {
             o.sample = true;
             o.sampleSpec = v;
+        } else if (std::strcmp(a, "--bus") == 0) {
+            o.bus = true;
+        } else if (matchValue(a, "--bus", v)) {
+            o.bus = true;
+            o.busSpec = v;
         } else if (std::strcmp(a, "--list") == 0) {
             o.list = true;
         } else {
@@ -145,9 +160,6 @@ parse(int argc, char **argv)
     }
     if (o.format != "text" && o.format != "csv" && o.format != "json")
         fatal("unknown format '", o.format, "' (text | csv | json)");
-    if (o.sample && o.cpiStack)
-        fatal("--sample resets monitors at every interval boundary; "
-              "the --cpi-stack report needs a full run");
     return o;
 }
 
@@ -189,7 +201,18 @@ renderCpiJson(std::ostream &os, const std::vector<bench::CellCpi> &cells,
             }
             os << "]";
         }
-        os << "]}" << (i + 1 < cells.size() ? "," : "") << "\n";
+        os << "]";
+        // The crossCoreOperandWait sub-bucket exists only when the
+        // shared bus contends; bus-off output stays byte-identical.
+        if (params.bus.enabled) {
+            os << ", \"busContention\": [";
+            for (std::size_t k = 0; k < c.perCore.size(); ++k) {
+                os << (k ? ", " : "")
+                   << json::number(c.perCore[k].busContention);
+            }
+            os << "]";
+        }
+        os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
     }
     os << "  ]\n";
     os << "}\n";
@@ -309,7 +332,21 @@ reportFailedCells(const bench::ExperimentRun &run)
 int
 runBench(const Options &o)
 {
+    {
+        std::set<std::string> active;
+        if (o.sample)
+            active.insert("--sample");
+        if (o.cpiStack)
+            active.insert("--cpi-stack");
+        cli::checkFlagConflicts("fgstp_bench",
+                                cli::benchConflictRules(), active);
+    }
+
     bench::RunParams params = o.params;
+    if (o.bus) {
+        params.bus = uncore::parseBusConfig(o.busSpec);
+        bench::setCellBus(params.bus, true);
+    }
     if (o.sample) {
         params.sampled = true;
         if (!o.sampleSpec.empty())

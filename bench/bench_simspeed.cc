@@ -94,6 +94,25 @@ BM_FgStp(benchmark::State &state)
 }
 
 void
+BM_FgStpBus(benchmark::State &state)
+{
+    // Detailed mode with the shared-bus arbiter on: bounds the cost
+    // of the contended-uncore sweeps (--bus) relative to BM_FgStp.
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("bzip2"), 1);
+    auto cfg = p.fgstp();
+    cfg.bus.enabled = true;
+    part::FgstpMachine m(p.core, p.memory, cfg, w);
+    std::uint64_t target = 0;
+    for (auto _ : state) {
+        target += chunk;
+        benchmark::DoNotOptimize(m.run(target));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+void
 BM_SingleCoreFastForward(benchmark::State &state)
 {
     const auto p = sim::mediumPreset();
@@ -146,6 +165,7 @@ BM_WorkloadGeneration(benchmark::State &state)
 BENCHMARK(BM_SingleCore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CoreFusion)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FgStp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FgStpBus)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SingleCoreFastForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CoreFusionFastForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FgStpFastForward)->Unit(benchmark::kMillisecond);
@@ -182,6 +202,14 @@ machinesUnderTest()
              const auto p = sim::mediumPreset();
              return std::make_unique<part::FgstpMachine>(
                  p.core, p.memory, p.fgstp(), w);
+         }},
+        {"fg-stp-bus",
+         [](workload::SyntheticWorkload &w) -> std::unique_ptr<sim::Machine> {
+             const auto p = sim::mediumPreset();
+             auto cfg = p.fgstp();
+             cfg.bus.enabled = true;
+             return std::make_unique<part::FgstpMachine>(
+                 p.core, p.memory, cfg, w);
          }},
     };
 }

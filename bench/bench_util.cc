@@ -68,6 +68,38 @@ maybeInject(part::FgstpMachine &m, std::uint64_t seed)
     m.enableFaultInjection(p);
 }
 
+// ---- per-cell shared-bus state --------------------------------------------
+
+std::atomic<bool> cellBusOn{false};
+std::mutex cellBusMutex;
+uncore::BusConfig cellBusCfg; // guarded by cellBusMutex
+
+/** Attaches the cell bus to a single-core-family machine (before any
+ *  monitor: observability sizes histograms from the attached bus). */
+void
+maybeBus(sim::SingleCoreMachine &m)
+{
+    if (!cellBusOn.load(std::memory_order_relaxed))
+        return;
+    uncore::BusConfig bc;
+    {
+        std::lock_guard<std::mutex> lock(cellBusMutex);
+        bc = cellBusCfg;
+    }
+    m.enableSharedBus(bc);
+}
+
+/** Folds the cell bus into an Fg-STP configuration. */
+part::FgstpConfig
+withCellBus(part::FgstpConfig cfg)
+{
+    if (cellBusOn.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(cellBusMutex);
+        cfg.bus = cellBusCfg;
+    }
+    return cfg;
+}
+
 // ---- per-cell observability collector ------------------------------------
 
 std::atomic<bool> cellObsEnabled{false};
@@ -211,6 +243,7 @@ runSingleWithCore(const std::string &bench,
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     sim::SingleCoreMachine m(core_cfg, p.memory, w);
     const auto checker = maybeChecker(m, bench, seed);
+    maybeBus(m);
     maybeMonitor(m);
     const Sample s = runMachine(m, bench, seed, insts);
     maybeRecord(m, bench, seed, s);
@@ -232,6 +265,7 @@ runFused(const std::string &bench, const sim::MachinePreset &p,
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
     fusion::FusedMachine m(p.core, p.memory, w, ovh);
     const auto checker = maybeChecker(m, bench, seed);
+    maybeBus(m);
     maybeMonitor(m);
     const Sample s = runMachine(m, bench, seed, insts);
     maybeRecord(m, bench, seed, s);
@@ -251,7 +285,7 @@ runFgstp(const std::string &bench, const sim::MachinePreset &p,
          std::uint64_t seed)
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
-    part::FgstpMachine m(p.core, p.memory, cfg, w);
+    part::FgstpMachine m(p.core, p.memory, withCellBus(cfg), w);
     const auto checker = maybeChecker(m, bench, seed);
     maybeInject(m, seed);
     maybeMonitor(m);
@@ -268,8 +302,8 @@ runFgstpFull(const std::string &bench, const sim::MachinePreset &p,
     FgstpRun r;
     r.workload = std::make_unique<workload::SyntheticWorkload>(
         workload::profileByName(bench), seed);
-    r.machine = std::make_unique<part::FgstpMachine>(p.core, p.memory,
-                                                     cfg, *r.workload);
+    r.machine = std::make_unique<part::FgstpMachine>(
+        p.core, p.memory, withCellBus(cfg), *r.workload);
     r.checker = maybeChecker(*r.machine, bench, seed);
     maybeInject(*r.machine, seed);
     maybeMonitor(*r.machine);
@@ -302,6 +336,29 @@ cellInjectEnabled()
 }
 
 void
+setCellBus(const uncore::BusConfig &cfg, bool on)
+{
+    {
+        std::lock_guard<std::mutex> lock(cellBusMutex);
+        cellBusCfg = cfg;
+    }
+    cellBusOn.store(on && cfg.enabled, std::memory_order_relaxed);
+}
+
+bool
+cellBusEnabled()
+{
+    return cellBusOn.load(std::memory_order_relaxed);
+}
+
+uncore::BusConfig
+cellBusConfig()
+{
+    std::lock_guard<std::mutex> lock(cellBusMutex);
+    return cellBusCfg;
+}
+
+void
 enableCellObservability(bool on)
 {
     cellObsEnabled.store(on, std::memory_order_relaxed);
@@ -313,6 +370,40 @@ cellObservabilityEnabled()
     return cellObsEnabled.load(std::memory_order_relaxed);
 }
 
+namespace {
+
+/*
+ * Full-content three-way ordering over cells. Sorting by the header
+ * keys alone is not a total order: a sweep can run the same
+ * (machine, bench, seed) at several config points that tie on total
+ * cycles, and std::sort is not stable, so ties would land in
+ * completion order and std::unique (which only collapses adjacent
+ * duplicates) would dedup a different number of rows at different
+ * --jobs values. Breaking ties by the per-core payload keeps exact
+ * re-runs adjacent and orders distinct-payload ties deterministically.
+ */
+int
+compareCpiCells(const CellCpi &a, const CellCpi &b)
+{
+    if (auto t = std::tie(a.machine, a.bench, a.seed, a.cycles),
+        u = std::tie(b.machine, b.bench, b.seed, b.cycles);
+        t != u)
+        return t < u ? -1 : 1;
+    if (a.perCore.size() != b.perCore.size())
+        return a.perCore.size() < b.perCore.size() ? -1 : 1;
+    for (std::size_t i = 0; i < a.perCore.size(); ++i) {
+        const obs::CpiStack &x = a.perCore[i];
+        const obs::CpiStack &y = b.perCore[i];
+        if (auto t = std::tie(x.cycles, x.busContention),
+            u = std::tie(y.cycles, y.busContention);
+            t != u)
+            return t < u ? -1 : 1;
+    }
+    return 0;
+}
+
+} // namespace
+
 std::vector<CellCpi>
 takeCellCpiSamples()
 {
@@ -323,24 +414,11 @@ takeCellCpiSamples()
     }
     std::sort(out.begin(), out.end(),
               [](const CellCpi &a, const CellCpi &b) {
-                  return std::tie(a.machine, a.bench, a.seed, a.cycles) <
-                         std::tie(b.machine, b.bench, b.seed, b.cycles);
+                  return compareCpiCells(a, b) < 0;
               });
     out.erase(std::unique(out.begin(), out.end(),
                           [](const CellCpi &a, const CellCpi &b) {
-                              return a.machine == b.machine &&
-                                     a.bench == b.bench &&
-                                     a.seed == b.seed &&
-                                     a.cycles == b.cycles &&
-                                     std::equal(
-                                         a.perCore.begin(),
-                                         a.perCore.end(),
-                                         b.perCore.begin(),
-                                         b.perCore.end(),
-                                         [](const obs::CpiStack &x,
-                                            const obs::CpiStack &y) {
-                                             return x.cycles == y.cycles;
-                                         });
+                              return compareCpiCells(a, b) == 0;
                           }),
               out.end());
     return out;
@@ -370,20 +448,22 @@ takeCellSamplingRecords()
         std::lock_guard<std::mutex> lock(cellSamplingMutex);
         out.swap(cellSamplingRecords);
     }
+    // Same total-order requirement as takeCellCpiSamples(): header
+    // keys can tie across config points, so compare every field.
+    const auto key = [](const CellSampling &c) {
+        return std::tie(c.machine, c.bench, c.seed, c.intervals,
+                        c.measuredInstructions, c.measuredCycles,
+                        c.fastForwarded, c.ipc, c.meanIpc,
+                        c.ciHalfWidth);
+    };
     std::sort(out.begin(), out.end(),
-              [](const CellSampling &a, const CellSampling &b) {
-                  return std::tie(a.machine, a.bench, a.seed,
-                                  a.measuredCycles) <
-                         std::tie(b.machine, b.bench, b.seed,
-                                  b.measuredCycles);
+              [&key](const CellSampling &a, const CellSampling &b) {
+                  return key(a) < key(b);
               });
     out.erase(std::unique(out.begin(), out.end(),
-                          [](const CellSampling &a,
-                             const CellSampling &b) {
-                              return a.machine == b.machine &&
-                                     a.bench == b.bench &&
-                                     a.seed == b.seed &&
-                                     a.measuredCycles == b.measuredCycles;
+                          [&key](const CellSampling &a,
+                                 const CellSampling &b) {
+                              return key(a) == key(b);
                           }),
               out.end());
     return out;

@@ -29,6 +29,7 @@
 #include "sample/sampler.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
+#include "uncore/bus.hh"
 #include "workload/generator.hh"
 
 namespace fgstp::bench
@@ -135,6 +136,21 @@ void setCellHardening(const harden::FaultPlan &plan, bool check);
 bool cellCheckEnabled();
 bool cellInjectEnabled();
 
+// ---- per-cell shared bus ---------------------------------------------------
+
+/**
+ * Process-wide per-cell shared-bus arbitration, mirroring
+ * setCellHardening: when on, every machine the run helpers construct
+ * contends its uncore traffic (operand transfers, dirty-forwards,
+ * invalidations) through a SharedBus built from `cfg` — the Fg-STP
+ * machines via FgstpConfig::bus, the single-core family via
+ * enableSharedBus(). Off (the default) keeps every cell bit-identical
+ * to the bus-less model.
+ */
+void setCellBus(const uncore::BusConfig &cfg, bool on);
+bool cellBusEnabled();
+uncore::BusConfig cellBusConfig();
+
 // ---- per-cell observability ------------------------------------------------
 
 /** One experiment cell's CPI-stack measurement. */
@@ -158,10 +174,12 @@ void enableCellObservability(bool on);
 bool cellObservabilityEnabled();
 
 /**
- * Drains the collector: returns every recorded cell sorted by
- * (machine, bench, seed) with exact duplicates removed — experiments
- * sharing a cell re-run it, and the runs are deterministic — so the
- * output is identical at any --jobs value.
+ * Drains the collector: returns every recorded cell in a total order
+ * over its full contents (header keys, then the per-core payload)
+ * with exact duplicates removed — experiments sharing a cell re-run
+ * it, and the runs are deterministic — so the output is identical at
+ * any --jobs value even when several config points tie on
+ * (machine, bench, seed, cycles).
  */
 std::vector<CellCpi> takeCellCpiSamples();
 
@@ -195,9 +213,9 @@ void setCellSampling(const sample::SampleSpec &spec, bool on);
 bool cellSamplingEnabled();
 
 /**
- * Drains the sampling collector, sorted by (machine, bench, seed) and
- * deduplicated like takeCellCpiSamples() so the output is identical at
- * any --jobs value.
+ * Drains the sampling collector, totally ordered over the full record
+ * and deduplicated like takeCellCpiSamples() so the output is
+ * identical at any --jobs value.
  */
 std::vector<CellSampling> takeCellSamplingRecords();
 

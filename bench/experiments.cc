@@ -1091,6 +1091,29 @@ renderJson(std::ostream &os, const ExperimentRun &run,
            << json::number(params.sample.measureInsts) << "\n";
         os << "    },\n";
     }
+    // Like meta.sampling, meta.bus is additive and emitted only when
+    // the sweep actually contends the shared bus, so bus-off reports
+    // stay byte-identical to earlier consumers.
+    if (params.bus.enabled) {
+        os << "    \"bus\": {\n";
+        os << "      \"width\": "
+           << json::number(std::uint64_t{params.bus.width}) << ",\n";
+        os << "      \"queueCapacity\": "
+           << json::number(std::uint64_t{params.bus.queueCapacity})
+           << ",\n";
+        os << "      \"policy\": "
+           << json::quote(params.bus.policy ==
+                                  uncore::BusPolicy::FixedPriority
+                              ? "priority" : "rr")
+           << ",\n";
+        os << "      \"nackRetryDelay\": "
+           << json::number(std::uint64_t{params.bus.nackRetryDelay})
+           << ",\n";
+        os << "      \"maxNackRetries\": "
+           << json::number(std::uint64_t{params.bus.maxNackRetries})
+           << "\n";
+        os << "    },\n";
+    }
     os << "    \"cellCount\": "
        << json::number(static_cast<std::uint64_t>(run.cells.size()))
        << ",\n";

@@ -43,6 +43,7 @@ struct RunParams
     std::uint64_t seed = evalSeed;      ///< evaluation master seed
     bool sampled = false;               ///< SMARTS-style sampled cells
     sample::SampleSpec sample;          ///< schedule when sampled
+    uncore::BusConfig bus;              ///< shared bus when bus.enabled
 };
 
 /**

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Centralized CLI flag-conflict rules.
+ *
+ * Both drivers (fgstp_sim and fgstp_bench) reject certain flag
+ * combinations — e.g. --sample's per-interval resetStats() is
+ * incompatible with anything that needs a whole-run record. The
+ * rejections used to live as ad-hoc checks inside each binary's
+ * parser, with divergent wording and coverage; this header is the one
+ * table both consult, so every pair is rejected with one uniform
+ * message and the tests can enumerate the rules directly.
+ */
+
+#ifndef FGSTP_COMMON_CLI_CONFLICTS_HH
+#define FGSTP_COMMON_CLI_CONFLICTS_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace fgstp::cli
+{
+
+/** One mutually-exclusive flag pair and the reason it is rejected. */
+struct ConflictRule
+{
+    const char *a;
+    const char *b;
+    const char *why;
+};
+
+/** The fgstp_sim rule table. */
+inline const std::vector<ConflictRule> &
+simConflictRules()
+{
+    static const std::vector<ConflictRule> rules{
+        {"--sample", "--pipeview",
+         "the per-interval resetStats() would shred the event trace"},
+        {"--sample", "--eventlog",
+         "the per-interval resetStats() would shred the event trace"},
+    };
+    return rules;
+}
+
+/** The fgstp_bench rule table. */
+inline const std::vector<ConflictRule> &
+benchConflictRules()
+{
+    static const std::vector<ConflictRule> rules{
+        {"--sample", "--cpi-stack",
+         "--sample resets monitors at every interval boundary and the "
+         "--cpi-stack report needs a full run"},
+    };
+    return rules;
+}
+
+/** The uniform message a violated rule produces. */
+inline std::string
+conflictMessage(const std::string &tool, const ConflictRule &r)
+{
+    return tool + ": " + r.a + " cannot be combined with " + r.b +
+           " (" + r.why + ")";
+}
+
+/**
+ * Throws ConfigError for the first rule whose flags are both in
+ * `active` (the set of flag names the command line actually used).
+ */
+inline void
+checkFlagConflicts(const std::string &tool,
+                   const std::vector<ConflictRule> &rules,
+                   const std::set<std::string> &active)
+{
+    for (const ConflictRule &r : rules) {
+        if (active.count(r.a) && active.count(r.b))
+            throw ConfigError(conflictMessage(tool, r));
+    }
+}
+
+} // namespace fgstp::cli
+
+#endif // FGSTP_COMMON_CLI_CONFLICTS_HH

@@ -48,8 +48,31 @@ class TraceFormatError : public SimIoError
     using SimIoError::SimIoError;
 };
 
+/**
+ * A structurally invalid configuration reached a component: a bad CLI
+ * flag combination, an out-of-range identifier, or a malformed
+ * configuration spec string. Raised instead of silently aliasing or
+ * truncating the bad value.
+ */
+class ConfigError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
 /** A --inject specification string failed to parse. */
 class FaultSpecError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * The shared uncore bus NACKed a transfer on every retransmission:
+ * the requester's retry budget ran out while the bus queue stayed
+ * full. Raised instead of silently dropping the transfer.
+ */
+class BusSaturationError : public SimError
 {
   public:
     using SimError::SimError;

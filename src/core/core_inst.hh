@@ -47,6 +47,13 @@ struct CoreInst
     /** Latest known arrival of an external (cross-core) operand. */
     Cycle extReadyCycle = 0;
 
+    /**
+     * Shared-bus queue delay baked into extReadyCycle's arrival: the
+     * CPI accountant charges the last extBusWait cycles of the wait
+     * to the busContention sub-bucket. Zero without the bus arbiter.
+     */
+    Cycle extBusWait = 0;
+
     /** Local consumers to wake when this instruction issues. */
     std::vector<InstSeqNum> waiters;
 

@@ -51,6 +51,12 @@ struct ExtDepInfo
 
     /** Latest already-known arrival cycle (0 when none). */
     Cycle knownReadyCycle = 0;
+
+    /**
+     * Shared-bus queue delay inside knownReadyCycle's transfer (the
+     * CPI busContention sub-bucket). Zero without the bus arbiter.
+     */
+    Cycle knownBusWait = 0;
 };
 
 class CoreHooks

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "uncore/bus.hh"
 
 namespace fgstp::core
 {
@@ -56,7 +57,9 @@ OoOCore::finishCycle(Cycle now)
     occ.lq = static_cast<std::uint32_t>(lq.size());
     occ.sq = static_cast<std::uint32_t>(sq.size());
     occ.fetchQueue = static_cast<std::uint32_t>(fetchQueue.size());
-    monitor_->onCycle(classifyCycle(now), occ);
+    bool bus_contention = false;
+    const obs::CpiCause cause = classifyCycle(now, bus_contention);
+    monitor_->onCycle(cause, occ, bus_contention);
 }
 
 /**
@@ -67,9 +70,10 @@ OoOCore::finishCycle(Cycle now)
  * opportunity of the cycle so commitsThisCycle is final.
  */
 obs::CpiCause
-OoOCore::classifyCycle(Cycle now) const
+OoOCore::classifyCycle(Cycle now, bool &bus_contention) const
 {
     using obs::CpiCause;
+    bus_contention = false;
 
     if (commitsThisCycle > 0)
         return CpiCause::Base;
@@ -109,10 +113,16 @@ OoOCore::classifyCycle(Cycle now) const
         }
         if (head.readyCycle > now) {
             // Waiting for an operand in transit; charge the link if
-            // the external arrival is the binding constraint.
-            return head.extReadyCycle >= head.readyCycle
-                       ? CpiCause::CrossCoreOperandWait
-                       : CpiCause::Base;
+            // the external arrival is the binding constraint. The
+            // last extBusWait cycles of that wait exist only because
+            // shared-bus queuing pushed the arrival back — those go
+            // to the busContention sub-bucket.
+            if (head.extReadyCycle >= head.readyCycle) {
+                bus_contention = head.extBusWait > 0 &&
+                    head.extReadyCycle - now <= head.extBusWait;
+                return CpiCause::CrossCoreOperandWait;
+            }
+            return CpiCause::Base;
         }
         // Ready but not issued: a load held back by unresolved older
         // store addresses or a memory op contending for the LSQ port
@@ -139,12 +149,26 @@ OoOCore::find(InstSeqNum seq) const
 }
 
 Cycle
-OoOCore::bypassReady(const CoreInst &producer, const CoreInst &consumer)
+OoOCore::bypassReady(const CoreInst &producer, CoreInst &consumer)
 {
     Cycle ready = producer.doneCycle;
     if (producer.cluster != consumer.cluster) {
+        Cycle bus_wait = 0;
+        if (bus_) {
+            // Fused clusters share the uncore fabric: a cross-cluster
+            // operand claims an Operand-class bus grant before the
+            // bypass network delay.
+            const uncore::BusGrant g = bus_->claimWithRetry(
+                uncore::BusClass::Operand, ready);
+            bus_wait = g.queued;
+            ready = g.cycle;
+        }
         ready += cfg.interClusterDelay;
         ++_stats.crossClusterWakeups;
+        if (bus_ && ready >= consumer.extReadyCycle) {
+            consumer.extReadyCycle = ready;
+            consumer.extBusWait = bus_wait;
+        }
     }
     return ready;
 }
@@ -300,11 +324,17 @@ OoOCore::dispatch(Cycle now)
         }
 
         // Cross-core dependences, if the machine routed any here.
+        // Merge with any extReadyCycle a bus-attached cross-cluster
+        // bypass recorded above; the later arrival (and its bus-wait
+        // share) is the one the CPI accountant charges.
         const ExtDepInfo ext = hooks.externalDeps(ci->seq, now);
         ci->unknownDeps += ext.unknownCount;
         ci->externalDeps = ext.unknownCount;
         ci->readyCycle = std::max(ci->readyCycle, ext.knownReadyCycle);
-        ci->extReadyCycle = ext.knownReadyCycle;
+        if (ext.knownReadyCycle >= ci->extReadyCycle) {
+            ci->extReadyCycle = ext.knownReadyCycle;
+            ci->extBusWait = ext.knownBusWait;
+        }
 
         if (ci->inst.hasDst() && ci->inst.dst != isa::zeroReg)
             renameMap[ci->inst.dst] = ci->seq;
@@ -633,13 +663,17 @@ OoOCore::rebuildRenameMap()
 // ---- external coupling -----------------------------------------------------
 
 void
-OoOCore::satisfyExternal(InstSeqNum consumer, Cycle arrival)
+OoOCore::satisfyExternal(InstSeqNum consumer, Cycle arrival,
+                         Cycle bus_wait)
 {
     CoreInst *ci = find(consumer);
     if (!ci || ci->state != CoreInst::State::Dispatched)
         return;
     ci->readyCycle = std::max(ci->readyCycle, arrival);
-    ci->extReadyCycle = std::max(ci->extReadyCycle, arrival);
+    if (arrival >= ci->extReadyCycle) {
+        ci->extReadyCycle = arrival;
+        ci->extBusWait = bus_wait;
+    }
     if (ci->unknownDeps > 0)
         --ci->unknownDeps;
     if (ci->externalDeps > 0)

@@ -41,6 +41,11 @@
 #include "memory/hierarchy.hh"
 #include "obs/monitor.hh"
 
+namespace fgstp::uncore
+{
+class SharedBus;
+} // namespace fgstp::uncore
+
 namespace fgstp::core
 {
 
@@ -95,10 +100,13 @@ class OoOCore
 
     /**
      * Resolves one external producer of `consumer`: its value arrives
-     * at `arrival`. Safe to call for instructions the core no longer
-     * holds (squashed) — those calls are ignored.
+     * at `arrival`, of which `bus_wait` cycles were shared-bus queue
+     * delay (0 without the bus arbiter). Safe to call for
+     * instructions the core no longer holds (squashed) — those calls
+     * are ignored.
      */
-    void satisfyExternal(InstSeqNum consumer, Cycle arrival);
+    void satisfyExternal(InstSeqNum consumer, Cycle arrival,
+                         Cycle bus_wait = 0);
 
     /**
      * Flushes every instruction with seq >= target from the pipeline,
@@ -172,6 +180,17 @@ class OoOCore
 
     obs::CoreMonitor *monitor() const { return monitor_; }
 
+    /**
+     * Routes cross-cluster operand bypasses over the shared uncore
+     * bus (class Operand): each crossing claims a bus grant whose
+     * queue delay stretches the inter-cluster latency. This is how
+     * the Core Fusion comparator's cross-backend traffic contends
+     * with coherence traffic; a 1-cluster core never crosses and so
+     * degenerates to a passthrough. The bus is borrowed, not owned;
+     * null (the default) keeps the flat interClusterDelay timing.
+     */
+    void attachBus(uncore::SharedBus *b) { bus_ = b; }
+
     std::size_t iqOccupancy() const { return iq.size(); }
     std::size_t lqOccupancy() const { return lq.size(); }
     std::size_t sqOccupancy() const { return sq.size(); }
@@ -200,9 +219,8 @@ class OoOCore
     bool tryIssueStore(CoreInst &st, Cycle now);
     void resolveStore(CoreInst &st, Cycle now);
     void rebuildRenameMap();
-    obs::CpiCause classifyCycle(Cycle now) const;
-    Cycle bypassReady(const CoreInst &producer,
-                      const CoreInst &consumer);
+    obs::CpiCause classifyCycle(Cycle now, bool &bus_contention) const;
+    Cycle bypassReady(const CoreInst &producer, CoreInst &consumer);
 
     CoreConfig cfg;
     CoreId coreId;
@@ -241,6 +259,9 @@ class OoOCore
 
     /** Optional pipeline monitor; null when observability is off. */
     obs::CoreMonitor *monitor_ = nullptr;
+
+    /** Optional shared uncore bus; null = flat cross-cluster delay. */
+    uncore::SharedBus *bus_ = nullptr;
 
     /**
      * What the current fetch stall (fetchStallUntil > now) is paying

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "uncore/bus.hh"
 #include "uncore/link.hh"
 
 namespace fgstp::part
@@ -45,6 +46,15 @@ struct FgstpConfig
 
     /** The inter-core operand network. */
     uncore::LinkConfig link;
+
+    /**
+     * The shared uncore bus arbiter. Disabled by default: operand
+     * transfers then use the link's private per-direction ports and
+     * coherence events keep their flat penalties, bit-identical to
+     * the pre-bus model. When enabled, all three uncore traffic
+     * classes contend for the bus (see uncore/bus.hh).
+     */
+    uncore::BusConfig bus;
 
     /**
      * Replicate cheap single-cycle producers on the consumer core

@@ -117,6 +117,11 @@ FgstpMachine::FgstpMachine(const core::CoreConfig &core_cfg,
         cores[c] = std::make_unique<core::OoOCore>(core_cfg, c, mem,
                                                    *adapters[c]);
     }
+    if (cfg.bus.enabled) {
+        bus = std::make_unique<uncore::SharedBus>(cfg.bus);
+        link.attachBus(bus.get());
+        mem.attachBus(bus.get());
+    }
 }
 
 FgstpMachine::~FgstpMachine() = default;
@@ -272,12 +277,17 @@ FgstpMachine::noteDependence(core::ExtDepInfo &info, InstSeqNum producer,
             // values that retired out of the window are pulled now.
             const Cycle basis = producer >= windowBase
                 ? rp.doneCycle : std::max(rp.doneCycle, now);
-            rp.arrival = link.send(rp.producerCore, basis);
+            const auto sent =
+                link.sendTimed(rp.producerCore, basis);
+            rp.arrival = sent.arrival;
+            rp.busWait = bus ? sent.queued : 0;
             rp.sent = true;
             ++_stats.valueTransfers;
         }
-        info.knownReadyCycle =
-            std::max(info.knownReadyCycle, rp.arrival);
+        if (rp.arrival >= info.knownReadyCycle) {
+            info.knownReadyCycle = rp.arrival;
+            info.knownBusWait = rp.busWait;
+        }
     } else {
         ++info.unknownCount;
         rp.subscribers.emplace_back(consumer, consumer_core);
@@ -365,11 +375,14 @@ FgstpMachine::onExecuted(CoreId c, const core::CoreInst &inst, Cycle now)
     rp.executed = true;
     rp.producerCore = c;
     rp.doneCycle = inst.doneCycle;
-    rp.arrival = link.send(c, inst.doneCycle);
+    const auto sent = link.sendTimed(c, inst.doneCycle);
+    rp.arrival = sent.arrival;
+    rp.busWait = bus ? sent.queued : 0;
     rp.sent = true;
     ++_stats.valueTransfers;
     for (const auto &[consumer, consumer_core] : rp.subscribers)
-        cores[consumer_core]->satisfyExternal(consumer, rp.arrival);
+        cores[consumer_core]->satisfyExternal(consumer, rp.arrival,
+                                              rp.busWait);
     rp.subscribers.clear();
     (void)now;
 }
@@ -488,6 +501,8 @@ FgstpMachine::enableObservability(const obs::MonitorConfig &mcfg)
             monitors[c].reset();
         }
         linkOcc.reset();
+        for (auto &h : busOcc)
+            h.reset();
         return;
     }
     for (CoreId c = 0; c < 2; ++c) {
@@ -511,6 +526,14 @@ FgstpMachine::enableObservability(const obs::MonitorConfig &mcfg)
             2 * lc.width * static_cast<std::uint32_t>(lc.latency) + 64;
         linkOcc = std::make_unique<obs::Histogram>(cap);
         link.enableOccupancyTracking();
+        if (bus) {
+            // Backlog is bounded by the admission queue plus one
+            // cycle's worth of grants; beyond that overflows count.
+            const std::uint32_t bcap =
+                cfg.bus.queueCapacity + cfg.bus.width;
+            for (auto &h : busOcc)
+                h = std::make_unique<obs::Histogram>(bcap);
+        }
     }
 }
 
@@ -673,6 +696,12 @@ FgstpMachine::run(std::uint64_t num_insts)
         cores[1]->finishCycle(cycle);
         if (linkOcc)
             linkOcc->sample(link.sampleInFlight(cycle));
+        if (busOcc[0]) {
+            for (std::size_t k = 0; k < uncore::numBusClasses; ++k) {
+                busOcc[k]->sample(bus->pendingAt(
+                    static_cast<uncore::BusClass>(k), cycle));
+            }
+        }
 
         // Producer bookkeeping older than the window can no longer be
         // referenced (all its consumer edges were routed and are now

@@ -42,6 +42,7 @@
 #include "memory/hierarchy.hh"
 #include "sim/machine.hh"
 #include "trace/trace_source.hh"
+#include "uncore/bus.hh"
 #include "uncore/link.hh"
 
 namespace fgstp::part
@@ -122,6 +123,19 @@ class FgstpMachine : public sim::Machine
         return linkOcc.get();
     }
 
+    const uncore::SharedBus *
+    sharedBus() const override
+    {
+        return bus.get();
+    }
+
+    const obs::Histogram *
+    busOccupancy(std::size_t cls) const override
+    {
+        return cls < uncore::numBusClasses ? busOcc[cls].get()
+                                           : nullptr;
+    }
+
     void
     resetStats() override
     {
@@ -129,6 +143,8 @@ class FgstpMachine : public sim::Machine
         cores[1]->resetStats();
         mem.resetStats();
         link.resetStats();
+        if (bus)
+            bus->resetStats();
         partitioner->resetStats();
         orchestratorPredictor.resetStats();
         _stats = FgstpStats{};
@@ -138,6 +154,10 @@ class FgstpMachine : public sim::Machine
         }
         if (linkOcc)
             linkOcc->reset();
+        for (auto &h : busOcc) {
+            if (h)
+                h->reset();
+        }
     }
 
   private:
@@ -157,6 +177,8 @@ class FgstpMachine : public sim::Machine
         bool sent = false;
         Cycle doneCycle = 0;
         Cycle arrival = 0;
+        /** Bus-queue share of arrival (0 without the bus arbiter). */
+        Cycle busWait = 0;
         /** Consumers waiting for the arrival to become known. */
         std::vector<std::pair<InstSeqNum, CoreId>> subscribers;
     };
@@ -202,6 +224,10 @@ class FgstpMachine : public sim::Machine
     FgstpConfig cfg;
     mem::MemoryHierarchy mem;
     uncore::OperandLink link;
+
+    /** The shared uncore bus; null when cfg.bus.enabled is false. */
+    std::unique_ptr<uncore::SharedBus> bus;
+
     std::unique_ptr<PartitionerBase> partitioner;
 
     std::unique_ptr<core::CoreHooks> adapters[2];
@@ -210,6 +236,9 @@ class FgstpMachine : public sim::Machine
 
     /** In-flight operand-link histogram (occupancy profiling only). */
     std::unique_ptr<obs::Histogram> linkOcc;
+
+    /** Per-class bus backlog histograms (occupancy + bus only). */
+    std::unique_ptr<obs::Histogram> busOcc[uncore::numBusClasses];
 
     // Routed-instruction window.
     std::deque<WindowEntry> window;

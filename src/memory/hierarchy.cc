@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "uncore/bus.hh"
 
 namespace fgstp::mem
 {
@@ -56,6 +57,14 @@ MemoryHierarchy::lookupBeyondL1(CoreId core, Addr block, Cycle now,
             if (peer < l1d.size() && l1d[peer].probe(block)) {
                 forward_penalty = cfg.dirtyForwardPenalty;
                 ++_stats.dirtyForwards;
+                if (bus) {
+                    // The forwarded line crosses the shared bus:
+                    // queue behind operand traffic before the flat
+                    // forward penalty applies.
+                    const uncore::BusGrant g = bus->claimWithRetry(
+                        uncore::BusClass::DirtyForward, t);
+                    forward_penalty += g.queued;
+                }
                 // After the forward, L2 holds current data; the peer
                 // keeps a clean copy.
                 dirtyOwner.erase(owner_it);
@@ -82,10 +91,18 @@ MemoryHierarchy::lookupBeyondL1(CoreId core, Addr block, Cycle now,
     const Eviction ev = l2.fill(block);
     if (ev.valid) {
         // Inclusive L2: evicted blocks leave the L1s too.
+        bool any = false;
         for (std::uint32_t c = 0; c < l1d.size(); ++c) {
-            if (l1d[c].invalidate(ev.blockAddr))
+            if (l1d[c].invalidate(ev.blockAddr)) {
                 ++_stats.invalidations;
+                any = true;
+            }
             l1i[c].invalidate(ev.blockAddr);
+        }
+        if (any && bus) {
+            // A back-invalidate broadcast occupies one posted bus
+            // slot; its completion never gates the requester.
+            bus->requestPosted(uncore::BusClass::Invalidation, now);
         }
         if (l1d.size() > 1)
             dirtyOwner.erase(ev.blockAddr);
@@ -209,11 +226,19 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
     ++_stats.l1dAccesses;
 
     auto invalidate_peers = [&] {
+        bool any = false;
         for (std::uint32_t c = 0; c < l1d.size(); ++c) {
             if (c == core)
                 continue;
-            if (l1d[c].invalidate(block))
+            if (l1d[c].invalidate(block)) {
                 ++_stats.invalidations;
+                any = true;
+            }
+        }
+        if (any && bus) {
+            // The write-invalidate broadcast is posted: it contends
+            // for a slot but never delays the store.
+            bus->requestPosted(uncore::BusClass::Invalidation, now);
         }
     };
 

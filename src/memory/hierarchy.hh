@@ -28,6 +28,11 @@
 #include "memory/cache_array.hh"
 #include "memory/prefetcher.hh"
 
+namespace fgstp::uncore
+{
+class SharedBus;
+} // namespace fgstp::uncore
+
 namespace fgstp::mem
 {
 
@@ -126,6 +131,18 @@ class MemoryHierarchy
     bool l1dHasBlock(CoreId core, Addr addr) const;
     bool l2HasBlock(Addr addr) const;
 
+    /**
+     * Routes coherence traffic over the shared uncore bus: demand
+     * dirty-forwards claim a DirtyForward-class grant whose queue
+     * delay adds to the flat forward penalty, and peer invalidations
+     * claim posted Invalidation-class grants that contend for slots
+     * without delaying the store. The timing-free warm paths stay off
+     * the bus (a functional region has no cycles to charge). The bus
+     * is borrowed, not owned; null (the default) keeps the flat
+     * penalties bit-identical to the bus-less model.
+     */
+    void attachBus(uncore::SharedBus *b) { bus = b; }
+
     const HierarchyStats &stats() const { return _stats; }
     const HierarchyConfig &config() const { return cfg; }
 
@@ -197,6 +214,9 @@ class MemoryHierarchy
 
     Cycle l2PortFree = 0;
     Cycle dramPortFree = 0;
+
+    /** Optional shared uncore bus; null = flat coherence penalties. */
+    uncore::SharedBus *bus = nullptr;
 
     HierarchyStats _stats;
 };

@@ -22,6 +22,15 @@ struct CpiStack
 {
     std::array<std::uint64_t, numCpiCauses> cycles{};
 
+    /**
+     * Sub-bucket of CrossCoreOperandWait: the cycles of that cause
+     * where the binding operand's arrival had been pushed back by
+     * shared-bus queuing (zero unless a machine runs with the uncore
+     * bus arbiter enabled). Always <= get(CrossCoreOperandWait), so
+     * the seven-cause sum invariant is untouched.
+     */
+    std::uint64_t busContention = 0;
+
     void
     add(CpiCause c)
     {
@@ -52,7 +61,12 @@ struct CpiStack
         return t ? static_cast<double>(get(c)) / t : 0.0;
     }
 
-    void reset() { cycles.fill(0); }
+    void
+    reset()
+    {
+        cycles.fill(0);
+        busContention = 0;
+    }
 };
 
 } // namespace fgstp::obs

@@ -125,10 +125,14 @@ CoreMonitor::onSquash(InstSeqNum seq, SquashCause cause, Cycle now)
 }
 
 void
-CoreMonitor::onCycle(CpiCause cause, const Occupancies &occ)
+CoreMonitor::onCycle(CpiCause cause, const Occupancies &occ,
+                     bool bus_contention)
 {
-    if (cfg_.cpiStack)
+    if (cfg_.cpiStack) {
         cpi_.add(cause);
+        if (bus_contention)
+            ++cpi_.busContention;
+    }
     if (cfg_.occupancy) {
         occ_.rob.sample(occ.rob);
         occ_.iq.sample(occ.iq);

@@ -68,7 +68,14 @@ class CoreMonitor
 
     // ---- per-cycle accounting (called once per core cycle) ------------
 
-    void onCycle(CpiCause cause, const Occupancies &occ);
+    /**
+     * `bus_contention` marks a CrossCoreOperandWait cycle that falls
+     * in the shared-bus queuing tail of the binding operand's arrival
+     * (the CpiStack::busContention sub-bucket); always false for
+     * other causes and for machines without the bus arbiter.
+     */
+    void onCycle(CpiCause cause, const Occupancies &occ,
+                 bool bus_contention = false);
 
     // ---- results ------------------------------------------------------
 

@@ -32,17 +32,26 @@ class Histogram
     void
     sample(std::uint64_t v)
     {
-        if (v >= buckets_.size())
-            v = buckets_.size() - 1; // clamp; capacity bucket is "full"
-        ++buckets_[v];
         ++n_;
         sum_ += v;
         if (v > max_)
             max_ = v;
+        if (v >= buckets_.size()) {
+            // Saturate into the top bucket, but count the overflow:
+            // a capacity formula being exceeded (e.g. fault-injection
+            // delays pushing link arrivals past the sized bound) must
+            // be visible, not silently folded into "full".
+            ++overflows_;
+            v = buckets_.size() - 1;
+        }
+        ++buckets_[v];
     }
 
     std::uint64_t samples() const { return n_; }
     std::uint64_t maxSample() const { return max_; }
+
+    /** Samples beyond capacity, saturated into the top bucket. */
+    std::uint64_t overflows() const { return overflows_; }
     std::uint32_t capacity() const
     {
         return static_cast<std::uint32_t>(buckets_.size() - 1);
@@ -88,6 +97,7 @@ class Histogram
         n_ = 0;
         sum_ = 0;
         max_ = 0;
+        overflows_ = 0;
     }
 
   private:
@@ -95,6 +105,7 @@ class Histogram
     std::uint64_t n_ = 0;
     std::uint64_t sum_ = 0;
     std::uint64_t max_ = 0;
+    std::uint64_t overflows_ = 0;
 };
 
 /** Capacities used to size a core's occupancy histograms. */

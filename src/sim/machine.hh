@@ -7,6 +7,7 @@
 #ifndef FGSTP_SIM_MACHINE_HH
 #define FGSTP_SIM_MACHINE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 
@@ -22,6 +23,11 @@ namespace fgstp::harden
 {
 class CommitChecker;
 } // namespace fgstp::harden
+
+namespace fgstp::uncore
+{
+class SharedBus;
+} // namespace fgstp::uncore
 
 namespace fgstp::sim
 {
@@ -111,6 +117,27 @@ class Machine
     virtual const obs::Histogram *
     linkOccupancy() const
     {
+        return nullptr;
+    }
+
+    /**
+     * The shared uncore bus arbiter, or nullptr when the machine runs
+     * without one (the default: all pre-bus timing is bit-identical).
+     */
+    virtual const uncore::SharedBus *
+    sharedBus() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Per-class bus backlog histogram (`cls` indexes uncore::BusClass),
+     * or nullptr when the bus or occupancy profiling is off.
+     */
+    virtual const obs::Histogram *
+    busOccupancy(std::size_t cls) const
+    {
+        (void)cls;
         return nullptr;
     }
 

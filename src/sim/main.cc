@@ -10,6 +10,9 @@
  * Knobs (fgstp): --window=N --link-latency=N --chunk=N (chunk mode)
  *                --no-replication --no-mem-spec --no-shared-pred
  *                --replicate-branches
+ * Uncore:        --bus[=SPEC] (shared-bus arbiter for operand +
+ *                              coherence traffic; grammar in
+ *                              docs/UNCORE.md, all machines)
  * Observability: --pipeview=FILE (Konata/O3PipeView trace)
  *                --eventlog=FILE (binary event log)
  *                --cpi-stack --occupancy (imply --stats)
@@ -28,6 +31,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cli_conflicts.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "harden/commit_checker.hh"
@@ -72,6 +76,9 @@ struct Options
 
     bool sample = false;      // SMARTS-style sampled simulation
     std::string sampleSpec;   // schedule override (empty = defaults)
+
+    bool bus = false;         // shared uncore bus arbiter
+    std::string busSpec;      // bus config override (empty = defaults)
 
     std::uint32_t window = 0;
     Cycle linkLatency = 0;
@@ -129,6 +136,11 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--sample", v)) {
             o.sample = true;
             o.sampleSpec = v;
+        } else if (std::strcmp(a, "--bus") == 0) {
+            o.bus = true;
+        } else if (matchValue(a, "--bus", v)) {
+            o.bus = true;
+            o.busSpec = v;
         } else if (matchValue(a, "--inject", v)) {
             o.injectSpec = v;
         } else if (matchValue(a, "--watchdog", v)) {
@@ -167,6 +179,21 @@ parse(int argc, char **argv)
 int
 runSim(Options o)
 {
+    {
+        std::set<std::string> active;
+        if (o.sample)
+            active.insert("--sample");
+        if (!o.pipeviewFile.empty())
+            active.insert("--pipeview");
+        if (!o.eventlogFile.empty())
+            active.insert("--eventlog");
+        cli::checkFlagConflicts("fgstp_sim", cli::simConflictRules(),
+                                active);
+    }
+
+    const uncore::BusConfig bus_cfg = o.bus
+        ? uncore::parseBusConfig(o.busSpec) : uncore::BusConfig{};
+
     const auto preset = sim::presetByName(o.preset);
     std::unique_ptr<trace::TraceSource> owned_source;
     if (!o.traceFile.empty()) {
@@ -181,18 +208,26 @@ runSim(Options o)
 
     std::unique_ptr<sim::Machine> machine;
     part::FgstpMachine *fgstp_machine = nullptr;
+    sim::SingleCoreMachine *sc_machine = nullptr;
     if (o.machine == "single") {
-        machine = std::make_unique<sim::SingleCoreMachine>(
+        auto sm = std::make_unique<sim::SingleCoreMachine>(
             preset.core, preset.memory, source);
+        sc_machine = sm.get();
+        machine = std::move(sm);
     } else if (o.machine == "big") {
-        machine = std::make_unique<sim::SingleCoreMachine>(
+        auto sm = std::make_unique<sim::SingleCoreMachine>(
             sim::bigCoreConfig(), preset.memory, source, "big-core");
+        sc_machine = sm.get();
+        machine = std::move(sm);
     } else if (o.machine == "fusion") {
-        machine = std::make_unique<fusion::FusedMachine>(
+        auto sm = std::make_unique<fusion::FusedMachine>(
             preset.core, preset.memory, source,
             preset.fusionOverheads);
+        sc_machine = sm.get();
+        machine = std::move(sm);
     } else if (o.machine == "fgstp") {
         auto cfg = preset.fgstp();
+        cfg.bus = bus_cfg;
         if (o.window)
             cfg.windowSize = o.window;
         if (o.linkLatency)
@@ -213,6 +248,12 @@ runSim(Options o)
         fatal("unknown machine '", o.machine,
               "' (single | big | fusion | fgstp)");
     }
+
+    // The Fg-STP machine builds its bus from cfg.bus; the single-core
+    // family attaches one here (before observability, which sizes the
+    // bus-occupancy histograms from the attached bus).
+    if (sc_machine && bus_cfg.enabled)
+        sc_machine->enableSharedBus(bus_cfg);
 
     if (o.watchdogLimit)
         machine->setWatchdogLimit(o.watchdogLimit);
@@ -250,13 +291,9 @@ runSim(Options o)
     mcfg.cpiStack = o.cpiStack;
     mcfg.occupancy = o.occupancy;
     if (o.sample) {
-        if (mcfg.trace) {
-            fatal("--sample cannot be combined with --pipeview or "
-                  "--eventlog: the per-interval resetStats() would "
-                  "shred the event trace");
-        }
-        // The per-interval CPI-stack self-check rides on the stack
-        // collector.
+        // Incompatible flag pairs were rejected up front (see
+        // cli::simConflictRules()). The per-interval CPI-stack
+        // self-check rides on the stack collector.
         mcfg.cpiStack = true;
     }
     if (mcfg.any())

@@ -87,11 +87,23 @@ SingleCoreMachine::requestSquash(InstSeqNum seq, obs::SquashCause cause)
 }
 
 void
+SingleCoreMachine::enableSharedBus(const uncore::BusConfig &bc)
+{
+    if (!bc.enabled)
+        return;
+    bus = std::make_unique<uncore::SharedBus>(bc);
+    cpu->attachBus(bus.get());
+    mem.attachBus(bus.get());
+}
+
+void
 SingleCoreMachine::enableObservability(const obs::MonitorConfig &cfg)
 {
     if (!cfg.any()) {
         cpu->attachMonitor(nullptr);
         mon.reset();
+        for (auto &h : busOcc)
+            h.reset();
         return;
     }
     const core::CoreConfig &cc = cpu->config();
@@ -103,6 +115,12 @@ SingleCoreMachine::enableObservability(const obs::MonitorConfig &cfg)
     caps.fetchQueue = cc.fetchQueueSize;
     mon = std::make_unique<obs::CoreMonitor>(cpu->id(), cfg, caps);
     cpu->attachMonitor(mon.get());
+    if (cfg.occupancy && bus) {
+        const uncore::BusConfig &bc = bus->config();
+        const std::uint32_t bcap = bc.queueCapacity + bc.width;
+        for (auto &h : busOcc)
+            h = std::make_unique<obs::Histogram>(bcap);
+    }
 }
 
 std::uint64_t
@@ -159,6 +177,12 @@ SingleCoreMachine::run(std::uint64_t num_insts)
         }
 
         cpu->finishCycle(cycle);
+        if (busOcc[0]) {
+            for (std::size_t k = 0; k < uncore::numBusClasses; ++k) {
+                busOcc[k]->sample(bus->pendingAt(
+                    static_cast<uncore::BusClass>(k), cycle));
+            }
+        }
 
         if (streamEnded && cpu->pipelineEmpty())
             break;

@@ -18,6 +18,7 @@
 #include "memory/hierarchy.hh"
 #include "sim/machine.hh"
 #include "trace/trace_source.hh"
+#include "uncore/bus.hh"
 
 namespace fgstp::sim
 {
@@ -51,6 +52,30 @@ class SingleCoreMachine : public Machine, private core::CoreHooks
 
     Cycle currentCycle() const { return cycle; }
 
+    /**
+     * Attaches a shared uncore bus. Cross-cluster operand bypasses
+     * (Core Fusion) claim Operand-class grants and coherence traffic
+     * claims DirtyForward/Invalidation grants; on the genuinely
+     * single-cluster baseline no requester ever fires, so the bus
+     * degenerates to a passthrough. Call before run() and before
+     * enableObservability() (occupancy histograms are sized from the
+     * bus config).
+     */
+    void enableSharedBus(const uncore::BusConfig &bc);
+
+    const uncore::SharedBus *
+    sharedBus() const override
+    {
+        return bus.get();
+    }
+
+    const obs::Histogram *
+    busOccupancy(std::size_t cls) const override
+    {
+        return cls < uncore::numBusClasses ? busOcc[cls].get()
+                                           : nullptr;
+    }
+
     void enableObservability(const obs::MonitorConfig &cfg) override;
 
     obs::CoreMonitor *
@@ -66,6 +91,12 @@ class SingleCoreMachine : public Machine, private core::CoreHooks
         mem.resetStats();
         if (mon)
             mon->resetStats();
+        if (bus)
+            bus->resetStats();
+        for (auto &h : busOcc) {
+            if (h)
+                h->reset();
+        }
     }
 
   private:
@@ -82,6 +113,12 @@ class SingleCoreMachine : public Machine, private core::CoreHooks
     trace::ReplayBuffer buffer;
     std::unique_ptr<core::OoOCore> cpu;
     std::unique_ptr<obs::CoreMonitor> mon;
+
+    /** The shared uncore bus; null until enableSharedBus(). */
+    std::unique_ptr<uncore::SharedBus> bus;
+
+    /** Per-class bus backlog histograms (occupancy + bus only). */
+    std::unique_ptr<obs::Histogram> busOcc[uncore::numBusClasses];
 
     Cycle cycle = 0;
     InstSeqNum nextFetchSeq = 1;

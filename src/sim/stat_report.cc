@@ -1,5 +1,7 @@
 #include "sim/stat_report.hh"
 
+#include "uncore/bus.hh"
+
 namespace fgstp::sim
 {
 
@@ -29,6 +31,13 @@ StatReport::addHistogram(const std::string &name,
     addScalar(name + "Max", what + " (max)", h.maxSample());
     addScalar(name + "P95", what + " (95th percentile)",
               h.percentile(0.95));
+    // Emitted only when samples actually overflowed, so histograms
+    // sized generously enough keep their pre-overflow report shape.
+    if (h.overflows()) {
+        addScalar(name + "Overflows",
+                  what + " (samples past the last bucket)",
+                  h.overflows());
+    }
 }
 
 void
@@ -101,6 +110,12 @@ StatReport::StatReport(const Machine &machine, const RunResult &result)
                               obs::cpiCauseName(cause),
                           st.get(cause));
             }
+            if (machine.sharedBus()) {
+                addScalar(p + "cpi.crossCoreOperandWait.busContention",
+                          "cross-core wait cycles owed to bus queueing"
+                          " (sub-bucket of crossCoreOperandWait)",
+                          st.busContention);
+            }
         }
         if (mon && mon->config().occupancy)
             addOccupancy(p, mon->occupancy());
@@ -108,6 +123,31 @@ StatReport::StatReport(const Machine &machine, const RunResult &result)
 
     if (const obs::Histogram *lo = machine.linkOccupancy())
         addHistogram("link.occ", "operand-link values in flight", *lo);
+
+    if (const uncore::SharedBus *bus = machine.sharedBus()) {
+        const uncore::BusStats &bs = bus->stats();
+        for (std::size_t k = 0; k < uncore::numBusClasses; ++k) {
+            const auto cls = static_cast<uncore::BusClass>(k);
+            const std::string p =
+                std::string("bus.") + uncore::busClassKey(cls) + ".";
+            const std::string what = uncore::busClassKey(cls);
+            addScalar(p + "requests", what + " bus requests",
+                      bs.requests[k]);
+            addScalar(p + "grants", what + " bus grants", bs.grants[k]);
+            addScalar(p + "nacks", what + " bus NACKs (queue full)",
+                      bs.nacks[k]);
+            addScalar(p + "queuedCycles",
+                      what + " cycles spent queued for the bus",
+                      bs.queuedCycles[k]);
+            addValue(p + "meanQueueDelay",
+                     what + " mean grant delay (cycles)",
+                     bs.meanQueueDelay(cls));
+            if (const obs::Histogram *h = machine.busOccupancy(k)) {
+                addHistogram("bus.occ." + what,
+                             what + " bus backlog", *h);
+            }
+        }
+    }
 
     const auto &m = machine.memory().stats();
     addScalar("mem.l1dAccesses", "L1D accesses", m.l1dAccesses);

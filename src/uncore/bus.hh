@@ -1,0 +1,400 @@
+/**
+ * @file
+ * The shared uncore bus arbiter.
+ *
+ * The two cores of the CMP exchange three kinds of uncore traffic:
+ * operand transfers (OperandLink::send), dirty-forwards (a load
+ * missing on a block dirty in the peer L1D) and invalidations (a
+ * store killing the peer's copy). Without the bus each class is
+ * timed in isolation — the link has its own per-direction ports and
+ * the coherence events are flat penalties — so the classes never
+ * contend. The SharedBus unifies them into one cycle-accurate
+ * arbitrated resource, the way the Core Fusion lineage models the
+ * fused cores' crossbar/coherence fabric:
+ *
+ *  - at most `width` grants per cycle, summed over all classes;
+ *  - a configurable arbitration policy (see BusPolicy);
+ *  - a bounded per-class queue: a request whose class already has
+ *    `queueCapacity` grants pending at or after the request cycle is
+ *    NACKed, and the sender recovers through its retransmission path
+ *    (the operand link reuses its fault-injection timeout/retry
+ *    machinery; see OperandLink);
+ *  - per-class request/grant/NACK/queue-delay statistics plus a
+ *    backlog probe for the occupancy histograms (`bus.occ.<class>`).
+ *
+ * Timing is availability-based like BandwidthPort: requests carry
+ * timestamps that may arrive out of order (producers complete out of
+ * order), so per-cycle occupancy is a ledger keyed by cycle, pruned
+ * once entries can no longer be contended. Grants bind immediately
+ * and are never revoked, which keeps the model deterministic and
+ * O(1)-ish per request.
+ */
+
+#ifndef FGSTP_UNCORE_BUS_HH
+#define FGSTP_UNCORE_BUS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/error.hh"
+#include "common/types.hh"
+
+namespace fgstp::uncore
+{
+
+/** The three uncore traffic classes, in fixed-priority rank order. */
+enum class BusClass : std::uint8_t
+{
+    Operand = 0,      ///< cross-core register values (highest rank)
+    DirtyForward = 1, ///< peer-dirty cache lines
+    Invalidation = 2, ///< write-invalidate broadcasts (lowest rank)
+};
+
+inline constexpr std::size_t numBusClasses = 3;
+
+inline const char *
+busClassKey(BusClass c)
+{
+    switch (c) {
+    case BusClass::Operand: return "operand";
+    case BusClass::DirtyForward: return "dirtyForward";
+    case BusClass::Invalidation: return "invalidation";
+    }
+    return "?";
+}
+
+/**
+ * How slots are shared between classes within a cycle. Requests bind
+ * immediately (no retroactive reordering), so both policies are
+ * expressed as per-cycle admission rules:
+ *
+ *  - FixedPriority: a class of rank r may push a cycle's total
+ *    occupancy only up to max(1, width - r) — each lower-priority
+ *    rank leaves one slot of headroom per cycle for the ranks above
+ *    it, so late-arriving operand transfers still find a slot in a
+ *    cycle coherence traffic would otherwise have filled.
+ *  - RoundRobin: no reserved headroom; instead every class is capped
+ *    at ceil(width / numBusClasses) grants per cycle (min 1), the
+ *    per-cycle equivalent of an equal time-division rotation. No
+ *    class can starve the others, and none is favoured.
+ *
+ * Under both policies the total grants in any cycle never exceed
+ * `width`.
+ */
+enum class BusPolicy : std::uint8_t
+{
+    FixedPriority,
+    RoundRobin,
+};
+
+/** Shared-bus configuration. Disabled by default: every pre-bus
+ *  timing path stays bit-identical until a machine opts in. */
+struct BusConfig
+{
+    bool enabled = false;
+
+    /** Grants per cycle, summed over all classes. */
+    std::uint32_t width = 4;
+
+    /** Pending grants per class before new requests are NACKed. */
+    std::uint32_t queueCapacity = 32;
+
+    BusPolicy policy = BusPolicy::FixedPriority;
+
+    /**
+     * Cycles a NACKed requester without its own retransmission
+     * machinery waits before retrying (the operand link prefers its
+     * fault-injection retryTimeout when faults are armed).
+     */
+    Cycle nackRetryDelay = 8;
+
+    /** Consecutive NACKs of one transfer before BusSaturationError. */
+    std::uint32_t maxNackRetries = 64;
+};
+
+/**
+ * Parses "width=4,queue=32,policy=priority|rr,nack-delay=8,
+ * nack-retries=64" (every key optional, any order; an empty spec
+ * yields the defaults) into an enabled BusConfig. Throws ConfigError
+ * on an unknown key, a malformed value, or a zero width/queue.
+ */
+inline BusConfig
+parseBusConfig(const std::string &spec)
+{
+    BusConfig cfg;
+    cfg.enabled = true;
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            throw ConfigError("bus spec: expected key=value, got '" +
+                              item + "'");
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+
+        const auto num = [&]() -> std::uint64_t {
+            std::size_t used = 0;
+            std::uint64_t v = 0;
+            try {
+                v = std::stoull(val, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != val.size() || val.empty()) {
+                throw ConfigError("bus spec: bad numeric value '" +
+                                  val + "' for " + key);
+            }
+            return v;
+        };
+
+        if (key == "width") {
+            cfg.width = static_cast<std::uint32_t>(num());
+        } else if (key == "queue") {
+            cfg.queueCapacity = static_cast<std::uint32_t>(num());
+        } else if (key == "policy") {
+            if (val == "priority" || val == "prio")
+                cfg.policy = BusPolicy::FixedPriority;
+            else if (val == "rr" || val == "round-robin")
+                cfg.policy = BusPolicy::RoundRobin;
+            else
+                throw ConfigError(
+                    "bus spec: unknown policy '" + val +
+                    "' (expected priority or rr)");
+        } else if (key == "nack-delay") {
+            cfg.nackRetryDelay = static_cast<Cycle>(num());
+        } else if (key == "nack-retries") {
+            cfg.maxNackRetries = static_cast<std::uint32_t>(num());
+        } else {
+            throw ConfigError("bus spec: unknown key '" + key + "'");
+        }
+    }
+
+    if (cfg.width == 0)
+        throw ConfigError("bus spec: width must be >= 1");
+    if (cfg.queueCapacity == 0)
+        throw ConfigError("bus spec: queue must be >= 1");
+    if (cfg.nackRetryDelay == 0)
+        throw ConfigError("bus spec: nack-delay must be >= 1");
+    return cfg;
+}
+
+/** Outcome of one bus request. */
+struct BusGrant
+{
+    bool granted = false;
+    Cycle cycle = 0;  ///< granted slot (valid only when granted)
+    Cycle queued = 0; ///< cycle - request time (valid only when granted)
+};
+
+/** Per-class bus statistics. */
+struct BusStats
+{
+    std::array<std::uint64_t, numBusClasses> requests{};
+    std::array<std::uint64_t, numBusClasses> grants{};
+    std::array<std::uint64_t, numBusClasses> nacks{};
+    std::array<std::uint64_t, numBusClasses> queuedCycles{};
+
+    std::uint64_t
+    req(BusClass c) const
+    {
+        return requests[static_cast<std::size_t>(c)];
+    }
+
+    double
+    meanQueueDelay(BusClass c) const
+    {
+        const auto k = static_cast<std::size_t>(c);
+        return grants[k]
+            ? static_cast<double>(queuedCycles[k]) / grants[k] : 0.0;
+    }
+
+    std::uint64_t
+    totalGrants() const
+    {
+        std::uint64_t t = 0;
+        for (const std::uint64_t g : grants)
+            t += g;
+        return t;
+    }
+};
+
+class SharedBus
+{
+  public:
+    explicit SharedBus(const BusConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Requests one slot for `cls` at or after `now`. NACKs (granted
+     * == false) when the class already has queueCapacity grants
+     * pending at cycles >= now; the caller owns the retry. Requests
+     * may arrive with non-monotonic timestamps.
+     */
+    BusGrant
+    request(BusClass cls, Cycle now)
+    {
+        const auto k = static_cast<std::size_t>(cls);
+        ++_stats.requests[k];
+        prune(now);
+
+        if (pendingAt(cls, now) >= cfg.queueCapacity) {
+            ++_stats.nacks[k];
+            return BusGrant{};
+        }
+
+        const std::uint32_t admit = admissionLimit(cls);
+        const std::uint32_t classCap = classLimit();
+        Cycle t = now;
+        while (true) {
+            auto [it, fresh] = ledger.try_emplace(t);
+            Slot &s = it->second;
+            if (s.total < admit && s.perClass[k] < classCap) {
+                ++s.total;
+                ++s.perClass[k];
+                ++_stats.grants[k];
+                _stats.queuedCycles[k] += t - now;
+                return BusGrant{true, t, t - now};
+            }
+            ++t;
+        }
+    }
+
+    /**
+     * Fire-and-forget request for posted traffic (invalidations): the
+     * transfer occupies a slot for contention purposes but its timing
+     * never reaches the requester, so a NACK is just counted and the
+     * transfer's bus slot dropped — the architectural invalidation
+     * already happened in the cache state.
+     */
+    void requestPosted(BusClass cls, Cycle now) { (void)request(cls, now); }
+
+    /**
+     * request() with the bus's own NACK retry loop: waits
+     * nackRetryDelay between attempts and throws BusSaturationError
+     * once maxNackRetries consecutive NACKs exhaust the budget. Used
+     * by requesters without their own retransmission machinery (the
+     * memory hierarchy); the operand link runs the equivalent loop
+     * through its fault-injection retry path instead.
+     */
+    BusGrant
+    claimWithRetry(BusClass cls, Cycle now)
+    {
+        const Cycle start = now;
+        for (std::uint32_t attempt = 0;; ++attempt) {
+            BusGrant g = request(cls, now);
+            if (g.granted) {
+                // Queue delay is charged from the first attempt: the
+                // requester has been waiting since then.
+                g.queued = g.cycle - start;
+                return g;
+            }
+            if (attempt >= cfg.maxNackRetries) {
+                throw BusSaturationError(
+                    std::string("shared bus: ") + busClassKey(cls) +
+                    " transfer at cycle " + std::to_string(start) +
+                    " NACKed on " + std::to_string(cfg.maxNackRetries) +
+                    " consecutive retries (queue capacity " +
+                    std::to_string(cfg.queueCapacity) +
+                    ") — bus saturated");
+            }
+            now += cfg.nackRetryDelay;
+        }
+    }
+
+    /**
+     * Grants pending at cycles >= now for `cls` — the class's queue
+     * depth, sampled by the occupancy histograms and consulted by the
+     * NACK admission check.
+     */
+    std::size_t
+    pendingAt(BusClass cls, Cycle now) const
+    {
+        const auto k = static_cast<std::size_t>(cls);
+        std::size_t n = 0;
+        for (auto it = ledger.lower_bound(now); it != ledger.end(); ++it)
+            n += it->second.perClass[k];
+        return n;
+    }
+
+    /** Total grants recorded in cycle `t` (for the invariant tests). */
+    std::uint32_t
+    grantsAt(Cycle t) const
+    {
+        auto it = ledger.find(t);
+        return it == ledger.end() ? 0 : it->second.total;
+    }
+
+    const BusConfig &config() const { return cfg; }
+    const BusStats &stats() const { return _stats; }
+
+    void
+    reset()
+    {
+        ledger.clear();
+        _stats = BusStats{};
+    }
+
+    /** Zeroes the counters without releasing granted slots. */
+    void resetStats() { _stats = BusStats{}; }
+
+  private:
+    struct Slot
+    {
+        std::uint32_t total = 0;
+        std::array<std::uint32_t, numBusClasses> perClass{};
+    };
+
+    /** Max total occupancy `cls` may push a cycle to (policy rule). */
+    std::uint32_t
+    admissionLimit(BusClass cls) const
+    {
+        if (cfg.policy == BusPolicy::RoundRobin)
+            return cfg.width;
+        const auto rank = static_cast<std::uint32_t>(cls);
+        return rank >= cfg.width ? 1u : cfg.width - rank;
+    }
+
+    /** Per-class per-cycle cap (RoundRobin fairness rule). */
+    std::uint32_t
+    classLimit() const
+    {
+        if (cfg.policy == BusPolicy::FixedPriority)
+            return cfg.width;
+        const auto n = static_cast<std::uint32_t>(numBusClasses);
+        const std::uint32_t share = (cfg.width + n - 1) / n;
+        return share ? share : 1u;
+    }
+
+    void
+    prune(Cycle now)
+    {
+        // Nothing requests earlier than the oldest timestamp still in
+        // flight; timestamps skew by at most tens of cycles plus the
+        // NACK retry horizon, all well inside the window.
+        while (!ledger.empty() &&
+               ledger.begin()->first + pruneWindow < now) {
+            ledger.erase(ledger.begin());
+        }
+    }
+
+    static constexpr Cycle pruneWindow = 1024;
+
+    BusConfig cfg;
+    std::map<Cycle, Slot> ledger;
+    BusStats _stats;
+};
+
+} // namespace fgstp::uncore
+
+#endif // FGSTP_UNCORE_BUS_HH

@@ -29,6 +29,7 @@
 #include "common/error.hh"
 #include "common/random.hh"
 #include "common/types.hh"
+#include "uncore/bus.hh"
 
 namespace fgstp::uncore
 {
@@ -129,14 +130,23 @@ class OperandLink
     {
     }
 
+    /** Arrival cycle plus the slot-wait the send paid to get there. */
+    struct SendOutcome
+    {
+        Cycle arrival = 0;
+        Cycle queued = 0; ///< claimed slot minus request cycle
+    };
+
     /**
      * Sends a value from `from` at `now`; returns the cycle it is
-     * usable on the other core.
+     * usable on the other core plus the queue delay paid, which the
+     * CPI accountant attributes to bus contention when the shared bus
+     * is attached.
      */
-    Cycle
-    send(CoreId from, Cycle now)
+    SendOutcome
+    sendTimed(CoreId from, Cycle now)
     {
-        const Cycle slot = ports[from % 2].claim(now);
+        const Cycle slot = claimSlot(from, now);
         ++_stats.messages;
         _stats.queuedCycles += slot - now;
         Cycle arrival = slot + cfg.latency;
@@ -144,8 +154,26 @@ class OperandLink
             arrival = injectFaults(from, arrival);
         if (trackOccupancy)
             pendingArrivals.push_back(arrival);
-        return arrival;
+        return {arrival, slot - now};
     }
+
+    /**
+     * Sends a value from `from` at `now`; returns the cycle it is
+     * usable on the other core.
+     */
+    Cycle
+    send(CoreId from, Cycle now)
+    {
+        return sendTimed(from, now).arrival;
+    }
+
+    /**
+     * Routes every subsequent send over the shared uncore bus (class
+     * Operand) instead of the link's private per-direction ports, so
+     * operand transfers contend with coherence traffic. The bus is
+     * borrowed, not owned; nullptr restores the private ports.
+     */
+    void attachBus(SharedBus *b) { bus = b; }
 
     /**
      * Arms seeded fault injection on every subsequent send(). A null
@@ -207,6 +235,54 @@ class OperandLink
         Rng rng;
     };
 
+    /** The direction port for `from`, with the id range checked. */
+    BandwidthPort &
+    portFor(CoreId from)
+    {
+        if (from >= 2) {
+            throw ConfigError(
+                "operand link: core id " + std::to_string(from) +
+                " out of range — the link couples exactly 2 cores");
+        }
+        return ports[from];
+    }
+
+    /**
+     * Claims a bandwidth slot for one (re)transmission at or after
+     * `at`: the private direction port normally, an Operand-class bus
+     * grant when the shared bus is attached. A NACKed bus request is
+     * recovered exactly like an injected drop — the receiver times
+     * out and the packet is retransmitted after the retry timeout,
+     * bounded by the same retry budget (the fault plan's knobs when
+     * fault injection is armed, the bus's NACK knobs otherwise).
+     */
+    Cycle
+    claimSlot(CoreId from, Cycle at)
+    {
+        BandwidthPort &port = portFor(from);
+        if (!bus)
+            return port.claim(at);
+
+        const Cycle timeout = faults ? faults->cfg.retryTimeout
+                                     : bus->config().nackRetryDelay;
+        const std::uint32_t budget = faults
+            ? faults->cfg.maxRetries : bus->config().maxNackRetries;
+        Cycle t = at;
+        for (std::uint32_t attempt = 0;; ++attempt) {
+            const BusGrant g = bus->request(BusClass::Operand, t);
+            if (g.granted)
+                return g.cycle;
+            if (attempt >= budget) {
+                throw BusSaturationError(
+                    "operand link: send from core " +
+                    std::to_string(from) + " NACKed on " +
+                    std::to_string(budget) +
+                    " consecutive retransmissions — bus saturated");
+            }
+            t += timeout;
+        }
+    }
+
     Cycle
     injectFaults(CoreId from, Cycle arrival)
     {
@@ -234,7 +310,7 @@ class OperandLink
             }
             ++_stats.faultDrops;
             const Cycle resend =
-                ports[from % 2].claim(arrival + f.cfg.retryTimeout);
+                claimSlot(from, arrival + f.cfg.retryTimeout);
             arrival = resend + cfg.latency;
         }
         return arrival;
@@ -242,6 +318,7 @@ class OperandLink
 
     LinkConfig cfg;
     BandwidthPort ports[2];
+    SharedBus *bus = nullptr; ///< borrowed; null = private ports
     bool trackOccupancy = false;
     std::vector<Cycle> pendingArrivals;
     LinkStats _stats;

@@ -17,7 +17,10 @@
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "common/cli_conflicts.hh"
+#include "common/error.hh"
 #include "common/thread_pool.hh"
+#include "uncore/bus.hh"
 
 namespace fgstp
 {
@@ -199,6 +202,81 @@ TEST(Determinism, SerialAndParallelJsonMatchModuloWallTime)
             << "experiment " << name
             << " is not schedule-independent";
     }
+}
+
+/** Restores the process-wide per-cell bus toggle on scope exit. */
+struct CellBusGuard
+{
+    ~CellBusGuard() { bench::setCellBus(uncore::BusConfig{}, false); }
+};
+
+TEST(Determinism, BusContendedSweepIsScheduleIndependent)
+{
+    // The arbiter's availability-based ledger must not observe the
+    // pool schedule: a contended sweep renders byte-identically at
+    // any --jobs.
+    const auto *e = bench::findExperiment("fig4");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 1000;
+    prm.bus = uncore::parseBusConfig("width=2");
+    CellBusGuard guard;
+    bench::setCellBus(prm.bus, true);
+    const auto serial = renderWithJobs(*e, prm, 1);
+    const auto parallel = renderWithJobs(*e, prm, 8);
+    EXPECT_EQ(stripWallTime(serial), stripWallTime(parallel));
+    // The document advertises the arbiter config it ran with.
+    EXPECT_NE(serial.find("\"bus\""), std::string::npos);
+}
+
+// ---- CLI flag-conflict rules ----------------------------------------------
+
+TEST(FlagConflicts, EveryPairInBothTablesIsRejected)
+{
+    const std::pair<const char *,
+                    const std::vector<cli::ConflictRule> *>
+        tables[] = {{"fgstp_sim", &cli::simConflictRules()},
+                    {"fgstp_bench", &cli::benchConflictRules()}};
+    for (const auto &[tool, rules] : tables) {
+        for (const cli::ConflictRule &r : *rules) {
+            // Either flag alone passes.
+            EXPECT_NO_THROW(
+                cli::checkFlagConflicts(tool, *rules, {r.a}));
+            EXPECT_NO_THROW(
+                cli::checkFlagConflicts(tool, *rules, {r.b}));
+            // The pair is rejected with the uniform message.
+            try {
+                cli::checkFlagConflicts(tool, *rules, {r.a, r.b});
+                FAIL() << tool << ": " << r.a << " + " << r.b
+                       << " was not rejected";
+            } catch (const ConfigError &err) {
+                EXPECT_EQ(std::string(err.what()),
+                          cli::conflictMessage(tool, r));
+            }
+        }
+    }
+}
+
+TEST(FlagConflicts, TablesCoverTheDocumentedPairs)
+{
+    // Pins the table contents: removing a pair (or renaming a flag)
+    // must be a conscious change here too.
+    const auto has = [](const std::vector<cli::ConflictRule> &rules,
+                        const std::string &a, const std::string &b) {
+        for (const cli::ConflictRule &r : rules) {
+            if (a == r.a && b == r.b)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(
+        has(cli::simConflictRules(), "--sample", "--pipeview"));
+    EXPECT_TRUE(
+        has(cli::simConflictRules(), "--sample", "--eventlog"));
+    EXPECT_TRUE(
+        has(cli::benchConflictRules(), "--sample", "--cpi-stack"));
+    EXPECT_EQ(cli::simConflictRules().size(), 2u);
+    EXPECT_EQ(cli::benchConflictRules().size(), 1u);
 }
 
 // ---- crash-isolated sweeps -------------------------------------------------

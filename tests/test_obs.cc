@@ -18,6 +18,7 @@
 #include "common/random.hh"
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
+#include "harden/fault.hh"
 #include "isa/op_class.hh"
 #include "obs/cpi_stack.hh"
 #include "obs/event_log.hh"
@@ -27,6 +28,8 @@
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
 #include "trace/trace_source.hh"
+#include "uncore/bus.hh"
+#include "uncore/link.hh"
 #include "workload/generator.hh"
 #include "workload/microbench.hh"
 
@@ -360,6 +363,94 @@ TEST(CpiStack, ResetStatsRestartsTheAccounting)
     EXPECT_EQ(m.monitor(0)->cpi().total(), r.cycles - warm.cycles);
 }
 
+// ---- CPI stack with the shared bus ----------------------------------------
+//
+// busContention is a sub-bucket of crossCoreOperandWait, not an eighth
+// cause: enabling the arbiter must leave the sums-to-cycles invariant
+// intact on every machine, and the sub-bucket can never exceed its
+// parent.
+
+uncore::BusConfig
+narrowBus()
+{
+    uncore::BusConfig bc;
+    bc.enabled = true;
+    bc.width = 1; // maximum contention: one transfer per cycle total
+    return bc;
+}
+
+void
+expectBusSubBucketInvariant(const sim::Machine &m)
+{
+    for (unsigned c = 0; c < m.numCores(); ++c) {
+        const auto &st = m.monitor(c)->cpi();
+        EXPECT_LE(st.busContention,
+                  st.get(obs::CpiCause::CrossCoreOperandWait))
+            << "core " << c;
+    }
+}
+
+TEST(CpiStack, SumsToCyclesOnFgstpWithBus)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    auto fc = p.fgstp();
+    fc.bus = narrowBus();
+    part::FgstpMachine m(p.core, p.memory, fc, w);
+    m.enableObservability(fullConfig());
+    const auto r = m.run(20000);
+    ASSERT_GT(r.cycles, 0u);
+    expectCpiSumsToCycles(m, r.cycles);
+    expectBusSubBucketInvariant(m);
+
+    // The width-1 bus actually contends on this workload, and the
+    // queueing shows up in the sub-bucket.
+    ASSERT_NE(m.sharedBus(), nullptr);
+    const auto &bs = m.sharedBus()->stats();
+    EXPECT_GT(bs.grants[0], 0u);
+    EXPECT_GT(bs.queuedCycles[0], 0u);
+    std::uint64_t contended = 0;
+    for (unsigned c = 0; c < m.numCores(); ++c)
+        contended += m.monitor(c)->cpi().busContention;
+    EXPECT_GT(contended, 0u);
+}
+
+TEST(CpiStack, SumsToCyclesOnCoreFusionWithBus)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    fusion::FusedMachine m(p.core, p.memory, w, p.fusionOverheads);
+    m.enableSharedBus(narrowBus());
+    m.enableObservability(fullConfig());
+    const auto r = m.run(20000);
+    ASSERT_GT(r.cycles, 0u);
+    expectCpiSumsToCycles(m, r.cycles);
+    expectBusSubBucketInvariant(m);
+    // Cross-cluster bypasses route over the bus.
+    ASSERT_NE(m.sharedBus(), nullptr);
+    EXPECT_GT(m.sharedBus()->stats().grants[0], 0u);
+}
+
+TEST(CpiStack, SumsToCyclesOnSingleCoreWithBus)
+{
+    const auto p = sim::smallPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 7);
+    sim::SingleCoreMachine m(p.core, p.memory, w);
+    m.enableSharedBus(narrowBus());
+    m.enableObservability(fullConfig());
+    const auto r = m.run(20000);
+    ASSERT_GT(r.cycles, 0u);
+    expectCpiSumsToCycles(m, r.cycles);
+    // One cluster, one core: no requester ever fires, the bus is a
+    // pure passthrough and charges nothing.
+    ASSERT_NE(m.sharedBus(), nullptr);
+    const auto &bs = m.sharedBus()->stats();
+    for (std::size_t k = 0; k < uncore::numBusClasses; ++k)
+        EXPECT_EQ(bs.requests[k], 0u) << uncore::busClassKey(
+            static_cast<uncore::BusClass>(k));
+    EXPECT_EQ(m.monitor(0)->cpi().busContention, 0u);
+}
+
 // ---- instruction event trace ----------------------------------------------
 
 TEST(EventTrace, CommittedEventsHaveMonotoneStamps)
@@ -507,6 +598,49 @@ TEST(LinkOccupancy, TracksInFlightValues)
     EXPECT_GT(h->maxSample(), 0u);
 }
 
+// Regression: the machine sizes its link histogram from the config
+// formula 2 * width * latency + margin, but an injected
+// `link:delay-rate=1,delay=big` fault plan parks every packet on the
+// wire far past that bound, so the in-flight sample can exceed the
+// capacity. The histogram used to clamp silently; now the excess is
+// saturated into the top bucket *and counted*.
+TEST(LinkOccupancy, InjectedDelaysOverflowTheSizedBound)
+{
+    uncore::LinkConfig lc;
+    lc.latency = 2;
+    lc.width = 2;
+    const std::uint32_t cap =
+        2 * lc.width * static_cast<std::uint32_t>(lc.latency) + 64;
+
+    uncore::OperandLink link(lc);
+    link.enableOccupancyTracking();
+    const harden::FaultPlan plan =
+        harden::parseFaultPlan("link:delay-rate=1,delay=100000");
+    uncore::LinkFaultConfig fc;
+    fc.dropRate = plan.linkDropRate;
+    fc.delayRate = plan.linkDelayRate;
+    fc.delayCycles = plan.linkDelayCycles;
+    fc.retryTimeout = plan.linkRetryTimeout;
+    fc.maxRetries = plan.linkMaxRetries;
+    fc.seed = plan.seed;
+    link.enableFaultInjection(fc);
+
+    // Every send is delayed 100000 cycles, so nothing retires and the
+    // in-flight count grows monotonically past the sized bound.
+    obs::Histogram h(cap);
+    for (Cycle t = 0; t < 2 * cap; ++t) {
+        link.send(t % 2, t);
+        h.sample(link.sampleInFlight(t));
+    }
+    EXPECT_GT(h.maxSample(), cap);
+    EXPECT_GT(h.overflows(), 0u);
+    // The saturated samples landed in the top bucket instead of being
+    // scattered (or written out of bounds); the bucket also holds the
+    // one sample that hit the capacity exactly, which is not an
+    // overflow.
+    EXPECT_EQ(h.bucket(cap), h.overflows() + 1);
+}
+
 // ---- histogram unit behavior ----------------------------------------------
 
 TEST(Histogram, MeanMaxPercentile)
@@ -529,7 +663,26 @@ TEST(Histogram, ClampsAboveCapacity)
     obs::Histogram h(4);
     h.sample(100);
     EXPECT_EQ(h.bucket(4), 1u);
-    EXPECT_EQ(h.maxSample(), 4u);
+    EXPECT_EQ(h.maxSample(), 100u);
+}
+
+TEST(Histogram, OverflowsAreCountedNotSilent)
+{
+    obs::Histogram h(4);
+    h.sample(2);
+    h.sample(4); // exactly at capacity: not an overflow
+    h.sample(5);
+    h.sample(900);
+    EXPECT_EQ(h.overflows(), 2u);
+    // Overflowing samples saturate into the top bucket...
+    EXPECT_EQ(h.bucket(4), 3u);
+    // ...while max and mean stay unclamped, so the report shows how
+    // far past the sized bound the structure actually went.
+    EXPECT_EQ(h.maxSample(), 900u);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 + 4.0 + 5.0 + 900.0) / 4.0);
+    h.reset();
+    EXPECT_EQ(h.overflows(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
 }
 
 // ---- resetStats round trip -------------------------------------------------

@@ -1,10 +1,12 @@
 /**
  * @file
- * Unit tests for the inter-core operand link.
+ * Unit tests for the inter-core operand link and the shared bus.
  */
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+#include "uncore/bus.hh"
 #include "uncore/link.hh"
 
 namespace fgstp
@@ -13,8 +15,13 @@ namespace
 {
 
 using uncore::BandwidthPort;
+using uncore::BusClass;
+using uncore::BusConfig;
+using uncore::BusGrant;
+using uncore::BusPolicy;
 using uncore::LinkConfig;
 using uncore::OperandLink;
+using uncore::SharedBus;
 
 TEST(BandwidthPortTest, SingleClaimIsImmediate)
 {
@@ -86,6 +93,173 @@ TEST(OperandLinkTest, ResetClearsStats)
     link.reset();
     EXPECT_EQ(link.stats().messages, 0u);
     EXPECT_EQ(link.send(0, 10), 14u);
+}
+
+// The link couples exactly two cores; any other id used to alias
+// through `from % 2` and silently time the wrong direction.
+TEST(OperandLinkTest, OutOfRangeCoreIdThrows)
+{
+    OperandLink link({4, 2});
+    EXPECT_THROW(link.send(2, 0), ConfigError);
+    EXPECT_THROW(link.send(3, 100), ConfigError);
+    // Valid ids still work after the rejected sends.
+    EXPECT_EQ(link.send(0, 10), 14u);
+    EXPECT_EQ(link.send(1, 10), 14u);
+}
+
+// ---- shared bus -----------------------------------------------------------
+
+BusConfig
+busCfg(std::uint32_t width, std::uint32_t queue,
+       BusPolicy policy = BusPolicy::FixedPriority)
+{
+    BusConfig c;
+    c.enabled = true;
+    c.width = width;
+    c.queueCapacity = queue;
+    c.policy = policy;
+    return c;
+}
+
+TEST(SharedBusTest, GrantsNeverExceedWidthPerCycle)
+{
+    for (const BusPolicy policy :
+         {BusPolicy::FixedPriority, BusPolicy::RoundRobin}) {
+        SharedBus bus(busCfg(3, 64, policy));
+        // Offer far more than 3 transfers per cycle across all
+        // classes at mixed timestamps.
+        for (int round = 0; round < 40; ++round) {
+            for (std::size_t k = 0; k < uncore::numBusClasses; ++k)
+                bus.request(static_cast<BusClass>(k), 100);
+        }
+        std::uint64_t granted = 0;
+        for (Cycle t = 100; t < 200; ++t) {
+            EXPECT_LE(bus.grantsAt(t), 3u) << "policy "
+                << static_cast<int>(policy) << " cycle " << t;
+            granted += bus.grantsAt(t);
+        }
+        EXPECT_EQ(granted, bus.stats().totalGrants());
+    }
+}
+
+TEST(SharedBusTest, FixedPriorityReservesHeadroomForHigherRanks)
+{
+    SharedBus bus(busCfg(2, 64, BusPolicy::FixedPriority));
+    // Invalidations (rank 2 >= width) may only push a cycle to 1.
+    EXPECT_EQ(bus.request(BusClass::Invalidation, 10).cycle, 10u);
+    EXPECT_EQ(bus.request(BusClass::Invalidation, 10).cycle, 11u);
+    // The reserved slot at cycle 10 is still there for operands,
+    // which may fill a cycle completely (rank 0).
+    EXPECT_EQ(bus.request(BusClass::Operand, 10).cycle, 10u);
+    // Cycle 10 is now full (1 inv + 1 op); cycle 11 holds one
+    // spilled invalidation, leaving room for one more operand.
+    EXPECT_EQ(bus.request(BusClass::Operand, 10).cycle, 11u);
+    EXPECT_EQ(bus.request(BusClass::Operand, 10).cycle, 12u);
+}
+
+TEST(SharedBusTest, RoundRobinCapsEachClassPerCycle)
+{
+    // width=3 over 3 classes: each class gets ceil(3/3)=1 per cycle.
+    SharedBus bus(busCfg(3, 64, BusPolicy::RoundRobin));
+    EXPECT_EQ(bus.request(BusClass::Operand, 5).cycle, 5u);
+    EXPECT_EQ(bus.request(BusClass::Operand, 5).cycle, 6u);
+    // Other classes still find their share of cycle 5.
+    EXPECT_EQ(bus.request(BusClass::DirtyForward, 5).cycle, 5u);
+    EXPECT_EQ(bus.request(BusClass::Invalidation, 5).cycle, 5u);
+}
+
+TEST(SharedBusTest, NackAtQueueCapacityAndRecovery)
+{
+    SharedBus bus(busCfg(1, 2));
+    EXPECT_TRUE(bus.request(BusClass::Operand, 10).granted);
+    EXPECT_TRUE(bus.request(BusClass::Operand, 10).granted);
+    // Two grants pending at >= 10: the queue is full.
+    const BusGrant nack = bus.request(BusClass::Operand, 10);
+    EXPECT_FALSE(nack.granted);
+    EXPECT_EQ(bus.stats().nacks[0], 1u);
+    // Once time passes the first grant, a retry succeeds.
+    EXPECT_TRUE(bus.request(BusClass::Operand, 11).granted);
+}
+
+TEST(SharedBusTest, QueuedCyclesMonotoneInOfferedLoad)
+{
+    // Offering strictly more transfers into the same cycle can only
+    // grow the aggregate queue delay.
+    std::uint64_t prev = 0;
+    for (int load = 1; load <= 16; ++load) {
+        SharedBus bus(busCfg(2, 64));
+        for (int i = 0; i < load; ++i)
+            bus.request(BusClass::Operand, 50);
+        const std::uint64_t q = bus.stats().queuedCycles[0];
+        EXPECT_GE(q, prev) << "load " << load;
+        prev = q;
+    }
+    EXPECT_GT(prev, 0u);
+}
+
+TEST(SharedBusTest, ClaimWithRetryRecoversAndCharges)
+{
+    SharedBus bus(busCfg(1, 1));
+    EXPECT_TRUE(bus.claimWithRetry(BusClass::DirtyForward, 20).granted);
+    // Queue full at 20; the retry loop must land a later grant and
+    // charge the wait from the first attempt.
+    const BusGrant g = bus.claimWithRetry(BusClass::DirtyForward, 20);
+    EXPECT_TRUE(g.granted);
+    EXPECT_GT(g.cycle, 20u);
+    EXPECT_EQ(g.queued, g.cycle - 20);
+}
+
+TEST(SharedBusTest, SaturationThrowsAfterRetryBudget)
+{
+    BusConfig c = busCfg(1, 1);
+    c.nackRetryDelay = 1;
+    c.maxNackRetries = 4;
+    SharedBus bus(c);
+    // Park the only queue slot far in the future so every retry of an
+    // earlier transfer still sees a full queue.
+    EXPECT_TRUE(bus.request(BusClass::Operand, 1000).granted);
+    EXPECT_THROW(bus.claimWithRetry(BusClass::Operand, 0),
+                 BusSaturationError);
+}
+
+TEST(SharedBusTest, LinkReusesRetryPathOnNack)
+{
+    // queue=1 on the bus: the link's second send at the same cycle is
+    // NACKed and must recover through its retransmission timeout.
+    BusConfig c = busCfg(1, 1);
+    c.nackRetryDelay = 8;
+    SharedBus bus(c);
+    OperandLink link({4, 2});
+    link.attachBus(&bus);
+    EXPECT_EQ(link.send(0, 100), 104u);
+    // NACK at 100, retry at 108 (bus nackRetryDelay), grant there.
+    EXPECT_EQ(link.send(0, 100), 112u);
+    EXPECT_EQ(bus.stats().nacks[0], 1u);
+    EXPECT_EQ(bus.stats().grants[0], 2u);
+}
+
+TEST(SharedBusTest, ParseBusConfigRoundTrip)
+{
+    const BusConfig c = uncore::parseBusConfig(
+        "width=2,queue=8,policy=rr,nack-delay=4,nack-retries=16");
+    EXPECT_TRUE(c.enabled);
+    EXPECT_EQ(c.width, 2u);
+    EXPECT_EQ(c.queueCapacity, 8u);
+    EXPECT_EQ(c.policy, BusPolicy::RoundRobin);
+    EXPECT_EQ(c.nackRetryDelay, 4u);
+    EXPECT_EQ(c.maxNackRetries, 16u);
+    // Empty spec enables the defaults.
+    EXPECT_TRUE(uncore::parseBusConfig("").enabled);
+}
+
+TEST(SharedBusTest, ParseBusConfigRejectsBadSpecs)
+{
+    EXPECT_THROW(uncore::parseBusConfig("width=0"), ConfigError);
+    EXPECT_THROW(uncore::parseBusConfig("queue=0"), ConfigError);
+    EXPECT_THROW(uncore::parseBusConfig("width=abc"), ConfigError);
+    EXPECT_THROW(uncore::parseBusConfig("bogus=1"), ConfigError);
+    EXPECT_THROW(uncore::parseBusConfig("policy=fifo"), ConfigError);
+    EXPECT_THROW(uncore::parseBusConfig("width"), ConfigError);
 }
 
 } // namespace
