@@ -7,7 +7,7 @@
  *               [--out=DIR] [--cpi-stack] [--list]
  *               [--check] [--inject=SPEC]
  *               [--sample[=ff=N,warmup=N,measure=N]]
- *               [--bus[=SPEC]]
+ *               [--bus[=SPEC]] [--steer=SPEC]
  *
  * Runs any subset of the paper's table/figure experiments over one
  * shared thread pool. Every (experiment, benchmark, config) cell is
@@ -42,7 +42,14 @@
  * (docs/UNCORE.md): operand transfers and coherence traffic contend
  * for one bandwidth-limited bus, JSON reports gain a meta.bus block,
  * and --cpi-stack cells additionally carry the busContention
- * sub-bucket. All flags are documented in docs/CLI.md.
+ * sub-bucket.
+ *
+ * --steer=SPEC reconfigures every Fg-STP cell's partitioner
+ * cost-model weights (docs/STEERING.md): fixed key=value weights, the
+ * offline-tuned per-benchmark table (`tuned`), and/or per-interval
+ * online refitting (`adaptive`, which requires --sample). JSON
+ * reports gain a meta.steering block. All flags are documented in
+ * docs/CLI.md.
  */
 
 #include <cstdio>
@@ -60,6 +67,7 @@
 #include "common/fs.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "fgstp/steering.hh"
 #include "harden/fault.hh"
 #include "obs/events.hh"
 #include "sample/sampler.hh"
@@ -84,6 +92,8 @@ struct Options
     std::string sampleSpec; // empty keeps the SampleSpec defaults
     bool bus = false;       // shared uncore bus arbiter per cell
     std::string busSpec;    // empty keeps the BusConfig defaults
+    bool steer = false;     // per-cell steering weights
+    std::string steerSpec;  // --steer spec (grammar: docs/STEERING.md)
 };
 
 bool
@@ -152,6 +162,12 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--bus", v)) {
             o.bus = true;
             o.busSpec = v;
+        } else if (std::strcmp(a, "--steer") == 0) {
+            fatal("--steer needs a spec, e.g. --steer=tuned or "
+                  "--steer=comm=12,balance=0.6 (see docs/STEERING.md)");
+        } else if (matchValue(a, "--steer", v)) {
+            o.steer = true;
+            o.steerSpec = v;
         } else if (std::strcmp(a, "--list") == 0) {
             o.list = true;
         } else {
@@ -332,14 +348,25 @@ reportFailedCells(const bench::ExperimentRun &run)
 int
 runBench(const Options &o)
 {
+    part::SteeringSpec steer_spec;
+    part::SteeringOverrides steer_ovr;
+    if (o.steer)
+        steer_spec = part::parseSteeringSpec(o.steerSpec, steer_ovr);
+
     {
         std::set<std::string> active;
         if (o.sample)
             active.insert("--sample");
         if (o.cpiStack)
             active.insert("--cpi-stack");
+        if (o.steer)
+            active.insert("--steer");
+        if (o.steer && steer_spec.adaptive)
+            active.insert("--steer=adaptive");
         cli::checkFlagConflicts("fgstp_bench",
                                 cli::benchConflictRules(), active);
+        cli::checkFlagRequirements("fgstp_bench",
+                                   cli::benchRequirementRules(), active);
     }
 
     bench::RunParams params = o.params;
@@ -352,6 +379,15 @@ runBench(const Options &o)
         if (!o.sampleSpec.empty())
             params.sample = sample::parseSampleSpec(o.sampleSpec);
         bench::setCellSampling(params.sample, true);
+    }
+    if (o.steer) {
+        params.steer = true;
+        params.steerSpec = steer_spec;
+        bench::setCellSteering(steer_spec, steer_ovr, true);
+        std::fprintf(stderr, "fgstp_bench: steering Fg-STP cells: %s\n",
+                     steer_spec.tuned
+                         ? "tuned per-benchmark table"
+                         : steer_spec.weights.describe().c_str());
     }
 
     std::vector<const bench::Experiment *> selected;

@@ -100,6 +100,25 @@ withCellBus(part::FgstpConfig cfg)
     return cfg;
 }
 
+// ---- per-cell steering state ----------------------------------------------
+
+std::atomic<bool> cellSteerOn{false};
+std::mutex cellSteerMutex;
+part::SteeringSpec cellSteerSpec;     // guarded by cellSteerMutex
+part::SteeringOverrides cellSteerOvr; // guarded by cellSteerMutex
+
+/** Folds the cell steering weights into an Fg-STP configuration. */
+part::FgstpConfig
+withCellSteer(part::FgstpConfig cfg, const std::string &bench)
+{
+    if (cellSteerOn.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(cellSteerMutex);
+        cfg.steer = part::resolveSteeringWeights(cellSteerSpec,
+                                                 cellSteerOvr, bench);
+    }
+    return cfg;
+}
+
 // ---- per-cell observability collector ------------------------------------
 
 std::atomic<bool> cellObsEnabled{false};
@@ -169,6 +188,34 @@ runMachine(sim::Machine &m, const std::string &bench, std::uint64_t seed,
         spec = cellSamplingSpec;
     }
     sample::Sampler sampler(m, spec);
+
+    // Online repartitioning: when adaptive steering is on and this is
+    // an Fg-STP machine, refit the weights from each measured
+    // interval's CPI stacks (still live in the monitors at hook
+    // time). Purely cell-local state, so any --jobs schedule runs the
+    // identical weight sequence.
+    if (cellSteerOn.load(std::memory_order_relaxed)) {
+        part::SteeringSpec sp;
+        {
+            std::lock_guard<std::mutex> lock(cellSteerMutex);
+            sp = cellSteerSpec;
+        }
+        auto *fm = dynamic_cast<part::FgstpMachine *>(&m);
+        if (sp.adaptive && fm) {
+            sampler.setIntervalHook(
+                [fm](std::size_t, const sample::Interval &) {
+                    obs::CpiStack stacks[2];
+                    for (unsigned c = 0; c < 2; ++c) {
+                        if (const obs::CoreMonitor *mon = fm->monitor(c))
+                            stacks[c] = mon->cpi();
+                    }
+                    const auto prof = part::profileFrom(stacks, 2);
+                    fm->applySteeringWeights(part::adaptSteeringWeights(
+                        fm->steeringWeights(), prof));
+                });
+        }
+    }
+
     const sample::SampleResult r = sampler.run(insts);
 
     CellSampling rec;
@@ -285,7 +332,8 @@ runFgstp(const std::string &bench, const sim::MachinePreset &p,
          std::uint64_t seed)
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
-    part::FgstpMachine m(p.core, p.memory, withCellBus(cfg), w);
+    part::FgstpMachine m(p.core, p.memory,
+                         withCellSteer(withCellBus(cfg), bench), w);
     const auto checker = maybeChecker(m, bench, seed);
     maybeInject(m, seed);
     maybeMonitor(m);
@@ -303,7 +351,8 @@ runFgstpFull(const std::string &bench, const sim::MachinePreset &p,
     r.workload = std::make_unique<workload::SyntheticWorkload>(
         workload::profileByName(bench), seed);
     r.machine = std::make_unique<part::FgstpMachine>(
-        p.core, p.memory, withCellBus(cfg), *r.workload);
+        p.core, p.memory, withCellSteer(withCellBus(cfg), bench),
+        *r.workload);
     r.checker = maybeChecker(*r.machine, bench, seed);
     maybeInject(*r.machine, seed);
     maybeMonitor(*r.machine);
@@ -356,6 +405,31 @@ cellBusConfig()
 {
     std::lock_guard<std::mutex> lock(cellBusMutex);
     return cellBusCfg;
+}
+
+void
+setCellSteering(const part::SteeringSpec &spec,
+                const part::SteeringOverrides &overrides, bool on)
+{
+    {
+        std::lock_guard<std::mutex> lock(cellSteerMutex);
+        cellSteerSpec = spec;
+        cellSteerOvr = overrides;
+    }
+    cellSteerOn.store(on, std::memory_order_relaxed);
+}
+
+bool
+cellSteeringEnabled()
+{
+    return cellSteerOn.load(std::memory_order_relaxed);
+}
+
+part::SteeringSpec
+cellSteeringSpec()
+{
+    std::lock_guard<std::mutex> lock(cellSteerMutex);
+    return cellSteerSpec;
 }
 
 void

@@ -151,6 +151,23 @@ void setCellBus(const uncore::BusConfig &cfg, bool on);
 bool cellBusEnabled();
 uncore::BusConfig cellBusConfig();
 
+// ---- per-cell steering weights ---------------------------------------------
+
+/**
+ * Process-wide per-cell steering configuration, mirroring setCellBus:
+ * when on, every Fg-STP machine the run helpers construct resolves
+ * its partitioner cost-model weights from `spec` — fixed explicit
+ * weights, the per-benchmark offline-tuned table (`tuned`), and/or
+ * online refitting per sampling interval (`adaptive`; only effective
+ * when per-cell sampling is also on). Off (the default) keeps every
+ * cell bit-identical to the fixed default weights. Machines without a
+ * partition unit are never affected. See docs/STEERING.md.
+ */
+void setCellSteering(const part::SteeringSpec &spec,
+                     const part::SteeringOverrides &overrides, bool on);
+bool cellSteeringEnabled();
+part::SteeringSpec cellSteeringSpec();
+
 // ---- per-cell observability ------------------------------------------------
 
 /** One experiment cell's CPI-stack measurement. */

@@ -44,6 +44,8 @@ struct RunParams
     bool sampled = false;               ///< SMARTS-style sampled cells
     sample::SampleSpec sample;          ///< schedule when sampled
     uncore::BusConfig bus;              ///< shared bus when bus.enabled
+    bool steer = false;                 ///< per-cell steering weights on
+    part::SteeringSpec steerSpec;       ///< resolved --steer spec
 };
 
 /**

@@ -52,8 +52,8 @@ main(int argc, char **argv)
             auto cfg = preset.fgstp();
             cfg.windowSize = win;
             cfg.link.latency = lat;
-            cfg.estCommCost =
-                static_cast<std::uint32_t>(2 * std::max<Cycle>(lat, 4));
+            cfg.steer.commCost =
+                static_cast<double>(2 * std::max<Cycle>(lat, 4));
 
             workload::SyntheticWorkload w(profile, seed);
             part::FgstpMachine m(preset.core, preset.memory, cfg, w);

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check every relative markdown link in the repo's documentation.
+
+Walks the repo's *.md files (top level plus docs/), extracts
+``[text](target)`` links, and verifies that each relative target
+resolves to an existing file. Anchors (``#section``) are checked
+against the target file's headings. External links (http/https/...)
+are skipped — CI must not depend on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link, ``file:line: message``).
+
+Usage: scripts/check_docs_links.py [REPO_ROOT]
+"""
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE = re.compile(r"^(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def anchors_of(path):
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        text = re.sub(r"[`*_]", "", m.group(1).strip())
+        slug = re.sub(r"[^\w\- ]", "", text.lower())
+        slugs.add(re.sub(r"\s+", "-", slug.strip()))
+    return slugs
+
+
+def check_file(md, errors):
+    in_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else (
+                md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{md}:{lineno}: broken link -> {target}")
+                continue
+            if anchor and dest.suffix == ".md":
+                if anchor.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{md}:{lineno}: missing anchor -> {target}")
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = sorted(root.glob("*.md")) + sorted(root.glob("docs/*.md"))
+    if not files:
+        print(f"{root}: no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    for md in files:
+        check_file(md, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_docs_links: {len(files)} files, "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Execute the shell examples in docs/CLI.md against the built tools.
+
+Documentation that shows commands must show commands that run. This
+script extracts every ``sh``-fenced block from docs/CLI.md (and
+docs/STEERING.md), keeps the lines that invoke one of the three
+binaries, and runs each in a scratch directory with ``--insts``
+clamped down so the whole pass takes seconds. Any non-zero exit —
+an option a parser no longer accepts, a renamed experiment, a spec
+the grammar rejects — fails the script, so stale examples cannot
+survive CI.
+
+Non-tool lines inside the blocks (``diff``, pipes into helper
+commands) are skipped: they illustrate workflows on outputs this
+script does not produce pairwise.
+
+Usage: scripts/docs_cli_smoke.py BUILD_DIR [REPO_ROOT]
+"""
+
+import pathlib
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+DOCS = ("docs/CLI.md", "docs/STEERING.md")
+TOOLS = ("fgstp_sim", "fgstp_trace", "fgstp_bench")
+CLAMP_INSTS = "2500"
+# Keep the big sampled examples meaningful: the schedule must fit
+# inside the clamped instruction budget.
+CLAMP_SAMPLE = "ff=600,warmup=150,measure=150"
+
+
+def fenced_commands(md):
+    """Yield (lineno, command) for tool invocations in sh fences."""
+    lines = md.read_text(encoding="utf-8").splitlines()
+    in_sh = False
+    buf, start = "", 0
+    for lineno, line in enumerate(lines, start=1):
+        if re.match(r"^```", line):
+            in_sh = line.strip() == "```sh"
+            continue
+        if not in_sh:
+            continue
+        if buf:
+            buf += " " + line.strip().rstrip("\\").strip()
+        else:
+            buf, start = line.strip(), lineno
+        if buf.endswith("\\"):
+            buf = buf.rstrip("\\").strip()
+            continue
+        if buf:
+            yield start, buf
+        buf = ""
+
+
+def rewrite(cmd, build_dir):
+    """Clamp a documented command to smoke-test size."""
+    cmd = re.sub(r"--insts=\d+", f"--insts={CLAMP_INSTS}", cmd)
+    if "--insts=" not in cmd:
+        cmd += f" --insts={CLAMP_INSTS}"
+    cmd = re.sub(r"--sample='[^']*'", f"--sample='{CLAMP_SAMPLE}'", cmd)
+    cmd = cmd.replace('"$(nproc)"', "2")
+    for tool, path in build_dir.items():
+        cmd = re.sub(rf"^{tool}\b", str(path), cmd)
+    return cmd
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    build = pathlib.Path(sys.argv[1]).resolve()
+    root = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else ".").resolve()
+    tools = {
+        "fgstp_sim": build / "src/sim/fgstp_sim",
+        "fgstp_trace": build / "src/sim/fgstp_trace",
+        "fgstp_bench": build / "bench/fgstp_bench",
+    }
+    for name, path in tools.items():
+        if not path.exists():
+            print(f"missing binary: {path} (build first)", file=sys.stderr)
+            return 2
+
+    ran = 0
+    with tempfile.TemporaryDirectory(prefix="docs-smoke-") as scratch:
+        for doc in DOCS:
+            md = root / doc
+            for lineno, raw in fenced_commands(md):
+                first = shlex.split(raw)[0] if raw else ""
+                if first not in TOOLS:
+                    continue
+                cmd = rewrite(raw, tools)
+                print(f"[{doc}:{lineno}] {raw}")
+                proc = subprocess.run(
+                    cmd, shell=True, cwd=scratch,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.PIPE)
+                if proc.returncode != 0:
+                    sys.stderr.write(proc.stderr.decode(errors="replace"))
+                    print(f"{doc}:{lineno}: documented command failed "
+                          f"(exit {proc.returncode}): {raw}",
+                          file=sys.stderr)
+                    return 1
+                ran += 1
+    print(f"docs_cli_smoke: {ran} documented command(s) ran clean")
+    return 0 if ran else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,18 @@ struct ConflictRule
     const char *why;
 };
 
+/**
+ * One flag that is meaningless without another, and the reason. The
+ * dual of ConflictRule: `flag` is rejected unless `requires` is also
+ * active.
+ */
+struct RequirementRule
+{
+    const char *flag;
+    const char *requires_;
+    const char *why;
+};
+
 /** The fgstp_sim rule table. */
 inline const std::vector<ConflictRule> &
 simConflictRules()
@@ -40,6 +52,20 @@ simConflictRules()
          "the per-interval resetStats() would shred the event trace"},
         {"--sample", "--eventlog",
          "the per-interval resetStats() would shred the event trace"},
+        {"--steer", "--chunk",
+         "the chunk-granularity strawman has no steering cost model"},
+    };
+    return rules;
+}
+
+/** The fgstp_sim requirement table. */
+inline const std::vector<RequirementRule> &
+simRequirementRules()
+{
+    static const std::vector<RequirementRule> rules{
+        {"--steer=adaptive", "--sample",
+         "online repartitioning recomputes weights at measured "
+         "sampling-interval boundaries"},
     };
     return rules;
 }
@@ -52,6 +78,18 @@ benchConflictRules()
         {"--sample", "--cpi-stack",
          "--sample resets monitors at every interval boundary and the "
          "--cpi-stack report needs a full run"},
+    };
+    return rules;
+}
+
+/** The fgstp_bench requirement table. */
+inline const std::vector<RequirementRule> &
+benchRequirementRules()
+{
+    static const std::vector<RequirementRule> rules{
+        {"--steer=adaptive", "--sample",
+         "online repartitioning recomputes weights at measured "
+         "sampling-interval boundaries"},
     };
     return rules;
 }
@@ -76,6 +114,29 @@ checkFlagConflicts(const std::string &tool,
     for (const ConflictRule &r : rules) {
         if (active.count(r.a) && active.count(r.b))
             throw ConfigError(conflictMessage(tool, r));
+    }
+}
+
+/** The uniform message a violated requirement produces. */
+inline std::string
+requirementMessage(const std::string &tool, const RequirementRule &r)
+{
+    return tool + ": " + r.flag + " requires " + r.requires_ + " (" +
+           r.why + ")";
+}
+
+/**
+ * Throws ConfigError for the first rule whose `flag` is active while
+ * its `requires_` flag is not.
+ */
+inline void
+checkFlagRequirements(const std::string &tool,
+                      const std::vector<RequirementRule> &rules,
+                      const std::set<std::string> &active)
+{
+    for (const RequirementRule &r : rules) {
+        if (active.count(r.flag) && !active.count(r.requires_))
+            throw ConfigError(requirementMessage(tool, r));
     }
 }
 

@@ -96,6 +96,13 @@ class SampleSpecError : public SimError
     using SimError::SimError;
 };
 
+/** A --steer specification string failed to parse. */
+class SteeringSpecError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
 /**
  * A sampled-simulation self-check failed: a measured interval's
  * CPI-stack sum did not equal its measured cycle count, so the

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "fgstp/steering.hh"
 #include "uncore/bus.hh"
 #include "uncore/link.hh"
 
@@ -103,35 +104,15 @@ struct FgstpConfig
     bool sharedPrediction = true;
 
     /**
-     * Estimated per-value communication cost (cycles) used by the
-     * partitioning heuristic; normally the link latency.
+     * The placement heuristic's cost-model weights (communication
+     * cost, load balance, hysteresis, PC affinity, critical-path
+     * bias). First-class so both CLIs can parse them from --steer,
+     * the steer_sweep experiment can sweep them, and the adaptive
+     * mode can retune them per sampling interval. The defaults are
+     * byte-identical to the historical hand-set values; see
+     * fgstp/steering.hh and docs/STEERING.md.
      */
-    std::uint32_t estCommCost = 8;
-
-    /**
-     * Load-balance pressure: how many cycles of estimated imbalance
-     * the heuristic tolerates before steering against dependences.
-     */
-    double balanceWeight = 0.4;
-
-    /**
-     * Hysteresis: cost (cycles) of steering away from the core the
-     * previous instruction went to. Produces contiguous runs, which
-     * keep short-distance dependences local and fetch groups dense;
-     * the dependence/balance terms still break runs where it pays.
-     */
-    double switchCost = 1.0;
-
-    /**
-     * Placement stickiness per static PC (cycles of cost advantage
-     * for the core that ran this PC last time). Models the partition
-     * cache: decisions are indexed by static code, so the same
-     * instruction keeps executing on the same core and its cache
-     * working set stays in one L1D. Off by default: the dependence +
-     * balance heuristic wins on parallel loops (the affinity ablation
-     * bench quantifies the trade-off).
-     */
-    double affinityWeight = 0.0;
+    SteeringWeights steer;
 };
 
 } // namespace fgstp::part

@@ -95,6 +95,22 @@ class FgstpMachine : public sim::Machine
     Cycle currentCycle() const { return cycle; }
 
     /**
+     * Installs new steering weights on the partition unit (the
+     * online repartitioning hook; see docs/STEERING.md). Affects
+     * only instructions routed after the call — the buffered window
+     * keeps its placements, so squash replay stays deterministic.
+     */
+    void
+    applySteeringWeights(const SteeringWeights &w)
+    {
+        cfg.steer = w;
+        partitioner->setWeights(w);
+    }
+
+    /** The weights currently steering the partition unit. */
+    const SteeringWeights &steeringWeights() const { return cfg.steer; }
+
+    /**
      * Arms seeded fault injection (src/harden): forced store-set sync
      * drops, steering-mask bit flips, and operand-link packet
      * delay/drop per `plan`. Call before run(). Without this call the

@@ -162,7 +162,7 @@ Partitioner::nextBatch(std::vector<RoutedInst> &out)
                     present = s.carriedMask & (1u << c);
                 }
                 if (!present)
-                    t += cfg.estCommCost;
+                    t += cfg.steer.commCost;
                 ready = std::max(ready, t);
             }
             src_ready[c] = ready;
@@ -174,8 +174,22 @@ Partitioner::nextBatch(std::vector<RoutedInst> &out)
                 std::max(0.0, coreLoad[c] - coreLoad[1 - c]);
             const double slot_pressure =
                 std::max(0.0, coreLoad[c] - ready);
-            cost[c] = start + cfg.balanceWeight *
+            cost[c] = start + cfg.steer.balance *
                 std::min(imbalance, slot_pressure);
+        }
+
+        // Critical-path bias: charge the core whose sources arrive
+        // later for the *avoidable* operand wait. start = max(ready,
+        // load) already prefers early readiness, but the preference
+        // vanishes whenever slot load dominates; this term keeps
+        // dependence chains with their producers even on busy cores.
+        // critPath == 0 (the default) leaves cost[] untouched.
+        if (cfg.steer.critPath > 0.0) {
+            const double min_ready =
+                std::min(src_ready[0], src_ready[1]);
+            for (CoreId c = 0; c < 2; ++c)
+                cost[c] += cfg.steer.critPath *
+                    (src_ready[c] - min_ready);
         }
 
         // Partition-cache stickiness: the core that ran this static
@@ -183,14 +197,14 @@ Partitioner::nextBatch(std::vector<RoutedInst> &out)
         // stay in one L1D. Memory ops value it double.
         if (auto home = pcHome.find(e.inst.pc); home != pcHome.end()) {
             const double bonus = e.inst.isMem()
-                ? 2.0 * cfg.affinityWeight : cfg.affinityWeight;
+                ? 2.0 * cfg.steer.affinity : cfg.steer.affinity;
             cost[home->second] -= bonus;
         }
 
         // Run hysteresis: prefer the previous instruction's core so
         // placements form contiguous runs.
         if (last_core < 2)
-            cost[1 - last_core] += cfg.switchCost;
+            cost[1 - last_core] += cfg.steer.switchCost;
 
         CoreId chosen;
         if (cost[0] == cost[1])

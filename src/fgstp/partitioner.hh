@@ -99,6 +99,16 @@ class PartitionerBase
 
     /** Zeroes the partition counters; routing state persists. */
     virtual void resetStats() = 0;
+
+    /**
+     * Installs new steering weights for all *future* routing
+     * decisions (the online repartitioning hook). Already-routed
+     * instructions keep their placement — the machine buffers them
+     * until retirement, so a squash replays identical routing and
+     * determinism in stream position is preserved. The default is a
+     * no-op: the chunk-granularity strawman has no cost model.
+     */
+    virtual void setWeights(const SteeringWeights &) {}
 };
 
 class Partitioner : public PartitionerBase
@@ -121,6 +131,11 @@ class Partitioner : public PartitionerBase
     const PartitionStats &stats() const override { return _stats; }
 
     void resetStats() override { _stats = PartitionStats{}; }
+
+    void setWeights(const SteeringWeights &w) override { cfg.steer = w; }
+
+    /** The weights currently steering placement. */
+    const SteeringWeights &weights() const { return cfg.steer; }
 
     /** Sequence number the next produced instruction will carry. */
     InstSeqNum nextSeq() const { return next_seq; }

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Steering weights: the partitioner's cost-model knobs as a
+ * first-class, parseable configuration.
+ *
+ * The greedy list-scheduling heuristic (fgstp/partitioner.cc, pass 1)
+ * scores each core as
+ *
+ *   cost[c] = start
+ *           + balance  * min(imbalance, slot_pressure)
+ *           + critPath * (src_ready[c] - min(src_ready))
+ *           - affinity * (pc ran here last ? 1 : 0)   (2x for memory ops)
+ *           + switchCost * (c != previous core ? 1 : 0)
+ *
+ * with `commCost` added to a source's readiness estimate when its
+ * value is absent on core c. Those five weights used to be hand-set
+ * fields scattered through FgstpConfig; SteeringWeights gathers them
+ * so they can be parsed from a CLI spec, swept offline
+ * (fgstp_bench --experiment=steer_sweep), fitted to a measured CPI
+ * profile, and retuned online between sampling intervals. The whole
+ * scheme — cost model, fit method, determinism guarantees — is
+ * documented in docs/STEERING.md.
+ */
+
+#ifndef FGSTP_FGSTP_STEERING_HH
+#define FGSTP_FGSTP_STEERING_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/cpi_stack.hh"
+
+namespace fgstp::part
+{
+
+/**
+ * The partitioner's cost-model weights. The defaults reproduce the
+ * pre-tuning behavior bit-for-bit (critPath = 0 disables the one term
+ * the tuning work added), so a default-constructed SteeringWeights is
+ * byte-identical to the historical hand-set configuration.
+ */
+struct SteeringWeights
+{
+    /**
+     * Estimated per-value communication cost (cycles) added to a
+     * source's readiness when its value is absent on the candidate
+     * core; normally a small multiple of the link latency.
+     */
+    double commCost = 8.0;
+
+    /**
+     * Load-balance pressure: how many cycles of estimated imbalance
+     * the heuristic tolerates before steering against dependences.
+     */
+    double balance = 0.4;
+
+    /**
+     * Hysteresis: cost (cycles) of steering away from the core the
+     * previous instruction went to. Produces contiguous runs, which
+     * keep short-distance dependences local and fetch groups dense.
+     */
+    double switchCost = 1.0;
+
+    /**
+     * Placement stickiness per static PC (cycles of cost advantage
+     * for the core that ran this PC last time, doubled for memory
+     * ops). Models the partition cache: the same static instruction
+     * keeps executing on the same core so its working set stays in
+     * one L1D.
+     */
+    double affinity = 0.0;
+
+    /**
+     * Critical-path bias: extra cost per cycle of *avoidable* operand
+     * wait — the difference between this core's source-readiness and
+     * the better core's. `start = max(ready, load)` already prefers
+     * early readiness, but the difference vanishes whenever issue-slot
+     * load dominates; critPath reintroduces it so dependence chains
+     * stay where their producers are even on busy cores. 0 (the
+     * default) switches the term off entirely.
+     */
+    double critPath = 0.0;
+
+    bool
+    operator==(const SteeringWeights &o) const
+    {
+        return commCost == o.commCost && balance == o.balance &&
+               switchCost == o.switchCost && affinity == o.affinity &&
+               critPath == o.critPath;
+    }
+    bool operator!=(const SteeringWeights &o) const { return !(*this == o); }
+
+    /**
+     * Renders the weights in the --steer spec grammar
+     * ("comm=8,balance=0.4,switch=1,affinity=0,crit=0"); the result
+     * round-trips through parseSteeringSpec().
+     */
+    std::string describe() const;
+};
+
+/**
+ * A parsed --steer specification: a weight set plus the two modifier
+ * tokens. `tuned` starts from the per-benchmark offline-fitted table
+ * (tunedWeightsFor) instead of the defaults; `adaptive` additionally
+ * retunes the weights online from each measured sampling interval's
+ * CPI stack (requires --sample; enforced by the CLI rule tables in
+ * src/common/cli_conflicts.hh).
+ */
+struct SteeringSpec
+{
+    SteeringWeights weights;
+    bool tuned = false;
+    bool adaptive = false;
+};
+
+/**
+ * Parses a --steer spec: a comma-separated list of `tuned`,
+ * `adaptive`, and `key=value` items with keys
+ * comm | balance | switch | affinity | crit (any subset, any order;
+ * absent keys keep the defaults, explicit keys override a `tuned`
+ * base at lookup time). Throws SteeringSpecError on an unknown key
+ * or token, a malformed value, or a negative weight.
+ */
+SteeringSpec parseSteeringSpec(const std::string &spec);
+
+/** The weight keys a spec explicitly set (for tuned-base overrides). */
+struct SteeringOverrides
+{
+    bool commCost = false;
+    bool balance = false;
+    bool switchCost = false;
+    bool affinity = false;
+    bool critPath = false;
+
+    bool
+    any() const
+    {
+        return commCost || balance || switchCost || affinity ||
+               critPath;
+    }
+};
+
+/**
+ * Like parseSteeringSpec, additionally reporting which keys the spec
+ * set explicitly so callers can overlay them on a tuned base.
+ */
+SteeringSpec parseSteeringSpec(const std::string &spec,
+                               SteeringOverrides &overrides);
+
+/**
+ * The weights a parsed spec means for `bench`: spec.weights as-is, or
+ * — when the spec said `tuned` — the benchmark's offline-tuned table
+ * entry with the spec's explicitly-set keys overlaid on top.
+ */
+SteeringWeights resolveSteeringWeights(const SteeringSpec &spec,
+                                       const SteeringOverrides &overrides,
+                                       std::string_view bench);
+
+/**
+ * The offline-tuned per-benchmark weight table, produced by
+ * `fgstp_bench --experiment=steer_sweep` on the medium design point
+ * (EXPERIMENTS.md records the run; docs/STEERING.md the method). A
+ * benchmark absent from the table — or one where the sweep found no
+ * candidate beating the defaults — gets the defaults back.
+ */
+SteeringWeights tunedWeightsFor(std::string_view bench);
+
+/** One row of the baked tuned table, for reports and tests. */
+struct TunedEntry
+{
+    const char *bench;
+    SteeringWeights weights;
+};
+
+/** The full baked tuned table (benches with non-default weights). */
+const std::vector<TunedEntry> &tunedSteeringTable();
+
+// ---- CPI-profile fit --------------------------------------------------------
+
+/**
+ * A machine-level CPI profile: the fractions of total cycles the
+ * cost-model-relevant buckets account for, summed over both cores.
+ * Derived from obs::CpiStack via profileFrom().
+ */
+struct CpiProfile
+{
+    double crossCoreWait = 0.0; ///< CrossCoreOperandWait fraction
+    double busContention = 0.0; ///< its bus-queue sub-share
+    double commitGating = 0.0;  ///< CommitGating fraction
+    double memory = 0.0;        ///< Memory fraction
+};
+
+/** Sums per-core stacks into one machine-level profile. */
+CpiProfile profileFrom(const obs::CpiStack *stacks, std::size_t n);
+
+/**
+ * The offline fit: maps a measured CPI profile to steering weights,
+ * starting from `base`. High cross-core operand wait raises the
+ * estimated communication cost and the critical-path bias (cut fewer
+ * edges, keep chains local); high commit gating raises the balance
+ * pressure (the commit token stalls when one core runs ahead); high
+ * memory fraction turns on PC affinity (keep working sets in one
+ * L1D). The exact piecewise-linear rules and their calibration are
+ * documented in docs/STEERING.md.
+ */
+SteeringWeights fitSteeringWeights(const CpiProfile &profile,
+                                   const SteeringWeights &base);
+
+/**
+ * The online repartitioning step: moves `current` halfway toward the
+ * fit target for `profile` (exponential smoothing, so one noisy
+ * interval cannot slam the weights). Called between sampling
+ * intervals; deterministic in (current, profile).
+ */
+SteeringWeights adaptSteeringWeights(const SteeringWeights &current,
+                                     const CpiProfile &profile);
+
+} // namespace fgstp::part
+
+#endif // FGSTP_FGSTP_STEERING_HH

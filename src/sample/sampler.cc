@@ -246,6 +246,8 @@ Sampler::run(std::uint64_t num_insts)
         done = after.instructions;
         if (iv.instructions) {
             verifyInterval(machine, iv.cycles, res.intervals.size());
+            if (intervalHook)
+                intervalHook(res.intervals.size(), iv);
             res.intervals.push_back(iv);
         }
         if (ended) {

@@ -30,6 +30,7 @@
 #define FGSTP_SAMPLE_SAMPLER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -154,10 +155,27 @@ class Sampler
 
     const SampleSpec &spec() const { return _spec; }
 
+    /**
+     * Called once per recorded interval, right after its self-check,
+     * with the interval's index and observation — while the machine's
+     * monitors still hold that interval's statistics. This is the
+     * online-steering attachment point (docs/STEERING.md): the hook
+     * may reconfigure the machine for *subsequent* units but must not
+     * advance it. Unset (the default) changes nothing — runs without
+     * a hook are byte-identical to runs before the hook existed.
+     */
+    void
+    setIntervalHook(
+        std::function<void(std::size_t, const Interval &)> hook)
+    {
+        intervalHook = std::move(hook);
+    }
+
   private:
     sim::Machine &machine;
     SampleSpec _spec;
     std::uint64_t done = 0; ///< cumulative instructions advanced
+    std::function<void(std::size_t, const Interval &)> intervalHook;
 };
 
 } // namespace fgstp::sample

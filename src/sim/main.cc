@@ -10,6 +10,10 @@
  * Knobs (fgstp): --window=N --link-latency=N --chunk=N (chunk mode)
  *                --no-replication --no-mem-spec --no-shared-pred
  *                --replicate-branches
+ * Steering:      --steer=SPEC (partitioner cost-model weights; items
+ *                tuned | adaptive | comm= | balance= | switch= |
+ *                affinity= | crit=; fgstp only, adaptive needs
+ *                --sample; see docs/STEERING.md)
  * Uncore:        --bus[=SPEC] (shared-bus arbiter for operand +
  *                              coherence traffic; grammar in
  *                              docs/UNCORE.md, all machines)
@@ -80,6 +84,9 @@ struct Options
     bool bus = false;         // shared uncore bus arbiter
     std::string busSpec;      // bus config override (empty = defaults)
 
+    bool steer = false;       // explicit steering-weight config
+    std::string steerSpec;    // --steer spec (grammar: docs/STEERING.md)
+
     std::uint32_t window = 0;
     Cycle linkLatency = 0;
     std::uint32_t chunk = 0;
@@ -141,6 +148,12 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--bus", v)) {
             o.bus = true;
             o.busSpec = v;
+        } else if (std::strcmp(a, "--steer") == 0) {
+            fatal("--steer needs a spec, e.g. --steer=tuned or "
+                  "--steer=comm=12,balance=0.6 (see docs/STEERING.md)");
+        } else if (matchValue(a, "--steer", v)) {
+            o.steer = true;
+            o.steerSpec = v;
         } else if (matchValue(a, "--inject", v)) {
             o.injectSpec = v;
         } else if (matchValue(a, "--watchdog", v)) {
@@ -179,6 +192,11 @@ parse(int argc, char **argv)
 int
 runSim(Options o)
 {
+    part::SteeringSpec steer_spec;
+    part::SteeringOverrides steer_ovr;
+    if (o.steer)
+        steer_spec = part::parseSteeringSpec(o.steerSpec, steer_ovr);
+
     {
         std::set<std::string> active;
         if (o.sample)
@@ -187,8 +205,16 @@ runSim(Options o)
             active.insert("--pipeview");
         if (!o.eventlogFile.empty())
             active.insert("--eventlog");
+        if (o.steer)
+            active.insert("--steer");
+        if (o.steer && steer_spec.adaptive)
+            active.insert("--steer=adaptive");
+        if (o.chunk)
+            active.insert("--chunk");
         cli::checkFlagConflicts("fgstp_sim", cli::simConflictRules(),
                                 active);
+        cli::checkFlagRequirements("fgstp_sim",
+                                   cli::simRequirementRules(), active);
     }
 
     const uncore::BusConfig bus_cfg = o.bus
@@ -240,6 +266,13 @@ runSim(Options o)
         cfg.memSpeculation = !o.noMemSpec;
         cfg.sharedPrediction = !o.noSharedPred;
         cfg.replicateBranches = o.replicateBranches;
+        if (o.steer) {
+            cfg.steer = part::resolveSteeringWeights(
+                steer_spec, steer_ovr, o.bench);
+            std::fprintf(stderr, "fgstp_sim: steering weights: %s%s\n",
+                         cfg.steer.describe().c_str(),
+                         steer_spec.adaptive ? " (adaptive)" : "");
+        }
         auto fm = std::make_unique<part::FgstpMachine>(
             preset.core, preset.memory, cfg, source);
         fgstp_machine = fm.get();
@@ -247,6 +280,11 @@ runSim(Options o)
     } else {
         fatal("unknown machine '", o.machine,
               "' (single | big | fusion | fgstp)");
+    }
+
+    if (o.steer && !fgstp_machine) {
+        fatal("--steer configures the Fg-STP partition unit; "
+              "use --machine=fgstp");
     }
 
     // The Fg-STP machine builds its bus from cfg.bus; the single-core
@@ -306,6 +344,24 @@ runSim(Options o)
             ? sample::SampleSpec{}
             : sample::parseSampleSpec(o.sampleSpec);
         sample::Sampler sampler(*machine, spec);
+        if (o.steer && steer_spec.adaptive) {
+            // Online repartitioning: after each measured interval,
+            // refit the steering weights from that interval's CPI
+            // stacks (still live in the monitors at hook time) and
+            // install them for the next unit's routing.
+            part::FgstpMachine *fm = fgstp_machine;
+            sampler.setIntervalHook(
+                [fm](std::size_t, const sample::Interval &) {
+                    obs::CpiStack stacks[2];
+                    for (unsigned c = 0; c < 2; ++c) {
+                        if (const obs::CoreMonitor *mon = fm->monitor(c))
+                            stacks[c] = mon->cpi();
+                    }
+                    const auto prof = part::profileFrom(stacks, 2);
+                    fm->applySteeringWeights(part::adaptSteeringWeights(
+                        fm->steeringWeights(), prof));
+                });
+        }
         sampled = sampler.run(o.insts);
         r.instructions = sampled.measuredInstructions();
         r.cycles = sampled.measuredCycles();
@@ -323,6 +379,11 @@ runSim(Options o)
                         sampled.detailedInstructions),
                     static_cast<unsigned long>(r.instructions),
                     static_cast<unsigned long>(r.cycles));
+        if (o.steer && steer_spec.adaptive && fgstp_machine) {
+            std::fprintf(
+                stderr, "fgstp_sim: final steering weights: %s\n",
+                fgstp_machine->steeringWeights().describe().c_str());
+        }
     } else {
         r = machine->run(o.insts);
         std::printf("%s %s %s: instructions=%lu cycles=%lu ipc=%.4f\n",

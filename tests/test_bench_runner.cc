@@ -142,7 +142,7 @@ TEST(JobSeed, SpreadsAcrossBenchmarks)
 TEST(Experiments, RegistryIsCompleteAndFindable)
 {
     const auto &all = bench::allExperiments();
-    EXPECT_EQ(all.size(), 13u);
+    EXPECT_EQ(all.size(), 14u);
     for (const auto &e : all) {
         EXPECT_EQ(bench::findExperiment(e.name), &e);
         EXPECT_FALSE(e.title.empty());
@@ -275,7 +275,9 @@ TEST(FlagConflicts, TablesCoverTheDocumentedPairs)
         has(cli::simConflictRules(), "--sample", "--eventlog"));
     EXPECT_TRUE(
         has(cli::benchConflictRules(), "--sample", "--cpi-stack"));
-    EXPECT_EQ(cli::simConflictRules().size(), 2u);
+    EXPECT_TRUE(
+        has(cli::simConflictRules(), "--steer", "--chunk"));
+    EXPECT_EQ(cli::simConflictRules().size(), 3u);
     EXPECT_EQ(cli::benchConflictRules().size(), 1u);
 }
 

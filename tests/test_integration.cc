@@ -228,7 +228,7 @@ TEST(ReproductionGuard, LinkLatencyDegradationIsGraceful)
     auto cycles_at = [&](Cycle lat) {
         auto cfg = p.fgstp();
         cfg.link.latency = lat;
-        cfg.estCommCost = static_cast<std::uint32_t>(
+        cfg.steer.commCost = static_cast<double>(
             2 * std::max<Cycle>(lat, 4));
         workload::SyntheticWorkload w(
             workload::profileByName("gcc"), 42);

@@ -238,7 +238,7 @@ TEST(Partitioner, BalanceWeightSpreadsLoad)
     // weight, the partitioner is forced to split it; with zero it
     // stays put.
     auto cfg = testCfg();
-    cfg.balanceWeight = 0.0;
+    cfg.steer.balance = 0.0;
     Partitioner *p0 = nullptr;
     routeAll(workload::chainTrace(1000), cfg, &p0);
     const double spread0 =
@@ -246,7 +246,7 @@ TEST(Partitioner, BalanceWeightSpreadsLoad)
                                      p0->stats().assigned[1])) /
         1000.0;
 
-    cfg.balanceWeight = 50.0;
+    cfg.steer.balance = 50.0;
     Partitioner *p1 = nullptr;
     routeAll(workload::chainTrace(1000), cfg, &p1);
     const double spread1 =

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for the steering auto-tuning layer (docs/STEERING.md):
+ * the --steer spec grammar, the offline-tuned table and CPI-profile
+ * fit, online weight adaptation, the CLI conflict/requirement rules,
+ * and the determinism contracts (off-mode equality, adaptive
+ * repeatability) the feature guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli_conflicts.hh"
+#include "common/error.hh"
+#include "fgstp/machine.hh"
+#include "fgstp/steering.hh"
+#include "obs/cpi_stack.hh"
+#include "sample/sampler.hh"
+#include "sim/presets.hh"
+#include "workload/generator.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+using part::SteeringOverrides;
+using part::SteeringSpec;
+using part::SteeringWeights;
+
+// ---- spec grammar ----------------------------------------------------------
+
+TEST(SteeringSpec, DefaultsMatchTheHandTunedWeights)
+{
+    const SteeringWeights w;
+    EXPECT_DOUBLE_EQ(w.commCost, 8.0);
+    EXPECT_DOUBLE_EQ(w.balance, 0.4);
+    EXPECT_DOUBLE_EQ(w.switchCost, 1.0);
+    EXPECT_DOUBLE_EQ(w.affinity, 0.0);
+    EXPECT_DOUBLE_EQ(w.critPath, 0.0);
+}
+
+TEST(SteeringSpec, ParsesExplicitWeights)
+{
+    SteeringOverrides ovr;
+    const auto spec =
+        part::parseSteeringSpec("comm=12,balance=0.6,crit=0.5", ovr);
+    EXPECT_FALSE(spec.tuned);
+    EXPECT_FALSE(spec.adaptive);
+    EXPECT_DOUBLE_EQ(spec.weights.commCost, 12.0);
+    EXPECT_DOUBLE_EQ(spec.weights.balance, 0.6);
+    EXPECT_DOUBLE_EQ(spec.weights.critPath, 0.5);
+    // Untouched keys keep the defaults.
+    EXPECT_DOUBLE_EQ(spec.weights.switchCost, 1.0);
+    EXPECT_DOUBLE_EQ(spec.weights.affinity, 0.0);
+    EXPECT_TRUE(ovr.commCost);
+    EXPECT_TRUE(ovr.balance);
+    EXPECT_TRUE(ovr.critPath);
+    EXPECT_FALSE(ovr.switchCost);
+    EXPECT_FALSE(ovr.affinity);
+}
+
+TEST(SteeringSpec, ParsesModesAndCombinations)
+{
+    EXPECT_TRUE(part::parseSteeringSpec("tuned").tuned);
+    EXPECT_TRUE(part::parseSteeringSpec("adaptive").adaptive);
+    const auto both = part::parseSteeringSpec("tuned,adaptive,switch=2");
+    EXPECT_TRUE(both.tuned);
+    EXPECT_TRUE(both.adaptive);
+    EXPECT_DOUBLE_EQ(both.weights.switchCost, 2.0);
+}
+
+TEST(SteeringSpec, DescribeRoundTripsThroughTheParser)
+{
+    SteeringWeights w;
+    w.commCost = 5.5;
+    w.affinity = 1.25;
+    w.critPath = 0.375;
+    std::string spec;
+    spec += "comm=" + std::to_string(w.commCost);
+    spec += ",balance=" + std::to_string(w.balance);
+    spec += ",switch=" + std::to_string(w.switchCost);
+    spec += ",affinity=" + std::to_string(w.affinity);
+    spec += ",crit=" + std::to_string(w.critPath);
+    const auto parsed = part::parseSteeringSpec(spec);
+    EXPECT_EQ(parsed.weights, w);
+    // describe() names every weight it parsed.
+    const auto d = parsed.weights.describe();
+    EXPECT_NE(d.find("comm=5.5"), std::string::npos);
+    EXPECT_NE(d.find("affinity=1.25"), std::string::npos);
+    EXPECT_NE(d.find("crit=0.375"), std::string::npos);
+}
+
+TEST(SteeringSpec, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(part::parseSteeringSpec(""), SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("bogus"), SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("bogus=1"), SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("comm="), SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("comm=abc"),
+                 SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("comm=1x"), SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("comm=-2"), SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("comm=inf"),
+                 SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("comm=nan"),
+                 SteeringSpecError);
+    EXPECT_THROW(part::parseSteeringSpec("comm=8,,balance=1"),
+                 SteeringSpecError);
+}
+
+// ---- tuned table and resolution --------------------------------------------
+
+TEST(TunedTable, EntriesNameRealBenchmarksWithFiniteWeights)
+{
+    EXPECT_FALSE(part::tunedSteeringTable().empty());
+    for (const auto &e : part::tunedSteeringTable()) {
+        const auto prof = workload::profileByName(e.bench);
+        EXPECT_EQ(prof.name, e.bench);
+        EXPECT_GT(e.weights.commCost, 0.0);
+        EXPECT_GE(e.weights.balance, 0.0);
+        EXPECT_GE(e.weights.switchCost, 0.0);
+        EXPECT_GE(e.weights.affinity, 0.0);
+        EXPECT_GE(e.weights.critPath, 0.0);
+    }
+}
+
+TEST(TunedTable, UnlistedBenchmarksFallBackToTheDefaults)
+{
+    EXPECT_EQ(part::tunedWeightsFor("sjeng"), SteeringWeights{});
+    EXPECT_EQ(part::tunedWeightsFor("no-such-bench"),
+              SteeringWeights{});
+}
+
+TEST(TunedTable, ExplicitKeysOverrideTheTunedBase)
+{
+    SteeringOverrides ovr;
+    const auto spec = part::parseSteeringSpec("tuned,comm=3", ovr);
+    const auto w =
+        part::resolveSteeringWeights(spec, ovr, "sphinx3");
+    EXPECT_DOUBLE_EQ(w.commCost, 3.0); // explicit wins
+    const auto base = part::tunedWeightsFor("sphinx3");
+    EXPECT_DOUBLE_EQ(w.affinity, base.affinity); // tuned base kept
+    EXPECT_DOUBLE_EQ(w.critPath, base.critPath);
+}
+
+TEST(TunedTable, ResolveWithoutTunedIgnoresTheTable)
+{
+    SteeringOverrides ovr;
+    const auto spec = part::parseSteeringSpec("comm=9", ovr);
+    const auto w =
+        part::resolveSteeringWeights(spec, ovr, "sphinx3");
+    EXPECT_DOUBLE_EQ(w.commCost, 9.0);
+    EXPECT_DOUBLE_EQ(w.affinity, 0.0);
+}
+
+// ---- CPI-profile fit -------------------------------------------------------
+
+/** Sets one cause counter of a stack directly. */
+void
+setCause(obs::CpiStack &s, obs::CpiCause c, std::uint64_t n)
+{
+    s.cycles[static_cast<std::size_t>(c)] = n;
+}
+
+TEST(SteeringFit, ProfileFromSumsAndNormalizesPerCoreStacks)
+{
+    obs::CpiStack stacks[2];
+    setCause(stacks[0], obs::CpiCause::Base, 50);
+    setCause(stacks[0], obs::CpiCause::CrossCoreOperandWait, 30);
+    setCause(stacks[0], obs::CpiCause::CommitGating, 20);
+    setCause(stacks[1], obs::CpiCause::Memory, 60);
+    setCause(stacks[1], obs::CpiCause::CommitGating, 40);
+    stacks[1].busContention = 10;
+    const auto p = part::profileFrom(stacks, 2);
+    EXPECT_DOUBLE_EQ(p.crossCoreWait, 30.0 / 200.0);
+    EXPECT_DOUBLE_EQ(p.busContention, 10.0 / 200.0);
+    EXPECT_DOUBLE_EQ(p.commitGating, 60.0 / 200.0);
+    EXPECT_DOUBLE_EQ(p.memory, 60.0 / 200.0);
+}
+
+TEST(SteeringFit, EmptyProfileKeepsTheBaseWeights)
+{
+    const auto w =
+        part::fitSteeringWeights(part::CpiProfile{}, SteeringWeights{});
+    EXPECT_DOUBLE_EQ(w.commCost, 8.0);
+    EXPECT_DOUBLE_EQ(w.critPath, 0.0);
+    EXPECT_DOUBLE_EQ(w.affinity, 0.0);
+}
+
+TEST(SteeringFit, CommunicationPressureRaisesCommCostMonotonically)
+{
+    part::CpiProfile lo, hi;
+    lo.crossCoreWait = 0.05;
+    hi.crossCoreWait = 0.30;
+    hi.busContention = 0.10;
+    const auto wlo = part::fitSteeringWeights(lo, SteeringWeights{});
+    const auto whi = part::fitSteeringWeights(hi, SteeringWeights{});
+    EXPECT_GT(whi.commCost, wlo.commCost);
+    EXPECT_GT(wlo.commCost, 8.0);
+    EXPECT_GT(whi.critPath, wlo.critPath);
+}
+
+TEST(SteeringFit, FitIsClampedToSaneRanges)
+{
+    part::CpiProfile extreme;
+    extreme.crossCoreWait = 1.0;
+    extreme.busContention = 1.0;
+    extreme.commitGating = 1.0;
+    extreme.memory = 1.0;
+    const auto w =
+        part::fitSteeringWeights(extreme, SteeringWeights{});
+    EXPECT_LE(w.commCost, 32.0);
+    EXPECT_LE(w.critPath, 1.0);
+    EXPECT_LE(w.balance, 2.0);
+    EXPECT_LE(w.affinity, 2.0);
+}
+
+TEST(SteeringFit, AdaptMovesHalfwayTowardTheFitAndIsDeterministic)
+{
+    part::CpiProfile prof;
+    prof.crossCoreWait = 0.2;
+    prof.commitGating = 0.3;
+    prof.memory = 0.4;
+    const SteeringWeights cur;
+    const auto a = part::adaptSteeringWeights(cur, prof);
+    const auto b = part::adaptSteeringWeights(cur, prof);
+    EXPECT_EQ(a, b); // pure function of (current, profile)
+    const auto target =
+        part::fitSteeringWeights(prof, SteeringWeights{});
+    EXPECT_DOUBLE_EQ(a.commCost,
+                     0.5 * (cur.commCost + target.commCost));
+    EXPECT_DOUBLE_EQ(a.balance, 0.5 * (cur.balance + target.balance));
+}
+
+// ---- CLI rule tables -------------------------------------------------------
+
+TEST(SteeringCli, RuleTablesCoverTheSteeringFlags)
+{
+    bool sim_conflict = false;
+    for (const auto &r : cli::simConflictRules())
+        sim_conflict |= std::string(r.a) == "--steer" &&
+                        std::string(r.b) == "--chunk";
+    EXPECT_TRUE(sim_conflict);
+
+    const auto has_requirement = [](const auto &rules) {
+        for (const auto &r : rules) {
+            if (std::string(r.flag) == "--steer=adaptive" &&
+                std::string(r.requires_) == "--sample")
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has_requirement(cli::simRequirementRules()));
+    EXPECT_TRUE(has_requirement(cli::benchRequirementRules()));
+}
+
+TEST(SteeringCli, RequirementCheckThrowsOnlyWhenUnmet)
+{
+    const auto rules = cli::simRequirementRules();
+    EXPECT_THROW(cli::checkFlagRequirements(
+                     "fgstp_sim", rules, {"--steer=adaptive"}),
+                 ConfigError);
+    EXPECT_NO_THROW(cli::checkFlagRequirements(
+        "fgstp_sim", rules, {"--steer=adaptive", "--sample"}));
+    EXPECT_NO_THROW(
+        cli::checkFlagRequirements("fgstp_sim", rules, {"--steer"}));
+}
+
+// ---- machine-level behavior ------------------------------------------------
+
+/** Runs the medium Fg-STP machine and returns final cycles. */
+std::uint64_t
+runCycles(const std::string &bench, const SteeringWeights &w,
+          std::uint64_t insts)
+{
+    const auto p = sim::mediumPreset();
+    auto cfg = p.fgstp();
+    cfg.steer = w;
+    workload::SyntheticWorkload wl(workload::profileByName(bench), 42);
+    part::FgstpMachine m(p.core, p.memory, cfg, wl);
+    return m.run(insts).cycles;
+}
+
+TEST(SteeringMachine, DefaultSpecIsBitIdenticalToUnsteeredRuns)
+{
+    // A --steer spec that spells out the defaults must not change a
+    // single cycle: the off mode and the explicit-default mode run
+    // the same partitioner math.
+    const auto spec = part::parseSteeringSpec(
+        "comm=8,balance=0.4,switch=1,affinity=0,crit=0");
+    EXPECT_EQ(spec.weights, SteeringWeights{});
+    EXPECT_EQ(runCycles("gcc", spec.weights, 3000),
+              runCycles("gcc", SteeringWeights{}, 3000));
+}
+
+TEST(SteeringMachine, ApplySteeringWeightsReachesThePartitioner)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload wl(workload::profileByName("gcc"), 42);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), wl);
+    SteeringWeights w;
+    w.commCost = 13.0;
+    w.critPath = 0.25;
+    m.applySteeringWeights(w);
+    EXPECT_EQ(m.steeringWeights(), w);
+}
+
+TEST(SteeringMachine, OnlineAdaptiveRunsAreRepeatable)
+{
+    // Two identical adaptive sampled runs must agree cycle-for-cycle
+    // and end on the same weights: the online loop feeds only on
+    // deterministic per-interval CPI stacks.
+    const auto run = [] {
+        const auto p = sim::mediumPreset();
+        workload::SyntheticWorkload wl(
+            workload::profileByName("sphinx3"), 42);
+        part::FgstpMachine m(p.core, p.memory, p.fgstp(), wl);
+        obs::MonitorConfig mc;
+        mc.cpiStack = true;
+        m.enableObservability(mc);
+        sample::SampleSpec spec;
+        spec.ffInsts = 800;
+        spec.warmupInsts = 400;
+        spec.measureInsts = 400;
+        sample::Sampler sampler(m, spec);
+        sampler.setIntervalHook(
+            [&m](std::size_t, const sample::Interval &) {
+                obs::CpiStack stacks[2];
+                for (unsigned c = 0; c < 2; ++c)
+                    if (const obs::CoreMonitor *mon = m.monitor(c))
+                        stacks[c] = mon->cpi();
+                const auto prof = part::profileFrom(stacks, 2);
+                m.applySteeringWeights(part::adaptSteeringWeights(
+                    m.steeringWeights(), prof));
+            });
+        const auto res = sampler.run(6000);
+        return std::pair{res.measuredCycles(), m.steeringWeights()};
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+    // The loop actually moved the weights off the defaults.
+    EXPECT_NE(a.second, SteeringWeights{});
+}
+
+} // namespace
+} // namespace fgstp
