@@ -8,6 +8,9 @@
  *               [--check] [--inject=SPEC]
  *               [--sample[=ff=N,warmup=N,measure=N]]
  *               [--bus[=SPEC]] [--steer=SPEC]
+ *               [--cache=DIR] [--cache-stats] [--cache-gc]
+ *               [--shard=i/N] [--merge FILE...]
+ *               [--serve[=stdio|unix:PATH]]
  *
  * Runs any subset of the paper's table/figure experiments over one
  * shared thread pool. Every (experiment, benchmark, config) cell is
@@ -48,7 +51,17 @@
  * cost-model weights (docs/STEERING.md): fixed key=value weights, the
  * offline-tuned per-benchmark table (`tuned`), and/or per-interval
  * online refitting (`adaptive`, which requires --sample). JSON
- * reports gain a meta.steering block. All flags are documented in
+ * reports gain a meta.steering block.
+ *
+ * Sweep service (docs/SERVICE.md): --cache=DIR memoizes every cell in
+ * a persistent content-addressed result cache (--cache-stats reports
+ * the counters, --cache-gc reclaims stale-code-version entries and
+ * exits); --shard=i/N simulates a deterministic 1/N slice of the
+ * sweep and writes BENCH_<experiment>.shard<i>of<N>.json partial
+ * documents that `--merge FILE...` reassembles into the byte-identical
+ * unsharded BENCH_<experiment>.json; --serve turns the process into a
+ * long-lived server answering newline-delimited JSON cell requests
+ * over stdio or a unix socket. All flags are documented in
  * docs/CLI.md.
  */
 
@@ -57,11 +70,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/experiments.hh"
+#include "bench/sweep_service.hh"
+#include "serve/progress.hh"
 #include "common/cli_conflicts.hh"
 #include "common/error.hh"
 #include "common/fs.hh"
@@ -94,6 +110,16 @@ struct Options
     std::string busSpec;    // empty keeps the BusConfig defaults
     bool steer = false;     // per-cell steering weights
     std::string steerSpec;  // --steer spec (grammar: docs/STEERING.md)
+
+    // Sweep service (docs/SERVICE.md)
+    std::string cacheDir;  // --cache directory; empty = off
+    bool cacheStats = false; // report cache counters after the run
+    bool cacheGc = false;  // reclaim stale-version entries and exit
+    std::string shardSpec; // --shard=i/N; empty = unsharded
+    bool merge = false;    // reassemble shard files, no simulation
+    std::vector<std::string> mergeFiles; // positional args of --merge
+    bool serve = false;    // long-lived request server
+    std::string serveSpec; // --serve transport ("" = stdio)
 };
 
 bool
@@ -168,8 +194,27 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--steer", v)) {
             o.steer = true;
             o.steerSpec = v;
+        } else if (matchValue(a, "--cache", v)) {
+            o.cacheDir = v;
+            if (o.cacheDir.empty())
+                fatal("--cache needs a directory (--cache=DIR)");
+        } else if (std::strcmp(a, "--cache-stats") == 0) {
+            o.cacheStats = true;
+        } else if (std::strcmp(a, "--cache-gc") == 0) {
+            o.cacheGc = true;
+        } else if (matchValue(a, "--shard", v)) {
+            o.shardSpec = v;
+        } else if (std::strcmp(a, "--merge") == 0) {
+            o.merge = true;
+        } else if (std::strcmp(a, "--serve") == 0) {
+            o.serve = true;
+        } else if (matchValue(a, "--serve", v)) {
+            o.serve = true;
+            o.serveSpec = v;
         } else if (std::strcmp(a, "--list") == 0) {
             o.list = true;
+        } else if (a[0] != '-' && o.merge) {
+            o.mergeFiles.push_back(a);
         } else {
             fatal("unknown option '", a, "' (see docs/CLI.md)");
         }
@@ -345,6 +390,42 @@ reportFailedCells(const bench::ExperimentRun &run)
     }
 }
 
+/** Prints the cache counters as one greppable stderr line. */
+void
+reportCacheStats(const serve::ResultCache &cache)
+{
+    const auto s = cache.stats();
+    std::fprintf(stderr,
+                 "fgstp_bench: cache: hits=%llu misses=%llu "
+                 "stores=%llu corrupt=%llu evicted=%llu\n",
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 static_cast<unsigned long long>(s.stores),
+                 static_cast<unsigned long long>(s.corrupt),
+                 static_cast<unsigned long long>(s.evicted));
+}
+
+/** --merge: reassemble shard documents; no simulation at all. */
+int
+runMerge(const Options &o)
+{
+    if (o.mergeFiles.empty()) {
+        fatal("--merge needs at least one shard file "
+              "(fgstp_bench --merge a.json b.json ...)");
+    }
+    ensureDir(o.outDir);
+    const auto merged = bench::mergeShards(o.mergeFiles, o.outDir);
+    int failures = 0;
+    for (const auto &m : merged) {
+        std::printf("%-11s %4zu cells merged%s    -> %s\n",
+                    m.experiment.c_str(), m.cellCount,
+                    m.failedCells ? " [FAILED CELLS]" : "",
+                    m.path.c_str());
+        failures += m.failedCells != 0;
+    }
+    return failures ? 1 : 0;
+}
+
 int
 runBench(const Options &o)
 {
@@ -363,13 +444,35 @@ runBench(const Options &o)
             active.insert("--steer");
         if (o.steer && steer_spec.adaptive)
             active.insert("--steer=adaptive");
+        if (!o.cacheDir.empty())
+            active.insert("--cache");
+        if (o.cacheStats)
+            active.insert("--cache-stats");
+        if (o.cacheGc)
+            active.insert("--cache-gc");
+        if (!o.shardSpec.empty())
+            active.insert("--shard");
+        if (o.merge)
+            active.insert("--merge");
+        if (o.serve)
+            active.insert("--serve");
+        if (o.format == "json")
+            active.insert("--format=json");
         cli::checkFlagConflicts("fgstp_bench",
                                 cli::benchConflictRules(), active);
         cli::checkFlagRequirements("fgstp_bench",
                                    cli::benchRequirementRules(), active);
     }
 
+    if (o.merge)
+        return runMerge(o);
+
     bench::RunParams params = o.params;
+    params.sampleSpecRaw = o.sampleSpec;
+    params.busSpecRaw = o.busSpec;
+    params.steerSpecRaw = o.steerSpec;
+    params.check = o.check;
+    params.injectSpecRaw = o.injectSpec;
     if (o.bus) {
         params.bus = uncore::parseBusConfig(o.busSpec);
         bench::setCellBus(params.bus, true);
@@ -388,6 +491,24 @@ runBench(const Options &o)
                      steer_spec.tuned
                          ? "tuned per-benchmark table"
                          : steer_spec.weights.describe().c_str());
+    }
+
+    // The cache context hashes the fully-populated params, so this
+    // must come after every params field is final.
+    std::optional<serve::ResultCache> cache;
+    if (!o.cacheDir.empty()) {
+        cache.emplace(o.cacheDir, bench::makeCacheContext(params));
+        params.cache = &*cache;
+        if (o.cacheGc) {
+            const std::size_t evicted = cache->gcStaleVersions();
+            std::fprintf(stderr,
+                         "fgstp_bench: cache: evicted %zu "
+                         "stale-version entries from '%s'\n",
+                         evicted, cache->directory().c_str());
+            if (o.cacheStats)
+                reportCacheStats(*cache);
+            return 0;
+        }
     }
 
     std::vector<const bench::Experiment *> selected;
@@ -425,6 +546,80 @@ runBench(const Options &o)
         jobs = std::max(1u, std::thread::hardware_concurrency());
     ThreadPool pool(jobs);
 
+    if (o.serve) {
+        const auto config = serve::parseServeConfig(o.serveSpec);
+        std::fprintf(stderr, "fgstp_bench: serving cell requests on %s "
+                             "(shutdown: {\"shutdown\": true})\n",
+                     config.transport ==
+                             serve::ServeConfig::Transport::Stdio
+                         ? "stdio"
+                         : config.path.c_str());
+        const auto stats = bench::runCellServe(config, params, pool);
+        std::fprintf(
+            stderr,
+            "fgstp_bench: serve: requests=%llu errors=%llu "
+            "cacheHits=%llu busyMs=%.1f\n",
+            static_cast<unsigned long long>(stats.requests),
+            static_cast<unsigned long long>(stats.errors),
+            static_cast<unsigned long long>(stats.cacheHits),
+            stats.busyMs);
+        if (o.cacheStats && cache)
+            reportCacheStats(*cache);
+        return 0;
+    }
+
+    // One progress meter across every selected experiment; stderr,
+    // TTY-gated (FGSTP_PROGRESS overrides), erased before real output.
+    serve::ProgressMeter progress(
+        "fgstp_bench", serve::ProgressMeter::progressEnabled());
+    params.progress = &progress;
+
+    if (!o.shardSpec.empty()) {
+        const auto shard = serve::parseShardSpec(o.shardSpec);
+        std::vector<bench::ShardScheduled> scheduled;
+        scheduled.reserve(selected.size());
+        for (const auto *e : selected)
+            scheduled.push_back(
+                bench::scheduleShard(*e, params, shard, pool));
+
+        int failures = 0;
+        for (auto &s : scheduled) {
+            const auto *e = s.experiment;
+            auto run = bench::collectShard(std::move(s));
+            for (std::size_t k = 0; k < run.results.size(); ++k) {
+                if (run.results[k].ok)
+                    continue;
+                const auto &c = run.cells[run.owned[k]];
+                std::fprintf(stderr,
+                             "fgstp_bench: %s: cell %s/%s (seed %llu) "
+                             "failed: %s\n",
+                             e->name.c_str(), c.bench.c_str(),
+                             c.machine.c_str(),
+                             static_cast<unsigned long long>(c.seed),
+                             run.results[k].error.c_str());
+            }
+            failures += run.failedCells() != 0;
+            const std::string path =
+                o.outDir + "/BENCH_" + e->name + ".shard" +
+                std::to_string(shard.rank) + "of" +
+                std::to_string(shard.count) + ".json";
+            AtomicFileWriter out(path);
+            bench::renderShardJson(out.stream(), run, params, shard,
+                                   pool.size());
+            out.commit();
+            progress.finish();
+            std::printf("%-11s %4zu/%zu cells %9.1f ms%s -> %s\n",
+                        e->name.c_str(), run.owned.size(),
+                        run.cells.size(), run.wallTimeMs,
+                        run.failedCells() ? " [FAILED CELLS]" : "",
+                        path.c_str());
+        }
+        progress.finish();
+        if (o.cacheStats && cache)
+            reportCacheStats(*cache);
+        return failures ? 1 : 0;
+    }
+
     // Schedule everything up front, collect in selection order.
     std::vector<bench::ScheduledExperiment> scheduled;
     scheduled.reserve(selected.size());
@@ -437,6 +632,7 @@ runBench(const Options &o)
     for (auto &s : scheduled) {
         const auto *e = s.experiment;
         auto run = bench::collectExperiment(std::move(s), params);
+        progress.finish();
         if (!run.ok()) {
             reportFailedCells(run);
             ++failures;
@@ -460,6 +656,7 @@ runBench(const Options &o)
         }
         first = false;
     }
+    progress.finish();
 
     if (o.cpiStack) {
         const auto cells = bench::takeCellCpiSamples();
@@ -488,6 +685,9 @@ runBench(const Options &o)
             renderSamplingText(std::cout, cells, o.format == "csv");
         }
     }
+
+    if (o.cacheStats && cache)
+        reportCacheStats(*cache);
     return failures ? 1 : 0;
 }
 

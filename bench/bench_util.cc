@@ -9,6 +9,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/util.hh"
 
@@ -236,42 +237,20 @@ runMachine(sim::Machine &m, const std::string &bench, std::uint64_t seed,
     return {r.measuredCycles(), r.measuredInstructions()};
 }
 
-/** FNV-1a over a string, folded into an accumulator. */
-std::uint64_t
-fnv1a(std::uint64_t h, std::string_view s)
-{
-    constexpr std::uint64_t prime = 1099511628211ull;
-    for (const char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= prime;
-    }
-    // Separator so ("ab","c") and ("a","bc") hash differently.
-    h ^= 0x1f;
-    h *= prime;
-    return h;
-}
-
-/** splitmix64 finalizer: diffuses the combined hash. */
-std::uint64_t
-mix(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
 } // namespace
 
 std::uint64_t
 jobSeed(std::uint64_t eval_seed, std::string_view experiment,
         std::string_view bench, std::string_view config)
 {
-    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
-    h = fnv1a(h, experiment);
-    h = fnv1a(h, bench);
-    h = fnv1a(h, config);
-    return mix(h ^ mix(eval_seed));
+    // The field-separated FNV-1a + splitmix64 construction lives in
+    // common/hash.hh, shared with the result-cache key derivation;
+    // the seeds are bit-identical to the pre-refactor values.
+    std::uint64_t h = hash::fnvOffsetBasis;
+    h = hash::fnv1aField(h, experiment);
+    h = hash::fnv1aField(h, bench);
+    h = hash::fnv1aField(h, config);
+    return hash::mix64(h ^ hash::mix64(eval_seed));
 }
 
 Sample

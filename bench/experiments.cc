@@ -20,6 +20,9 @@
 #include "branch/direction_predictor.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/version.hh"
+#include "serve/progress.hh"
+#include "serve/result_cache.hh"
 #include "fusion/fused_config.hh"
 #include "power/energy_model.hh"
 #include "trace/trace_stats.hh"
@@ -1169,6 +1172,70 @@ findExperiment(const std::string &name)
 
 // ---- running ---------------------------------------------------------------
 
+std::future<CellResult>
+submitCellJob(ThreadPool &pool, const std::string &experiment,
+              Cell &cell, const RunParams &params)
+{
+    serve::CellIdentity id;
+    id.experiment = experiment;
+    id.bench = cell.bench;
+    id.machine = cell.machine;
+    id.seed = cell.seed;
+    auto future = pool.submit([fn = std::move(cell.fn),
+                               id = std::move(id), cache = params.cache,
+                               progress = params.progress] {
+        if (cache) {
+            if (auto hit = cache->lookup(id)) {
+                // Replay the stored outcome — including the original
+                // wall time, so a warm rerun's job rows are
+                // byte-identical to the run that populated the cache.
+                CellResult r;
+                r.values = std::move(hit->values);
+                r.wallTimeMs = hit->wallTimeMs;
+                r.ok = hit->ok;
+                r.error = std::move(hit->error);
+                if (progress)
+                    progress->tick(true);
+                return r;
+            }
+        }
+        const auto t0 = Clock::now();
+        CellResult r;
+        // Crash isolation: a throwing cell (watchdog, checker,
+        // unrecoverable fault, I/O) becomes a failed result, not
+        // a dead 13-experiment sweep.
+        try {
+            r.values = fn();
+        } catch (const std::exception &ex) {
+            r.ok = false;
+            r.error = ex.what();
+        } catch (...) {
+            r.ok = false;
+            r.error = "unknown exception";
+        }
+        r.wallTimeMs = msSince(t0);
+        if (cache) {
+            // Failed cells are cached too: the failures are as
+            // deterministic as the results. A cache-write failure must
+            // not fail a successfully-simulated cell, though.
+            try {
+                serve::CachedCell c;
+                c.values = r.values;
+                c.wallTimeMs = r.wallTimeMs;
+                c.ok = r.ok;
+                c.error = r.error;
+                cache->store(id, c);
+            } catch (const SimError &) {
+            }
+        }
+        if (progress)
+            progress->tick(false);
+        return r;
+    });
+    cell.fn = nullptr; // consumed
+    return future;
+}
+
 ScheduledExperiment
 scheduleExperiment(const Experiment &e, const RunParams &params,
                    ThreadPool &pool)
@@ -1176,28 +1243,11 @@ scheduleExperiment(const Experiment &e, const RunParams &params,
     ScheduledExperiment s;
     s.experiment = &e;
     s.cells = e.makeCells(params);
+    if (params.progress)
+        params.progress->addTotal(s.cells.size());
     s.futures.reserve(s.cells.size());
-    for (auto &c : s.cells) {
-        s.futures.push_back(pool.submit([fn = std::move(c.fn)] {
-            const auto t0 = Clock::now();
-            CellResult r;
-            // Crash isolation: a throwing cell (watchdog, checker,
-            // unrecoverable fault, I/O) becomes a failed result, not
-            // a dead 13-experiment sweep.
-            try {
-                r.values = fn();
-            } catch (const std::exception &ex) {
-                r.ok = false;
-                r.error = ex.what();
-            } catch (...) {
-                r.ok = false;
-                r.error = "unknown exception";
-            }
-            r.wallTimeMs = msSince(t0);
-            return r;
-        }));
-        c.fn = nullptr; // consumed
-    }
+    for (auto &c : s.cells)
+        s.futures.push_back(submitCellJob(pool, e.name, c, params));
     return s;
 }
 
@@ -1216,19 +1266,25 @@ collectExperiment(ScheduledExperiment &&scheduled,
         results.push_back(f.get()); // exceptions were captured per cell
 
     run.results = results;
+    finalizeRunOutput(run, params);
+    run.wallTimeMs = msSince(t0);
+    return run;
+}
+
+void
+finalizeRunOutput(ExperimentRun &run, const RunParams &params)
+{
     if (run.ok()) {
-        run.output = scheduled.experiment->reduce(params, results);
+        run.output = run.experiment->reduce(params, run.results);
     } else {
         // Reducers index positional metric vectors that failed cells
         // lack; degrade to an error summary instead.
         run.output.footer =
             std::to_string(run.failedCells()) + " of " +
-            std::to_string(results.size()) +
+            std::to_string(run.results.size()) +
             " cells failed; table not reduced (see the per-job "
             "status list).";
     }
-    run.wallTimeMs = msSince(t0);
-    return run;
 }
 
 ExperimentRun
@@ -1309,6 +1365,13 @@ renderJson(std::ostream &os, const ExperimentRun &run,
     os << "  \"meta\": {\n";
     os << "    \"insts\": " << json::number(params.insts) << ",\n";
     os << "    \"evalSeed\": " << json::number(params.seed) << ",\n";
+    // The build that produced the numbers. --merge overrides it with
+    // the shard documents' stamp, so a merged report stays attributed
+    // (and byte-identical) to the build that ran the shards.
+    os << "    \"codeVersion\": "
+       << json::quote(params.codeVersion.empty() ? codeVersion()
+                                                 : params.codeVersion)
+       << ",\n";
     if (params.sampled) {
         os << "    \"sampling\": {\n";
         os << "      \"mode\": \"smarts\",\n";

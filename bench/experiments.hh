@@ -33,6 +33,12 @@
 #include "bench/bench_util.hh"
 #include "common/thread_pool.hh"
 
+namespace fgstp::serve
+{
+class ProgressMeter;
+class ResultCache;
+} // namespace fgstp::serve
+
 namespace fgstp::bench
 {
 
@@ -46,6 +52,30 @@ struct RunParams
     uncore::BusConfig bus;              ///< shared bus when bus.enabled
     bool steer = false;                 ///< per-cell steering weights on
     part::SteeringSpec steerSpec;       ///< resolved --steer spec
+
+    // Raw CLI spec strings the resolved structs above came from, plus
+    // the hardening toggles. A shard document records these so --merge
+    // (and a restarted shard) reconstructs the exact run; they also
+    // feed the cache-key fingerprint (bench/sweep_service.hh).
+    std::string sampleSpecRaw; ///< --sample value ("" = defaults)
+    std::string busSpecRaw;    ///< --bus value ("" = defaults)
+    std::string steerSpecRaw;  ///< --steer value
+    bool check = false;        ///< golden-model cross-check per cell
+    std::string injectSpecRaw; ///< --inject fault plan ("" = none)
+
+    /**
+     * Code-version stamp rendered into report meta blocks; empty means
+     * "this binary's" (fgstp::codeVersion()). --merge sets it to the
+     * shard documents' stamp so a merged report attributes its numbers
+     * to the build that actually produced them.
+     */
+    std::string codeVersion;
+
+    // Sweep-service hooks (non-owning; null = feature off). The cache
+    // makes submitCellJob lookup-first/store-on-miss; the progress
+    // meter gets one tick per finished cell.
+    serve::ResultCache *cache = nullptr;
+    serve::ProgressMeter *progress = nullptr;
 };
 
 /**
@@ -126,6 +156,19 @@ struct ScheduledExperiment
 };
 
 /**
+ * Submits one cell to `pool`: the single submission path shared by
+ * the batch sweep, --shard and --serve. Consumes `cell.fn`. The
+ * worker looks the cell up in params.cache first (a hit skips the
+ * simulation and replays the stored outcome, including a cached
+ * failure), simulates and stores on a miss, and ticks params.progress
+ * either way. Cell exceptions become ok == false results.
+ */
+std::future<CellResult> submitCellJob(ThreadPool &pool,
+                                      const std::string &experiment,
+                                      Cell &cell,
+                                      const RunParams &params);
+
+/**
  * Submits every cell of `e` to `pool` without waiting. Scheduling
  * all experiments before collecting any keeps the pool saturated
  * across experiment boundaries.
@@ -163,6 +206,14 @@ struct ExperimentRun
  */
 ExperimentRun collectExperiment(ScheduledExperiment &&scheduled,
                                 const RunParams &params);
+
+/**
+ * Fills run.output from run.results: the experiment's reduce step
+ * when every cell succeeded, the failed-cells summary footer
+ * otherwise. Shared by collectExperiment and the shard merge path so
+ * both produce byte-identical output for the same results.
+ */
+void finalizeRunOutput(ExperimentRun &run, const RunParams &params);
 
 /** scheduleExperiment + collectExperiment in one call. */
 ExperimentRun runExperiment(const Experiment &e, const RunParams &params,

@@ -1,0 +1,681 @@
+#include "bench/sweep_service.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/fs.hh"
+#include "common/json.hh"
+#include "common/version.hh"
+#include "fgstp/steering.hh"
+#include "sample/sampler.hh"
+#include "serve/json_parse.hh"
+#include "serve/progress.hh"
+#include "uncore/bus.hh"
+
+namespace fgstp::bench
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Escapes the fingerprint's ';' field separators inside raw specs. */
+std::string
+escapeFpField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == ';' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * A metric value as JSON. json::number maps non-finite values to
+ * null; shard rows must instead round-trip them, so they become
+ * quoted to_chars spellings ("inf", "nan") that rowValue reads back.
+ */
+std::string
+valueJson(double v)
+{
+    if (std::isfinite(v))
+        return json::number(v);
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return json::quote(std::string(buf, res.ptr));
+}
+
+double
+rowValue(const serve::JsonValue &v)
+{
+    if (!v.isString())
+        return v.asNumber();
+    const std::string &s = v.asString();
+    char *end = nullptr;
+    const double parsed = std::strtod(s.c_str(), &end);
+    if (s.empty() || end != s.c_str() + s.size())
+        throw JsonParseError("bad non-finite metric value '" + s + "'");
+    return parsed;
+}
+
+} // namespace
+
+std::string
+paramsFingerprint(const RunParams &params)
+{
+    std::string fp = "fgstp-run/v1";
+    fp += ";insts=" + std::to_string(params.insts);
+    fp += ";seed=" + std::to_string(params.seed);
+    fp += ";sampled=" + std::string(params.sampled ? "1" : "0");
+    fp += ";sample=" + escapeFpField(params.sampleSpecRaw);
+    fp += ";bus=" + std::string(params.bus.enabled ? "1" : "0");
+    fp += ";busSpec=" + escapeFpField(params.busSpecRaw);
+    fp += ";steer=" + std::string(params.steer ? "1" : "0");
+    fp += ";steerSpec=" + escapeFpField(params.steerSpecRaw);
+    fp += ";check=" + std::string(params.check ? "1" : "0");
+    fp += ";inject=" + escapeFpField(params.injectSpecRaw);
+    return fp;
+}
+
+serve::CacheContext
+makeCacheContext(const RunParams &params)
+{
+    serve::CacheContext ctx;
+    ctx.paramsFingerprint = paramsFingerprint(params);
+    ctx.codeVersion = params.codeVersion.empty() ? codeVersion()
+                                                 : params.codeVersion;
+    return ctx;
+}
+
+serve::CellIdentity
+cellIdentity(const std::string &experiment, const Cell &cell)
+{
+    serve::CellIdentity id;
+    id.experiment = experiment;
+    id.bench = cell.bench;
+    id.machine = cell.machine;
+    id.seed = cell.seed;
+    return id;
+}
+
+// ---- sharding --------------------------------------------------------------
+
+ShardScheduled
+scheduleShard(const Experiment &e, const RunParams &params,
+              const serve::ShardSpec &shard, ThreadPool &pool)
+{
+    ShardScheduled s;
+    s.experiment = &e;
+    s.cells = e.makeCells(params);
+
+    const serve::CacheContext ctx = makeCacheContext(params);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(s.cells.size());
+    for (const auto &c : s.cells)
+        keys.push_back(serve::cellKeyHash(cellIdentity(e.name, c), ctx));
+    const auto owners = serve::assignShards(keys, shard.count);
+
+    for (std::size_t i = 0; i < s.cells.size(); ++i) {
+        if (owners[i] == shard.rank)
+            s.owned.push_back(i);
+    }
+    if (params.progress)
+        params.progress->addTotal(s.owned.size());
+    s.futures.reserve(s.owned.size());
+    for (const std::size_t i : s.owned)
+        s.futures.push_back(
+            submitCellJob(pool, e.name, s.cells[i], params));
+    return s;
+}
+
+std::size_t
+ShardRun::failedCells() const
+{
+    std::size_t n = 0;
+    for (const auto &r : results)
+        n += !r.ok;
+    return n;
+}
+
+ShardRun
+collectShard(ShardScheduled &&scheduled)
+{
+    const auto t0 = Clock::now();
+    ShardRun run;
+    run.experiment = scheduled.experiment;
+    run.cells = std::move(scheduled.cells);
+    run.owned = std::move(scheduled.owned);
+    run.results.reserve(scheduled.futures.size());
+    for (auto &f : scheduled.futures)
+        run.results.push_back(f.get());
+    run.wallTimeMs = msSince(t0);
+    return run;
+}
+
+void
+renderShardJson(std::ostream &os, const ShardRun &run,
+                const RunParams &params, const serve::ShardSpec &shard,
+                unsigned pool_jobs)
+{
+    os << "{\n";
+    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"kind\": \"shard\",\n";
+    os << "  \"experiment\": " << json::quote(run.experiment->name)
+       << ",\n";
+    os << "  \"shard\": {\"rank\": "
+       << json::number(std::uint64_t{shard.rank})
+       << ", \"count\": " << json::number(std::uint64_t{shard.count})
+       << "},\n";
+    os << "  \"meta\": {\n";
+    os << "    \"insts\": " << json::number(params.insts) << ",\n";
+    os << "    \"evalSeed\": " << json::number(params.seed) << ",\n";
+    os << "    \"codeVersion\": "
+       << json::quote(params.codeVersion.empty() ? codeVersion()
+                                                 : params.codeVersion)
+       << ",\n";
+    os << "    \"fingerprint\": "
+       << json::quote(paramsFingerprint(params)) << ",\n";
+    os << "    \"sampled\": " << (params.sampled ? "true" : "false")
+       << ",\n";
+    os << "    \"sampleSpec\": " << json::quote(params.sampleSpecRaw)
+       << ",\n";
+    os << "    \"busEnabled\": "
+       << (params.bus.enabled ? "true" : "false") << ",\n";
+    os << "    \"busSpec\": " << json::quote(params.busSpecRaw) << ",\n";
+    os << "    \"steerEnabled\": " << (params.steer ? "true" : "false")
+       << ",\n";
+    os << "    \"steerSpec\": " << json::quote(params.steerSpecRaw)
+       << ",\n";
+    os << "    \"check\": " << (params.check ? "true" : "false")
+       << ",\n";
+    os << "    \"injectSpec\": " << json::quote(params.injectSpecRaw)
+       << ",\n";
+    os << "    \"cellCount\": "
+       << json::number(static_cast<std::uint64_t>(run.cells.size()))
+       << ",\n";
+    os << "    \"ownedCells\": "
+       << json::number(static_cast<std::uint64_t>(run.owned.size()))
+       << ",\n";
+    os << "    \"failedCells\": "
+       << json::number(static_cast<std::uint64_t>(run.failedCells()))
+       << ",\n";
+    os << "    \"poolJobs\": "
+       << json::number(static_cast<std::uint64_t>(pool_jobs))
+       << ", \"wallTimeMs\": " << json::number(run.wallTimeMs) << "\n";
+    os << "  },\n";
+    os << "  \"rows\": [\n";
+    for (std::size_t k = 0; k < run.owned.size(); ++k) {
+        const std::size_t i = run.owned[k];
+        const auto &c = run.cells[i];
+        const auto &r = run.results[k];
+        os << "    {\"index\": "
+           << json::number(static_cast<std::uint64_t>(i))
+           << ", \"bench\": " << json::quote(c.bench)
+           << ", \"machine\": " << json::quote(c.machine)
+           << ", \"seed\": " << json::number(c.seed) << ", \"status\": "
+           << (r.ok ? "\"ok\"" : "\"failed\"");
+        if (!r.ok)
+            os << ", \"error\": " << json::quote(r.error);
+        os << ", \"values\": [";
+        for (std::size_t v = 0; v < r.values.size(); ++v)
+            os << (v ? ", " : "") << valueJson(r.values[v]);
+        os << "], \"wallTimeMs\": " << json::number(r.wallTimeMs) << "}"
+           << (k + 1 < run.owned.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+// ---- merging ---------------------------------------------------------------
+
+namespace
+{
+
+/** One parsed shard document, pre-validated for structure. */
+struct ShardDoc
+{
+    std::string file;
+    unsigned rank = 0;
+    unsigned count = 0;
+    std::string codeVersion;
+    std::string fingerprint;
+    std::uint64_t insts = 0;
+    std::uint64_t evalSeed = 0;
+    bool sampled = false;
+    std::string sampleSpec;
+    bool busEnabled = false;
+    std::string busSpec;
+    bool steerEnabled = false;
+    std::string steerSpec;
+    bool check = false;
+    std::string injectSpec;
+    std::uint64_t cellCount = 0;
+    double wallTimeMs = 0.0;
+    std::uint64_t poolJobs = 0;
+    serve::JsonValue rows;
+};
+
+ShardDoc
+loadShardDoc(const std::string &file)
+{
+    std::ifstream is(file, std::ios::binary);
+    if (!is)
+        throw SimIoError("cannot read shard file '" + file + "'");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    serve::JsonValue doc;
+    try {
+        doc = serve::parseJson(buf.str());
+    } catch (const JsonParseError &ex) {
+        throw JsonParseError("'" + file + "': " + ex.what());
+    }
+
+    try {
+        if (doc.at("kind").asString() != "shard" ||
+            doc.at("schemaVersion").asUint() != 1) {
+            throw ShardMergeError(
+                "'" + file +
+                "' is not a schema-v1 shard document (was it a "
+                "BENCH_*.json instead of a BENCH_*.shard*.json?)");
+        }
+        ShardDoc out;
+        out.file = file;
+        const auto &shard = doc.at("shard");
+        out.rank = static_cast<unsigned>(shard.at("rank").asUint());
+        out.count = static_cast<unsigned>(shard.at("count").asUint());
+        const auto &meta = doc.at("meta");
+        out.codeVersion = meta.at("codeVersion").asString();
+        out.fingerprint = meta.at("fingerprint").asString();
+        out.insts = meta.at("insts").asUint();
+        out.evalSeed = meta.at("evalSeed").asUint();
+        out.sampled = meta.at("sampled").asBool();
+        out.sampleSpec = meta.at("sampleSpec").asString();
+        out.busEnabled = meta.at("busEnabled").asBool();
+        out.busSpec = meta.at("busSpec").asString();
+        out.steerEnabled = meta.at("steerEnabled").asBool();
+        out.steerSpec = meta.at("steerSpec").asString();
+        out.check = meta.at("check").asBool();
+        out.injectSpec = meta.at("injectSpec").asString();
+        out.cellCount = meta.at("cellCount").asUint();
+        out.wallTimeMs = meta.at("wallTimeMs").asNumber();
+        out.poolJobs = meta.at("poolJobs").asUint();
+        out.rows = doc.at("rows");
+        out.rows.asArray(); // type-check up front
+        if (out.count == 0 || out.rank >= out.count) {
+            throw ShardMergeError("'" + file +
+                                  "' has an invalid shard rank/count");
+        }
+        // The experiment key is handled by the caller (grouping).
+        doc.at("experiment").asString();
+        return out;
+    } catch (const JsonParseError &ex) {
+        throw ShardMergeError("'" + file +
+                              "' is malformed: " + ex.what());
+    }
+}
+
+/** Rebuilds the exact RunParams the shard set was produced with. */
+RunParams
+paramsFromShardDoc(const ShardDoc &doc)
+{
+    RunParams params;
+    params.insts = doc.insts;
+    params.seed = doc.evalSeed;
+    params.codeVersion = doc.codeVersion;
+    params.sampleSpecRaw = doc.sampleSpec;
+    params.busSpecRaw = doc.busSpec;
+    params.steerSpecRaw = doc.steerSpec;
+    params.check = doc.check;
+    params.injectSpecRaw = doc.injectSpec;
+    if (doc.sampled) {
+        params.sampled = true;
+        if (!doc.sampleSpec.empty())
+            params.sample = sample::parseSampleSpec(doc.sampleSpec);
+    }
+    if (doc.busEnabled)
+        params.bus = uncore::parseBusConfig(doc.busSpec);
+    if (doc.steerEnabled) {
+        params.steer = true;
+        params.steerSpec = part::parseSteeringSpec(doc.steerSpec);
+    }
+    if (paramsFingerprint(params) != doc.fingerprint) {
+        throw ShardMergeError(
+            "'" + doc.file +
+            "': run-parameter fingerprint mismatch after "
+            "reconstruction — the shard was produced by an "
+            "incompatible fgstp_bench (fingerprint format drift)");
+    }
+    return params;
+}
+
+MergedExperiment
+mergeOneExperiment(const std::string &name, std::vector<ShardDoc> &docs,
+                   const std::string &out_dir)
+{
+    const ShardDoc &ref = docs.front();
+    for (const ShardDoc &d : docs) {
+        if (d.count != ref.count) {
+            throw ShardMergeError(
+                "experiment '" + name + "': '" + d.file + "' is 1 of " +
+                std::to_string(d.count) + " shards but '" + ref.file +
+                "' is 1 of " + std::to_string(ref.count));
+        }
+        if (d.fingerprint != ref.fingerprint) {
+            throw ShardMergeError(
+                "experiment '" + name + "': '" + d.file + "' and '" +
+                ref.file +
+                "' were produced with different run parameters and "
+                "cannot be merged");
+        }
+        if (d.codeVersion != ref.codeVersion) {
+            throw ShardMergeError(
+                "experiment '" + name + "': '" + d.file + "' (" +
+                d.codeVersion + ") and '" + ref.file + "' (" +
+                ref.codeVersion +
+                ") were produced by different builds");
+        }
+        if (d.cellCount != ref.cellCount) {
+            throw ShardMergeError("experiment '" + name +
+                                  "': shard files disagree on the "
+                                  "cell count");
+        }
+    }
+    std::vector<bool> have(ref.count, false);
+    for (const ShardDoc &d : docs) {
+        if (have[d.rank]) {
+            throw ShardMergeError("experiment '" + name + "': shard " +
+                                  std::to_string(d.rank) + "/" +
+                                  std::to_string(d.count) +
+                                  " appears more than once");
+        }
+        have[d.rank] = true;
+    }
+    for (unsigned r = 0; r < ref.count; ++r) {
+        if (!have[r]) {
+            throw ShardMergeError(
+                "experiment '" + name + "': incomplete shard set — "
+                "missing shard " + std::to_string(r) + "/" +
+                std::to_string(ref.count));
+        }
+    }
+
+    const RunParams params = paramsFromShardDoc(ref);
+    const Experiment *e = findExperiment(name);
+    if (!e) {
+        throw ShardMergeError("shard files name unknown experiment '" +
+                              name + "'");
+    }
+
+    ExperimentRun run;
+    run.experiment = e;
+    run.cells = e->makeCells(params);
+    if (run.cells.size() != ref.cellCount) {
+        throw ShardMergeError(
+            "experiment '" + name + "': this binary enumerates " +
+            std::to_string(run.cells.size()) +
+            " cells but the shard files recorded " +
+            std::to_string(ref.cellCount) +
+            " — the experiment changed since the shards ran");
+    }
+
+    std::vector<std::optional<CellResult>> filled(run.cells.size());
+    double wall_total = 0.0;
+    std::uint64_t pool_jobs = 1;
+    for (const ShardDoc &d : docs) {
+        wall_total += d.wallTimeMs;
+        pool_jobs = std::max(pool_jobs, d.poolJobs);
+        for (const serve::JsonValue &row : d.rows.asArray()) {
+            std::uint64_t index = 0;
+            CellResult r;
+            try {
+                index = row.at("index").asUint();
+                const std::string &status =
+                    row.at("status").asString();
+                r.ok = status == "ok";
+                if (!r.ok && status != "failed") {
+                    throw JsonParseError("bad row status '" + status +
+                                         "'");
+                }
+                if (!r.ok)
+                    r.error = row.at("error").asString();
+                r.wallTimeMs = row.at("wallTimeMs").asNumber();
+                for (const serve::JsonValue &v :
+                     row.at("values").asArray())
+                    r.values.push_back(rowValue(v));
+            } catch (const JsonParseError &ex) {
+                throw ShardMergeError("'" + d.file +
+                                      "': bad row: " + ex.what());
+            }
+            if (index >= run.cells.size()) {
+                throw ShardMergeError(
+                    "'" + d.file + "': row index " +
+                    std::to_string(index) + " out of range");
+            }
+            const Cell &c = run.cells[index];
+            if (row.at("bench").asString() != c.bench ||
+                row.at("machine").asString() != c.machine ||
+                row.at("seed").asUint() != c.seed) {
+                throw ShardMergeError(
+                    "'" + d.file + "': row " + std::to_string(index) +
+                    " (" + row.at("bench").asString() + "/" +
+                    row.at("machine").asString() +
+                    ") does not match this binary's cell list (" +
+                    c.bench + "/" + c.machine +
+                    ") — the experiment changed since the shards ran");
+            }
+            if (filled[index]) {
+                throw ShardMergeError("'" + d.file + "': cell " +
+                                      std::to_string(index) +
+                                      " already provided by another "
+                                      "shard");
+            }
+            filled[index] = std::move(r);
+        }
+    }
+    for (std::size_t i = 0; i < filled.size(); ++i) {
+        if (!filled[i]) {
+            throw ShardMergeError(
+                "experiment '" + name + "': cell " + std::to_string(i) +
+                " (" + run.cells[i].bench + "/" +
+                run.cells[i].machine +
+                ") is in no shard file — were all shards run to "
+                "completion?");
+        }
+        run.results.push_back(std::move(*filled[i]));
+    }
+
+    finalizeRunOutput(run, params);
+    run.wallTimeMs = wall_total;
+
+    MergedExperiment merged;
+    merged.experiment = name;
+    merged.cellCount = run.cells.size();
+    merged.failedCells = run.failedCells();
+    merged.path = out_dir + "/BENCH_" + name + ".json";
+    AtomicFileWriter out(merged.path);
+    renderJson(out.stream(), run, params,
+               static_cast<unsigned>(pool_jobs));
+    out.commit();
+    return merged;
+}
+
+} // namespace
+
+std::vector<MergedExperiment>
+mergeShards(const std::vector<std::string> &files,
+            const std::string &out_dir)
+{
+    // Group by experiment, preserving first-appearance order so the
+    // summary reads in the order the user listed the files.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<ShardDoc>> groups;
+    for (const std::string &file : files) {
+        std::ifstream is(file, std::ios::binary);
+        if (!is)
+            throw SimIoError("cannot read shard file '" + file + "'");
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        std::string name;
+        try {
+            name = serve::parseJson(buf.str())
+                       .at("experiment")
+                       .asString();
+        } catch (const JsonParseError &ex) {
+            throw JsonParseError("'" + file + "': " + ex.what());
+        }
+        if (!groups.count(name))
+            order.push_back(name);
+        groups[name].push_back(loadShardDoc(file));
+    }
+
+    std::vector<MergedExperiment> merged;
+    for (const std::string &name : order)
+        merged.push_back(
+            mergeOneExperiment(name, groups[name], out_dir));
+    return merged;
+}
+
+// ---- serve mode ------------------------------------------------------------
+
+namespace
+{
+
+/** One serve response row for a finished cell. */
+std::string
+serveRow(const std::string &experiment, const Cell &c,
+         const CellResult &r)
+{
+    std::string row = "{\"experiment\": " + json::quote(experiment);
+    row += ", \"bench\": " + json::quote(c.bench);
+    row += ", \"machine\": " + json::quote(c.machine);
+    row += ", \"seed\": " + json::number(c.seed);
+    row += ", \"status\": ";
+    row += r.ok ? "\"ok\"" : "\"failed\"";
+    if (!r.ok)
+        row += ", \"error\": " + json::quote(r.error);
+    row += ", \"values\": [";
+    for (std::size_t v = 0; v < r.values.size(); ++v) {
+        if (v)
+            row += ", ";
+        row += valueJson(r.values[v]);
+    }
+    row += "], \"wallTimeMs\": " + json::number(r.wallTimeMs) + "}";
+    return row;
+}
+
+/**
+ * Answers one request line: selects the matching cells, runs them
+ * (cache-first) on the pool, streams a row per cell and a done line.
+ * Returns false only for a shutdown request.
+ */
+bool
+handleRequest(const std::string &line, const RunParams &params,
+              ThreadPool &pool,
+              const std::function<void(const std::string &)> &emit,
+              std::uint64_t &errors)
+{
+    const auto fail = [&emit, &errors](const std::string &what) {
+        ++errors;
+        emit("{\"error\": " + json::quote(what) + "}");
+    };
+    try {
+        const serve::JsonValue req = serve::parseJson(line);
+        if (!req.isObject()) {
+            fail("request must be a JSON object");
+            return true;
+        }
+        if (const auto *shutdown = req.find("shutdown");
+            shutdown && shutdown->asBool()) {
+            emit("{\"done\": true, \"shutdown\": true}");
+            return false;
+        }
+        const std::string name = req.at("experiment").asString();
+        const Experiment *e = findExperiment(name);
+        if (!e) {
+            fail("unknown experiment '" + name + "'");
+            return true;
+        }
+        const auto *bench_f = req.find("bench");
+        const auto *machine_f = req.find("machine");
+
+        std::vector<Cell> cells = e->makeCells(params);
+        std::vector<std::size_t> matching;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (bench_f && cells[i].bench != bench_f->asString())
+                continue;
+            if (machine_f && cells[i].machine != machine_f->asString())
+                continue;
+            matching.push_back(i);
+        }
+        if (matching.empty()) {
+            fail("no cells of '" + name + "' match the request");
+            return true;
+        }
+
+        std::vector<std::future<CellResult>> futures;
+        futures.reserve(matching.size());
+        for (const std::size_t i : matching)
+            futures.push_back(
+                submitCellJob(pool, name, cells[i], params));
+
+        std::uint64_t failed = 0;
+        for (std::size_t k = 0; k < matching.size(); ++k) {
+            const CellResult r = futures[k].get();
+            failed += !r.ok;
+            emit(serveRow(name, cells[matching[k]], r));
+        }
+        emit("{\"done\": true, \"experiment\": " + json::quote(name) +
+             ", \"cells\": " +
+             json::number(static_cast<std::uint64_t>(matching.size())) +
+             ", \"failed\": " + json::number(failed) + "}");
+        return true;
+    } catch (const SimError &ex) {
+        // Crash isolation per request: a malformed line or an
+        // unanswerable request reports an error row; the server
+        // lives on to answer the next line.
+        fail(ex.what());
+        return true;
+    }
+}
+
+} // namespace
+
+serve::ServeStats
+runCellServe(const serve::ServeConfig &config, const RunParams &params,
+             ThreadPool &pool)
+{
+    const std::uint64_t hits0 =
+        params.cache ? params.cache->stats().hits : 0;
+    std::uint64_t errors = 0;
+    serve::ServeStats stats = serve::runLineServer(
+        config, [&params, &pool, &errors](const std::string &line,
+                                          const auto &emit) {
+            return handleRequest(line, params, pool, emit, errors);
+        });
+    stats.errors = errors;
+    if (params.cache)
+        stats.cacheHits = params.cache->stats().hits - hits0;
+    return stats;
+}
+
+} // namespace fgstp::bench

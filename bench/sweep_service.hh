@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The sweep-service layer of fgstp_bench: cache keys, sharding,
+ * shard-document merge, and serve mode.
+ *
+ * This file owns the experiment-level semantics of the three
+ * sweep-service features (mechanisms live in src/serve):
+ *
+ *   --cache=DIR    every cell is a pure function of its identity, so
+ *                  paramsFingerprint() + the code-version stamp turn
+ *                  (experiment, bench, machine, seed) into a durable
+ *                  content-addressed key; submitCellJob does the
+ *                  lookup-first/store-on-miss dance.
+ *   --shard=i/N    scheduleShard simulates only the cells
+ *                  serve::assignShards deals to rank i and
+ *                  renderShardJson writes them as a partial-results
+ *                  document; mergeShards re-reads a complete shard set
+ *                  and reproduces the unsharded BENCH_<experiment>.json
+ *                  byte-for-byte (modulo wallTimeMs lines).
+ *   --serve        runCellServe answers newline-delimited JSON cell
+ *                  requests over a serve::LineServer transport,
+ *                  cache-first, simulating misses on the shared pool.
+ *
+ * Protocol and schema reference: docs/SERVICE.md.
+ */
+
+#ifndef FGSTP_BENCH_SWEEP_SERVICE_HH
+#define FGSTP_BENCH_SWEEP_SERVICE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "serve/line_server.hh"
+#include "serve/result_cache.hh"
+#include "serve/shard.hh"
+
+namespace fgstp::bench
+{
+
+/**
+ * The canonical encoding of every RunParams field that changes what a
+ * cell computes (instruction budget, seeds, sampling/bus/steering
+ * specs, hardening toggles). Part of every cache key and recorded in
+ * every shard document, where mergeShards uses it to reject mixing
+ * shards of different runs.
+ */
+std::string paramsFingerprint(const RunParams &params);
+
+/** The cache-key context for this run (fingerprint + code version). */
+serve::CacheContext makeCacheContext(const RunParams &params);
+
+/** The cache identity of one cell of `experiment`. */
+serve::CellIdentity cellIdentity(const std::string &experiment,
+                                 const Cell &cell);
+
+// ---- sharding --------------------------------------------------------------
+
+/** An experiment scheduled under --shard: only owned cells submitted. */
+struct ShardScheduled
+{
+    const Experiment *experiment = nullptr;
+    std::vector<Cell> cells;        ///< full canonical cell list
+    std::vector<std::size_t> owned; ///< indices this rank simulates
+    std::vector<std::future<CellResult>> futures; ///< parallel to owned
+};
+
+/**
+ * makeCells + serve::assignShards + submitCellJob for the owned
+ * subset. Ownership is a function of cell identity hashes, not of
+ * submission order, so it is stable under experiment code motion.
+ */
+ShardScheduled scheduleShard(const Experiment &e, const RunParams &params,
+                             const serve::ShardSpec &shard,
+                             ThreadPool &pool);
+
+/** A collected shard: results parallel to `owned`. */
+struct ShardRun
+{
+    const Experiment *experiment = nullptr;
+    std::vector<Cell> cells;
+    std::vector<std::size_t> owned;
+    std::vector<CellResult> results; ///< owned order
+    double wallTimeMs = 0.0;
+
+    std::size_t failedCells() const;
+};
+
+/** Waits for every owned cell (exceptions were captured per cell). */
+ShardRun collectShard(ShardScheduled &&scheduled);
+
+/**
+ * Writes the shard document (docs/SERVICE.md): run metadata —
+ * including the raw spec strings and fingerprint mergeShards needs to
+ * reconstruct and validate the run — plus one indexed row per owned
+ * cell.
+ */
+void renderShardJson(std::ostream &os, const ShardRun &run,
+                     const RunParams &params,
+                     const serve::ShardSpec &shard, unsigned pool_jobs);
+
+// ---- merging ---------------------------------------------------------------
+
+/** One experiment reassembled by mergeShards. */
+struct MergedExperiment
+{
+    std::string experiment;
+    std::string path; ///< the BENCH_<experiment>.json written
+    std::size_t cellCount = 0;
+    std::size_t failedCells = 0;
+};
+
+/**
+ * Reassembles complete shard sets into BENCH_<experiment>.json files
+ * under `out_dir`, byte-identical (modulo wallTimeMs lines) to the
+ * unsharded run. `files` may span several experiments; each
+ * experiment needs its full rank set. Throws JsonParseError for a
+ * damaged file and ShardMergeError for an incomplete/mismatched set
+ * or rows that no longer line up with the experiment's canonical cell
+ * list.
+ */
+std::vector<MergedExperiment>
+mergeShards(const std::vector<std::string> &files,
+            const std::string &out_dir);
+
+// ---- serve mode ------------------------------------------------------------
+
+/**
+ * Serves cell requests until shutdown (docs/SERVICE.md): each request
+ * line names an experiment and optional bench/machine filters; every
+ * matching cell streams back as one result row (cache-first via
+ * params.cache, simulated on `pool` otherwise), terminated by a
+ * "done" line. Malformed or unanswerable requests get an "error" line
+ * and the server keeps going; {"shutdown": true} stops it.
+ */
+serve::ServeStats runCellServe(const serve::ServeConfig &config,
+                               const RunParams &params,
+                               ThreadPool &pool);
+
+} // namespace fgstp::bench
+
+#endif // FGSTP_BENCH_SWEEP_SERVICE_HH

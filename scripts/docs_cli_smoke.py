@@ -3,7 +3,7 @@
 
 Documentation that shows commands must show commands that run. This
 script extracts every ``sh``-fenced block from docs/CLI.md (and
-docs/STEERING.md), keeps the lines that invoke one of the three
+docs/STEERING.md, docs/SERVICE.md), keeps the lines that invoke one of the three
 binaries, and runs each in a scratch directory with ``--insts``
 clamped down so the whole pass takes seconds. Any non-zero exit —
 an option a parser no longer accepts, a renamed experiment, a spec
@@ -24,7 +24,7 @@ import subprocess
 import sys
 import tempfile
 
-DOCS = ("docs/CLI.md", "docs/STEERING.md")
+DOCS = ("docs/CLI.md", "docs/STEERING.md", "docs/SERVICE.md")
 TOOLS = ("fgstp_sim", "fgstp_trace", "fgstp_bench")
 CLAMP_INSTS = "2500"
 # Keep the big sampled examples meaningful: the schedule must fit

@@ -78,6 +78,27 @@ benchConflictRules()
         {"--sample", "--cpi-stack",
          "--sample resets monitors at every interval boundary and the "
          "--cpi-stack report needs a full run"},
+        {"--cache", "--cpi-stack",
+         "cache hits skip simulation, so the --cpi-stack report would "
+         "silently miss every cached cell"},
+        {"--shard", "--cpi-stack",
+         "a shard simulates only its own cells, so the --cpi-stack "
+         "report would cover an arbitrary subset"},
+        {"--serve", "--cpi-stack",
+         "serve mode answers requests on demand; there is no sweep for "
+         "the --cpi-stack report to summarize"},
+        {"--serve", "--shard",
+         "serve mode answers whatever cells are requested; the request "
+         "stream, not a shard spec, partitions the work"},
+        {"--serve", "--merge",
+         "serve answers requests and merge reassembles shard files; "
+         "one process cannot do both"},
+        {"--merge", "--shard",
+         "merge reassembles already-simulated shard files; it never "
+         "simulates, so a shard spec has nothing to partition"},
+        {"--merge", "--cache",
+         "merge only reassembles shard files; it never simulates, so "
+         "there are no results to cache or fetch"},
     };
     return rules;
 }
@@ -90,6 +111,14 @@ benchRequirementRules()
         {"--steer=adaptive", "--sample",
          "online repartitioning recomputes weights at measured "
          "sampling-interval boundaries"},
+        {"--shard", "--format=json",
+         "a shard's output is a machine-readable partial-results "
+         "document for --merge, not a human-readable table"},
+        {"--cache-stats", "--cache",
+         "there are no cache counters to report without a cache "
+         "directory"},
+        {"--cache-gc", "--cache",
+         "there is no cache directory to garbage-collect"},
     };
     return rules;
 }

@@ -89,6 +89,28 @@ class FaultInjectionError : public SimError
     using SimError::SimError;
 };
 
+/**
+ * A JSON text failed to parse (a malformed serve-mode request line or
+ * a damaged shard document fed to --merge). Carries the byte offset
+ * of the first violation in the message.
+ */
+class JsonParseError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * A set of shard documents cannot be merged: incomplete shard set,
+ * mismatched run parameters or code versions, or rows that do not
+ * line up with the experiment's canonical cell list.
+ */
+class ShardMergeError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
 /** A --sample specification string failed to parse. */
 class SampleSpecError : public SimError
 {

@@ -12,7 +12,11 @@
  * goes to `<path>.tmp` and is renamed over `path` only after a
  * verified flush, so an unwritable path or a disk filling up mid-write
  * raises SimIoError and leaves no partial file that would later parse
- * as truncated.
+ * as truncated. On POSIX the commit is additionally durable: the
+ * temporary is fsync'd before the rename and the containing directory
+ * after it, so a crash or power loss mid-publish leaves either the
+ * old file or the complete new one — which the sweep service's result
+ * cache (docs/SERVICE.md) relies on to never read half an entry.
  */
 
 #ifndef FGSTP_COMMON_FS_HH
@@ -23,6 +27,12 @@
 #include <ios>
 #include <string>
 #include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define FGSTP_FS_HAVE_FSYNC 1
+#endif
 
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -124,6 +134,13 @@ class AtomicFileWriter
             throw SimIoError("closing '" + tmpPath +
                              "' failed (disk full?)");
         }
+        // Durability, not just atomicity: the rename only orders the
+        // publish against readers; a crash could still lose the data
+        // blocks behind it. fsync the temporary so its contents are on
+        // stable storage before it becomes visible under the final
+        // name, and fsync the directory afterwards so the rename
+        // itself survives.
+        syncPath(tmpPath, false);
         std::error_code ec;
         std::filesystem::rename(tmpPath, finalPath, ec);
         if (ec) {
@@ -132,10 +149,39 @@ class AtomicFileWriter
             throw SimIoError("cannot finalize '" + finalPath +
                              "': " + ec.message());
         }
+        const std::filesystem::path parent =
+            std::filesystem::path(finalPath).parent_path();
+        syncPath(parent.empty() ? "." : parent.string(), true);
         committed = true;
     }
 
   private:
+    /**
+     * Flushes a file or directory to stable storage; throws SimIoError
+     * when the kernel reports the data could not be persisted. No-op
+     * on platforms without fsync.
+     */
+    static void
+    syncPath([[maybe_unused]] const std::string &path,
+             [[maybe_unused]] bool directory)
+    {
+#ifdef FGSTP_FS_HAVE_FSYNC
+        const int fd = ::open(path.c_str(),
+                              directory ? O_RDONLY | O_DIRECTORY
+                                        : O_WRONLY);
+        if (fd < 0) {
+            throw SimIoError("cannot open '" + path +
+                             "' for fsync before publish");
+        }
+        const int rc = ::fsync(fd);
+        ::close(fd);
+        if (rc != 0) {
+            throw SimIoError("fsync of '" + path +
+                             "' failed (disk full or failing?)");
+        }
+#endif
+    }
+
     std::string finalPath;
     std::string tmpPath;
     std::ofstream os;

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic non-cryptographic hashing shared across modules.
+ *
+ * Two consumers need the exact same byte-stable construction: the
+ * bench runner's identity-derived per-cell seeds (bench::jobSeed) and
+ * the sweep service's content-addressed result-cache keys
+ * (serve::cellKeyHash). Both fold strings with FNV-1a — with an
+ * explicit field separator so ("ab","c") and ("a","bc") differ — and
+ * diffuse the result through the splitmix64 finalizer. The functions
+ * live here so the two derivations can never drift apart, and so the
+ * constants are written down exactly once.
+ */
+
+#ifndef FGSTP_COMMON_HASH_HH
+#define FGSTP_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace fgstp::hash
+{
+
+inline constexpr std::uint64_t fnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t fnvPrime = 1099511628211ull;
+
+/**
+ * FNV-1a over one string field, folded into an accumulator, followed
+ * by a separator byte so adjacent fields cannot alias across their
+ * boundary.
+ */
+constexpr std::uint64_t
+fnv1aField(std::uint64_t h, std::string_view s)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= fnvPrime;
+    }
+    h ^= 0x1f;
+    h *= fnvPrime;
+    return h;
+}
+
+/** Plain FNV-1a over a byte string (no separator fold). */
+constexpr std::uint64_t
+fnv1a(std::string_view s, std::uint64_t h = fnvOffsetBasis)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: diffuses a combined hash. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace fgstp::hash
+
+#endif // FGSTP_COMMON_HASH_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The build's code-version stamp.
+ *
+ * CMake generates the matching version.cc into the build tree on
+ * every build (cmake/GenerateVersion.cmake): the short git hash of
+ * HEAD, suffixed with "-dirty" when the working tree has uncommitted
+ * changes, or "unknown" outside a git checkout. Every BENCH_*.json
+ * meta block carries the stamp as provenance, and the sweep service's
+ * result cache folds it into every cache key so results simulated by
+ * one code version are never served as another's (docs/SERVICE.md).
+ */
+
+#ifndef FGSTP_COMMON_VERSION_HH
+#define FGSTP_COMMON_VERSION_HH
+
+namespace fgstp
+{
+
+/** The stamp baked into this binary, e.g. "f0a1ee6b12cd-dirty". */
+const char *codeVersion();
+
+} // namespace fgstp
+
+#endif // FGSTP_COMMON_VERSION_HH

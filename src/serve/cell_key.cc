@@ -1,0 +1,66 @@
+#include "serve/cell_key.hh"
+
+#include <cstdio>
+
+#include "common/hash.hh"
+
+namespace fgstp::serve
+{
+
+namespace
+{
+
+/**
+ * Escapes a field so the '|' separators of the canonical encoding
+ * stay unambiguous whatever the field contains.
+ */
+std::string
+escapeField(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '|' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+canonicalKeyString(const CellIdentity &id, const CacheContext &ctx)
+{
+    std::string s = "fgstp-cell/v" + std::to_string(cacheSchemaVersion);
+    s += '|';
+    s += escapeField(id.experiment);
+    s += '|';
+    s += escapeField(id.bench);
+    s += '|';
+    s += escapeField(id.machine);
+    s += '|';
+    s += std::to_string(id.seed);
+    s += '|';
+    s += escapeField(ctx.paramsFingerprint);
+    s += '|';
+    s += escapeField(ctx.codeVersion);
+    return s;
+}
+
+std::uint64_t
+cellKeyHash(const CellIdentity &id, const CacheContext &ctx)
+{
+    return hash::mix64(hash::fnv1a(canonicalKeyString(id, ctx)));
+}
+
+std::string
+keyHex(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace fgstp::serve

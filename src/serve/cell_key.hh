@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Content-addressed identity of one experiment cell.
+ *
+ * Every cell of every experiment is a pure function of its identity:
+ * the experiment name, the benchmark, the config-point label within
+ * the row, the identity-derived workload seed (bench::jobSeed) — plus
+ * the run-wide context that changes what the cell computes: the
+ * canonical run-parameter fingerprint (insts, eval seed, sampling /
+ * bus / steering specs), the cache schema version, and the
+ * CMake-injected code-version stamp. The cache key is a stable hash
+ * over the canonical encoding of all of that, so a result simulated
+ * once is valid exactly until any key component changes — and a code
+ * change dirties every entry at once (docs/SERVICE.md).
+ *
+ * The same hash also drives --shard=i/N: cells are ordered by key,
+ * not by submission order, so the shard a cell lands on is stable
+ * under experiment-list code motion.
+ */
+
+#ifndef FGSTP_SERVE_CELL_KEY_HH
+#define FGSTP_SERVE_CELL_KEY_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fgstp::serve
+{
+
+/** Version of the cache entry encoding; part of every key. */
+inline constexpr unsigned cacheSchemaVersion = 1;
+
+/** The per-cell identity components (unique within a sweep). */
+struct CellIdentity
+{
+    std::string experiment; ///< experiment name ("fig1", ...)
+    std::string bench;      ///< benchmark (row identity)
+    std::string machine;    ///< config-point label within the row
+    std::uint64_t seed = 0; ///< identity-derived workload seed
+};
+
+/** The run-wide key components shared by every cell of a sweep. */
+struct CacheContext
+{
+    std::string paramsFingerprint; ///< bench::paramsFingerprint(...)
+    std::string codeVersion;       ///< fgstp::codeVersion() stamp
+};
+
+/**
+ * The canonical byte encoding of (identity, context): versioned,
+ * field-separated, unambiguous. Stored verbatim in every cache entry
+ * so a (vanishingly unlikely) 64-bit hash collision is detected as a
+ * mismatch instead of served as a wrong result.
+ */
+std::string canonicalKeyString(const CellIdentity &id,
+                               const CacheContext &ctx);
+
+/** The 64-bit content-addressed key over the canonical encoding. */
+std::uint64_t cellKeyHash(const CellIdentity &id,
+                          const CacheContext &ctx);
+
+/** Fixed-width lowercase hex of a key (16 chars). */
+std::string keyHex(std::uint64_t key);
+
+} // namespace fgstp::serve
+
+#endif // FGSTP_SERVE_CELL_KEY_HH

@@ -1,0 +1,430 @@
+#include "serve/json_parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace fgstp::serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+parseFail(std::size_t offset, const std::string &what)
+{
+    throw JsonParseError("JSON parse error at byte " +
+                         std::to_string(offset) + ": " + what);
+}
+
+/** Recursive-descent parser over a string_view with an offset. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos != text.size())
+            parseFail(pos, "trailing content after the document");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            parseFail(pos, "unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c) {
+            parseFail(pos, std::string("expected '") + c +
+                               "', found '" + text[pos] + "'");
+        }
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) != lit)
+            return false;
+        pos += lit.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue::makeString(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue::makeBool(true);
+            parseFail(pos, "bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue::makeBool(false);
+            parseFail(pos, "bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue::makeNull();
+            parseFail(pos, "bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        std::map<std::string, JsonValue> members;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            members[std::move(key)] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return JsonValue::makeObject(std::move(members));
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> elems;
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return JsonValue::makeArray(std::move(elems));
+        }
+        while (true) {
+            elems.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return JsonValue::makeArray(std::move(elems));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                parseFail(pos, "unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                parseFail(pos - 1, "raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                parseFail(pos, "unterminated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u':  out += parseUnicodeEscape(); break;
+              default:
+                parseFail(pos - 1, "unknown escape");
+            }
+        }
+    }
+
+    /**
+     * \uXXXX escapes, encoded back to UTF-8. The writer only emits
+     * them for control characters, but a hand-written client request
+     * may carry any BMP code point (surrogate pairs for the rest).
+     */
+    std::string
+    parseUnicodeEscape()
+    {
+        const auto hex4 = [this]() -> std::uint32_t {
+            if (pos + 4 > text.size())
+                parseFail(pos, "truncated \\u escape");
+            std::uint32_t v = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char c = text[pos++];
+                v <<= 4;
+                if (c >= '0' && c <= '9')
+                    v |= static_cast<std::uint32_t>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    v |= static_cast<std::uint32_t>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                    v |= static_cast<std::uint32_t>(c - 'A' + 10);
+                else
+                    parseFail(pos - 1, "bad hex digit in \\u escape");
+            }
+            return v;
+        };
+
+        std::uint32_t cp = hex4();
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+            if (!consumeLiteral("\\u"))
+                parseFail(pos, "lone high surrogate");
+            const std::uint32_t lo = hex4();
+            if (lo < 0xdc00 || lo > 0xdfff)
+                parseFail(pos, "bad low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            parseFail(pos, "lone low surrogate");
+        }
+
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        const auto digits = [this]() {
+            std::size_t n = 0;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+                ++n;
+            }
+            return n;
+        };
+        const std::size_t int_start = pos;
+        if (digits() == 0)
+            parseFail(pos, "expected a number");
+        if (text[int_start] == '0' && pos - int_start > 1)
+            parseFail(int_start, "leading zeros are not allowed");
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (digits() == 0)
+                parseFail(pos, "expected fraction digits");
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (digits() == 0)
+                parseFail(pos, "expected exponent digits");
+        }
+        // strtod round-trips the shortest forms common/json.hh emits
+        // bit-exactly, which the cache/merge byte-identity relies on.
+        const std::string lit(text.substr(start, pos - start));
+        char *end = nullptr;
+        const double v = std::strtod(lit.c_str(), &end);
+        if (end != lit.c_str() + lit.size())
+            parseFail(start, "malformed number");
+        return JsonValue::makeNumber(v, lit);
+    }
+
+    std::string_view text;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (_kind != Kind::Bool)
+        throw JsonParseError("expected a JSON bool");
+    return _bool;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (_kind != Kind::Number)
+        throw JsonParseError("expected a JSON number");
+    return _number;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    if (_kind != Kind::Number)
+        throw JsonParseError("expected a JSON number");
+    // A plain decimal lexeme is converted directly: doubles only hold
+    // 53 bits and the 64-bit identity seeds need all of them.
+    if (!_string.empty() &&
+        _string.find_first_not_of("0123456789") == std::string::npos) {
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(_string.c_str(), &end, 10);
+        if (errno != 0 || end != _string.c_str() + _string.size())
+            throw JsonParseError("integer out of range");
+        return v;
+    }
+    const double v = _number;
+    if (v < 0 || v != std::floor(v))
+        throw JsonParseError("expected a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (_kind != Kind::String)
+        throw JsonParseError("expected a JSON string");
+    return _string;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (_kind != Kind::Array)
+        throw JsonParseError("expected a JSON array");
+    return _array;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    if (_kind != Kind::Object)
+        throw JsonParseError("expected a JSON object");
+    return _object;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        return nullptr;
+    const auto it = _object.find(key);
+    return it == _object.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw JsonParseError("missing required key '" + key + "'");
+    return *v;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v._kind = Kind::Bool;
+    v._bool = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d, std::string lexeme)
+{
+    JsonValue v;
+    v._kind = Kind::Number;
+    v._number = d;
+    v._string = std::move(lexeme);
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v._kind = Kind::String;
+    v._string = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> a)
+{
+    JsonValue v;
+    v._kind = Kind::Array;
+    v._array = std::move(a);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> o)
+{
+    JsonValue v;
+    v._kind = Kind::Object;
+    v._object = std::move(o);
+    return v;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace fgstp::serve

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A minimal JSON *reader* — the dual of common/json.hh's writer.
+ *
+ * Two sweep-service paths consume JSON this code base previously only
+ * produced: `fgstp_bench --merge` re-reads the shard documents the
+ * sharded runs wrote, and `--serve` parses newline-delimited request
+ * objects off a socket or stdin. Both only ever see documents this
+ * repo (or a thin client) emitted, so the parser covers exactly
+ * RFC 8259: objects, arrays, strings (with escapes), numbers, bools,
+ * null. It builds a small immutable Value tree; any syntax violation
+ * throws JsonParseError with the byte offset, which the serve loop
+ * turns into an error row instead of dying (docs/SERVICE.md).
+ *
+ * Deliberately not here: streaming/SAX parsing, comments, NaN/Inf
+ * extensions, duplicate-key policies beyond last-wins.
+ */
+
+#ifndef FGSTP_SERVE_JSON_PARSE_HH
+#define FGSTP_SERVE_JSON_PARSE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace fgstp::serve
+{
+
+/** One parsed JSON value; a tagged tree with value semantics. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isObject() const { return _kind == Kind::Object; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isBool() const { return _kind == Kind::Bool; }
+
+    /** Typed accessors; throw JsonParseError on a kind mismatch so a
+     *  schema violation reports as a parse-level failure. */
+    bool asBool() const;
+    double asNumber() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Required object member; throws JsonParseError when missing. */
+    const JsonValue &at(const std::string &key) const;
+
+    // Construction (used by the parser and by tests).
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double v, std::string lexeme = "");
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> a);
+    static JsonValue makeObject(std::map<std::string, JsonValue> o);
+
+  private:
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    /** String payload; for numbers, the source lexeme (asUint reads
+     *  integers from it so 64-bit seeds survive beyond 2^53). */
+    std::string _string;
+    std::vector<JsonValue> _array;
+    std::map<std::string, JsonValue> _object;
+};
+
+/**
+ * Parses a complete JSON text. Trailing non-whitespace after the
+ * top-level value is an error (a merged shard file must be exactly
+ * one document; a request line exactly one object).
+ */
+JsonValue parseJson(std::string_view text);
+
+} // namespace fgstp::serve
+
+#endif // FGSTP_SERVE_JSON_PARSE_HH

@@ -1,0 +1,274 @@
+#include "serve/line_server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/error.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define FGSTP_SERVE_HAVE_UNIX_SOCKETS 1
+#endif
+
+namespace fgstp::serve
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t stopRequested = 0;
+
+void
+stopSignalHandler(int)
+{
+    stopRequested = 1;
+}
+
+/**
+ * Installs SIGINT/SIGTERM handlers for the lifetime of a serve loop
+ * and restores the previous disposition on exit. Installed WITHOUT
+ * SA_RESTART so a blocking accept()/read() returns with EINTR and the
+ * loop can notice stopRequested instead of blocking forever.
+ */
+class ScopedStopSignals
+{
+  public:
+    ScopedStopSignals()
+    {
+        stopRequested = 0;
+#ifdef FGSTP_SERVE_HAVE_UNIX_SOCKETS
+        struct sigaction sa = {};
+        sa.sa_handler = stopSignalHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // no SA_RESTART: interrupt blocking calls
+        sigaction(SIGINT, &sa, &prevInt);
+        sigaction(SIGTERM, &sa, &prevTerm);
+#else
+        prevInt = std::signal(SIGINT, stopSignalHandler);
+        prevTerm = std::signal(SIGTERM, stopSignalHandler);
+#endif
+    }
+
+    ~ScopedStopSignals()
+    {
+#ifdef FGSTP_SERVE_HAVE_UNIX_SOCKETS
+        sigaction(SIGINT, &prevInt, nullptr);
+        sigaction(SIGTERM, &prevTerm, nullptr);
+#else
+        std::signal(SIGINT, prevInt);
+        std::signal(SIGTERM, prevTerm);
+#endif
+    }
+
+  private:
+#ifdef FGSTP_SERVE_HAVE_UNIX_SOCKETS
+    struct sigaction prevInt = {};
+    struct sigaction prevTerm = {};
+#else
+    void (*prevInt)(int) = SIG_DFL;
+    void (*prevTerm)(int) = SIG_DFL;
+#endif
+};
+
+/** Times one handler invocation into stats and forwards its verdict. */
+bool
+dispatch(const LineHandler &handler, const std::string &line,
+         const std::function<void(const std::string &)> &emit,
+         ServeStats &stats)
+{
+    ++stats.requests;
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool keep_going = handler(line, emit);
+    stats.busyMs +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return keep_going;
+}
+
+ServeStats
+serveStdio(const LineHandler &handler)
+{
+    ServeStats stats;
+    const auto emit = [](const std::string &response) {
+        std::cout << response << '\n';
+        std::cout.flush();
+    };
+    std::string line;
+    while (!stopRequested && std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        if (!dispatch(handler, line, emit, stats))
+            break;
+    }
+    return stats;
+}
+
+#ifdef FGSTP_SERVE_HAVE_UNIX_SOCKETS
+
+/** Closes an fd on scope exit. */
+struct FdGuard
+{
+    int fd = -1;
+    ~FdGuard()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+/** Sends all of `data` (plus '\n'); false when the client went away. */
+bool
+sendLine(int fd, const std::string &data)
+{
+    std::string framed = data;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR && !stopRequested)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Serves one accepted client until it disconnects or the handler
+ * requests shutdown. Returns false to stop accepting.
+ */
+bool
+serveClient(int fd, const LineHandler &handler, ServeStats &stats)
+{
+    bool keep_serving = true;
+    bool client_gone = false;
+    const auto emit = [fd, &client_gone](const std::string &response) {
+        if (!client_gone && !sendLine(fd, response))
+            client_gone = true;
+    };
+    std::string buffer;
+    char chunk[4096];
+    while (!stopRequested && !client_gone) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break; // orderly disconnect
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            if (!dispatch(handler, line, emit, stats)) {
+                keep_serving = false;
+                break;
+            }
+        }
+        if (!keep_serving)
+            break;
+    }
+    return keep_serving;
+}
+
+ServeStats
+serveUnix(const std::string &path, const LineHandler &handler)
+{
+    FdGuard listener{::socket(AF_UNIX, SOCK_STREAM, 0)};
+    if (listener.fd < 0)
+        throw SimIoError("cannot create unix socket for --serve");
+
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw SimIoError("--serve socket path too long: '" + path +
+                         "'");
+    }
+    path.copy(addr.sun_path, path.size());
+
+    // A previous serve process that died uncleanly leaves the socket
+    // file behind; binding over it needs the stale name removed.
+    ::unlink(path.c_str());
+    if (::bind(listener.fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        throw SimIoError("cannot bind --serve socket '" + path + "'");
+    }
+    if (::listen(listener.fd, 8) != 0) {
+        ::unlink(path.c_str());
+        throw SimIoError("cannot listen on --serve socket '" + path +
+                         "'");
+    }
+
+    ServeStats stats;
+    while (!stopRequested) {
+        const int client = ::accept(listener.fd, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR)
+                continue; // signal: loop re-checks stopRequested
+            break;
+        }
+        FdGuard guard{client};
+        if (!serveClient(client, handler, stats))
+            break;
+    }
+    ::unlink(path.c_str());
+    return stats;
+}
+
+#endif // FGSTP_SERVE_HAVE_UNIX_SOCKETS
+
+} // namespace
+
+ServeConfig
+parseServeConfig(const std::string &spec)
+{
+    ServeConfig config;
+    if (spec.empty() || spec == "stdio") {
+        config.transport = ServeConfig::Transport::Stdio;
+        return config;
+    }
+    if (spec.rfind("unix:", 0) == 0) {
+        config.transport = ServeConfig::Transport::Unix;
+        config.path = spec.substr(5);
+        if (config.path.empty()) {
+            throw ConfigError(
+                "--serve=unix: needs a socket path (unix:/tmp/x.sock)");
+        }
+        return config;
+    }
+    throw ConfigError("bad --serve transport '" + spec +
+                      "' (expected stdio or unix:PATH)");
+}
+
+ServeStats
+runLineServer(const ServeConfig &config, const LineHandler &handler)
+{
+    ScopedStopSignals signals;
+    if (config.transport == ServeConfig::Transport::Stdio)
+        return serveStdio(handler);
+#ifdef FGSTP_SERVE_HAVE_UNIX_SOCKETS
+    return serveUnix(config.path, handler);
+#else
+    throw SimIoError(
+        "--serve=unix: is unavailable on this platform (no unix "
+        "domain sockets); use --serve=stdio");
+#endif
+}
+
+} // namespace fgstp::serve

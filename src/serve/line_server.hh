@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The transport layer of `fgstp_bench --serve`.
+ *
+ * A serve-mode process answers newline-delimited JSON requests with
+ * newline-delimited JSON responses, either over stdin/stdout
+ * (`--serve=stdio`, trivially scriptable: pipe requests in) or over a
+ * unix-domain socket (`--serve=unix:PATH`, for a long-lived sweep
+ * server shared by several clients in turn). This file owns framing,
+ * the accept loop and graceful shutdown; it knows nothing about
+ * experiments. The request semantics live in bench/sweep_service.cc,
+ * which passes a handler callback down — keeping the bench → serve
+ * dependency one-way (docs/ARCHITECTURE.md).
+ *
+ * Shutdown paths: the handler can request it (a {"shutdown":true}
+ * request), the client can close the stream, or SIGINT/SIGTERM can
+ * arrive — all three end the loop cleanly, after which runLineServer
+ * returns the session's request/latency/hit-rate statistics.
+ */
+
+#ifndef FGSTP_SERVE_LINE_SERVER_HH
+#define FGSTP_SERVE_LINE_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fgstp::serve
+{
+
+/** A parsed --serve transport specification. */
+struct ServeConfig
+{
+    enum class Transport
+    {
+        Stdio, ///< requests on stdin, responses on stdout
+        Unix,  ///< unix-domain stream socket at `path`
+    };
+
+    Transport transport = Transport::Stdio;
+    std::string path; ///< socket path when transport == Unix
+};
+
+/**
+ * Parses the --serve value: "" or "stdio" → Stdio, "unix:PATH" →
+ * Unix. Throws ConfigError on anything else.
+ */
+ServeConfig parseServeConfig(const std::string &spec);
+
+/** What one serve session did (rendered as a final stderr line). */
+struct ServeStats
+{
+    std::uint64_t requests = 0;  ///< request lines handled
+    std::uint64_t errors = 0;    ///< requests answered with an error
+    std::uint64_t cacheHits = 0; ///< handler-reported cache hits
+    double busyMs = 0.0;         ///< total time spent inside handlers
+};
+
+/**
+ * The per-request callback. Receives one request line and an `emit`
+ * sink for response lines (each emitted string is sent as one line);
+ * returns false to stop serving (shutdown request). Exceptions
+ * escaping the handler abort the serve loop; the handler is expected
+ * to catch its own errors and emit them as error responses.
+ */
+using LineHandler = std::function<bool(
+    const std::string &line,
+    const std::function<void(const std::string &)> &emit)>;
+
+/**
+ * Runs the serve loop until shutdown (handler returned false), end of
+ * input, or SIGINT/SIGTERM. For the Unix transport, clients are
+ * accepted one at a time; the socket file is unlinked on exit.
+ * Throws SimIoError when the transport cannot be established.
+ */
+ServeStats runLineServer(const ServeConfig &config,
+                         const LineHandler &handler);
+
+} // namespace fgstp::serve
+
+#endif // FGSTP_SERVE_LINE_SERVER_HH

@@ -1,0 +1,114 @@
+#include "serve/progress.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FGSTP_PROGRESS_HAVE_ISATTY 1
+#endif
+
+namespace fgstp::serve
+{
+
+ProgressMeter::ProgressMeter(std::string label, bool enabled)
+    : _label(std::move(label)), _enabled(enabled),
+      _start(std::chrono::steady_clock::now()), _lastPaint(_start)
+{
+}
+
+ProgressMeter::~ProgressMeter()
+{
+    finish();
+}
+
+void
+ProgressMeter::addTotal(std::uint64_t cells)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _total += cells;
+}
+
+void
+ProgressMeter::tick(bool cache_hit)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_done;
+    _hits += cache_hit;
+    if (!_enabled)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    if (_done < _total && now - _lastPaint <
+                              std::chrono::milliseconds(100))
+        return;
+    paint(now);
+}
+
+void
+ProgressMeter::finish()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (!_painted)
+        return;
+    // Erase the line so the sweep's real output starts clean.
+    std::fputs("\r\033[2K", stderr);
+    std::fflush(stderr);
+    _painted = false;
+}
+
+std::uint64_t
+ProgressMeter::done() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _done;
+}
+
+std::uint64_t
+ProgressMeter::hits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hits;
+}
+
+void
+ProgressMeter::paint(std::chrono::steady_clock::time_point now)
+{
+    const double elapsed =
+        std::chrono::duration<double>(now - _start).count();
+    char eta[32] = "";
+    if (_done > 0 && _done < _total) {
+        const double remain =
+            elapsed * static_cast<double>(_total - _done) /
+            static_cast<double>(_done);
+        std::snprintf(eta, sizeof(eta), " eta %.0fs", remain);
+    }
+    std::fprintf(stderr,
+                 "\r\033[2K%s[%llu/%llu] cache hits %llu, %.1fs%s",
+                 _label.empty() ? "" : (_label + ": ").c_str(),
+                 static_cast<unsigned long long>(_done),
+                 static_cast<unsigned long long>(_total),
+                 static_cast<unsigned long long>(_hits), elapsed, eta);
+    std::fflush(stderr);
+    _painted = true;
+    _lastPaint = now;
+}
+
+bool
+ProgressMeter::progressEnabled()
+{
+    if (const char *env = std::getenv("FGSTP_PROGRESS")) {
+        if (std::strcmp(env, "0") == 0)
+            return false;
+        if (std::strcmp(env, "1") == 0)
+            return true;
+    }
+#ifdef FGSTP_PROGRESS_HAVE_ISATTY
+    return ::isatty(::fileno(stderr)) == 1;
+#else
+    return false;
+#endif
+}
+
+} // namespace fgstp::serve

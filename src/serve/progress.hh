@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The one-line sweep progress/ETA report on stderr.
+ *
+ * A full sweep at paper-scale instruction counts runs for minutes; the
+ * only sign of life used to be the final table. ProgressMeter paints a
+ * single self-overwriting line — cells done/total, cache hits, elapsed
+ * and a simple linear ETA — and erases it when the sweep finishes so
+ * the real output starts on a clean line.
+ *
+ * It stays silent unless stderr is a TTY (CI logs and redirected runs
+ * see nothing), overridable both ways with FGSTP_PROGRESS=1/0. Updates
+ * are throttled to ~10/s so ticking thousands of fast cached cells
+ * costs nothing measurable. tick() is called from pool workers and is
+ * thread-safe.
+ */
+
+#ifndef FGSTP_SERVE_PROGRESS_HH
+#define FGSTP_SERVE_PROGRESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace fgstp::serve
+{
+
+/** Renders "[done/total] ... eta" on stderr; no-op when disabled. */
+class ProgressMeter
+{
+  public:
+    /**
+     * `label` prefixes the line (the experiment set being swept).
+     * `enabled` normally comes from progressEnabled().
+     */
+    ProgressMeter(std::string label, bool enabled);
+
+    /** Erases the line if one is showing. */
+    ~ProgressMeter();
+
+    ProgressMeter(const ProgressMeter &) = delete;
+    ProgressMeter &operator=(const ProgressMeter &) = delete;
+
+    /** Grows the denominator (called once per scheduled experiment). */
+    void addTotal(std::uint64_t cells);
+
+    /** Records one finished cell; hit=true when served from cache. */
+    void tick(bool cache_hit);
+
+    /** Erases the progress line (idempotent; destructor calls it). */
+    void finish();
+
+    std::uint64_t done() const;
+    std::uint64_t hits() const;
+
+    /**
+     * The default gate: FGSTP_PROGRESS=1 forces on, =0 forces off,
+     * otherwise on exactly when stderr is a TTY.
+     */
+    static bool progressEnabled();
+
+  private:
+    void paint(std::chrono::steady_clock::time_point now);
+
+    const std::string _label;
+    const bool _enabled;
+    mutable std::mutex _mutex;
+    std::uint64_t _total = 0;
+    std::uint64_t _done = 0;
+    std::uint64_t _hits = 0;
+    bool _painted = false;
+    std::chrono::steady_clock::time_point _start;
+    std::chrono::steady_clock::time_point _lastPaint;
+};
+
+} // namespace fgstp::serve
+
+#endif // FGSTP_SERVE_PROGRESS_HH

@@ -1,0 +1,330 @@
+#include "serve/result_cache.hh"
+
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fs.hh"
+#include "common/hash.hh"
+
+namespace fgstp::serve
+{
+
+namespace
+{
+
+constexpr std::string_view entryMagic = "fgstp-cache-entry v1";
+
+/**
+ * Shortest round-trip decimal for a double. Unlike json::number this
+ * keeps non-finite values (to_chars prints "inf"/"nan", which strtod
+ * reads back) — a cached metric vector must reproduce the original
+ * bits whatever they were.
+ */
+std::string
+numToString(double v)
+{
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+bool
+numFromString(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+/** One-line encoding for strings that may contain newlines. */
+std::string
+escapeLine(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+bool
+unescapeLine(std::string_view s, std::string &out)
+{
+    out.clear();
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (++i >= s.size())
+            return false;
+        if (s[i] == '\\')
+            out += '\\';
+        else if (s[i] == 'n')
+            out += '\n';
+        else
+            return false;
+    }
+    return true;
+}
+
+/** Splits "name value" at the first space; false when no space. */
+bool
+splitField(const std::string &line, std::string &name, std::string &value)
+{
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos)
+        return false;
+    name = line.substr(0, sp);
+    value = line.substr(sp + 1);
+    return true;
+}
+
+std::string
+renderEntry(const CellIdentity &id, const CacheContext &ctx,
+            const CachedCell &cell)
+{
+    std::string body;
+    body += entryMagic;
+    body += '\n';
+    body += "key ";
+    body += escapeLine(canonicalKeyString(id, ctx));
+    body += '\n';
+    body += "codeVersion ";
+    body += escapeLine(ctx.codeVersion);
+    body += '\n';
+    body += "ok ";
+    body += cell.ok ? '1' : '0';
+    body += '\n';
+    body += "wallTimeMs ";
+    body += numToString(cell.wallTimeMs);
+    body += '\n';
+    if (!cell.ok) {
+        body += "error ";
+        body += escapeLine(cell.error);
+        body += '\n';
+    }
+    body += "values " + std::to_string(cell.values.size());
+    body += '\n';
+    for (const double v : cell.values) {
+        body += "v ";
+        body += numToString(v);
+        body += '\n';
+    }
+    // The checksum covers every byte above its own line, so any
+    // truncation or flip — including in the key line — is caught.
+    const std::string sum = keyHex(hash::fnv1a(body));
+    body += "checksum ";
+    body += sum;
+    body += '\n';
+    return body;
+}
+
+enum class ParseOutcome
+{
+    Good,      ///< checksum + structure valid, key matches
+    Collision, ///< valid entry, but for a different cell (leave it)
+    Corrupt,   ///< damaged or unreadable (remove it)
+};
+
+ParseOutcome
+parseEntry(const std::string &text, const std::string &want_key,
+           CachedCell &out)
+{
+    // Validate the checksum first: everything after this point can
+    // assume the bytes are what the writer produced.
+    const std::size_t cks = text.rfind("checksum ");
+    if (cks == std::string::npos || (cks != 0 && text[cks - 1] != '\n'))
+        return ParseOutcome::Corrupt;
+    std::string_view sum(text);
+    sum.remove_prefix(cks + 9);
+    while (!sum.empty() && (sum.back() == '\n' || sum.back() == '\r'))
+        sum.remove_suffix(1);
+    if (sum != keyHex(hash::fnv1a(std::string_view(text).substr(0, cks))))
+        return ParseOutcome::Corrupt;
+
+    std::istringstream is(text.substr(0, cks));
+    std::string line;
+    if (!std::getline(is, line) || line != entryMagic)
+        return ParseOutcome::Corrupt;
+
+    CachedCell cell;
+    bool saw_key = false;
+    bool saw_ok = false;
+    std::size_t want_values = 0;
+    bool saw_values = false;
+    std::string name;
+    std::string value;
+    while (std::getline(is, line)) {
+        if (!splitField(line, name, value))
+            return ParseOutcome::Corrupt;
+        if (name == "key") {
+            std::string key;
+            if (!unescapeLine(value, key))
+                return ParseOutcome::Corrupt;
+            if (key != want_key)
+                return ParseOutcome::Collision;
+            saw_key = true;
+        } else if (name == "codeVersion") {
+            // Informational for GC; already folded into the key.
+        } else if (name == "ok") {
+            if (value != "0" && value != "1")
+                return ParseOutcome::Corrupt;
+            cell.ok = value == "1";
+            saw_ok = true;
+        } else if (name == "wallTimeMs") {
+            if (!numFromString(value, cell.wallTimeMs))
+                return ParseOutcome::Corrupt;
+        } else if (name == "error") {
+            if (!unescapeLine(value, cell.error))
+                return ParseOutcome::Corrupt;
+        } else if (name == "values") {
+            want_values = std::strtoull(value.c_str(), nullptr, 10);
+            saw_values = true;
+        } else if (name == "v") {
+            double v = 0;
+            if (!numFromString(value, v))
+                return ParseOutcome::Corrupt;
+            cell.values.push_back(v);
+        } else {
+            return ParseOutcome::Corrupt;
+        }
+    }
+    if (!saw_key || !saw_ok || !saw_values ||
+        cell.values.size() != want_values)
+        return ParseOutcome::Corrupt;
+    out = std::move(cell);
+    return ParseOutcome::Good;
+}
+
+} // namespace
+
+ResultCache::ResultCache(const std::string &dir, CacheContext ctx)
+    : _dir(dir), _ctx(std::move(ctx))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_dir, ec);
+    if (ec || !std::filesystem::is_directory(_dir)) {
+        throw SimIoError(
+            "cannot open cache directory '" + _dir + "'" +
+            (ec ? ": " + ec.message()
+                : ": path exists but is not a directory"));
+    }
+}
+
+std::string
+ResultCache::entryPath(const CellIdentity &id) const
+{
+    return (std::filesystem::path(_dir) /
+            (keyHex(cellKeyHash(id, _ctx)) + ".cell"))
+        .string();
+}
+
+std::optional<CachedCell>
+ResultCache::lookup(const CellIdentity &id)
+{
+    const std::string path = entryPath(id);
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!is.good() && !is.eof()) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.misses;
+        return std::nullopt;
+    }
+
+    CachedCell cell;
+    const ParseOutcome outcome =
+        parseEntry(buf.str(), canonicalKeyString(id, _ctx), cell);
+    std::lock_guard<std::mutex> lock(_mutex);
+    switch (outcome) {
+      case ParseOutcome::Good:
+        ++_stats.hits;
+        return cell;
+      case ParseOutcome::Collision:
+        // A different cell's valid entry behind the same 64-bit key:
+        // leave it for its owner and just resimulate this cell.
+        ++_stats.misses;
+        return std::nullopt;
+      case ParseOutcome::Corrupt:
+        break;
+    }
+    ++_stats.corrupt;
+    ++_stats.misses;
+    std::error_code ec;
+    std::filesystem::remove(path, ec); // best-effort; miss either way
+    return std::nullopt;
+}
+
+void
+ResultCache::store(const CellIdentity &id, const CachedCell &cell)
+{
+    AtomicFileWriter writer(entryPath(id), /*binary=*/true);
+    writer.stream() << renderEntry(id, _ctx, cell);
+    writer.commit();
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.stores;
+}
+
+std::size_t
+ResultCache::gcStaleVersions()
+{
+    std::size_t evicted = 0;
+    for (const auto &de : std::filesystem::directory_iterator(_dir)) {
+        if (!de.is_regular_file() || de.path().extension() != ".cell")
+            continue;
+        std::ifstream is(de.path(), std::ios::binary);
+        if (!is)
+            continue;
+        // The codeVersion line sits near the top; reading two fields
+        // is enough to classify without parsing the whole entry.
+        std::string line;
+        std::string version;
+        bool found = false;
+        while (std::getline(is, line)) {
+            std::string name;
+            std::string value;
+            if (splitField(line, name, value) && name == "codeVersion") {
+                found = unescapeLine(value, version);
+                break;
+            }
+        }
+        // An entry with no readable version line is damaged; reclaim
+        // it along with the stale ones.
+        if (found && version == _ctx.codeVersion)
+            continue;
+        std::error_code ec;
+        if (std::filesystem::remove(de.path(), ec) && !ec)
+            ++evicted;
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    _stats.evicted += evicted;
+    return evicted;
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+} // namespace fgstp::serve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The persistent, content-addressed result cache behind --cache=DIR.
+ *
+ * One cache directory holds one file per simulated cell, named by the
+ * 16-hex-digit cell key (cell_key.hh) with a `.cell` suffix. An entry
+ * records the cell's metric vector, wall time and ok/error outcome in
+ * a line-oriented text format ending in an FNV-1a checksum line, and
+ * is published with AtomicFileWriter — so concurrent shards and serve
+ * processes can share one directory: a reader sees either no entry or
+ * a complete one, never a torn write.
+ *
+ * A cache must never turn a bad disk into a wrong sweep. lookup()
+ * therefore verifies the checksum AND the full canonical key string
+ * embedded in the entry; anything that fails — truncation, bit rot,
+ * a hash collision with another cell — is treated as a miss (corrupt
+ * entries are removed and counted, collisions left alone), and the
+ * cell is simply resimulated. Entries written by a different code
+ * version can never be hit (the version is part of the key) and are
+ * reclaimed by gcStaleVersions(), the --cache-gc path.
+ */
+
+#ifndef FGSTP_SERVE_RESULT_CACHE_HH
+#define FGSTP_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/cell_key.hh"
+
+namespace fgstp::serve
+{
+
+/** The cached outcome of one cell (mirrors bench::CellResult). */
+struct CachedCell
+{
+    std::vector<double> values;
+    double wallTimeMs = 0.0; ///< wall time of the original simulation
+    bool ok = true;
+    std::string error; ///< failure message when !ok
+};
+
+/** Counters one cache instance accumulates (reported by --cache-stats). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;    ///< lookups served from disk
+    std::uint64_t misses = 0;  ///< lookups that found no usable entry
+    std::uint64_t stores = 0;  ///< entries written
+    std::uint64_t corrupt = 0; ///< damaged entries detected and removed
+    std::uint64_t evicted = 0; ///< stale-version entries removed by GC
+};
+
+/** A cache directory bound to one run's CacheContext. Thread-safe. */
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) `dir`; throws SimIoError on failure. */
+    ResultCache(const std::string &dir, CacheContext ctx);
+
+    /**
+     * Fetches the entry for `id` under this cache's context. Returns
+     * nullopt on any miss — absent, corrupt (removed + counted), or a
+     * key-collision mismatch — never throws for a bad entry.
+     */
+    std::optional<CachedCell> lookup(const CellIdentity &id);
+
+    /** Atomically publishes the result for `id`. */
+    void store(const CellIdentity &id, const CachedCell &cell);
+
+    /**
+     * Removes every entry whose recorded code version differs from
+     * this context's (they can never be hit again). Returns the
+     * number of entries evicted; also counted in stats().
+     */
+    std::size_t gcStaleVersions();
+
+    CacheStats stats() const;
+    const std::string &directory() const { return _dir; }
+    const CacheContext &context() const { return _ctx; }
+
+  private:
+    std::string entryPath(const CellIdentity &id) const;
+
+    std::string _dir;
+    CacheContext _ctx;
+    mutable std::mutex _mutex;
+    CacheStats _stats;
+};
+
+} // namespace fgstp::serve
+
+#endif // FGSTP_SERVE_RESULT_CACHE_HH

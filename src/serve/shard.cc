@@ -1,0 +1,59 @@
+#include "serve/shard.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/error.hh"
+
+namespace fgstp::serve
+{
+
+ShardSpec
+parseShardSpec(const std::string &spec)
+{
+    const auto fail = [&spec]() -> void {
+        throw ConfigError("bad --shard spec '" + spec +
+                          "' (expected i/N with 0 <= i < N, e.g. 0/4)");
+    };
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= spec.size())
+        fail();
+    const std::string rank_s = spec.substr(0, slash);
+    const std::string count_s = spec.substr(slash + 1);
+    const auto parseUnsigned = [&fail](const std::string &s) -> unsigned {
+        if (s.empty() ||
+            s.find_first_not_of("0123456789") != std::string::npos)
+            fail();
+        const unsigned long v = std::strtoul(s.c_str(), nullptr, 10);
+        if (v > 1u << 20) // sanity bound, not a real limit
+            fail();
+        return static_cast<unsigned>(v);
+    };
+    ShardSpec out;
+    out.rank = parseUnsigned(rank_s);
+    out.count = parseUnsigned(count_s);
+    if (out.count == 0 || out.rank >= out.count)
+        fail();
+    return out;
+}
+
+std::vector<unsigned>
+assignShards(const std::vector<std::uint64_t> &keys, unsigned shard_count)
+{
+    // Order positions by key so the dealing is identity-driven, then
+    // deal round-robin for an even split whatever the key values.
+    std::vector<std::size_t> order(keys.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](std::size_t a, std::size_t b) {
+                         return keys[a] < keys[b];
+                     });
+    std::vector<unsigned> owner(keys.size(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        owner[order[i]] = static_cast<unsigned>(i % shard_count);
+    return owner;
+}
+
+} // namespace fgstp::serve

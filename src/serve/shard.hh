@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic cell partitioning for multi-process sweeps.
+ *
+ * `fgstp_bench --shard=i/N` must let N independent processes — on one
+ * machine or several — split a sweep with no coordination and no cell
+ * run twice or dropped. The only shared state they can rely on is the
+ * cell *identities*, so assignment is a pure function of them: order
+ * the cells by their content-addressed key (cell_key.hh) and deal
+ * them round-robin. Submission order never enters, so reordering the
+ * experiment registry or a makeCells loop does not reshuffle shards
+ * (and a populated --cache keeps its value across such edits).
+ */
+
+#ifndef FGSTP_SERVE_SHARD_HH
+#define FGSTP_SERVE_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/cell_key.hh"
+
+namespace fgstp::serve
+{
+
+/** A parsed --shard=i/N: this process owns rank i of count shards. */
+struct ShardSpec
+{
+    unsigned rank = 0;  ///< 0-based shard index
+    unsigned count = 1; ///< total number of shards
+};
+
+/**
+ * Parses "i/N" (0 <= i < N, N >= 1); throws ConfigError with the
+ * offending spec on anything else.
+ */
+ShardSpec parseShardSpec(const std::string &spec);
+
+/**
+ * Assigns each of `keys` (cell key hashes, in the experiment's
+ * canonical makeCells order) to a shard rank. Returns one rank per
+ * input, parallel to `keys`. Ties between equal keys (only possible
+ * under a full 64-bit collision) break by position, keeping the
+ * assignment a total function of the input sequence.
+ */
+std::vector<unsigned> assignShards(const std::vector<std::uint64_t> &keys,
+                                   unsigned shard_count);
+
+} // namespace fgstp::serve
+
+#endif // FGSTP_SERVE_SHARD_HH

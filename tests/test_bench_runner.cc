@@ -277,8 +277,21 @@ TEST(FlagConflicts, TablesCoverTheDocumentedPairs)
         has(cli::benchConflictRules(), "--sample", "--cpi-stack"));
     EXPECT_TRUE(
         has(cli::simConflictRules(), "--steer", "--chunk"));
+    // Sweep-service modes (docs/SERVICE.md): --serve and --merge are
+    // exclusive top-level modes, and the service flags sidestep the
+    // --cpi-stack sidecar report.
+    EXPECT_TRUE(
+        has(cli::benchConflictRules(), "--cache", "--cpi-stack"));
+    EXPECT_TRUE(
+        has(cli::benchConflictRules(), "--shard", "--cpi-stack"));
+    EXPECT_TRUE(
+        has(cli::benchConflictRules(), "--serve", "--cpi-stack"));
+    EXPECT_TRUE(has(cli::benchConflictRules(), "--serve", "--shard"));
+    EXPECT_TRUE(has(cli::benchConflictRules(), "--serve", "--merge"));
+    EXPECT_TRUE(has(cli::benchConflictRules(), "--merge", "--shard"));
+    EXPECT_TRUE(has(cli::benchConflictRules(), "--merge", "--cache"));
     EXPECT_EQ(cli::simConflictRules().size(), 3u);
-    EXPECT_EQ(cli::benchConflictRules().size(), 1u);
+    EXPECT_EQ(cli::benchConflictRules().size(), 8u);
 }
 
 // ---- crash-isolated sweeps -------------------------------------------------

@@ -1,0 +1,730 @@
+/**
+ * @file
+ * Tests for the sweep-service subsystem (src/serve + bench/sweep_service):
+ * cache keys and the persistent result cache, deterministic sharding
+ * and shard-document merge, the JSON reader, the progress meter, and
+ * an in-process unix-socket serve round trip. The headline properties
+ * are the ones docs/SERVICE.md promises: a warm cache replays a sweep
+ * byte-identically without simulating anything, and a merged shard set
+ * reproduces the unsharded BENCH_<experiment>.json.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/experiments.hh"
+#include "bench/sweep_service.hh"
+#include "common/error.hh"
+#include "common/thread_pool.hh"
+#include "common/version.hh"
+#include "serve/cell_key.hh"
+#include "serve/json_parse.hh"
+#include "serve/line_server.hh"
+#include "serve/progress.hh"
+#include "serve/result_cache.hh"
+#include "serve/shard.hh"
+
+namespace fgstp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A self-deleting scratch directory. */
+struct TempDir
+{
+    TempDir()
+    {
+        std::string tmpl =
+            (fs::temp_directory_path() / "fgstp_serve_XXXXXX").string();
+        if (!mkdtemp(tmpl.data()))
+            throw std::runtime_error("mkdtemp failed");
+        path = tmpl;
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string path;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::string
+stripWallTime(const std::string &json)
+{
+    std::istringstream in(json);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.find("wallTimeMs") == std::string::npos)
+            out += line + "\n";
+    }
+    return out;
+}
+
+// ---- cell keys -------------------------------------------------------------
+
+TEST(CellKey, EveryIdentityAndContextFieldEntersTheKey)
+{
+    const serve::CellIdentity id{"fig1", "gcc", "fgstp", 42};
+    const serve::CacheContext ctx{"fp-a", "code-a"};
+    const auto base = serve::cellKeyHash(id, ctx);
+    EXPECT_EQ(base, serve::cellKeyHash(id, ctx));
+
+    auto mutate = [&](auto fn) {
+        auto id2 = id;
+        auto ctx2 = ctx;
+        fn(id2, ctx2);
+        return serve::cellKeyHash(id2, ctx2);
+    };
+    EXPECT_NE(base, mutate([](auto &i, auto &) { i.experiment = "fig2"; }));
+    EXPECT_NE(base, mutate([](auto &i, auto &) { i.bench = "mcf"; }));
+    EXPECT_NE(base, mutate([](auto &i, auto &) { i.machine = "fusion"; }));
+    EXPECT_NE(base, mutate([](auto &i, auto &) { i.seed = 43; }));
+    EXPECT_NE(base,
+              mutate([](auto &, auto &c) { c.paramsFingerprint = "fp-b"; }));
+    EXPECT_NE(base, mutate([](auto &, auto &c) { c.codeVersion = "code-b"; }));
+}
+
+TEST(CellKey, CanonicalStringEscapesTheFieldSeparator)
+{
+    // "a|b" in one field must not alias "a" and "b" in neighbours.
+    const serve::CacheContext ctx{"fp", "code"};
+    const auto a = serve::canonicalKeyString({"e", "a|b", "m", 1}, ctx);
+    const auto b = serve::canonicalKeyString({"e|a", "b", "m", 1}, ctx);
+    EXPECT_NE(a, b);
+}
+
+TEST(CellKey, KeyHexIsFixedWidthLowercase)
+{
+    EXPECT_EQ(serve::keyHex(0), "0000000000000000");
+    EXPECT_EQ(serve::keyHex(0xdeadbeefull), "00000000deadbeef");
+    EXPECT_EQ(serve::keyHex(std::numeric_limits<std::uint64_t>::max()),
+              "ffffffffffffffff");
+}
+
+// ---- shard spec + assignment -----------------------------------------------
+
+TEST(Shard, ParseAcceptsValidSpecsAndRejectsTheRest)
+{
+    const auto s = serve::parseShardSpec("1/3");
+    EXPECT_EQ(s.rank, 1u);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(serve::parseShardSpec("0/1").count, 1u);
+    for (const char *bad :
+         {"", "1", "3/3", "4/3", "-1/3", "a/b", "1/0", "1/3x", "1//3"})
+        EXPECT_THROW(serve::parseShardSpec(bad), ConfigError) << bad;
+}
+
+TEST(Shard, AssignmentPartitionsEvenlyAndFollowsTheKey)
+{
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < 30; ++i) {
+        std::string bench = "b";
+        bench += std::to_string(i);
+        keys.push_back(
+            serve::cellKeyHash({"fig1", bench, "fgstp", i}, {"fp", "v"}));
+    }
+
+    const auto owners = serve::assignShards(keys, 3);
+    ASSERT_EQ(owners.size(), keys.size());
+    std::size_t counts[3] = {0, 0, 0};
+    for (const unsigned o : owners) {
+        ASSERT_LT(o, 3u);
+        ++counts[o];
+    }
+    EXPECT_EQ(counts[0], 10u);
+    EXPECT_EQ(counts[1], 10u);
+    EXPECT_EQ(counts[2], 10u);
+
+    // The rank is a function of the key, not of the slot: reversing
+    // the input order must keep each key on its shard.
+    auto rev = keys;
+    std::reverse(rev.begin(), rev.end());
+    const auto rev_owners = serve::assignShards(rev, 3);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(owners[i], rev_owners[keys.size() - 1 - i]);
+}
+
+TEST(Shard, SingleShardOwnsEverything)
+{
+    const auto owners = serve::assignShards({5, 9, 1}, 1);
+    for (const unsigned o : owners)
+        EXPECT_EQ(o, 0u);
+}
+
+// ---- JSON reader -----------------------------------------------------------
+
+TEST(JsonParse, ParsesTheStructuresTheServiceEmits)
+{
+    const auto v = serve::parseJson(
+        "{\"experiment\": \"fig1\", \"cells\": 3, \"ok\": true,\n"
+        " \"values\": [1.5, -2e3, 0], \"err\": null,\n"
+        " \"msg\": \"a\\n\\\"b\\\"\\u00e9\"}");
+    EXPECT_EQ(v.at("experiment").asString(), "fig1");
+    EXPECT_EQ(v.at("cells").asUint(), 3u);
+    EXPECT_TRUE(v.at("ok").asBool());
+    ASSERT_EQ(v.at("values").asArray().size(), 3u);
+    EXPECT_EQ(v.at("values").asArray()[1].asNumber(), -2000.0);
+    EXPECT_TRUE(v.at("err").isNull());
+    EXPECT_EQ(v.at("msg").asString(), "a\n\"b\"\xc3\xa9");
+    EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonParse, NumbersRoundTripBitExactly)
+{
+    for (const double d : {0.1, 1.0 / 3.0, 1e308, 123456789.123456789}) {
+        std::ostringstream os;
+        char buf[64];
+        const auto r =
+            std::to_chars(buf, buf + sizeof buf, d);
+        EXPECT_EQ(serve::parseJson(std::string(buf, r.ptr)).asNumber(), d);
+    }
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "{\"a\":}", "[1,]", "nul", "\"unterminated",
+          "{\"a\":1} trailing", "{'a':1}", "{\"a\" 1}", "01"})
+        EXPECT_THROW(serve::parseJson(bad), JsonParseError) << bad;
+}
+
+TEST(JsonParse, AccessorsRejectKindMismatches)
+{
+    const auto v = serve::parseJson("{\"a\": \"str\"}");
+    EXPECT_THROW(v.at("a").asNumber(), JsonParseError);
+    EXPECT_THROW(v.at("missing"), JsonParseError);
+    EXPECT_THROW(v.at("a").asArray(), JsonParseError);
+}
+
+// ---- result cache ----------------------------------------------------------
+
+TEST(ResultCache, StoreThenLookupRoundTripsEveryField)
+{
+    TempDir dir;
+    serve::ResultCache cache(dir.path, {"fp", "v1"});
+    const serve::CellIdentity id{"fig1", "gcc", "fgstp", 7};
+
+    EXPECT_FALSE(cache.lookup(id).has_value()); // cold
+    serve::CachedCell cell;
+    cell.values = {1.5, -0.25, 3e9};
+    cell.wallTimeMs = 12.5;
+    cache.store(id, cell);
+
+    const auto hit = cache.lookup(id);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->values, cell.values);
+    EXPECT_EQ(hit->wallTimeMs, 12.5);
+    EXPECT_TRUE(hit->ok);
+    EXPECT_TRUE(hit->error.empty());
+
+    const auto st = cache.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.stores, 1u);
+    EXPECT_EQ(st.corrupt, 0u);
+}
+
+TEST(ResultCache, CachesFailuresAndNonFiniteValues)
+{
+    TempDir dir;
+    serve::ResultCache cache(dir.path, {"fp", "v1"});
+
+    serve::CachedCell fail;
+    fail.ok = false;
+    fail.error = "watchdog: deadlock\nwith a second line";
+    cache.store({"fig1", "gcc", "fgstp", 1}, fail);
+    const auto f = cache.lookup({"fig1", "gcc", "fgstp", 1});
+    ASSERT_TRUE(f.has_value());
+    EXPECT_FALSE(f->ok);
+    EXPECT_EQ(f->error, fail.error);
+
+    serve::CachedCell odd;
+    odd.values = {std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::quiet_NaN()};
+    cache.store({"fig1", "gcc", "fgstp", 2}, odd);
+    const auto o = cache.lookup({"fig1", "gcc", "fgstp", 2});
+    ASSERT_TRUE(o.has_value());
+    ASSERT_EQ(o->values.size(), 2u);
+    EXPECT_TRUE(std::isinf(o->values[0]));
+    EXPECT_TRUE(std::isnan(o->values[1]));
+}
+
+TEST(ResultCache, ContextChangeInvalidatesEveryEntry)
+{
+    TempDir dir;
+    const serve::CellIdentity id{"fig1", "gcc", "fgstp", 7};
+    {
+        serve::ResultCache cache(dir.path, {"fp", "v1"});
+        cache.store(id, {{1.0}, 0.0, true, ""});
+    }
+    // Same directory, different fingerprint or code version: miss.
+    serve::ResultCache fp2(dir.path, {"fp-other", "v1"});
+    EXPECT_FALSE(fp2.lookup(id).has_value());
+    serve::ResultCache v2(dir.path, {"fp", "v2"});
+    EXPECT_FALSE(v2.lookup(id).has_value());
+    // The original context still hits.
+    serve::ResultCache again(dir.path, {"fp", "v1"});
+    EXPECT_TRUE(again.lookup(id).has_value());
+}
+
+TEST(ResultCache, CorruptEntriesAreRemovedAndResimulated)
+{
+    TempDir dir;
+    serve::ResultCache cache(dir.path, {"fp", "v1"});
+    const serve::CellIdentity id{"fig1", "gcc", "fgstp", 7};
+    cache.store(id, {{1.0, 2.0}, 5.0, true, ""});
+
+    // Flip a value byte in the single entry file; the checksum must
+    // catch it, remove the file and report a miss — never a crash or
+    // a wrong value.
+    std::string entry_path;
+    for (const auto &f : fs::directory_iterator(dir.path))
+        entry_path = f.path().string();
+    ASSERT_FALSE(entry_path.empty());
+    auto bytes = readFile(entry_path);
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream(entry_path, std::ios::binary) << bytes;
+
+    EXPECT_FALSE(cache.lookup(id).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(entry_path));
+
+    // Truncation is caught the same way.
+    cache.store(id, {{1.0, 2.0}, 5.0, true, ""});
+    std::ofstream(entry_path, std::ios::binary | std::ios::trunc)
+        << readFile(entry_path).substr(0, 10);
+    EXPECT_FALSE(cache.lookup(id).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 2u);
+}
+
+TEST(ResultCache, GcEvictsOnlyStaleCodeVersions)
+{
+    TempDir dir;
+    const serve::CellIdentity a{"fig1", "gcc", "fgstp", 1};
+    const serve::CellIdentity b{"fig1", "mcf", "fgstp", 2};
+    {
+        serve::ResultCache old(dir.path, {"fp", "old-code"});
+        old.store(a, {{1.0}, 0.0, true, ""});
+    }
+    serve::ResultCache cur(dir.path, {"fp", "new-code"});
+    cur.store(b, {{2.0}, 0.0, true, ""});
+
+    EXPECT_EQ(cur.gcStaleVersions(), 1u);
+    EXPECT_EQ(cur.stats().evicted, 1u);
+    EXPECT_TRUE(cur.lookup(b).has_value()); // current entry survives
+    serve::ResultCache old_again(dir.path, {"fp", "old-code"});
+    EXPECT_FALSE(old_again.lookup(a).has_value());
+}
+
+TEST(ResultCache, UnwritableDirectoryThrowsIoError)
+{
+    EXPECT_THROW(
+        serve::ResultCache("/proc/definitely/not/writable", {"f", "v"}),
+        SimIoError);
+}
+
+// ---- params fingerprint ----------------------------------------------------
+
+TEST(Fingerprint, EveryCellAffectingKnobChangesIt)
+{
+    const bench::RunParams base;
+    const auto fp = bench::paramsFingerprint(base);
+    EXPECT_EQ(fp, bench::paramsFingerprint(base));
+
+    auto with = [&](auto fn) {
+        bench::RunParams p;
+        fn(p);
+        return bench::paramsFingerprint(p);
+    };
+    std::set<std::string> fps{fp};
+    fps.insert(with([](auto &p) { p.insts = 123; }));
+    fps.insert(with([](auto &p) { p.seed = 99; }));
+    fps.insert(with([](auto &p) { p.sampled = true; }));
+    fps.insert(with([](auto &p) {
+        p.sampled = true;
+        p.sampleSpecRaw = "ff=10";
+    }));
+    fps.insert(with([](auto &p) { p.bus.enabled = true; }));
+    fps.insert(with([](auto &p) {
+        p.bus.enabled = true;
+        p.busSpecRaw = "width=2";
+    }));
+    fps.insert(with([](auto &p) {
+        p.steer = true;
+        p.steerSpecRaw = "tuned";
+    }));
+    fps.insert(with([](auto &p) { p.check = true; }));
+    fps.insert(with([](auto &p) { p.injectSpecRaw = "x"; }));
+    EXPECT_EQ(fps.size(), 10u) << "two knobs collided in the fingerprint";
+}
+
+TEST(Fingerprint, CacheContextUsesThisBinarysStampByDefault)
+{
+    const bench::RunParams p;
+    const auto ctx = bench::makeCacheContext(p);
+    EXPECT_EQ(ctx.paramsFingerprint, bench::paramsFingerprint(p));
+    EXPECT_STRNE(fgstp::codeVersion(), "");
+    EXPECT_EQ(ctx.codeVersion, fgstp::codeVersion());
+}
+
+// ---- progress meter --------------------------------------------------------
+
+TEST(Progress, CountsTicksWithoutPaintingWhenDisabled)
+{
+    serve::ProgressMeter meter("test", /*enabled=*/false);
+    meter.addTotal(3);
+    meter.tick(false);
+    meter.tick(true);
+    EXPECT_EQ(meter.done(), 2u);
+    EXPECT_EQ(meter.hits(), 1u);
+    meter.finish();
+    meter.finish(); // idempotent
+}
+
+// ---- serve config ----------------------------------------------------------
+
+TEST(ServeConfig, ParsesTheTwoTransports)
+{
+    EXPECT_EQ(serve::parseServeConfig("").transport,
+              serve::ServeConfig::Transport::Stdio);
+    EXPECT_EQ(serve::parseServeConfig("stdio").transport,
+              serve::ServeConfig::Transport::Stdio);
+    const auto u = serve::parseServeConfig("unix:/tmp/s.sock");
+    EXPECT_EQ(u.transport, serve::ServeConfig::Transport::Unix);
+    EXPECT_EQ(u.path, "/tmp/s.sock");
+    EXPECT_THROW(serve::parseServeConfig("tcp:1234"), ConfigError);
+    EXPECT_THROW(serve::parseServeConfig("unix:"), ConfigError);
+}
+
+// ---- cache-backed sweeps ---------------------------------------------------
+
+std::string
+renderSweep(const bench::Experiment &e, const bench::RunParams &prm,
+            unsigned jobs)
+{
+    ThreadPool pool(jobs);
+    auto run = bench::collectExperiment(
+        bench::scheduleExperiment(e, prm, pool), prm);
+    std::ostringstream os;
+    bench::renderJson(os, run, prm, pool.size());
+    return os.str();
+}
+
+TEST(CacheSweep, WarmRunSimulatesNothingAndRendersByteIdentically)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 500;
+
+    TempDir dir;
+    std::string cold, warm;
+    std::size_t cell_count = 0;
+    {
+        serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+        prm.cache = &cache;
+        cold = renderSweep(*e, prm, 4);
+        const auto st = cache.stats();
+        cell_count = st.stores;
+        EXPECT_EQ(st.hits, 0u);
+        EXPECT_GT(st.stores, 0u);
+        EXPECT_EQ(st.misses, st.stores);
+    }
+    {
+        serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+        prm.cache = &cache;
+        warm = renderSweep(*e, prm, 2);
+        const auto st = cache.stats();
+        EXPECT_EQ(st.misses, 0u) << "warm run simulated a cell";
+        EXPECT_EQ(st.stores, 0u);
+        EXPECT_EQ(st.hits, cell_count);
+    }
+    EXPECT_EQ(stripWallTime(cold), stripWallTime(warm));
+
+    // The cache replays the original per-job wall times, so even the
+    // job rows (which carry wallTimeMs) are byte-identical; only the
+    // meta poolJobs/wallTimeMs line may differ.
+    std::istringstream ic(cold), iw(warm);
+    std::string lc, lw;
+    while (std::getline(ic, lc) && std::getline(iw, lw)) {
+        if (lc.find("poolJobs") != std::string::npos)
+            continue;
+        EXPECT_EQ(lc, lw);
+    }
+}
+
+TEST(CacheSweep, InstsChangeMissesTheWarmCache)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    TempDir dir;
+    bench::RunParams prm;
+    prm.insts = 300;
+    {
+        serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+        prm.cache = &cache;
+        (void)renderSweep(*e, prm, 4);
+    }
+    prm.insts = 301; // different fingerprint → all entries dirty
+    serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+    prm.cache = &cache;
+    (void)renderSweep(*e, prm, 4);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+// ---- shard + merge ---------------------------------------------------------
+
+/** Runs one shard of `e` and writes its document into `dir`. */
+std::string
+runShard(const bench::Experiment &e, const bench::RunParams &prm,
+         const serve::ShardSpec &shard, const std::string &dir,
+         std::size_t *owned_out = nullptr, bool fail_first = false)
+{
+    ThreadPool pool(4);
+    auto run = bench::collectShard(
+        bench::scheduleShard(e, prm, shard, pool));
+    if (owned_out)
+        *owned_out = run.owned.size();
+    if (fail_first && !run.results.empty()) {
+        run.results[0].ok = false;
+        run.results[0].values.clear();
+        run.results[0].error = "synthetic failure";
+    }
+    const std::string path = dir + "/BENCH_" + e.name + ".shard" +
+                             std::to_string(shard.rank) + "of" +
+                             std::to_string(shard.count) + ".json";
+    std::ofstream out(path, std::ios::binary);
+    bench::renderShardJson(out, run, prm, shard, pool.size());
+    return path;
+}
+
+TEST(ShardMerge, TwoAndThreeWayMergesReproduceTheUnshardedDocument)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 500;
+    const auto reference = stripWallTime(renderSweep(*e, prm, 4));
+
+    for (const unsigned count : {2u, 3u}) {
+        TempDir dir;
+        std::vector<std::string> files;
+        std::size_t owned_total = 0;
+        for (unsigned rank = 0; rank < count; ++rank) {
+            std::size_t owned = 0;
+            files.push_back(
+                runShard(*e, prm, {rank, count}, dir.path, &owned));
+            EXPECT_GT(owned, 0u);
+            owned_total += owned;
+        }
+        const auto merged = bench::mergeShards(files, dir.path);
+        ASSERT_EQ(merged.size(), 1u);
+        EXPECT_EQ(merged[0].experiment, "fig1");
+        EXPECT_EQ(merged[0].cellCount, owned_total);
+        EXPECT_EQ(merged[0].failedCells, 0u);
+        EXPECT_EQ(stripWallTime(readFile(merged[0].path)), reference)
+            << count << "-way merge drifted from the unsharded run";
+    }
+}
+
+TEST(ShardMerge, FailedCellsSurviveTheRoundTrip)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 300;
+    TempDir dir;
+    const auto f0 = runShard(*e, prm, {0, 2}, dir.path, nullptr,
+                             /*fail_first=*/true);
+    const auto f1 = runShard(*e, prm, {1, 2}, dir.path);
+
+    const auto merged = bench::mergeShards({f0, f1}, dir.path);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].failedCells, 1u);
+    const auto doc = readFile(merged[0].path);
+    EXPECT_NE(doc.find("\"failedCells\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"status\": \"failed\", \"error\": "
+                       "\"synthetic failure\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("table not reduced"), std::string::npos);
+}
+
+TEST(ShardMerge, RejectsIncompleteAndMismatchedSets)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 300;
+    TempDir dir;
+    const auto f0 = runShard(*e, prm, {0, 2}, dir.path);
+
+    // Missing rank 1.
+    EXPECT_THROW(bench::mergeShards({f0}, dir.path), ShardMergeError);
+    // Duplicate rank 0.
+    EXPECT_THROW(bench::mergeShards({f0, f0}, dir.path),
+                 ShardMergeError);
+    // Rank 1 produced under different run params.
+    bench::RunParams other = prm;
+    other.insts = 999;
+    const auto f1 = runShard(*e, other, {1, 2}, dir.path);
+    EXPECT_THROW(bench::mergeShards({f0, f1}, dir.path),
+                 ShardMergeError);
+    // A damaged document is a parse error, not a wrong merge.
+    const std::string broken = dir.path + "/broken.json";
+    std::ofstream(broken) << "{\"schemaVersion\": ";
+    EXPECT_THROW(bench::mergeShards({broken}, dir.path),
+                 JsonParseError);
+}
+
+// ---- serve mode ------------------------------------------------------------
+
+/** A minimal blocking line client for the unix transport. */
+struct LineClient
+{
+    int fd = -1;
+    std::string buffer;
+
+    explicit LineClient(const std::string &path)
+    {
+        fd = socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw std::runtime_error("socket failed");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        // The server thread binds asynchronously; retry briefly.
+        for (int attempt = 0;; ++attempt) {
+            if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr) == 0)
+                return;
+            if (attempt > 200) {
+                close(fd);
+                throw std::runtime_error("connect failed");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+    }
+    ~LineClient()
+    {
+        if (fd >= 0)
+            close(fd);
+    }
+
+    void
+    send(const std::string &line)
+    {
+        const std::string framed = line + "\n";
+        ASSERT_EQ(write(fd, framed.data(), framed.size()),
+                  static_cast<ssize_t>(framed.size()));
+    }
+
+    std::string
+    recvLine()
+    {
+        for (;;) {
+            const auto nl = buffer.find('\n');
+            if (nl != std::string::npos) {
+                const auto line = buffer.substr(0, nl);
+                buffer.erase(0, nl + 1);
+                return line;
+            }
+            char chunk[4096];
+            const auto n = read(fd, chunk, sizeof chunk);
+            if (n <= 0)
+                throw std::runtime_error("server closed the stream");
+            buffer.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+};
+
+TEST(Serve, UnixSocketSessionMatchesTheBatchPath)
+{
+    bench::RunParams prm;
+    prm.insts = 500;
+
+    // The value the batch path would report for this cell.
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    auto cells = e->makeCells(prm);
+    double expected = 0.0;
+    std::uint64_t expected_seed = 0;
+    for (auto &c : cells) {
+        if (c.bench == "gcc" && c.machine == "fgstp") {
+            expected = c.fn()[0];
+            expected_seed = c.seed;
+        }
+    }
+    ASSERT_NE(expected, 0.0);
+
+    TempDir dir;
+    const std::string sock = dir.path + "/serve.sock";
+    serve::ServeConfig config;
+    config.transport = serve::ServeConfig::Transport::Unix;
+    config.path = sock;
+
+    ThreadPool pool(2);
+    serve::ServeStats stats;
+    std::thread server([&] {
+        stats = bench::runCellServe(config, prm, pool);
+    });
+
+    {
+        LineClient client(sock);
+        client.send(
+            "{\"experiment\": \"fig1\", \"bench\": \"gcc\", "
+            "\"machine\": \"fgstp\"}");
+        const auto row = serve::parseJson(client.recvLine());
+        EXPECT_EQ(row.at("experiment").asString(), "fig1");
+        EXPECT_EQ(row.at("bench").asString(), "gcc");
+        EXPECT_EQ(row.at("machine").asString(), "fgstp");
+        EXPECT_EQ(row.at("seed").asUint(), expected_seed);
+        EXPECT_EQ(row.at("status").asString(), "ok");
+        ASSERT_EQ(row.at("values").asArray().size(), 1u);
+        EXPECT_EQ(row.at("values").asArray()[0].asNumber(), expected);
+        const auto done = serve::parseJson(client.recvLine());
+        EXPECT_TRUE(done.at("done").asBool());
+        EXPECT_EQ(done.at("cells").asUint(), 1u);
+
+        // A bad request gets an error line; the session survives.
+        client.send("{\"no\": \"experiment key\"}");
+        const auto err = serve::parseJson(client.recvLine());
+        EXPECT_TRUE(err.find("error") != nullptr);
+
+        client.send("{\"shutdown\": true}");
+        const auto bye = serve::parseJson(client.recvLine());
+        EXPECT_TRUE(bye.at("done").asBool());
+    }
+    server.join();
+
+    EXPECT_EQ(stats.requests, 3u);
+    EXPECT_EQ(stats.errors, 1u);
+    EXPECT_FALSE(fs::exists(sock)) << "socket file not cleaned up";
+}
+
+} // namespace
+} // namespace fgstp
