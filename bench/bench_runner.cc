@@ -67,6 +67,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -458,6 +459,11 @@ runBench(const Options &o)
             active.insert("--serve");
         if (o.format == "json")
             active.insert("--format=json");
+        if (!o.injectSpec.empty())
+            active.insert("--inject");
+        if (std::find(o.experiments.begin(), o.experiments.end(),
+                      "inject_sweep") != o.experiments.end())
+            active.insert("--experiment=inject_sweep");
         cli::checkFlagConflicts("fgstp_bench",
                                 cli::benchConflictRules(), active);
         cli::checkFlagRequirements("fgstp_bench",

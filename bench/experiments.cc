@@ -1,7 +1,8 @@
 /**
  * @file
- * The 13 experiment descriptors (tables 1–2, figures 1–10, the
- * predictor comparison) plus the machinery that runs them: cell
+ * The experiment descriptors (tables 1–2, figures 1–10, the predictor
+ * comparison, the steering sweep and the fault-injection campaign)
+ * plus the machinery that runs them: cell
  * scheduling onto a ThreadPool, collection/reduction, and the
  * text/CSV/JSON renderers. See experiments.hh for the model and
  * docs/STATS.md for the JSON schema.
@@ -19,6 +20,7 @@
 
 #include "branch/direction_predictor.hh"
 #include "common/json.hh"
+#include "harden/campaign.hh"
 #include "common/logging.hh"
 #include "common/version.hh"
 #include "serve/progress.hh"
@@ -1128,6 +1130,207 @@ predictorsExperiment()
     return e;
 }
 
+// ---- fault-injection campaign ----------------------------------------------
+
+/** Benchmarks swept by the injection campaign: one control-heavy, one
+ *  memory-bound, one compute-regular — enough spread to show how the
+ *  recovery cost scales with the workload's cross-core traffic. */
+const std::vector<std::string> injectSweepBenches = {"gcc", "mcf",
+                                                     "libquantum"};
+
+/** Fault rates per class, log-spaced up to the stress point. */
+const std::vector<double> injectSweepRates = {1e-4, 1e-3, 1e-2, 5e-2};
+
+/** Finds one named recovery counter; 0 when the machine has none. */
+double
+recoveryCounter(
+    const std::vector<std::pair<std::string, std::uint64_t>> &counters,
+    std::string_view name)
+{
+    for (const auto &[k, v] : counters) {
+        if (k == name)
+            return static_cast<double>(v);
+    }
+    return 0.0;
+}
+
+Experiment
+injectSweepExperiment()
+{
+    Experiment e;
+    e.name = "inject_sweep";
+    e.title = "Fault-injection campaign: IPC degradation and recovery "
+              "cost per fault class and rate, medium design point";
+    e.preset = "medium";
+    e.makeCells = [](const RunParams &prm) {
+        std::vector<Cell> cells;
+        for (const auto &b : injectSweepBenches) {
+            const auto seed =
+                jobSeed(prm.seed, "inject_sweep", b, "medium");
+            // The rate=0 anchor: no injector is ever armed, so this
+            // cell is byte-identical to an uninjected run of the same
+            // (bench, seed) and pins the degradation curves' origin.
+            cells.push_back({b, "baseline:rate=0", seed,
+                [b, prm, seed] {
+                    const auto p = sim::mediumPreset();
+                    workload::SyntheticWorkload w(
+                        workload::profileByName(b), seed);
+                    part::FgstpMachine m(p.core, p.memory, p.fgstp(),
+                                         w);
+                    auto golden =
+                        std::make_unique<workload::SyntheticWorkload>(
+                            workload::profileByName(b), seed);
+                    harden::CommitChecker checker(std::move(golden),
+                                                  b + "/baseline");
+                    m.attachCommitChecker(&checker);
+                    const auto r = m.run(prm.insts);
+                    return std::vector<double>{
+                        static_cast<double>(r.cycles),
+                        static_cast<double>(r.instructions),
+                        0.0, 0.0, 0.0, 0.0, 0.0};
+                }});
+            for (const auto &cls : harden::campaignClasses()) {
+                for (const double rate : injectSweepRates) {
+                    char tag[64];
+                    std::snprintf(tag, sizeof(tag), "%s:rate=%g",
+                                  cls.c_str(), rate);
+                    cells.push_back({b, tag, seed,
+                        [b, prm, seed, cls, rate] {
+                            const auto p = sim::mediumPreset();
+                            workload::SyntheticWorkload w(
+                                workload::profileByName(b), seed);
+                            part::FgstpMachine m(p.core, p.memory,
+                                                 p.fgstp(), w);
+                            auto golden = std::make_unique<
+                                workload::SyntheticWorkload>(
+                                workload::profileByName(b), seed);
+                            harden::CommitChecker checker(
+                                std::move(golden), b + "/" + cls);
+                            m.attachCommitChecker(&checker);
+                            // Seeded per cell, mirroring the per-cell
+                            // reseed in setCellHardening: every
+                            // (bench, class, rate) point draws its own
+                            // deterministic fault stream.
+                            m.enableFaultInjection(
+                                harden::campaignPlan(cls, rate, seed));
+                            const auto r = m.run(prm.insts);
+                            const auto c = m.recoveryCounters();
+                            const double injected =
+                                recoveryCounter(c,
+                                    "inject.storeSetDrops") +
+                                recoveryCounter(c, "inject.steerFlips") +
+                                recoveryCounter(c,
+                                    "inject.partMapFlips") +
+                                recoveryCounter(c,
+                                    "inject.steerRegFlips") +
+                                recoveryCounter(c,
+                                    "inject.branchFlips") +
+                                recoveryCounter(c, "inject.linkDrops") +
+                                recoveryCounter(c,
+                                    "recover.valueChecksumHits");
+                            return std::vector<double>{
+                                static_cast<double>(r.cycles),
+                                static_cast<double>(r.instructions),
+                                injected,
+                                recoveryCounter(c,
+                                    "recover.linkRetransmits"),
+                                recoveryCounter(c,
+                                    "recover.partMapSquashes"),
+                                recoveryCounter(c,
+                                    "recover.steerRegRepartitions"),
+                                recoveryCounter(c,
+                                    "recover.valueChecksumHits")};
+                        }});
+                }
+            }
+        }
+        return cells;
+    };
+    e.reduce = [](const RunParams &,
+                  const std::vector<CellResult> &res) {
+        ExperimentOutput out;
+        out.table = Table({"benchmark", "class", "rate", "ipc",
+                           "degradation", "injected", "retransmits",
+                           "squashes", "repartitions", "status"});
+        const auto &classes = harden::campaignClasses();
+        const std::size_t grid =
+            classes.size() * injectSweepRates.size();
+        const std::size_t bench_stride = 1 + grid;
+        double worst_ratio = 1.0;
+        std::uint64_t failed = 0, recovered_total = 0;
+        std::uint64_t monotone_violations = 0;
+        for (std::size_t i = 0; i < injectSweepBenches.size(); ++i) {
+            const auto &b = injectSweepBenches[i];
+            const CellResult &base = res[bench_stride * i];
+            const double base_ipc =
+                base.ok && base.values[0] > 0
+                    ? base.values[1] / base.values[0] : 0.0;
+            out.table.addRow({b, "baseline", "0", Table::fmt(base_ipc),
+                              "-", "0", "0", "0", "0",
+                              base.ok ? "ok" : "failed"});
+            failed += !base.ok;
+            for (std::size_t k = 0; k < classes.size(); ++k) {
+                // Recovery events should not shrink as the rate grows:
+                // each rate point injects from its own stream, but a
+                // denser stream strictly adds corruption opportunities
+                // over a fixed instruction count.
+                double prev_cost = -1.0;
+                for (std::size_t ri = 0; ri < injectSweepRates.size();
+                     ++ri) {
+                    const CellResult &r =
+                        res[bench_stride * i + 1 +
+                            k * injectSweepRates.size() + ri];
+                    char ratebuf[24];
+                    std::snprintf(ratebuf, sizeof(ratebuf), "%g",
+                                  injectSweepRates[ri]);
+                    if (!r.ok) {
+                        // An unrecoverable cell: the typed error is
+                        // recorded on the row, never a silent wrong
+                        // answer (every cell runs checker-attached).
+                        ++failed;
+                        out.table.addRow({b, classes[k], ratebuf, "-",
+                                          "-", "-", "-", "-", "-",
+                                          "failed"});
+                        prev_cost = -1.0;
+                        continue;
+                    }
+                    const double ipc =
+                        r.values[0] > 0
+                            ? r.values[1] / r.values[0] : 0.0;
+                    const double ratio =
+                        base_ipc > 0 ? ipc / base_ipc : 1.0;
+                    worst_ratio = std::min(worst_ratio, ratio);
+                    const double cost =
+                        r.values[3] + r.values[4] + r.values[5];
+                    recovered_total +=
+                        static_cast<std::uint64_t>(cost);
+                    monotone_violations +=
+                        prev_cost >= 0.0 && cost < prev_cost;
+                    prev_cost = cost;
+                    out.table.addRow(
+                        {b, classes[k], ratebuf, Table::fmt(ipc),
+                         pct(ratio - 1.0), Table::fmt(r.values[2], 0),
+                         Table::fmt(r.values[3], 0),
+                         Table::fmt(r.values[4], 0),
+                         Table::fmt(r.values[5], 0), "ok"});
+                }
+            }
+        }
+        out.headline = {
+            {"worstIpcRatio", worst_ratio},
+            {"failedCells", static_cast<double>(failed)},
+            {"recoveredTotal", static_cast<double>(recovered_total)},
+            {"monotoneViolations",
+             static_cast<double>(monotone_violations)}};
+        out.footer =
+            "every cell runs under its own golden-model commit "
+            "checker; failed rows are crash-isolated unrecoverable "
+            "cells (typed errors), never silent corruption";
+        return out;
+    };
+    return e;
+}
+
 } // namespace
 
 // ---- registry --------------------------------------------------------------
@@ -1156,6 +1359,7 @@ allExperiments()
         fig10Experiment(),
         predictorsExperiment(),
         steerSweepExperiment(),
+        injectSweepExperiment(),
     };
     return experiments;
 }

@@ -590,7 +590,7 @@ serveRow(const std::string &experiment, const Cell &c,
  */
 bool
 handleRequest(const std::string &line, const RunParams &params,
-              ThreadPool &pool,
+              ThreadPool &pool, std::uint64_t timeout_ms,
               const std::function<void(const std::string &)> &emit,
               std::uint64_t &errors)
 {
@@ -638,16 +638,39 @@ handleRequest(const std::string &line, const RunParams &params,
             futures.push_back(
                 submitCellJob(pool, name, cells[i], params));
 
+        // One wall-clock budget covers the whole request: a hung or
+        // pathologically slow cell turns into a failed row (and the
+        // remaining cells are reported without waiting again — the
+        // budget is already gone), never a wedged server. Abandoned
+        // cells keep their pool threads until they return.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms);
         std::uint64_t failed = 0;
+        bool timed_out = false;
         for (std::size_t k = 0; k < matching.size(); ++k) {
-            const CellResult r = futures[k].get();
+            CellResult r;
+            if (timeout_ms &&
+                (timed_out ||
+                 futures[k].wait_until(deadline) !=
+                     std::future_status::ready)) {
+                timed_out = true;
+                r.ok = false;
+                r.error = "request wall-clock budget exceeded (" +
+                          std::to_string(timeout_ms) +
+                          " ms); cell abandoned";
+            } else {
+                r = futures[k].get();
+            }
             failed += !r.ok;
             emit(serveRow(name, cells[matching[k]], r));
         }
         emit("{\"done\": true, \"experiment\": " + json::quote(name) +
              ", \"cells\": " +
              json::number(static_cast<std::uint64_t>(matching.size())) +
-             ", \"failed\": " + json::number(failed) + "}");
+             ", \"failed\": " + json::number(failed) +
+             ", \"status\": " +
+             (failed ? "\"failed\"" : "\"ok\"") + "}");
         return true;
     } catch (const SimError &ex) {
         // Crash isolation per request: a malformed line or an
@@ -668,9 +691,11 @@ runCellServe(const serve::ServeConfig &config, const RunParams &params,
         params.cache ? params.cache->stats().hits : 0;
     std::uint64_t errors = 0;
     serve::ServeStats stats = serve::runLineServer(
-        config, [&params, &pool, &errors](const std::string &line,
-                                          const auto &emit) {
-            return handleRequest(line, params, pool, emit, errors);
+        config, [&params, &pool, &errors,
+                 timeout_ms = config.requestTimeoutMs](
+                    const std::string &line, const auto &emit) {
+            return handleRequest(line, params, pool, timeout_ms, emit,
+                                 errors);
         });
     stats.errors = errors;
     if (params.cache)

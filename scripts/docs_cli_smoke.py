@@ -3,9 +3,10 @@
 
 Documentation that shows commands must show commands that run. This
 script extracts every ``sh``-fenced block from docs/CLI.md (and
-docs/STEERING.md, docs/SERVICE.md), keeps the lines that invoke one of the three
-binaries, and runs each in a scratch directory with ``--insts``
-clamped down so the whole pass takes seconds. Any non-zero exit —
+docs/STEERING.md, docs/SERVICE.md, docs/ROBUSTNESS.md), keeps the
+lines that invoke one of the three binaries, and runs each in a
+scratch directory with ``--insts`` clamped down so the whole pass
+takes seconds. Any non-zero exit —
 an option a parser no longer accepts, a renamed experiment, a spec
 the grammar rejects — fails the script, so stale examples cannot
 survive CI.
@@ -24,7 +25,8 @@ import subprocess
 import sys
 import tempfile
 
-DOCS = ("docs/CLI.md", "docs/STEERING.md", "docs/SERVICE.md")
+DOCS = ("docs/CLI.md", "docs/STEERING.md", "docs/SERVICE.md",
+        "docs/ROBUSTNESS.md")
 TOOLS = ("fgstp_sim", "fgstp_trace", "fgstp_bench")
 CLAMP_INSTS = "2500"
 # Keep the big sampled examples meaningful: the schedule must fit

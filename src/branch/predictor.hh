@@ -36,6 +36,26 @@ class Btb
     void update(Addr pc, Addr target);
     void reset();
 
+    /**
+     * A seeded soft error in the table SRAM: flips one stored bit,
+     * with `entropy` selecting the entry and the bit. Corruption
+     * heals through ordinary operation — the next update() of the
+     * entry overwrites it, and a corrupt hit just costs a mispredict
+     * (src/harden's `branch` fault class).
+     */
+    void
+    corrupt(std::uint64_t entropy)
+    {
+        if (table.empty())
+            return;
+        Entry &e = table[entropy % table.size()];
+        const unsigned bit = (entropy >> 24) & 63;
+        if (((entropy >> 30) & 1) == 0)
+            e.tag ^= Addr{1} << bit;
+        else
+            e.target ^= Addr{1} << bit;
+    }
+
   private:
     struct Entry
     {
@@ -119,6 +139,9 @@ class BranchPredictor
 
     /** Zeroes the counters; tables and histories keep their state. */
     void resetStats() { _stats = PredictorStats{}; }
+
+    /** Injects a BTB soft error (see Btb::corrupt). */
+    void corruptBtb(std::uint64_t entropy) { btb.corrupt(entropy); }
 
   private:
     std::unique_ptr<DirectionPredictor> dir;

@@ -99,6 +99,9 @@ benchConflictRules()
         {"--merge", "--cache",
          "merge only reassembles shard files; it never simulates, so "
          "there are no results to cache or fetch"},
+        {"--inject", "--experiment=inject_sweep",
+         "the campaign arms every cell with its own per-class fault "
+         "plan, so a global --inject plan would silently not apply"},
     };
     return rules;
 }

@@ -1,14 +1,41 @@
 #include "fgstp/machine.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "harden/campaign.hh"
 #include "harden/commit_checker.hh"
 
 namespace fgstp::part
 {
+
+namespace
+{
+
+/**
+ * One steering-weight register with a flipped mantissa bit. Only
+ * mantissa bits flip (sign and exponent stay), so a corrupt weight is
+ * always a finite number of the original sign — the partitioner's
+ * cost model mis-scores but never divides by NaN.
+ */
+SteeringWeights
+corruptSteeringWeights(const SteeringWeights &w, std::uint64_t entropy)
+{
+    SteeringWeights c = w;
+    double *const regs[] = {&c.commCost, &c.balance, &c.switchCost,
+                            &c.affinity, &c.critPath};
+    double &reg = *regs[entropy % 5];
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &reg, sizeof bits);
+    bits ^= std::uint64_t(1) << ((entropy >> 3) % 52);
+    std::memcpy(&reg, &bits, sizeof bits);
+    return c;
+}
+
+} // namespace
 
 /** Binds one core's hook calls to the machine with its core id. */
 struct CoreAdapter : core::CoreHooks
@@ -141,8 +168,28 @@ FgstpMachine::fillWindow()
 {
     if (streamEnded)
         return false;
+    // Steering-weight register corruption: the live cost-model
+    // register feeding the partitioner is flipped, so this chunk
+    // routes under a corrupt weight. The partition unit's shadow copy
+    // (cfg.steer) detects the deviation at the chunk boundary and
+    // re-partitions — restores the pristine weights — so exactly one
+    // chunk's placement is perturbed per injected flip.
+    bool weightsCorrupt = false;
+    if (injector) {
+        std::uint64_t entropy = 0;
+        if (injector->steerRegFlip(entropy)) {
+            partitioner->setWeights(
+                corruptSteeringWeights(cfg.steer, entropy));
+            weightsCorrupt = true;
+        }
+    }
     std::vector<RoutedInst> batch;
-    if (!partitioner->nextBatch(batch)) {
+    const bool more = partitioner->nextBatch(batch);
+    if (weightsCorrupt) {
+        partitioner->setWeights(cfg.steer);
+        ++recov.steerRegRepartitions;
+    }
+    if (!more) {
         streamEnded = true;
         return false;
     }
@@ -160,10 +207,54 @@ FgstpMachine::fillWindow()
                 if (flipped != maskNone)
                     r.cores = flipped;
             }
+            // Partition-map bit flip: corrupt the entry *after* the
+            // decision committed to the window. Unlike a steer flip
+            // this is detectable state corruption — the fetch
+            // orchestrator checks the map entry against the
+            // partitioner's decision and squash-refetches on a
+            // mismatch (see fetchPeek) — so the machine heals instead
+            // of silently running the wrong placement.
+            if (const std::uint8_t bit = injector->partMapFlipBit()) {
+                std::uint8_t flipped = r.cores ^ bit;
+                // A flip that would clear the entry lands on the
+                // other core's bit instead: every rolled fault is
+                // real corruption the check must catch.
+                if (flipped == maskNone)
+                    flipped = r.cores ^ (bit ^ std::uint8_t(3));
+                corruptedPartMap.emplace(r.seq, r.cores);
+                r.cores = flipped;
+            }
+            // Branch-predictor table soft error: flips a BTB bit in
+            // the shared orchestrator predictor. No explicit
+            // detection — the predictor heals by ordinary
+            // mispredict-squash retraining, and the cost shows up as
+            // extra mispredicts.
+            std::uint64_t bentropy = 0;
+            if (injector->branchFlip(bentropy))
+                orchestratorPredictor.corruptBtb(bentropy);
         }
         window.push_back({std::move(r), 0});
     }
     return true;
+}
+
+/**
+ * Partition-map fault detection on the fast-forward path: the map
+ * read at consume time catches the corrupt entry and restores the
+ * partitioner's decision. No pipeline exists to squash, so recovery
+ * is just the repair (counted, like the detailed path's).
+ */
+void
+FgstpMachine::healPartMapFront()
+{
+    if (corruptedPartMap.empty() || window.empty())
+        return;
+    const auto it = corruptedPartMap.find(window.front().routed.seq);
+    if (it == corruptedPartMap.end())
+        return;
+    window.front().routed.cores = it->second;
+    ++recov.partMapSquashes;
+    corruptedPartMap.erase(it);
 }
 
 void
@@ -172,6 +263,8 @@ FgstpMachine::retireWindow()
     while (!window.empty() && windowBase < nextCommitSeq) {
         if (!executedLog.empty())
             executedLog.erase(windowBase);
+        if (!corruptedPartMap.empty())
+            corruptedPartMap.erase(windowBase);
         window.pop_front();
         ++windowBase;
     }
@@ -208,7 +301,24 @@ FgstpMachine::fetchPeek(CoreId c)
                 return nullptr;
             continue;
         }
-        const WindowEntry &e = window[cursor[c] - windowBase];
+        WindowEntry &e = window[cursor[c] - windowBase];
+        if (!corruptedPartMap.empty()) {
+            if (const auto it = corruptedPartMap.find(e.routed.seq);
+                it != corruptedPartMap.end()) {
+                // The fetch orchestrator's partition-map check: the
+                // entry's bits disagree with the partitioner's
+                // decision. Restore the pristine mask and
+                // squash-refetch from here — nothing steered by the
+                // corrupt entry may dispatch. Fetch stalls this cycle
+                // while the squash drains.
+                e.routed.cores = it->second;
+                corruptedPartMap.erase(it);
+                ++recov.partMapSquashes;
+                requestSquash(e.routed.seq,
+                              obs::SquashCause::PartitionMap);
+                return nullptr;
+            }
+        }
         if (!e.routed.runsOn(c)) {
             ++cursor[c];
             continue;
@@ -278,7 +388,7 @@ FgstpMachine::noteDependence(core::ExtDepInfo &info, InstSeqNum producer,
             const Cycle basis = producer >= windowBase
                 ? rp.doneCycle : std::max(rp.doneCycle, now);
             const auto sent =
-                link.sendTimed(rp.producerCore, basis);
+                link.sendTimed(rp.producerCore, basis, producer);
             rp.arrival = sent.arrival;
             rp.busWait = bus ? sent.queued : 0;
             rp.sent = true;
@@ -375,7 +485,7 @@ FgstpMachine::onExecuted(CoreId c, const core::CoreInst &inst, Cycle now)
     rp.executed = true;
     rp.producerCore = c;
     rp.doneCycle = inst.doneCycle;
-    const auto sent = link.sendTimed(c, inst.doneCycle);
+    const auto sent = link.sendTimed(c, inst.doneCycle, inst.seq);
     rp.arrival = sent.arrival;
     rp.busWait = bus ? sent.queued : 0;
     rp.sent = true;
@@ -486,10 +596,22 @@ FgstpMachine::enableFaultInjection(const harden::FaultPlan &plan)
         lf.delayCycles = plan.linkDelayCycles;
         lf.retryTimeout = plan.linkRetryTimeout;
         lf.maxRetries = plan.linkMaxRetries;
+        lf.valueRate = plan.valueFlipRate;
+        lf.valueBurst = plan.valueBurst;
+        // uncore carries its own checksum enum so it stays
+        // independent of harden; map here, like the rates above.
+        lf.checksum = plan.valueChecksum == harden::ChecksumKind::Parity
+            ? uncore::LinkChecksum::Parity
+            : uncore::LinkChecksum::Crc32;
         // Keep the link stream independent of the injector streams.
         lf.seed = plan.seed ^ 0x4c696e6b44726f70ull;
         link.enableFaultInjection(lf);
     }
+    // A plan that legitimately stalls commit for long recovery chains
+    // (delay/timeout/retries) must not false-trip the deadlock
+    // watchdog. Scaling happens here, before the CLI applies any
+    // explicit --watchdog, so an explicit limit still wins.
+    setWatchdogLimit(harden::scaledWatchdogLimit(plan, watchdog));
 }
 
 void
@@ -620,6 +742,7 @@ FgstpMachine::fastForward(std::uint64_t num_insts)
     // Entries the window already routed come first, in commit order
     // (partitioning state advanced when they were routed).
     while (skipped < num_insts && !window.empty()) {
+        healPartMapFront();
         consume(window.front().routed);
         window.pop_front();
         ++windowBase;
@@ -637,6 +760,7 @@ FgstpMachine::fastForward(std::uint64_t num_insts)
             if (!fillWindow())
                 break; // fillWindow set streamEnded
             while (skipped < num_insts && !window.empty()) {
+                healPartMapFront();
                 consume(window.front().routed);
                 window.pop_front();
                 ++windowBase;

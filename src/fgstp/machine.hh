@@ -58,6 +58,16 @@ struct FgstpStats
     std::uint64_t barrierBlocks = 0;    ///< peeks refused by barrier
 };
 
+/** Recovery work spent healing injected state corruption. */
+struct RecoveryStats
+{
+    /** Partition-map faults caught at fetch; each costs a squash. */
+    std::uint64_t partMapSquashes = 0;
+
+    /** Steering-register faults healed by shadow-copy re-partition. */
+    std::uint64_t steerRegRepartitions = 0;
+};
+
 class FgstpMachine : public sim::Machine
 {
   public:
@@ -90,7 +100,37 @@ class FgstpMachine : public sim::Machine
         return partitioner->stats();
     }
     const FgstpStats &fgstpStats() const { return _stats; }
+    const RecoveryStats &recoveryStats() const { return recov; }
     const uncore::LinkStats &linkStats() const { return link.stats(); }
+
+    /**
+     * Injection and recovery counters (sim::Machine override). Empty
+     * until enableFaultInjection arms the injector, so uninjected
+     * reports stay byte-identical to a build without this feature.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    recoveryCounters() const override
+    {
+        if (!injector)
+            return {};
+        const harden::InjectionStats &is = injector->stats();
+        const uncore::LinkStats &ls = link.stats();
+        return {
+            {"inject.storeSetDrops", is.storeSetDrops},
+            {"inject.steerFlips", is.steerFlips},
+            {"inject.partMapFlips", is.partMapFlips},
+            {"inject.steerRegFlips", is.steerRegFlips},
+            {"inject.branchFlips", is.branchFlips},
+            {"inject.linkDrops", ls.faultDrops},
+            {"inject.linkDelays", ls.faultDelays},
+            {"recover.valueChecksumHits", ls.faultValueFlips},
+            {"recover.linkRetransmits",
+             ls.faultDrops + ls.faultValueFlips},
+            {"recover.partMapSquashes", recov.partMapSquashes},
+            {"recover.steerRegRepartitions",
+             recov.steerRegRepartitions},
+        };
+    }
 
     Cycle currentCycle() const { return cycle; }
 
@@ -112,8 +152,13 @@ class FgstpMachine : public sim::Machine
 
     /**
      * Arms seeded fault injection (src/harden): forced store-set sync
-     * drops, steering-mask bit flips, and operand-link packet
-     * delay/drop per `plan`. Call before run(). Without this call the
+     * drops, steering-mask bit flips, operand-link packet delay /
+     * drop / payload corruption, and microarchitectural state flips
+     * (partition-map entries, steering-weight registers, BTB bits)
+     * per `plan`. Also scales the forward-progress watchdog to
+     * out-wait the plan's worst-case link-recovery chain (see
+     * harden::scaledWatchdogLimit); an explicit setWatchdogLimit
+     * afterwards still wins. Call before run(). Without this call the
      * machine carries a single null-pointer test per injection point.
      */
     void enableFaultInjection(const harden::FaultPlan &plan);
@@ -164,6 +209,7 @@ class FgstpMachine : public sim::Machine
         partitioner->resetStats();
         orchestratorPredictor.resetStats();
         _stats = FgstpStats{};
+        recov = RecoveryStats{};
         for (auto &m : monitors) {
             if (m)
                 m->resetStats();
@@ -229,6 +275,7 @@ class FgstpMachine : public sim::Machine
     // ---- helpers ------------------------------------------------------------
     WindowEntry *windowAt(InstSeqNum seq);
     bool fillWindow();
+    void healPartMapFront();
     void retireWindow();
     void applyPendingSquash();
     InstSeqNum fetchBarrier() const;
@@ -301,7 +348,17 @@ class FgstpMachine : public sim::Machine
     /** Seeded fault injector; null when fault injection is off. */
     std::unique_ptr<harden::FaultInjector> injector;
 
+    /**
+     * Window entries whose partition-map bits were flipped by the
+     * injector, mapped to the partitioner's pristine mask. The fetch
+     * orchestrator's map check detects them before anything steered
+     * by the corrupt entry can dispatch; detection restores the
+     * pristine mask and squash-refetches (see fetchPeek).
+     */
+    std::map<InstSeqNum, std::uint8_t> corruptedPartMap;
+
     FgstpStats _stats;
+    RecoveryStats recov;
 };
 
 } // namespace fgstp::part

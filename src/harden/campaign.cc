@@ -1,0 +1,65 @@
+#include "harden/campaign.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace fgstp::harden
+{
+
+const std::vector<std::string> &
+campaignClasses()
+{
+    static const std::vector<std::string> classes = {
+        "storeset", "steer", "link",     "value",
+        "partmap",  "steerreg", "branch",
+    };
+    return classes;
+}
+
+std::string
+campaignSpec(const std::string &cls, double rate)
+{
+    std::ostringstream os;
+    if (cls == "link") {
+        os << "link:drop=" << rate;
+    } else if (cls == "storeset" || cls == "steer" || cls == "value" ||
+               cls == "partmap" || cls == "steerreg" ||
+               cls == "branch") {
+        os << cls << ":rate=" << rate;
+    } else {
+        throw FaultSpecError("unknown campaign fault class '" + cls +
+                             "' (see campaignClasses())");
+    }
+    return os.str();
+}
+
+FaultPlan
+campaignPlan(const std::string &cls, double rate, std::uint64_t seed)
+{
+    FaultPlan plan = parseFaultPlan(campaignSpec(cls, rate));
+    plan.seed = seed;
+    return plan;
+}
+
+Cycle
+scaledWatchdogLimit(const FaultPlan &plan, Cycle base)
+{
+    if (!plan.anyLink())
+        return base;
+    // Worst case, one packet's recovery chain serializes commit for
+    // maxRetries attempts, each paying the receiver timeout, any
+    // injected delay, and a slack allowance for slot contention and
+    // wire latency. Several packets can recover back to back behind
+    // the commit point, so the chain is multiplied by a generous
+    // pipelining factor rather than added once.
+    constexpr Cycle slack = 64;
+    constexpr Cycle chains = 16;
+    const Cycle perAttempt =
+        plan.linkRetryTimeout + plan.linkDelayCycles + slack;
+    const Cycle chain =
+        perAttempt * (Cycle{plan.linkMaxRetries} + 1);
+    return base + chains * chain;
+}
+
+} // namespace fgstp::harden

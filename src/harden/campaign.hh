@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fault-injection campaigns: the sweep layer over src/harden's
+ * single-run injector.
+ *
+ * A campaign asks the paper-relevant robustness question: how
+ * gracefully does Fg-STP's distributed pipeline degrade as the fault
+ * rate of one class of corruption rises, and at what rate does the
+ * recovery cost (retransmissions, squashes, repartitions) swamp the
+ * partitioning win? This header names the sweepable fault classes,
+ * builds the one-clause FaultPlan for a (class, rate) grid point, and
+ * owns the watchdog-scaling rule that keeps heavy-delay plans from
+ * false-tripping the forward-progress deadlock detector.
+ *
+ * The classes deliberately mirror the --inject grammar one clause at
+ * a time, so every campaign cell is reproducible from the CLI:
+ *
+ *   fgstp_sim --inject="$(campaignSpec cls rate)" --check ...
+ *
+ * The sweep itself lives in bench/experiments.cc
+ * (--experiment=inject_sweep); docs/ROBUSTNESS.md has the walkthrough.
+ */
+
+#ifndef FGSTP_HARDEN_CAMPAIGN_HH
+#define FGSTP_HARDEN_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "harden/fault.hh"
+
+namespace fgstp::harden
+{
+
+/**
+ * The sweepable fault classes, in the order campaigns iterate them.
+ * Each is one clause of the --inject grammar with a single rate knob
+ * (`link` means drops; `value` means payload corruption under the
+ * default crc32 checksum).
+ */
+const std::vector<std::string> &campaignClasses();
+
+/**
+ * The one-clause --inject spec for a grid point: e.g.
+ * campaignSpec("value", 0.01) == "value:rate=0.01". Throws
+ * FaultSpecError for an unknown class name, so a campaign config typo
+ * fails loudly before any cell runs.
+ */
+std::string campaignSpec(const std::string &cls, double rate);
+
+/**
+ * The parsed plan for a grid point, seeded. Exactly
+ * parseFaultPlan(campaignSpec(cls, rate)) with the seed applied —
+ * building through the grammar guarantees every cell stays
+ * reproducible from the CLI string.
+ */
+FaultPlan campaignPlan(const std::string &cls, double rate,
+                       std::uint64_t seed);
+
+/**
+ * The forward-progress watchdog budget a plan needs on top of `base`
+ * (the machine's current limit). A plan whose link clause allows long
+ * recovery chains — retries × (timeout + injected delay) — can stall
+ * commit for far longer than a healthy machine ever would without
+ * being deadlocked; the watchdog must out-wait the worst recovery
+ * chain or SimDeadlockError false-trips. Plans without link faults
+ * return `base` unchanged, so arming (say) a branch-flip plan never
+ * perturbs deadlock detection.
+ */
+Cycle scaledWatchdogLimit(const FaultPlan &plan, Cycle base);
+
+} // namespace fgstp::harden
+
+#endif // FGSTP_HARDEN_CAMPAIGN_HH

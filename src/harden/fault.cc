@@ -87,7 +87,30 @@ parsePairs(const std::string &spec, const std::string &clause,
     return pairs;
 }
 
+/** Parses a lone rate=R clause body (partmap/steerreg/branch). */
+double
+parseRateOnly(const std::string &spec, const std::string &kind,
+              const std::string &body)
+{
+    double rate = 0.0;
+    for (const auto &kv : parsePairs(spec, kind, body)) {
+        if (kv.key == "rate") {
+            rate = parseRate(spec, kv.key, kv.value);
+        } else {
+            specError(spec, "unknown " + kind + " key '" + kv.key +
+                                "' (expected rate)");
+        }
+    }
+    return rate;
+}
+
 } // namespace
+
+const char *
+checksumKindKey(ChecksumKind kind)
+{
+    return kind == ChecksumKind::Crc32 ? "crc32" : "parity";
+}
 
 FaultPlan
 parseFaultPlan(const std::string &spec)
@@ -158,10 +181,46 @@ parseFaultPlan(const std::string &spec)
                                   "timeout or retries)");
                 }
             }
+        } else if (kind == "value") {
+            for (const auto &kv : parsePairs(spec, kind, body)) {
+                if (kv.key == "rate") {
+                    plan.valueFlipRate =
+                        parseRate(spec, kv.key, kv.value);
+                } else if (kv.key == "burst") {
+                    const auto n = parseCount(spec, kv.key, kv.value);
+                    if (n == 0 || n > 64) {
+                        specError(spec,
+                                  "'burst' must be in [1, 64] bits");
+                    }
+                    plan.valueBurst = static_cast<std::uint32_t>(n);
+                } else if (kv.key == "checksum") {
+                    if (kv.value == "parity") {
+                        plan.valueChecksum = ChecksumKind::Parity;
+                    } else if (kv.value == "crc32") {
+                        plan.valueChecksum = ChecksumKind::Crc32;
+                    } else {
+                        specError(spec, "unknown checksum '" + kv.value +
+                                            "' (expected parity or "
+                                            "crc32)");
+                    }
+                } else {
+                    specError(spec,
+                              "unknown value key '" + kv.key +
+                                  "' (expected rate, burst or "
+                                  "checksum)");
+                }
+            }
+        } else if (kind == "partmap") {
+            plan.partMapFlipRate = parseRateOnly(spec, kind, body);
+        } else if (kind == "steerreg") {
+            plan.steerRegFlipRate = parseRateOnly(spec, kind, body);
+        } else if (kind == "branch") {
+            plan.branchFlipRate = parseRateOnly(spec, kind, body);
         } else {
             specError(spec, "unknown fault kind '" + kind +
-                                "' (expected seed, storeset, steer "
-                                "or link)");
+                                "' (expected seed, storeset, steer, "
+                                "link, value, partmap, steerreg or "
+                                "branch)");
         }
     }
     return plan;
@@ -176,13 +235,25 @@ FaultPlan::describe() const
         os << "; storeset:rate=" << storeSetDropRate;
     if (steerFlipRate > 0.0)
         os << "; steer:rate=" << steerFlipRate;
-    if (anyLink()) {
+    if (linkDropRate > 0.0 ||
+        (linkDelayRate > 0.0 && linkDelayCycles > 0)) {
         os << "; link:drop=" << linkDropRate
            << ",delay-rate=" << linkDelayRate
            << ",delay=" << linkDelayCycles
            << ",timeout=" << linkRetryTimeout
            << ",retries=" << linkMaxRetries;
     }
+    if (valueFlipRate > 0.0) {
+        os << "; value:rate=" << valueFlipRate
+           << ",burst=" << valueBurst
+           << ",checksum=" << checksumKindKey(valueChecksum);
+    }
+    if (partMapFlipRate > 0.0)
+        os << "; partmap:rate=" << partMapFlipRate;
+    if (steerRegFlipRate > 0.0)
+        os << "; steerreg:rate=" << steerRegFlipRate;
+    if (branchFlipRate > 0.0)
+        os << "; branch:rate=" << branchFlipRate;
     return os.str();
 }
 
@@ -191,7 +262,10 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
       // Distinct stream constants per fault kind: enabling or
       // re-ordering one kind never changes another kind's sequence.
       storeSetRng(plan.seed ^ 0x5374534574536574ull),
-      steerRng(plan.seed ^ 0x5374656572466c70ull)
+      steerRng(plan.seed ^ 0x5374656572466c70ull),
+      partMapRng(plan.seed ^ 0x506172744d617046ull),
+      steerRegRng(plan.seed ^ 0x5374655265674672ull),
+      branchRng(plan.seed ^ 0x4272616e63684670ull)
 {
 }
 
@@ -217,6 +291,41 @@ FaultInjector::steerFlipBit()
     // Pick which steering-table bit flips; the machine validates the
     // flipped mask so an instruction never ends up unassigned.
     return steerRng.chance(0.5) ? std::uint8_t(1) : std::uint8_t(2);
+}
+
+std::uint8_t
+FaultInjector::partMapFlipBit()
+{
+    if (_plan.partMapFlipRate <= 0.0)
+        return 0;
+    if (!partMapRng.chance(_plan.partMapFlipRate))
+        return 0;
+    ++_stats.partMapFlips;
+    return partMapRng.chance(0.5) ? std::uint8_t(1) : std::uint8_t(2);
+}
+
+bool
+FaultInjector::steerRegFlip(std::uint64_t &entropy)
+{
+    if (_plan.steerRegFlipRate <= 0.0)
+        return false;
+    if (!steerRegRng.chance(_plan.steerRegFlipRate))
+        return false;
+    ++_stats.steerRegFlips;
+    entropy = steerRegRng.next();
+    return true;
+}
+
+bool
+FaultInjector::branchFlip(std::uint64_t &entropy)
+{
+    if (_plan.branchFlipRate <= 0.0)
+        return false;
+    if (!branchRng.chance(_plan.branchFlipRate))
+        return false;
+    ++_stats.branchFlips;
+    entropy = branchRng.next();
+    return true;
 }
 
 } // namespace fgstp::harden

@@ -12,6 +12,11 @@
  *           | 'link'     ':' kv (',' kv)*    # drop=R, delay-rate=R,
  *                                            # delay=N, timeout=N,
  *                                            # retries=N
+ *           | 'value'    ':' kv (',' kv)*    # rate=R, burst=N,
+ *                                            # checksum=parity|crc32
+ *           | 'partmap'  ':' kv (',' kv)*    # rate=R
+ *           | 'steerreg' ':' kv (',' kv)*    # rate=R
+ *           | 'branch'   ':' kv (',' kv)*    # rate=R
  *
  * Fault kinds:
  *  - storeset: a predicted store-set synchronization is dropped with
@@ -24,6 +29,25 @@
  *  - link: operand-link packets are dropped (recovered by receiver
  *    timeout + retransmission, bounded by `retries`) or delayed by
  *    `delay` extra cycles; these live in uncore::OperandLink.
+ *  - value: an operand payload has `burst` bits flipped in flight with
+ *    probability `rate` per transmission. Receivers verify the payload
+ *    checksum (`checksum`, default crc32) and drive the link's
+ *    timeout/retransmission recovery on a mismatch; a burst the
+ *    configured checksum provably cannot catch (an even-width burst
+ *    under parity) throws FaultInjectionError rather than returning a
+ *    silently wrong value. Uses the link clause's timeout/retries
+ *    budget.
+ *  - partmap: a routed instruction's partition-map entry is flipped
+ *    with probability `rate` *after* steering commits it to the
+ *    window. The machine detects the mismatch against the
+ *    partitioner's decision and recovers by squash-and-refetch.
+ *  - steerreg: a live steering-weight register is corrupted with
+ *    probability `rate` per routed chunk; the machine detects the
+ *    deviation against its shadow copy and re-partitions (restores the
+ *    pristine weights).
+ *  - branch: a shared branch-predictor table bit (BTB entry) is
+ *    flipped with probability `rate` per routed instruction; the
+ *    predictor heals by ordinary mispredict-squash retraining.
  *
  * Everything is seeded: one plan + seed reproduces the exact same
  * fault sequence, so every injected failure is replayable. The
@@ -42,6 +66,17 @@
 
 namespace fgstp::harden
 {
+
+/** Checksum strength protecting in-flight operand payloads. */
+enum class ChecksumKind : std::uint8_t
+{
+    Parity, ///< 1-bit XOR reduce; misses every even-width burst
+    Crc32,  ///< reflected CRC-32; catches every burst a 64-bit
+            ///< payload can carry
+};
+
+/** Spec key for a checksum kind ("parity" / "crc32"). */
+const char *checksumKindKey(ChecksumKind kind);
 
 /** A parsed, seeded description of the faults to inject. */
 struct FaultPlan
@@ -69,10 +104,28 @@ struct FaultPlan
     /** Retransmissions before the loss is declared unrecoverable. */
     std::uint32_t linkMaxRetries = 8;
 
+    /** Probability an in-flight payload is corrupted per transmission. */
+    double valueFlipRate = 0.0;
+
+    /** Bits flipped per corruption event (1..64). */
+    std::uint32_t valueBurst = 1;
+
+    /** Checksum the receivers verify payloads against. */
+    ChecksumKind valueChecksum = ChecksumKind::Crc32;
+
+    /** Probability a routed partition-map entry is flipped. */
+    double partMapFlipRate = 0.0;
+
+    /** Probability a live steering-weight register is corrupted. */
+    double steerRegFlipRate = 0.0;
+
+    /** Probability a branch-predictor table bit is flipped. */
+    double branchFlipRate = 0.0;
+
     bool
     anyLink() const
     {
-        return linkDropRate > 0.0 ||
+        return linkDropRate > 0.0 || valueFlipRate > 0.0 ||
                (linkDelayRate > 0.0 && linkDelayCycles > 0);
     }
 
@@ -80,7 +133,8 @@ struct FaultPlan
     any() const
     {
         return storeSetDropRate > 0.0 || steerFlipRate > 0.0 ||
-               anyLink();
+               partMapFlipRate > 0.0 || steerRegFlipRate > 0.0 ||
+               branchFlipRate > 0.0 || anyLink();
     }
 
     /** One-line human-readable summary of the active clauses. */
@@ -98,6 +152,9 @@ struct InjectionStats
 {
     std::uint64_t storeSetDrops = 0;
     std::uint64_t steerFlips = 0;
+    std::uint64_t partMapFlips = 0;
+    std::uint64_t steerRegFlips = 0;
+    std::uint64_t branchFlips = 0;
 };
 
 /** The run-time dice for one machine's fault plan. */
@@ -118,11 +175,33 @@ class FaultInjector
      */
     std::uint8_t steerFlipBit();
 
+    /**
+     * Rolls the partmap clause: returns the partition-map core bit to
+     * flip in the already-routed window entry, or 0 for no flip.
+     */
+    std::uint8_t partMapFlipBit();
+
+    /**
+     * Rolls the steerreg clause: corrupt a live steering-weight
+     * register? On a flip, `entropy` receives the bits that pick the
+     * register and the mantissa bit to corrupt.
+     */
+    bool steerRegFlip(std::uint64_t &entropy);
+
+    /**
+     * Rolls the branch clause: flip a predictor table bit? On a flip,
+     * `entropy` selects the table entry and the bit within it.
+     */
+    bool branchFlip(std::uint64_t &entropy);
+
   private:
     FaultPlan _plan;
     InjectionStats _stats;
     Rng storeSetRng;
     Rng steerRng;
+    Rng partMapRng;
+    Rng steerRegRng;
+    Rng branchRng;
 };
 
 } // namespace fgstp::harden

@@ -33,9 +33,10 @@ enum class SquashCause : std::uint8_t
 {
     MemOrderLocal, ///< same-core load/store order violation
     MemOrderCross, ///< cross-core dependence-speculation violation
+    PartitionMap,  ///< corrupted partition-map entry (fault injection)
 };
 
-inline constexpr std::size_t numSquashCauses = 2;
+inline constexpr std::size_t numSquashCauses = 3;
 
 const char *squashCauseName(SquashCause c);
 

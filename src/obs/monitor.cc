@@ -9,6 +9,7 @@ squashCauseName(SquashCause c)
     switch (c) {
       case SquashCause::MemOrderLocal: return "mem-order-local";
       case SquashCause::MemOrderCross: return "mem-order-cross";
+      case SquashCause::PartitionMap: return "partition-map";
     }
     return "?";
 }

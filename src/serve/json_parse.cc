@@ -77,8 +77,14 @@ class Parser
     {
         skipWs();
         switch (peek()) {
-          case '{': return parseObject();
-          case '[': return parseArray();
+          case '{': {
+            const DepthGuard guard(*this);
+            return parseObject();
+          }
+          case '[': {
+            const DepthGuard guard(*this);
+            return parseArray();
+          }
           case '"': return JsonValue::makeString(parseString());
           case 't':
             if (consumeLiteral("true"))
@@ -282,8 +288,31 @@ class Parser
         return JsonValue::makeNumber(v, lit);
     }
 
+    /**
+     * Bounds container recursion so a nesting-depth bomb
+     * ("[[[[[...") fails with a typed JsonParseError instead of
+     * overflowing the stack. 64 levels is far beyond any legitimate
+     * serve request (which nests two or three deep).
+     */
+    static constexpr std::size_t maxDepth = 64;
+
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser &p) : parser(p)
+        {
+            if (++parser.depth > maxDepth) {
+                parseFail(parser.pos,
+                          "nesting depth exceeds " +
+                              std::to_string(maxDepth));
+            }
+        }
+        ~DepthGuard() { --parser.depth; }
+        Parser &parser;
+    };
+
     std::string_view text;
     std::size_t pos = 0;
+    std::size_t depth = 0;
 };
 
 } // namespace

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -239,21 +240,35 @@ ServeConfig
 parseServeConfig(const std::string &spec)
 {
     ServeConfig config;
-    if (spec.empty() || spec == "stdio") {
+    std::string base = spec;
+    if (const auto at = base.rfind(",timeout=");
+        at != std::string::npos) {
+        const std::string v = base.substr(at + 9);
+        char *end = nullptr;
+        config.requestTimeoutMs = std::strtoull(v.c_str(), &end, 10);
+        if (v.empty() || (end && *end != '\0') ||
+            config.requestTimeoutMs == 0) {
+            throw ConfigError("bad --serve timeout '" + v +
+                              "' (expected ,timeout=MS with MS > 0)");
+        }
+        base.resize(at);
+    }
+    if (base.empty() || base == "stdio") {
         config.transport = ServeConfig::Transport::Stdio;
         return config;
     }
-    if (spec.rfind("unix:", 0) == 0) {
+    if (base.rfind("unix:", 0) == 0) {
         config.transport = ServeConfig::Transport::Unix;
-        config.path = spec.substr(5);
+        config.path = base.substr(5);
         if (config.path.empty()) {
             throw ConfigError(
                 "--serve=unix: needs a socket path (unix:/tmp/x.sock)");
         }
         return config;
     }
-    throw ConfigError("bad --serve transport '" + spec +
-                      "' (expected stdio or unix:PATH)");
+    throw ConfigError("bad --serve transport '" + base +
+                      "' (expected stdio or unix:PATH, optionally "
+                      "with ,timeout=MS)");
 }
 
 ServeStats

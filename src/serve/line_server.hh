@@ -39,11 +39,24 @@ struct ServeConfig
 
     Transport transport = Transport::Stdio;
     std::string path; ///< socket path when transport == Unix
+
+    /**
+     * Per-request wall-clock budget in milliseconds; 0 = unlimited.
+     * When a request's cells are still running at the deadline, the
+     * remaining cells are reported as failed rows and the done line
+     * carries "status":"failed" — a hung or pathologically slow cell
+     * degrades one answer instead of wedging the server. The
+     * abandoned cells keep their pool threads until they finish (or
+     * forever, if truly hung); the budget bounds the *response*, not
+     * the computation.
+     */
+    std::uint64_t requestTimeoutMs = 0;
 };
 
 /**
  * Parses the --serve value: "" or "stdio" → Stdio, "unix:PATH" →
- * Unix. Throws ConfigError on anything else.
+ * Unix; either form takes an optional ",timeout=MS" suffix setting
+ * the per-request budget. Throws ConfigError on anything else.
  */
 ServeConfig parseServeConfig(const std::string &spec);
 

@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include <string>
 
@@ -175,6 +177,19 @@ class Machine
     Cycle watchdogLimit() const { return watchdog; }
 
     static constexpr Cycle defaultWatchdogLimit = 200000;
+
+    /**
+     * Named counters for the machine's fault-recovery work — injected
+     * events and the retransmissions / squashes / repartitions spent
+     * healing them. Empty (the default) when the machine has no fault
+     * injection armed, so uninjected runs stay byte-identical in every
+     * report. Ordering is stable for a given machine kind.
+     */
+    virtual std::vector<std::pair<std::string, std::uint64_t>>
+    recoveryCounters() const
+    {
+        return {};
+    }
 
   protected:
     /**

@@ -293,9 +293,6 @@ runSim(Options o)
     if (sc_machine && bus_cfg.enabled)
         sc_machine->enableSharedBus(bus_cfg);
 
-    if (o.watchdogLimit)
-        machine->setWatchdogLimit(o.watchdogLimit);
-
     std::unique_ptr<harden::CommitChecker> checker;
     if (o.check) {
         // The golden stream is a fresh source over the same input: a
@@ -323,6 +320,12 @@ runSim(Options o)
         std::fprintf(stderr, "fgstp_sim: injecting faults: %s\n",
                      plan.describe().c_str());
     }
+
+    // After the inject block: enableFaultInjection scales the
+    // watchdog to the plan's recovery budget, and an explicit
+    // --watchdog must override that scaling, not be overridden by it.
+    if (o.watchdogLimit)
+        machine->setWatchdogLimit(o.watchdogLimit);
 
     obs::MonitorConfig mcfg;
     mcfg.trace = !o.pipeviewFile.empty() || !o.eventlogFile.empty();
@@ -400,12 +403,26 @@ runSim(Options o)
     if (fgstp_machine && fgstp_machine->faultInjector()) {
         const auto &is = fgstp_machine->faultInjector()->stats();
         const auto &ls = fgstp_machine->linkStats();
+        const auto &rs = fgstp_machine->recoveryStats();
         std::printf("faults injected: storeSetDrops=%lu "
-                    "steerFlips=%lu linkDrops=%lu linkDelays=%lu\n",
+                    "steerFlips=%lu linkDrops=%lu linkDelays=%lu "
+                    "valueFlips=%lu partMapFlips=%lu "
+                    "steerRegFlips=%lu branchFlips=%lu\n",
                     static_cast<unsigned long>(is.storeSetDrops),
                     static_cast<unsigned long>(is.steerFlips),
                     static_cast<unsigned long>(ls.faultDrops),
-                    static_cast<unsigned long>(ls.faultDelays));
+                    static_cast<unsigned long>(ls.faultDelays),
+                    static_cast<unsigned long>(ls.faultValueFlips),
+                    static_cast<unsigned long>(is.partMapFlips),
+                    static_cast<unsigned long>(is.steerRegFlips),
+                    static_cast<unsigned long>(is.branchFlips));
+        std::printf("faults recovered: linkRetransmits=%lu "
+                    "partMapSquashes=%lu steerRegRepartitions=%lu\n",
+                    static_cast<unsigned long>(ls.faultDrops +
+                                               ls.faultValueFlips),
+                    static_cast<unsigned long>(rs.partMapSquashes),
+                    static_cast<unsigned long>(
+                        rs.steerRegRepartitions));
     }
 
     if (mcfg.trace) {

@@ -149,6 +149,11 @@ StatReport::StatReport(const Machine &machine, const RunResult &result)
         }
     }
 
+    // Fault-injection and recovery counters. Empty unless the machine
+    // has an injector armed, so uninjected reports are byte-identical.
+    for (const auto &[name, value] : machine.recoveryCounters())
+        addScalar("harden." + name, "fault-injection counter", value);
+
     const auto &m = machine.memory().stats();
     addScalar("mem.l1dAccesses", "L1D accesses", m.l1dAccesses);
     addScalar("mem.l1dMisses", "L1D misses", m.l1dMisses);

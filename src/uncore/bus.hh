@@ -206,6 +206,10 @@ struct BusStats
     std::array<std::uint64_t, numBusClasses> nacks{};
     std::array<std::uint64_t, numBusClasses> queuedCycles{};
 
+    /** Bus-routed payloads whose checksum failed at the receiver
+     *  (reported by the operand link's integrity check). */
+    std::uint64_t payloadFaults = 0;
+
     std::uint64_t
     req(BusClass c) const
     {
@@ -334,6 +338,14 @@ class SharedBus
         auto it = ledger.find(t);
         return it == ledger.end() ? 0 : it->second.total;
     }
+
+    /**
+     * Records that a bus-routed payload arrived corrupt (checksum
+     * mismatch at the receiver). The operand link calls this when
+     * fault injection corrupts a transfer that crossed the bus, so
+     * bus statistics show how much granted bandwidth carried garbage.
+     */
+    void notePayloadFault() { ++_stats.payloadFaults; }
 
     const BusConfig &config() const { return cfg; }
     const BusStats &stats() const { return _stats; }

@@ -14,12 +14,23 @@
  * is recovered by a receiver timeout plus retransmission — bounded by
  * a retry budget, past which the loss raises FaultInjectionError
  * instead of silently losing an operand.
+ *
+ * Payloads additionally carry an end-to-end checksum (parity or
+ * CRC-32). The value fault class flips payload bits in flight; the
+ * receiver verifies the checksum and a mismatch drives the same
+ * timeout/retransmission recovery as a drop. A corruption the
+ * configured checksum provably cannot catch (an even-width burst
+ * under parity — both checksums are linear, so detection depends
+ * only on the error pattern, never the payload value) raises
+ * FaultInjectionError immediately: the model refuses to deliver a
+ * silently wrong operand.
  */
 
 #ifndef FGSTP_UNCORE_LINK_HH
 #define FGSTP_UNCORE_LINK_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -81,6 +92,51 @@ class BandwidthPort
     std::map<Cycle, std::uint32_t> occupancy;
 };
 
+/**
+ * Checksum strength protecting in-flight operand payloads. Mirrors
+ * harden::ChecksumKind without making uncore depend on harden (the
+ * machine maps one onto the other, the same way FaultPlan rates map
+ * onto LinkFaultConfig).
+ */
+enum class LinkChecksum : std::uint8_t
+{
+    Parity, ///< 1-bit XOR reduce; blind to every even-width burst
+    Crc32,  ///< reflected CRC-32 over the payload's 8 bytes
+};
+
+/** 1-bit XOR parity of a 64-bit payload. */
+inline std::uint32_t
+payloadParity(std::uint64_t payload)
+{
+    return static_cast<std::uint32_t>(std::popcount(payload) & 1);
+}
+
+/** Reflected CRC-32 (poly 0xEDB88320) over the payload's 8 bytes. */
+inline std::uint32_t
+payloadCrc32(std::uint64_t payload)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (int byte = 0; byte < 8; ++byte) {
+        crc ^= static_cast<std::uint32_t>((payload >> (8 * byte)) & 0xff);
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+    return crc ^ 0xffffffffu;
+}
+
+/** Does `checksum` detect a payload XORed with `errorMask`? Both
+ *  checksums are linear, so only the error pattern matters. */
+inline bool
+checksumDetects(LinkChecksum checksum, std::uint64_t payload,
+                std::uint64_t errorMask)
+{
+    if (checksum == LinkChecksum::Parity) {
+        return payloadParity(payload ^ errorMask) !=
+               payloadParity(payload);
+    }
+    return payloadCrc32(payload ^ errorMask) != payloadCrc32(payload);
+}
+
 /** Link configuration. */
 struct LinkConfig
 {
@@ -95,6 +151,7 @@ struct LinkStats
     std::uint64_t queuedCycles = 0; ///< total slot-wait cycles
     std::uint64_t faultDrops = 0;   ///< injected drops (recovered)
     std::uint64_t faultDelays = 0;  ///< injected extra delays
+    std::uint64_t faultValueFlips = 0; ///< detected payload corruptions
 
     double
     meanQueueDelay() const
@@ -119,6 +176,15 @@ struct LinkFaultConfig
     Cycle retryTimeout = 32;
     std::uint32_t maxRetries = 8;
     std::uint64_t seed = 1;
+
+    /** Per-transmission probability a payload is corrupted. */
+    double valueRate = 0.0;
+
+    /** Distinct bits flipped per corruption event (1..64). */
+    std::uint32_t valueBurst = 1;
+
+    /** Checksum receivers verify payloads against. */
+    LinkChecksum checksum = LinkChecksum::Crc32;
 };
 
 class OperandLink
@@ -141,17 +207,19 @@ class OperandLink
      * Sends a value from `from` at `now`; returns the cycle it is
      * usable on the other core plus the queue delay paid, which the
      * CPI accountant attributes to bus contention when the shared bus
-     * is attached.
+     * is attached. `payload` is the 64-bit value on the wire — it
+     * feeds the end-to-end checksum when value faults are armed and
+     * is otherwise ignored (timing never depends on it).
      */
     SendOutcome
-    sendTimed(CoreId from, Cycle now)
+    sendTimed(CoreId from, Cycle now, std::uint64_t payload = 0)
     {
         const Cycle slot = claimSlot(from, now);
         ++_stats.messages;
         _stats.queuedCycles += slot - now;
         Cycle arrival = slot + cfg.latency;
         if (faults)
-            arrival = injectFaults(from, arrival);
+            arrival = injectFaults(from, arrival, payload);
         if (trackOccupancy)
             pendingArrivals.push_back(arrival);
         return {arrival, slot - now};
@@ -162,9 +230,9 @@ class OperandLink
      * usable on the other core.
      */
     Cycle
-    send(CoreId from, Cycle now)
+    send(CoreId from, Cycle now, std::uint64_t payload = 0)
     {
-        return sendTimed(from, now).arrival;
+        return sendTimed(from, now, payload).arrival;
     }
 
     /**
@@ -216,8 +284,11 @@ class OperandLink
         ports[1].reset();
         pendingArrivals.clear();
         _stats = LinkStats{};
-        if (faults)
+        if (faults) {
             faults->rng.reseed(faults->cfg.seed);
+            faults->valueRng.reseed(faults->cfg.seed ^
+                                    FaultState::valueStream);
+        }
     }
 
     /** Zeroes the counters without releasing claimed slots. */
@@ -227,12 +298,18 @@ class OperandLink
     struct FaultState
     {
         explicit FaultState(const LinkFaultConfig &cfg)
-            : cfg(cfg), rng(cfg.seed)
+            : cfg(cfg), rng(cfg.seed), valueRng(cfg.seed ^ valueStream)
         {
         }
 
+        /** Distinct stream for payload corruption so arming value
+         *  faults never perturbs the drop/delay dice sequence. */
+        static constexpr std::uint64_t valueStream =
+            0x56616c7565466c70ull;
+
         LinkFaultConfig cfg;
         Rng rng;
+        Rng valueRng;
     };
 
     /** The direction port for `from`, with the id range checked. */
@@ -283,8 +360,24 @@ class OperandLink
         }
     }
 
+    /** `valueBurst` distinct bit positions as an XOR error mask. */
+    static std::uint64_t
+    burstMask(Rng &rng, std::uint32_t bits)
+    {
+        std::uint64_t mask = 0;
+        for (std::uint32_t set = 0; set < bits;) {
+            const std::uint64_t bit = std::uint64_t(1)
+                                      << rng.below(64);
+            if (!(mask & bit)) {
+                mask |= bit;
+                ++set;
+            }
+        }
+        return mask;
+    }
+
     Cycle
-    injectFaults(CoreId from, Cycle arrival)
+    injectFaults(CoreId from, Cycle arrival, std::uint64_t payload)
     {
         auto &f = *faults;
         if (f.cfg.delayRate > 0.0 && f.cfg.delayCycles > 0 &&
@@ -309,6 +402,43 @@ class OperandLink
                     ") — unrecoverable under this fault plan");
             }
             ++_stats.faultDrops;
+            const Cycle resend =
+                claimSlot(from, arrival + f.cfg.retryTimeout);
+            arrival = resend + cfg.latency;
+        }
+        // Payload corruption: each (re)transmission rolls the value
+        // clause. A detected mismatch is recovered like a drop —
+        // timeout plus a fresh retransmission, drawing on the same
+        // retry budget. An undetectable corruption must never become
+        // a silently wrong operand, so it fails loudly instead.
+        while (f.cfg.valueRate > 0.0 &&
+               f.valueRng.chance(f.cfg.valueRate)) {
+            const std::uint64_t mask =
+                burstMask(f.valueRng, f.cfg.valueBurst);
+            if (!checksumDetects(f.cfg.checksum, payload, mask)) {
+                throw FaultInjectionError(
+                    "operand link: payload from core " +
+                    std::to_string(from) + " hit by a " +
+                    std::to_string(std::popcount(mask)) +
+                    "-bit burst the " +
+                    (f.cfg.checksum == LinkChecksum::Parity
+                         ? "parity" : "crc32") +
+                    " checksum cannot detect — refusing to deliver "
+                    "a silently corrupt operand (strengthen the "
+                    "checksum or narrow the burst)");
+            }
+            ++_stats.faultValueFlips;
+            if (bus)
+                bus->notePayloadFault();
+            if (++attempt > f.cfg.maxRetries) {
+                throw FaultInjectionError(
+                    "operand link: payload from core " +
+                    std::to_string(from) + " corrupted on " +
+                    std::to_string(f.cfg.maxRetries) +
+                    " consecutive retransmissions (value rate " +
+                    std::to_string(f.cfg.valueRate) +
+                    ") — unrecoverable under this fault plan");
+            }
             const Cycle resend =
                 claimSlot(from, arrival + f.cfg.retryTimeout);
             arrival = resend + cfg.latency;

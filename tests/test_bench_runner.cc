@@ -142,7 +142,7 @@ TEST(JobSeed, SpreadsAcrossBenchmarks)
 TEST(Experiments, RegistryIsCompleteAndFindable)
 {
     const auto &all = bench::allExperiments();
-    EXPECT_EQ(all.size(), 14u);
+    EXPECT_EQ(all.size(), 15u);
     for (const auto &e : all) {
         EXPECT_EQ(bench::findExperiment(e.name), &e);
         EXPECT_FALSE(e.title.empty());
@@ -290,8 +290,12 @@ TEST(FlagConflicts, TablesCoverTheDocumentedPairs)
     EXPECT_TRUE(has(cli::benchConflictRules(), "--serve", "--merge"));
     EXPECT_TRUE(has(cli::benchConflictRules(), "--merge", "--shard"));
     EXPECT_TRUE(has(cli::benchConflictRules(), "--merge", "--cache"));
+    // The injection campaign arms its own per-cell fault plans, so a
+    // global --inject plan is rejected rather than silently ignored.
+    EXPECT_TRUE(has(cli::benchConflictRules(), "--inject",
+                    "--experiment=inject_sweep"));
     EXPECT_EQ(cli::simConflictRules().size(), 3u);
-    EXPECT_EQ(cli::benchConflictRules().size(), 8u);
+    EXPECT_EQ(cli::benchConflictRules().size(), 9u);
 }
 
 // ---- crash-isolated sweeps -------------------------------------------------

@@ -20,6 +20,7 @@
 #include "common/thread_pool.hh"
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
+#include "harden/campaign.hh"
 #include "harden/commit_checker.hh"
 #include "harden/fault.hh"
 #include "sim/presets.hh"
@@ -60,6 +61,28 @@ TEST(FaultSpec, ParsesFullGrammar)
     EXPECT_TRUE(p.any());
     EXPECT_TRUE(p.anyLink());
     EXPECT_NE(p.describe().find("seed:7"), std::string::npos);
+}
+
+TEST(FaultSpec, ParsesTheCampaignClasses)
+{
+    const auto p = harden::parseFaultPlan(
+        "value:rate=0.01,burst=2,checksum=parity;"
+        "partmap:rate=0.001;steerreg:rate=0.02;branch:rate=0.03");
+    EXPECT_DOUBLE_EQ(p.valueFlipRate, 0.01);
+    EXPECT_EQ(p.valueBurst, 2u);
+    EXPECT_EQ(p.valueChecksum, harden::ChecksumKind::Parity);
+    EXPECT_DOUBLE_EQ(p.partMapFlipRate, 0.001);
+    EXPECT_DOUBLE_EQ(p.steerRegFlipRate, 0.02);
+    EXPECT_DOUBLE_EQ(p.branchFlipRate, 0.03);
+    EXPECT_TRUE(p.any());
+    EXPECT_TRUE(p.anyLink()); // value faults ride the link
+    EXPECT_NE(p.describe().find("value:"), std::string::npos);
+    EXPECT_THROW(harden::parseFaultPlan("value:burst=0"),
+                 FaultSpecError);
+    EXPECT_THROW(harden::parseFaultPlan("value:checksum=md5"),
+                 FaultSpecError);
+    EXPECT_THROW(harden::parseFaultPlan("partmap:burst=1"),
+                 FaultSpecError);
 }
 
 TEST(FaultSpec, DefaultsWhenOmitted)
@@ -309,6 +332,117 @@ TEST(FaultInjection, UnrecoverableLinkLossRaisesStructuredError)
         EXPECT_NE(std::string(ex.what()).find("unrecoverable"),
                   std::string::npos);
     }
+}
+
+TEST(FaultInjection, ValueFlipsRecoverCheckerClean)
+{
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("mcf"), 3);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableFaultInjection(harden::parseFaultPlan("value:rate=0.05"));
+    harden::CommitChecker checker(goldenFor("mcf", 3), "mcf/value");
+    m.attachCommitChecker(&checker);
+    const auto r = m.run(5000);
+    EXPECT_EQ(checker.checked(), r.instructions);
+    EXPECT_GT(m.linkStats().faultValueFlips, 0u);
+}
+
+TEST(FaultInjection, StateFlipsRecoverCheckerClean)
+{
+    // All three microarchitectural-state classes at once: corrupted
+    // partition-map entries squash and refetch, steering-register
+    // flips force a repartition at the next chunk boundary, BTB flips
+    // heal through ordinary mispredict retraining. The committed
+    // stream must stay golden throughout.
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableFaultInjection(harden::parseFaultPlan(
+        "partmap:rate=0.002;steerreg:rate=0.05;branch:rate=0.01"));
+    harden::CommitChecker checker(goldenFor("gcc", 3), "gcc/state");
+    m.attachCommitChecker(&checker);
+    const auto r = m.run(20000);
+    EXPECT_EQ(checker.checked(), r.instructions);
+    ASSERT_NE(m.faultInjector(), nullptr);
+    EXPECT_GT(m.faultInjector()->stats().partMapFlips, 0u);
+    EXPECT_GT(m.faultInjector()->stats().steerRegFlips, 0u);
+    EXPECT_GT(m.faultInjector()->stats().branchFlips, 0u);
+    EXPECT_GT(m.recoveryStats().partMapSquashes, 0u);
+    EXPECT_GT(m.recoveryStats().steerRegRepartitions, 0u);
+}
+
+TEST(FaultInjection, LinkFaultsComposeWithBusNacks)
+{
+    // Both recovery paths armed at once: a narrow bus NACKs sends
+    // into the retransmission timeout while injected drops and
+    // payload corruptions draw on the same retry budget. The run must
+    // stay checker-clean and bit-repeatable. (width=1 is below mcf's
+    // sustainable offered load and saturates outright; width=2 with a
+    // tiny queue makes bursts NACK while staying recoverable, and the
+    // raised retry budget covers NACK+drop pile-ups.)
+    const auto p = sim::mediumPreset();
+    auto cfg = p.fgstp();
+    cfg.bus.enabled = true;
+    cfg.bus.width = 2;
+    cfg.bus.queueCapacity = 2;
+    const auto plan = harden::parseFaultPlan(
+        "seed:11;link:drop=0.1,retries=32;value:rate=0.05");
+
+    auto once = [&] {
+        workload::SyntheticWorkload w(workload::profileByName("mcf"),
+                                      3);
+        part::FgstpMachine m(p.core, p.memory, cfg, w);
+        m.enableFaultInjection(plan);
+        harden::CommitChecker checker(goldenFor("mcf", 3),
+                                      "mcf/link+bus");
+        m.attachCommitChecker(&checker);
+        const auto r = m.run(5000);
+        EXPECT_EQ(checker.checked(), r.instructions);
+        EXPECT_GT(m.linkStats().faultDrops, 0u);
+        EXPECT_GT(m.linkStats().faultValueFlips, 0u);
+        const uncore::BusStats &bs = m.sharedBus()->stats();
+        EXPECT_GT(bs.nacks[0], 0u);
+        EXPECT_EQ(bs.payloadFaults, m.linkStats().faultValueFlips);
+        return std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>(
+            r.cycles, m.linkStats().faultDrops,
+            m.linkStats().faultValueFlips);
+    };
+
+    EXPECT_EQ(once(), once());
+}
+
+TEST(Watchdog, ScalesWithTheInjectionPlanBudget)
+{
+    // A heavy-delay plan inflates the forward-progress budget so long
+    // recovery chains cannot false-trip SimDeadlockError...
+    const auto heavy = harden::parseFaultPlan(
+        "link:drop=0.2,delay-rate=0.5,delay=200,timeout=256,"
+        "retries=32");
+    EXPECT_GT(harden::scaledWatchdogLimit(heavy, 1000), 1000u);
+    // ...while plans without link faults leave the budget alone.
+    const auto steer = harden::parseFaultPlan("steer:rate=0.1");
+    EXPECT_EQ(harden::scaledWatchdogLimit(steer, 1000), 1000u);
+
+    const auto p = sim::mediumPreset();
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 3);
+    part::FgstpMachine m(p.core, p.memory, p.fgstp(), w);
+    m.enableFaultInjection(heavy);
+    EXPECT_EQ(m.watchdogLimit(),
+              harden::scaledWatchdogLimit(
+                  heavy, sim::Machine::defaultWatchdogLimit));
+    // An explicit --watchdog set after arming still wins.
+    m.setWatchdogLimit(123456);
+    EXPECT_EQ(m.watchdogLimit(), 123456u);
+}
+
+TEST(FaultSpec, CampaignSpecsRoundTripThroughTheParser)
+{
+    for (const std::string &cls : harden::campaignClasses()) {
+        const auto plan = harden::campaignPlan(cls, 0.01, 7);
+        EXPECT_TRUE(plan.any()) << cls;
+        EXPECT_EQ(plan.seed, 7u) << cls;
+    }
+    EXPECT_THROW(harden::campaignSpec("bogus", 0.5), FaultSpecError);
 }
 
 TEST(FaultInjection, SameSeedSamePerturbation)

@@ -32,6 +32,7 @@
 #include "bench/experiments.hh"
 #include "bench/sweep_service.hh"
 #include "common/error.hh"
+#include "common/random.hh"
 #include "common/thread_pool.hh"
 #include "common/version.hh"
 #include "serve/cell_key.hh"
@@ -210,6 +211,58 @@ TEST(JsonParse, RejectsMalformedInput)
          {"", "{", "{\"a\":}", "[1,]", "nul", "\"unterminated",
           "{\"a\":1} trailing", "{'a':1}", "{\"a\" 1}", "01"})
         EXPECT_THROW(serve::parseJson(bad), JsonParseError) << bad;
+}
+
+TEST(JsonParse, CorruptionCorpusFailsTypedNeverCrashes)
+{
+    // A seeded corruption corpus over a representative request line:
+    // every truncation point and a few hundred random bit flips. A
+    // variant either still parses (some flips leave valid JSON) or
+    // raises JsonParseError — anything else escapes and fails the
+    // test, so a malformed serve request provably cannot crash the
+    // server or corrupt its state.
+    const std::string doc =
+        "{\"experiment\": \"inject_sweep\", \"bench\": \"gcc\","
+        " \"values\": [1.5, -2e3, 0], \"ok\": true, \"err\": null,"
+        " \"msg\": \"a\\n\\\"b\\\"\\u00e9\"}";
+    const auto probe = [](const std::string &s) {
+        try {
+            (void)serve::parseJson(s);
+        } catch (const JsonParseError &) {
+            // The typed failure is the accepted outcome.
+        }
+    };
+    for (std::size_t n = 0; n < doc.size(); ++n)
+        probe(doc.substr(0, n));
+    Rng rng(42);
+    for (int i = 0; i < 500; ++i) {
+        std::string s = doc;
+        const auto at = static_cast<std::size_t>(
+            rng.below(s.size()));
+        s[at] = static_cast<char>(
+            s[at] ^ (1u << rng.below(8)));
+        probe(s);
+    }
+}
+
+TEST(JsonParse, NestingDepthBombFailsTypedNotByStackOverflow)
+{
+    // 64 container levels are legal...
+    EXPECT_NO_THROW(serve::parseJson(std::string(64, '[') +
+                                     std::string(64, ']')));
+    // ...65 raise the typed depth error...
+    EXPECT_THROW(serve::parseJson(std::string(65, '[') +
+                                  std::string(65, ']')),
+                 JsonParseError);
+    // ...and a 100k-deep bomb must fail the same way instead of
+    // recursing to a stack overflow.
+    try {
+        serve::parseJson(std::string(100000, '['));
+        FAIL() << "depth bomb parsed";
+    } catch (const JsonParseError &ex) {
+        EXPECT_NE(std::string(ex.what()).find("nesting depth"),
+                  std::string::npos);
+    }
 }
 
 TEST(JsonParse, AccessorsRejectKindMismatches)
@@ -418,6 +471,27 @@ TEST(ServeConfig, ParsesTheTwoTransports)
     EXPECT_EQ(u.path, "/tmp/s.sock");
     EXPECT_THROW(serve::parseServeConfig("tcp:1234"), ConfigError);
     EXPECT_THROW(serve::parseServeConfig("unix:"), ConfigError);
+}
+
+TEST(ServeConfig, ParsesTheRequestTimeout)
+{
+    EXPECT_EQ(serve::parseServeConfig("").requestTimeoutMs, 0u);
+    EXPECT_EQ(serve::parseServeConfig("stdio").requestTimeoutMs, 0u);
+    EXPECT_EQ(
+        serve::parseServeConfig("stdio,timeout=5000").requestTimeoutMs,
+        5000u);
+    const auto u =
+        serve::parseServeConfig("unix:/tmp/s.sock,timeout=250");
+    EXPECT_EQ(u.transport, serve::ServeConfig::Transport::Unix);
+    EXPECT_EQ(u.path, "/tmp/s.sock");
+    EXPECT_EQ(u.requestTimeoutMs, 250u);
+    // A zero or malformed budget is rejected, not silently ignored.
+    EXPECT_THROW(serve::parseServeConfig("stdio,timeout=0"),
+                 ConfigError);
+    EXPECT_THROW(serve::parseServeConfig("stdio,timeout=abc"),
+                 ConfigError);
+    EXPECT_THROW(serve::parseServeConfig("stdio,timeout="),
+                 ConfigError);
 }
 
 // ---- cache-backed sweeps ---------------------------------------------------
@@ -709,6 +783,7 @@ TEST(Serve, UnixSocketSessionMatchesTheBatchPath)
         const auto done = serve::parseJson(client.recvLine());
         EXPECT_TRUE(done.at("done").asBool());
         EXPECT_EQ(done.at("cells").asUint(), 1u);
+        EXPECT_EQ(done.at("status").asString(), "ok");
 
         // A bad request gets an error line; the session survives.
         client.send("{\"no\": \"experiment key\"}");
@@ -724,6 +799,52 @@ TEST(Serve, UnixSocketSessionMatchesTheBatchPath)
     EXPECT_EQ(stats.requests, 3u);
     EXPECT_EQ(stats.errors, 1u);
     EXPECT_FALSE(fs::exists(sock)) << "socket file not cleaned up";
+}
+
+TEST(Serve, RequestTimeoutTurnsAHungCellIntoAFailedRow)
+{
+    // A 1 ms budget against a multi-second cell: the row must stream
+    // back as failed with the budget error, the done line must carry
+    // status failed, and the server must survive to answer the
+    // shutdown request. (The abandoned cell keeps its pool thread
+    // until it finishes; the pool teardown below absorbs that.)
+    bench::RunParams prm;
+    prm.insts = 150000;
+
+    TempDir dir;
+    const std::string sock = dir.path + "/serve.sock";
+    serve::ServeConfig config;
+    config.transport = serve::ServeConfig::Transport::Unix;
+    config.path = sock;
+    config.requestTimeoutMs = 1;
+
+    ThreadPool pool(2);
+    serve::ServeStats stats;
+    std::thread server([&] {
+        stats = bench::runCellServe(config, prm, pool);
+    });
+
+    {
+        LineClient client(sock);
+        client.send(
+            "{\"experiment\": \"fig1\", \"bench\": \"gcc\", "
+            "\"machine\": \"fgstp\"}");
+        const auto row = serve::parseJson(client.recvLine());
+        EXPECT_EQ(row.at("status").asString(), "failed");
+        EXPECT_NE(row.at("error").asString().find(
+                      "wall-clock budget exceeded"),
+                  std::string::npos);
+        const auto done = serve::parseJson(client.recvLine());
+        EXPECT_TRUE(done.at("done").asBool());
+        EXPECT_EQ(done.at("failed").asUint(), 1u);
+        EXPECT_EQ(done.at("status").asString(), "failed");
+
+        client.send("{\"shutdown\": true}");
+        const auto bye = serve::parseJson(client.recvLine());
+        EXPECT_TRUE(bye.at("done").asBool());
+    }
+    server.join();
+    EXPECT_EQ(stats.requests, 2u);
 }
 
 } // namespace

@@ -238,6 +238,141 @@ TEST(SharedBusTest, LinkReusesRetryPathOnNack)
     EXPECT_EQ(bus.stats().grants[0], 2u);
 }
 
+// ---- payload checksums and value faults -----------------------------------
+
+TEST(PayloadChecksumTest, DetectionDependsOnlyOnErrorPattern)
+{
+    // Both checksums are linear: whether a burst is caught must not
+    // depend on the payload it lands on.
+    const std::uint64_t payloads[] = {0, 0xdeadbeefcafef00dull,
+                                      ~0ull, 1ull << 63};
+    for (const std::uint64_t p : payloads) {
+        EXPECT_TRUE(uncore::checksumDetects(
+            uncore::LinkChecksum::Parity, p, 1ull << 17));
+        EXPECT_FALSE(uncore::checksumDetects(
+            uncore::LinkChecksum::Parity, p, (1ull << 3) | (1ull << 40)));
+        EXPECT_TRUE(uncore::checksumDetects(
+            uncore::LinkChecksum::Crc32, p, (1ull << 3) | (1ull << 40)));
+    }
+}
+
+TEST(PayloadChecksumTest, Crc32CatchesEveryDoubleBitBurst)
+{
+    // Parity is blind to all of these; CRC-32's minimum distance over
+    // a 64-bit block covers every 2-bit pattern.
+    for (int a = 0; a < 64; ++a) {
+        for (int b = a + 1; b < 64; b += 7) {
+            const std::uint64_t mask = (1ull << a) | (1ull << b);
+            EXPECT_FALSE(uncore::checksumDetects(
+                uncore::LinkChecksum::Parity, 0x1234, mask));
+            EXPECT_TRUE(uncore::checksumDetects(
+                uncore::LinkChecksum::Crc32, 0x1234, mask));
+        }
+    }
+}
+
+uncore::LinkFaultConfig
+valueFaults(double rate, std::uint32_t burst,
+            uncore::LinkChecksum checksum, std::uint64_t seed = 1)
+{
+    uncore::LinkFaultConfig f;
+    f.valueRate = rate;
+    f.valueBurst = burst;
+    f.checksum = checksum;
+    f.seed = seed;
+    return f;
+}
+
+TEST(LinkValueFaultTest, ParityBlindEvenBurstRefusesDelivery)
+{
+    // rate=1 corrupts the very first transmission; a 2-bit burst under
+    // parity is provably undetectable, so the link must fail loudly
+    // rather than deliver a silently wrong operand.
+    OperandLink link({4, 2});
+    link.enableFaultInjection(
+        valueFaults(1.0, 2, uncore::LinkChecksum::Parity));
+    try {
+        link.send(0, 100, 0xabcdefull);
+        FAIL() << "undetectable corruption was delivered";
+    } catch (const FaultInjectionError &ex) {
+        EXPECT_NE(std::string(ex.what()).find("cannot detect"),
+                  std::string::npos);
+    }
+}
+
+TEST(LinkValueFaultTest, PersistentCorruptionExhaustsRetryBudget)
+{
+    // rate=1 with CRC: every retransmission is corrupted again and
+    // detected again, so the retry budget runs out deterministically.
+    OperandLink link({4, 2});
+    auto f = valueFaults(1.0, 1, uncore::LinkChecksum::Crc32);
+    f.maxRetries = 3;
+    link.enableFaultInjection(f);
+    try {
+        link.send(0, 100, 42);
+        FAIL() << "persistent corruption did not raise";
+    } catch (const FaultInjectionError &ex) {
+        EXPECT_NE(std::string(ex.what()).find("unrecoverable"),
+                  std::string::npos);
+    }
+}
+
+TEST(LinkValueFaultTest, DetectedCorruptionPaysOneRetransmission)
+{
+    // Sweep seeds until one packet shows exactly one detected flip:
+    // its arrival must be slot + latency, plus timeout + latency for
+    // the single retransmission. Zero-flip sends must be undisturbed.
+    bool saw_clean = false, saw_one_flip = false;
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        OperandLink link({4, 2});
+        link.enableFaultInjection(
+            valueFaults(0.5, 1, uncore::LinkChecksum::Crc32, seed));
+        const Cycle arrival = link.send(0, 100, 7);
+        if (link.stats().faultValueFlips == 0) {
+            EXPECT_EQ(arrival, 104u) << "seed " << seed;
+            saw_clean = true;
+        } else if (link.stats().faultValueFlips == 1) {
+            // 100+4 tentative, detected at +32, resend pays 4 again.
+            EXPECT_EQ(arrival, 140u) << "seed " << seed;
+            saw_one_flip = true;
+        }
+    }
+    EXPECT_TRUE(saw_clean);
+    EXPECT_TRUE(saw_one_flip);
+}
+
+TEST(LinkValueFaultTest, ValueStreamLeavesDropDiceUntouched)
+{
+    // Arming value faults must not perturb the drop/delay sequence:
+    // the corruption dice draw from their own seeded stream.
+    auto drops = [](double value_rate) {
+        OperandLink link({4, 2});
+        auto f = valueFaults(value_rate, 1,
+                             uncore::LinkChecksum::Crc32, 9);
+        f.dropRate = 0.3;
+        link.enableFaultInjection(f);
+        for (int i = 0; i < 200; ++i)
+            link.send(0, 10 * i, i);
+        return link.stats().faultDrops;
+    };
+    const auto base = drops(0.0);
+    EXPECT_GT(base, 0u);
+    EXPECT_EQ(drops(0.2), base);
+}
+
+TEST(LinkValueFaultTest, BusCountsPayloadFaultsFromTheLink)
+{
+    SharedBus bus(busCfg(2, 64));
+    OperandLink link({4, 2});
+    link.attachBus(&bus);
+    link.enableFaultInjection(
+        valueFaults(0.3, 1, uncore::LinkChecksum::Crc32));
+    for (int i = 0; i < 200; ++i)
+        link.send(0, 10 * i, i);
+    EXPECT_GT(link.stats().faultValueFlips, 0u);
+    EXPECT_EQ(bus.stats().payloadFaults, link.stats().faultValueFlips);
+}
+
 TEST(SharedBusTest, ParseBusConfigRoundTrip)
 {
     const BusConfig c = uncore::parseBusConfig(
