@@ -3,6 +3,7 @@
  * fgstp_bench — the unified experiment runner.
  *
  *   fgstp_bench [--experiment=fig1,fig2,...|all] [--jobs=N]
+ *               [--sched=fifo|sts] [--prefix-cache=0|MiB]
  *               [--format=text|csv|json] [--insts=N] [--seed=N]
  *               [--out=DIR] [--cpi-stack] [--list]
  *               [--check] [--inject=SPEC]
@@ -18,6 +19,13 @@
  * numbers are bit-identical at any --jobs value. All cells of all
  * selected experiments are scheduled before any are collected, which
  * keeps the pool saturated across experiment boundaries.
+ *
+ * --sched picks the pool's scheduling policy (default sts: benchmark
+ * affinity + high-priority lane + work stealing; fifo is the plain
+ * shared queue) — placement only, never results. --prefix-cache
+ * bounds the workload prefix memo's byte budget in MiB (0 disables
+ * it); both layers' counters land on the report's wallTimeMs meta
+ * line. See docs/SAMPLING.md ("Raw speed").
  *
  * text/csv formats print to stdout; json writes one
  * BENCH_<experiment>.json per experiment into --out (schema:
@@ -88,6 +96,7 @@
 #include "harden/fault.hh"
 #include "obs/events.hh"
 #include "sample/sampler.hh"
+#include "workload/prefix_cache.hh"
 
 using namespace fgstp;
 
@@ -98,6 +107,8 @@ struct Options
 {
     std::vector<std::string> experiments; // empty means all
     unsigned jobs = 0;                    // 0 means hardware default
+    SchedConfig sched{SchedConfig::Policy::Sts}; // --sched policy
+    std::string prefixCacheSpec; // --prefix-cache; empty = defaults
     std::string format = "text";
     std::string outDir = ".";
     bench::RunParams params;
@@ -165,6 +176,15 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--jobs", v)) {
             o.jobs = static_cast<unsigned>(std::strtoul(
                 v.c_str(), nullptr, 10));
+        } else if (matchValue(a, "--sched", v)) {
+            if (!SchedConfig::parsePolicy(v, o.sched.policy))
+                fatal("unknown scheduler '", v, "' (fifo | sts)");
+        } else if (matchValue(a, "--prefix-cache", v)) {
+            o.prefixCacheSpec = v;
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos)
+                fatal("--prefix-cache needs a MiB budget "
+                      "(--prefix-cache=0 disables the memo)");
         } else if (matchValue(a, "--format", v)) {
             o.format = v;
         } else if (matchValue(a, "--out", v)) {
@@ -473,6 +493,19 @@ runBench(const Options &o)
     if (o.merge)
         return runMerge(o);
 
+    // Configure the workload prefix memo before any generator exists.
+    // Purely a speed knob: the replayed stream is bit-identical to a
+    // freshly generated one, so it never joins the cache fingerprint.
+    if (!o.prefixCacheSpec.empty()) {
+        workload::PrefixCache::Config pc;
+        const auto mib = std::strtoull(
+            o.prefixCacheSpec.c_str(), nullptr, 10);
+        pc.enabled = mib != 0;
+        if (mib != 0)
+            pc.maxBytes = mib * (1ull << 20);
+        workload::PrefixCache::instance().configure(pc);
+    }
+
     bench::RunParams params = o.params;
     params.sampleSpecRaw = o.sampleSpec;
     params.busSpecRaw = o.busSpec;
@@ -550,7 +583,7 @@ runBench(const Options &o)
     unsigned jobs = o.jobs;
     if (jobs == 0)
         jobs = std::max(1u, std::thread::hardware_concurrency());
-    ThreadPool pool(jobs);
+    ThreadPool pool(jobs, o.sched);
 
     if (o.serve) {
         const auto config = serve::parseServeConfig(o.serveSpec);
@@ -648,7 +681,7 @@ runBench(const Options &o)
                 o.outDir + "/BENCH_" + e->name + ".json";
             AtomicFileWriter out(path);
             bench::renderJson(out.stream(), run, params,
-                              pool.size());
+                              pool.size(), &pool);
             out.commit();
             std::printf("%-11s %4zu jobs %9.1f ms%s  -> %s\n",
                         e->name.c_str(), run.cells.size(),

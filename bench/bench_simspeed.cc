@@ -8,36 +8,47 @@
  * bench in this directory.
  *
  * Default (no arguments): the google-benchmark suite, one BM_* per
- * (machine, mode) pair plus the trace-generation floor.
+ * (machine, mode) pair, the trace-generation floors (per-inst next(),
+ * block-view generation, and memo-hit replay), and a fifo-vs-sts
+ * mini-sweep pair for the thread-pool scheduler.
  *
  * Measurement mode, selected by either option:
  *   --json=FILE            write BENCH_simspeed.json rows: per machine,
  *                          detailed / fastforward / sampled insts/sec
- *                          and the speedups over detailed
- *   --check-baseline=FILE  exit 1 when any machine's detailed-mode
- *                          throughput drops below 70% of the committed
- *                          baseline (bench/simspeed_baseline.json) —
- *                          the CI perf-regression guard
+ *                          and the speedups over detailed, plus the
+ *                          workload-generation rows
+ *   --check-baseline=FILE  exit 1 when any machine's detailed- or
+ *                          fastforward-mode throughput (or the
+ *                          workload generator's) drops below 70% of
+ *                          the committed baseline
+ *                          (bench/simspeed_baseline.json) — the CI
+ *                          perf-regression guard
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <future>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 #include "fgstp/machine.hh"
 #include "fusion/fused_machine.hh"
 #include "sample/sampler.hh"
 #include "sim/presets.hh"
 #include "sim/single_core.hh"
+#include "trace/trace_source.hh"
 #include "workload/generator.hh"
+#include "workload/prefix_cache.hh"
 
 using namespace fgstp;
 
@@ -151,6 +162,9 @@ BM_FgStpFastForward(benchmark::State &state)
 void
 BM_WorkloadGeneration(benchmark::State &state)
 {
+    // The legacy one-instruction-at-a-time path (next() copies each
+    // DynInst out of the current block); kept as the reference point
+    // for the block-view numbers below.
     workload::SyntheticWorkload w(workload::profileByName("gcc"), 1);
     trace::DynInst d;
     for (auto _ : state) {
@@ -162,6 +176,101 @@ BM_WorkloadGeneration(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * chunk));
 }
 
+/** Consumes `n` insts through the zero-copy peek/advance interface. */
+std::uint64_t
+drainBlocks(trace::TraceSource &src, std::uint64_t n)
+{
+    std::uint64_t sink = 0;
+    while (n) {
+        const trace::DynInst *run = nullptr;
+        const std::size_t avail = src.peek(&run);
+        if (!avail)
+            break;
+        const std::size_t take =
+            std::min<std::uint64_t>(avail, n);
+        // Touch every instruction: a real consumer reads each one, so
+        // an untouched drain would overstate the replay path wildly.
+        for (std::size_t i = 0; i < take; ++i)
+            sink += run[i].pc;
+        src.advance(take);
+        n -= take;
+    }
+    return sink;
+}
+
+void
+BM_WorkloadGen(benchmark::State &state)
+{
+    // Pure block-backed generation: prefix memo off, so every
+    // instruction is synthesized (never replayed) and consumed via
+    // peek/advance with no per-instruction copy.
+    workload::PrefixCache::Config off;
+    off.enabled = false;
+    workload::PrefixCache::instance().configure(off);
+    workload::SyntheticWorkload w(workload::profileByName("gcc"), 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(drainBlocks(w, chunk));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+    workload::PrefixCache::instance().configure({});
+}
+
+void
+BM_WorkloadGenReplay(benchmark::State &state)
+{
+    // Memo-hit replay: a first generator records the shared prefix,
+    // then every iteration's fresh generator replays it block-wise.
+    workload::PrefixCache::instance().configure({});
+    {
+        workload::SyntheticWorkload warm(
+            workload::profileByName("gcc"), 1);
+        drainBlocks(warm, chunk);
+    } // dtor publishes the recorded prefix
+    for (auto _ : state) {
+        workload::SyntheticWorkload w(
+            workload::profileByName("gcc"), 1);
+        benchmark::DoNotOptimize(drainBlocks(w, chunk));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * chunk));
+}
+
+/** A small single-core sweep through a ThreadPool, policy-selected. */
+void
+miniSweep(SchedConfig::Policy policy)
+{
+    const auto p = sim::smallPreset();
+    const auto benches = bench::sweepBenchmarks();
+    ThreadPool pool(4, SchedConfig{policy});
+    std::vector<std::future<std::uint64_t>> futs;
+    for (int rep = 0; rep < 3; ++rep) {
+        for (const auto &b : benches) {
+            SchedHint hint;
+            hint.affinity = std::hash<std::string>{}(b);
+            hint.hasAffinity = policy == SchedConfig::Policy::Sts;
+            futs.push_back(pool.submit([&p, b] {
+                return bench::runSingle(b, p, 2000, 1).cycles;
+            }, hint));
+        }
+    }
+    for (auto &f : futs)
+        f.get();
+}
+
+void
+BM_SweepFifo(benchmark::State &state)
+{
+    for (auto _ : state)
+        miniSweep(SchedConfig::Policy::Fifo);
+}
+
+void
+BM_SweepSts(benchmark::State &state)
+{
+    for (auto _ : state)
+        miniSweep(SchedConfig::Policy::Sts);
+}
+
 BENCHMARK(BM_SingleCore)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CoreFusion)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FgStp)->Unit(benchmark::kMillisecond);
@@ -170,6 +279,10 @@ BENCHMARK(BM_SingleCoreFastForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CoreFusionFastForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FgStpFastForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WorkloadGen)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WorkloadGenReplay)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepFifo)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepSts)->Unit(benchmark::kMillisecond);
 
 // ---- measurement mode ------------------------------------------------------
 
@@ -221,6 +334,13 @@ struct SpeedRow
     double detailed = 0.0;
     double fastforward = 0.0;
     double sampled = 0.0;
+};
+
+/** Generation-only throughputs (no machine), in insts/sec. */
+struct GenRow
+{
+    double generate = 0.0; ///< block-backed synthesis, memo off
+    double replay = 0.0;   ///< prefix-memo hit replay
 };
 
 double
@@ -289,12 +409,55 @@ measure()
     return rows;
 }
 
+GenRow
+measureGen()
+{
+    // Matches the memo's default maxPrefixInsts, so the replay leg is
+    // a pure memo hit with no generated tail.
+    constexpr std::uint64_t genInsts = 2000000;
+    constexpr unsigned reps = 3;
+
+    // Keeps drainBlocks' per-instruction reads observable — without
+    // this the compiler deletes the touch loop and the replay leg
+    // measures only the ~500 block-handoff calls.
+    static volatile std::uint64_t sink;
+
+    GenRow g;
+    workload::PrefixCache::Config off;
+    off.enabled = false;
+    workload::PrefixCache::instance().configure(off);
+    g.generate = throughput(genInsts, reps, [&] {
+        workload::SyntheticWorkload w(
+            workload::profileByName("gcc"), 1);
+        sink = drainBlocks(w, genInsts);
+    });
+
+    workload::PrefixCache::instance().configure({});
+    {
+        workload::SyntheticWorkload warm(
+            workload::profileByName("gcc"), 1);
+        sink = drainBlocks(warm, genInsts);
+    }
+    g.replay = throughput(genInsts, reps, [&] {
+        workload::SyntheticWorkload w(
+            workload::profileByName("gcc"), 1);
+        sink = drainBlocks(w, genInsts);
+    });
+
+    std::printf("%-12s generate %9.0f /s   replay      %9.0f /s "
+                "(%.1fx)\n",
+                "workload-gen", g.generate, g.replay,
+                g.replay / g.generate);
+    return g;
+}
+
 void
-writeJson(const std::string &path, const std::vector<SpeedRow> &rows)
+writeJson(const std::string &path, const std::vector<SpeedRow> &rows,
+          const GenRow &gen)
 {
     std::ofstream os(path);
     os << "{\n";
-    os << "  \"schemaVersion\": 1,\n";
+    os << "  \"schemaVersion\": 2,\n";
     os << "  \"experiment\": \"simspeed\",\n";
     os << "  \"title\": \"Host simulation throughput (insts/sec)\",\n";
     os << "  \"rows\": [\n";
@@ -314,21 +477,34 @@ writeJson(const std::string &path, const std::vector<SpeedRow> &rows)
                       i + 1 < rows.size() ? "," : "");
         os << buf;
     }
-    os << "  ]\n";
+    os << "  ],\n";
+    char gbuf[256];
+    std::snprintf(gbuf, sizeof(gbuf),
+                  "  \"workloadGen\": {\"generate\": %.0f, "
+                  "\"replay\": %.0f, \"replaySpeedup\": %.2f}\n",
+                  gen.generate, gen.replay, gen.replay / gen.generate);
+    os << gbuf;
     os << "}\n";
     std::printf("wrote %s\n", path.c_str());
 }
 
 /**
- * Pulls `"key": <number>` out of a flat JSON document. Good enough for
- * the committed baseline file, which this repo controls.
+ * Pulls `"key": <number>` out of `section`'s object in a flat JSON
+ * document (both detailedInstsPerSec and fastforwardInstsPerSec list
+ * the same machine names, so the lookup must be section-scoped). Good
+ * enough for the committed baseline file, which this repo controls.
  */
 bool
-extractNumber(const std::string &doc, const std::string &key, double &out)
+extractNumber(const std::string &doc, const std::string &section,
+              const std::string &key, double &out)
 {
-    const std::string needle = "\"" + key + "\"";
-    std::size_t pos = doc.find(needle);
+    std::size_t pos = doc.find("\"" + section + "\"");
     if (pos == std::string::npos)
+        return false;
+    const std::size_t end = doc.find('}', pos);
+    const std::string needle = "\"" + key + "\"";
+    pos = doc.find(needle, pos);
+    if (pos == std::string::npos || pos > end)
         return false;
     pos = doc.find(':', pos + needle.size());
     if (pos == std::string::npos)
@@ -338,7 +514,8 @@ extractNumber(const std::string &doc, const std::string &key, double &out)
 }
 
 int
-checkBaseline(const std::string &path, const std::vector<SpeedRow> &rows)
+checkBaseline(const std::string &path, const std::vector<SpeedRow> &rows,
+              const GenRow &gen)
 {
     std::ifstream in(path);
     if (!in) {
@@ -355,28 +532,40 @@ checkBaseline(const std::string &path, const std::vector<SpeedRow> &rows)
     // threshold sits at 70% of it.
     constexpr double threshold = 0.7;
     int failures = 0;
-    for (const auto &r : rows) {
+    const auto check = [&](const std::string &section,
+                           const std::string &name, const char *mode,
+                           double measured) {
         double base = 0.0;
-        if (!extractNumber(doc, r.machine, base)) {
+        if (!extractNumber(doc, section, name, base)) {
             std::fprintf(stderr,
-                         "bench_simspeed: baseline %s has no entry for "
-                         "%s\n", path.c_str(), r.machine.c_str());
+                         "bench_simspeed: baseline %s has no %s entry "
+                         "for %s\n", path.c_str(), section.c_str(),
+                         name.c_str());
             ++failures;
-            continue;
+            return;
         }
         const double floor = base * threshold;
-        if (r.detailed < floor) {
+        if (measured < floor) {
             std::fprintf(stderr,
-                         "bench_simspeed: PERF REGRESSION: %s detailed "
+                         "bench_simspeed: PERF REGRESSION: %s %s "
                          "throughput %.0f insts/s is below %.0f "
                          "(70%% of baseline %.0f)\n",
-                         r.machine.c_str(), r.detailed, floor, base);
+                         name.c_str(), mode, measured, floor, base);
             ++failures;
         } else {
-            std::printf("%-12s detailed %9.0f /s  >= floor %9.0f  ok\n",
-                        r.machine.c_str(), r.detailed, floor);
+            std::printf("%-12s %-11s %9.0f /s  >= floor %9.0f  ok\n",
+                        name.c_str(), mode, measured, floor);
         }
+    };
+    for (const auto &r : rows) {
+        check("detailedInstsPerSec", r.machine, "detailed", r.detailed);
+        check("fastforwardInstsPerSec", r.machine, "fastforward",
+              r.fastforward);
     }
+    check("workloadGenInstsPerSec", "workload-gen", "generate",
+          gen.generate);
+    check("workloadGenInstsPerSec", "workload-gen-replay", "replay",
+          gen.replay);
     return failures ? 1 : 0;
 }
 
@@ -395,10 +584,11 @@ main(int argc, char **argv)
 
     if (!jsonPath.empty() || !baselinePath.empty()) {
         const auto rows = measure();
+        const auto gen = measureGen();
         if (!jsonPath.empty())
-            writeJson(jsonPath, rows);
+            writeJson(jsonPath, rows, gen);
         if (!baselinePath.empty())
-            return checkBaseline(baselinePath, rows);
+            return checkBaseline(baselinePath, rows, gen);
         return 0;
     }
 

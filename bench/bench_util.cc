@@ -239,6 +239,52 @@ runMachine(sim::Machine &m, const std::string &bench, std::uint64_t seed,
 
 } // namespace
 
+CellTimeModel &
+CellTimeModel::instance()
+{
+    static CellTimeModel model;
+    return model;
+}
+
+void
+CellTimeModel::record(const std::string &bench,
+                      const std::string &machine, double wall_ms)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    lastMs[bench + "/" + machine] = wall_ms;
+    sumMs += wall_ms;
+    ++count;
+}
+
+double
+CellTimeModel::estimate(const std::string &bench,
+                        const std::string &machine) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = lastMs.find(bench + "/" + machine);
+    return it == lastMs.end() ? 0.0 : it->second;
+}
+
+bool
+CellTimeModel::longPole(const std::string &bench,
+                        const std::string &machine) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (count < 4)
+        return false;
+    auto it = lastMs.find(bench + "/" + machine);
+    return it != lastMs.end() && it->second >= 2.0 * (sumMs / count);
+}
+
+void
+CellTimeModel::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    lastMs.clear();
+    sumMs = 0.0;
+    count = 0;
+}
+
 std::uint64_t
 jobSeed(std::uint64_t eval_seed, std::string_view experiment,
         std::string_view bench, std::string_view config)

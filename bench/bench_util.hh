@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -235,6 +237,49 @@ bool cellSamplingEnabled();
  * identical at any --jobs value.
  */
 std::vector<CellSampling> takeCellSamplingRecords();
+
+// ---- cell wall-time model --------------------------------------------------
+
+/**
+ * Process-wide record of observed per-cell wall times, keyed by
+ * (bench, machine). Completing cells feed it — cache hits replay
+ * their stored wallTimeMs, so a warm --cache dir seeds it almost
+ * instantly — and submitCellJob consults it to route predicted
+ * long-pole cells to the Sts scheduler's high-priority lane. Purely a
+ * scheduling input: results never depend on it (see the ThreadPool
+ * determinism contract).
+ */
+class CellTimeModel
+{
+  public:
+    static CellTimeModel &instance();
+
+    /** Records one completed cell's wall time. */
+    void record(const std::string &bench, const std::string &machine,
+                double wall_ms);
+
+    /** Last observed wall time for the key; 0 when unknown. */
+    double estimate(const std::string &bench,
+                    const std::string &machine) const;
+
+    /**
+     * True when the key's estimated wall time marks it as a long-pole
+     * cell: at least twice the mean of everything observed so far
+     * (with a minimum of four observations, so a cold model never
+     * flags anything).
+     */
+    bool longPole(const std::string &bench,
+                  const std::string &machine) const;
+
+    /** Forgets everything (tests). */
+    void clear();
+
+  private:
+    mutable std::mutex mtx;
+    std::map<std::string, double> lastMs; ///< "bench/machine" -> ms
+    double sumMs = 0.0;
+    std::uint64_t count = 0;
+};
 
 /** All nineteen benchmark names, SPECint first. */
 std::vector<std::string> allBenchmarks();

@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "branch/direction_predictor.hh"
+#include "common/hash.hh"
 #include "common/json.hh"
 #include "harden/campaign.hh"
 #include "common/logging.hh"
@@ -1385,6 +1386,17 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
     id.bench = cell.bench;
     id.machine = cell.machine;
     id.seed = cell.seed;
+    // Placement hints for the Sts scheduler (no-ops under Fifo, never
+    // part of the result): same-(bench, seed) cells share a worker —
+    // the one whose core holds their generated prefix warm — and
+    // cells the wall-time model already knows to be long poles start
+    // in the high lane so they never anchor the sweep's tail.
+    SchedHint hint;
+    hint.affinity = hash::mix64(
+        hash::fnv1aField(hash::fnvOffsetBasis, cell.bench) ^ cell.seed);
+    hint.hasAffinity = true;
+    hint.highPriority =
+        CellTimeModel::instance().longPole(cell.bench, cell.machine);
     auto future = pool.submit([fn = std::move(cell.fn),
                                id = std::move(id), cache = params.cache,
                                progress = params.progress] {
@@ -1398,6 +1410,8 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
                 r.wallTimeMs = hit->wallTimeMs;
                 r.ok = hit->ok;
                 r.error = std::move(hit->error);
+                CellTimeModel::instance().record(id.bench, id.machine,
+                                                 r.wallTimeMs);
                 if (progress)
                     progress->tick(true);
                 return r;
@@ -1418,6 +1432,8 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
             r.error = "unknown exception";
         }
         r.wallTimeMs = msSince(t0);
+        CellTimeModel::instance().record(id.bench, id.machine,
+                                         r.wallTimeMs);
         if (cache) {
             // Failed cells are cached too: the failures are as
             // deterministic as the results. A cache-write failure must
@@ -1435,7 +1451,7 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
         if (progress)
             progress->tick(false);
         return r;
-    });
+    }, hint);
     cell.fn = nullptr; // consumed
     return future;
 }
@@ -1553,7 +1569,8 @@ jsonCell(const std::string &cell)
 
 void
 renderJson(std::ostream &os, const ExperimentRun &run,
-           const RunParams &params, unsigned pool_jobs)
+           const RunParams &params, unsigned pool_jobs,
+           const ThreadPool *pool)
 {
     const auto &e = *run.experiment;
     const auto &out = run.output;
@@ -1631,10 +1648,28 @@ renderJson(std::ostream &os, const ExperimentRun &run,
        << json::number(static_cast<std::uint64_t>(run.failedCells()))
        << ",\n";
     // Run-environment metadata shares the wallTimeMs line so a single
-    // `grep -v wallTimeMs` leaves only deterministic content.
+    // `grep -v wallTimeMs` leaves only deterministic content. The
+    // scheduler and prefix-memo counters are schedule-dependent by
+    // nature (docs/STATS.md), so they live here too; pool == nullptr
+    // (the shard-merge path, which runs no cells) omits the scheduler
+    // fields.
     os << "    \"poolJobs\": "
-       << json::number(static_cast<std::uint64_t>(pool_jobs))
-       << ", \"wallTimeMs\": " << json::number(run.wallTimeMs) << "\n";
+       << json::number(static_cast<std::uint64_t>(pool_jobs));
+    if (pool) {
+        const SchedStats ss = pool->schedStats();
+        os << ", \"sched\": "
+           << json::quote(SchedConfig::policyName(pool->policy()))
+           << ", \"schedAffinityHits\": " << json::number(ss.affinityRuns)
+           << ", \"schedSteals\": " << json::number(ss.steals)
+           << ", \"schedPriorityRuns\": " << json::number(ss.priorityRuns);
+    }
+    {
+        const auto ps = workload::PrefixCache::instance().stats();
+        os << ", \"prefixHits\": " << json::number(ps.hits)
+           << ", \"prefixMisses\": " << json::number(ps.misses)
+           << ", \"prefixBytes\": " << json::number(ps.bytes);
+    }
+    os << ", \"wallTimeMs\": " << json::number(run.wallTimeMs) << "\n";
     os << "  },\n";
 
     os << "  \"columns\": [";

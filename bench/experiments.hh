@@ -226,12 +226,16 @@ void renderText(std::ostream &os, const ExperimentRun &run, bool csv);
 
 /**
  * The BENCH_<experiment>.json document (schema: docs/STATS.md).
- * Every field is deterministic except the wall-time metadata, which
- * is confined to lines containing "wallTimeMs" so consumers can
- * compare runs byte-for-byte modulo those lines.
+ * Every field is deterministic except the run-environment metadata —
+ * wall times, pool size, the scheduler and prefix-memo counters —
+ * which is confined to lines containing "wallTimeMs" so consumers can
+ * compare runs byte-for-byte modulo those lines. Pass the pool that
+ * ran the cells to include its scheduler counters (nullptr omits
+ * them, e.g. on the shard-merge path, which runs no cells).
  */
 void renderJson(std::ostream &os, const ExperimentRun &run,
-                const RunParams &params, unsigned pool_jobs);
+                const RunParams &params, unsigned pool_jobs,
+                const ThreadPool *pool = nullptr);
 
 /**
  * Entry point of the legacy one-binary-per-figure wrappers: runs one

@@ -137,6 +137,15 @@ class Rng
         return Rng(next());
     }
 
+    /** Opaque snapshot of the generator state. */
+    using State = std::array<std::uint64_t, 4>;
+
+    /** Captures the state so the stream can be resumed elsewhere. */
+    State saveState() const { return state; }
+
+    /** Resumes the stream from a saved snapshot. */
+    void restoreState(const State &s) { state = s; }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

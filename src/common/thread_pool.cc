@@ -8,12 +8,33 @@
 namespace fgstp
 {
 
-ThreadPool::ThreadPool(unsigned num_threads)
+bool
+SchedConfig::parsePolicy(const std::string &text, Policy &out)
+{
+    if (text == "fifo") {
+        out = Policy::Fifo;
+        return true;
+    }
+    if (text == "sts") {
+        out = Policy::Sts;
+        return true;
+    }
+    return false;
+}
+
+const char *
+SchedConfig::policyName(Policy p)
+{
+    return p == Policy::Fifo ? "fifo" : "sts";
+}
+
+ThreadPool::ThreadPool(unsigned num_threads, SchedConfig cfg) : cfg(cfg)
 {
     const unsigned n = std::max(1u, num_threads);
+    local.resize(n);
     workers.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -34,11 +55,26 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::post(std::function<void()> job)
+ThreadPool::enqueue(Job job, const SchedHint &hint)
 {
     {
         std::lock_guard<std::mutex> lock(mutex);
-        queue.emplace_back([this, job = std::move(job)] {
+        if (cfg.policy == SchedConfig::Policy::Sts && hint.highPriority)
+            highLane.push_back(std::move(job));
+        else if (cfg.policy == SchedConfig::Policy::Sts &&
+                 hint.hasAffinity)
+            local[hint.affinity % local.size()].push_back(std::move(job));
+        else
+            queue.push_back(std::move(job));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::post(std::function<void()> job)
+{
+    enqueue(
+        [this, job = std::move(job)] {
             try {
                 job();
             } catch (...) {
@@ -48,9 +84,8 @@ ThreadPool::post(std::function<void()> job)
                 }
                 errorCount.fetch_add(1, std::memory_order_release);
             }
-        });
-    }
-    cv.notify_one();
+        },
+        SchedHint{});
 }
 
 std::vector<std::exception_ptr>
@@ -61,20 +96,86 @@ ThreadPool::takeUncaughtErrors()
     return std::exchange(uncaught, {});
 }
 
+SchedStats
+ThreadPool::schedStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return stats_;
+}
+
+bool
+ThreadPool::anyJobLocked() const
+{
+    if (!highLane.empty() || !queue.empty())
+        return true;
+    for (const auto &q : local) {
+        if (!q.empty())
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Worker pick order: high lane first (long poles start early), then
+ * the worker's own affinity queue (warm state), then the shared FIFO,
+ * then a steal from the tail of the most-loaded sibling (tail
+ * latency). Under Fifo everything sits in the shared queue, so this
+ * reduces to the historical behaviour exactly.
+ */
+bool
+ThreadPool::takeJobLocked(unsigned id, Job &out)
+{
+    if (!highLane.empty()) {
+        out = std::move(highLane.front());
+        highLane.pop_front();
+        ++stats_.priorityRuns;
+        return true;
+    }
+    if (!local[id].empty()) {
+        out = std::move(local[id].front());
+        local[id].pop_front();
+        ++stats_.affinityRuns;
+        return true;
+    }
+    if (!queue.empty()) {
+        out = std::move(queue.front());
+        queue.pop_front();
+        ++stats_.globalRuns;
+        return true;
+    }
+    std::size_t victim = local.size();
+    std::size_t victimLoad = 0;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        if (i != id && local[i].size() > victimLoad) {
+            victim = i;
+            victimLoad = local[i].size();
+        }
+    }
+    if (victim < local.size()) {
+        out = std::move(local[victim].back());
+        local[victim].pop_back();
+        ++stats_.steals;
+        return true;
+    }
+    return false;
+}
+
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned id)
 {
     for (;;) {
-        std::function<void()> job;
+        Job job;
         {
             std::unique_lock<std::mutex> lock(mutex);
-            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            cv.wait(lock,
+                    [this] { return stopping || anyJobLocked(); });
             // Drain-then-stop: a stopping pool still runs every job
-            // already in the queue, so ~ThreadPool is a barrier.
-            if (queue.empty())
-                return;
-            job = std::move(queue.front());
-            queue.pop_front();
+            // already enqueued, so ~ThreadPool is a barrier.
+            if (!takeJobLocked(id, job)) {
+                if (stopping)
+                    return;
+                continue;
+            }
         }
         // packaged_task (submit) routes any exception into the
         // future, and post() wraps its job in a catch-all — but an

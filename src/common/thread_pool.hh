@@ -2,21 +2,34 @@
  * @file
  * A fixed-size thread pool for embarrassingly parallel job sets.
  *
- * Deliberately minimal: no work stealing, no priorities, no dynamic
- * sizing. Jobs are closures submitted to one FIFO queue and executed
- * by a fixed set of workers; submit() returns a std::future that
- * carries the job's result or its exception, while post() is
- * fire-and-forget — an exception escaping a posted job is captured
- * (never allowed to unwind a worker thread into std::terminate) and
- * surfaced through takeUncaughtErrors(). The destructor drains every
- * job submitted so far, then joins the workers, so destroying the
- * pool is a barrier.
+ * Jobs are closures executed by a fixed set of workers; submit()
+ * returns a std::future that carries the job's result or its
+ * exception, while post() is fire-and-forget — an exception escaping
+ * a posted job is captured (never allowed to unwind a worker thread
+ * into std::terminate) and surfaced through takeUncaughtErrors(). The
+ * destructor drains every job submitted so far, then joins the
+ * workers, so destroying the pool is a barrier.
  *
- * Determinism contract: the pool never supplies randomness or
- * ordering to its jobs. A job set whose jobs are pure functions of
- * their captured inputs produces bit-identical results at any pool
- * size, including 1 — the property the bench runner's
- * --jobs=1 / --jobs=N equivalence rests on.
+ * Two scheduling policies:
+ *  - Fifo: the historical single FIFO queue, no affinity, no
+ *    priorities, no stealing.
+ *  - Sts: an STS-style schedule (task-to-thread assignment instead of
+ *    one FIFO). A job may carry a SchedHint: its affinity key pins it
+ *    to one worker's queue, so jobs sharing warm per-thread state
+ *    (e.g. sweep cells of the same benchmark, whose generated prefix
+ *    sits hot in that core's cache) run back to back on the same
+ *    thread; highPriority routes it to a pool-wide high lane that
+ *    every worker drains first, so known long-pole jobs start early;
+ *    and idle workers steal from the most-loaded sibling's tail, so
+ *    affinity never leaves a core idle while work remains.
+ *
+ * Determinism contract (both policies): the pool never supplies
+ * randomness or ordering to its jobs. Scheduling chooses when and
+ * where a job runs — never what it computes — so a job set whose jobs
+ * are pure functions of their captured inputs produces bit-identical
+ * results at any pool size and either policy, including 1 worker —
+ * the property the bench runner's --jobs=1 / --jobs=N equivalence
+ * rests on. Only the SchedStats counters are schedule-dependent.
  */
 
 #ifndef FGSTP_COMMON_THREAD_POOL_HH
@@ -24,17 +37,57 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace fgstp
 {
+
+/** Pool-wide scheduling configuration. */
+struct SchedConfig
+{
+    enum class Policy
+    {
+        Fifo, ///< one FIFO queue (the historical behaviour)
+        Sts   ///< affinity queues + high-priority lane + stealing
+    };
+
+    Policy policy = Policy::Fifo;
+
+    /** Parses "fifo" / "sts"; returns false on anything else. */
+    static bool parsePolicy(const std::string &text, Policy &out);
+
+    /** Canonical spelling of a policy. */
+    static const char *policyName(Policy p);
+};
+
+/** Per-job placement hints; meaningful under the Sts policy. */
+struct SchedHint
+{
+    /** Stable task-group key; jobs sharing it share a worker. */
+    std::uint64_t affinity = 0;
+    bool hasAffinity = false;
+
+    /** Route to the high lane every worker drains first. */
+    bool highPriority = false;
+};
+
+/** Schedule-dependent counters (never part of deterministic output). */
+struct SchedStats
+{
+    std::uint64_t affinityRuns = 0; ///< jobs run on their pinned worker
+    std::uint64_t steals = 0;       ///< jobs stolen from a sibling
+    std::uint64_t priorityRuns = 0; ///< jobs drained from the high lane
+    std::uint64_t globalRuns = 0;   ///< jobs taken from the shared FIFO
+};
 
 class ThreadPool
 {
@@ -43,7 +96,7 @@ class ThreadPool
      * @param num_threads worker count; 0 is clamped to 1. Pass
      *        std::thread::hardware_concurrency() for one-per-core.
      */
-    explicit ThreadPool(unsigned num_threads);
+    explicit ThreadPool(unsigned num_threads, SchedConfig cfg = {});
 
     /** Drains all submitted jobs, then joins the workers. */
     ~ThreadPool();
@@ -54,24 +107,26 @@ class ThreadPool
     /** Number of worker threads. */
     unsigned size() const { return static_cast<unsigned>(workers.size()); }
 
+    /** Scheduling policy the pool runs. */
+    SchedConfig::Policy policy() const { return cfg.policy; }
+
     /**
      * Enqueues a job; the returned future yields the job's return
      * value, or rethrows whatever the job threw. Safe to call from
-     * any thread, including from inside a running job.
+     * any thread, including from inside a running job. The hint
+     * steers placement under the Sts policy and is ignored under
+     * Fifo; it never affects the job's result.
      */
     template <typename F>
     auto
-    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    submit(F &&fn, const SchedHint &hint = SchedHint{})
+        -> std::future<std::invoke_result_t<std::decay_t<F>>>
     {
         using R = std::invoke_result_t<std::decay_t<F>>;
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(fn));
         std::future<R> fut = task->get_future();
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            queue.emplace_back([task] { (*task)(); });
-        }
-        cv.notify_one();
+        enqueue([task] { (*task)(); }, hint);
         return fut;
     }
 
@@ -93,12 +148,27 @@ class ThreadPool
     /** Claims and clears the captured errors of posted jobs. */
     std::vector<std::exception_ptr> takeUncaughtErrors();
 
-  private:
-    void workerLoop();
+    /** Snapshot of the schedule-dependent counters. */
+    SchedStats schedStats() const;
 
+  private:
+    using Job = std::function<void()>;
+
+    void enqueue(Job job, const SchedHint &hint);
+    bool takeJobLocked(unsigned id, Job &out);
+    bool anyJobLocked() const;
+    void workerLoop(unsigned id);
+
+    SchedConfig cfg;
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
-    std::mutex mutex;
+
+    // All queues live under one mutex; jobs are coarse (a sweep cell
+    // is milliseconds at least), so contention here is negligible.
+    std::deque<Job> queue;            ///< shared FIFO / unpinned lane
+    std::deque<Job> highLane;         ///< Sts: drained before anything
+    std::vector<std::deque<Job>> local; ///< Sts: one per worker
+    SchedStats stats_;                ///< guarded by mutex
+    mutable std::mutex mutex;
     std::condition_variable cv;
     bool stopping = false;
 

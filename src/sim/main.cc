@@ -26,6 +26,9 @@
  *                --watchdog=N (deadlock budget in cycles)
  * Sampling:      --sample[=ff=N,warmup=N,measure=N] (SMARTS-style
  *                sampled simulation; see docs/SAMPLING.md)
+ * Speed:         --prefix-cache=MiB (workload prefix-memo byte
+ *                budget; 0 disables the memo. Speed-only: the stream
+ *                is bit-identical either way. docs/SAMPLING.md)
  */
 
 #include <cstdio>
@@ -52,6 +55,7 @@
 #include "trace/trace_io.hh"
 #include "trace/trace_source.hh"
 #include "workload/generator.hh"
+#include "workload/prefix_cache.hh"
 
 using namespace fgstp;
 
@@ -86,6 +90,8 @@ struct Options
 
     bool steer = false;       // explicit steering-weight config
     std::string steerSpec;    // --steer spec (grammar: docs/STEERING.md)
+
+    std::string prefixCacheSpec; // --prefix-cache MiB ("" = defaults)
 
     std::uint32_t window = 0;
     Cycle linkLatency = 0;
@@ -154,6 +160,12 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--steer", v)) {
             o.steer = true;
             o.steerSpec = v;
+        } else if (matchValue(a, "--prefix-cache", v)) {
+            o.prefixCacheSpec = v;
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos)
+                fatal("--prefix-cache needs a MiB budget "
+                      "(--prefix-cache=0 disables the memo)");
         } else if (matchValue(a, "--inject", v)) {
             o.injectSpec = v;
         } else if (matchValue(a, "--watchdog", v)) {
@@ -215,6 +227,18 @@ runSim(Options o)
                                 active);
         cli::checkFlagRequirements("fgstp_sim",
                                    cli::simRequirementRules(), active);
+    }
+
+    // Workload prefix memo budget (speed-only knob; the replayed
+    // stream is bit-identical to a freshly generated one).
+    if (!o.prefixCacheSpec.empty()) {
+        workload::PrefixCache::Config pc;
+        const auto mib = std::strtoull(
+            o.prefixCacheSpec.c_str(), nullptr, 10);
+        pc.enabled = mib != 0;
+        if (mib != 0)
+            pc.maxBytes = mib * (1ull << 20);
+        workload::PrefixCache::instance().configure(pc);
     }
 
     const uncore::BusConfig bus_cfg = o.bus

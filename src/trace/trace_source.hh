@@ -20,6 +20,12 @@ namespace fgstp::trace
  * A forward-only producer of the logical thread's dynamic stream.
  * Workload generators implement this; machines consume it through a
  * ReplayBuffer, which supplies the rewind capability squashes need.
+ *
+ * The primitive interface is block-shaped: peek() exposes a run of
+ * ready instructions in place and advance() consumes them, so a bulk
+ * consumer (fast-forward, the replay window) moves whole blocks with
+ * no per-instruction copy or virtual call. The classic one-at-a-time
+ * next() remains as a non-virtual convenience built on the pair.
  */
 class TraceSource
 {
@@ -27,14 +33,35 @@ class TraceSource
     virtual ~TraceSource() = default;
 
     /**
+     * Exposes the next run of ready instructions without consuming
+     * them, generating more on demand. Returns the number of
+     * contiguous instructions at *out (0 means the stream ended). The
+     * pointer stays valid until the next peek() or reset(); advance()
+     * never invalidates it.
+     */
+    virtual std::size_t peek(const DynInst **out) = 0;
+
+    /** Consumes n instructions; n must not exceed the last peek(). */
+    virtual void advance(std::size_t n) = 0;
+
+    /** Restarts the stream from the beginning. */
+    virtual void reset() = 0;
+
+    /**
      * Produces the next instruction in program order.
      * @retval true an instruction was produced.
      * @retval false the stream ended.
      */
-    virtual bool next(DynInst &inst) = 0;
-
-    /** Restarts the stream from the beginning. */
-    virtual void reset() = 0;
+    bool
+    next(DynInst &inst)
+    {
+        const DynInst *view = nullptr;
+        if (peek(&view) == 0)
+            return false;
+        inst = *view;
+        advance(1);
+        return true;
+    }
 };
 
 /** A trace source backed by a fixed in-memory vector. */
@@ -46,13 +73,18 @@ class VectorTraceSource : public TraceSource
     {
     }
 
-    bool
-    next(DynInst &inst) override
+    std::size_t
+    peek(const DynInst **out) override
     {
-        if (pos >= insts.size())
-            return false;
-        inst = insts[pos++];
-        return true;
+        *out = insts.data() + pos;
+        return insts.size() - pos;
+    }
+
+    void
+    advance(std::size_t n) override
+    {
+        sim_assert(pos + n <= insts.size(), "advance past end of trace");
+        pos += n;
     }
 
     void
@@ -91,10 +123,16 @@ class ReplayBuffer
         sim_assert(seq >= base, "replay request below retire horizon: ",
                    seq, " < ", base);
         while (base + window.size() <= seq) {
-            DynInst inst;
-            if (!source.next(inst))
+            const DynInst *run = nullptr;
+            std::size_t avail = source.peek(&run);
+            if (avail == 0)
                 return nullptr;
-            window.push_back(inst);
+            const std::size_t want = seq - (base + window.size()) + 1;
+            const std::size_t take = avail < want ? avail : want;
+            window.insert(window.end(), run, run + take);
+            source.advance(take);
+            view = nullptr;
+            viewLeft = 0;
         }
         return &window[seq - base];
     }
@@ -102,40 +140,58 @@ class ReplayBuffer
     /**
      * Delivers and immediately retires the instruction at the retire
      * horizon — the consume primitive for functional fast-forward,
-     * where no squash can ever rewind. Skips the window entirely when
-     * it is empty (the common case), so the instruction moves straight
-     * from the source into the returned slot with no deque traffic.
-     * The pointer is valid until the next call.
+     * where no squash can ever rewind. When the window is empty (the
+     * common case) the returned pointer aims straight into the
+     * source's buffered block: no copy at all, and the block view is
+     * re-fetched only when exhausted. The pointer is valid until the
+     * next call.
      */
     const DynInst *
     consumeNext()
     {
         if (!window.empty()) {
+            view = nullptr;
+            viewLeft = 0;
             scratch = window.front();
             window.pop_front();
-        } else if (!source.next(scratch)) {
-            return nullptr;
+            ++base;
+            return &scratch;
         }
+        if (viewLeft == 0) {
+            viewLeft = source.peek(&view);
+            if (viewLeft == 0)
+                return nullptr;
+        }
+        const DynInst *inst = view;
+        ++view;
+        --viewLeft;
+        source.advance(1);
         ++base;
-        return &scratch;
+        return inst;
     }
 
     /** Discards instructions with sequence number < seq. */
     void
     retireUpTo(InstSeqNum seq)
     {
-        while (base < seq) {
-            if (window.empty()) {
-                // The consumer retires past instructions it never
-                // requested; keep the source aligned by draining them.
-                DynInst inst;
-                if (!source.next(inst))
-                    break;
-            } else {
-                window.pop_front();
-            }
+        while (base < seq && !window.empty()) {
+            window.pop_front();
             ++base;
         }
+        while (base < seq) {
+            // The consumer retires past instructions it never
+            // requested; keep the source aligned by draining them.
+            const DynInst *unused = nullptr;
+            std::size_t avail = source.peek(&unused);
+            if (avail == 0)
+                break;
+            const std::size_t want = seq - base;
+            const std::size_t take = avail < want ? avail : want;
+            source.advance(take);
+            base += take;
+        }
+        view = nullptr;
+        viewLeft = 0;
     }
 
     /** Oldest sequence number still buffered. */
@@ -147,7 +203,9 @@ class ReplayBuffer
     TraceSource &source;
     std::deque<DynInst> window;
     InstSeqNum base = 1;
-    DynInst scratch; // consumeNext()'s delivery slot
+    DynInst scratch; // delivery slot when serving from the window
+    const DynInst *view = nullptr; // cached peek into the source block
+    std::size_t viewLeft = 0;
 };
 
 } // namespace fgstp::trace

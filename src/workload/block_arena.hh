@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fixed-size DynInst blocks with freelist reuse.
+ *
+ * The workload generator emits whole phases into these blocks instead
+ * of pushing one DynInst at a time through a deque; consumers read the
+ * instructions in place through TraceSource::peek(). Blocks are
+ * recycled through a per-generator freelist, so steady-state
+ * generation performs no per-instruction heap traffic at all: after
+ * the first few phases every block comes straight off the freelist.
+ */
+
+#ifndef FGSTP_WORKLOAD_BLOCK_ARENA_HH
+#define FGSTP_WORKLOAD_BLOCK_ARENA_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/dyn_inst.hh"
+
+namespace fgstp::workload
+{
+
+/**
+ * One contiguous run of generated instructions. Storage never moves
+ * once allocated, so pointers into insts stay valid while the block
+ * is alive even as count grows.
+ */
+struct InstBlock
+{
+    /** Instructions per block (~160 KiB of DynInsts). */
+    static constexpr std::size_t capacity = 4096;
+
+    std::uint32_t count = 0;
+    std::array<trace::DynInst, capacity> insts;
+
+    bool full() const { return count == capacity; }
+
+    trace::DynInst &
+    append()
+    {
+        return insts[count++];
+    }
+
+    /** Heap size of one block, for cache accounting. */
+    static constexpr std::size_t
+    bytes()
+    {
+        return sizeof(InstBlock);
+    }
+};
+
+using BlockPtr = std::shared_ptr<InstBlock>;
+
+/**
+ * Allocator for InstBlocks with freelist reuse.
+ *
+ * Not thread-safe by design: each generator owns its own arena, so no
+ * locking sits on the generation fast path. Blocks handed to the
+ * shared PrefixCache are simply not returned here (their use_count
+ * keeps them alive); everything else cycles through the freelist.
+ */
+class BlockArena
+{
+  public:
+    /** Returns a cleared block, recycling a free one when possible. */
+    BlockPtr
+    allocate()
+    {
+        if (!freelist.empty()) {
+            BlockPtr b = std::move(freelist.back());
+            freelist.pop_back();
+            b->count = 0;
+            return b;
+        }
+        ++allocated_;
+        return std::make_shared<InstBlock>();
+    }
+
+    /**
+     * Returns a block to the freelist if this arena holds the only
+     * remaining reference; shared blocks (e.g. held by the prefix
+     * cache) are just released.
+     */
+    void
+    recycle(BlockPtr &&b)
+    {
+        if (b && b.use_count() == 1)
+            freelist.push_back(std::move(b));
+        else
+            b.reset();
+    }
+
+    /** Total blocks ever heap-allocated by this arena. */
+    std::size_t allocated() const { return allocated_; }
+
+    /** Blocks currently parked on the freelist. */
+    std::size_t free() const { return freelist.size(); }
+
+  private:
+    std::vector<BlockPtr> freelist;
+    std::size_t allocated_ = 0;
+};
+
+} // namespace fgstp::workload
+
+#endif // FGSTP_WORKLOAD_BLOCK_ARENA_HH

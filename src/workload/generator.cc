@@ -1,5 +1,7 @@
 #include "workload/generator.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "workload/builder.hh"
 
@@ -9,55 +11,198 @@ namespace fgstp::workload
 SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile,
                                      std::uint64_t seed)
     : benchName(profile.name),
-      prog(buildProgram(profile, seed)),
       seed(seed),
+      cacheKey(PrefixCache::fingerprint(profile, seed)),
       rng(seed ^ 0x5deece66d1ce4e5bull)
 {
-    streamOffsets.assign(prog.memStreams.size(), 0);
-    behaviorPos.assign(prog.branchBehaviors.size(), 0);
-    sim_assert(!prog.topLoops.empty(), "program has no top-level loops");
+    auto &cache = PrefixCache::instance();
+    memoOn = cache.config().enabled;
+    if (memoOn) {
+        prog = cache.acquireProgram(profile, seed, cacheKey);
+    } else {
+        prog = std::make_shared<const Program>(buildProgram(profile, seed));
+    }
+    streamOffsets.assign(prog->memStreams.size(), 0);
+    behaviorPos.assign(prog->branchBehaviors.size(), 0);
+    sim_assert(!prog->topLoops.empty(), "program has no top-level loops");
+    startStream();
+}
+
+SyntheticWorkload::~SyntheticWorkload()
+{
+    if (recording && totalGenerated > 0)
+        publishPrefix(true);
 }
 
 void
 SyntheticWorkload::reset()
 {
+    if (recording && totalGenerated > 0)
+        publishPrefix(true);
+    recording = false;
+    recorded.clear();
+    while (!ready.empty()) {
+        arena.recycle(std::move(ready.front()));
+        ready.pop_front();
+    }
+    arena.recycle(std::move(open));
+    open.reset();
+    readPos = 0;
+    totalGenerated = 0;
     rng.reseed(seed ^ 0x5deece66d1ce4e5bull);
-    buffer.clear();
-    streamOffsets.assign(prog.memStreams.size(), 0);
-    behaviorPos.assign(prog.branchBehaviors.size(), 0);
+    streamOffsets.assign(prog->memStreams.size(), 0);
+    behaviorPos.assign(prog->branchBehaviors.size(), 0);
     callStack.clear();
     curPhase = std::size_t(-1);
+    startStream();
 }
 
-bool
-SyntheticWorkload::next(trace::DynInst &inst)
+/**
+ * Arms the stream start: replay a published prefix when one exists,
+ * otherwise begin recording one for the benefit of later generators.
+ */
+void
+SyntheticWorkload::startStream()
 {
-    while (buffer.empty())
+    if (!memoOn)
+        return;
+    auto &cache = PrefixCache::instance();
+    if (auto prefix = cache.lookupPrefix(cacheKey)) {
+        // The blocks themselves are individually shared, so the ready
+        // queue keeps them alive even if the entry is evicted.
+        for (const auto &b : prefix->blocks)
+            ready.push_back(b);
+        rng.restoreState(prefix->rngState);
+        streamOffsets = prefix->streamOffsets;
+        behaviorPos = prefix->behaviorPos;
+        curPhase = prefix->curPhase;
+        totalGenerated = prefix->instCount;
+        cache.addReplayed(prefix->instCount);
+        // A stored prefix shorter than the budget (published by a
+        // generator that stopped early) resumes recording past its
+        // end: the replayed blocks are shared into `recorded` so a
+        // later publish extends the entry instead of losing it
+        // (storePrefix keeps the longer prefix either way).
+        if (prefix->instCount < cache.config().maxPrefixInsts) {
+            recording = true;
+            recordTarget = cache.config().maxPrefixInsts;
+            recorded = prefix->blocks;
+        }
+    } else {
+        recording = true;
+        recordTarget = cache.config().maxPrefixInsts;
+    }
+}
+
+std::size_t
+SyntheticWorkload::peek(const trace::DynInst **out)
+{
+    for (;;) {
+        while (!ready.empty()) {
+            const InstBlock &b = *ready.front();
+            if (readPos < b.count) {
+                *out = b.insts.data() + readPos;
+                return b.count - readPos;
+            }
+            arena.recycle(std::move(ready.front()));
+            ready.pop_front();
+            readPos = 0;
+        }
+        if (open && readPos < open->count) {
+            *out = open->insts.data() + readPos;
+            return open->count - readPos;
+        }
+        generateMore();
+    }
+}
+
+void
+SyntheticWorkload::advance(std::size_t n)
+{
+    readPos += static_cast<std::uint32_t>(n);
+}
+
+/**
+ * Emits phases until unconsumed instructions exist. Runs only with
+ * everything so far consumed: the ready queue is empty and the open
+ * block (if any) is consumed up to readPos == count.
+ */
+void
+SyntheticWorkload::generateMore()
+{
+    if (!open)
+        open = arena.allocate();
+    do {
         emitPhase();
-    inst = buffer.front();
-    buffer.pop_front();
-    return true;
+        if (recording && totalGenerated >= recordTarget)
+            publishPrefix(false);
+    } while (ready.empty() && readPos >= open->count);
+}
+
+/** Retires the full open block to the ready queue. */
+void
+SyntheticWorkload::sealOpen()
+{
+    if (recording)
+        recorded.push_back(open);
+    ready.push_back(std::move(open));
+    open = arena.allocate();
+}
+
+/**
+ * Publishes the recorded prefix to the process-wide cache. Emission
+ * is phase-atomic, so the current generator state is always a
+ * phase-boundary snapshot (empty call stack). With frozen=true (used
+ * from reset()/the destructor, where the stream is abandoned) the
+ * open block is moved out directly; otherwise its current contents
+ * are copied so generation can keep appending to it.
+ */
+void
+SyntheticWorkload::publishPrefix(bool frozen)
+{
+    recording = false;
+    auto p = std::make_shared<StreamPrefix>();
+    p->blocks = std::move(recorded);
+    recorded.clear();
+    if (open && open->count > 0) {
+        if (frozen) {
+            p->blocks.push_back(std::move(open));
+            open.reset();
+        } else {
+            BlockPtr copy = arena.allocate();
+            std::copy_n(open->insts.begin(), open->count,
+                        copy->insts.begin());
+            copy->count = open->count;
+            p->blocks.push_back(std::move(copy));
+        }
+    }
+    p->instCount = totalGenerated;
+    p->rngState = rng.saveState();
+    p->streamOffsets = streamOffsets;
+    p->behaviorPos = behaviorPos;
+    p->curPhase = curPhase;
+    PrefixCache::instance().storePrefix(cacheKey, std::move(p));
 }
 
 void
 SyntheticWorkload::emitPhase()
 {
     if (curPhase == std::size_t(-1))
-        curPhase = rng.weighted(prog.loopWeights);
-    emitNode(prog.topLoops[curPhase]);
+        curPhase = rng.weighted(prog->loopWeights);
+    emitNode(prog->topLoops[curPhase]);
 
     // Glue jump: carries control from this loop's exit to the first
     // instruction of the next phase, keeping the stream a valid walk.
-    const std::size_t next_phase = rng.weighted(prog.loopWeights);
-    emitInst(prog.topLoopGlue[curPhase], true,
-             firstPc(prog.topLoops[next_phase]));
+    const std::size_t next_phase = rng.weighted(prog->loopWeights);
+    emitInst(prog->topLoopGlue[curPhase], true,
+             firstPc(prog->topLoops[next_phase]));
     curPhase = next_phase;
 }
 
 Addr
 SyntheticWorkload::firstPc(NodeId id) const
 {
-    const Node &n = prog.nodes[id];
+    const Node &n = prog->nodes[id];
     switch (n.kind) {
       case Node::Kind::Seq:
         sim_assert(!n.elems.empty(), "empty Seq node");
@@ -78,7 +223,7 @@ SyntheticWorkload::evalBehavior(std::int32_t behavior)
 {
     sim_assert(behavior >= 0, "branch without behaviour");
     const BranchBehavior &b =
-        prog.branchBehaviors[static_cast<std::size_t>(behavior)];
+        prog->branchBehaviors[static_cast<std::size_t>(behavior)];
     switch (b.kind) {
       case BranchBehavior::Kind::Biased:
         return rng.chance(b.takenProb);
@@ -96,8 +241,8 @@ SyntheticWorkload::evalBehavior(std::int32_t behavior)
 Addr
 SyntheticWorkload::memAddress(const StaticInst &si)
 {
-    MemStream &ms =
-        prog.memStreams[static_cast<std::size_t>(si.memStream)];
+    const MemStream &ms =
+        prog->memStreams[static_cast<std::size_t>(si.memStream)];
     std::uint64_t &off =
         streamOffsets[static_cast<std::size_t>(si.memStream)];
     Addr addr = 0;
@@ -126,7 +271,10 @@ void
 SyntheticWorkload::emitInst(const StaticInst &si, bool taken,
                             Addr dyn_target)
 {
-    trace::DynInst d;
+    if (open->full())
+        sealOpen();
+    trace::DynInst &d = open->append();
+    d = trace::DynInst{};
     d.pc = si.pc;
     d.op = si.op;
     d.dst = si.dst;
@@ -141,13 +289,13 @@ SyntheticWorkload::emitInst(const StaticInst &si, bool taken,
         d.taken = taken;
         d.target = dyn_target != 0 ? dyn_target : si.target;
     }
-    buffer.push_back(d);
+    ++totalGenerated;
 }
 
 void
 SyntheticWorkload::emitNode(NodeId id)
 {
-    const Node &n = prog.nodes[id];
+    const Node &n = prog->nodes[id];
     switch (n.kind) {
       case Node::Kind::Seq:
         for (const auto &e : n.elems) {
@@ -186,7 +334,7 @@ SyntheticWorkload::emitNode(NodeId id)
         emitInst(n.branch, true, 0);
         callStack.push_back(n.branch.pc + trace::DynInst::instBytes);
         const Function &f =
-            prog.funcs[static_cast<std::size_t>(n.callee)];
+            prog->funcs[static_cast<std::size_t>(n.callee)];
         emitNode(f.bodyNode);
         sim_assert(!callStack.empty(), "return without call");
         const Addr ret_to = callStack.back();

@@ -8,10 +8,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/random.hh"
 #include "trace/trace_source.hh"
+#include "workload/block_arena.hh"
+#include "workload/prefix_cache.hh"
 #include "workload/profile.hh"
 #include "workload/program.hh"
 
@@ -24,20 +27,38 @@ namespace fgstp::workload
  * The stream is infinite (benchmarks loop forever through their
  * phases); the consumer decides how many instructions to simulate.
  * Deterministic: the same (profile, seed) pair replays identically,
- * including after reset().
+ * including after reset(), with or without the prefix memo, and
+ * regardless of what other generators run concurrently.
+ *
+ * Instructions are emitted a phase at a time into arena-allocated
+ * blocks (block_arena.hh) and consumed in place through peek()/
+ * advance() — no per-instruction copy or heap traffic. When the
+ * process-wide PrefixCache is enabled, the first generator for a
+ * (profile, seed) key records its prefix and publishes it; later
+ * generators replay the shared blocks and resume generation from the
+ * published state.
  */
 class SyntheticWorkload : public trace::TraceSource
 {
   public:
     SyntheticWorkload(const BenchmarkProfile &profile, std::uint64_t seed);
+    ~SyntheticWorkload() override;
 
-    bool next(trace::DynInst &inst) override;
+    std::size_t peek(const trace::DynInst **out) override;
+    void advance(std::size_t n) override;
     void reset() override;
 
-    const Program &program() const { return prog; }
+    const Program &program() const { return *prog; }
     const std::string &name() const { return benchName; }
 
+    /** Instructions emitted so far (replayed prefix included). */
+    std::uint64_t generated() const { return totalGenerated; }
+
   private:
+    void startStream();
+    void generateMore();
+    void sealOpen();
+    void publishPrefix(bool frozen);
     void emitPhase();
     void emitNode(NodeId id);
     void emitInst(const StaticInst &si, bool taken, Addr dyn_target);
@@ -46,11 +67,25 @@ class SyntheticWorkload : public trace::TraceSource
     Addr memAddress(const StaticInst &si);
 
     std::string benchName;
-    Program prog;
+    std::shared_ptr<const Program> prog;
     std::uint64_t seed;
+    std::uint64_t cacheKey = 0;
+    bool memoOn = false;
     Rng rng;
 
-    std::deque<trace::DynInst> buffer;
+    // ---- consumption state ------------------------------------------
+    BlockArena arena;
+    std::deque<BlockPtr> ready; ///< sealed blocks awaiting consumption
+    BlockPtr open;              ///< block being filled by emitInst
+    std::uint32_t readPos = 0;  ///< offset into the front-most block
+
+    // ---- prefix recording -------------------------------------------
+    bool recording = false;
+    std::vector<BlockPtr> recorded;
+    std::uint64_t recordTarget = 0;
+    std::uint64_t totalGenerated = 0;
+
+    // ---- generator state (snapshotted at phase boundaries) ----------
     std::vector<std::uint64_t> streamOffsets;
     std::vector<std::uint64_t> behaviorPos;
     std::vector<Addr> callStack;

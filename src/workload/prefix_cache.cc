@@ -1,0 +1,216 @@
+#include "workload/prefix_cache.hh"
+
+#include <cstring>
+
+#include "workload/builder.hh"
+
+namespace fgstp::workload
+{
+
+PrefixCache &
+PrefixCache::instance()
+{
+    static PrefixCache cache;
+    return cache;
+}
+
+void
+PrefixCache::configure(const Config &newCfg)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    cfg = newCfg;
+    if (!cfg.enabled) {
+        entries.clear();
+        totalBytes = 0;
+    } else {
+        evictLockedPastBudget();
+    }
+}
+
+PrefixCache::Config
+PrefixCache::config() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return cfg;
+}
+
+std::shared_ptr<const Program>
+PrefixCache::acquireProgram(const BenchmarkProfile &profile,
+                            std::uint64_t seed, std::uint64_t key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = entries.find(key);
+        if (it != entries.end() && it->second.program) {
+            it->second.lastUse = ++useTick;
+            return it->second.program;
+        }
+    }
+    // Build outside the lock; concurrent builders of the same key race
+    // to insert and the loser's identical copy is simply discarded.
+    auto built =
+        std::make_shared<const Program>(buildProgram(profile, seed));
+    std::lock_guard<std::mutex> lock(mtx);
+    Entry &e = entries[key];
+    e.lastUse = ++useTick;
+    if (!e.program) {
+        e.program = built;
+        e.programBytes = estimateProgramBytes(*built);
+        totalBytes += e.programBytes;
+        evictLockedPastBudget();
+    }
+    return e.program;
+}
+
+std::shared_ptr<const StreamPrefix>
+PrefixCache::lookupPrefix(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(key);
+    if (it == entries.end() || !it->second.prefix) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    it->second.lastUse = ++useTick;
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second.prefix;
+}
+
+void
+PrefixCache::storePrefix(std::uint64_t key,
+                         std::shared_ptr<const StreamPrefix> prefix)
+{
+    if (!prefix)
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (!cfg.enabled)
+        return;
+    Entry &e = entries[key];
+    e.lastUse = ++useTick;
+    if (e.prefix && e.prefix->instCount >= prefix->instCount)
+        return; // an equal or longer prefix already serves this key
+    if (e.prefix)
+        totalBytes -= e.prefix->bytes();
+    totalBytes += prefix->bytes();
+    e.prefix = std::move(prefix);
+    inserts.fetch_add(1, std::memory_order_relaxed);
+    evictLockedPastBudget();
+}
+
+void
+PrefixCache::evictLockedPastBudget()
+{
+    while (totalBytes > cfg.maxBytes && !entries.empty()) {
+        auto victim = entries.begin();
+        for (auto it = entries.begin(); it != entries.end(); ++it) {
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        totalBytes -= victim->second.programBytes;
+        if (victim->second.prefix)
+            totalBytes -= victim->second.prefix->bytes();
+        entries.erase(victim);
+        evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+PrefixCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    entries.clear();
+    totalBytes = 0;
+}
+
+PrefixCache::Stats
+PrefixCache::stats() const
+{
+    Stats s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.inserts = inserts.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.replayedInsts = replayed.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mtx);
+    s.entries = entries.size();
+    s.bytes = totalBytes;
+    return s;
+}
+
+void
+PrefixCache::resetStats()
+{
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    inserts.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    replayed.store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+PrefixCache::estimateProgramBytes(const Program &p)
+{
+    std::size_t bytes = sizeof(Program);
+    bytes += p.nodes.size() * sizeof(Node);
+    for (const auto &n : p.nodes) {
+        bytes += n.elems.size() * sizeof(Element);
+        bytes += n.arms.size() * sizeof(NodeId);
+        bytes += n.armJumps.size() * sizeof(StaticInst);
+    }
+    bytes += p.funcs.size() * sizeof(Function);
+    bytes += p.memStreams.size() * sizeof(MemStream);
+    bytes += p.branchBehaviors.size() * sizeof(BranchBehavior);
+    bytes += p.topLoops.size() * sizeof(NodeId);
+    bytes += p.loopWeights.size() * sizeof(double);
+    bytes += p.topLoopGlue.size() * sizeof(StaticInst);
+    return bytes;
+}
+
+std::uint64_t
+PrefixCache::fingerprint(const BenchmarkProfile &p, std::uint64_t seed)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    auto mixD = [&mix](double d) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    };
+    for (char c : p.name)
+        mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    mix(p.fp ? 1 : 0);
+    mixD(p.fracLoad);
+    mixD(p.fracStore);
+    mixD(p.fracFpOps);
+    mixD(p.fracMul);
+    mixD(p.fracDiv);
+    mixD(p.depLookback);
+    mixD(p.fracInvariantSrc);
+    mixD(p.fracTwoSrcOps);
+    mixD(p.fracIf);
+    mixD(p.fracSwitch);
+    mixD(p.fracRandomBr);
+    mixD(p.fracPatternedBr);
+    mixD(p.biasedTakenProb);
+    mix(p.footprintKB);
+    mixD(p.fracStreamAcc);
+    mixD(p.fracStrideAcc);
+    mixD(p.fracRandomAcc);
+    mixD(p.fracChaseAcc);
+    mixD(p.fracStackAcc);
+    mix(static_cast<std::uint64_t>(p.numTopLoops));
+    mix(static_cast<std::uint64_t>(p.bodyOps));
+    mix(static_cast<std::uint64_t>(p.nestDepth));
+    mix(static_cast<std::uint64_t>(p.numFuncs));
+    mixD(p.callDensity);
+    mix(p.minTrip);
+    mix(p.maxTrip);
+    mix(static_cast<std::uint64_t>(p.staticCodeScale));
+    mix(seed);
+    return h;
+}
+
+} // namespace fgstp::workload

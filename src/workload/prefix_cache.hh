@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Process-wide memo of generated instruction-stream prefixes.
+ *
+ * Every cell of a sweep that simulates the same (benchmark profile,
+ * seed) pair regenerates an identical instruction prefix from scratch
+ * — the same Program build, the same phase walk, the same rng draws.
+ * The PrefixCache removes that redundancy: the first generator for a
+ * key publishes its immutable Program and the block chain of the
+ * prefix it generated (plus the generator state at the prefix end);
+ * every later generator replays the shared blocks read-only and
+ * resumes live generation from the published state, bit-identically.
+ *
+ * Determinism: a hit replays exactly the instructions a miss would
+ * have generated (generation is a pure function of profile and seed),
+ * so simulated results never depend on cache state, scheduling, or
+ * --jobs. Only the hit/miss counters are schedule-dependent, and they
+ * are reported on the wallTimeMs line of BENCH output (docs/STATS.md).
+ *
+ * Bounds: total retained bytes are capped (default 256 MiB) with LRU
+ * eviction of whole entries; each entry's prefix is capped at
+ * maxPrefixInsts. Disable entirely with --prefix-cache=0.
+ */
+
+#ifndef FGSTP_WORKLOAD_PREFIX_CACHE_HH
+#define FGSTP_WORKLOAD_PREFIX_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/block_arena.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace fgstp::workload
+{
+
+/**
+ * An immutable published prefix: the generated blocks plus the full
+ * generator state at the phase boundary where the prefix ends.
+ */
+struct StreamPrefix
+{
+    std::vector<BlockPtr> blocks;
+    std::uint64_t instCount = 0;
+
+    // Generator state at the prefix end (a phase boundary, so the
+    // call stack is empty by construction).
+    Rng::State rngState{};
+    std::vector<std::uint64_t> streamOffsets;
+    std::vector<std::uint64_t> behaviorPos;
+    std::size_t curPhase = 0;
+
+    std::size_t
+    bytes() const
+    {
+        return blocks.size() * InstBlock::bytes();
+    }
+};
+
+/** Thread-safe, bounded (LRU) memo keyed by profile fingerprint + seed. */
+class PrefixCache
+{
+  public:
+    struct Config
+    {
+        bool enabled = true;
+        /** Total retained block bytes before LRU eviction kicks in. */
+        std::size_t maxBytes = 256ull << 20;
+        /** Longest prefix any one entry may retain. */
+        std::uint64_t maxPrefixInsts = 2'000'000;
+    };
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t replayedInsts = 0;
+        std::uint64_t entries = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** The process-wide instance every generator consults. */
+    static PrefixCache &instance();
+
+    void configure(const Config &cfg);
+    Config config() const;
+
+    /**
+     * Returns the shared immutable Program for the key, building (and
+     * caching) it on first use. Safe to call concurrently.
+     */
+    std::shared_ptr<const Program>
+    acquireProgram(const BenchmarkProfile &profile, std::uint64_t seed,
+                   std::uint64_t key);
+
+    /** Returns the published prefix for the key, or null (counts it). */
+    std::shared_ptr<const StreamPrefix> lookupPrefix(std::uint64_t key);
+
+    /**
+     * Publishes a prefix; when the key already holds one, the longer
+     * of the two survives. Evicts LRU entries past the byte budget.
+     */
+    void storePrefix(std::uint64_t key,
+                     std::shared_ptr<const StreamPrefix> prefix);
+
+    /** Credits n instructions served from a shared prefix. */
+    void
+    addReplayed(std::uint64_t n)
+    {
+        replayed.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Drops every entry (tests; configure(enabled=false) also drops). */
+    void clear();
+
+    Stats stats() const;
+    void resetStats();
+
+    /**
+     * Cache key: every profile knob plus the seed, so a modified
+     * profile that shares a benchmark name can never alias a stock
+     * one. New BenchmarkProfile fields must be added here.
+     */
+    static std::uint64_t fingerprint(const BenchmarkProfile &profile,
+                                     std::uint64_t seed);
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const Program> program;
+        std::shared_ptr<const StreamPrefix> prefix;
+        std::size_t programBytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    void evictLockedPastBudget();
+    static std::size_t estimateProgramBytes(const Program &p);
+
+    mutable std::mutex mtx;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    Config cfg;
+    std::size_t totalBytes = 0;
+    std::uint64_t useTick = 0;
+
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> replayed{0};
+};
+
+} // namespace fgstp::workload
+
+#endif // FGSTP_WORKLOAD_PREFIX_CACHE_HH

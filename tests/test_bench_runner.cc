@@ -110,6 +110,111 @@ TEST(ThreadPool, ParallelismActuallyOverlaps)
     EXPECT_EQ(started.load(), 4);
 }
 
+// ---- STS scheduling policy -------------------------------------------------
+
+TEST(ThreadPoolSched, ParsePolicyAcceptsFifoAndSts)
+{
+    SchedConfig::Policy p;
+    EXPECT_TRUE(SchedConfig::parsePolicy("fifo", p));
+    EXPECT_EQ(p, SchedConfig::Policy::Fifo);
+    EXPECT_TRUE(SchedConfig::parsePolicy("sts", p));
+    EXPECT_EQ(p, SchedConfig::Policy::Sts);
+    EXPECT_FALSE(SchedConfig::parsePolicy("lifo", p));
+    EXPECT_FALSE(SchedConfig::parsePolicy("", p));
+    EXPECT_STREQ(SchedConfig::policyName(SchedConfig::Policy::Fifo),
+                 "fifo");
+    EXPECT_STREQ(SchedConfig::policyName(SchedConfig::Policy::Sts),
+                 "sts");
+}
+
+TEST(ThreadPoolSched, StsRunsEveryTaskAndAccountsForEachOnce)
+{
+    ThreadPool pool(4, SchedConfig{SchedConfig::Policy::Sts});
+    EXPECT_EQ(pool.policy(), SchedConfig::Policy::Sts);
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 200; ++i) {
+        SchedHint hint;
+        hint.affinity = static_cast<std::uint64_t>(i % 7);
+        hint.hasAffinity = i % 3 != 0;
+        hint.highPriority = i % 5 == 0;
+        futs.push_back(pool.submit([i, &ran] {
+            ++ran;
+            return i;
+        }, hint));
+    }
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(futs[i].get(), i);
+    EXPECT_EQ(ran.load(), 200);
+    const auto s = pool.schedStats();
+    // Every run is attributed to exactly one pick path.
+    EXPECT_EQ(s.affinityRuns + s.steals + s.priorityRuns + s.globalRuns,
+              200u);
+    EXPECT_GT(s.priorityRuns, 0u);
+}
+
+TEST(ThreadPoolSched, FifoIgnoresHints)
+{
+    ThreadPool pool(2, SchedConfig{SchedConfig::Policy::Fifo});
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 50; ++i) {
+        SchedHint hint;
+        hint.affinity = 1;
+        hint.hasAffinity = true;
+        hint.highPriority = true;
+        futs.push_back(pool.submit([] {}, hint));
+    }
+    for (auto &f : futs)
+        f.get();
+    const auto s = pool.schedStats();
+    EXPECT_EQ(s.affinityRuns, 0u);
+    EXPECT_EQ(s.priorityRuns, 0u);
+    EXPECT_EQ(s.steals, 0u);
+    EXPECT_EQ(s.globalRuns, 50u);
+}
+
+TEST(ThreadPoolSched, IdleWorkersStealFromLoadedAffinityQueues)
+{
+    // Everything is pinned to one affinity key, so with 4 workers the
+    // other three can only contribute by stealing. The first task
+    // parks the owning worker long enough for the backlog to build.
+    ThreadPool pool(4, SchedConfig{SchedConfig::Policy::Sts});
+    std::vector<std::future<void>> futs;
+    SchedHint pinned;
+    pinned.affinity = 0;
+    pinned.hasAffinity = true;
+    for (int i = 0; i < 64; ++i) {
+        futs.push_back(pool.submit([] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }, pinned));
+    }
+    for (auto &f : futs)
+        f.get();
+    const auto s = pool.schedStats();
+    EXPECT_EQ(s.affinityRuns + s.steals, 64u);
+    EXPECT_GT(s.steals, 0u);
+}
+
+TEST(ThreadPoolSched, StsDestructorDrainsAllLanes)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2, SchedConfig{SchedConfig::Policy::Sts});
+        for (int i = 0; i < 60; ++i) {
+            SchedHint hint;
+            hint.affinity = static_cast<std::uint64_t>(i);
+            hint.hasAffinity = i % 2 == 0;
+            hint.highPriority = i % 7 == 0;
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++ran;
+            }, hint);
+        }
+    }
+    EXPECT_EQ(ran.load(), 60);
+}
+
 // ---- jobSeed ---------------------------------------------------------------
 
 TEST(JobSeed, DeterministicAndIdentitySensitive)
@@ -180,12 +285,12 @@ stripWallTime(const std::string &json)
 
 std::string
 renderWithJobs(const bench::Experiment &e, const bench::RunParams &prm,
-               unsigned jobs)
+               unsigned jobs, SchedConfig cfg = {})
 {
-    ThreadPool pool(jobs);
+    ThreadPool pool(jobs, cfg);
     const auto run = bench::runExperiment(e, prm, pool);
     std::ostringstream os;
-    bench::renderJson(os, run, prm, pool.size());
+    bench::renderJson(os, run, prm, pool.size(), &pool);
     return os.str();
 }
 
@@ -202,6 +307,33 @@ TEST(Determinism, SerialAndParallelJsonMatchModuloWallTime)
             << "experiment " << name
             << " is not schedule-independent";
     }
+}
+
+TEST(Determinism, StsSchedulerNeverChangesResults)
+{
+    // The headline contract of the affinity scheduler: it may reorder
+    // and re-place cells, but a serial FIFO run and a contended STS
+    // run render byte-identical JSON modulo the wall-time metadata
+    // lines (which carry the scheduler counters, exactly so that this
+    // strip works).
+    bench::RunParams prm;
+    prm.insts = 2000;
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    const auto fifoSerial = renderWithJobs(
+        *e, prm, 1, SchedConfig{SchedConfig::Policy::Fifo});
+    const auto stsParallel = renderWithJobs(
+        *e, prm, 8, SchedConfig{SchedConfig::Policy::Sts});
+    EXPECT_EQ(stripWallTime(fifoSerial), stripWallTime(stsParallel));
+    // The run-metadata line advertises the policy and its counters,
+    // and stays confined to the stripped wallTimeMs line.
+    EXPECT_NE(stsParallel.find("\"sched\": \"sts\""),
+              std::string::npos);
+    EXPECT_NE(stsParallel.find("\"schedAffinityHits\""),
+              std::string::npos);
+    EXPECT_NE(stsParallel.find("\"prefixHits\""), std::string::npos);
+    EXPECT_EQ(stripWallTime(stsParallel).find("\"sched\""),
+              std::string::npos);
 }
 
 /** Restores the process-wide per-cell bus toggle on scope exit. */

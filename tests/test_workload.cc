@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -14,6 +16,7 @@
 #include "workload/builder.hh"
 #include "workload/generator.hh"
 #include "workload/microbench.hh"
+#include "workload/prefix_cache.hh"
 #include "workload/profile.hh"
 
 namespace fgstp
@@ -339,6 +342,258 @@ TEST(Microbench, PointerChaseIsSerialThroughRegisters)
         EXPECT_TRUE(ld.isLoad());
         EXPECT_EQ(ld.srcs[0], ld.dst); // address depends on prior load
     }
+}
+
+// ---- golden stream hashes --------------------------------------------------
+
+/**
+ * FNV-1a over every architecturally-relevant DynInst field of the
+ * first 50000 instructions. Captured from the pre-block-arena
+ * per-instruction generator, so these values pin the exact stream
+ * across the batching/memoization refactor and any future one: a
+ * failure here means the generated workload CHANGED, which invalidates
+ * every committed experiment number.
+ */
+std::uint64_t
+streamHash(trace::TraceSource &src, std::uint64_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto fold = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ull;
+    };
+    DynInst d;
+    for (std::uint64_t i = 0; i < n && src.next(d); ++i) {
+        fold(d.pc);
+        fold(static_cast<std::uint64_t>(d.op));
+        fold(static_cast<std::uint64_t>(d.dst));
+        fold(static_cast<std::uint64_t>(d.srcs[0]));
+        fold(static_cast<std::uint64_t>(d.srcs[1]));
+        fold(static_cast<std::uint64_t>(d.srcs[2]));
+        fold(static_cast<std::uint64_t>(d.numSrcs));
+        fold(d.effAddr);
+        fold(static_cast<std::uint64_t>(d.memSize));
+        fold(d.taken ? 1 : 0);
+        fold(d.target);
+    }
+    return h;
+}
+
+struct GoldenStream
+{
+    const char *bench;
+    std::uint64_t seed;
+    std::uint64_t hash;
+};
+
+/** All 19 benchmarks at the two seeds the evaluation uses. */
+const GoldenStream goldenStreams[] = {
+    {"perlbench", 1ull, 0x6633aa5b24e23b65ull},
+    {"perlbench", 42ull, 0x86778295806c2056ull},
+    {"bzip2", 1ull, 0x9b5abdc71a9aa879ull},
+    {"bzip2", 42ull, 0x510952cc219af782ull},
+    {"gcc", 1ull, 0x5f64d59cf41351feull},
+    {"gcc", 42ull, 0xeda8efb29229b9d2ull},
+    {"mcf", 1ull, 0x1dadc65cd9b77e75ull},
+    {"mcf", 42ull, 0x28e0a440065b7f8cull},
+    {"gobmk", 1ull, 0x612f6a870d00b353ull},
+    {"gobmk", 42ull, 0x813177843348f874ull},
+    {"hmmer", 1ull, 0x586e8722473e6d14ull},
+    {"hmmer", 42ull, 0x7d7e2f7107c1a901ull},
+    {"sjeng", 1ull, 0xc9d74b4f700736d0ull},
+    {"sjeng", 42ull, 0x0d84c9adc5c1f76cull},
+    {"libquantum", 1ull, 0xd3f37a9ffc311d31ull},
+    {"libquantum", 42ull, 0xcb69a6db87aaa800ull},
+    {"h264ref", 1ull, 0x9cf5ce84477f1080ull},
+    {"h264ref", 42ull, 0xd0d46b5e32705f14ull},
+    {"omnetpp", 1ull, 0x35cb829a0b4e1e9aull},
+    {"omnetpp", 42ull, 0x59117c1fb1bd90caull},
+    {"astar", 1ull, 0xe9839f6859c2e87bull},
+    {"astar", 42ull, 0xba7a576368485117ull},
+    {"xalancbmk", 1ull, 0x14e18ef99f96a149ull},
+    {"xalancbmk", 42ull, 0x8ed9a846fcedc7efull},
+    {"bwaves", 1ull, 0x19552ab97a2b534dull},
+    {"bwaves", 42ull, 0x11ec61f4d63cc8a7ull},
+    {"milc", 1ull, 0xc031b7caab277b37ull},
+    {"milc", 42ull, 0x77cf432a1fce688dull},
+    {"namd", 1ull, 0xab0313f3f62c3ac2ull},
+    {"namd", 42ull, 0x4065825cd87760c4ull},
+    {"dealII", 1ull, 0x54cc450ccb7ca8d1ull},
+    {"dealII", 42ull, 0x7927dd50caa72cafull},
+    {"soplex", 1ull, 0xee4586e97c030819ull},
+    {"soplex", 42ull, 0xd94a6e1296d6828aull},
+    {"lbm", 1ull, 0x8a3970f66eae1945ull},
+    {"lbm", 42ull, 0x59255daea832397dull},
+    {"sphinx3", 1ull, 0xf9d3a0ff9cd468d5ull},
+    {"sphinx3", 42ull, 0xa6034c2796fa2933ull},
+};
+
+constexpr std::uint64_t goldenInsts = 50000;
+
+TEST(GoldenStreams, MemoOffMatchesPreBatchingGenerator)
+{
+    workload::PrefixCache::Config off;
+    off.enabled = false;
+    workload::PrefixCache::instance().configure(off);
+    for (const auto &g : goldenStreams) {
+        SyntheticWorkload w(workload::profileByName(g.bench), g.seed);
+        EXPECT_EQ(streamHash(w, goldenInsts), g.hash)
+            << g.bench << " seed " << g.seed;
+    }
+    workload::PrefixCache::instance().configure({});
+}
+
+TEST(GoldenStreams, MemoMissThenHitBothMatch)
+{
+    workload::PrefixCache::instance().configure({}); // enabled, empty
+    workload::PrefixCache::instance().resetStats();
+    for (const auto &g : goldenStreams) {
+        // First generator records the prefix, second replays it.
+        {
+            SyntheticWorkload w(
+                workload::profileByName(g.bench), g.seed);
+            EXPECT_EQ(streamHash(w, goldenInsts), g.hash)
+                << g.bench << " seed " << g.seed << " (miss)";
+        }
+        SyntheticWorkload w(workload::profileByName(g.bench), g.seed);
+        EXPECT_EQ(streamHash(w, goldenInsts), g.hash)
+            << g.bench << " seed " << g.seed << " (hit)";
+    }
+    const auto s = workload::PrefixCache::instance().stats();
+    EXPECT_GE(s.hits, std::size(goldenStreams));
+    workload::PrefixCache::instance().configure({});
+}
+
+TEST(GoldenStreams, ResetReplaysTheGoldenStream)
+{
+    workload::PrefixCache::instance().configure({});
+    const auto &g = goldenStreams[4]; // gcc, seed 1
+    SyntheticWorkload w(workload::profileByName(g.bench), g.seed);
+    EXPECT_EQ(streamHash(w, goldenInsts), g.hash);
+    w.reset();
+    EXPECT_EQ(streamHash(w, goldenInsts), g.hash) << "after reset";
+    workload::PrefixCache::instance().configure({});
+}
+
+// ---- prefix cache ----------------------------------------------------------
+
+TEST(PrefixCache, DistinctProfilesAndSeedsGetDistinctKeys)
+{
+    const auto gcc = workload::profileByName("gcc");
+    auto tweaked = gcc;
+    tweaked.fracLoad += 0.01; // same name, different content
+    using workload::PrefixCache;
+    EXPECT_NE(PrefixCache::fingerprint(gcc, 1),
+              PrefixCache::fingerprint(gcc, 2));
+    EXPECT_NE(PrefixCache::fingerprint(gcc, 1),
+              PrefixCache::fingerprint(tweaked, 1));
+    EXPECT_EQ(PrefixCache::fingerprint(gcc, 1),
+              PrefixCache::fingerprint(gcc, 1));
+}
+
+TEST(PrefixCache, DisabledModeCachesNothing)
+{
+    auto &cache = workload::PrefixCache::instance();
+    workload::PrefixCache::Config off;
+    off.enabled = false;
+    cache.configure(off);
+    cache.resetStats();
+    for (int i = 0; i < 2; ++i) {
+        SyntheticWorkload w(workload::profileByName("mcf"), 9);
+        DynInst d;
+        for (int k = 0; k < 1000; ++k)
+            w.next(d);
+    }
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.bytes, 0u);
+    cache.configure({});
+}
+
+TEST(PrefixCache, EvictsLruWholeEntriesUnderByteBudget)
+{
+    auto &cache = workload::PrefixCache::instance();
+    workload::PrefixCache::Config tiny;
+    // Room for roughly one benchmark's worth of blocks + program.
+    tiny.maxBytes = 4u << 20;
+    tiny.maxPrefixInsts = 20000;
+    cache.configure(tiny);
+    cache.resetStats();
+    const char *benches[] = {"gcc", "mcf", "astar", "milc"};
+    for (const char *b : benches) {
+        SyntheticWorkload w(workload::profileByName(b), 5);
+        DynInst d;
+        for (int k = 0; k < 25000; ++k)
+            w.next(d);
+    }
+    const auto s = cache.stats();
+    EXPECT_GT(s.evictions, 0u);
+    EXPECT_LE(s.bytes, tiny.maxBytes);
+    cache.configure({});
+}
+
+TEST(PrefixCache, StoreKeepsTheLongerPrefix)
+{
+    auto &cache = workload::PrefixCache::instance();
+    cache.configure({});
+    cache.resetStats();
+    const auto p = workload::profileByName("lbm");
+    DynInst d;
+    {
+        SyntheticWorkload shortRun(p, 3);
+        for (int k = 0; k < 1000; ++k)
+            shortRun.next(d);
+    } // publishes ~1000 insts
+    {
+        SyntheticWorkload longRun(p, 3);
+        for (int k = 0; k < 30000; ++k)
+            longRun.next(d);
+    } // hit replays 1000, then generates on; dtor must extend, and a
+      // later short run must not shrink it back
+    {
+        SyntheticWorkload again(p, 3);
+        for (int k = 0; k < 500; ++k)
+            again.next(d);
+    }
+    const auto replayedBefore = cache.stats().replayedInsts;
+    SyntheticWorkload replay(p, 3); // addReplayed fires here
+    std::uint64_t served = 0;
+    const trace::DynInst *run = nullptr;
+    while (served < 30000) {
+        const std::size_t avail = replay.peek(&run);
+        ASSERT_GT(avail, 0u);
+        const std::size_t take =
+            std::min<std::size_t>(avail, 30000 - served);
+        replay.advance(take);
+        served += take;
+    }
+    EXPECT_GE(cache.stats().replayedInsts - replayedBefore, 30000u);
+    cache.configure({});
+}
+
+TEST(PrefixCache, BlockViewAndNextAgree)
+{
+    workload::PrefixCache::instance().configure({});
+    const auto p = workload::profileByName("omnetpp");
+    SyntheticWorkload a(p, 11), b(p, 11);
+    DynInst d;
+    std::uint64_t seen = 0;
+    while (seen < 20000) {
+        const trace::DynInst *run = nullptr;
+        const std::size_t avail = a.peek(&run);
+        ASSERT_GT(avail, 0u);
+        const std::size_t take =
+            std::min<std::size_t>(avail, 20000 - seen);
+        for (std::size_t i = 0; i < take; ++i) {
+            ASSERT_TRUE(b.next(d));
+            ASSERT_EQ(run[i].pc, d.pc) << "at " << seen + i;
+            ASSERT_EQ(run[i].effAddr, d.effAddr);
+            ASSERT_EQ(run[i].target, d.target);
+        }
+        a.advance(take);
+        seen += take;
+    }
+    workload::PrefixCache::instance().configure({});
 }
 
 } // namespace
