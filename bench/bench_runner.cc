@@ -9,6 +9,7 @@
  *               [--check] [--inject=SPEC]
  *               [--sample[=ff=N,warmup=N,measure=N]]
  *               [--bus[=SPEC]] [--steer=SPEC]
+ *               [--coherence=flat|mesi]
  *               [--cache=DIR] [--cache-stats] [--cache-gc]
  *               [--shard=i/N] [--merge FILE...]
  *               [--serve[=stdio|unix:PATH]]
@@ -54,6 +55,14 @@
  * for one bandwidth-limited bus, JSON reports gain a meta.bus block,
  * and --cpi-stack cells additionally carry the busContention
  * sub-bucket.
+ *
+ * --coherence=mesi builds every cell's memory hierarchy with the
+ * directory-based MESI protocol instead of the default flat
+ * write-invalidate approximation (docs/UNCORE.md): targeted
+ * invalidations, E/M ownership tracking, and — with --bus — upgrade
+ * and writeback traffic classes on the shared bus. JSON reports gain
+ * a meta.coherence field and --cpi-stack cells carry the coherence
+ * sub-bucket. --coherence=flat is byte-identical to the default.
  *
  * --steer=SPEC reconfigures every Fg-STP cell's partitioner
  * cost-model weights (docs/STEERING.md): fixed key=value weights, the
@@ -122,6 +131,7 @@ struct Options
     std::string busSpec;    // empty keeps the BusConfig defaults
     bool steer = false;     // per-cell steering weights
     std::string steerSpec;  // --steer spec (grammar: docs/STEERING.md)
+    std::string coherenceSpec; // --coherence value; empty = flat
 
     // Sweep service (docs/SERVICE.md)
     std::string cacheDir;  // --cache directory; empty = off
@@ -215,6 +225,11 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--steer", v)) {
             o.steer = true;
             o.steerSpec = v;
+        } else if (matchValue(a, "--coherence", v)) {
+            o.coherenceSpec = v;
+            if (v != "flat" && v != "mesi")
+                fatal("unknown coherence model '", v,
+                      "' (flat | mesi)");
         } else if (matchValue(a, "--cache", v)) {
             o.cacheDir = v;
             if (o.cacheDir.empty())
@@ -291,6 +306,17 @@ renderCpiJson(std::ostream &os, const std::vector<bench::CellCpi> &cells,
             for (std::size_t k = 0; k < c.perCore.size(); ++k) {
                 os << (k ? ", " : "")
                    << json::number(c.perCore[k].busContention);
+            }
+            os << "]";
+        }
+        // Likewise the memory sub-bucket for coherence waits, which
+        // only the MESI directory populates; flat output (the
+        // default) stays byte-identical.
+        if (params.coherence == mem::CoherenceKind::Mesi) {
+            os << ", \"coherence\": [";
+            for (std::size_t k = 0; k < c.perCore.size(); ++k) {
+                os << (k ? ", " : "")
+                   << json::number(c.perCore[k].coherence);
             }
             os << "]";
         }
@@ -512,6 +538,12 @@ runBench(const Options &o)
     params.steerSpecRaw = o.steerSpec;
     params.check = o.check;
     params.injectSpecRaw = o.injectSpec;
+    params.cpiStack = o.cpiStack;
+    if (o.coherenceSpec == "mesi")
+        params.coherence = mem::CoherenceKind::Mesi;
+    // An explicit --coherence=flat and an unconfigured run take the
+    // same path (and share a cache namespace): flat is the default.
+    bench::setCellCoherence(params.coherence);
     if (o.bus) {
         params.bus = uncore::parseBusConfig(o.busSpec);
         bench::setCellBus(params.bus, true);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <mutex>
@@ -101,6 +103,20 @@ withCellBus(part::FgstpConfig cfg)
     return cfg;
 }
 
+// ---- per-cell coherence state ---------------------------------------------
+
+std::atomic<int> cellCoherenceSel{
+    static_cast<int>(mem::CoherenceKind::Flat)};
+
+/** Folds the cell coherence model into a hierarchy configuration. */
+mem::HierarchyConfig
+withCellCoherence(mem::HierarchyConfig cfg)
+{
+    cfg.coherence = static_cast<mem::CoherenceKind>(
+        cellCoherenceSel.load(std::memory_order_relaxed));
+    return cfg;
+}
+
 // ---- per-cell steering state ----------------------------------------------
 
 std::atomic<bool> cellSteerOn{false};
@@ -118,6 +134,165 @@ withCellSteer(part::FgstpConfig cfg, const std::string &bench)
                                                  cellSteerOvr, bench);
     }
     return cfg;
+}
+
+// ---- sidecar capture state -------------------------------------------------
+
+/**
+ * Thread-local capture of the sidecar records the current cell run
+ * appends to the shared collectors. A pool worker runs one cell at a
+ * time, so everything captured between beginCellSidecarCapture() and
+ * takeCellSidecarLines() on its thread belongs to that cell.
+ */
+thread_local bool sidecarCapturing = false;
+thread_local std::vector<std::string> sidecarCaptured;
+
+/**
+ * Shortest round-trip decimal for a double (mirrors the result
+ * cache's value encoding): to_chars output re-reads through strtod
+ * to the identical bits, so a replayed record renders byte-identically.
+ */
+std::string
+sidecarNum(double v)
+{
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/**
+ * One-line sidecar encodings, '|'-separated (machine and benchmark
+ * labels are program-generated identifiers and never contain '|').
+ * Per-core CPI payloads are comma-joined: the seven cause counters,
+ * then the busContention and coherence sub-buckets.
+ */
+std::string
+encodeCpiSidecar(const CellCpi &c)
+{
+    std::string s = "cpi|" + c.machine + "|" + c.bench + "|" +
+                    std::to_string(c.seed) + "|" +
+                    std::to_string(c.cycles) + "|" +
+                    std::to_string(c.perCore.size());
+    for (const obs::CpiStack &st : c.perCore) {
+        s += '|';
+        for (std::size_t j = 0; j < obs::numCpiCauses; ++j) {
+            s += std::to_string(st.cycles[j]);
+            s += ',';
+        }
+        s += std::to_string(st.busContention);
+        s += ',';
+        s += std::to_string(st.coherence);
+    }
+    return s;
+}
+
+std::string
+encodeSamplingSidecar(const CellSampling &c)
+{
+    return "smp|" + c.machine + "|" + c.bench + "|" +
+           std::to_string(c.seed) + "|" + std::to_string(c.intervals) +
+           "|" + std::to_string(c.measuredInstructions) + "|" +
+           std::to_string(c.measuredCycles) + "|" +
+           std::to_string(c.fastForwarded) + "|" + sidecarNum(c.ipc) +
+           "|" + sidecarNum(c.meanIpc) + "|" +
+           sidecarNum(c.ciHalfWidth);
+}
+
+void
+captureSidecar(std::string line)
+{
+    if (sidecarCapturing)
+        sidecarCaptured.push_back(std::move(line));
+}
+
+std::vector<std::string>
+splitSidecarFields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t bar = line.find('|', start);
+        if (bar == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, bar - start));
+        start = bar + 1;
+    }
+}
+
+bool
+sidecarUint(const std::string &s, std::uint64_t &out)
+{
+    const auto res =
+        std::from_chars(s.data(), s.data() + s.size(), out);
+    return res.ec == std::errc() && res.ptr == s.data() + s.size();
+}
+
+bool
+sidecarDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+bool
+decodeCpiSidecar(const std::vector<std::string> &f, CellCpi &out)
+{
+    std::uint64_t cores = 0;
+    if (f.size() < 6 || !sidecarUint(f[3], out.seed) ||
+        !sidecarUint(f[4], out.cycles) || !sidecarUint(f[5], cores) ||
+        f.size() != 6 + cores)
+        return false;
+    out.machine = f[1];
+    out.bench = f[2];
+    for (std::uint64_t k = 0; k < cores; ++k) {
+        obs::CpiStack st;
+        std::vector<std::uint64_t> vals;
+        std::size_t start = 0;
+        const std::string &payload = f[6 + k];
+        while (start <= payload.size()) {
+            const std::size_t comma = payload.find(',', start);
+            const std::size_t end =
+                comma == std::string::npos ? payload.size() : comma;
+            std::uint64_t v = 0;
+            if (!sidecarUint(payload.substr(start, end - start), v))
+                return false;
+            vals.push_back(v);
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        if (vals.size() != obs::numCpiCauses + 2)
+            return false;
+        for (std::size_t j = 0; j < obs::numCpiCauses; ++j)
+            st.cycles[j] = vals[j];
+        st.busContention = vals[obs::numCpiCauses];
+        st.coherence = vals[obs::numCpiCauses + 1];
+        out.perCore.push_back(st);
+    }
+    return true;
+}
+
+bool
+decodeSamplingSidecar(const std::vector<std::string> &f,
+                      CellSampling &out)
+{
+    if (f.size() != 11)
+        return false;
+    out.machine = f[1];
+    out.bench = f[2];
+    return sidecarUint(f[3], out.seed) &&
+           sidecarUint(f[4], out.intervals) &&
+           sidecarUint(f[5], out.measuredInstructions) &&
+           sidecarUint(f[6], out.measuredCycles) &&
+           sidecarUint(f[7], out.fastForwarded) &&
+           sidecarDouble(f[8], out.ipc) &&
+           sidecarDouble(f[9], out.meanIpc) &&
+           sidecarDouble(f[10], out.ciHalfWidth);
 }
 
 // ---- per-cell observability collector ------------------------------------
@@ -153,6 +328,7 @@ maybeRecord(const sim::Machine &m, const std::string &bench,
         if (const obs::CoreMonitor *mon = m.monitor(c))
             cell.perCore.push_back(mon->cpi());
     }
+    captureSidecar(encodeCpiSidecar(cell));
     std::lock_guard<std::mutex> lock(cellObsMutex);
     cellObsSamples.push_back(std::move(cell));
 }
@@ -230,6 +406,7 @@ runMachine(sim::Machine &m, const std::string &bench, std::uint64_t seed,
     rec.ipc = r.ipc();
     rec.meanIpc = r.meanIpc();
     rec.ciHalfWidth = r.ciHalfWidth();
+    captureSidecar(encodeSamplingSidecar(rec));
     {
         std::lock_guard<std::mutex> lock(cellSamplingMutex);
         cellSamplingRecords.push_back(std::move(rec));
@@ -313,7 +490,7 @@ runSingleWithCore(const std::string &bench,
                   std::uint64_t seed)
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
-    sim::SingleCoreMachine m(core_cfg, p.memory, w);
+    sim::SingleCoreMachine m(core_cfg, withCellCoherence(p.memory), w);
     const auto checker = maybeChecker(m, bench, seed);
     maybeBus(m);
     maybeMonitor(m);
@@ -335,7 +512,7 @@ runFused(const std::string &bench, const sim::MachinePreset &p,
          std::uint64_t seed)
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
-    fusion::FusedMachine m(p.core, p.memory, w, ovh);
+    fusion::FusedMachine m(p.core, withCellCoherence(p.memory), w, ovh);
     const auto checker = maybeChecker(m, bench, seed);
     maybeBus(m);
     maybeMonitor(m);
@@ -357,7 +534,7 @@ runFgstp(const std::string &bench, const sim::MachinePreset &p,
          std::uint64_t seed)
 {
     workload::SyntheticWorkload w(workload::profileByName(bench), seed);
-    part::FgstpMachine m(p.core, p.memory,
+    part::FgstpMachine m(p.core, withCellCoherence(p.memory),
                          withCellSteer(withCellBus(cfg), bench), w);
     const auto checker = maybeChecker(m, bench, seed);
     maybeInject(m, seed);
@@ -376,8 +553,8 @@ runFgstpFull(const std::string &bench, const sim::MachinePreset &p,
     r.workload = std::make_unique<workload::SyntheticWorkload>(
         workload::profileByName(bench), seed);
     r.machine = std::make_unique<part::FgstpMachine>(
-        p.core, p.memory, withCellSteer(withCellBus(cfg), bench),
-        *r.workload);
+        p.core, withCellCoherence(p.memory),
+        withCellSteer(withCellBus(cfg), bench), *r.workload);
     r.checker = maybeChecker(*r.machine, bench, seed);
     maybeInject(*r.machine, seed);
     maybeMonitor(*r.machine);
@@ -430,6 +607,20 @@ cellBusConfig()
 {
     std::lock_guard<std::mutex> lock(cellBusMutex);
     return cellBusCfg;
+}
+
+void
+setCellCoherence(mem::CoherenceKind kind)
+{
+    cellCoherenceSel.store(static_cast<int>(kind),
+                           std::memory_order_relaxed);
+}
+
+mem::CoherenceKind
+cellCoherenceKind()
+{
+    return static_cast<mem::CoherenceKind>(
+        cellCoherenceSel.load(std::memory_order_relaxed));
 }
 
 void
@@ -493,8 +684,8 @@ compareCpiCells(const CellCpi &a, const CellCpi &b)
     for (std::size_t i = 0; i < a.perCore.size(); ++i) {
         const obs::CpiStack &x = a.perCore[i];
         const obs::CpiStack &y = b.perCore[i];
-        if (auto t = std::tie(x.cycles, x.busContention),
-            u = std::tie(y.cycles, y.busContention);
+        if (auto t = std::tie(x.cycles, x.busContention, x.coherence),
+            u = std::tie(y.cycles, y.busContention, y.coherence);
             t != u)
             return t < u ? -1 : 1;
     }
@@ -566,6 +757,58 @@ takeCellSamplingRecords()
                           }),
               out.end());
     return out;
+}
+
+void
+beginCellSidecarCapture()
+{
+    sidecarCapturing = true;
+    sidecarCaptured.clear();
+}
+
+std::vector<std::string>
+takeCellSidecarLines()
+{
+    sidecarCapturing = false;
+    std::vector<std::string> out;
+    out.swap(sidecarCaptured);
+    return out;
+}
+
+bool
+replayCellSidecar(const std::vector<std::string> &lines)
+{
+    // Decode everything before touching the collectors, so a damaged
+    // entry injects nothing at all.
+    std::vector<CellCpi> cpi;
+    std::vector<CellSampling> sampling;
+    for (const std::string &line : lines) {
+        const auto f = splitSidecarFields(line);
+        if (!f.empty() && f[0] == "cpi") {
+            CellCpi c;
+            if (!decodeCpiSidecar(f, c))
+                return false;
+            cpi.push_back(std::move(c));
+        } else if (!f.empty() && f[0] == "smp") {
+            CellSampling c;
+            if (!decodeSamplingSidecar(f, c))
+                return false;
+            sampling.push_back(std::move(c));
+        } else {
+            return false;
+        }
+    }
+    if (!cpi.empty()) {
+        std::lock_guard<std::mutex> lock(cellObsMutex);
+        for (auto &c : cpi)
+            cellObsSamples.push_back(std::move(c));
+    }
+    if (!sampling.empty()) {
+        std::lock_guard<std::mutex> lock(cellSamplingMutex);
+        for (auto &c : sampling)
+            cellSamplingRecords.push_back(std::move(c));
+    }
+    return true;
 }
 
 std::vector<std::string>

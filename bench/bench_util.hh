@@ -153,6 +153,19 @@ void setCellBus(const uncore::BusConfig &cfg, bool on);
 bool cellBusEnabled();
 uncore::BusConfig cellBusConfig();
 
+// ---- per-cell coherence model ----------------------------------------------
+
+/**
+ * Process-wide per-cell coherence selection, mirroring setCellBus:
+ * every machine the run helpers construct gets its memory hierarchy
+ * built with this CoherenceKind — the directory-based MESI protocol
+ * under --coherence=mesi, the flat write-invalidate approximation
+ * otherwise. Flat (the default) keeps every cell bit-identical to an
+ * unconfigured run. See docs/UNCORE.md ("The coherence directory").
+ */
+void setCellCoherence(mem::CoherenceKind kind);
+mem::CoherenceKind cellCoherenceKind();
+
 // ---- per-cell steering weights ---------------------------------------------
 
 /**
@@ -237,6 +250,31 @@ bool cellSamplingEnabled();
  * identical at any --jobs value.
  */
 std::vector<CellSampling> takeCellSamplingRecords();
+
+// ---- sidecar capture for the result cache ----------------------------------
+
+/**
+ * Captures the observability sidecar records — the CellCpi and
+ * CellSampling rows a cell run appends to the shared collectors — of
+ * the *current thread*, so submitCellJob can store them in the cell's
+ * cache entry. The capture is thread-local: a pool worker runs one
+ * cell at a time, so everything recorded between begin and take
+ * belongs to that cell. begin clears any stale capture left by a
+ * previous cell on the same worker.
+ */
+void beginCellSidecarCapture();
+
+/** Ends the thread's capture and returns the encoded record lines. */
+std::vector<std::string> takeCellSidecarLines();
+
+/**
+ * Re-injects cached sidecar lines into the shared collectors, so a
+ * warm cache run's BENCH_cpistack.json / BENCH_sampling.json are
+ * byte-identical to the cold run that populated the cache. All-or-
+ * nothing: returns false (injecting nothing) when any line fails to
+ * decode — the caller treats that as a cache miss and resimulates.
+ */
+bool replayCellSidecar(const std::vector<std::string> &lines);
 
 // ---- cell wall-time model --------------------------------------------------
 

@@ -1401,10 +1401,14 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
                                id = std::move(id), cache = params.cache,
                                progress = params.progress] {
         if (cache) {
-            if (auto hit = cache->lookup(id)) {
-                // Replay the stored outcome — including the original
-                // wall time, so a warm rerun's job rows are
-                // byte-identical to the run that populated the cache.
+            // Replay the stored outcome — including the original wall
+            // time and the observability sidecar records, so a warm
+            // rerun's job rows AND its BENCH_cpistack.json /
+            // BENCH_sampling.json are byte-identical to the run that
+            // populated the cache. A hit whose sidecar fails to decode
+            // falls through and resimulates instead.
+            if (auto hit = cache->lookup(id);
+                hit && replayCellSidecar(hit->sidecar)) {
                 CellResult r;
                 r.values = std::move(hit->values);
                 r.wallTimeMs = hit->wallTimeMs;
@@ -1422,6 +1426,7 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
         // Crash isolation: a throwing cell (watchdog, checker,
         // unrecoverable fault, I/O) becomes a failed result, not
         // a dead 13-experiment sweep.
+        beginCellSidecarCapture();
         try {
             r.values = fn();
         } catch (const std::exception &ex) {
@@ -1431,6 +1436,10 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
             r.ok = false;
             r.error = "unknown exception";
         }
+        // Whatever the cell appended to the collectors before a throw
+        // is exactly what a cold run would have left there, so partial
+        // sidecars of failed cells cache (and replay) faithfully.
+        auto sidecar = takeCellSidecarLines();
         r.wallTimeMs = msSince(t0);
         CellTimeModel::instance().record(id.bench, id.machine,
                                          r.wallTimeMs);
@@ -1444,6 +1453,7 @@ submitCellJob(ThreadPool &pool, const std::string &experiment,
                 c.wallTimeMs = r.wallTimeMs;
                 c.ok = r.ok;
                 c.error = r.error;
+                c.sidecar = std::move(sidecar);
                 cache->store(id, c);
             } catch (const SimError &) {
             }
@@ -1627,6 +1637,11 @@ renderJson(std::ostream &os, const ExperimentRun &run,
            << "\n";
         os << "    },\n";
     }
+    // meta.coherence follows the same additive rule: emitted only
+    // under the MESI directory, so flat-model reports (the default)
+    // stay byte-identical to earlier consumers.
+    if (params.coherence == mem::CoherenceKind::Mesi)
+        os << "    \"coherence\": \"mesi\",\n";
     // meta.steering follows the same additive rule: emitted only when
     // --steer reconfigured the partitioner, so steer-off reports stay
     // byte-identical to earlier consumers.

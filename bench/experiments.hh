@@ -53,6 +53,22 @@ struct RunParams
     bool steer = false;                 ///< per-cell steering weights on
     part::SteeringSpec steerSpec;       ///< resolved --steer spec
 
+    /**
+     * Coherence model every cell's memory hierarchy is built with:
+     * the flat write-invalidate approximation (default) or the MESI
+     * directory under --coherence=mesi. Part of the cache fingerprint
+     * — the model changes every cell's timing.
+     */
+    mem::CoherenceKind coherence = mem::CoherenceKind::Flat;
+
+    /**
+     * --cpi-stack: per-cell observability is on, so cache entries
+     * carry the CPI-stack sidecar records and a warm rerun replays
+     * BENCH_cpistack.json byte-identically. Fingerprinted because
+     * entries written without sidecars cannot serve a sidecar run.
+     */
+    bool cpiStack = false;
+
     // Raw CLI spec strings the resolved structs above came from, plus
     // the hardening toggles. A shard document records these so --merge
     // (and a restarted shard) reconstructs the exact run; they also

@@ -82,7 +82,11 @@ rowValue(const serve::JsonValue &v)
 std::string
 paramsFingerprint(const RunParams &params)
 {
-    std::string fp = "fgstp-run/v1";
+    // v2 added the coherence model (changes every cell's timing) and
+    // the cpistack toggle (entries written without sidecar records
+    // cannot serve a --cpi-stack run). The version bump alone retires
+    // every v1 key.
+    std::string fp = "fgstp-run/v2";
     fp += ";insts=" + std::to_string(params.insts);
     fp += ";seed=" + std::to_string(params.seed);
     fp += ";sampled=" + std::string(params.sampled ? "1" : "0");
@@ -93,6 +97,12 @@ paramsFingerprint(const RunParams &params)
     fp += ";steerSpec=" + escapeFpField(params.steerSpecRaw);
     fp += ";check=" + std::string(params.check ? "1" : "0");
     fp += ";inject=" + escapeFpField(params.injectSpecRaw);
+    // The resolved model name, not the raw CLI string, so an explicit
+    // --coherence=flat shares the default run's cache namespace.
+    fp += ";coherence=" +
+          std::string(params.coherence == mem::CoherenceKind::Mesi
+                          ? "mesi" : "flat");
+    fp += ";cpistack=" + std::string(params.cpiStack ? "1" : "0");
     return fp;
 }
 
@@ -209,6 +219,10 @@ renderShardJson(std::ostream &os, const ShardRun &run,
        << ",\n";
     os << "    \"injectSpec\": " << json::quote(params.injectSpecRaw)
        << ",\n";
+    os << "    \"coherence\": "
+       << json::quote(params.coherence == mem::CoherenceKind::Mesi
+                          ? "mesi" : "flat")
+       << ",\n";
     os << "    \"cellCount\": "
        << json::number(static_cast<std::uint64_t>(run.cells.size()))
        << ",\n";
@@ -268,6 +282,7 @@ struct ShardDoc
     std::string steerSpec;
     bool check = false;
     std::string injectSpec;
+    std::string coherence;
     std::uint64_t cellCount = 0;
     double wallTimeMs = 0.0;
     std::uint64_t poolJobs = 0;
@@ -316,6 +331,7 @@ loadShardDoc(const std::string &file)
         out.steerSpec = meta.at("steerSpec").asString();
         out.check = meta.at("check").asBool();
         out.injectSpec = meta.at("injectSpec").asString();
+        out.coherence = meta.at("coherence").asString();
         out.cellCount = meta.at("cellCount").asUint();
         out.wallTimeMs = meta.at("wallTimeMs").asNumber();
         out.poolJobs = meta.at("poolJobs").asUint();
@@ -357,6 +373,13 @@ paramsFromShardDoc(const ShardDoc &doc)
     if (doc.steerEnabled) {
         params.steer = true;
         params.steerSpec = part::parseSteeringSpec(doc.steerSpec);
+    }
+    if (doc.coherence == "mesi") {
+        params.coherence = mem::CoherenceKind::Mesi;
+    } else if (doc.coherence != "flat") {
+        throw ShardMergeError("'" + doc.file +
+                              "' records unknown coherence model '" +
+                              doc.coherence + "'");
     }
     if (paramsFingerprint(params) != doc.fingerprint) {
         throw ShardMergeError(

@@ -90,6 +90,18 @@ class FaultInjectionError : public SimError
 };
 
 /**
+ * The MESI directory was asked to apply an illegal protocol
+ * transition (e.g. a dirty eviction of a block it does not track as
+ * Modified by that core). Raised instead of silently corrupting the
+ * sharer vector; the crash-isolated sweep records it as a failed cell.
+ */
+class CoherenceProtocolError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
  * A JSON text failed to parse (a malformed serve-mode request line or
  * a damaged shard document fed to --merge). Carries the byte offset
  * of the first violation in the message.

@@ -54,6 +54,14 @@ struct CoreInst
      */
     Cycle extBusWait = 0;
 
+    /**
+     * Coherence wait baked into a load's doneCycle (dirty-forward
+     * service plus its bus queueing): the CPI accountant charges the
+     * last memCoherenceWait cycles of the memory wait to the
+     * CpiStack::coherence sub-bucket. Zero under flat coherence.
+     */
+    Cycle memCoherenceWait = 0;
+
     /** Local consumers to wake when this instruction issues. */
     std::vector<InstSeqNum> waiters;
 

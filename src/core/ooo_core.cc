@@ -58,8 +58,10 @@ OoOCore::finishCycle(Cycle now)
     occ.sq = static_cast<std::uint32_t>(sq.size());
     occ.fetchQueue = static_cast<std::uint32_t>(fetchQueue.size());
     bool bus_contention = false;
-    const obs::CpiCause cause = classifyCycle(now, bus_contention);
-    monitor_->onCycle(cause, occ, bus_contention);
+    bool mem_coherence = false;
+    const obs::CpiCause cause =
+        classifyCycle(now, bus_contention, mem_coherence);
+    monitor_->onCycle(cause, occ, bus_contention, mem_coherence);
 }
 
 /**
@@ -70,10 +72,12 @@ OoOCore::finishCycle(Cycle now)
  * opportunity of the cycle so commitsThisCycle is final.
  */
 obs::CpiCause
-OoOCore::classifyCycle(Cycle now, bool &bus_contention) const
+OoOCore::classifyCycle(Cycle now, bool &bus_contention,
+                       bool &mem_coherence) const
 {
     using obs::CpiCause;
     bus_contention = false;
+    mem_coherence = false;
 
     if (commitsThisCycle > 0)
         return CpiCause::Base;
@@ -99,8 +103,18 @@ OoOCore::classifyCycle(Cycle now, bool &bus_contention) const
 
     case CoreInst::State::Issued:
         // Executing. A load in flight is a memory-system wait; any
-        // other multi-cycle op is forward progress.
-        return head.isLoad() ? CpiCause::Memory : CpiCause::Base;
+        // other multi-cycle op is forward progress. The last
+        // memCoherenceWait cycles of the load's wait exist only
+        // because coherence actions (a dirty forward and its bus
+        // queueing) pushed completion back — those go to the
+        // coherence sub-bucket.
+        if (head.isLoad()) {
+            mem_coherence = head.memCoherenceWait > 0 &&
+                head.doneCycle > now &&
+                head.doneCycle - now <= head.memCoherenceWait;
+            return CpiCause::Memory;
+        }
+        return CpiCause::Base;
 
     case CoreInst::State::Dispatched:
         if (head.unknownDeps > 0) {
@@ -419,6 +433,7 @@ OoOCore::tryIssueLoad(CoreInst &ld, Cycle now)
         const auto res =
             memory.accessData(coreId, ld.inst.effAddr, false, agu_done);
         done = res.readyCycle;
+        ld.memCoherenceWait = res.coherenceWait;
         if (fwd) {
             // An unknown-addressed store sits between the load and
             // the forwarding candidate; go to memory and rely on the

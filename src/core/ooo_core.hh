@@ -219,7 +219,8 @@ class OoOCore
     bool tryIssueStore(CoreInst &st, Cycle now);
     void resolveStore(CoreInst &st, Cycle now);
     void rebuildRenameMap();
-    obs::CpiCause classifyCycle(Cycle now, bool &bus_contention) const;
+    obs::CpiCause classifyCycle(Cycle now, bool &bus_contention,
+                                bool &mem_coherence) const;
     Cycle bypassReady(const CoreInst &producer, CoreInst &consumer);
 
     CoreConfig cfg;

@@ -145,7 +145,13 @@ FgstpMachine::FgstpMachine(const core::CoreConfig &core_cfg,
                                                    *adapters[c]);
     }
     if (cfg.bus.enabled) {
-        bus = std::make_unique<uncore::SharedBus>(cfg.bus);
+        auto bus_cfg = cfg.bus;
+        if (mem.config().coherence == mem::CoherenceKind::Mesi) {
+            // The directory adds upgrade and writeback traffic; widen
+            // the round-robin share accordingly.
+            bus_cfg.arbClasses = uncore::numBusClasses;
+        }
+        bus = std::make_unique<uncore::SharedBus>(bus_cfg);
         link.attachBus(bus.get());
         mem.attachBus(bus.get());
     }

@@ -140,6 +140,20 @@ CacheArray::setDirty(Addr addr)
 }
 
 void
+CacheArray::clearDirty(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Way *base = &ways[set * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].dirty = false;
+            return;
+        }
+    }
+}
+
+void
 CacheArray::reset()
 {
     ways.assign(ways.size(), Way{});

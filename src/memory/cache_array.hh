@@ -71,6 +71,13 @@ class CacheArray
     /** Marks the block dirty if present. */
     void setDirty(Addr addr);
 
+    /**
+     * Drops the dirty bit if the block is present (MESI M->S
+     * downgrade: the data was forwarded and written back, the line
+     * stays resident but clean).
+     */
+    void clearDirty(Addr addr);
+
     std::uint64_t numSets() const { return sets; }
     std::uint32_t associativity() const { return assoc; }
     std::uint32_t lineSize() const { return line; }

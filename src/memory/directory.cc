@@ -1,0 +1,387 @@
+#include "memory/directory.hh"
+
+#include <bit>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace fgstp::mem
+{
+
+namespace
+{
+
+[[noreturn]] void
+protocolViolation(const char *what, Addr block, MesiState state,
+                  CoreId core)
+{
+    throw CoherenceProtocolError(
+        std::string("MESI protocol violation: ") + what + " (block 0x" +
+        [](Addr a) {
+            char buf[19];
+            std::snprintf(buf, sizeof buf, "%llx",
+                          static_cast<unsigned long long>(a));
+            return std::string(buf);
+        }(block) +
+        ", state " + mesiStateName(state) + ", core " +
+        std::to_string(unsigned{core}) + ")");
+}
+
+} // namespace
+
+const char *
+mesiStateName(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid:
+        return "I";
+      case MesiState::Shared:
+        return "S";
+      case MesiState::Exclusive:
+        return "E";
+      case MesiState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+Directory::Directory(std::uint32_t num_cores) : cores(num_cores)
+{
+    sim_assert(num_cores >= 1 && num_cores <= 32,
+               "directory sharer vector covers 1..32 cores, got ",
+               num_cores);
+}
+
+std::uint32_t
+Directory::popcount(std::uint32_t mask)
+{
+    return static_cast<std::uint32_t>(std::popcount(mask));
+}
+
+void
+Directory::checkInvariants(const Entry &e, Addr block) const
+{
+    switch (e.state) {
+      case MesiState::Invalid:
+        sim_assert(e.sharers == 0, "I block 0x", block, " has sharers");
+        break;
+      case MesiState::Shared:
+        sim_assert(e.sharers != 0, "S block 0x", block, " has no sharers");
+        break;
+      case MesiState::Exclusive:
+      case MesiState::Modified:
+        sim_assert(popcount(e.sharers) == 1 &&
+                       e.sharers == (1u << e.owner),
+                   "E/M block 0x", block,
+                   " owner/sharer vector out of sync");
+        break;
+    }
+}
+
+void
+Directory::noteEntry(MesiState next, bool count)
+{
+    if (!count)
+        return;
+    switch (next) {
+      case MesiState::Invalid:
+        ++_stats.toInvalid;
+        break;
+      case MesiState::Shared:
+        ++_stats.toShared;
+        break;
+      case MesiState::Exclusive:
+        ++_stats.toExclusive;
+        break;
+      case MesiState::Modified:
+        ++_stats.toModified;
+        break;
+    }
+}
+
+DirOutcome
+Directory::onRead(CoreId core, Addr block, bool count)
+{
+    sim_assert(core < cores, "directory read from core ", unsigned{core});
+    if (count)
+        ++_stats.reads;
+
+    Entry &e = entries[block];
+    checkInvariants(e, block);
+    DirOutcome out;
+    out.prev = e.state;
+    const std::uint32_t bit = 1u << core;
+
+    switch (e.state) {
+      case MesiState::Invalid:
+        e.state = MesiState::Exclusive;
+        e.sharers = bit;
+        e.owner = core;
+        noteEntry(MesiState::Exclusive, count);
+        break;
+      case MesiState::Shared:
+        if (!(e.sharers & bit)) {
+            e.sharers |= bit;
+            noteEntry(MesiState::Shared, count);
+        }
+        break;
+      case MesiState::Exclusive:
+        if (e.owner != core) {
+            // Silent downgrade: the line is clean, the L2 copy is
+            // current, no data crosses the bus beyond the normal fill.
+            e.state = MesiState::Shared;
+            e.sharers |= bit;
+            noteEntry(MesiState::Shared, count);
+        }
+        break;
+      case MesiState::Modified:
+        if (e.owner != core) {
+            // The owner supplies the line and writes it back; both
+            // cores end up Shared.
+            out.dirtyForward = true;
+            out.writeback = true;
+            out.owner = e.owner;
+            e.state = MesiState::Shared;
+            e.sharers |= bit;
+            noteEntry(MesiState::Shared, count);
+            if (count) {
+                ++_stats.dirtyForwards;
+                ++_stats.writebacks;
+            }
+        }
+        break;
+    }
+    out.next = e.state;
+    checkInvariants(e, block);
+    return out;
+}
+
+DirOutcome
+Directory::onWrite(CoreId core, Addr block, bool count)
+{
+    sim_assert(core < cores, "directory write from core ", unsigned{core});
+    if (count)
+        ++_stats.writes;
+
+    Entry &e = entries[block];
+    checkInvariants(e, block);
+    DirOutcome out;
+    out.prev = e.state;
+    const std::uint32_t bit = 1u << core;
+
+    switch (e.state) {
+      case MesiState::Invalid:
+        e.state = MesiState::Modified;
+        e.sharers = bit;
+        e.owner = core;
+        noteEntry(MesiState::Modified, count);
+        break;
+      case MesiState::Shared:
+        // S->M: targeted invalidations to the other sharers. When the
+        // writer already holds the line this is a pure upgrade (no
+        // data); a write miss additionally refetches from the L2, but
+        // the directory-side transition is the same.
+        out.upgrade = true;
+        out.invalidMask = e.sharers & ~bit;
+        e.state = MesiState::Modified;
+        e.sharers = bit;
+        e.owner = core;
+        noteEntry(MesiState::Modified, count);
+        if (count) {
+            ++_stats.upgrades;
+            _stats.invalidationsSent += popcount(out.invalidMask);
+        }
+        break;
+      case MesiState::Exclusive:
+        if (e.owner == core) {
+            // Silent E->M: the owner already holds the only copy.
+            out.silentUpgrade = true;
+            e.state = MesiState::Modified;
+            noteEntry(MesiState::Modified, count);
+            if (count)
+                ++_stats.silentUpgrades;
+        } else {
+            out.invalidMask = e.sharers;
+            e.state = MesiState::Modified;
+            e.sharers = bit;
+            e.owner = core;
+            noteEntry(MesiState::Modified, count);
+            if (count)
+                _stats.invalidationsSent += 1;
+        }
+        break;
+      case MesiState::Modified:
+        if (e.owner != core) {
+            // Read-for-ownership: the dirty line migrates from the
+            // old owner straight to the writer; no L2 writeback.
+            out.dirtyForward = true;
+            out.owner = e.owner;
+            out.invalidMask = e.sharers;
+            e.sharers = bit;
+            e.owner = core;
+            noteEntry(MesiState::Modified, count);
+            if (count) {
+                ++_stats.dirtyForwards;
+                _stats.invalidationsSent += 1;
+            }
+        }
+        break;
+    }
+    out.next = e.state;
+    checkInvariants(e, block);
+    return out;
+}
+
+DirOutcome
+Directory::onFetch(CoreId core, Addr block, bool count)
+{
+    sim_assert(core < cores, "directory fetch from core ", unsigned{core});
+
+    auto it = entries.find(block);
+    DirOutcome out;
+    if (it == entries.end())
+        return out;
+    Entry &e = it->second;
+    checkInvariants(e, block);
+    out.prev = e.state;
+    out.next = e.state;
+    if (e.state == MesiState::Modified && e.owner != core) {
+        // The L2 must serve current bytes: the owner writes back and
+        // keeps a clean Shared copy. The fetcher's L1I is not a
+        // tracked sharer.
+        out.dirtyForward = true;
+        out.writeback = true;
+        out.owner = e.owner;
+        e.state = MesiState::Shared;
+        noteEntry(MesiState::Shared, count);
+        if (count) {
+            ++_stats.dirtyForwards;
+            ++_stats.writebacks;
+        }
+        out.next = e.state;
+    }
+    checkInvariants(e, block);
+    return out;
+}
+
+DirOutcome
+Directory::onEvict(CoreId core, Addr block, bool dirty, bool count)
+{
+    sim_assert(core < cores, "directory evict from core ", unsigned{core});
+
+    auto it = entries.find(block);
+    DirOutcome out;
+    if (it == entries.end()) {
+        if (dirty)
+            protocolViolation("dirty eviction of an untracked block",
+                              block, MesiState::Invalid, core);
+        return out; // clean eviction of an untracked block: no-op
+    }
+    Entry &e = it->second;
+    checkInvariants(e, block);
+    out.prev = e.state;
+    const std::uint32_t bit = 1u << core;
+
+    if (dirty) {
+        // Only the Modified owner may hold dirty data.
+        if (e.state != MesiState::Modified || e.owner != core)
+            protocolViolation("dirty eviction by a non-owner", block,
+                              e.state, core);
+        out.writeback = true;
+        if (count)
+            ++_stats.writebacks;
+        entries.erase(it);
+        noteEntry(MesiState::Invalid, count);
+        out.next = MesiState::Invalid;
+        return out;
+    }
+
+    if (!(e.sharers & bit))
+        return out; // silent-eviction echo: the bit is already gone
+    if (e.state == MesiState::Modified && e.owner == core)
+        protocolViolation("clean eviction of a Modified line", block,
+                          e.state, core);
+
+    e.sharers &= ~bit;
+    if (e.sharers == 0) {
+        entries.erase(it);
+        noteEntry(MesiState::Invalid, count);
+        out.next = MesiState::Invalid;
+        return out;
+    }
+    if (e.state == MesiState::Exclusive) {
+        // The owner left; a lone remaining sharer keeps the line S.
+        e.state = MesiState::Shared;
+        noteEntry(MesiState::Shared, count);
+    }
+    // A departing sharer may leave E/M-style single ownership only via
+    // the S state, so re-derive nothing else.
+    out.next = e.state;
+    checkInvariants(e, block);
+    return out;
+}
+
+DirOutcome
+Directory::onL2Evict(Addr block, bool count)
+{
+    auto it = entries.find(block);
+    DirOutcome out;
+    if (it == entries.end())
+        return out;
+    Entry &e = it->second;
+    checkInvariants(e, block);
+    out.prev = e.state;
+    out.invalidMask = e.sharers;
+    if (e.state == MesiState::Modified) {
+        // Inclusion victimized a dirty line: it must reach memory
+        // before every cached copy dies.
+        out.writeback = true;
+        out.owner = e.owner;
+        if (count)
+            ++_stats.writebacks;
+    }
+    if (count)
+        _stats.invalidationsSent += popcount(e.sharers);
+    entries.erase(it);
+    noteEntry(MesiState::Invalid, count);
+    out.next = MesiState::Invalid;
+    return out;
+}
+
+MesiState
+Directory::stateOf(Addr block) const
+{
+    const auto it = entries.find(block);
+    return it == entries.end() ? MesiState::Invalid : it->second.state;
+}
+
+std::uint32_t
+Directory::sharersOf(Addr block) const
+{
+    const auto it = entries.find(block);
+    return it == entries.end() ? 0 : it->second.sharers;
+}
+
+bool
+Directory::isSharer(CoreId core, Addr block) const
+{
+    return (sharersOf(block) & (1u << core)) != 0;
+}
+
+CoreId
+Directory::ownerOf(Addr block) const
+{
+    const auto it = entries.find(block);
+    return it == entries.end() ? invalidCoreId : it->second.owner;
+}
+
+void
+Directory::reset()
+{
+    entries.clear();
+    _stats = DirectoryStats{};
+}
+
+} // namespace fgstp::mem

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A directory-based MESI coherence protocol for the shared L2.
+ *
+ * The directory is co-located with the L2 and tracks, per block, the
+ * protocol state (M/E/S; absent = Invalid) and a sharer vector sized
+ * for N cores — nothing here is hard-wired to the 2-core CMP. It is
+ * the decision half of coherence: each method applies one protocol
+ * transition and returns a `DirOutcome` describing the actions the
+ * memory hierarchy must perform (forward dirty data, write back,
+ * invalidate exactly these sharers). Cache-array effects, bus traffic
+ * and timing stay in memory/hierarchy.cc.
+ *
+ * Protocol summary:
+ *  - read  miss, block Invalid      -> requester gets Exclusive
+ *  - read  miss, block Shared       -> requester joins the sharers
+ *  - read  miss, block Exclusive    -> silent downgrade, both Shared
+ *  - read  miss, block Modified     -> owner forwards + writes back,
+ *                                      both Shared (dirtyForward)
+ *  - write,      block Invalid      -> requester gets Modified
+ *  - write, owner in Exclusive      -> silent E->M upgrade, no traffic
+ *  - write, sharer in Shared        -> S->M upgrade: targeted
+ *                                      invalidations to the other
+ *                                      sharers (no data transfer)
+ *  - write miss, block Shared       -> invalidate all sharers, M
+ *  - write miss, block Modified     -> owner forwards the dirty line
+ *                                      and is invalidated, ownership
+ *                                      migrates (no L2 writeback)
+ *  - L1D eviction of a Modified line-> explicit writeback, Invalid
+ *  - L1D eviction of a clean line   -> sharer bit drops (E/S -> S/I)
+ *  - L2 eviction (inclusion)        -> every sharer invalidated; a
+ *                                      Modified line writes back first
+ *
+ * Instruction fetches use onFetch(): an M line is written back and
+ * downgraded to Shared so the L2 can supply current bytes, but the
+ * fetching core is *not* added to the sharer vector — the directory
+ * tracks L1D copies only (L1I lines are read-only and are dropped by
+ * the inclusion path like in the flat model).
+ *
+ * Every mutation asserts the MESI invariants (Modified/Exclusive have
+ * exactly one sharer, the owner is always a sharer, Invalid has none),
+ * so an illegal transition fails loudly instead of corrupting state.
+ */
+
+#ifndef FGSTP_MEMORY_DIRECTORY_HH
+#define FGSTP_MEMORY_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace fgstp::mem
+{
+
+/** Coherence model selector for the hierarchy (--coherence=...). */
+enum class CoherenceKind : std::uint8_t
+{
+    Flat, ///< dirtyOwner map + flat penalties (the seed model)
+    Mesi, ///< directory-based MESI (mem::Directory)
+};
+
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *mesiStateName(MesiState s);
+
+/** Directory transition counters (demand + prefetch; warm paths are
+ *  stats-invisible like the rest of the hierarchy's warm twins). */
+struct DirectoryStats
+{
+    std::uint64_t reads = 0;  ///< read acquisitions handled
+    std::uint64_t writes = 0; ///< write acquisitions handled
+
+    std::uint64_t toShared = 0;    ///< entries into S
+    std::uint64_t toExclusive = 0; ///< entries into E
+    std::uint64_t toModified = 0;  ///< entries into M
+    std::uint64_t toInvalid = 0;   ///< entries into I
+
+    std::uint64_t silentUpgrades = 0;    ///< E->M, no traffic
+    std::uint64_t upgrades = 0;          ///< S->M ownership requests
+    std::uint64_t dirtyForwards = 0;     ///< M-owner supplied the data
+    std::uint64_t invalidationsSent = 0; ///< targeted invalidate msgs
+    std::uint64_t writebacks = 0;        ///< dirty data pushed to L2
+};
+
+/** What the hierarchy must do to complete one transition. */
+struct DirOutcome
+{
+    MesiState prev = MesiState::Invalid; ///< state before the access
+    MesiState next = MesiState::Invalid; ///< state after the access
+
+    bool dirtyForward = false;  ///< owner had M: line comes from it
+    bool writeback = false;     ///< dirty data must reach the L2
+    bool silentUpgrade = false; ///< E->M, no bus traffic
+    bool upgrade = false;       ///< S->M, invalidations but no data
+
+    CoreId owner = 0;             ///< previous owner when forwarding
+    std::uint32_t invalidMask = 0; ///< cores to invalidate (bitmask)
+};
+
+class Directory
+{
+  public:
+    explicit Directory(std::uint32_t num_cores);
+
+    /** A load acquiring the block for `core`'s L1D (demand or
+     *  prefetch). */
+    DirOutcome onRead(CoreId core, Addr block, bool count = true);
+
+    /** A store acquiring ownership for `core` (hit upgrades and write
+     *  misses alike). */
+    DirOutcome onWrite(CoreId core, Addr block, bool count = true);
+
+    /** An instruction fetch: flushes an M line to the L2 but leaves
+     *  the sharer vector alone. */
+    DirOutcome onFetch(CoreId core, Addr block, bool count = true);
+
+    /** `core`'s L1D evicted the block (dirty => explicit writeback). */
+    DirOutcome onEvict(CoreId core, Addr block, bool dirty,
+                       bool count = true);
+
+    /** The inclusive L2 evicted the block: every copy dies. */
+    DirOutcome onL2Evict(Addr block, bool count = true);
+
+    MesiState stateOf(Addr block) const;
+    std::uint32_t sharersOf(Addr block) const;
+    bool isSharer(CoreId core, Addr block) const;
+    /** The M/E owner; only meaningful when stateOf is M or E. */
+    CoreId ownerOf(Addr block) const;
+
+    std::uint32_t numCores() const { return cores; }
+    const DirectoryStats &stats() const { return _stats; }
+    std::size_t numTrackedBlocks() const { return entries.size(); }
+
+    void reset();
+    void resetStats() { _stats = DirectoryStats{}; }
+
+  private:
+    struct Entry
+    {
+        MesiState state = MesiState::Invalid;
+        std::uint32_t sharers = 0; ///< bitmask over cores
+        CoreId owner = 0;          ///< valid in M and E
+    };
+
+    void checkInvariants(const Entry &e, Addr block) const;
+    void noteEntry(MesiState next, bool count);
+    static std::uint32_t popcount(std::uint32_t mask);
+
+    std::uint32_t cores;
+    std::unordered_map<Addr, Entry> entries;
+    DirectoryStats _stats;
+};
+
+} // namespace fgstp::mem
+
+#endif // FGSTP_MEMORY_DIRECTORY_HH

@@ -9,7 +9,7 @@ namespace fgstp::mem
 {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg)
-    : cfg(cfg), l2(cfg.l2)
+    : cfg(cfg), l2(cfg.l2), dir(cfg.numCores)
 {
     sim_assert(cfg.numCores >= 1, "hierarchy needs at least one core");
     for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
@@ -40,17 +40,162 @@ MemoryHierarchy::claimDramPort(Cycle now)
 }
 
 Cycle
+MemoryHierarchy::mesiAcquire(CoreId core, Addr block, ReqKind kind,
+                             Cycle t, Cycle now)
+{
+    DirOutcome out;
+    switch (kind) {
+      case ReqKind::Load:
+        out = dir.onRead(core, block);
+        break;
+      case ReqKind::Store:
+        out = dir.onWrite(core, block);
+        break;
+      case ReqKind::Fetch:
+        out = dir.onFetch(core, block);
+        break;
+    }
+
+    Cycle penalty = 0;
+    if (out.dirtyForward) {
+        penalty = cfg.dirtyForwardPenalty;
+        ++_stats.dirtyForwards;
+        if (bus) {
+            // The forwarded line crosses the shared bus: queue behind
+            // operand traffic before the flat forward penalty applies.
+            const uncore::BusGrant g = bus->claimWithRetry(
+                uncore::BusClass::DirtyForward, t);
+            penalty += g.queued;
+        }
+        // The L2 ends up holding the line's tag either way: dirty when
+        // the owner wrote back (read/fetch forwards), a clean refresh
+        // when ownership migrated to the writer instead.
+        const Eviction l2ev = l2.fill(block, out.writeback);
+        if (out.writeback && bus)
+            bus->requestPosted(uncore::BusClass::Writeback, now);
+        if (kind != ReqKind::Store) {
+            // M->S downgrade: the old owner keeps the line, clean.
+            l1d[out.owner].clearDirty(block);
+        }
+        if (l2ev.valid)
+            mesiL2Evict(l2ev.blockAddr, now, true);
+        clearWarmMemo(block);
+    }
+
+    if (out.invalidMask) {
+        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+            if (!(out.invalidMask & (1u << c)))
+                continue;
+            if (l1d[c].invalidate(block))
+                ++_stats.invalidations;
+            if (bus) {
+                // One targeted invalidate message per sharer; posted,
+                // so it contends for slots without gating the writer.
+                bus->requestPosted(uncore::BusClass::Invalidation, now);
+            }
+        }
+        clearWarmMemo(block);
+    }
+
+    if (out.upgrade && bus) {
+        // The S->M ownership request carries no data and the store is
+        // posted at commit, so the message never gates the pipeline.
+        bus->requestPosted(uncore::BusClass::Upgrade, now);
+    }
+
+    pendingCoherence = penalty;
+    return penalty;
+}
+
+void
+MemoryHierarchy::warmMesiAcquire(CoreId core, Addr block, ReqKind kind)
+{
+    DirOutcome out;
+    switch (kind) {
+      case ReqKind::Load:
+        out = dir.onRead(core, block, false);
+        break;
+      case ReqKind::Store:
+        out = dir.onWrite(core, block, false);
+        break;
+      case ReqKind::Fetch:
+        out = dir.onFetch(core, block, false);
+        break;
+    }
+
+    if (out.dirtyForward) {
+        const Eviction l2ev = l2.fill(block, out.writeback);
+        if (kind != ReqKind::Store)
+            l1d[out.owner].clearDirty(block);
+        if (l2ev.valid)
+            mesiL2Evict(l2ev.blockAddr, 0, false);
+        clearWarmMemo(block);
+    }
+
+    if (out.invalidMask) {
+        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+            if (out.invalidMask & (1u << c))
+                l1d[c].invalidate(block);
+        }
+        clearWarmMemo(block);
+    }
+}
+
+void
+MemoryHierarchy::mesiEvict(CoreId core, const Eviction &ev, Cycle now,
+                           bool detailed)
+{
+    if (!ev.valid)
+        return;
+    clearWarmMemo(ev.blockAddr);
+    const DirOutcome out =
+        dir.onEvict(core, ev.blockAddr, ev.dirty, detailed);
+    if (out.writeback) {
+        // Inclusion keeps the L2 tag resident, so this is normally a
+        // dirty refresh; a displaced tag still back-invalidates.
+        const Eviction l2ev = l2.fill(ev.blockAddr, true);
+        if (detailed && bus)
+            bus->requestPosted(uncore::BusClass::Writeback, now);
+        if (l2ev.valid)
+            mesiL2Evict(l2ev.blockAddr, now, detailed);
+    }
+}
+
+void
+MemoryHierarchy::mesiL2Evict(Addr block, Cycle now, bool detailed)
+{
+    const DirOutcome out = dir.onL2Evict(block, detailed);
+    for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+        if (out.invalidMask & (1u << c)) {
+            if (l1d[c].invalidate(block) && detailed)
+                ++_stats.invalidations;
+            if (detailed && bus)
+                bus->requestPosted(uncore::BusClass::Invalidation, now);
+        }
+        // L1I lines are untracked read-only copies; inclusion drops
+        // them wholesale like the flat model does.
+        l1i[c].invalidate(block);
+    }
+    if (out.writeback && detailed && bus)
+        bus->requestPosted(uncore::BusClass::Writeback, now);
+    clearWarmMemo(block);
+}
+
+Cycle
 MemoryHierarchy::lookupBeyondL1(CoreId core, Addr block, Cycle now,
-                                bool &l2_hit)
+                                bool &l2_hit, ReqKind kind)
 {
     const Cycle t = claimL2Port(now);
     ++_stats.l2Accesses;
+    pendingCoherence = 0;
 
-    // Peer L1D holding the block dirty supplies the data. A
-    // single-core hierarchy has no peers and keeps dirtyOwner empty,
-    // so it skips the map lookup entirely.
     Cycle forward_penalty = 0;
-    if (l1d.size() > 1) {
+    if (cfg.coherence == CoherenceKind::Mesi) {
+        forward_penalty = mesiAcquire(core, block, kind, t, now);
+    } else if (l1d.size() > 1) {
+        // Peer L1D holding the block dirty supplies the data. A
+        // single-core hierarchy has no peers and keeps dirtyOwner
+        // empty, so it skips the map lookup entirely.
         auto owner_it = dirtyOwner.find(block);
         if (owner_it != dirtyOwner.end() && owner_it->second != core) {
             const CoreId peer = owner_it->second;
@@ -90,31 +235,37 @@ MemoryHierarchy::lookupBeyondL1(CoreId core, Addr block, Cycle now,
 
     const Eviction ev = l2.fill(block);
     if (ev.valid) {
-        // Inclusive L2: evicted blocks leave the L1s too.
-        bool any = false;
-        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
-            if (l1d[c].invalidate(ev.blockAddr)) {
-                ++_stats.invalidations;
-                any = true;
+        if (cfg.coherence == CoherenceKind::Mesi) {
+            mesiL2Evict(ev.blockAddr, now, true);
+        } else {
+            // Inclusive L2: evicted blocks leave the L1s too.
+            bool any = false;
+            for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+                if (l1d[c].invalidate(ev.blockAddr)) {
+                    ++_stats.invalidations;
+                    any = true;
+                }
+                l1i[c].invalidate(ev.blockAddr);
             }
-            l1i[c].invalidate(ev.blockAddr);
+            if (any && bus) {
+                // A back-invalidate broadcast occupies one posted bus
+                // slot; its completion never gates the requester.
+                bus->requestPosted(uncore::BusClass::Invalidation, now);
+            }
+            if (l1d.size() > 1)
+                dirtyOwner.erase(ev.blockAddr);
+            clearWarmMemo(ev.blockAddr);
         }
-        if (any && bus) {
-            // A back-invalidate broadcast occupies one posted bus
-            // slot; its completion never gates the requester.
-            bus->requestPosted(uncore::BusClass::Invalidation, now);
-        }
-        if (l1d.size() > 1)
-            dirtyOwner.erase(ev.blockAddr);
-        clearWarmMemo(ev.blockAddr);
     }
     return ready;
 }
 
 void
-MemoryHierarchy::warmBeyondL1(CoreId core, Addr block)
+MemoryHierarchy::warmBeyondL1(CoreId core, Addr block, ReqKind kind)
 {
-    if (l1d.size() > 1) {
+    if (cfg.coherence == CoherenceKind::Mesi) {
+        warmMesiAcquire(core, block, kind);
+    } else if (l1d.size() > 1) {
         auto owner_it = dirtyOwner.find(block);
         if (owner_it != dirtyOwner.end() && owner_it->second != core) {
             const CoreId peer = owner_it->second;
@@ -130,19 +281,24 @@ MemoryHierarchy::warmBeyondL1(CoreId core, Addr block)
 
     const Eviction ev = l2.fill(block);
     if (ev.valid) {
-        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
-            l1d[c].invalidate(ev.blockAddr);
-            l1i[c].invalidate(ev.blockAddr);
+        if (cfg.coherence == CoherenceKind::Mesi) {
+            mesiL2Evict(ev.blockAddr, 0, false);
+        } else {
+            for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+                l1d[c].invalidate(ev.blockAddr);
+                l1i[c].invalidate(ev.blockAddr);
+            }
+            if (l1d.size() > 1)
+                dirtyOwner.erase(ev.blockAddr);
+            clearWarmMemo(ev.blockAddr);
         }
-        if (l1d.size() > 1)
-            dirtyOwner.erase(ev.blockAddr);
-        clearWarmMemo(ev.blockAddr);
     }
 }
 
 void
 MemoryHierarchy::warmData(CoreId core, Addr addr, bool is_write)
 {
+    const bool mesi = cfg.coherence == CoherenceKind::Mesi;
     const Addr block = l1d[core].blockAddr(addr);
 
     // A repeat touch of the memoized block (already dirty-owned when
@@ -152,10 +308,13 @@ MemoryHierarchy::warmData(CoreId core, Addr addr, bool is_write)
         return;
 
     if (!l1d[core].access(addr, is_write)) {
-        warmBeyondL1(core, block);
+        warmBeyondL1(core, block,
+                     is_write ? ReqKind::Store : ReqKind::Load);
 
         const Eviction ev = l1d[core].fill(addr, is_write);
-        if (ev.valid) {
+        if (mesi) {
+            mesiEvict(core, ev, 0, false);
+        } else if (ev.valid) {
             clearWarmMemo(ev.blockAddr);
             if (ev.dirty) {
                 l2.fill(ev.blockAddr, true);
@@ -175,23 +334,56 @@ MemoryHierarchy::warmData(CoreId core, Addr addr, bool is_write)
                 targets = prefetchers[core].onMiss(block);
             }
             for (const Addr t : targets) {
-                if (!l1d[core].probe(t)) {
+                if (l1d[core].probe(t))
+                    continue;
+                if (mesi) {
+                    if (dir.stateOf(t) == MesiState::Modified &&
+                        dir.ownerOf(t) != core)
+                        continue; // never yank a dirty line on a guess
                     const Eviction pev = l1d[core].fill(t);
-                    if (pev.valid)
+                    mesiEvict(core, pev, 0, false);
+                    dir.onRead(core, t, false);
+                    const Eviction l2ev = l2.fill(t);
+                    if (l2ev.valid)
+                        mesiL2Evict(l2ev.blockAddr, 0, false);
+                } else {
+                    const Eviction pev = l1d[core].fill(t);
+                    if (pev.valid) {
                         clearWarmMemo(pev.blockAddr);
+                        if (pev.dirty) {
+                            // A prefetch victim writes back like a
+                            // demand victim; dropping it left
+                            // dirtyOwner pointing at a line the core
+                            // no longer held.
+                            l2.fill(pev.blockAddr, true);
+                            if (l1d.size() > 1) {
+                                auto it = dirtyOwner.find(pev.blockAddr);
+                                if (it != dirtyOwner.end() &&
+                                    it->second == core)
+                                    dirtyOwner.erase(it);
+                            }
+                        }
+                    }
                     l2.fill(t);
                 }
             }
         }
     }
 
-    if (is_write && l1d.size() > 1) {
-        dirtyOwner[block] = core;
-        for (std::uint32_t c = 0; c < l1d.size(); ++c) {
-            if (c != core)
-                l1d[c].invalidate(block);
+    if (is_write) {
+        if (mesi) {
+            // Hit upgrades (S->M, E->M); after a write miss this is an
+            // echo of the acquisition above and a no-op.
+            warmMesiAcquire(core, block, ReqKind::Store);
+            clearWarmMemo(block);
+        } else if (l1d.size() > 1) {
+            dirtyOwner[block] = core;
+            for (std::uint32_t c = 0; c < l1d.size(); ++c) {
+                if (c != core)
+                    l1d[c].invalidate(block);
+            }
+            clearWarmMemo(block);
         }
-        clearWarmMemo(block);
     }
 
     memo.block = block;
@@ -205,14 +397,16 @@ MemoryHierarchy::warmInst(CoreId core, Addr addr)
         return;
 
     const Addr block = l1i[core].blockAddr(addr);
-    warmBeyondL1(core, block);
+    warmBeyondL1(core, block, ReqKind::Fetch);
     l1i[core].fill(addr);
 
     if (cfg.prefetch != PrefetchKind::None) {
         const Addr next = block + l1i[core].lineSize();
         if (!l1i[core].probe(next)) {
             l1i[core].fill(next);
-            l2.fill(next);
+            const Eviction l2ev = l2.fill(next);
+            if (l2ev.valid && cfg.coherence == CoherenceKind::Mesi)
+                mesiL2Evict(l2ev.blockAddr, 0, false);
         }
     }
 }
@@ -222,6 +416,7 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
                             Cycle now)
 {
     sim_assert(core < l1d.size(), "bad core id ", unsigned{core});
+    const bool mesi = cfg.coherence == CoherenceKind::Mesi;
     const Addr block = l1d[core].blockAddr(addr);
     ++_stats.l1dAccesses;
 
@@ -259,10 +454,17 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
                 break;
             }
         }
-        if (is_write && l1d.size() > 1) {
-            dirtyOwner[block] = core;
-            invalidate_peers();
-            clearWarmMemo(block);
+        if (is_write) {
+            if (mesi) {
+                // Hit upgrade: silent for E, a targeted-invalidation
+                // ownership request for S.
+                mesiAcquire(core, block, ReqKind::Store, now, now);
+                clearWarmMemo(block);
+            } else if (l1d.size() > 1) {
+                dirtyOwner[block] = core;
+                invalidate_peers();
+                clearWarmMemo(block);
+            }
         }
         return res;
     }
@@ -284,12 +486,16 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
 
     bool l2_hit = false;
     const Cycle ready =
-        lookupBeyondL1(core, block, start + cfg.l1Latency, l2_hit) ;
+        lookupBeyondL1(core, block, start + cfg.l1Latency, l2_hit,
+                       is_write ? ReqKind::Store : ReqKind::Load);
     res.l2Hit = l2_hit;
     res.readyCycle = ready;
+    res.coherenceWait = pendingCoherence;
 
     const Eviction ev = l1d[core].fill(addr, is_write);
-    if (ev.valid) {
+    if (mesi) {
+        mesiEvict(core, ev, now, true);
+    } else if (ev.valid) {
         clearWarmMemo(ev.blockAddr);
         if (ev.dirty) {
             // Writeback to L2; timing-wise free (posted write).
@@ -302,7 +508,8 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
         }
     }
 
-    if (is_write && l1d.size() > 1) {
+    if (is_write && !mesi && l1d.size() > 1) {
+        // The MESI path acquired ownership inside lookupBeyondL1.
         dirtyOwner[block] = core;
         invalidate_peers();
         clearWarmMemo(block);
@@ -318,13 +525,38 @@ MemoryHierarchy::accessData(CoreId core, Addr addr, bool is_write,
             targets = prefetchers[core].onMiss(block);
         }
         for (const Addr t : targets) {
-            if (!l1d[core].probe(t)) {
+            if (l1d[core].probe(t))
+                continue;
+            if (mesi) {
+                if (dir.stateOf(t) == MesiState::Modified &&
+                    dir.ownerOf(t) != core)
+                    continue; // never yank a dirty line on a guess
                 const Eviction pev = l1d[core].fill(t);
-                if (pev.valid)
+                mesiEvict(core, pev, now, true);
+                dir.onRead(core, t);
+                const Eviction l2ev = l2.fill(t);
+                if (l2ev.valid)
+                    mesiL2Evict(l2ev.blockAddr, now, true);
+            } else {
+                const Eviction pev = l1d[core].fill(t);
+                if (pev.valid) {
                     clearWarmMemo(pev.blockAddr);
+                    if (pev.dirty) {
+                        // A prefetch victim writes back like a demand
+                        // victim; dropping it left dirtyOwner pointing
+                        // at a line this core no longer held.
+                        l2.fill(pev.blockAddr, true);
+                        if (l1d.size() > 1) {
+                            auto it = dirtyOwner.find(pev.blockAddr);
+                            if (it != dirtyOwner.end() &&
+                                it->second == core)
+                                dirtyOwner.erase(it);
+                        }
+                    }
+                }
                 l2.fill(t);
-                ++_stats.prefetchFills;
             }
+            ++_stats.prefetchFills;
         }
     }
 
@@ -349,8 +581,10 @@ MemoryHierarchy::accessInst(CoreId core, Addr addr, Cycle now)
     ++_stats.l1iMisses;
     bool l2_hit = false;
     const Addr block = l1i[core].blockAddr(addr);
-    res.readyCycle = lookupBeyondL1(core, block, now, l2_hit);
+    res.readyCycle =
+        lookupBeyondL1(core, block, now, l2_hit, ReqKind::Fetch);
     res.l2Hit = l2_hit;
+    res.coherenceWait = pendingCoherence;
     l1i[core].fill(addr);
 
     // Sequential I-prefetch: code runs forward, so pull the next block
@@ -359,7 +593,9 @@ MemoryHierarchy::accessInst(CoreId core, Addr addr, Cycle now)
         const Addr next = block + l1i[core].lineSize();
         if (!l1i[core].probe(next)) {
             l1i[core].fill(next);
-            l2.fill(next);
+            const Eviction l2ev = l2.fill(next);
+            if (l2ev.valid && cfg.coherence == CoherenceKind::Mesi)
+                mesiL2Evict(l2ev.blockAddr, now, true);
             ++_stats.prefetchFills;
         }
     }
@@ -387,6 +623,8 @@ MemoryHierarchy::reset()
         c.reset();
     l2.reset();
     dirtyOwner.clear();
+    dir.reset();
+    pendingCoherence = 0;
     for (auto &b : mshrs)
         b.clear();
     for (auto &m : warmMemo)

@@ -26,6 +26,7 @@
 
 #include "common/types.hh"
 #include "memory/cache_array.hh"
+#include "memory/directory.hh"
 #include "memory/prefetcher.hh"
 
 namespace fgstp::uncore
@@ -62,6 +63,14 @@ struct HierarchyConfig
     std::size_t prefetchStreams = 8;  ///< detectors per core
     unsigned prefetchDegree = 2;      ///< blocks ahead once locked
 
+    /**
+     * Coherence model. Flat (default) is the seed's write-invalidate
+     * approximation (dirtyOwner map + flat penalties) and stays
+     * byte-identical to it; Mesi routes every access through the
+     * directory in memory/directory.hh (--coherence=mesi).
+     */
+    CoherenceKind coherence = CoherenceKind::Flat;
+
     std::uint32_t numCores = 2;
 };
 
@@ -71,6 +80,14 @@ struct AccessResult
     Cycle readyCycle = 0;
     bool l1Hit = false;
     bool l2Hit = false; ///< meaningful only when !l1Hit
+
+    /**
+     * Cycles of readyCycle attributable to coherence actions (the
+     * dirty-forward service time plus its bus queueing). Populated
+     * only by the MESI directory model; the flat model reports 0 so
+     * its output stays byte-identical to the seed.
+     */
+    Cycle coherenceWait = 0;
 };
 
 /** Per-level hit/miss counters. */
@@ -146,6 +163,9 @@ class MemoryHierarchy
     const HierarchyStats &stats() const { return _stats; }
     const HierarchyConfig &config() const { return cfg; }
 
+    /** The MESI directory (state is empty under the flat model). */
+    const Directory &directory() const { return dir; }
+
     void reset();
 
     /** Zeroes the counters without touching cache contents. */
@@ -159,12 +179,46 @@ class MemoryHierarchy
         Cycle readyCycle = 0;
     };
 
+    /** What kind of request is walking beyond the L1. */
+    enum class ReqKind : std::uint8_t
+    {
+        Load,
+        Store,
+        Fetch,
+    };
+
     /** L2-and-below latency for a block, including ports and DRAM. */
     Cycle lookupBeyondL1(CoreId core, Addr block, Cycle now,
-                         bool &l2_hit);
+                         bool &l2_hit, ReqKind kind = ReqKind::Load);
 
     /** Contents-only twin of lookupBeyondL1 for the warm paths. */
-    void warmBeyondL1(CoreId core, Addr block);
+    void warmBeyondL1(CoreId core, Addr block,
+                      ReqKind kind = ReqKind::Load);
+
+    /**
+     * Applies the directory transition for a demand/prefetch request
+     * that reached the L2 (Mesi mode only) and returns the forward
+     * penalty it incurred: the flat dirty-forward service time plus
+     * any DirtyForward-class bus queueing when a Modified owner had
+     * to supply the line.
+     */
+    Cycle mesiAcquire(CoreId core, Addr block, ReqKind kind, Cycle t,
+                      Cycle now);
+
+    /** Contents-only twin of mesiAcquire for the warm paths. */
+    void warmMesiAcquire(CoreId core, Addr block, ReqKind kind);
+
+    /**
+     * Registers an L1D eviction with the directory (Mesi mode only):
+     * a Modified victim writes back to the L2 and claims a posted
+     * Writeback-class bus slot; a clean victim just drops its sharer
+     * bit. `detailed` false = warm path (no stats, no bus).
+     */
+    void mesiEvict(CoreId core, const Eviction &ev, Cycle now,
+                   bool detailed);
+
+    /** Directory-driven back-invalidation for an L2 victim. */
+    void mesiL2Evict(Addr block, Cycle now, bool detailed);
 
     /**
      * Forgets any warm-path memo of `block` (call whenever a block
@@ -190,8 +244,19 @@ class MemoryHierarchy
     CacheArray l2;
     std::vector<StreamPrefetcher> prefetchers; // per core, Stream mode
 
-    /** Which core, if any, holds the block dirty in its L1D. */
+    /** Which core, if any, holds the block dirty in its L1D (the
+     *  flat model's entire coherence state; unused under Mesi). */
     std::unordered_map<Addr, CoreId> dirtyOwner;
+
+    /** The MESI directory (tracks nothing under the flat model). */
+    Directory dir;
+
+    /**
+     * Coherence-attributable cycles of the in-flight beyond-L1 walk,
+     * latched by mesiAcquire() and folded into the AccessResult by
+     * accessData()/accessInst(). Always 0 under the flat model.
+     */
+    Cycle pendingCoherence = 0;
 
     std::vector<std::vector<Mshr>> mshrs; // per core
 

@@ -31,6 +31,16 @@ struct CpiStack
      */
     std::uint64_t busContention = 0;
 
+    /**
+     * Sub-bucket of Memory: the cycles of that cause where the
+     * blocking load's completion had been pushed back by coherence
+     * actions (a dirty forward from a Modified owner, plus its bus
+     * queueing). Populated only under the MESI directory — the flat
+     * model reports no per-access coherence wait — and always <=
+     * get(Memory), so the seven-cause sum invariant is untouched.
+     */
+    std::uint64_t coherence = 0;
+
     void
     add(CpiCause c)
     {
@@ -66,6 +76,7 @@ struct CpiStack
     {
         cycles.fill(0);
         busContention = 0;
+        coherence = 0;
     }
 };
 

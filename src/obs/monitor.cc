@@ -127,12 +127,14 @@ CoreMonitor::onSquash(InstSeqNum seq, SquashCause cause, Cycle now)
 
 void
 CoreMonitor::onCycle(CpiCause cause, const Occupancies &occ,
-                     bool bus_contention)
+                     bool bus_contention, bool mem_coherence)
 {
     if (cfg_.cpiStack) {
         cpi_.add(cause);
         if (bus_contention)
             ++cpi_.busContention;
+        if (mem_coherence)
+            ++cpi_.coherence;
     }
     if (cfg_.occupancy) {
         occ_.rob.sample(occ.rob);

@@ -73,9 +73,13 @@ class CoreMonitor
      * in the shared-bus queuing tail of the binding operand's arrival
      * (the CpiStack::busContention sub-bucket); always false for
      * other causes and for machines without the bus arbiter.
+     * `mem_coherence` likewise marks a Memory cycle that falls in the
+     * coherence tail of the blocking load's completion (the
+     * CpiStack::coherence sub-bucket, MESI directory only).
      */
     void onCycle(CpiCause cause, const Occupancies &occ,
-                 bool bus_contention = false);
+                 bool bus_contention = false,
+                 bool mem_coherence = false);
 
     // ---- results ------------------------------------------------------
 

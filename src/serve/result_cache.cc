@@ -16,7 +16,10 @@ namespace fgstp::serve
 namespace
 {
 
-constexpr std::string_view entryMagic = "fgstp-cache-entry v1";
+// v2 added the optional sidecar lines; v1 entries fail the magic
+// check, are treated as corrupt and reclaimed, and the cell is simply
+// resimulated — exactly the no-staleness-analysis contract.
+constexpr std::string_view entryMagic = "fgstp-cache-entry v2";
 
 /**
  * Shortest round-trip decimal for a double. Unlike json::number this
@@ -124,6 +127,17 @@ renderEntry(const CellIdentity &id, const CacheContext &ctx,
         body += numToString(v);
         body += '\n';
     }
+    // Sidecar records ride along only when the run produced any, so
+    // observability-off entries keep the lean layout.
+    if (!cell.sidecar.empty()) {
+        body += "sidecar " + std::to_string(cell.sidecar.size());
+        body += '\n';
+        for (const std::string &line : cell.sidecar) {
+            body += "s ";
+            body += escapeLine(line);
+            body += '\n';
+        }
+    }
     // The checksum covers every byte above its own line, so any
     // truncation or flip — including in the key line — is caught.
     const std::string sum = keyHex(hash::fnv1a(body));
@@ -166,6 +180,7 @@ parseEntry(const std::string &text, const std::string &want_key,
     bool saw_ok = false;
     std::size_t want_values = 0;
     bool saw_values = false;
+    std::size_t want_sidecar = 0;
     std::string name;
     std::string value;
     while (std::getline(is, line)) {
@@ -199,12 +214,20 @@ parseEntry(const std::string &text, const std::string &want_key,
             if (!numFromString(value, v))
                 return ParseOutcome::Corrupt;
             cell.values.push_back(v);
+        } else if (name == "sidecar") {
+            want_sidecar = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (name == "s") {
+            std::string line_out;
+            if (!unescapeLine(value, line_out))
+                return ParseOutcome::Corrupt;
+            cell.sidecar.push_back(std::move(line_out));
         } else {
             return ParseOutcome::Corrupt;
         }
     }
     if (!saw_key || !saw_ok || !saw_values ||
-        cell.values.size() != want_values)
+        cell.values.size() != want_values ||
+        cell.sidecar.size() != want_sidecar)
         return ParseOutcome::Corrupt;
     out = std::move(cell);
     return ParseOutcome::Good;

@@ -41,6 +41,16 @@ struct CachedCell
     double wallTimeMs = 0.0; ///< wall time of the original simulation
     bool ok = true;
     std::string error; ///< failure message when !ok
+
+    /**
+     * Encoded observability sidecar records (bench::takeCellSidecarLines)
+     * the original simulation produced — the per-cell CPI-stack and
+     * sampling rows behind BENCH_cpistack.json / BENCH_sampling.json.
+     * Replayed on a hit so a warm rerun's sidecar reports are
+     * byte-identical to the cold run's. Empty when the run collected
+     * no sidecars.
+     */
+    std::vector<std::string> sidecar;
 };
 
 /** Counters one cache instance accumulates (reported by --cache-stats). */

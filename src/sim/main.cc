@@ -17,6 +17,10 @@
  * Uncore:        --bus[=SPEC] (shared-bus arbiter for operand +
  *                              coherence traffic; grammar in
  *                              docs/UNCORE.md, all machines)
+ *                --coherence=flat|mesi (L1D coherence model: the flat
+ *                              write-invalidate approximation, the
+ *                              default, or the MESI directory;
+ *                              docs/UNCORE.md, all machines)
  * Observability: --pipeview=FILE (Konata/O3PipeView trace)
  *                --eventlog=FILE (binary event log)
  *                --cpi-stack --occupancy (imply --stats)
@@ -88,6 +92,8 @@ struct Options
     bool bus = false;         // shared uncore bus arbiter
     std::string busSpec;      // bus config override (empty = defaults)
 
+    std::string coherence;    // --coherence model ("" = preset default)
+
     bool steer = false;       // explicit steering-weight config
     std::string steerSpec;    // --steer spec (grammar: docs/STEERING.md)
 
@@ -154,6 +160,8 @@ parse(int argc, char **argv)
         } else if (matchValue(a, "--bus", v)) {
             o.bus = true;
             o.busSpec = v;
+        } else if (matchValue(a, "--coherence", v)) {
+            o.coherence = v;
         } else if (std::strcmp(a, "--steer") == 0) {
             fatal("--steer needs a spec, e.g. --steer=tuned or "
                   "--steer=comm=12,balance=0.6 (see docs/STEERING.md)");
@@ -245,6 +253,16 @@ runSim(Options o)
         ? uncore::parseBusConfig(o.busSpec) : uncore::BusConfig{};
 
     const auto preset = sim::presetByName(o.preset);
+    auto mem_cfg = preset.memory;
+    if (!o.coherence.empty()) {
+        if (o.coherence == "flat")
+            mem_cfg.coherence = mem::CoherenceKind::Flat;
+        else if (o.coherence == "mesi")
+            mem_cfg.coherence = mem::CoherenceKind::Mesi;
+        else
+            fatal("unknown coherence model '", o.coherence,
+                  "' (flat | mesi)");
+    }
     std::unique_ptr<trace::TraceSource> owned_source;
     if (!o.traceFile.empty()) {
         owned_source = std::make_unique<trace::VectorTraceSource>(
@@ -261,17 +279,17 @@ runSim(Options o)
     sim::SingleCoreMachine *sc_machine = nullptr;
     if (o.machine == "single") {
         auto sm = std::make_unique<sim::SingleCoreMachine>(
-            preset.core, preset.memory, source);
+            preset.core, mem_cfg, source);
         sc_machine = sm.get();
         machine = std::move(sm);
     } else if (o.machine == "big") {
         auto sm = std::make_unique<sim::SingleCoreMachine>(
-            sim::bigCoreConfig(), preset.memory, source, "big-core");
+            sim::bigCoreConfig(), mem_cfg, source, "big-core");
         sc_machine = sm.get();
         machine = std::move(sm);
     } else if (o.machine == "fusion") {
         auto sm = std::make_unique<fusion::FusedMachine>(
-            preset.core, preset.memory, source,
+            preset.core, mem_cfg, source,
             preset.fusionOverheads);
         sc_machine = sm.get();
         machine = std::move(sm);
@@ -298,7 +316,7 @@ runSim(Options o)
                          steer_spec.adaptive ? " (adaptive)" : "");
         }
         auto fm = std::make_unique<part::FgstpMachine>(
-            preset.core, preset.memory, cfg, source);
+            preset.core, mem_cfg, cfg, source);
         fgstp_machine = fm.get();
         machine = std::move(fm);
     } else {

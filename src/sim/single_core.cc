@@ -91,7 +91,10 @@ SingleCoreMachine::enableSharedBus(const uncore::BusConfig &bc)
 {
     if (!bc.enabled)
         return;
-    bus = std::make_unique<uncore::SharedBus>(bc);
+    auto bus_cfg = bc;
+    if (mem.config().coherence == mem::CoherenceKind::Mesi)
+        bus_cfg.arbClasses = uncore::numBusClasses;
+    bus = std::make_unique<uncore::SharedBus>(bus_cfg);
     cpu->attachBus(bus.get());
     mem.attachBus(bus.get());
 }

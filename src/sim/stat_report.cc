@@ -116,6 +116,13 @@ StatReport::StatReport(const Machine &machine, const RunResult &result)
                           " (sub-bucket of crossCoreOperandWait)",
                           st.busContention);
             }
+            if (machine.memory().config().coherence ==
+                mem::CoherenceKind::Mesi) {
+                addScalar(p + "cpi.memory.coherence",
+                          "memory wait cycles owed to coherence"
+                          " actions (sub-bucket of memory)",
+                          st.coherence);
+            }
         }
         if (mon && mon->config().occupancy)
             addOccupancy(p, mon->occupancy());
@@ -128,6 +135,11 @@ StatReport::StatReport(const Machine &machine, const RunResult &result)
         const uncore::BusStats &bs = bus->stats();
         for (std::size_t k = 0; k < uncore::numBusClasses; ++k) {
             const auto cls = static_cast<uncore::BusClass>(k);
+            // Upgrade/writeback traffic flows only under the MESI
+            // directory; skip the silent classes so flat bus-on
+            // reports keep their historical three-class shape.
+            if (k >= 3 && bs.requests[k] == 0)
+                continue;
             const std::string p =
                 std::string("bus.") + uncore::busClassKey(cls) + ".";
             const std::string what = uncore::busClassKey(cls);
@@ -171,6 +183,40 @@ StatReport::StatReport(const Machine &machine, const RunResult &result)
              m.l1dMisses / kinsts);
     addValue("mem.l2Mpki", "L2 misses per kilo-instruction",
              m.l2Misses / kinsts);
+
+    // Directory transition counters; absent under the flat model so
+    // its reports stay byte-identical to the pre-directory layout.
+    if (machine.memory().config().coherence == mem::CoherenceKind::Mesi) {
+        const mem::DirectoryStats &d =
+            machine.memory().directory().stats();
+        addScalar("mem.coherence.reads",
+                  "directory read acquisitions", d.reads);
+        addScalar("mem.coherence.writes",
+                  "directory write acquisitions", d.writes);
+        addScalar("mem.coherence.toShared",
+                  "directory transitions into S", d.toShared);
+        addScalar("mem.coherence.toExclusive",
+                  "directory transitions into E", d.toExclusive);
+        addScalar("mem.coherence.toModified",
+                  "directory transitions into M", d.toModified);
+        addScalar("mem.coherence.toInvalid",
+                  "directory transitions into I", d.toInvalid);
+        addScalar("mem.coherence.silentUpgrades",
+                  "silent E->M upgrades (no traffic)",
+                  d.silentUpgrades);
+        addScalar("mem.coherence.upgrades",
+                  "S->M ownership upgrades", d.upgrades);
+        addScalar("mem.coherence.dirtyForwards",
+                  "M-owner cache-to-cache forwards", d.dirtyForwards);
+        addScalar("mem.coherence.invalidationsSent",
+                  "targeted invalidate messages sent",
+                  d.invalidationsSent);
+        addScalar("mem.coherence.writebacks",
+                  "dirty lines written back", d.writebacks);
+        addScalar("mem.coherence.trackedBlocks",
+                  "blocks tracked by the directory at end of run",
+                  machine.memory().directory().numTrackedBlocks());
+    }
 }
 
 } // namespace fgstp::sim

@@ -2,10 +2,12 @@
  * @file
  * The shared uncore bus arbiter.
  *
- * The two cores of the CMP exchange three kinds of uncore traffic:
+ * The two cores of the CMP exchange several kinds of uncore traffic:
  * operand transfers (OperandLink::send), dirty-forwards (a load
- * missing on a block dirty in the peer L1D) and invalidations (a
- * store killing the peer's copy). Without the bus each class is
+ * missing on a block dirty in the peer L1D), invalidations (a store
+ * killing the peer's copy) and — under the MESI directory — S->M
+ * ownership upgrades and explicit writebacks. Without the bus each
+ * class is
  * timed in isolation — the link has its own per-direction ports and
  * the coherence events are flat penalties — so the classes never
  * contend. The SharedBus unifies them into one cycle-accurate
@@ -14,11 +16,14 @@
  *
  *  - at most `width` grants per cycle, summed over all classes;
  *  - a configurable arbitration policy (see BusPolicy);
- *  - a bounded per-class queue: a request whose class already has
- *    `queueCapacity` grants pending at or after the request cycle is
- *    NACKed, and the sender recovers through its retransmission path
- *    (the operand link reuses its fault-injection timeout/retry
- *    machinery; see OperandLink);
+ *  - a bounded per-class queue: a request that finds `queueCapacity`
+ *    same-class grants parked *ahead of it* — at cycles from its own
+ *    availability cycle up to its first admissible slot — is NACKed,
+ *    and the sender recovers through its retransmission path (the
+ *    operand link reuses its fault-injection timeout/retry machinery;
+ *    see OperandLink). Grants parked at earlier cycles by requests
+ *    that completed out of order are already behind the newcomer and
+ *    do not count against it;
  *  - per-class request/grant/NACK/queue-delay statistics plus a
  *    backlog probe for the occupancy histograms (`bus.occ.<class>`).
  *
@@ -44,15 +49,19 @@
 namespace fgstp::uncore
 {
 
-/** The three uncore traffic classes, in fixed-priority rank order. */
+/** The uncore traffic classes, in fixed-priority rank order. The
+ *  last two flow only when the MESI directory is armed; the flat
+ *  coherence model never sends them. */
 enum class BusClass : std::uint8_t
 {
     Operand = 0,      ///< cross-core register values (highest rank)
     DirtyForward = 1, ///< peer-dirty cache lines
-    Invalidation = 2, ///< write-invalidate broadcasts (lowest rank)
+    Invalidation = 2, ///< targeted/broadcast invalidate messages
+    Upgrade = 3,      ///< S->M ownership requests (no data)
+    Writeback = 4,    ///< dirty lines pushed to L2/DRAM (lowest rank)
 };
 
-inline constexpr std::size_t numBusClasses = 3;
+inline constexpr std::size_t numBusClasses = 5;
 
 inline const char *
 busClassKey(BusClass c)
@@ -61,6 +70,8 @@ busClassKey(BusClass c)
     case BusClass::Operand: return "operand";
     case BusClass::DirtyForward: return "dirtyForward";
     case BusClass::Invalidation: return "invalidation";
+    case BusClass::Upgrade: return "upgrade";
+    case BusClass::Writeback: return "writeback";
     }
     return "?";
 }
@@ -76,9 +87,10 @@ busClassKey(BusClass c)
  *    it, so late-arriving operand transfers still find a slot in a
  *    cycle coherence traffic would otherwise have filled.
  *  - RoundRobin: no reserved headroom; instead every class is capped
- *    at ceil(width / numBusClasses) grants per cycle (min 1), the
- *    per-cycle equivalent of an equal time-division rotation. No
- *    class can starve the others, and none is favoured.
+ *    at ceil(width / arbClasses) grants per cycle (min 1), the
+ *    per-cycle equivalent of an equal time-division rotation over the
+ *    classes actually in play. No class can starve the others, and
+ *    none is favoured.
  *
  * Under both policies the total grants in any cycle never exceed
  * `width`.
@@ -112,6 +124,15 @@ struct BusConfig
 
     /** Consecutive NACKs of one transfer before BusSaturationError. */
     std::uint32_t maxNackRetries = 64;
+
+    /**
+     * Traffic classes the RoundRobin share is divided between. The
+     * flat coherence model arbitrates 3 (operand / dirtyForward /
+     * invalidation); the MESI directory adds upgrades and writebacks
+     * and arbitrates 5. Set by the machine, not the spec string, so
+     * flat runs keep their historical per-class share.
+     */
+    std::uint32_t arbClasses = 3;
 };
 
 /**
@@ -241,9 +262,18 @@ class SharedBus
 
     /**
      * Requests one slot for `cls` at or after `now`. NACKs (granted
-     * == false) when the class already has queueCapacity grants
-     * pending at cycles >= now; the caller owns the retry. Requests
-     * may arrive with non-monotonic timestamps.
+     * == false) when the request would have to queue behind
+     * queueCapacity or more same-class grants parked between its own
+     * availability cycle and its first admissible slot; the caller
+     * owns the retry. Requests may arrive with non-monotonic
+     * timestamps: a request timestamped earlier than grants that were
+     * parked retroactively at *later* cycles is not behind them — the
+     * backlog is measured relative to the request's availability
+     * cycle, never against the far future of the ledger. (Counting
+     * every grant at cycles >= now instead made one retroactive
+     * old-cycle request see later-parked traffic as its own queue and
+     * exhaust its retry budget on a bus that was never oversubscribed
+     * at any single cycle.)
      */
     BusGrant
     request(BusClass cls, Cycle now)
@@ -252,24 +282,27 @@ class SharedBus
         ++_stats.requests[k];
         prune(now);
 
-        if (pendingAt(cls, now) >= cfg.queueCapacity) {
-            ++_stats.nacks[k];
-            return BusGrant{};
-        }
-
         const std::uint32_t admit = admissionLimit(cls);
         const std::uint32_t classCap = classLimit();
         Cycle t = now;
+        std::size_t ahead = 0; // same-class grants in [now, t)
         while (true) {
             auto [it, fresh] = ledger.try_emplace(t);
             Slot &s = it->second;
             if (s.total < admit && s.perClass[k] < classCap) {
+                if (ahead >= cfg.queueCapacity) {
+                    ++_stats.nacks[k];
+                    if (fresh)
+                        ledger.erase(it);
+                    return BusGrant{};
+                }
                 ++s.total;
                 ++s.perClass[k];
                 ++_stats.grants[k];
                 _stats.queuedCycles[k] += t - now;
                 return BusGrant{true, t, t - now};
             }
+            ahead += s.perClass[k];
             ++t;
         }
     }
@@ -383,7 +416,7 @@ class SharedBus
     {
         if (cfg.policy == BusPolicy::FixedPriority)
             return cfg.width;
-        const auto n = static_cast<std::uint32_t>(numBusClasses);
+        const std::uint32_t n = cfg.arbClasses ? cfg.arbClasses : 1u;
         const std::uint32_t share = (cfg.width + n - 1) / n;
         return share ? share : 1u;
     }

@@ -410,9 +410,11 @@ TEST(FlagConflicts, TablesCoverTheDocumentedPairs)
     EXPECT_TRUE(
         has(cli::simConflictRules(), "--steer", "--chunk"));
     // Sweep-service modes (docs/SERVICE.md): --serve and --merge are
-    // exclusive top-level modes, and the service flags sidestep the
-    // --cpi-stack sidecar report.
-    EXPECT_TRUE(
+    // exclusive top-level modes, and the partial-coverage service
+    // flags sidestep the --cpi-stack sidecar report. (--cache is no
+    // longer in this list: entries store the sidecar records, so warm
+    // hits replay them instead of silently dropping rows.)
+    EXPECT_FALSE(
         has(cli::benchConflictRules(), "--cache", "--cpi-stack"));
     EXPECT_TRUE(
         has(cli::benchConflictRules(), "--shard", "--cpi-stack"));
@@ -427,7 +429,7 @@ TEST(FlagConflicts, TablesCoverTheDocumentedPairs)
     EXPECT_TRUE(has(cli::benchConflictRules(), "--inject",
                     "--experiment=inject_sweep"));
     EXPECT_EQ(cli::simConflictRules().size(), 3u);
-    EXPECT_EQ(cli::benchConflictRules().size(), 9u);
+    EXPECT_EQ(cli::benchConflictRules().size(), 8u);
 }
 
 // ---- crash-isolated sweeps -------------------------------------------------

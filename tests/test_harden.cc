@@ -376,15 +376,15 @@ TEST(FaultInjection, LinkFaultsComposeWithBusNacks)
     // Both recovery paths armed at once: a narrow bus NACKs sends
     // into the retransmission timeout while injected drops and
     // payload corruptions draw on the same retry budget. The run must
-    // stay checker-clean and bit-repeatable. (width=1 is below mcf's
-    // sustainable offered load and saturates outright; width=2 with a
-    // tiny queue makes bursts NACK while staying recoverable, and the
-    // raised retry budget covers NACK+drop pile-ups.)
+    // stay checker-clean and bit-repeatable. (width=1 with queue=1
+    // makes any genuine operand burst — two sends contending for one
+    // cycle — NACK while staying recoverable, and the raised retry
+    // budget covers NACK+drop pile-ups.)
     const auto p = sim::mediumPreset();
     auto cfg = p.fgstp();
     cfg.bus.enabled = true;
-    cfg.bus.width = 2;
-    cfg.bus.queueCapacity = 2;
+    cfg.bus.width = 1;
+    cfg.bus.queueCapacity = 1;
     const auto plan = harden::parseFaultPlan(
         "seed:11;link:drop=0.1,retries=32;value:rate=0.05");
 

@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/error.hh"
 #include "common/random.hh"
 #include "memory/cache_array.hh"
+#include "memory/directory.hh"
 #include "memory/hierarchy.hh"
 
 namespace fgstp
@@ -18,8 +22,12 @@ namespace
 using mem::AccessResult;
 using mem::CacheArray;
 using mem::CacheGeometry;
+using mem::CoherenceKind;
+using mem::Directory;
+using mem::DirOutcome;
 using mem::HierarchyConfig;
 using mem::MemoryHierarchy;
+using mem::MesiState;
 
 // ---- CacheArray ------------------------------------------------------------
 
@@ -371,6 +379,288 @@ TEST(Hierarchy, StreamPrefetchCoversStridedWalks)
     const double miss_rate = mh.stats().l1dMissRate();
     EXPECT_LT(miss_rate, 0.25);
     EXPECT_GT(mh.stats().prefetchFills, 100u);
+}
+
+// ---- flat-model stale dirty ownership --------------------------------------
+
+// Regression: a prefetch fill evicting a dirty L1D victim used to drop
+// the line without writing it back or clearing dirtyOwner, so a later
+// peer read paid a dirty-forward penalty for a copy that no longer
+// existed anywhere. The fixed path writes the victim back to the L2
+// and erases its ownership, exactly like a demand eviction.
+TEST(Hierarchy, PrefetchEvictionOfDirtyLineClearsOwnership)
+{
+    auto cfg = testCfg();
+    cfg.prefetch = mem::PrefetchKind::NextLine;
+    MemoryHierarchy mh(cfg);
+    // l1d is {4KB, 2-way, 64B}: 32 sets, 0x800 set stride. Dirty the
+    // victim-to-be and age it behind a second block in its set.
+    const Addr dirty = 0x10000;          // set 0
+    const Addr sameSet = 0x10000 + 0x800; // set 0, second way
+    mh.accessData(0, dirty, true, 0);
+    mh.accessData(0, sameSet, false, 1000);
+    // A load miss one block below set 0 prefetches into set 0 and
+    // evicts the LRU way — the dirty block.
+    mh.accessData(0, 0x20000 - 64, false, 2000);
+    ASSERT_FALSE(mh.l1dHasBlock(0, dirty));
+    ASSERT_TRUE(mh.l2HasBlock(dirty));
+
+    // The peer read must be a plain L2 hit: no phantom forward.
+    const auto r = mh.accessData(1, dirty, false, 3000);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_EQ(mh.stats().dirtyForwards, 0u);
+    EXPECT_LT(r.readyCycle, 3000 + cfg.dramLatency);
+}
+
+// The warm (functional fast-forward) twin takes the same fixed path.
+TEST(Hierarchy, WarmPrefetchEvictionOfDirtyLineClearsOwnership)
+{
+    auto cfg = testCfg();
+    cfg.prefetch = mem::PrefetchKind::NextLine;
+    MemoryHierarchy mh(cfg);
+    mh.warmData(0, 0x10000, true);
+    mh.warmData(0, 0x10000 + 0x800, false);
+    mh.warmData(0, 0x20000 - 64, false);
+    ASSERT_FALSE(mh.l1dHasBlock(0, 0x10000));
+    ASSERT_TRUE(mh.l2HasBlock(0x10000));
+
+    const auto r = mh.accessData(1, 0x10000, false, 3000);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_EQ(mh.stats().dirtyForwards, 0u);
+}
+
+// ---- MESI directory state machine ------------------------------------------
+
+TEST(MesiDirectory, EveryLegalTransitionIsReachable)
+{
+    Directory d(2);
+    const Addr blk = 0x40;
+
+    // I -> E: first reader takes the line Exclusive.
+    DirOutcome o = d.onRead(0, blk);
+    EXPECT_EQ(o.prev, MesiState::Invalid);
+    EXPECT_EQ(o.next, MesiState::Exclusive);
+    EXPECT_EQ(d.ownerOf(blk), 0);
+    EXPECT_EQ(d.sharersOf(blk), 1u);
+
+    // E -> S: a peer read silently downgrades, no data forward.
+    o = d.onRead(1, blk);
+    EXPECT_EQ(o.next, MesiState::Shared);
+    EXPECT_FALSE(o.dirtyForward);
+    EXPECT_EQ(d.sharersOf(blk), 0b11u);
+
+    // S -> M: upgrade with one targeted invalidation to the peer.
+    o = d.onWrite(0, blk);
+    EXPECT_EQ(o.next, MesiState::Modified);
+    EXPECT_TRUE(o.upgrade);
+    EXPECT_EQ(o.invalidMask, 0b10u);
+    EXPECT_EQ(d.stats().invalidationsSent, 1u);
+
+    // M -> S: a peer read makes the owner forward and write back.
+    o = d.onRead(1, blk);
+    EXPECT_EQ(o.prev, MesiState::Modified);
+    EXPECT_EQ(o.next, MesiState::Shared);
+    EXPECT_TRUE(o.dirtyForward);
+    EXPECT_TRUE(o.writeback);
+    EXPECT_EQ(o.owner, 0);
+
+    // S -> I: the sharers evict cleanly, last bit kills the entry.
+    EXPECT_EQ(d.onEvict(0, blk, false).next, MesiState::Shared);
+    EXPECT_EQ(d.onEvict(1, blk, false).next, MesiState::Invalid);
+    EXPECT_EQ(d.stateOf(blk), MesiState::Invalid);
+    EXPECT_EQ(d.numTrackedBlocks(), 0u);
+
+    // I -> M: a write miss takes the line straight to Modified.
+    o = d.onWrite(0, blk);
+    EXPECT_EQ(o.next, MesiState::Modified);
+    // M -> M (RFO): the dirty line migrates to the other writer.
+    o = d.onWrite(1, blk);
+    EXPECT_TRUE(o.dirtyForward);
+    EXPECT_FALSE(o.writeback);
+    EXPECT_EQ(o.owner, 0);
+    EXPECT_EQ(o.invalidMask, 0b01u);
+    EXPECT_EQ(d.ownerOf(blk), 1);
+    // M -> I: dirty eviction writes back.
+    o = d.onEvict(1, blk, true);
+    EXPECT_TRUE(o.writeback);
+    EXPECT_EQ(d.stateOf(blk), MesiState::Invalid);
+
+    // E -> M: the exclusive owner upgrades silently.
+    d.onRead(0, blk);
+    o = d.onWrite(0, blk);
+    EXPECT_TRUE(o.silentUpgrade);
+    EXPECT_FALSE(o.upgrade);
+    EXPECT_EQ(o.invalidMask, 0u);
+
+    // M -> S via fetch: the L2 gets current bytes, but the fetching
+    // core's L1I is not a tracked sharer.
+    o = d.onFetch(1, blk);
+    EXPECT_TRUE(o.dirtyForward);
+    EXPECT_TRUE(o.writeback);
+    EXPECT_EQ(o.next, MesiState::Shared);
+    EXPECT_EQ(d.sharersOf(blk), 0b01u);
+
+    // L2 eviction: inclusion kills every copy (M case writes back).
+    d.onWrite(0, blk); // S -> M again
+    o = d.onL2Evict(blk);
+    EXPECT_TRUE(o.writeback);
+    EXPECT_EQ(o.invalidMask, 0b01u);
+    EXPECT_EQ(d.stateOf(blk), MesiState::Invalid);
+}
+
+TEST(MesiDirectory, IllegalTransitionsThrow)
+{
+    Directory d(2);
+    const Addr blk = 0x80;
+
+    // A dirty eviction of a block the directory never saw.
+    EXPECT_THROW(d.onEvict(0, blk, true), CoherenceProtocolError);
+
+    // A dirty eviction by a core that is not the Modified owner.
+    d.onWrite(0, blk);
+    EXPECT_THROW(d.onEvict(1, blk, true), CoherenceProtocolError);
+
+    // A clean eviction by the owner of a Modified line (it must
+    // declare the dirty data).
+    EXPECT_THROW(d.onEvict(0, blk, false), CoherenceProtocolError);
+
+    // A dirty eviction by a mere sharer.
+    const Addr blk2 = 0x100;
+    d.onRead(0, blk2);
+    d.onRead(1, blk2);
+    EXPECT_THROW(d.onEvict(1, blk2, true), CoherenceProtocolError);
+
+    // The violations leave the line's state intact for recovery paths.
+    EXPECT_EQ(d.stateOf(blk2), MesiState::Shared);
+    EXPECT_EQ(d.stateOf(blk), MesiState::Modified);
+}
+
+/** Asserts the public-API MESI invariants for every tracked block. */
+void
+checkDirectoryInvariants(const Directory &d,
+                         const std::vector<Addr> &blocks)
+{
+    for (const Addr b : blocks) {
+        const std::uint32_t sharers = d.sharersOf(b);
+        switch (d.stateOf(b)) {
+          case MesiState::Invalid:
+            EXPECT_EQ(sharers, 0u);
+            break;
+          case MesiState::Shared:
+            EXPECT_NE(sharers, 0u);
+            break;
+          case MesiState::Exclusive:
+          case MesiState::Modified:
+            EXPECT_EQ(sharers, 1u << d.ownerOf(b));
+            EXPECT_TRUE(d.isSharer(d.ownerOf(b), b));
+            break;
+        }
+    }
+}
+
+/**
+ * Randomized interleaving soak: `cores` cores fire arbitrary legal
+ * requests at a small block set; the invariants must hold after every
+ * transition and no legal interleaving may throw.
+ */
+void
+mesiInterleavingSoak(std::uint32_t cores, std::uint64_t seed)
+{
+    Directory d(cores);
+    std::vector<Addr> blocks;
+    for (Addr b = 0; b < 8; ++b)
+        blocks.push_back(b * 0x40);
+    Rng rng(seed);
+
+    for (int step = 0; step < 4000; ++step) {
+        const auto core = static_cast<CoreId>(rng.below(cores));
+        const Addr blk = blocks[rng.below(blocks.size())];
+        switch (rng.below(5)) {
+          case 0:
+            d.onRead(core, blk);
+            break;
+          case 1:
+            d.onWrite(core, blk);
+            break;
+          case 2:
+            d.onFetch(core, blk);
+            break;
+          case 3: {
+            // Evict legally: dirty iff this core owns the line M,
+            // clean only when it is a non-M sharer.
+            const bool ownsM = d.stateOf(blk) == MesiState::Modified &&
+                               d.ownerOf(blk) == core;
+            if (ownsM)
+                d.onEvict(core, blk, true);
+            else if (d.isSharer(core, blk) &&
+                     d.stateOf(blk) != MesiState::Modified)
+                d.onEvict(core, blk, false);
+            break;
+          }
+          default:
+            d.onL2Evict(blk);
+            break;
+        }
+        checkDirectoryInvariants(d, blocks);
+    }
+    // The counters tally what the soak actually exercised.
+    EXPECT_GT(d.stats().reads, 0u);
+    EXPECT_GT(d.stats().writes, 0u);
+    EXPECT_GT(d.stats().dirtyForwards, 0u);
+    EXPECT_GT(d.stats().invalidationsSent, 0u);
+    EXPECT_GT(d.stats().writebacks, 0u);
+    EXPECT_GT(d.stats().silentUpgrades, 0u);
+    EXPECT_GT(d.stats().upgrades, 0u);
+}
+
+TEST(MesiDirectory, RandomTwoCoreInterleavingsKeepInvariants)
+{
+    mesiInterleavingSoak(2, 0xfeedu);
+    mesiInterleavingSoak(2, 0xbeefu);
+}
+
+TEST(MesiDirectory, RandomFourSharerInterleavingsKeepInvariants)
+{
+    mesiInterleavingSoak(4, 0xc0ffeeu);
+    mesiInterleavingSoak(4, 0xdecafu);
+}
+
+// ---- flat vs. mesi sanity --------------------------------------------------
+
+// On one shared trace the directory must not invalidate more copies
+// than the flat model's write broadcast: MESI only ever messages the
+// exact sharer set, and both models count an invalidation only when a
+// resident L1D copy actually dies.
+TEST(Hierarchy, MesiInvalidatesNoMoreThanFlatBroadcast)
+{
+    auto flatCfg = testCfg();
+    auto mesiCfg = testCfg();
+    mesiCfg.coherence = CoherenceKind::Mesi;
+    MemoryHierarchy flat(flatCfg);
+    MemoryHierarchy mesi(mesiCfg);
+
+    Rng rng(0x5eedu);
+    Cycle tf = 0, tm = 0;
+    for (int i = 0; i < 6000; ++i) {
+        const auto core = static_cast<CoreId>(rng.below(2));
+        // 16 hot blocks shared by both cores: plenty of ping-pong.
+        const Addr addr = 0x30000 + 0x40 * rng.below(16);
+        const bool write = rng.chance(0.4);
+        tf = flat.accessData(core, addr, write, tf + 1).readyCycle;
+        tm = mesi.accessData(core, addr, write, tm + 1).readyCycle;
+    }
+
+    EXPECT_GT(flat.stats().invalidations, 0u);
+    EXPECT_GT(mesi.stats().invalidations, 0u);
+    EXPECT_LE(mesi.stats().invalidations, flat.stats().invalidations);
+    // Every message the directory sent hit a resident copy — targeted
+    // invalidation never broadcasts into thin air.
+    EXPECT_EQ(mesi.directory().stats().invalidationsSent,
+              mesi.stats().invalidations);
+    // Ping-ponged stores moved dirty lines core-to-core in both
+    // models.
+    EXPECT_GT(mesi.stats().dirtyForwards, 0u);
+    EXPECT_GT(flat.stats().dirtyForwards, 0u);
 }
 
 } // namespace

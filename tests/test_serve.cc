@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "bench/experiments.hh"
 #include "bench/sweep_service.hh"
 #include "common/error.hh"
@@ -432,7 +433,11 @@ TEST(Fingerprint, EveryCellAffectingKnobChangesIt)
     }));
     fps.insert(with([](auto &p) { p.check = true; }));
     fps.insert(with([](auto &p) { p.injectSpecRaw = "x"; }));
-    EXPECT_EQ(fps.size(), 10u) << "two knobs collided in the fingerprint";
+    fps.insert(with([](auto &p) {
+        p.coherence = mem::CoherenceKind::Mesi;
+    }));
+    fps.insert(with([](auto &p) { p.cpiStack = true; }));
+    EXPECT_EQ(fps.size(), 12u) << "two knobs collided in the fingerprint";
 }
 
 TEST(Fingerprint, CacheContextUsesThisBinarysStampByDefault)
@@ -548,6 +553,122 @@ TEST(CacheSweep, WarmRunSimulatesNothingAndRendersByteIdentically)
         if (lc.find("poolJobs") != std::string::npos)
             continue;
         EXPECT_EQ(lc, lw);
+    }
+}
+
+/** Turns the process-wide observability toggles off on scope exit. */
+struct ObservabilityGuard
+{
+    ~ObservabilityGuard()
+    {
+        bench::enableCellObservability(false);
+        bench::setCellSampling({}, false);
+        (void)bench::takeCellCpiSamples();
+        (void)bench::takeCellSamplingRecords();
+    }
+};
+
+// A warm cache must replay the CPI-stack sidecar rows its cold run
+// recorded: cache entries store them (schema v2), so --cache no longer
+// conflicts with --cpi-stack and a hit reproduces BENCH_cpistack.json
+// without simulating anything.
+TEST(CacheSweep, WarmRunReplaysCpiStackSidecar)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 500;
+    prm.cpiStack = true; // part of the fingerprint, like the CLI path
+    ObservabilityGuard guard;
+    bench::enableCellObservability(true);
+    (void)bench::takeCellCpiSamples(); // drop rows from earlier tests
+
+    TempDir dir;
+    std::string cold, warm;
+    std::vector<bench::CellCpi> coldCells, warmCells;
+    {
+        serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+        prm.cache = &cache;
+        cold = renderSweep(*e, prm, 4);
+        coldCells = bench::takeCellCpiSamples();
+        EXPECT_EQ(cache.stats().hits, 0u);
+    }
+    {
+        serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+        prm.cache = &cache;
+        warm = renderSweep(*e, prm, 2);
+        warmCells = bench::takeCellCpiSamples();
+        EXPECT_EQ(cache.stats().misses, 0u) << "warm run simulated a cell";
+        EXPECT_EQ(cache.stats().stores, 0u);
+    }
+
+    EXPECT_EQ(stripWallTime(cold), stripWallTime(warm));
+    ASSERT_FALSE(coldCells.empty());
+    ASSERT_EQ(coldCells.size(), warmCells.size());
+    for (std::size_t i = 0; i < coldCells.size(); ++i) {
+        const bench::CellCpi &a = coldCells[i];
+        const bench::CellCpi &b = warmCells[i];
+        EXPECT_EQ(a.machine, b.machine);
+        EXPECT_EQ(a.bench, b.bench);
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.cycles, b.cycles);
+        ASSERT_EQ(a.perCore.size(), b.perCore.size());
+        for (std::size_t c = 0; c < a.perCore.size(); ++c) {
+            EXPECT_EQ(a.perCore[c].cycles, b.perCore[c].cycles);
+            EXPECT_EQ(a.perCore[c].busContention,
+                      b.perCore[c].busContention);
+            EXPECT_EQ(a.perCore[c].coherence, b.perCore[c].coherence);
+        }
+    }
+}
+
+// Same contract for the sampling sidecar: a warm --cache --sample run
+// replays each cell's CellSampling row — including the bit-exact IPC
+// and confidence-interval doubles — with zero misses.
+TEST(CacheSweep, WarmRunReplaysSamplingSidecar)
+{
+    const auto *e = bench::findExperiment("fig1");
+    ASSERT_NE(e, nullptr);
+    bench::RunParams prm;
+    prm.insts = 2000;
+    prm.sampled = true;
+    prm.sample = sample::parseSampleSpec("ff=200,warmup=100,measure=100");
+    prm.sampleSpecRaw = "ff=200,warmup=100,measure=100";
+    ObservabilityGuard guard;
+    bench::setCellSampling(prm.sample, true);
+    (void)bench::takeCellSamplingRecords();
+
+    TempDir dir;
+    std::vector<bench::CellSampling> coldRecs, warmRecs;
+    {
+        serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+        prm.cache = &cache;
+        (void)renderSweep(*e, prm, 4);
+        coldRecs = bench::takeCellSamplingRecords();
+    }
+    {
+        serve::ResultCache cache(dir.path, bench::makeCacheContext(prm));
+        prm.cache = &cache;
+        (void)renderSweep(*e, prm, 2);
+        warmRecs = bench::takeCellSamplingRecords();
+        EXPECT_EQ(cache.stats().misses, 0u) << "warm run simulated a cell";
+    }
+
+    ASSERT_FALSE(coldRecs.empty());
+    ASSERT_EQ(coldRecs.size(), warmRecs.size());
+    for (std::size_t i = 0; i < coldRecs.size(); ++i) {
+        const bench::CellSampling &a = coldRecs[i];
+        const bench::CellSampling &b = warmRecs[i];
+        EXPECT_EQ(a.machine, b.machine);
+        EXPECT_EQ(a.bench, b.bench);
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.intervals, b.intervals);
+        EXPECT_EQ(a.measuredInstructions, b.measuredInstructions);
+        EXPECT_EQ(a.measuredCycles, b.measuredCycles);
+        EXPECT_EQ(a.fastForwarded, b.fastForwarded);
+        EXPECT_EQ(a.ipc, b.ipc);
+        EXPECT_EQ(a.meanIpc, b.meanIpc);
+        EXPECT_EQ(a.ciHalfWidth, b.ciHalfWidth);
     }
 }
 

@@ -127,18 +127,24 @@ TEST(SharedBusTest, GrantsNeverExceedWidthPerCycle)
          {BusPolicy::FixedPriority, BusPolicy::RoundRobin}) {
         SharedBus bus(busCfg(3, 64, policy));
         // Offer far more than 3 transfers per cycle across all
-        // classes at mixed timestamps.
+        // classes at mixed timestamps. The lowest-ranked classes only
+        // ever find headroom in otherwise-empty cycles, so the grant
+        // tail stretches a few cycles past the offered load; scan far
+        // enough to account for every grant.
         for (int round = 0; round < 40; ++round) {
             for (std::size_t k = 0; k < uncore::numBusClasses; ++k)
                 bus.request(static_cast<BusClass>(k), 100);
         }
         std::uint64_t granted = 0;
-        for (Cycle t = 100; t < 200; ++t) {
+        for (Cycle t = 100; t < 600; ++t) {
             EXPECT_LE(bus.grantsAt(t), 3u) << "policy "
                 << static_cast<int>(policy) << " cycle " << t;
             granted += bus.grantsAt(t);
         }
         EXPECT_EQ(granted, bus.stats().totalGrants());
+        // Nothing was NACKed: queue=64 exceeds any same-class backlog
+        // the 40 rounds can build.
+        EXPECT_EQ(granted, 40u * uncore::numBusClasses);
     }
 }
 
@@ -215,11 +221,59 @@ TEST(SharedBusTest, SaturationThrowsAfterRetryBudget)
     c.nackRetryDelay = 1;
     c.maxNackRetries = 4;
     SharedBus bus(c);
-    // Park the only queue slot far in the future so every retry of an
-    // earlier transfer still sees a full queue.
-    EXPECT_TRUE(bus.request(BusClass::Operand, 1000).granted);
+    // Genuine contiguous saturation: one grant parked at every cycle
+    // the retry loop can reach, so each attempt finds a full queue
+    // between its own cycle and the first free slot.
+    for (Cycle t = 0; t < 16; ++t)
+        EXPECT_TRUE(bus.request(BusClass::Operand, t).granted);
     EXPECT_THROW(bus.claimWithRetry(BusClass::Operand, 0),
                  BusSaturationError);
+}
+
+// Regression for the timestamp-skew false saturation: a grant parked
+// retroactively at a *later* cycle is not "ahead" of a request with an
+// earlier availability cycle. The old admission check counted every
+// grant at cycles >= now, so the parked future grant filled the
+// queue=1 budget and the early request NACKed its way into
+// BusSaturationError on a bus that was never oversubscribed at any
+// single cycle.
+TEST(SharedBusTest, RetroactiveEarlyRequestIsNotBehindLaterTraffic)
+{
+    BusConfig c = busCfg(1, 1);
+    c.nackRetryDelay = 1;
+    c.maxNackRetries = 4;
+    SharedBus bus(c);
+    EXPECT_TRUE(bus.request(BusClass::Operand, 1000).granted);
+    // Cycle 0 is free; the parked grant at 1000 is behind nobody.
+    const BusGrant g = bus.claimWithRetry(BusClass::Operand, 0);
+    EXPECT_TRUE(g.granted);
+    EXPECT_EQ(g.cycle, 0u);
+    EXPECT_EQ(bus.stats().nacks[0], 0u);
+}
+
+// The MESI directory's two extra classes arbitrate like the others:
+// upgrades and writebacks find slots, pay queue delay, and respect
+// the per-cycle width cap alongside the flat-era classes.
+TEST(SharedBusTest, UpgradeAndWritebackClassesArbitrate)
+{
+    SharedBus bus(busCfg(2, 64, BusPolicy::FixedPriority));
+    // Rank 3/4 >= width 2: both may only push a cycle's total to 1,
+    // leaving headroom for the ranks above them.
+    EXPECT_EQ(bus.request(BusClass::Upgrade, 10).cycle, 10u);
+    EXPECT_EQ(bus.request(BusClass::Writeback, 10).cycle, 11u);
+    EXPECT_EQ(bus.request(BusClass::Operand, 10).cycle, 10u);
+    EXPECT_EQ(bus.stats().grants[3], 1u);
+    EXPECT_EQ(bus.stats().grants[4], 1u);
+    EXPECT_EQ(bus.stats().queuedCycles[4], 1u);
+
+    // RoundRobin with all five classes armed: each gets
+    // ceil(5/5) = 1 slot per cycle, so a same-class burst spills.
+    BusConfig rr = busCfg(5, 64, BusPolicy::RoundRobin);
+    rr.arbClasses = uncore::numBusClasses;
+    SharedBus rrBus(rr);
+    EXPECT_EQ(rrBus.request(BusClass::Upgrade, 5).cycle, 5u);
+    EXPECT_EQ(rrBus.request(BusClass::Upgrade, 5).cycle, 6u);
+    EXPECT_EQ(rrBus.request(BusClass::Writeback, 5).cycle, 5u);
 }
 
 TEST(SharedBusTest, LinkReusesRetryPathOnNack)
